@@ -1,0 +1,44 @@
+"""Extension — transmitted consent decisions (TVCF strings).
+
+Beyond the paper: our CMP pings carry the full consent decision as a
+decodable string, so the study can measure what nudging actually
+*transmits*.  With the cursor defaulting to "accept all" on every
+notice style, the automated interaction overwhelmingly grants
+everything — the measurable payoff of the dark pattern §VI describes.
+"""
+
+from benchmarks.conftest import emit
+from repro.consent.strings import analyze_consent_strings
+from repro.hbbtv.consent import ConsentChoice
+
+
+def test_consent_strings(benchmark, flows):
+    report = benchmark(analyze_consent_strings, flows)
+
+    counts = report.choice_counts()
+    lines = [
+        f"consent strings observed: {len(report.observed)} "
+        f"({report.undecodable} undecodable)",
+        f"channels transmitting decisions: "
+        f"{len(report.channels_transmitting())}",
+        f"CMP (notice-style) ids seen: {sorted(report.cmp_ids_seen())}",
+        "choices transmitted:",
+    ]
+    for choice in ConsentChoice:
+        if choice in counts:
+            lines.append(f"  {choice.value:<14} {counts[choice]}")
+    lines.append(
+        f"accept-all share: {report.accept_share():.1%} — the default "
+        "focus on the accept button converts directly into blanket grants"
+    )
+    rates = report.purpose_grant_rates()
+    if rates:
+        lines.append("purpose grant rates: " + ", ".join(
+            f"{name}={rate:.0%}" for name, rate in sorted(rates.items())
+        ))
+    emit("Extension — transmitted consent decisions", "\n".join(lines))
+
+    assert report.observed
+    assert report.undecodable == 0
+    assert report.accept_share() > 0.8
+    assert report.cmp_ids_seen() <= set(range(1, 13))

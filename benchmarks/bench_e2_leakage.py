@@ -1,0 +1,39 @@
+"""Experiment E2 — personal-data collection (§V-B).
+
+Paper: 112 channels (29%) send technical device data to nine third
+parties; 94 channels send the current show's genre; 23,671 requests
+carry personal data; circumstantial brand evidence (e.g. L'Oréal)
+appears in ad traffic.
+"""
+
+from benchmarks.conftest import emit
+from repro.analysis.leakage import analyze_leakage
+
+
+def test_e2_leakage(benchmark, study, flows, first_parties):
+    report = benchmark(analyze_leakage, flows, first_parties)
+    measured = study.dataset.channels_measured()
+
+    tech_share = len(report.channels_leaking_technical) / len(measured)
+    behaviour_share = len(report.channels_leaking_behavioural) / len(measured)
+    lines = [
+        f"channels leaking technical data: "
+        f"{len(report.channels_leaking_technical)} ({tech_share:.1%}; "
+        "paper: 112 / 29%)",
+        f"third parties receiving device data: "
+        f"{len(report.technical_receivers)} (paper: 9)",
+        f"channels leaking show/genre: "
+        f"{len(report.channels_leaking_behavioural)} ({behaviour_share:.1%}; "
+        "paper: 94)",
+        f"requests with personal data: "
+        f"{report.requests_with_personal_data:,} (paper: 23,671)",
+        f"brand evidence: {sorted(report.brands_seen)} "
+        f"in {report.requests_with_brand_evidence} requests "
+        "(paper: L'Oréal-type brands)",
+    ]
+    emit("E2 — Information collected by HbbTV channels", "\n".join(lines))
+
+    assert 0.05 < tech_share < 0.6
+    assert 1 <= len(report.technical_receivers) <= 15
+    assert report.channels_leaking_behavioural
+    assert report.brands_seen

@@ -1,0 +1,39 @@
+"""Experiment E4 — channels targeting children (§V-D5).
+
+Paper: 12 children's channels; 1,946 tracking requests and 97
+third-party targeting cookies observed on them; the Wilcoxon–Mann–
+Whitney comparison against the other channels is NOT significant
+(p > 0.3): children's TV tracks its audience like everyone else.
+"""
+
+from benchmarks.conftest import emit
+from repro.analysis.channels import channel_level_report
+from repro.analysis.children import children_case_study
+
+
+def test_e4_children(benchmark, study, flows, cookie_records):
+    profiles = channel_level_report(flows)
+    report = benchmark(
+        children_case_study,
+        profiles,
+        study.world.children_channel_ids,
+        cookie_records,
+    )
+
+    lines = [
+        f"children's channels: {len(report.children_channel_ids)} (paper: 12)",
+        f"tracking requests on them: "
+        f"{report.tracking_requests_on_children:,} (paper: 1,946)",
+        f"third-party targeting cookies: "
+        f"{report.targeting_cookies_on_children} (paper: 97)",
+    ]
+    if report.comparison is not None:
+        lines.append(
+            f"Mann-Whitney children vs rest: p={report.comparison.p_value:.3f} "
+            "(paper: p > 0.3, not significant)"
+        )
+    emit("E4 — Children's channels case study", "\n".join(lines))
+
+    assert report.children_are_tracked
+    assert report.comparison is not None
+    assert report.tracks_like_everyone_else

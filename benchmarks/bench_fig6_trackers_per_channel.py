@@ -1,0 +1,50 @@
+"""Figure 6 — distribution of observed trackers per channel.
+
+Paper: channels issue 1,132 tracking requests on average with one
+extreme outlier (59,499 requests, 99.7% of them to the tvping-like
+party, only in the Red run); channels contact 7.25 trackers on average
+(max 33); the top-10 channels carry 6.34% of tracking requests; apart
+from the outlier, the distribution declines gradually.
+"""
+
+from benchmarks.conftest import emit
+from repro.analysis.channels import channel_level_report
+
+
+def test_fig6_trackers_per_channel(benchmark, flows):
+    report = benchmark(channel_level_report, flows)
+    series = report.tracker_count_series()
+    outlier = report.outlier()
+
+    lines = [
+        f"channels with tracking: {len(report.profiles)}",
+        (
+            f"tracking requests/channel: mean {report.requests_stats.mean:.0f} "
+            f"min {report.requests_stats.minimum:.0f} "
+            f"max {report.requests_stats.maximum:.0f} "
+            f"SD {report.requests_stats.std_dev:.0f} "
+            "(paper: mean 1,132, max 59,499)"
+        ),
+        (
+            f"trackers/channel: mean {report.trackers_stats.mean:.2f} "
+            f"max {report.trackers_stats.maximum:.0f} (paper: 7.25 / 33)"
+        ),
+        f"top-10 channels' share of tracking requests: "
+        f"{report.top10_request_share():.2%} (paper: 6.34%)",
+        f"tracker-count series (desc): {series[:25]} …",
+    ]
+    if outlier is not None:
+        red_share = outlier.tracking_by_run.get("Red", 0) / max(
+            1, outlier.tracking_requests
+        )
+        lines.append(
+            f"outlier: {outlier.channel_id} with "
+            f"{outlier.tracking_requests:,} tracking requests, "
+            f"{red_share:.1%} in the Red run (paper: 59,499, Red only)"
+        )
+    emit("Figure 6 — Trackers per channel", "\n".join(lines))
+
+    assert outlier is not None
+    assert outlier.tracking_requests > 10 * report.requests_stats.mean
+    assert outlier.tracking_by_run.get("Red", 0) > 0.9 * outlier.tracking_requests
+    assert series == sorted(series, reverse=True)

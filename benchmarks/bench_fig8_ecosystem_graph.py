@@ -1,0 +1,50 @@
+"""Figure 8 — the HbbTV ecosystem graph.
+
+Paper: one connected component (429 nodes, 675 edges), average path
+length 2.91; the hubs are first-party platforms of broadcaster groups
+(ard.de 188, redbutton.de 103, rtl-hbbtv.de 75 edges); 18 nodes with
+≥10 edges; 39 single-edge domains; the most *embedded* third party
+(xiti-like) has only ~6 edges because it arrives via shared platforms,
+and the dominant pixel host (tvping-like) only ~14.
+"""
+
+from benchmarks.conftest import emit
+from repro.analysis.graph import analyze_graph, build_ecosystem_graph, domain_degree
+
+
+def test_fig8_ecosystem_graph(benchmark, flows, first_parties):
+    graph = build_ecosystem_graph(flows, first_parties)
+    report = benchmark(analyze_graph, graph)
+
+    lines = [
+        f"nodes: {report.node_count} (paper: 429), edges: {report.edge_count} "
+        f"(paper: 675)",
+        f"connected components: {report.component_count} (paper: 1)",
+        f"average path length: {report.average_path_length:.2f} (paper: 2.91)",
+        f"nodes with ≥10 edges: {report.nodes_with_degree_at_least_10} "
+        f"(paper: 18)",
+        f"single-edge domains: {report.single_edge_domains} (paper: 39)",
+        "top-degree domains (paper: ard.de 188, redbutton.de 103, "
+        "rtl-hbbtv.de 75):",
+    ]
+    for domain, degree in report.top_degree_nodes:
+        lines.append(f"  {domain:<28} {degree}")
+    lines.append(
+        f"xiti-like degree: {domain_degree(graph, 'xiti.com')} (paper: 6); "
+        f"tvping-like degree: {domain_degree(graph, 'tvping.com')} (paper: 14)"
+    )
+    emit("Figure 8 — The HbbTV ecosystem graph", "\n".join(lines))
+
+    assert report.is_single_component
+    top_domains = [domain for domain, _ in report.top_degree_nodes[:4]]
+    platform_hubs = {
+        "ard-verbund.de",
+        "rtl-interactive.de",
+        "redbutton-p7.de",
+        "hbbtv-suite.de",
+        "tvservices.digital",
+        "zdf-gruppe.de",
+    }
+    assert set(top_domains) & platform_hubs
+    assert domain_degree(graph, "xiti.com") <= 10
+    assert report.single_edge_domains >= 1

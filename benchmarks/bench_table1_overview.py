@@ -1,0 +1,27 @@
+"""Table I — per-run dataset overview.
+
+Paper: General 374 ch / 95,133 req / 0.61% HTTPS / 272 cookies;
+Red 375 / 151,975 / 5.56% / 911; Green 215 / 32,138 / 7.47% / 685;
+Blue 309 / 43,556 / 2.90% / 380; Yellow 381 / 134,690 / 2.29% / 554.
+Shape: Red ≫ General in requests and cookies, HTTPS share < 10%
+everywhere, storage roughly constant per run.
+"""
+
+from benchmarks.conftest import emit
+from repro.core.report import format_overview_table, overview_table
+
+
+def test_table1_overview(benchmark, dataset):
+    rows = benchmark(overview_table, dataset)
+    emit("Table I — Overview of the data collected per measurement run",
+         format_overview_table(rows))
+
+    by_name = {row.run_name: row for row in rows}
+    assert set(by_name) == {"General", "Red", "Green", "Blue", "Yellow"}
+    # Shape criteria.
+    assert by_name["Red"].http_requests > by_name["General"].http_requests
+    assert by_name["Red"].total_cookies > by_name["General"].total_cookies
+    for row in rows:
+        assert row.https_share < 0.10
+        assert row.first_party_cookies <= row.total_cookies
+        assert row.third_party_cookies <= row.total_cookies

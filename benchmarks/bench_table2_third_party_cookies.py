@@ -1,0 +1,40 @@
+"""Table II — third-party cookie-setting parties per run.
+
+Paper: General 36 parties / 167 cookies (mean 2.31); Red 107 / 560
+(3.59); Green 77 / 287 (3.69); Blue 47 / 189 (2.04); Yellow 88 / 300
+(3.2).  Shape: Red has the most cookie-setting third parties, General
+the fewest; means of a few cookies per party with sizable spread.
+"""
+
+from benchmarks.conftest import emit
+from repro.analysis.cookies import third_party_cookie_table
+
+
+def test_table2_third_party_cookies(benchmark, dataset):
+    records_by_run = {
+        name: run.cookie_records for name, run in dataset.runs.items()
+    }
+    rows = benchmark(third_party_cookie_table, records_by_run)
+
+    lines = [
+        f"{'Meas. Run':<10} {'# 3Ps':>6} {'# 3P Cookies':>13} "
+        f"{'Mean':>6} {'Min':>5} {'Max':>5} {'SD':>6}"
+    ]
+    for row in rows:
+        stats = row.cookies_per_party
+        lines.append(
+            f"{row.run_name:<10} {row.third_party_count:>6} "
+            f"{row.third_party_cookie_count:>13} {stats.mean:>6.2f} "
+            f"{stats.minimum:>5.0f} {stats.maximum:>5.0f} {stats.std_dev:>6.2f}"
+        )
+    emit("Table II — Third-party cookie use by measurement run", "\n".join(lines))
+
+    by_name = {row.run_name: row for row in rows}
+    counts = sorted(r.third_party_count for r in rows)
+    # Interaction runs surface the most cookie-setting third parties;
+    # General sits at the bottom of the field (with Blue, whose privacy
+    # screens keep apps quiet).
+    assert by_name["Red"].third_party_count >= counts[-2]
+    assert by_name["General"].third_party_count <= counts[1]
+    for row in rows:
+        assert row.cookies_per_party.mean >= 1.0

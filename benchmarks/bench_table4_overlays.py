@@ -1,0 +1,51 @@
+"""Table IV — distribution of HbbTV overlay types per run.
+
+Paper: "TV Only" dominates every run; media libraries concentrate on
+the Red (4,532) and Yellow (3,376) buttons; privacy overlays peak in
+the Blue run (525); CTMs appear only after button presses.
+"""
+
+from benchmarks.conftest import emit
+from repro.consent.annotate import overlay_distribution
+from repro.hbbtv.overlay import OverlayKind
+
+_ORDER = (
+    OverlayKind.NO_SIGNAL,
+    OverlayKind.CHANNEL_TECH_MESSAGE,
+    OverlayKind.TV_ONLY,
+    OverlayKind.MEDIA_LIBRARY,
+    OverlayKind.PRIVACY,
+    OverlayKind.OTHER,
+)
+
+
+def test_table4_overlays(benchmark, annotations):
+    rows = benchmark(overlay_distribution, annotations)
+
+    header = f"{'Meas. Run':<10}" + "".join(
+        f"{kind.value:>12}" for kind in _ORDER
+    ) + f"{'Total':>9}"
+    lines = [header]
+    for name in ("General", "Red", "Green", "Blue", "Yellow"):
+        row = rows[name]
+        lines.append(
+            f"{name:<10}"
+            + "".join(f"{row.count(kind):>12,}" for kind in _ORDER)
+            + f"{row.total:>9,}"
+        )
+    emit("Table IV — HbbTV overlay types on screenshots", "\n".join(lines))
+
+    # Shape criteria.
+    for name, row in rows.items():
+        assert row.count(OverlayKind.TV_ONLY) > 0
+    assert rows["General"].count(OverlayKind.CHANNEL_TECH_MESSAGE) == 0
+    red_yellow_libraries = rows["Red"].count(OverlayKind.MEDIA_LIBRARY) + rows[
+        "Yellow"
+    ].count(OverlayKind.MEDIA_LIBRARY)
+    other_libraries = rows["General"].count(OverlayKind.MEDIA_LIBRARY) + rows[
+        "Blue"
+    ].count(OverlayKind.MEDIA_LIBRARY)
+    assert red_yellow_libraries > other_libraries
+    assert rows["Blue"].count(OverlayKind.PRIVACY) == max(
+        row.count(OverlayKind.PRIVACY) for row in rows.values()
+    )

@@ -1,0 +1,49 @@
+"""Table V — prevalence of privacy-related information.
+
+Paper: at most 18.72% of channels per run showed a notice or policy;
+the Blue run has the highest per-screenshot share (6.13%); across all
+runs 121 channels (31.03%) showed privacy info at least once, and 290
+channels (74.36%) displayed a pointer to privacy settings.
+"""
+
+from benchmarks.conftest import emit
+from repro.consent.annotate import (
+    channels_with_privacy_info,
+    pointer_prevalence,
+    privacy_prevalence,
+)
+
+
+def test_table5_privacy_prevalence(benchmark, dataset, annotations):
+    rows = benchmark(privacy_prevalence, annotations)
+
+    lines = [
+        f"{'Meas. Run':<10} {'# Shots':>9} {'# Priv.':>8} {'%':>7} "
+        f"{'# Channels':>11} {'# Priv.':>8} {'%':>7}"
+    ]
+    for name in ("General", "Red", "Green", "Blue", "Yellow"):
+        row = rows[name]
+        lines.append(
+            f"{name:<10} {row.total_screenshots:>9,} "
+            f"{row.privacy_screenshots:>8,} {row.screenshot_share:>7.2%} "
+            f"{row.total_channels:>11} {row.privacy_channels:>8} "
+            f"{row.channel_share:>7.2%}"
+        )
+    overall = channels_with_privacy_info(annotations)
+    pointers = pointer_prevalence(annotations)
+    measured = dataset.channels_measured()
+    lines.append(
+        f"\nChannels with privacy info across runs: {len(overall)} "
+        f"({len(overall) / len(measured):.2%}; paper: 121 / 31.03%)"
+    )
+    lines.append(
+        f"Channels with privacy pointers: {len(pointers)} "
+        f"({len(pointers) / len(measured):.2%}; paper: 290 / 74.36%)"
+    )
+    emit("Table V — Prevalence of privacy-related information", "\n".join(lines))
+
+    assert rows["Blue"].screenshot_share == max(
+        row.screenshot_share for row in rows.values()
+    )
+    assert 0.05 < len(overall) / len(measured) < 0.75
+    assert len(pointers) / len(measured) > 0.5

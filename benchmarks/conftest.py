@@ -1,0 +1,54 @@
+"""Shared fixtures for the benchmark harness.
+
+All benchmarks run against one memoized study (seed 7) at the scale
+given by the ``REPRO_SCALE`` environment variable (default 0.2; use
+``REPRO_SCALE=1.0`` for the paper-scale reproduction recorded in
+EXPERIMENTS.md).  Each bench times its analysis step and prints the
+reproduced table/figure rows next to the paper's numbers.
+"""
+
+import pytest
+
+from repro.analysis.parties import identify_first_parties
+from repro.consent.annotate import annotate_screenshots
+from repro.simulation.study import configured_scale, default_study
+
+SEED = 7
+
+
+@pytest.fixture(scope="session")
+def study():
+    return default_study(seed=SEED, scale=configured_scale())
+
+
+@pytest.fixture(scope="session")
+def dataset(study):
+    return study.dataset
+
+
+@pytest.fixture(scope="session")
+def flows(dataset):
+    return list(dataset.all_flows())
+
+
+@pytest.fixture(scope="session")
+def cookie_records(dataset):
+    return list(dataset.all_cookie_records())
+
+
+@pytest.fixture(scope="session")
+def first_parties(study, flows):
+    return identify_first_parties(
+        flows, manual_overrides=study.first_party_overrides
+    )
+
+
+@pytest.fixture(scope="session")
+def annotations(dataset):
+    return annotate_screenshots(dataset.all_screenshots())
+
+
+def emit(title: str, body: str) -> None:
+    """Print a reproduced artifact (visible with ``pytest -s``)."""
+    bar = "=" * 72
+    print(f"\n{bar}\n{title}\n{bar}\n{body}\n")

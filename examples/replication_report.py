@@ -1,0 +1,33 @@
+"""Generate the one-shot replication report.
+
+Runs a study and writes a markdown document comparing every table,
+figure, and headline number against the paper.
+
+Run with::
+
+    python examples/replication_report.py [scale] [output.md]
+"""
+
+import sys
+
+from repro.analysis.report import generate_report
+from repro.simulation import build_world, run_study
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.15
+    output = sys.argv[2] if len(sys.argv) > 2 else ""
+
+    context = run_study(build_world(seed=7, scale=scale))
+    report = generate_report(context)
+
+    if output:
+        with open(output, "w", encoding="utf-8") as handle:
+            handle.write(report)
+        print(f"report written to {output}")
+    else:
+        print(report)
+
+
+if __name__ == "__main__":
+    main()

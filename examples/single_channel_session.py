@@ -1,0 +1,88 @@
+"""Drive a single HbbTV channel interactively — the substrate API.
+
+Shows the low-level stack without the measurement framework: tune a
+TV to one channel, watch the autostart application load and its
+consent notice appear, accept it, open the red-button media library,
+and inspect the traffic the interception proxy recorded.
+
+Run with::
+
+    python examples/single_channel_session.py
+"""
+
+from repro.keys import Key
+from repro.simulation import build_world
+from repro.simulation.study import make_context
+
+
+def show_screen(tv, moment: str) -> None:
+    state = tv.screen_state()
+    extra = ""
+    if state.notice_type_id:
+        extra = f" (notice type {state.notice_type_id}, layer {state.notice_layer})"
+    elif state.caption:
+        extra = f" ({state.caption!r})"
+    print(f"  [{moment:<22}] screen: {state.kind.value}{extra}")
+
+
+def main() -> None:
+    world = build_world(seed=7, scale=0.1)
+    context = make_context(world)
+    tv, proxy, clock = context.tv, context.proxy, context.clock
+
+    # Pick a channel whose operator shows a consent notice and has a
+    # red-button media library.
+    def qualifies(candidate):
+        app = world.app_registry[
+            candidate.ait.autostart_application().entry_url
+        ]
+        return (
+            app.notice_style is not None
+            and not app.notice_style.blue_button_only
+            and Key.RED in app.button_screens
+        )
+
+    channel = next(c for c in world.hbbtv_channels if qualifies(c))
+    print(f"tuning to {channel.name!r} ({channel.meta.operator})")
+
+    proxy.start()
+    tv.power_on()
+    tv.connect_wifi()
+    proxy.notify_channel_switch(channel.channel_id, channel.name, clock.now)
+    tv.tune(channel)
+    show_screen(tv, "after tune")
+
+    print(f"  flows so far: {len(proxy.flows)} "
+          f"(entry document, trackers, app assets)")
+
+    tv.press(Key.ENTER)  # the default focus sits on "accept all" …
+    show_screen(tv, "after ENTER")
+    consent = [f for f in proxy.flows if "/consent" in f.url]
+    print(f"  consent ping recorded: {consent[0].url}")
+
+    tv.wait(60)
+    beacons = [f for f in proxy.flows if "track.gif" in f.url]
+    print(f"  playback beacons after 60 s of watching: {len(beacons)}")
+
+    tv.press(Key.RED)
+    show_screen(tv, "after RED")
+    tv.press(Key.DOWN)
+    tv.press(Key.ENTER)  # open a media item
+    print(f"  flows now: {len(proxy.flows)}")
+
+    tv.press(Key.BLUE)
+    show_screen(tv, "after BLUE")
+
+    print("\ncookie jar after the session:")
+    for cookie in tv.browser.cookie_jar.all()[:8]:
+        print(f"  {cookie.domain:<28} {cookie.name} = {cookie.value[:24]}")
+
+    https = sum(1 for f in proxy.flows if f.is_https)
+    print(
+        f"\nproxy recorded {len(proxy.flows)} flows "
+        f"({https} TLS-intercepted) for this one channel visit"
+    )
+
+
+if __name__ == "__main__":
+    main()

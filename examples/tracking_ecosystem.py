@@ -1,0 +1,141 @@
+"""Map the HbbTV tracking ecosystem (paper §V).
+
+Runs a study and performs the full tracking analysis: first/third-party
+identification, personal-data leakage, tracking pixels, fingerprinting,
+filter-list coverage, cookie syncing, and the ecosystem graph.
+
+Run with::
+
+    python examples/tracking_ecosystem.py [scale]
+"""
+
+import sys
+
+from repro.analysis.channels import channel_level_report
+from repro.analysis.cookiesync import detect_cookie_syncing
+from repro.analysis.filterlists import FilterListSuite
+from repro.analysis.fingerprinting import analyze_fingerprinting
+from repro.analysis.graph import analyze_graph, build_ecosystem_graph
+from repro.analysis.leakage import analyze_leakage
+from repro.analysis.parties import identify_first_parties, party_views
+from repro.analysis.pixels import analyze_pixels
+from repro.simulation import build_world, run_study
+
+
+def heading(title: str) -> None:
+    print(f"\n── {title} " + "─" * max(0, 66 - len(title)))
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.15
+    context = run_study(build_world(seed=7, scale=scale))
+    dataset = context.dataset
+    flows = list(dataset.all_flows())
+    print(f"analyzing {len(flows):,} flows from 5 measurement runs")
+
+    heading("First and third parties (§V-A)")
+    first_parties = identify_first_parties(
+        flows, manual_overrides=context.first_party_overrides
+    )
+    views = party_views(flows, first_parties)
+    with_third = sum(1 for v in views.values() if v.has_third_parties)
+    print(f"channels with identified first party: {len(first_parties)}")
+    print(f"channels embedding third parties:     {with_third}")
+    if context.first_party_overrides:
+        channel = next(iter(context.first_party_overrides))
+        print(
+            f"manually corrected misattribution:    {channel} "
+            "(a signal-encoded tracker was its first request)"
+        )
+
+    heading("Personal-data leakage (§V-B)")
+    leakage = analyze_leakage(flows, first_parties)
+    print(
+        f"channels sending device data:  "
+        f"{len(leakage.channels_leaking_technical)} "
+        f"→ {len(leakage.technical_receivers)} third parties"
+    )
+    print(
+        f"channels sending show/genre:   "
+        f"{len(leakage.channels_leaking_behavioural)}"
+    )
+    print(f"brand-targeting evidence:      {sorted(leakage.brands_seen)}")
+
+    heading("Tracking pixels (§V-D1)")
+    pixels = analyze_pixels(flows)
+    dominant, count = pixels.dominant_party()
+    print(
+        f"{pixels.pixel_count:,} pixel requests = "
+        f"{pixels.traffic_share:.1%} of all traffic"
+    )
+    print(
+        f"{len(pixels.pixel_etld1s)} pixel parties; dominant: {dominant} "
+        f"({count:,} requests on {len(pixels.channels_with_pixels)} channels)"
+    )
+
+    heading("Fingerprinting (§V-D2)")
+    fingerprints = analyze_fingerprinting(flows, first_parties)
+    share = fingerprints.first_party_requests / max(
+        1, fingerprints.related_request_count
+    )
+    print(
+        f"{fingerprints.related_request_count} fingerprinting requests from "
+        f"{len(fingerprints.provider_etld1s)} providers on "
+        f"{len(fingerprints.channels)} channels ({share:.0%} first-party)"
+    )
+
+    heading("Filter-list coverage (§V-D)")
+    coverage = FilterListSuite().coverage(flows)
+    for name, hits in (
+        ("Pi-hole", coverage.on_pihole),
+        ("EasyList", coverage.on_easylist),
+        ("EasyPrivacy", coverage.on_easyprivacy),
+        ("Perflyst SmartTV", coverage.on_perflyst),
+        ("Kamran SmartTV", coverage.on_kamran),
+    ):
+        print(f"{name:<18} {hits:>7,} / {coverage.total:,} "
+              f"({hits / coverage.total:.2%})")
+    print("→ the web lists miss the HbbTV-native trackers almost entirely")
+
+    heading("Cookie syncing (§V-C3)")
+    sync = detect_cookie_syncing(
+        dataset.all_cookie_records(),
+        flows,
+        context.period_start,
+        context.period_end,
+    )
+    print(
+        f"{sync.potential_ids:,} potential IDs; "
+        f"{sync.synced_value_count} synced values between "
+        f"{sorted(sync.syncing_domains())} on "
+        f"{len(sync.channels_with_syncing())} channels"
+    )
+
+    heading("The ecosystem graph (§V-E)")
+    graph = build_ecosystem_graph(flows, first_parties)
+    report = analyze_graph(graph)
+    print(
+        f"{report.node_count} nodes, {report.edge_count} edges, "
+        f"{report.component_count} component(s), "
+        f"avg path {report.average_path_length:.2f}"
+    )
+    print("hubs:", ", ".join(f"{d} ({deg})" for d, deg in report.top_degree_nodes[:5]))
+
+    heading("Per-channel tracking (§V-D3)")
+    profiles = channel_level_report(flows)
+    outlier = profiles.outlier()
+    print(
+        f"{len(profiles.profiles)} channels with tracking; "
+        f"mean {profiles.trackers_stats.mean:.1f} trackers/channel "
+        f"(max {profiles.trackers_stats.maximum:.0f})"
+    )
+    if outlier:
+        print(
+            f"outlier: {outlier.channel_id} with "
+            f"{outlier.tracking_requests:,} tracking requests "
+            f"(runs: {outlier.tracking_by_run})"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Legacy setup shim: the build environment here has no `wheel` package,
+so PEP 517 editable installs fail; this enables `pip install -e .
+--no-use-pep517`.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

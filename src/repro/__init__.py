@@ -1,0 +1,48 @@
+"""repro — reproduction of "Privacy from 5 PM to 6 AM: Tracking and
+Transparency Mechanisms in the HbbTV Ecosystem" (DSN 2025).
+
+Top-level convenience API::
+
+    import repro
+
+    context = repro.run_default_study(scale=0.2)
+    print(repro.table1(context.dataset))
+
+Package map (see DESIGN.md for the full inventory):
+
+- :mod:`repro.dvb` — DVB-S broadcast substrate
+- :mod:`repro.net` — HTTP/cookies/storage substrate
+- :mod:`repro.trackers` — third-party service implementations
+- :mod:`repro.hbbtv` — application specs, runtime, consent notices
+- :mod:`repro.tv` — the webOS-like television
+- :mod:`repro.proxy` — the interception proxy
+- :mod:`repro.core` — the measurement framework (paper §IV)
+- :mod:`repro.simulation` — world generation and study execution
+- :mod:`repro.analysis` — tracking analyses (paper §V)
+- :mod:`repro.consent` — consent-notice analyses (paper §VI)
+- :mod:`repro.policy` — privacy-policy pipeline (paper §VII)
+"""
+
+from repro.core.report import format_overview_table, overview_table
+from repro.simulation import build_world, default_study, run_study
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "build_world",
+    "run_study",
+    "default_study",
+    "run_default_study",
+    "table1",
+    "__version__",
+]
+
+
+def run_default_study(seed: int = 7, scale: float | None = None):
+    """Run (or fetch the memoized) study for ``(seed, scale)``."""
+    return default_study(seed=seed, scale=scale)
+
+
+def table1(dataset) -> str:
+    """Render the Table I overview for a study dataset."""
+    return format_overview_table(overview_table(dataset))

@@ -1,0 +1,123 @@
+"""Command-line interface: ``python -m repro``.
+
+Subcommands:
+
+* ``study``   — run the five measurement runs and print Table I
+* ``funnel``  — run the §IV-B channel-selection funnel
+* ``pixels``  — the §V-D1 tracking-pixel report
+* ``graph``   — the §V-E ecosystem-graph metrics
+* ``policies``— the §VII policy-pipeline summary
+
+All subcommands accept ``--seed`` (default 7) and ``--scale``
+(default 0.15).
+"""
+
+from __future__ import annotations
+
+import argparse
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Privacy from 5 PM to 6 AM' (DSN 2025): "
+            "simulated HbbTV measurement study and analyses."
+        ),
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--scale", type=float, default=0.15)
+    parser.add_argument(
+        "command",
+        choices=("study", "funnel", "pixels", "graph", "policies"),
+        help="which artifact to produce",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    arguments = _build_parser().parse_args(argv)
+    if arguments.command == "funnel":
+        return _funnel(arguments)
+    return _with_study(arguments)
+
+
+def _funnel(arguments) -> int:
+    from repro.core.config import MeasurementConfig
+    from repro.simulation.study import make_context, run_filtering
+    from repro.simulation.world import build_world
+
+    world = build_world(seed=arguments.seed, scale=arguments.scale)
+    context = make_context(
+        world, MeasurementConfig(exploratory_watch_seconds=60.0)
+    )
+    report = run_filtering(context)
+    print(f"{'Step':<24} {'Channels':>9} {'Share':>8}")
+    for step, count, share in report.as_rows():
+        print(f"{step:<24} {count:>9} {share:>8.1%}")
+    return 0
+
+
+def _with_study(arguments) -> int:
+    from repro.simulation.study import default_study
+
+    context = default_study(seed=arguments.seed, scale=arguments.scale)
+    dataset = context.dataset
+
+    if arguments.command == "study":
+        from repro.core.report import format_overview_table, overview_table
+
+        print(format_overview_table(overview_table(dataset)))
+        return 0
+
+    flows = list(dataset.all_flows())
+
+    if arguments.command == "pixels":
+        from repro.analysis.pixels import analyze_pixels
+
+        report = analyze_pixels(flows)
+        dominant, count = report.dominant_party()
+        print(
+            f"{report.pixel_count:,} tracking pixels "
+            f"({report.traffic_share:.1%} of {report.total_flows:,} flows)"
+        )
+        print(
+            f"{len(report.pixel_etld1s)} pixel parties on "
+            f"{len(report.channels_with_pixels)} channels; "
+            f"dominant: {dominant} ({count:,})"
+        )
+        return 0
+
+    if arguments.command == "graph":
+        from repro.analysis.graph import analyze_graph, build_ecosystem_graph
+        from repro.analysis.parties import identify_first_parties
+
+        first_parties = identify_first_parties(
+            flows, manual_overrides=context.first_party_overrides
+        )
+        report = analyze_graph(build_ecosystem_graph(flows, first_parties))
+        print(
+            f"{report.node_count} nodes / {report.edge_count} edges / "
+            f"{report.component_count} component(s); "
+            f"avg path {report.average_path_length:.2f}"
+        )
+        for domain, degree in report.top_degree_nodes:
+            print(f"  {domain:<30} {degree}")
+        return 0
+
+    # policies
+    from repro.policy.corpus import collect_policies
+
+    corpus = collect_policies(flows)
+    print(
+        f"{len(corpus.documents)} policy occurrences, "
+        f"{corpus.distinct_count()} distinct, "
+        f"{len(corpus.near_duplicate_groups())} near-duplicate groups"
+    )
+    print(f"per run: {corpus.per_run_counts()}")
+    print(f"languages: {corpus.per_language_counts()}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,7 @@
+"""Analyses over the study dataset (paper §V).
+
+Each module reproduces one analysis: party identification, personal-data
+leakage, cookies and cookie syncing, filter-list coverage, tracking
+pixels, fingerprinting, per-channel and per-category tracking, the
+ecosystem graph, and the statistics behind the significance claims.
+"""

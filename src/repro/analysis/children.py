@@ -1,0 +1,77 @@
+"""Case study: channels targeting children (§V-D5).
+
+GDPR Art. 8 / Recital 38 demand special care for children's data, yet
+the paper found children's channels track their audience like everyone
+else (Mann–Whitney p > 0.3 vs other channels).  This module reproduces
+that comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.analysis.channels import ChannelLevelReport
+from repro.analysis.cookiepedia import Cookiepedia, CookiePurpose
+from repro.analysis.stats import MannWhitneyResult, mann_whitney
+from repro.core.dataset import CookieRecord
+
+
+@dataclass
+class ChildrenReport:
+    """§V-D5 aggregates."""
+
+    children_channel_ids: set[str]
+    tracking_requests_on_children: int
+    targeting_cookies_on_children: int
+    comparison: MannWhitneyResult | None
+
+    @property
+    def children_are_tracked(self) -> bool:
+        return self.tracking_requests_on_children > 0
+
+    @property
+    def tracks_like_everyone_else(self) -> bool:
+        """True when the children-vs-rest difference is not significant."""
+        return self.comparison is not None and not self.comparison.significant
+
+
+def children_case_study(
+    report: ChannelLevelReport,
+    children_channel_ids: Iterable[str],
+    cookie_records: Iterable[CookieRecord] = (),
+    cookiepedia: Cookiepedia | None = None,
+) -> ChildrenReport:
+    """Compare children's channels against all other channels."""
+    cookiepedia = cookiepedia or Cookiepedia()
+    children = set(children_channel_ids)
+
+    tracking_on_children = sum(
+        p.tracking_requests
+        for cid, p in report.profiles.items()
+        if cid in children
+    )
+    targeting_cookies = 0
+    for record in cookie_records:
+        if record.channel_id not in children or not record.is_third_party:
+            continue
+        if cookiepedia.classify(record.cookie.name) is CookiePurpose.TARGETING:
+            targeting_cookies += 1
+
+    children_trackers = [
+        p.tracker_count for cid, p in report.profiles.items() if cid in children
+    ]
+    other_trackers = [
+        p.tracker_count
+        for cid, p in report.profiles.items()
+        if cid not in children
+    ]
+    comparison = None
+    if children_trackers and other_trackers:
+        comparison = mann_whitney(children_trackers, other_trackers)
+    return ChildrenReport(
+        children_channel_ids=children,
+        tracking_requests_on_children=tracking_on_children,
+        targeting_cookies_on_children=targeting_cookies,
+        comparison=comparison,
+    )

@@ -1,0 +1,193 @@
+"""Cookie-usage analyses (§V-C1 / §V-C2, Table II, Figure 5).
+
+Works over the :class:`~repro.core.dataset.CookieRecord` streams the
+measurement runs produce: distinct-cookie counts, per-channel averages,
+the per-run third-party cookie table, cross-channel third-party reach
+(the Figure 5 long tail), and purpose classification coverage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.analysis.cookiepedia import Cookiepedia, CookiePurpose
+from repro.analysis.stats import DescriptiveStats
+from repro.core.dataset import CookieRecord
+
+
+@dataclass
+class GeneralCookieReport:
+    """§V-C1's aggregate numbers."""
+
+    distinct_cookies: int
+    cookies_per_channel: DescriptiveStats
+    distinct_setting_parties: int
+    channels_with_cookies: int
+    classified_share: float
+    purpose_counts: dict[str, int]
+
+
+def general_cookie_report(
+    records: Iterable[CookieRecord],
+    cookiepedia: Cookiepedia | None = None,
+) -> GeneralCookieReport:
+    """Build the §V-C1 report over cookie records (all runs)."""
+    cookiepedia = cookiepedia or Cookiepedia()
+    records = list(records)
+    distinct = {r.cookie.key() for r in records}
+    per_channel: dict[str, set] = {}
+    parties: set[str] = set()
+    for record in records:
+        if record.channel_id:
+            per_channel.setdefault(record.channel_id, set()).add(
+                record.cookie.key()
+            )
+        parties.add(record.etld1)
+    names = [key[0] for key in distinct]
+    purposes: dict[str, int] = {}
+    for name in names:
+        purpose = cookiepedia.classify(name)
+        purposes[purpose.value] = purposes.get(purpose.value, 0) + 1
+    classified = sum(
+        count
+        for purpose, count in purposes.items()
+        if purpose != CookiePurpose.UNKNOWN.value
+    )
+    return GeneralCookieReport(
+        distinct_cookies=len(distinct),
+        cookies_per_channel=DescriptiveStats.of(
+            [len(keys) for keys in per_channel.values()]
+        ),
+        distinct_setting_parties=len(parties),
+        channels_with_cookies=len(per_channel),
+        classified_share=classified / len(distinct) if distinct else 0.0,
+        purpose_counts=purposes,
+    )
+
+
+@dataclass(frozen=True)
+class ThirdPartyCookieRow:
+    """One Table II row."""
+
+    run_name: str
+    third_party_count: int
+    third_party_cookie_count: int
+    cookies_per_party: DescriptiveStats
+
+
+def third_party_cookie_table(
+    records_by_run: dict[str, list[CookieRecord]],
+) -> list[ThirdPartyCookieRow]:
+    """Build Table II: third-party cookie-setting parties per run."""
+    rows = []
+    for run_name, records in records_by_run.items():
+        third_party = [r for r in records if r.is_third_party]
+        cookies_by_party: dict[str, set] = {}
+        for record in third_party:
+            cookies_by_party.setdefault(record.etld1, set()).add(
+                record.cookie.key()
+            )
+        cookie_keys = {r.cookie.key() for r in third_party}
+        rows.append(
+            ThirdPartyCookieRow(
+                run_name=run_name,
+                third_party_count=len(cookies_by_party),
+                third_party_cookie_count=len(cookie_keys),
+                cookies_per_party=DescriptiveStats.of(
+                    [len(keys) for keys in cookies_by_party.values()]
+                ),
+            )
+        )
+    return rows
+
+
+@dataclass
+class CrossChannelReport:
+    """§V-C2's cross-channel third-party reach (Figure 5 data)."""
+
+    #: third-party eTLD+1 → number of distinct channels it set cookies on.
+    channels_per_party: dict[str, int] = field(default_factory=dict)
+
+    def most_widespread(self) -> tuple[str, int]:
+        if not self.channels_per_party:
+            return "", 0
+        party = max(self.channels_per_party, key=self.channels_per_party.get)
+        return party, self.channels_per_party[party]
+
+    def single_channel_parties(self) -> int:
+        return sum(1 for n in self.channels_per_party.values() if n == 1)
+
+    def parties_on_more_than(self, threshold: int) -> int:
+        return sum(1 for n in self.channels_per_party.values() if n > threshold)
+
+    def long_tail_series(self) -> list[int]:
+        """Channel counts sorted descending — the Figure 5 curve."""
+        return sorted(self.channels_per_party.values(), reverse=True)
+
+    def skewness(self) -> float:
+        """Sample skewness of the series (positive = long right tail)."""
+        values = self.long_tail_series()
+        n = len(values)
+        if n < 3:
+            return 0.0
+        mean = sum(values) / n
+        m2 = sum((v - mean) ** 2 for v in values) / n
+        m3 = sum((v - mean) ** 3 for v in values) / n
+        if m2 == 0:
+            return 0.0
+        return m3 / m2**1.5
+
+
+def cross_channel_report(
+    records: Iterable[CookieRecord],
+    flows=None,
+) -> CrossChannelReport:
+    """Which third parties *access* cookies across how many channels.
+
+    The paper "looked for a third party included on multiple channels
+    and accessed the same cookie(s) on these channels": a party counts
+    on a channel when it set a cookie there *or* received its stored
+    cookie back on a request (runs are stateful, so a cookie set on the
+    first channel travels to every later channel embedding the party).
+    Pass ``flows`` to include the access events; with records only, the
+    report degrades to set-events.
+    """
+    channels_by_party: dict[str, set[str]] = {}
+    cookie_parties: set[str] = set()
+    for record in records:
+        if record.is_third_party:
+            cookie_parties.add(record.etld1)
+        if record.is_third_party and record.channel_id:
+            channels_by_party.setdefault(record.etld1, set()).add(
+                record.channel_id
+            )
+    if flows is not None:
+        for flow in flows:
+            if not flow.channel_id:
+                continue
+            if flow.etld1 not in cookie_parties:
+                continue
+            if flow.request.headers.get("Cookie"):
+                channels_by_party.setdefault(flow.etld1, set()).add(
+                    flow.channel_id
+                )
+    return CrossChannelReport(
+        channels_per_party={
+            party: len(channels) for party, channels in channels_by_party.items()
+        }
+    )
+
+
+def tracking_set_share(
+    records: Iterable[CookieRecord], tracking_urls: set[str]
+) -> float:
+    """Share of cookies set by a request labelled as tracking (92% in
+    the paper).  ``tracking_urls`` holds the URLs of tracking flows."""
+    records = list(records)
+    if not records:
+        return 0.0
+    from_tracking = sum(
+        1 for r in records if r.cookie.set_by_url in tracking_urls
+    )
+    return from_tracking / len(records)

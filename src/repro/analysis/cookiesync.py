@@ -1,0 +1,127 @@
+"""Cookie-sync detection (§V-C3).
+
+Two stages, following Acar et al. as the paper adapts them:
+
+1. **ID mining** — a cookie value is a *potential identifier* if it is
+   10–25 characters long and is not a valid Unix timestamp inside the
+   measurement period (many HbbTV cookies store consent or
+   channel-switch timestamps, which must not count as IDs).
+2. **Sync detection** — a potential ID is *synced* when a request to a
+   party other than the cookie's owner carries that value (query string
+   or path), i.e. one party handed its identifier to another.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.core.dataset import CookieRecord
+from repro.proxy.flow import Flow
+
+ID_MIN_LENGTH = 10
+ID_MAX_LENGTH = 25
+
+#: URL tokens that could be an exchanged identifier.
+_TOKEN_PATTERN = re.compile(r"[A-Za-z0-9_-]{10,25}")
+
+
+def is_potential_identifier(
+    value: str, period_start: float, period_end: float
+) -> bool:
+    """Apply the paper's two-condition ID heuristic."""
+    if not (ID_MIN_LENGTH <= len(value) <= ID_MAX_LENGTH):
+        return False
+    if value.isdigit():
+        try:
+            as_timestamp = float(value)
+        except ValueError:
+            return True
+        if period_start <= as_timestamp <= period_end:
+            return False
+    return True
+
+
+@dataclass(frozen=True)
+class SyncEvent:
+    """One observed identifier hand-off between two parties."""
+
+    identifier: str
+    owner_etld1: str  # party whose cookie held the value
+    receiver_etld1: str  # party that received it in a request
+    channel_id: str
+    run_name: str
+    url: str
+
+
+@dataclass
+class SyncReport:
+    """§V-C3 aggregates."""
+
+    potential_ids: int = 0
+    synced_values: set[str] = field(default_factory=set)
+    events: list[SyncEvent] = field(default_factory=list)
+
+    @property
+    def synced_value_count(self) -> int:
+        return len(self.synced_values)
+
+    def syncing_domains(self) -> set[str]:
+        """eTLD+1s participating in syncing (owners and receivers)."""
+        domains = set()
+        for event in self.events:
+            domains.add(event.owner_etld1)
+            domains.add(event.receiver_etld1)
+        return domains
+
+    def channels_with_syncing(self) -> set[str]:
+        return {e.channel_id for e in self.events if e.channel_id}
+
+    def runs_with_syncing(self) -> set[str]:
+        return {e.run_name for e in self.events if e.run_name}
+
+
+def detect_cookie_syncing(
+    records: Iterable[CookieRecord],
+    flows: Iterable[Flow],
+    period_start: float,
+    period_end: float,
+) -> SyncReport:
+    """Mine potential IDs from cookies and find their cross-party flows."""
+    report = SyncReport()
+    #: value → owner eTLD+1s holding it in a cookie.
+    owners: dict[str, set[str]] = {}
+    for record in records:
+        value = record.cookie.value
+        if is_potential_identifier(value, period_start, period_end):
+            report.potential_ids += 1
+            owners.setdefault(value, set()).add(record.etld1)
+    if not owners:
+        return report
+
+    for flow in flows:
+        url = flow.url
+        receiver = flow.etld1
+        # The ID can appear in the query string or anywhere in the URL;
+        # tokenizing once per URL keeps this linear in the flow count.
+        for value in set(_TOKEN_PATTERN.findall(url)):
+            owner_set = owners.get(value)
+            if owner_set is None:
+                continue
+            foreign_owners = owner_set - {receiver}
+            if not foreign_owners:
+                continue
+            report.synced_values.add(value)
+            for owner in foreign_owners:
+                report.events.append(
+                    SyncEvent(
+                        identifier=value,
+                        owner_etld1=owner,
+                        receiver_etld1=receiver,
+                        channel_id=flow.channel_id,
+                        run_name=flow.run_name,
+                        url=url,
+                    )
+                )
+    return report

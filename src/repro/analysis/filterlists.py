@@ -1,0 +1,236 @@
+"""Filter-list engines and the Table III coverage analysis.
+
+Two engine flavours, as in the paper's toolbox:
+
+* :class:`AbpFilterList` — an Adblock-Plus-syntax matcher covering the
+  rule forms EasyList/EasyPrivacy actually rely on for network
+  blocking: ``||domain^`` anchors (with optional path), plain substring
+  rules, and ``@@`` exceptions.  Cosmetic rules and rule options are
+  ignored, matching how measurement studies use these lists for URL
+  classification.
+* :class:`HostsFilterList` — a hosts-file matcher (Pi-hole style):
+  exact hostname match, plus subdomain matching when a listed entry is
+  itself a registrable domain (Pi-hole treats bare domains that way for
+  its blocklist sources).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.analysis import listdata
+from repro.net.url import URL, URLError, registrable_domain
+from repro.proxy.flow import Flow
+
+
+@dataclass(frozen=True)
+class _DomainRule:
+    domain: str
+    path_prefix: str = ""
+
+
+def _host_covered(host: str, rule_domain: str) -> bool:
+    """ABP ``||domain`` semantics: the host or any of its subdomains."""
+    return host == rule_domain or host.endswith("." + rule_domain)
+
+
+class AbpFilterList:
+    """Minimal Adblock Plus list matcher (network rules only)."""
+
+    def __init__(self, name: str, rules_text: str) -> None:
+        self.name = name
+        self._domain_rules: list[_DomainRule] = []
+        self._substring_rules: list[str] = []
+        self._exception_domains: list[_DomainRule] = []
+        self._parse(rules_text)
+
+    def _parse(self, text: str) -> None:
+        for raw_line in text.splitlines():
+            line = raw_line.strip()
+            if not line or line.startswith("!") or line.startswith("["):
+                continue
+            if "##" in line or "#@#" in line:
+                continue  # cosmetic rules are out of scope
+            exception = line.startswith("@@")
+            if exception:
+                line = line[2:]
+            line = line.split("$", 1)[0]  # drop rule options
+            if not line:
+                continue
+            if line.startswith("||"):
+                rule = self._parse_domain_rule(line[2:])
+                if rule is None:
+                    continue
+                if exception:
+                    self._exception_domains.append(rule)
+                else:
+                    self._domain_rules.append(rule)
+            elif not exception:
+                self._substring_rules.append(line)
+
+    @staticmethod
+    def _parse_domain_rule(body: str) -> _DomainRule | None:
+        body = body.rstrip("^")
+        if not body:
+            return None
+        if "/" in body:
+            domain, path = body.split("/", 1)
+            return _DomainRule(domain.lower(), "/" + path)
+        if "^" in body:
+            domain, path = body.split("^", 1)
+            return _DomainRule(domain.lower(), path)
+        return _DomainRule(body.lower())
+
+    def matches(self, url: str) -> bool:
+        """True if the list would block a request to ``url``."""
+        try:
+            parsed = URL.parse(url)
+        except URLError:
+            return False
+        host = parsed.host
+        for rule in self._exception_domains:
+            if _host_covered(host, rule.domain) and parsed.path.startswith(
+                rule.path_prefix or "/"
+            ):
+                return False
+        for rule in self._domain_rules:
+            if _host_covered(host, rule.domain):
+                if not rule.path_prefix or parsed.path.startswith(
+                    rule.path_prefix
+                ):
+                    return True
+        return any(substring in url for substring in self._substring_rules)
+
+    def __len__(self) -> int:
+        return (
+            len(self._domain_rules)
+            + len(self._substring_rules)
+            + len(self._exception_domains)
+        )
+
+
+class HostsFilterList:
+    """Hosts-file matcher (Pi-hole and the smart-TV lists)."""
+
+    def __init__(self, name: str, hosts_text: str) -> None:
+        self.name = name
+        self._exact_hosts: set[str] = set()
+        self._domain_entries: set[str] = set()
+        self._parse(hosts_text)
+
+    def _parse(self, text: str) -> None:
+        for raw_line in text.splitlines():
+            line = raw_line.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = line.split()
+            host = (parts[1] if parts[0] in ("0.0.0.0", "127.0.0.1") else parts[0])
+            host = host.lower().rstrip(".")
+            if not host:
+                continue
+            self._exact_hosts.add(host)
+            if registrable_domain(host) == host:
+                self._domain_entries.add(host)
+
+    def matches_host(self, host: str) -> bool:
+        host = host.lower().rstrip(".")
+        if host in self._exact_hosts:
+            return True
+        return registrable_domain(host) in self._domain_entries
+
+    def matches(self, url: str) -> bool:
+        try:
+            return self.matches_host(URL.parse(url).host)
+        except URLError:
+            return False
+
+    def __len__(self) -> int:
+        return len(self._exact_hosts)
+
+
+# -- the study's list suite ---------------------------------------------------------
+
+
+def easylist() -> AbpFilterList:
+    return AbpFilterList("EasyList", listdata.EASYLIST_TEXT)
+
+
+def easyprivacy() -> AbpFilterList:
+    return AbpFilterList("EasyPrivacy", listdata.EASYPRIVACY_TEXT)
+
+
+def pihole() -> HostsFilterList:
+    return HostsFilterList("Pi-hole", listdata.PIHOLE_TEXT)
+
+
+def perflyst() -> HostsFilterList:
+    return HostsFilterList("Perflyst SmartTV", listdata.PERFLYST_SMARTTV_TEXT)
+
+
+def kamran() -> HostsFilterList:
+    return HostsFilterList("Kamran SmartTV", listdata.KAMRAN_SMARTTV_TEXT)
+
+
+@dataclass
+class ListCoverage:
+    """How many flows each list flags (Table III's list columns)."""
+
+    run_name: str
+    total: int
+    on_pihole: int
+    on_easylist: int
+    on_easyprivacy: int
+    on_perflyst: int = 0
+    on_kamran: int = 0
+
+
+class FilterListSuite:
+    """All five lists, parsed once and applied together."""
+
+    def __init__(self) -> None:
+        self.easylist = easylist()
+        self.easyprivacy = easyprivacy()
+        self.pihole = pihole()
+        self.perflyst = perflyst()
+        self.kamran = kamran()
+
+    def coverage(self, flows: Iterable[Flow], run_name: str = "") -> ListCoverage:
+        """Count list hits over a flow set."""
+        total = on_pihole = on_easylist = on_easyprivacy = 0
+        on_perflyst = on_kamran = 0
+        for flow in flows:
+            total += 1
+            url = flow.url
+            if self.pihole.matches_host(flow.host):
+                on_pihole += 1
+            if self.easylist.matches(url):
+                on_easylist += 1
+            if self.easyprivacy.matches(url):
+                on_easyprivacy += 1
+            if self.perflyst.matches_host(flow.host):
+                on_perflyst += 1
+            if self.kamran.matches_host(flow.host):
+                on_kamran += 1
+        return ListCoverage(
+            run_name=run_name,
+            total=total,
+            on_pihole=on_pihole,
+            on_easylist=on_easylist,
+            on_easyprivacy=on_easyprivacy,
+            on_perflyst=on_perflyst,
+            on_kamran=on_kamran,
+        )
+
+    def flags_url(self, url: str, host: str | None = None) -> bool:
+        """Any-list hit: the 'known tracker' predicate used elsewhere."""
+        if host is None:
+            try:
+                host = URL.parse(url).host
+            except URLError:
+                return False
+        return (
+            self.pihole.matches_host(host)
+            or self.easylist.matches(url)
+            or self.easyprivacy.matches(url)
+        )

@@ -1,0 +1,84 @@
+"""TV-fingerprinting detection (§V-D2).
+
+Flags JavaScript responses whose body mentions APIs commonly used for
+fingerprinting (Canvas, WebGL, AudioContext, plugin/hardware probing) or
+known fingerprinting libraries (Fingerprint2).  As in the paper, this is
+a content-based lower bound — scripts are not executed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.proxy.flow import Flow
+
+#: API and library markers searched for in script bodies.
+FINGERPRINT_API_MARKERS = (
+    "canvas.toDataURL",
+    "toDataURL",
+    "getContext('webgl')",
+    'getContext("webgl")',
+    "AudioContext",
+    "OfflineAudioContext",
+    "navigator.plugins",
+    "navigator.hardwareConcurrency",
+    "screen.colorDepth",
+    "Fingerprint2",
+    "fingerprintjs",
+)
+
+
+def is_fingerprinting_script(flow: Flow) -> bool:
+    """JS response containing at least one fingerprinting marker."""
+    if not flow.response.is_javascript:
+        return False
+    body = flow.response.body_text()
+    return any(marker in body for marker in FINGERPRINT_API_MARKERS)
+
+
+def is_fingerprint_related(flow: Flow) -> bool:
+    """Script *or* the collect beacon a fingerprint script fires.
+
+    The submission carries the computed fingerprint (``fp=`` parameter),
+    which the traffic analysis counts as a fingerprinting request.
+    """
+    if is_fingerprinting_script(flow):
+        return True
+    return "fp=" in flow.url and "/collect" in flow.url
+
+
+@dataclass
+class FingerprintReport:
+    """Aggregate fingerprinting statistics for one flow set."""
+
+    script_count: int = 0
+    related_request_count: int = 0
+    provider_etld1s: set[str] = field(default_factory=set)
+    channels: set[str] = field(default_factory=set)
+    #: Requests where the providing host belongs to the channel's own
+    #: first party (the paper: 88% of fingerprinting was first-party).
+    first_party_requests: int = 0
+
+
+def analyze_fingerprinting(
+    flows: Iterable[Flow],
+    first_parties: dict[str, str] | None = None,
+) -> FingerprintReport:
+    """Build the §V-D2 fingerprinting report."""
+    report = FingerprintReport()
+    first_parties = first_parties or {}
+    for flow in flows:
+        script = is_fingerprinting_script(flow)
+        related = script or is_fingerprint_related(flow)
+        if not related:
+            continue
+        report.related_request_count += 1
+        if script:
+            report.script_count += 1
+        report.provider_etld1s.add(flow.etld1)
+        if flow.channel_id:
+            report.channels.add(flow.channel_id)
+            if first_parties.get(flow.channel_id) == flow.etld1:
+                report.first_party_requests += 1
+    return report

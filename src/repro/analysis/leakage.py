@@ -1,0 +1,108 @@
+"""Personal-data collection analysis (§V-B).
+
+Keyword search over request URLs for two kinds of collected data:
+
+* **technical data** — manufacturer, model, OS version, language, local
+  time, IP/MAC address of the device;
+* **behavioural data** — the currently watched show's title/genre, plus
+  circumstantial evidence like brand names unrelated to the programme.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+from urllib.parse import unquote
+
+from repro.dvb.epg import GENRES
+from repro.proxy.flow import Flow
+
+#: The device attributes the paper searched for (its own TV's identity).
+TECHNICAL_KEYWORDS = (
+    "LGE",
+    "43UK6300LLB",
+    "WEBOS4.0",
+    "05.40.26",
+    "W4_LM18A",
+    "German",
+)
+
+#: Query parameter names that carry device identity in our ecosystem.
+TECHNICAL_PARAMS = ("mf", "md", "os", "lang", "ip", "mac")
+
+#: Parameter names carrying programme information.
+BEHAVIOURAL_PARAMS = ("show", "genre", "title", "programme")
+
+#: Brand names whose appearance is circumstantial profiling evidence.
+BRAND_KEYWORDS = ("loreal", "nivea", "haribo", "volkswagen", "lidl")
+
+
+@dataclass
+class LeakageReport:
+    """§V-B aggregates."""
+
+    channels_leaking_technical: set[str] = field(default_factory=set)
+    technical_receivers: set[str] = field(default_factory=set)
+    channels_leaking_behavioural: set[str] = field(default_factory=set)
+    behavioural_receivers: set[str] = field(default_factory=set)
+    requests_with_personal_data: int = 0
+    requests_with_brand_evidence: int = 0
+    brands_seen: set[str] = field(default_factory=set)
+
+
+def flow_leaks_technical_data(flow: Flow) -> bool:
+    url = unquote(flow.url)
+    if any(keyword in url for keyword in TECHNICAL_KEYWORDS):
+        return True
+    params = flow.request.query_params()
+    return any(name in params for name in TECHNICAL_PARAMS)
+
+
+def flow_leaks_behavioural_data(flow: Flow) -> bool:
+    params = flow.request.query_params()
+    if any(name in params and params[name] for name in BEHAVIOURAL_PARAMS):
+        return True
+    url = unquote(flow.url).lower()
+    return any(f"genre={genre}" in url for genre in GENRES)
+
+
+def flow_has_brand_evidence(flow: Flow) -> set[str]:
+    url = unquote(flow.url).lower()
+    return {brand for brand in BRAND_KEYWORDS if brand in url}
+
+
+def analyze_leakage(
+    flows: Iterable[Flow],
+    first_parties: dict[str, str] | None = None,
+) -> LeakageReport:
+    """Run the §V-B keyword search over a flow set.
+
+    Receivers are restricted to *third parties* when ``first_parties``
+    is given (the paper counts third-party recipients of device data).
+    """
+    first_parties = first_parties or {}
+    report = LeakageReport()
+    for flow in flows:
+        is_third_party = (
+            flow.channel_id in first_parties
+            and flow.etld1 != first_parties[flow.channel_id]
+        )
+        technical = flow_leaks_technical_data(flow)
+        behavioural = flow_leaks_behavioural_data(flow)
+        if technical:
+            report.channels_leaking_technical.add(flow.channel_id)
+            if is_third_party or not first_parties:
+                report.technical_receivers.add(flow.etld1)
+        if behavioural:
+            report.channels_leaking_behavioural.add(flow.channel_id)
+            if is_third_party or not first_parties:
+                report.behavioural_receivers.add(flow.etld1)
+        if technical or behavioural:
+            report.requests_with_personal_data += 1
+        brands = flow_has_brand_evidence(flow)
+        if brands:
+            report.requests_with_brand_evidence += 1
+            report.brands_seen.update(brands)
+    report.channels_leaking_technical.discard("")
+    report.channels_leaking_behavioural.discard("")
+    return report

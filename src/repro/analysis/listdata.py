@@ -1,0 +1,116 @@
+"""Embedded filter lists.
+
+Miniature but structurally faithful versions of the lists the paper
+evaluated: EasyList and EasyPrivacy (ABP rule syntax), the standard
+Pi-hole hosts list, and the two smart-TV lists (Perflyst's
+PiHoleBlocklist and Kamran's Smart TV list).
+
+The lists deliberately encode the paper's central coverage finding: the
+web lists know classic web adtech but miss the HbbTV-native trackers
+(the tvping-like beacon host above all), the general Pi-hole list covers
+a bit more (it knows smartclip-like and google-analytics-like hosts),
+and the smart-TV lists — despite their name — block *less* than the
+general Pi-hole list because they target smart-TV platform telemetry
+(Samsung/LG ads) rather than broadcaster-side HbbTV tracking.
+"""
+
+EASYLIST_TEXT = """\
+[Adblock Plus 2.0]
+! Title: EasyList (embedded excerpt)
+! Classic display-advertising domains
+||doubleclick.net^
+||googlesyndication.com^
+||adnxs.com^
+||criteo.com^
+||amazon-adsystem.com^
+||adform.net^
+||rubiconproject.com^
+||pubmatic.com^
+||openx.net^
+||taboola.com^
+||outbrain.com^
+||smartadserver.com^
+! Generic ad-path rules
+/adserver/
+/banners/ad
+&ad_slot=
+! Exception: self-served house ads of the public ARD-like platform
+@@||ard-verbund.de/adserver/house^
+"""
+
+EASYPRIVACY_TEXT = """\
+[Adblock Plus 2.0]
+! Title: EasyPrivacy (embedded excerpt)
+||google-analytics.com^
+||googletagmanager.com^
+||scorecardresearch.com^
+||chartbeat.com^
+||hotjar.com^
+||quantserve.com^
+||ioam.de^
+||webtrekk.net^
+/fingerprint2.
+/analytics.js
+"""
+
+PIHOLE_TEXT = """\
+# StevenBlack unified hosts (embedded excerpt)
+0.0.0.0 ad.doubleclick.net
+0.0.0.0 stats.g.doubleclick.net
+0.0.0.0 pagead2.googlesyndication.com
+0.0.0.0 secure.adnxs.com
+0.0.0.0 static.criteo.com
+0.0.0.0 gum.criteo.com
+0.0.0.0 www.google-analytics.com
+0.0.0.0 ssl.google-analytics.com
+0.0.0.0 www.googletagmanager.com
+0.0.0.0 sb.scorecardresearch.com
+0.0.0.0 logs1.xiti.com
+0.0.0.0 stats.xiti.com
+0.0.0.0 script.ioam.de
+0.0.0.0 de.ioam.de
+0.0.0.0 track.adform.net
+0.0.0.0 ads.smartclip.net
+0.0.0.0 cdn.smartclip.net
+0.0.0.0 sync.smartclip.net
+0.0.0.0 pixel.quantserve.com
+0.0.0.0 static.chartbeat.com
+0.0.0.0 collector.tvsquared.com
+0.0.0.0 events.samsungads.com
+0.0.0.0 lgsmartad.com
+0.0.0.0 us.ad.lgsmartad.com
+0.0.0.0 info.tvsquared.com
+0.0.0.0 ads.samba.tv
+"""
+
+PERFLYST_SMARTTV_TEXT = """\
+# Perflyst/PiHoleBlocklist SmartTV.txt (embedded excerpt)
+# Focused on TV-platform telemetry and platform ads
+events.samsungads.com
+samsungacr.com
+log.acr.samsungads.com
+lgsmartad.com
+us.ad.lgsmartad.com
+de.ad.lgsmartad.com
+ngfts.lge.com
+smartclip.net
+ads.smartclip.net
+cdn.smartclip.net
+collector.tvsquared.com
+app.adjust.com
+vizio.com
+alphonso.tv
+samba.tv
+"""
+
+KAMRAN_SMARTTV_TEXT = """\
+# hkamran80/blocklists smart-tv (embedded excerpt)
+# Narrow: platform vendors only
+events.samsungads.com
+samsungacr.com
+lgsmartad.com
+us.ad.lgsmartad.com
+alphonso.tv
+samba.tv
+vizio.com
+"""

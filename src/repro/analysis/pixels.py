@@ -1,0 +1,80 @@
+"""Tracking-pixel detection (§V-D1).
+
+A response is a tracking pixel iff (1) its content type says image,
+(2) its body is smaller than 45 bytes (roughly an empty image), and
+(3) the status is 200 — the exact three-condition heuristic the paper
+adopts from prior leakage work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.proxy.flow import Flow
+
+PIXEL_SIZE_THRESHOLD = 45
+
+
+def is_tracking_pixel(
+    flow: Flow, size_threshold: int = PIXEL_SIZE_THRESHOLD
+) -> bool:
+    """Apply the paper's three-condition pixel heuristic."""
+    response = flow.response
+    return (
+        response.is_image
+        and response.size < size_threshold
+        and response.status == 200
+    )
+
+
+def pixel_flows(
+    flows: Iterable[Flow], size_threshold: int = PIXEL_SIZE_THRESHOLD
+) -> list[Flow]:
+    return [f for f in flows if is_tracking_pixel(f, size_threshold)]
+
+
+@dataclass
+class PixelReport:
+    """Aggregate pixel statistics for one flow set."""
+
+    total_flows: int = 0
+    pixel_count: int = 0
+    pixel_hosts: set[str] = field(default_factory=set)
+    pixel_etld1s: set[str] = field(default_factory=set)
+    channels_with_pixels: set[str] = field(default_factory=set)
+    requests_per_etld1: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def traffic_share(self) -> float:
+        """Share of all traffic that is pixel tracking (paper: 60.7%)."""
+        if self.total_flows == 0:
+            return 0.0
+        return self.pixel_count / self.total_flows
+
+    def dominant_party(self) -> tuple[str, int]:
+        """The eTLD+1 issuing the most pixels (the tvping-like host)."""
+        if not self.requests_per_etld1:
+            return "", 0
+        etld1 = max(self.requests_per_etld1, key=self.requests_per_etld1.get)
+        return etld1, self.requests_per_etld1[etld1]
+
+
+def analyze_pixels(
+    flows: Iterable[Flow], size_threshold: int = PIXEL_SIZE_THRESHOLD
+) -> PixelReport:
+    """Build the §V-D1 pixel report over a flow set."""
+    report = PixelReport()
+    for flow in flows:
+        report.total_flows += 1
+        if not is_tracking_pixel(flow, size_threshold):
+            continue
+        report.pixel_count += 1
+        report.pixel_hosts.add(flow.host)
+        report.pixel_etld1s.add(flow.etld1)
+        if flow.channel_id:
+            report.channels_with_pixels.add(flow.channel_id)
+        report.requests_per_etld1[flow.etld1] = (
+            report.requests_per_etld1.get(flow.etld1, 0) + 1
+        )
+    return report

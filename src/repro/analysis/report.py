@@ -1,0 +1,261 @@
+"""One-shot replication report over a finished study.
+
+``generate_report`` assembles every table/figure/experiment of the
+paper into a single markdown document, with the paper's reference
+numbers inline.  The benchmarks regenerate artifacts one by one; this
+module is the "give me everything" entry point used by
+``examples/replication_report.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.channels import (
+    category_effect_test,
+    category_report,
+    channel_level_report,
+)
+from repro.analysis.children import children_case_study
+from repro.analysis.cookies import (
+    cross_channel_report,
+    general_cookie_report,
+    third_party_cookie_table,
+)
+from repro.analysis.filterlists import FilterListSuite
+from repro.analysis.fingerprinting import analyze_fingerprinting
+from repro.analysis.graph import analyze_graph, build_ecosystem_graph
+from repro.analysis.leakage import analyze_leakage
+from repro.analysis.parties import identify_first_parties
+from repro.analysis.pixels import analyze_pixels
+from repro.consent.annotate import (
+    annotate_screenshots,
+    channels_with_privacy_info,
+    overlay_distribution,
+    pointer_prevalence,
+    privacy_prevalence,
+)
+from repro.core.report import format_overview_table, overview_table
+from repro.hbbtv.overlay import OverlayKind
+from repro.policy.corpus import collect_policies
+from repro.policy.discrepancy import DiscrepancyKind, audit_discrepancies
+from repro.policy.practices import annotate_practices
+
+
+@dataclass
+class ReportSection:
+    title: str
+    body: str
+
+    def as_markdown(self) -> str:
+        return f"## {self.title}\n\n{self.body}\n"
+
+
+def generate_report(context) -> str:
+    """Build the full replication report for a study context."""
+    dataset = context.dataset
+    flows = list(dataset.all_flows())
+    records = list(dataset.all_cookie_records())
+    first_parties = identify_first_parties(
+        flows, manual_overrides=context.first_party_overrides
+    )
+    annotations = annotate_screenshots(dataset.all_screenshots())
+
+    sections = [
+        _section_overview(context, dataset),
+        _section_tracking(flows, first_parties),
+        _section_cookies(dataset, records, flows),
+        _section_graph(flows, first_parties),
+        _section_consent(dataset, annotations),
+        _section_policies(context, flows, first_parties),
+        _section_children(context, flows, records),
+    ]
+    header = (
+        "# Replication report — "
+        '"Privacy from 5 PM to 6 AM" (DSN 2025)\n\n'
+        f"World seed {context.world.seed}, scale {context.world.scale}; "
+        f"{dataset.total_requests():,} HTTP(S) requests across "
+        f"{len(dataset.runs)} measurement runs.\n"
+    )
+    return header + "\n" + "\n".join(s.as_markdown() for s in sections)
+
+
+def _section_overview(context, dataset) -> ReportSection:
+    body = "```\n" + format_overview_table(overview_table(dataset)) + "\n```"
+    return ReportSection("Table I — dataset overview", body)
+
+
+def _section_tracking(flows, first_parties) -> ReportSection:
+    suite = FilterListSuite()
+    coverage = suite.coverage(flows)
+    pixels = analyze_pixels(flows)
+    fingerprints = analyze_fingerprinting(flows, first_parties)
+    leakage = analyze_leakage(flows, first_parties)
+    dominant, dominant_count = pixels.dominant_party()
+    first_party_share = fingerprints.first_party_requests / max(
+        1, fingerprints.related_request_count
+    )
+    lines = [
+        f"- filter lists flag {coverage.on_pihole:,} (Pi-hole) / "
+        f"{coverage.on_easylist:,} (EasyList) / "
+        f"{coverage.on_easyprivacy:,} (EasyPrivacy) of "
+        f"{coverage.total:,} requests — the web lists miss the "
+        "HbbTV-native trackers (paper: 1.17% / 0.5% / 0.15%)",
+        f"- smart-TV lists block less: Perflyst {coverage.on_perflyst:,}, "
+        f"Kamran {coverage.on_kamran:,} (paper: −27% / −64% vs Pi-hole)",
+        f"- {pixels.pixel_count:,} tracking pixels = "
+        f"{pixels.traffic_share:.1%} of traffic (paper: 60.7%), dominated "
+        f"by {dominant} with {dominant_count:,} requests",
+        f"- fingerprinting on {len(fingerprints.channels)} channels from "
+        f"{len(fingerprints.provider_etld1s)} providers, "
+        f"{first_party_share:.0%} first-party (paper: 60 ch / 21 / 88%)",
+        f"- device data leaks from "
+        f"{len(leakage.channels_leaking_technical)} channels to "
+        f"{len(leakage.technical_receivers)} third parties (paper: 112 → 9)",
+        f"- brand-targeting evidence: {sorted(leakage.brands_seen)}",
+    ]
+    return ReportSection("§V — the tracking ecosystem", "\n".join(lines))
+
+
+def _section_cookies(dataset, records, flows) -> ReportSection:
+    general = general_cookie_report(records)
+    by_run = {name: run.cookie_records for name, run in dataset.runs.items()}
+    table2 = third_party_cookie_table(by_run)
+    cross = cross_channel_report(records, flows)
+    widest, reach = cross.most_widespread()
+    lines = [
+        f"- {general.distinct_cookies:,} distinct cookies from "
+        f"{general.distinct_setting_parties} parties on "
+        f"{general.channels_with_cookies} channels",
+        f"- Cookiepedia classifies only {general.classified_share:.1%} "
+        "(paper: 20.5% vs 57% on the Web)",
+        f"- most widespread third party: {widest} on {reach} channels "
+        "(paper: xiti on 119)",
+        f"- {cross.single_channel_parties()} third parties on a single "
+        f"channel, {cross.parties_on_more_than(10)} on more than ten "
+        "(paper: 38 / 25)",
+        "",
+        "| run | # 3Ps | # 3P cookies | mean/party |",
+        "|---|---|---|---|",
+    ]
+    for row in table2:
+        lines.append(
+            f"| {row.run_name} | {row.third_party_count} | "
+            f"{row.third_party_cookie_count} | "
+            f"{row.cookies_per_party.mean:.2f} |"
+        )
+    return ReportSection("§V-C — cookies (Table II, Figure 5)", "\n".join(lines))
+
+
+def _section_graph(flows, first_parties) -> ReportSection:
+    graph = build_ecosystem_graph(flows, first_parties)
+    report = analyze_graph(graph)
+    hubs = ", ".join(f"{d} ({deg})" for d, deg in report.top_degree_nodes[:5])
+    lines = [
+        f"- {report.node_count} nodes, {report.edge_count} edges, "
+        f"{report.component_count} component(s) (paper: 429/675/1)",
+        f"- average path length {report.average_path_length:.2f} "
+        "(paper: 2.91)",
+        f"- hubs: {hubs}",
+        f"- {report.single_edge_domains} single-edge domains (paper: 39); "
+        f"{report.nodes_with_degree_at_least_10} nodes ≥10 edges (paper: 18)",
+    ]
+    return ReportSection("§V-E — ecosystem graph (Figure 8)", "\n".join(lines))
+
+
+def _section_consent(dataset, annotations) -> ReportSection:
+    distribution = overlay_distribution(annotations)
+    prevalence = privacy_prevalence(annotations)
+    measured = dataset.channels_measured()
+    overall = channels_with_privacy_info(annotations)
+    pointers = pointer_prevalence(annotations)
+    lines = [
+        "| run | shots | privacy shots | privacy channels |",
+        "|---|---|---|---|",
+    ]
+    for name in ("General", "Red", "Green", "Blue", "Yellow"):
+        if name not in prevalence:
+            continue
+        row = prevalence[name]
+        lines.append(
+            f"| {name} | {row.total_screenshots:,} | "
+            f"{row.privacy_screenshots:,} ({row.screenshot_share:.2%}) | "
+            f"{row.privacy_channels} ({row.channel_share:.2%}) |"
+        )
+    libraries = sum(
+        row.count(OverlayKind.MEDIA_LIBRARY) for row in distribution.values()
+    )
+    lines.extend(
+        [
+            "",
+            f"- media-library overlays: {libraries:,} shots, concentrated "
+            "on Red/Yellow (paper: 4,532 / 3,376)",
+            f"- channels with privacy info across runs: {len(overall)} "
+            f"({len(overall) / max(1, len(measured)):.1%}; paper: 31.03%)",
+            f"- channels with privacy pointers: {len(pointers)} "
+            f"({len(pointers) / max(1, len(measured)):.1%}; paper: 74.36%)",
+        ]
+    )
+    return ReportSection("§VI — consent notices (Tables IV, V)", "\n".join(lines))
+
+
+def _section_policies(context, flows, first_parties) -> ReportSection:
+    corpus = collect_policies(flows)
+    distinct = list(corpus.distinct_texts().values())
+    practice_annotations = [annotate_practices(d.text) for d in distinct]
+    total = max(1, len(practice_annotations))
+    hbbtv_share = sum(
+        1 for a in practice_annotations if a.mentions_hbbtv
+    ) / total
+    by_channel = {
+        d.channel_id: annotate_practices(d.text)
+        for d in corpus.documents
+        if d.channel_id
+    }
+    audit = audit_discrepancies(flows, by_channel, first_parties)
+    violations = audit.by_kind(DiscrepancyKind.TIME_WINDOW_VIOLATION)
+    lines = [
+        f"- {len(corpus.documents):,} policy occurrences "
+        f"(per run: {corpus.per_run_counts()}; paper: 2,656, Yellow first)",
+        f"- {corpus.distinct_count()} distinct texts after SHA-1 dedup "
+        f"(paper: 57); {len(corpus.near_duplicate_groups())} SimHash "
+        "near-duplicate groups (paper: 11)",
+        f"- {hbbtv_share:.0%} mention 'HbbTV' (paper: 72%)",
+        f"- discrepancies: {len(violations)} time-window violations, "
+        f"{len(audit.by_kind(DiscrepancyKind.UNDISCLOSED_THIRD_PARTIES))} "
+        "undisclosed-third-party findings, "
+        f"{len(audit.by_kind(DiscrepancyKind.OPT_OUT_ONLY))} opt-out-only",
+    ]
+    for violation in violations[:3]:
+        lines.append(f"  - `{violation.channel_id}`: {violation.detail}")
+    return ReportSection(
+        '§VII — privacy policies and the "5 PM to 6 AM" case', "\n".join(lines)
+    )
+
+
+def _section_children(context, flows, records) -> ReportSection:
+    profiles = channel_level_report(flows)
+    result = children_case_study(
+        profiles, context.world.children_channel_ids, records
+    )
+    by_category = category_report(profiles, context.world.categories)
+    effect = category_effect_test(by_category)
+    comparison = (
+        f"p = {result.comparison.p_value:.3f}"
+        if result.comparison is not None
+        else "n/a"
+    )
+    lines = [
+        f"- {len(result.children_channel_ids)} children's channels carry "
+        f"{result.tracking_requests_on_children:,} tracking requests "
+        "(paper: 12 / 1,946)",
+        f"- children vs rest (Mann–Whitney): {comparison} "
+        "(paper: p > 0.3 — children's TV tracks like everyone else)",
+        f"- category effect (Kruskal–Wallis): p = {effect.p_value:.3g}, "
+        f"η² = {effect.eta_squared:.3f} ({effect.effect_size.value})",
+        f"- top-5 categories carry {by_category.top5_request_share():.1%} "
+        "of tracking requests (paper: 98.5%)",
+    ]
+    return ReportSection(
+        "§V-D — categories and children (Figures 6, 7)", "\n".join(lines)
+    )

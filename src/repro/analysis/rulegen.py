@@ -1,0 +1,196 @@
+"""Filter-rule derivation from observed traffic.
+
+The paper's future-work proposal: "extend existing Web-based filter
+lists by (automatically) deriving additional filter rules from observed
+traffic that block trackers for HbbTV".  This module implements it:
+
+1. classify the observed flows with the tracking detectors,
+2. aggregate per-host evidence (pixel hits, fingerprint hits,
+   identifier-bearing requests) against benign traffic from the host,
+3. emit hosts-list rules for hosts whose tracking share clears a
+   precision threshold, skipping hosts the web lists already block and
+   hosts that double as first parties (blocking those would break the
+   apps themselves),
+4. score the augmented list's recall/precision against the detector
+   ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.analysis.filterlists import FilterListSuite, HostsFilterList
+from repro.analysis.tracking import TrackingClassifier
+from repro.proxy.flow import Flow
+
+
+@dataclass
+class HostEvidence:
+    """Per-host tallies used to decide whether to emit a rule."""
+
+    host: str
+    etld1: str
+    total_requests: int = 0
+    tracking_requests: int = 0
+    pixel_requests: int = 0
+    fingerprint_requests: int = 0
+    channels: set[str] = field(default_factory=set)
+
+    @property
+    def tracking_share(self) -> float:
+        if self.total_requests == 0:
+            return 0.0
+        return self.tracking_requests / self.total_requests
+
+
+@dataclass
+class DerivedRule:
+    """One generated hosts-list entry with its justification."""
+
+    host: str
+    evidence: HostEvidence
+
+    def as_hosts_line(self) -> str:
+        return (
+            f"0.0.0.0 {self.host}  "
+            f"# tracking {self.evidence.tracking_requests}/"
+            f"{self.evidence.total_requests} requests on "
+            f"{len(self.evidence.channels)} channels"
+        )
+
+
+@dataclass
+class RuleGenerationResult:
+    rules: list[DerivedRule]
+    skipped_already_listed: int
+    skipped_first_party: int
+    skipped_low_confidence: int
+
+    def as_hosts_list(self) -> HostsFilterList:
+        text = "\n".join(rule.as_hosts_line() for rule in self.rules)
+        return HostsFilterList("derived-hbbtv", text)
+
+    def as_text(self) -> str:
+        header = "# HbbTV tracker hosts derived from observed traffic\n"
+        return header + "\n".join(r.as_hosts_line() for r in self.rules)
+
+
+def derive_rules(
+    flows: Iterable[Flow],
+    first_parties: dict[str, str],
+    suite: FilterListSuite | None = None,
+    classifier: TrackingClassifier | None = None,
+    min_tracking_share: float = 0.8,
+    min_requests: int = 5,
+) -> RuleGenerationResult:
+    """Generate hosts-list rules for unlisted HbbTV trackers."""
+    suite = suite or FilterListSuite()
+    classifier = classifier or TrackingClassifier(suite)
+    first_party_etld1s = set(first_parties.values())
+
+    evidence: dict[str, HostEvidence] = {}
+    for flow in flows:
+        entry = evidence.get(flow.host)
+        if entry is None:
+            entry = evidence[flow.host] = HostEvidence(flow.host, flow.etld1)
+        entry.total_requests += 1
+        verdict = classifier.verdict(flow)
+        if verdict.is_tracking:
+            entry.tracking_requests += 1
+            if flow.channel_id:
+                entry.channels.add(flow.channel_id)
+        if verdict.is_pixel:
+            entry.pixel_requests += 1
+        if verdict.is_fingerprinting:
+            entry.fingerprint_requests += 1
+
+    result = RuleGenerationResult(
+        rules=[],
+        skipped_already_listed=0,
+        skipped_first_party=0,
+        skipped_low_confidence=0,
+    )
+    for host, entry in sorted(evidence.items()):
+        if entry.tracking_requests == 0:
+            continue
+        if suite.pihole.matches_host(host):
+            result.skipped_already_listed += 1
+            continue
+        if entry.etld1 in first_party_etld1s:
+            # First parties also serve the applications; blocking their
+            # eTLD+1 would break the channel (the adjustment the paper
+            # says plain web lists cannot make).
+            result.skipped_first_party += 1
+            continue
+        if (
+            entry.tracking_share < min_tracking_share
+            or entry.total_requests < min_requests
+        ):
+            result.skipped_low_confidence += 1
+            continue
+        result.rules.append(DerivedRule(host, entry))
+    return result
+
+
+@dataclass(frozen=True)
+class BlockingScore:
+    """Recall/precision of a list against detector ground truth."""
+
+    name: str
+    blocked_tracking: int
+    total_tracking: int
+    blocked_benign: int
+    total_benign: int
+
+    @property
+    def recall(self) -> float:
+        if self.total_tracking == 0:
+            return 0.0
+        return self.blocked_tracking / self.total_tracking
+
+    @property
+    def false_block_rate(self) -> float:
+        if self.total_benign == 0:
+            return 0.0
+        return self.blocked_benign / self.total_benign
+
+
+def score_blocking(
+    name: str,
+    flows: Iterable[Flow],
+    matchers: list,
+    classifier: TrackingClassifier | None = None,
+) -> BlockingScore:
+    """Score a set of list matchers against the tracking ground truth.
+
+    ``matchers`` is any list of objects with ``matches(url)`` or
+    ``matches_host(host)`` — derived lists and web lists compose.
+    """
+    classifier = classifier or TrackingClassifier()
+    blocked_tracking = total_tracking = 0
+    blocked_benign = total_benign = 0
+    for flow in flows:
+        blocked = any(_matches(matcher, flow) for matcher in matchers)
+        if classifier.is_tracking(flow):
+            total_tracking += 1
+            if blocked:
+                blocked_tracking += 1
+        else:
+            total_benign += 1
+            if blocked:
+                blocked_benign += 1
+    return BlockingScore(
+        name=name,
+        blocked_tracking=blocked_tracking,
+        total_tracking=total_tracking,
+        blocked_benign=blocked_benign,
+        total_benign=total_benign,
+    )
+
+
+def _matches(matcher, flow: Flow) -> bool:
+    matches_host = getattr(matcher, "matches_host", None)
+    if matches_host is not None:
+        return matches_host(flow.host)
+    return matcher.matches(flow.url)

@@ -1,0 +1,123 @@
+"""Statistical machinery (§IV-D "Statistical Analysis").
+
+Kruskal–Wallis H tests with η² effect sizes classified per Cohen (small
+≤ 0.06 < moderate < 0.14 ≤ large), and the Wilcoxon–Mann–Whitney test
+used for the children's-channel comparison.  Built on scipy with thin
+result types so analyses read like the paper's prose.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Sequence
+
+from scipy import stats as scipy_stats
+
+ALPHA = 0.05
+
+
+class EffectSize(enum.Enum):
+    """Cohen's classification of η²."""
+
+    SMALL = "small"
+    MODERATE = "moderate"
+    LARGE = "large"
+
+    @classmethod
+    def classify(cls, eta_squared: float) -> "EffectSize":
+        if eta_squared <= 0.06:
+            return cls.SMALL
+        if eta_squared < 0.14:
+            return cls.MODERATE
+        return cls.LARGE
+
+
+@dataclass(frozen=True)
+class KruskalWallisResult:
+    statistic: float
+    p_value: float
+    eta_squared: float
+    group_count: int
+    observation_count: int
+
+    @property
+    def significant(self) -> bool:
+        return self.p_value < ALPHA
+
+    @property
+    def effect_size(self) -> EffectSize:
+        return EffectSize.classify(self.eta_squared)
+
+
+def kruskal_wallis(groups: Sequence[Sequence[float]]) -> KruskalWallisResult:
+    """Kruskal–Wallis H across groups, with η² = (H - k + 1) / (n - k).
+
+    The η² estimator is the standard epsilon-adjusted formulation for
+    rank-based ANOVA, clipped at zero.
+    """
+    populated = [list(g) for g in groups if len(g) > 0]
+    if len(populated) < 2:
+        raise ValueError("Kruskal-Wallis needs at least two non-empty groups")
+    statistic, p_value = scipy_stats.kruskal(*populated)
+    k = len(populated)
+    n = sum(len(g) for g in populated)
+    eta_squared = 0.0
+    if n > k:
+        eta_squared = max(0.0, (statistic - k + 1) / (n - k))
+    return KruskalWallisResult(
+        statistic=float(statistic),
+        p_value=float(p_value),
+        eta_squared=float(eta_squared),
+        group_count=k,
+        observation_count=n,
+    )
+
+
+@dataclass(frozen=True)
+class MannWhitneyResult:
+    statistic: float
+    p_value: float
+
+    @property
+    def significant(self) -> bool:
+        return self.p_value < ALPHA
+
+
+def mann_whitney(
+    sample_a: Sequence[float], sample_b: Sequence[float]
+) -> MannWhitneyResult:
+    """Two-sided Wilcoxon–Mann–Whitney U test."""
+    if not sample_a or not sample_b:
+        raise ValueError("both samples must be non-empty")
+    statistic, p_value = scipy_stats.mannwhitneyu(
+        list(sample_a), list(sample_b), alternative="two-sided"
+    )
+    return MannWhitneyResult(statistic=float(statistic), p_value=float(p_value))
+
+
+@dataclass(frozen=True)
+class DescriptiveStats:
+    """Mean/min/max/SD rows as the paper reports them everywhere."""
+
+    count: int
+    mean: float
+    minimum: float
+    maximum: float
+    std_dev: float
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "DescriptiveStats":
+        if not values:
+            return cls(0, 0.0, 0.0, 0.0, 0.0)
+        values = list(values)
+        n = len(values)
+        mean = sum(values) / n
+        variance = sum((v - mean) ** 2 for v in values) / n
+        return cls(
+            count=n,
+            mean=mean,
+            minimum=min(values),
+            maximum=max(values),
+            std_dev=variance**0.5,
+        )

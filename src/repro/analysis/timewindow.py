@@ -1,0 +1,126 @@
+"""Time-of-day tracking analysis — the paper's titular lens.
+
+"Privacy from 5 PM to 6 AM": the headline finding is a children's
+channel family whose policy confines personalization to the evening and
+night while its trackers fire around the clock.  This module provides
+the hour-of-day machinery behind that check: per-hour tracking
+histograms per channel, coverage of a declared window, and the share of
+tracking falling outside it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.analysis.tracking import TrackingClassifier
+from repro.clock import hour_of_day
+from repro.proxy.flow import Flow
+
+
+@dataclass
+class HourlyHistogram:
+    """Tracking requests per hour of day (0–23) for one channel."""
+
+    channel_id: str
+    counts: list[int] = field(default_factory=lambda: [0] * 24)
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts)
+
+    def add(self, hour: float) -> None:
+        self.counts[int(hour) % 24] += 1
+
+    def inside_window(self, window: tuple[int, int]) -> int:
+        """Requests inside a [start, end) window (may wrap midnight)."""
+        start, end = window
+        hours = (
+            range(start, end)
+            if start <= end
+            else list(range(start, 24)) + list(range(0, end))
+        )
+        return sum(self.counts[hour % 24] for hour in hours)
+
+    def outside_window(self, window: tuple[int, int]) -> int:
+        return self.total - self.inside_window(window)
+
+    def outside_share(self, window: tuple[int, int]) -> float:
+        if self.total == 0:
+            return 0.0
+        return self.outside_window(window) / self.total
+
+    def active_hours(self) -> int:
+        """Hours of the day with at least one tracking request."""
+        return sum(1 for count in self.counts if count > 0)
+
+    def sparkline(self) -> str:
+        """Compact per-hour activity strip (one glyph per hour)."""
+        peak = max(self.counts) or 1
+        glyphs = " ▁▂▃▄▅▆▇█"
+        return "".join(
+            glyphs[min(8, round(8 * count / peak))] for count in self.counts
+        )
+
+
+def hourly_tracking_histograms(
+    flows: Iterable[Flow],
+    classifier: TrackingClassifier | None = None,
+) -> dict[str, HourlyHistogram]:
+    """Per-channel hour-of-day histograms over tracking flows."""
+    classifier = classifier or TrackingClassifier()
+    histograms: dict[str, HourlyHistogram] = {}
+    for flow in flows:
+        if not flow.channel_id or not classifier.is_tracking(flow):
+            continue
+        histogram = histograms.setdefault(
+            flow.channel_id, HourlyHistogram(flow.channel_id)
+        )
+        histogram.add(hour_of_day(flow.timestamp))
+    return histograms
+
+
+@dataclass(frozen=True)
+class WindowComplianceResult:
+    """One channel's tracking vs its declared window."""
+
+    channel_id: str
+    window: tuple[int, int]
+    inside: int
+    outside: int
+
+    @property
+    def total(self) -> int:
+        return self.inside + self.outside
+
+    @property
+    def compliant(self) -> bool:
+        return self.outside == 0
+
+    @property
+    def outside_share(self) -> float:
+        if self.total == 0:
+            return 0.0
+        return self.outside / self.total
+
+
+def window_compliance(
+    histograms: dict[str, HourlyHistogram],
+    declared_windows: dict[str, tuple[int, int]],
+) -> list[WindowComplianceResult]:
+    """Check every channel with a declared window against its histogram."""
+    results = []
+    for channel_id, window in declared_windows.items():
+        histogram = histograms.get(channel_id)
+        if histogram is None:
+            continue
+        inside = histogram.inside_window(window)
+        results.append(
+            WindowComplianceResult(
+                channel_id=channel_id,
+                window=window,
+                inside=inside,
+                outside=histogram.total - inside,
+            )
+        )
+    return results

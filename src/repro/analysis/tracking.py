@@ -1,0 +1,54 @@
+"""The combined "tracking request" predicate.
+
+The paper's channel-level analyses count a request as tracking when any
+of its detectors fires: a filter-list hit (known tracker), the
+tracking-pixel heuristic, or the fingerprinting heuristic.  This module
+centralizes that union so every analysis counts identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.analysis.filterlists import FilterListSuite
+from repro.analysis.fingerprinting import is_fingerprint_related
+from repro.analysis.pixels import is_tracking_pixel
+from repro.proxy.flow import Flow
+
+
+@dataclass(frozen=True)
+class TrackingVerdict:
+    """Why a flow counts as tracking (all detectors evaluated)."""
+
+    on_filter_list: bool
+    is_pixel: bool
+    is_fingerprinting: bool
+
+    @property
+    def is_tracking(self) -> bool:
+        return self.on_filter_list or self.is_pixel or self.is_fingerprinting
+
+
+class TrackingClassifier:
+    """Classifies flows with all three detectors, lists parsed once."""
+
+    def __init__(self, suite: FilterListSuite | None = None) -> None:
+        self.suite = suite or FilterListSuite()
+
+    def verdict(self, flow: Flow) -> TrackingVerdict:
+        return TrackingVerdict(
+            on_filter_list=self.suite.flags_url(flow.url, flow.host),
+            is_pixel=is_tracking_pixel(flow),
+            is_fingerprinting=is_fingerprint_related(flow),
+        )
+
+    def is_tracking(self, flow: Flow) -> bool:
+        return self.verdict(flow).is_tracking
+
+    def tracking_flows(self, flows: Iterable[Flow]) -> list[Flow]:
+        return [f for f in flows if self.is_tracking(f)]
+
+    def tracker_etld1s(self, flows: Iterable[Flow]) -> set[str]:
+        """The distinct tracker parties across a flow set."""
+        return {f.etld1 for f in flows if self.is_tracking(f)}

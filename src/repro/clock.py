@@ -1,0 +1,58 @@
+"""Simulated wall-clock time.
+
+Everything in the framework that needs "now" shares one
+:class:`SimClock`.  Time only moves when the measurement procedure says
+it does (waits, watch intervals, beacon periods), which keeps runs fully
+deterministic.  The clock also exposes the local hour of day, which the
+5 PM–6 AM policy-discrepancy analysis and daytime-only channels need.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime, timezone
+
+#: Default study start: the paper's first measurement run began
+#: 2023-08-21; we start the simulated clock at 09:00 local time so a
+#: multi-hour run crosses the 17:00 boundary of the headline case study.
+DEFAULT_START = datetime(2023, 8, 21, 9, 0, 0, tzinfo=timezone.utc).timestamp()
+
+
+class SimClock:
+    """A monotonically advancing simulated clock."""
+
+    def __init__(self, start: float = DEFAULT_START) -> None:
+        self._start = start
+        self._now = start
+
+    @property
+    def now(self) -> float:
+        """Current simulated time as epoch seconds."""
+        return self._now
+
+    @property
+    def start(self) -> float:
+        return self._start
+
+    @property
+    def elapsed(self) -> float:
+        return self._now - self._start
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward; negative deltas are a programming error."""
+        if seconds < 0:
+            raise ValueError(f"cannot move time backwards: {seconds}")
+        self._now += seconds
+        return self._now
+
+    def hour_of_day(self) -> float:
+        """Local hour of day in [0, 24) for the current instant."""
+        return hour_of_day(self._now)
+
+    def datetime(self) -> datetime:
+        return datetime.fromtimestamp(self._now, tz=timezone.utc)
+
+
+def hour_of_day(timestamp: float) -> float:
+    """Local hour of day in [0, 24) for an epoch timestamp."""
+    moment = datetime.fromtimestamp(timestamp, tz=timezone.utc)
+    return moment.hour + moment.minute / 60.0 + moment.second / 3600.0

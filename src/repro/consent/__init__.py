@@ -1,0 +1,39 @@
+"""Consent-notice analyses (paper §VI).
+
+Annotates screenshots with the paper's codebook (Tables IV/V), surveys
+the twelve notice brandings and their interaction options, audits
+nudging/dark patterns, and provides inter-annotator agreement tooling
+for the codebook itself.
+"""
+
+from repro.consent.annotate import (
+    Annotation,
+    OverlayDistribution,
+    PrivacyPrevalence,
+    annotate_screenshots,
+    overlay_distribution,
+    pointer_prevalence,
+    privacy_prevalence,
+)
+from repro.consent.codebook import ScreenshotAnnotator, NoisyAnnotator
+from repro.consent.darkpatterns import NudgingAudit, audit_nudging
+from repro.consent.notices import NoticeSurvey, survey_notices
+from repro.consent.strings import ConsentStringReport, analyze_consent_strings
+
+__all__ = [
+    "ScreenshotAnnotator",
+    "NoisyAnnotator",
+    "Annotation",
+    "annotate_screenshots",
+    "overlay_distribution",
+    "OverlayDistribution",
+    "privacy_prevalence",
+    "PrivacyPrevalence",
+    "pointer_prevalence",
+    "NoticeSurvey",
+    "survey_notices",
+    "NudgingAudit",
+    "audit_nudging",
+    "ConsentStringReport",
+    "analyze_consent_strings",
+]

@@ -1,0 +1,179 @@
+"""The annotation pipeline over all screenshots (Tables IV and V).
+
+Round 1 classifies every screenshot's overlay type; round 2 inspects
+the PRIVACY overlays (consent notice vs policy vs hybrid) and the other
+overlays for privacy pointers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.consent.codebook import AnnotationLabel, ScreenshotAnnotator
+from repro.hbbtv.overlay import OverlayKind, PrivacyContentKind
+from repro.tv.screenshot import Screenshot
+
+
+@dataclass(frozen=True)
+class Annotation:
+    """One annotated screenshot."""
+
+    channel_id: str
+    run_name: str
+    timestamp: float
+    label: AnnotationLabel
+
+    @property
+    def is_privacy(self) -> bool:
+        return self.label.overlay is OverlayKind.PRIVACY
+
+
+def annotate_screenshots(
+    screenshots: Iterable[Screenshot],
+    annotator: ScreenshotAnnotator | None = None,
+) -> list[Annotation]:
+    """Run the full two-round annotation."""
+    annotator = annotator or ScreenshotAnnotator()
+    return [
+        Annotation(
+            channel_id=shot.channel_id,
+            run_name=shot.run_name,
+            timestamp=shot.timestamp,
+            label=annotator.annotate(shot),
+        )
+        for shot in screenshots
+    ]
+
+
+@dataclass
+class OverlayDistribution:
+    """One Table IV row: overlay-type counts for one run."""
+
+    run_name: str
+    counts: dict[OverlayKind, int] = field(default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def count(self, kind: OverlayKind) -> int:
+        return self.counts.get(kind, 0)
+
+
+def overlay_distribution(
+    annotations: Iterable[Annotation],
+) -> dict[str, OverlayDistribution]:
+    """Build Table IV: overlay types per measurement run."""
+    rows: dict[str, OverlayDistribution] = {}
+    for annotation in annotations:
+        row = rows.setdefault(
+            annotation.run_name, OverlayDistribution(annotation.run_name)
+        )
+        kind = annotation.label.overlay
+        row.counts[kind] = row.counts.get(kind, 0) + 1
+    return rows
+
+
+@dataclass(frozen=True)
+class PrivacyPrevalence:
+    """One Table V row."""
+
+    run_name: str
+    total_screenshots: int
+    privacy_screenshots: int
+    total_channels: int
+    privacy_channels: int
+
+    @property
+    def screenshot_share(self) -> float:
+        if self.total_screenshots == 0:
+            return 0.0
+        return self.privacy_screenshots / self.total_screenshots
+
+    @property
+    def channel_share(self) -> float:
+        if self.total_channels == 0:
+            return 0.0
+        return self.privacy_channels / self.total_channels
+
+
+def privacy_prevalence(
+    annotations: Iterable[Annotation],
+) -> dict[str, PrivacyPrevalence]:
+    """Build Table V: prevalence of privacy-related information."""
+    shots: dict[str, int] = {}
+    priv_shots: dict[str, int] = {}
+    channels: dict[str, set[str]] = {}
+    priv_channels: dict[str, set[str]] = {}
+    for annotation in annotations:
+        run = annotation.run_name
+        shots[run] = shots.get(run, 0) + 1
+        channels.setdefault(run, set()).add(annotation.channel_id)
+        if annotation.is_privacy:
+            priv_shots[run] = priv_shots.get(run, 0) + 1
+            priv_channels.setdefault(run, set()).add(annotation.channel_id)
+    return {
+        run: PrivacyPrevalence(
+            run_name=run,
+            total_screenshots=shots[run],
+            privacy_screenshots=priv_shots.get(run, 0),
+            total_channels=len(channels[run]),
+            privacy_channels=len(priv_channels.get(run, set())),
+        )
+        for run in shots
+    }
+
+
+def channels_with_privacy_info(annotations: Iterable[Annotation]) -> set[str]:
+    """Channels showing a notice or policy on ≥1 screenshot, any run
+    (the paper's 121 channels / 31.03%)."""
+    return {a.channel_id for a in annotations if a.is_privacy}
+
+
+def pointer_prevalence(annotations: Iterable[Annotation]) -> set[str]:
+    """Channels displaying a privacy pointer at least once (290 / 74%)."""
+    return {
+        a.channel_id for a in annotations if a.label.has_privacy_pointer
+    }
+
+
+@dataclass
+class NoticePersistence:
+    """§VI-B "Persistence": how long privacy overlays stay on screen."""
+
+    #: channel → share of its screenshots showing a consent notice.
+    notice_share_by_channel: dict[str, float] = field(default_factory=dict)
+    #: channel → share of its screenshots showing a policy (or hybrid).
+    policy_share_by_channel: dict[str, float] = field(default_factory=dict)
+
+    def mean_notice_share(self) -> float:
+        values = list(self.notice_share_by_channel.values())
+        return sum(values) / len(values) if values else 0.0
+
+    def mean_policy_share(self) -> float:
+        values = list(self.policy_share_by_channel.values())
+        return sum(values) / len(values) if values else 0.0
+
+
+def notice_persistence(annotations: Iterable[Annotation]) -> NoticePersistence:
+    """Notices vanish (timeouts/dismissal); policies persist on screen."""
+    total: dict[str, int] = {}
+    notice: dict[str, int] = {}
+    policy: dict[str, int] = {}
+    for annotation in annotations:
+        channel = annotation.channel_id
+        total[channel] = total.get(channel, 0) + 1
+        if annotation.label.privacy_kind is PrivacyContentKind.CONSENT_NOTICE:
+            notice[channel] = notice.get(channel, 0) + 1
+        elif annotation.label.privacy_kind in (
+            PrivacyContentKind.PRIVACY_POLICY,
+            PrivacyContentKind.HYBRID,
+        ):
+            policy[channel] = policy.get(channel, 0) + 1
+    result = NoticePersistence()
+    for channel, count in notice.items():
+        result.notice_share_by_channel[channel] = count / total[channel]
+    for channel, count in policy.items():
+        result.policy_share_by_channel[channel] = count / total[channel]
+    return result

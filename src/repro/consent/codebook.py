@@ -1,0 +1,97 @@
+"""The screenshot codebook and annotators.
+
+Round 1 codes the overlay type (No Signal / CTM / TV Only / Media
+Library / Privacy / Other); round 2 refines PRIVACY overlays into
+consent notices, privacy policies, or hybrids, and records notice type
+and layer.  Our screenshots are structured, so the reference annotator
+is deterministic; :class:`NoisyAnnotator` simulates a human coder with
+an error rate, for the inter-annotator-agreement tooling.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.hbbtv.overlay import OverlayKind, PrivacyContentKind
+from repro.tv.screenshot import Screenshot
+
+
+@dataclass(frozen=True)
+class AnnotationLabel:
+    """The codes one annotator assigns to one screenshot."""
+
+    overlay: OverlayKind
+    privacy_kind: PrivacyContentKind | None = None
+    notice_type_id: int | None = None
+    notice_layer: int = 0
+    has_privacy_pointer: bool = False
+
+
+class ScreenshotAnnotator:
+    """The reference (deterministic) annotator."""
+
+    def annotate(self, screenshot: Screenshot) -> AnnotationLabel:
+        screen = screenshot.screen
+        return AnnotationLabel(
+            overlay=screen.kind,
+            privacy_kind=screen.privacy_kind,
+            notice_type_id=screen.notice_type_id,
+            notice_layer=screen.notice_layer,
+            has_privacy_pointer=screen.has_privacy_pointer,
+        )
+
+
+class NoisyAnnotator(ScreenshotAnnotator):
+    """A simulated human coder: misreads a share of screenshots.
+
+    Confusions follow the plausible directions — privacy overlays and
+    media libraries get coded as "Other", text pages as "TV Only".
+    """
+
+    _CONFUSIONS = {
+        OverlayKind.PRIVACY: OverlayKind.OTHER,
+        OverlayKind.MEDIA_LIBRARY: OverlayKind.OTHER,
+        OverlayKind.OTHER: OverlayKind.TV_ONLY,
+        OverlayKind.TV_ONLY: OverlayKind.OTHER,
+        OverlayKind.CHANNEL_TECH_MESSAGE: OverlayKind.NO_SIGNAL,
+        OverlayKind.NO_SIGNAL: OverlayKind.TV_ONLY,
+    }
+
+    def __init__(self, error_rate: float = 0.05, seed: int = 0) -> None:
+        if not 0 <= error_rate <= 1:
+            raise ValueError("error_rate must be within [0, 1]")
+        self.error_rate = error_rate
+        self._rng = random.Random(f"annotator:{seed}")
+
+    def annotate(self, screenshot: Screenshot) -> AnnotationLabel:
+        label = super().annotate(screenshot)
+        if self._rng.random() >= self.error_rate:
+            return label
+        confused = self._CONFUSIONS[label.overlay]
+        return AnnotationLabel(
+            overlay=confused,
+            privacy_kind=None,
+            notice_type_id=None,
+            notice_layer=0,
+            has_privacy_pointer=label.has_privacy_pointer,
+        )
+
+
+def cohen_kappa(labels_a: list[OverlayKind], labels_b: list[OverlayKind]) -> float:
+    """Cohen's κ between two coders' overlay labels."""
+    if len(labels_a) != len(labels_b):
+        raise ValueError("label lists must align")
+    if not labels_a:
+        raise ValueError("no labels to compare")
+    n = len(labels_a)
+    observed = sum(1 for a, b in zip(labels_a, labels_b) if a == b) / n
+    categories = set(labels_a) | set(labels_b)
+    expected = 0.0
+    for category in categories:
+        share_a = sum(1 for a in labels_a if a == category) / n
+        share_b = sum(1 for b in labels_b if b == category) / n
+        expected += share_a * share_b
+    if expected == 1.0:
+        return 1.0
+    return (observed - expected) / (1 - expected)

@@ -1,0 +1,118 @@
+"""Nudging / dark-pattern audit (§VI-B "Nudging and Dark Patterns").
+
+TV input adds a nudging dimension the Web lacks: the cursor *must* rest
+on some button, and all twelve notice styles rest it on "accept".  The
+audit checks, per notice style and per annotated screenshot stream:
+
+* default focus on the accept button (cursor nudging);
+* accept highlighted relative to the other options;
+* no decline option on the first layer (decline hidden behind layers);
+* pre-ticked category/service checkboxes (the Planet49-noncompliant
+  default);
+* deselection requiring an extra confirmation layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.consent.annotate import Annotation
+from repro.hbbtv.consent import ACCEPT, DECLINE, NoticeStyle
+from repro.hbbtv.overlay import PrivacyContentKind
+
+
+@dataclass(frozen=True)
+class StyleFindings:
+    """Dark-pattern findings for one notice style."""
+
+    type_id: int
+    name: str
+    default_focus_on_accept: bool
+    decline_hidden_from_first_layer: bool
+    preticked_controls: bool
+    deselection_needs_confirmation: bool
+
+    @property
+    def finding_count(self) -> int:
+        return sum(
+            (
+                self.default_focus_on_accept,
+                self.decline_hidden_from_first_layer,
+                self.preticked_controls,
+                self.deselection_needs_confirmation,
+            )
+        )
+
+
+def audit_style(style: NoticeStyle) -> StyleFindings:
+    """Static audit of one notice style."""
+    has_controls = bool(
+        style.first_layer_categories or style.second_layer_controls
+    )
+    return StyleFindings(
+        type_id=style.type_id,
+        name=style.name,
+        default_focus_on_accept=style.default_focus == ACCEPT,
+        decline_hidden_from_first_layer=(
+            DECLINE not in style.first_layer_actions()
+        ),
+        preticked_controls=has_controls and style.controls_preticked,
+        deselection_needs_confirmation=style.has_third_layer_confirm,
+    )
+
+
+@dataclass
+class NudgingAudit:
+    """Audit results over styles and observed screenshots."""
+
+    style_findings: dict[int, StyleFindings] = field(default_factory=dict)
+    #: Screenshots where the focused button was the accept button.
+    focus_on_accept_screenshots: int = 0
+    #: Screenshots where accept was visually highlighted.
+    accept_highlighted_screenshots: int = 0
+    notice_screenshots: int = 0
+    preticked_screenshots: int = 0
+
+    @property
+    def focus_nudge_share(self) -> float:
+        if self.notice_screenshots == 0:
+            return 0.0
+        return self.focus_on_accept_screenshots / self.notice_screenshots
+
+    def styles_with_default_accept_focus(self) -> int:
+        return sum(
+            1
+            for findings in self.style_findings.values()
+            if findings.default_focus_on_accept
+        )
+
+
+def audit_nudging(
+    styles: Iterable[NoticeStyle],
+    annotations: Iterable[Annotation] = (),
+    screenshots=None,
+) -> NudgingAudit:
+    """Run the audit over notice styles and optional screenshot streams.
+
+    ``screenshots`` (raw :class:`~repro.tv.screenshot.Screenshot`
+    objects) refine the dynamic checks — focused button and
+    highlighting are visible only in the raw screen state.
+    """
+    audit = NudgingAudit()
+    for style in styles:
+        audit.style_findings[style.type_id] = audit_style(style)
+    for annotation in annotations:
+        if annotation.label.privacy_kind is PrivacyContentKind.CONSENT_NOTICE:
+            audit.notice_screenshots += 1
+    for shot in screenshots or ():
+        screen = shot.screen
+        if screen.privacy_kind is not PrivacyContentKind.CONSENT_NOTICE:
+            continue
+        if screen.focused_button == ACCEPT:
+            audit.focus_on_accept_screenshots += 1
+        if screen.accept_highlighted:
+            audit.accept_highlighted_screenshots += 1
+        if screen.preticked_boxes:
+            audit.preticked_screenshots += 1
+    return audit

@@ -1,0 +1,99 @@
+"""Survey of observed consent-notice interfaces and brandings (§VI-B).
+
+Cross-references the annotated screenshots with the notice-style
+registry: which of the twelve brandings appeared, in which runs, with
+which interaction options on the first layer, and how deep the observed
+layers went.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.consent.annotate import Annotation
+from repro.hbbtv.consent import (
+    ACCEPT,
+    DECLINE,
+    NoticeStyle,
+    STANDARD_NOTICE_STYLES,
+)
+from repro.hbbtv.overlay import PrivacyContentKind
+
+
+@dataclass
+class ObservedNotice:
+    """Aggregate observations for one notice type."""
+
+    style: NoticeStyle
+    screenshot_count: int = 0
+    channels: set[str] = field(default_factory=set)
+    runs: set[str] = field(default_factory=set)
+    max_layer_seen: int = 0
+
+    @property
+    def first_layer_actions(self) -> tuple[str, ...]:
+        return self.style.first_layer_actions()
+
+    @property
+    def offers_first_layer_decline(self) -> bool:
+        return DECLINE in self.style.first_layer_actions()
+
+
+@dataclass
+class NoticeSurvey:
+    """§VI-B aggregates across all annotated screenshots."""
+
+    observed: dict[int, ObservedNotice] = field(default_factory=dict)
+
+    @property
+    def distinct_styles(self) -> int:
+        return len(self.observed)
+
+    def styles_with_first_layer_accept(self) -> int:
+        return sum(
+            1
+            for notice in self.observed.values()
+            if ACCEPT in notice.first_layer_actions
+        )
+
+    def styles_without_first_layer_decline(self) -> int:
+        return sum(
+            1
+            for notice in self.observed.values()
+            if not notice.offers_first_layer_decline
+        )
+
+    def blue_only_styles_seen(self) -> set[int]:
+        return {
+            type_id
+            for type_id, notice in self.observed.items()
+            if notice.style.blue_button_only
+        }
+
+    def deepest_layer_observed(self) -> int:
+        if not self.observed:
+            return 0
+        return max(n.max_layer_seen for n in self.observed.values())
+
+
+def survey_notices(annotations: Iterable[Annotation]) -> NoticeSurvey:
+    """Build the notice survey from annotated screenshots."""
+    survey = NoticeSurvey()
+    for annotation in annotations:
+        label = annotation.label
+        if label.privacy_kind is not PrivacyContentKind.CONSENT_NOTICE:
+            continue
+        if label.notice_type_id is None:
+            continue
+        style = STANDARD_NOTICE_STYLES.get(label.notice_type_id)
+        if style is None:
+            continue
+        observed = survey.observed.setdefault(
+            label.notice_type_id, ObservedNotice(style)
+        )
+        observed.screenshot_count += 1
+        observed.channels.add(annotation.channel_id)
+        observed.runs.add(annotation.run_name)
+        observed.max_layer_seen = max(observed.max_layer_seen, label.notice_layer)
+    return survey

@@ -1,0 +1,100 @@
+"""Consent-string analysis over recorded traffic.
+
+Decodes the TVCF consent strings the CMP pings carry and tallies what
+viewers' (simulated) interactions actually transmitted: which CMPs,
+which terminal choices, and which purposes were granted or denied.
+This is the transparency check the paper could not do with deprecated
+DNT signals — here the consent wire format itself is observable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.hbbtv.consent import ConsentChoice
+from repro.hbbtv.tcstring import (
+    ConsentRecord,
+    ConsentStringError,
+    decode_consent_string,
+    looks_like_consent_string,
+)
+from repro.proxy.flow import Flow
+
+
+@dataclass(frozen=True)
+class ObservedConsentString:
+    """One decoded consent string with its traffic context."""
+
+    record: ConsentRecord
+    channel_id: str
+    run_name: str
+    url: str
+
+
+@dataclass
+class ConsentStringReport:
+    """Aggregates over all consent strings seen in traffic."""
+
+    observed: list[ObservedConsentString] = field(default_factory=list)
+    undecodable: int = 0
+
+    def choice_counts(self) -> dict[ConsentChoice, int]:
+        counts: dict[ConsentChoice, int] = {}
+        for item in self.observed:
+            counts[item.record.choice] = counts.get(item.record.choice, 0) + 1
+        return counts
+
+    def cmp_ids_seen(self) -> set[int]:
+        return {item.record.cmp_id for item in self.observed}
+
+    def channels_transmitting(self) -> set[str]:
+        return {item.channel_id for item in self.observed if item.channel_id}
+
+    def accept_share(self) -> float:
+        """Share of transmitted decisions that granted everything —
+        the measurable payoff of default-focus nudging."""
+        if not self.observed:
+            return 0.0
+        accepted = sum(
+            1
+            for item in self.observed
+            if item.record.choice is ConsentChoice.ACCEPTED_ALL
+        )
+        return accepted / len(self.observed)
+
+    def purpose_grant_rates(self) -> dict[str, float]:
+        granted: dict[str, int] = {}
+        total: dict[str, int] = {}
+        for item in self.observed:
+            for name, is_granted in item.record.purposes:
+                total[name] = total.get(name, 0) + 1
+                if is_granted:
+                    granted[name] = granted.get(name, 0) + 1
+        return {
+            name: granted.get(name, 0) / count
+            for name, count in total.items()
+        }
+
+
+def analyze_consent_strings(flows: Iterable[Flow]) -> ConsentStringReport:
+    """Find and decode every consent string in the recorded traffic."""
+    report = ConsentStringReport()
+    for flow in flows:
+        token = flow.request.query_params().get("cs", "")
+        if not token or not looks_like_consent_string(token):
+            continue
+        try:
+            record = decode_consent_string(token)
+        except ConsentStringError:
+            report.undecodable += 1
+            continue
+        report.observed.append(
+            ObservedConsentString(
+                record=record,
+                channel_id=flow.channel_id,
+                run_name=flow.run_name,
+                url=flow.url,
+            )
+        )
+    return report

@@ -1,0 +1,29 @@
+"""The measurement framework (paper §IV).
+
+Orchestrates the antenna scan, the six-step channel-selection pipeline,
+the remote-control script, and the five measurement runs, producing a
+:class:`~repro.core.dataset.StudyDataset` that every analysis consumes.
+"""
+
+from repro.core.config import MeasurementConfig
+from repro.core.dataset import CookieRecord, RunDataset, StudyDataset
+from repro.core.filtering import ChannelFilterPipeline, FilteringReport
+from repro.core.framework import MeasurementFramework
+from repro.core.remote import RemoteControlScript
+from repro.core.report import DatasetOverview, overview_table
+from repro.core.runs import RunSpec, standard_runs
+
+__all__ = [
+    "MeasurementConfig",
+    "RunSpec",
+    "standard_runs",
+    "ChannelFilterPipeline",
+    "FilteringReport",
+    "RemoteControlScript",
+    "MeasurementFramework",
+    "StudyDataset",
+    "RunDataset",
+    "CookieRecord",
+    "DatasetOverview",
+    "overview_table",
+]

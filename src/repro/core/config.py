@@ -1,0 +1,67 @@
+"""Timing and procedure constants of the measurement protocol (§IV).
+
+Every number here is taken from the paper: 900 s of watching per
+channel (910 s in the exploratory run), +100 s on color-button runs,
+10 s settle time after switching, one screenshot every 60 s, ten
+interaction presses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MeasurementConfig:
+    """Protocol parameters shared by all measurement runs."""
+
+    #: Base watch time per channel in the General run (seconds).
+    watch_seconds: float = 900.0
+    #: Extra watch time on color-button runs (10 s settle + 10 s after
+    #: the button press + interaction time ≈ +100 s in the paper).
+    interaction_extra_seconds: float = 100.0
+    #: Exploratory watch time used by the filtering pipeline; previous
+    #: work found channels can take up to 900 s to start HTTP traffic.
+    exploratory_watch_seconds: float = 910.0
+    #: Settle time after switching to a channel before anything else.
+    settle_seconds: float = 10.0
+    #: Wait after pressing the colored button.
+    post_button_seconds: float = 10.0
+    #: Screenshot cadence.
+    screenshot_interval_seconds: float = 60.0
+    #: Length of the fixed interaction sequence (cursor keys + ENTER).
+    interaction_presses: int = 10
+    #: Gap between interaction presses.
+    interaction_gap_seconds: float = 2.0
+
+    @property
+    def color_run_watch_seconds(self) -> float:
+        return self.watch_seconds + self.interaction_extra_seconds
+
+    def expected_screenshots(self, with_button: bool) -> int:
+        """16 per channel on General runs, 27 on color-button runs.
+
+        One shot after settling, one per 60 s interval, and — on the
+        color runs — one after each of the ten interaction presses
+        (that is how 1000 s of watching yields 27 shots: 1 + 16 + 10).
+        """
+        total = self.settle_seconds + (
+            self.color_run_watch_seconds if with_button else self.watch_seconds
+        )
+        if with_button:
+            press_shots = self.interaction_presses
+            # Settle + post-button wait + the interaction sequence run
+            # before interval screenshots resume.
+            elapsed = (
+                self.settle_seconds
+                + self.post_button_seconds
+                + self.interaction_presses * self.interaction_gap_seconds
+            )
+        else:
+            press_shots = 0
+            elapsed = self.settle_seconds
+        interval_shots = int((total - elapsed) // self.screenshot_interval_seconds)
+        return 1 + press_shots + interval_shots
+
+
+DEFAULT_CONFIG = MeasurementConfig()

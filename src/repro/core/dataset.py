@@ -1,0 +1,274 @@
+"""The study dataset: the BigQuery stand-in.
+
+Holds everything one measurement run collected — flows, cookies (with
+channel attribution), local storage, screenshots, interaction logs —
+plus the study-level container over all five runs.  Also provides a
+JSONL export/import so datasets survive across processes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.net.cookies import Cookie, parse_set_cookie
+from repro.net.storage import StorageEntry
+from repro.net.url import URL, URLError
+from repro.proxy.flow import Flow
+from repro.tv.screenshot import Screenshot
+
+
+@dataclass(frozen=True)
+class CookieRecord:
+    """A cookie set via HTTP(S) on some channel during a run.
+
+    ``first_party_etld1`` is the channel's identified first party; a
+    record is a third-party cookie when the cookie's domain eTLD+1
+    differs from it.  The same cookie can therefore be first-party on
+    one channel and third-party on another — which is why Table I's 1P
+    and 3P columns do not add up to the total.
+    """
+
+    cookie: Cookie
+    channel_id: str
+    run_name: str
+    first_party_etld1: str = ""
+
+    @property
+    def etld1(self) -> str:
+        return self.cookie.etld1
+
+    @property
+    def is_third_party(self) -> bool:
+        if not self.first_party_etld1:
+            return False
+        return self.cookie.etld1 != self.first_party_etld1
+
+    @property
+    def is_first_party(self) -> bool:
+        return bool(self.first_party_etld1) and not self.is_third_party
+
+
+@dataclass
+class RunDataset:
+    """Everything one measurement run collected."""
+
+    run_name: str
+    date_label: str = ""
+    flows: list[Flow] = field(default_factory=list)
+    cookie_records: list[CookieRecord] = field(default_factory=list)
+    jar_dump: list[Cookie] = field(default_factory=list)
+    storage_entries: list[StorageEntry] = field(default_factory=list)
+    screenshots: list[Screenshot] = field(default_factory=list)
+    channels_measured: list[str] = field(default_factory=list)
+    interaction_count: int = 0
+
+    # -- quick stats used by Table I -----------------------------------------
+
+    @property
+    def http_request_count(self) -> int:
+        return len(self.flows)
+
+    @property
+    def https_request_count(self) -> int:
+        return sum(1 for f in self.flows if f.is_https)
+
+    @property
+    def https_share(self) -> float:
+        if not self.flows:
+            return 0.0
+        return self.https_request_count / len(self.flows)
+
+    def distinct_cookie_count(self) -> int:
+        return len({r.cookie.key() for r in self.cookie_records})
+
+    def first_party_cookie_count(self) -> int:
+        return len(
+            {r.cookie.key() for r in self.cookie_records if r.is_first_party}
+        )
+
+    def third_party_cookie_count(self) -> int:
+        return len(
+            {r.cookie.key() for r in self.cookie_records if r.is_third_party}
+        )
+
+    # -- grouping helpers -------------------------------------------------------
+
+    def flows_by_channel(self) -> dict[str, list[Flow]]:
+        grouped: dict[str, list[Flow]] = {}
+        for flow in self.flows:
+            grouped.setdefault(flow.channel_id, []).append(flow)
+        return grouped
+
+    def screenshots_by_channel(self) -> dict[str, list[Screenshot]]:
+        grouped: dict[str, list[Screenshot]] = {}
+        for shot in self.screenshots:
+            grouped.setdefault(shot.channel_id, []).append(shot)
+        return grouped
+
+
+@dataclass
+class StudyDataset:
+    """All measurement runs of the study."""
+
+    runs: dict[str, RunDataset] = field(default_factory=dict)
+
+    def add_run(self, run: RunDataset) -> None:
+        if run.run_name in self.runs:
+            raise ValueError(f"run already recorded: {run.run_name}")
+        self.runs[run.run_name] = run
+
+    def run_names(self) -> list[str]:
+        return list(self.runs)
+
+    def all_flows(self) -> Iterator[Flow]:
+        for run in self.runs.values():
+            yield from run.flows
+
+    def all_cookie_records(self) -> Iterator[CookieRecord]:
+        for run in self.runs.values():
+            yield from run.cookie_records
+
+    def all_screenshots(self) -> Iterator[Screenshot]:
+        for run in self.runs.values():
+            yield from run.screenshots
+
+    def total_requests(self) -> int:
+        return sum(r.http_request_count for r in self.runs.values())
+
+    def channels_measured(self) -> set[str]:
+        measured: set[str] = set()
+        for run in self.runs.values():
+            measured.update(run.channels_measured)
+        return measured
+
+
+def cookie_records_from_flows(
+    flows: Iterable[Flow],
+    run_name: str,
+    first_party_by_channel: dict[str, str] | None = None,
+) -> list[CookieRecord]:
+    """Derive cookie records from Set-Cookie headers in recorded flows.
+
+    This is the "set or updated via HTTP(S)" check the paper performs
+    against the extracted cookie stores.
+    """
+    first_parties = first_party_by_channel or {}
+    records = []
+    for flow in flows:
+        headers = flow.set_cookie_headers()
+        if not headers:
+            continue
+        try:
+            request_url = URL.parse(flow.url)
+        except URLError:
+            continue
+        for header in headers:
+            try:
+                cookie = parse_set_cookie(header, request_url, flow.timestamp)
+            except ValueError:
+                continue
+            records.append(
+                CookieRecord(
+                    cookie=cookie,
+                    channel_id=flow.channel_id,
+                    run_name=run_name,
+                    first_party_etld1=first_parties.get(flow.channel_id, ""),
+                )
+            )
+    return records
+
+
+# -- persistence ------------------------------------------------------------------
+
+
+def export_flows_jsonl(flows: Iterable[Flow], path: str) -> int:
+    """Write flows to a JSONL file; returns the number written.
+
+    Bodies are kept only by size and content type — the analyses that
+    need body *content* (policies, fingerprint scripts) run in-process.
+    """
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for flow in flows:
+            record = {
+                "method": flow.request.method,
+                "url": flow.url,
+                "ts": flow.timestamp,
+                "status": flow.status,
+                "content_type": flow.response.content_type,
+                "size": flow.response.size,
+                "set_cookies": flow.set_cookie_headers(),
+                "referer": flow.request.referer,
+                "channel_id": flow.channel_id,
+                "channel_name": flow.channel_name,
+                "run": flow.run_name,
+                "https": flow.is_https,
+            }
+            handle.write(json.dumps(record) + "\n")
+            count += 1
+    return count
+
+
+def import_flows_jsonl(path: str) -> list[Flow]:
+    """Rebuild flows from a JSONL export.
+
+    The reconstruction is faithful for everything the traffic analyses
+    consume — URL, timestamps, status, content type, body *size*,
+    Set-Cookie headers, referrer, channel attribution — but response
+    bodies come back as padding of the recorded size, so content-based
+    stages (policy texts, fingerprint scripts) need the live dataset.
+    """
+    from repro.net.http import Headers, HttpRequest, HttpResponse
+
+    flows: list[Flow] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            request_headers = Headers()
+            if record.get("referer"):
+                request_headers.add("Referer", record["referer"])
+            response_headers = Headers(
+                [("Content-Type", record.get("content_type", ""))]
+            )
+            for header in record.get("set_cookies", []):
+                response_headers.add("Set-Cookie", header)
+            flows.append(
+                Flow(
+                    request=HttpRequest(
+                        method=record.get("method", "GET"),
+                        url=record["url"],
+                        headers=request_headers,
+                        timestamp=record.get("ts", 0.0),
+                    ),
+                    response=HttpResponse(
+                        status=record.get("status", 200),
+                        headers=response_headers,
+                        body=b"\x00" * int(record.get("size", 0)),
+                        timestamp=record.get("ts", 0.0),
+                    ),
+                    channel_id=record.get("channel_id", ""),
+                    channel_name=record.get("channel_name", ""),
+                    run_name=record.get("run", ""),
+                    intercepted_tls=record.get("https", False),
+                )
+            )
+    return flows
+
+
+def summarize_flows(flows: Iterable[Flow]) -> dict[str, int]:
+    """Cheap aggregate counters used by reports and logs."""
+    total = 0
+    https = 0
+    with_cookies = 0
+    for flow in flows:
+        total += 1
+        if flow.is_https:
+            https += 1
+        if flow.set_cookie_headers():
+            with_cookies += 1
+    return {"total": total, "https": https, "with_set_cookie": with_cookies}

@@ -1,0 +1,133 @@
+"""The six-step channel-selection pipeline (§IV-B).
+
+Starts from everything the antenna scan received (3,575 channels in the
+paper) and narrows down to the HbbTV-capable free-to-air TV channels the
+study measures (396), using TV metadata for the first three steps and an
+exploratory traffic measurement for the rest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import DEFAULT_CONFIG, MeasurementConfig
+from repro.dvb.channel import BroadcastChannel
+from repro.proxy.mitm import InterceptionProxy
+from repro.tv.webos import WebOSApi, WebOSApiError
+
+
+@dataclass
+class FilteringReport:
+    """Counts per filtering step, mirroring the §IV-B funnel."""
+
+    received: int = 0
+    tv_channels: int = 0  # step 1: not radio
+    unencrypted: int = 0  # step 2: no CI module needed
+    visible_named: int = 0  # step 3: signal present, non-empty name
+    with_traffic: int = 0  # step 5: HTTP(S) traffic observed
+    final: int = 0  # step 6: not IPTV
+
+    def as_rows(self) -> list[tuple[str, int, float]]:
+        """(step, count, share-of-received) rows for pretty-printing."""
+        if self.received == 0:
+            return []
+        steps = [
+            ("received", self.received),
+            ("TV (not radio)", self.tv_channels),
+            ("free-to-air", self.unencrypted),
+            ("visible & named", self.visible_named),
+            ("with HTTP(S) traffic", self.with_traffic),
+            ("final (non-IPTV)", self.final),
+        ]
+        return [(name, count, count / self.received) for name, count in steps]
+
+
+class ChannelFilterPipeline:
+    """Runs the metadata filters and the exploratory measurement."""
+
+    def __init__(
+        self,
+        api: WebOSApi,
+        proxy: InterceptionProxy,
+        config: MeasurementConfig = DEFAULT_CONFIG,
+    ) -> None:
+        self.api = api
+        self.proxy = proxy
+        self.config = config
+        self.report = FilteringReport()
+
+    # -- steps 1-3: metadata ----------------------------------------------------
+
+    def metadata_filter(
+        self, channels: list[BroadcastChannel]
+    ) -> list[BroadcastChannel]:
+        """Steps 1–3: drop radio, encrypted, invisible/unnamed channels."""
+        self.report.received = len(channels)
+        tv_channels = [c for c in channels if not c.meta.is_radio]
+        self.report.tv_channels = len(tv_channels)
+        unencrypted = [c for c in tv_channels if not c.meta.is_encrypted]
+        self.report.unencrypted = len(unencrypted)
+        visible = [
+            c
+            for c in unencrypted
+            if not c.meta.is_invisible and c.meta.name.strip()
+        ]
+        self.report.visible_named = len(visible)
+        return visible
+
+    # -- steps 4-6: exploratory traffic measurement -------------------------------
+
+    def exploratory_filter(
+        self, channels: list[BroadcastChannel]
+    ) -> list[BroadcastChannel]:
+        """Steps 4–6: watch each channel and keep those with traffic."""
+        tv = self.api.tv
+        with_traffic = []
+        deferred: list[BroadcastChannel] = []
+        for channel in channels:
+            if not channel.is_on_air(tv.clock.hour_of_day()):
+                # Channels with restricted airing times are re-probed at
+                # the end of the sweep — the paper extended its schedule
+                # to catch exactly these.
+                deferred.append(channel)
+                continue
+            if self._probe(channel):
+                with_traffic.append(channel)
+        for channel in deferred:
+            if channel.is_on_air(tv.clock.hour_of_day()) and self._probe(channel):
+                with_traffic.append(channel)
+        self.report.with_traffic = len(with_traffic)
+        final = [c for c in with_traffic if not c.is_iptv]
+        self.report.final = len(final)
+        return final
+
+    def _probe(self, channel: BroadcastChannel) -> bool:
+        """Watch one channel for the exploratory interval; True if it
+        produced any HTTP(S) traffic.  Probe flows are checked and
+        discarded channel by channel so the sweep stays memory-bounded.
+        """
+        tv = self.api.tv
+        self.proxy.notify_channel_switch(
+            channel.channel_id, channel.name, tv.clock.now
+        )
+        try:
+            self.api.switch_channel(channel)
+        except WebOSApiError:
+            self.api.restart_tv()
+            self.api.tv.connect_wifi()
+            self.api.switch_channel(channel)
+        tv.wait(self.config.exploratory_watch_seconds)
+        probe_flows = self.proxy.drain_flows()
+        return any(f.channel_id == channel.channel_id for f in probe_flows)
+
+    # -- the whole funnel ------------------------------------------------------------
+
+    def run(self, channels: list[BroadcastChannel]) -> list[BroadcastChannel]:
+        """Execute all six steps and return the final channel set."""
+        visible = self.metadata_filter(channels)
+        final = self.exploratory_filter(visible)
+        # The exploratory traffic is only a probe; drop it so the actual
+        # measurement runs start from a clean slate.
+        self.proxy.drain_flows()
+        self.api.tv.wipe()
+        return final

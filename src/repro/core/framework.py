@@ -1,0 +1,92 @@
+"""The measurement orchestrator (§IV-C's overall procedure).
+
+For every run: start the proxy, power the TV on and connect Wi-Fi,
+watch the (re-shuffled) channel set with the remote-control script,
+extract cookies and storage, push everything into the dataset, wipe the
+TV, and power it off.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.config import DEFAULT_CONFIG, MeasurementConfig
+from repro.core.dataset import (
+    RunDataset,
+    StudyDataset,
+    cookie_records_from_flows,
+)
+from repro.core.remote import RemoteControlScript
+from repro.core.runs import RunSpec, standard_runs
+from repro.dvb.channel import BroadcastChannel
+from repro.proxy.mitm import InterceptionProxy
+from repro.tv.webos import WebOSApi
+
+
+class MeasurementFramework:
+    """Runs a full study over a fixed channel set."""
+
+    def __init__(
+        self,
+        api: WebOSApi,
+        proxy: InterceptionProxy,
+        channels: list[BroadcastChannel],
+        config: MeasurementConfig = DEFAULT_CONFIG,
+        seed: int = 0,
+    ) -> None:
+        self.api = api
+        self.proxy = proxy
+        self.channels = list(channels)
+        self.config = config
+        self.seed = seed
+        self.script = RemoteControlScript(api, proxy, config)
+
+    def run_study(self, runs: list[RunSpec] | None = None) -> StudyDataset:
+        """Execute every measurement run and return the full dataset."""
+        dataset = StudyDataset()
+        for run in runs or standard_runs(self.seed, self.config.interaction_presses):
+            dataset.add_run(self.execute_run(run))
+        return dataset
+
+    def execute_run(self, run: RunSpec) -> RunDataset:
+        """One measurement run over all channels, §IV-C steps 1–5."""
+        tv = self.api.tv
+        self.proxy.start()
+        tv.power_on()
+        tv.connect_wifi()
+
+        order = list(self.channels)
+        random.Random(f"order:{self.seed}:{run.name}").shuffle(order)
+
+        run_data = RunDataset(run_name=run.name, date_label=run.date_label)
+        for channel in order:
+            visit = self.script.watch_channel(channel, run)
+            if visit.skipped_off_air:
+                continue
+            run_data.channels_measured.append(channel.channel_id)
+            run_data.interaction_count += visit.key_presses
+            for index, shot in enumerate(visit.screenshots):
+                run_data.screenshots.append(shot.with_run(run.name, index))
+
+        # Step 4: extract and upload observed data.
+        flows = [f.with_run(run.name) for f in self.proxy.drain_flows()]
+        run_data.flows = flows
+        first_parties = self._identify_first_parties(flows)
+        run_data.cookie_records = cookie_records_from_flows(
+            flows, run.name, first_parties
+        )
+        run_data.jar_dump = self.api.extract_cookies()
+        run_data.storage_entries = self.api.extract_local_storage()
+
+        # Step 5: wipe the TV and power it off.
+        tv.wipe()
+        tv.power_off()
+        self.proxy.stop()
+        return run_data
+
+    @staticmethod
+    def _identify_first_parties(flows) -> dict[str, str]:
+        # Imported lazily: the analysis layer builds on core's types.
+        from repro.analysis.parties import identify_first_parties
+
+        return identify_first_parties(flows)

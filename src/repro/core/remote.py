@@ -1,0 +1,109 @@
+"""The remote-control script (§IV-C).
+
+Implements the per-channel watch protocol on top of the webOS API:
+switch, notify the proxy, settle for 10 s, screenshot, then screenshot
+every 60 s; on color-button runs, press the button after settling, wait,
+and replay the run's fixed interaction sequence (screenshotting after
+every press).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import DEFAULT_CONFIG, MeasurementConfig
+from repro.core.runs import RunSpec
+from repro.dvb.channel import BroadcastChannel
+from repro.proxy.mitm import InterceptionProxy
+from repro.tv.screenshot import Screenshot
+from repro.tv.webos import WebOSApi, WebOSApiError
+
+
+@dataclass
+class ChannelVisit:
+    """What one channel visit produced."""
+
+    channel_id: str
+    channel_name: str
+    screenshots: list[Screenshot] = field(default_factory=list)
+    key_presses: int = 0
+    skipped_off_air: bool = False
+
+
+class RemoteControlScript:
+    """Drives the TV through one run's per-channel protocol."""
+
+    def __init__(
+        self,
+        api: WebOSApi,
+        proxy: InterceptionProxy,
+        config: MeasurementConfig = DEFAULT_CONFIG,
+    ) -> None:
+        self.api = api
+        self.proxy = proxy
+        self.config = config
+
+    def watch_channel(
+        self, channel: BroadcastChannel, run: RunSpec
+    ) -> ChannelVisit:
+        """Execute the full watch protocol for one channel."""
+        tv = self.api.tv
+        visit = ChannelVisit(channel.channel_id, channel.name)
+        if not channel.is_on_air(tv.clock.hour_of_day()):
+            visit.skipped_off_air = True
+            return visit
+
+        # Push the channel to the proxy, then switch.
+        self.proxy.notify_channel_switch(
+            channel.channel_id, channel.name, tv.clock.now
+        )
+        self._call(lambda: self.api.switch_channel(channel))
+
+        config = self.config
+        tv.wait(config.settle_seconds)
+        visit.screenshots.append(self._shot())
+
+        # Total stay on the channel: settle time + watch time (the paper
+        # watches "at least 910 s": 10 s settle + 900 s = 16 screenshots).
+        elapsed = config.settle_seconds
+        if run.is_interactive:
+            assert run.color_button is not None
+            self._call(lambda: self.api.send_key(run.color_button))
+            visit.key_presses += 1
+            tv.wait(config.post_button_seconds)
+            elapsed += config.post_button_seconds
+            for key in run.interaction_sequence:
+                self._call(lambda k=key: self.api.send_key(k))
+                visit.key_presses += 1
+                tv.wait(config.interaction_gap_seconds)
+                elapsed += config.interaction_gap_seconds
+                visit.screenshots.append(self._shot())
+            total_watch = config.settle_seconds + config.color_run_watch_seconds
+        else:
+            total_watch = config.settle_seconds + config.watch_seconds
+
+        # Keep watching, screenshotting every interval, until the end.
+        while elapsed + config.screenshot_interval_seconds <= total_watch:
+            tv.wait(config.screenshot_interval_seconds)
+            elapsed += config.screenshot_interval_seconds
+            visit.screenshots.append(self._shot())
+        if elapsed < total_watch:
+            tv.wait(total_watch - elapsed)
+
+        return visit
+
+    def _shot(self) -> Screenshot:
+        return self._call(self.api.take_screenshot)
+
+    def _call(self, operation):
+        """Run an API operation, power-cycling the TV if the API wedges.
+
+        The paper had to physically restart the TV when its API stopped
+        responding; the retry-after-restart here models that recovery.
+        """
+        try:
+            return operation()
+        except WebOSApiError:
+            self.api.restart_tv()
+            self.api.tv.connect_wifi()
+            return operation()

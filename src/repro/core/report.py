@@ -1,0 +1,62 @@
+"""Dataset overview — the generator behind Table I."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.dataset import RunDataset, StudyDataset
+
+
+@dataclass(frozen=True)
+class DatasetOverview:
+    """One Table I row."""
+
+    run_name: str
+    date_label: str
+    channels: int
+    http_requests: int
+    https_requests: int
+    https_share: float
+    total_cookies: int
+    first_party_cookies: int
+    third_party_cookies: int
+    local_storage_objects: int
+
+    @classmethod
+    def of(cls, run: RunDataset) -> "DatasetOverview":
+        return cls(
+            run_name=run.run_name,
+            date_label=run.date_label,
+            channels=len(set(run.channels_measured)),
+            http_requests=run.http_request_count,
+            https_requests=run.https_request_count,
+            https_share=run.https_share,
+            total_cookies=run.distinct_cookie_count(),
+            first_party_cookies=run.first_party_cookie_count(),
+            third_party_cookies=run.third_party_cookie_count(),
+            local_storage_objects=len(run.storage_entries),
+        )
+
+
+def overview_table(dataset: StudyDataset) -> list[DatasetOverview]:
+    """Build Table I: one overview row per measurement run."""
+    return [DatasetOverview.of(run) for run in dataset.runs.values()]
+
+
+def format_overview_table(rows: list[DatasetOverview]) -> str:
+    """Render Table I as aligned text (what the benches print)."""
+    header = (
+        f"{'Meas. Run':<10} {'Date':<12} {'Channels':>8} {'HTTP Req.':>10} "
+        f"{'HTTPS Req.':>10} {'HTTPS Share':>11} {'Cookies':>8} "
+        f"{'1P':>6} {'3P':>6} {'Storage':>8}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.run_name:<10} {row.date_label:<12} {row.channels:>8} "
+            f"{row.http_requests:>10,} {row.https_requests:>10,} "
+            f"{row.https_share:>10.2%} {row.total_cookies:>8} "
+            f"{row.first_party_cookies:>6} {row.third_party_cookies:>6} "
+            f"{row.local_storage_objects:>8}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,71 @@
+"""The five measurement runs and their fixed interaction sequences.
+
+Each color-button run presses its button once, waits, and then replays a
+*fixed* sequence of ten presses drawn from the cursor keys and ENTER
+(with ENTER guaranteed at least once, to trigger loading of new HbbTV
+content).  The sequence is generated once per run and reused on every
+channel, exactly as in §IV-C.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.keys import INTERACTION_KEYS, Key
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One measurement run."""
+
+    name: str
+    color_button: Key | None
+    interaction_sequence: tuple[Key, ...] = ()
+    #: Simulated calendar date label for reports (Table I's Date column).
+    date_label: str = ""
+
+    @property
+    def is_interactive(self) -> bool:
+        return self.color_button is not None
+
+
+def generate_interaction_sequence(
+    rng: random.Random, length: int = 10
+) -> tuple[Key, ...]:
+    """A fixed sequence of cursor/ENTER presses with ENTER at least once."""
+    if length < 1:
+        raise ValueError("interaction sequences need at least one press")
+    sequence = [rng.choice(INTERACTION_KEYS) for _ in range(length)]
+    if Key.ENTER not in sequence:
+        sequence[rng.randrange(length)] = Key.ENTER
+    return tuple(sequence)
+
+
+#: Paper run names in measurement order with their real dates.
+RUN_ORDER = (
+    ("General", None, "2023-08-21"),
+    ("Red", Key.RED, "2023-09-14"),
+    ("Green", Key.GREEN, "2023-09-22"),
+    ("Blue", Key.BLUE, "2023-09-27"),
+    ("Yellow", Key.YELLOW, "2023-10-12"),
+)
+
+
+def standard_runs(seed: int = 0, presses: int = 10) -> list[RunSpec]:
+    """Build the paper's five runs with seeded interaction sequences."""
+    runs = []
+    for name, button, date_label in RUN_ORDER:
+        if button is None:
+            runs.append(RunSpec(name, None, (), date_label))
+            continue
+        rng = random.Random(f"interaction:{seed}:{name}")
+        runs.append(
+            RunSpec(
+                name,
+                button,
+                generate_interaction_sequence(rng, presses),
+                date_label,
+            )
+        )
+    return runs

@@ -1,0 +1,30 @@
+"""DVB-S broadcast substrate.
+
+Stands in for the parabolic antenna, the three satellites (Astra 1L,
+Hot Bird 13E, Eutelsat 16E), and the broadcast signal itself.  A channel
+carries the metadata fields the paper's filtering pipeline inspects
+(radio flag, encryption, invisibility, name) plus the AIT that advertises
+HbbTV application URLs inside the signal.
+"""
+
+from repro.dvb.ait import ApplicationInformationTable, AitApplication
+from repro.dvb.channel import BroadcastChannel, ChannelCategory, ChannelMeta
+from repro.dvb.epg import ProgrammeGuide, Show, GENRES
+from repro.dvb.receiver import Antenna, ReceiverLocation
+from repro.dvb.satellite import Satellite, Transponder, STANDARD_SATELLITES
+
+__all__ = [
+    "Satellite",
+    "Transponder",
+    "STANDARD_SATELLITES",
+    "BroadcastChannel",
+    "ChannelMeta",
+    "ChannelCategory",
+    "ApplicationInformationTable",
+    "AitApplication",
+    "ProgrammeGuide",
+    "Show",
+    "GENRES",
+    "Antenna",
+    "ReceiverLocation",
+]

@@ -1,0 +1,71 @@
+"""The Application Information Table (AIT).
+
+In real DVB broadcasts, the AIT is a signalling table that tells an
+HbbTV-capable receiver which applications exist, where to load them from
+(the URL encoded into the signal), and whether they autostart.  The
+paper's key observation that "some channels encode connections to
+third-party services directly into the HbbTV signal" is modelled by
+allowing an AIT to list extra preload URLs next to the entry point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class AitApplication:
+    """One application entry in the AIT.
+
+    ``autostart`` corresponds to AUTOSTART control code (the red-button
+    application); non-autostart entries are PRESENT apps the viewer must
+    launch explicitly.
+    """
+
+    application_id: int
+    organisation_id: int
+    name: str
+    entry_url: str
+    autostart: bool = True
+    #: Additional URLs the signal instructs the TV to fetch alongside the
+    #: entry point.  Channels that embed third-party trackers directly in
+    #: the broadcast signal list them here (see §V-A of the paper).
+    preload_urls: tuple[str, ...] = ()
+
+
+@dataclass
+class ApplicationInformationTable:
+    """The per-channel AIT carried in the broadcast signal."""
+
+    applications: list[AitApplication] = field(default_factory=list)
+    version: int = 1
+
+    def autostart_application(self) -> AitApplication | None:
+        """The application the TV launches automatically, if any."""
+        for app in self.applications:
+            if app.autostart:
+                return app
+        return None
+
+    def application_urls(self) -> list[str]:
+        """Every URL encoded in the signal, entry points first."""
+        urls = [app.entry_url for app in self.applications]
+        for app in self.applications:
+            urls.extend(app.preload_urls)
+        return urls
+
+
+def simple_ait(entry_url: str, name: str = "app", preload_urls: tuple[str, ...] = ()) -> ApplicationInformationTable:
+    """Build a one-application autostart AIT (the common case)."""
+    return ApplicationInformationTable(
+        applications=[
+            AitApplication(
+                application_id=1,
+                organisation_id=1,
+                name=name,
+                entry_url=entry_url,
+                autostart=True,
+                preload_urls=preload_urls,
+            )
+        ]
+    )

@@ -1,0 +1,116 @@
+"""Broadcast channels and their metadata.
+
+``ChannelMeta`` carries exactly the fields the paper's six-step filtering
+pipeline inspects: the radio flag, encryption ("No CI module"), the
+``invisible`` attribute, and the name.  Satellite-operator metadata
+(language, categories) feeds the category analysis of §V-D4.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:
+    from repro.dvb.ait import ApplicationInformationTable
+    from repro.dvb.epg import ProgrammeGuide
+    from repro.dvb.satellite import Transponder
+
+
+class ChannelCategory(enum.Enum):
+    """Channel categories from the satellite operator's guide (§V-D4)."""
+
+    GENERAL = "General"
+    MOVIES = "Movies"
+    NEWS = "News"
+    SPORTS = "Sports"
+    CHILDREN = "Children"
+    MUSIC = "Music"
+    DOCUMENTARY = "Documentary"
+    SHOPPING = "Shopping"
+    RELIGION = "Religion"
+    REGIONAL = "Regional"
+
+
+@dataclass
+class ChannelMeta:
+    """Channel metadata exposed by the TV and the satellite operator."""
+
+    name: str
+    channel_id: str
+    is_radio: bool = False
+    is_encrypted: bool = False
+    is_invisible: bool = False  # "no signal" marker in the TV metadata
+    language: str = "de"
+    categories: tuple[ChannelCategory, ...] = (ChannelCategory.GENERAL,)
+    operator: str = ""  # broadcaster group name
+    is_public_broadcaster: bool = False
+    targets_children: bool = False
+
+    @property
+    def primary_category(self) -> ChannelCategory:
+        """The paper uses only the first assigned category."""
+        return self.categories[0]
+
+
+@dataclass
+class BroadcastChannel:
+    """A channel as carried on a transponder.
+
+    ``ait`` is the Application Information Table embedded in the signal;
+    ``None`` means the channel does not broadcast HbbTV entry points.
+    ``broadcast_hours`` models channels that only air during part of the
+    day (some channels in the study were not always receivable).
+    """
+
+    meta: ChannelMeta
+    ait: Optional["ApplicationInformationTable"] = None
+    guide: Optional["ProgrammeGuide"] = None
+    transponder: Optional["Transponder"] = None
+    is_iptv: bool = False
+    broadcast_hours: tuple[int, int] = (0, 24)  # [start, end) local hours
+
+    @property
+    def name(self) -> str:
+        return self.meta.name
+
+    @property
+    def channel_id(self) -> str:
+        return self.meta.channel_id
+
+    @property
+    def supports_hbbtv(self) -> bool:
+        return self.ait is not None and bool(self.ait.applications)
+
+    def is_on_air(self, hour_of_day: float) -> bool:
+        """True if the channel broadcasts at ``hour_of_day`` (0–24)."""
+        start, end = self.broadcast_hours
+        if (start, end) == (0, 24):
+            return True
+        hour = hour_of_day % 24
+        if start <= end:
+            return start <= hour < end
+        return hour >= start or hour < end  # window wraps past midnight
+
+    @property
+    def satellite_name(self) -> str:
+        """Name of the carrying satellite ('' if not attached yet)."""
+        if self.transponder is None:
+            return ""
+        # Transponders don't back-reference satellites; the receiver
+        # attaches this when scanning.  Kept as an attribute for speed.
+        return getattr(self, "_satellite_name", "")
+
+    def attach_satellite_name(self, name: str) -> None:
+        self._satellite_name = name
+
+    def __repr__(self) -> str:
+        flags = []
+        if self.meta.is_radio:
+            flags.append("radio")
+        if self.meta.is_encrypted:
+            flags.append("encrypted")
+        if self.supports_hbbtv:
+            flags.append("hbbtv")
+        return f"BroadcastChannel({self.meta.name!r}, {'/'.join(flags) or 'tv'})"

@@ -1,0 +1,110 @@
+"""Electronic programme guide: shows, genres, and schedules.
+
+The behavioural-leakage analysis (§V-B) searches traffic for the name and
+genre of the currently aired show, so channels need a schedule that the
+HbbTV application can report to trackers.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+#: TV-show genres, following the taxonomy the paper keyword-searched for
+#: (TV Spielfilm's genre list).
+GENRES = (
+    "comedy",
+    "crime",
+    "drama",
+    "documentary",
+    "news",
+    "sports",
+    "kids",
+    "music",
+    "reality",
+    "quiz",
+    "talk",
+    "shopping",
+    "movie",
+    "series",
+)
+
+_SHOW_ADJECTIVES = (
+    "Great",
+    "Daily",
+    "Late",
+    "Morning",
+    "Wild",
+    "Secret",
+    "Golden",
+    "True",
+    "Royal",
+    "Lost",
+)
+
+_SHOW_NOUNS = (
+    "Stories",
+    "Report",
+    "Magazine",
+    "Journey",
+    "Files",
+    "Kitchen",
+    "Garden",
+    "Quiz",
+    "Arena",
+    "Chronicles",
+)
+
+
+@dataclass(frozen=True)
+class Show:
+    """A single scheduled programme."""
+
+    title: str
+    genre: str
+    start_hour: float  # hour of day, 0–24
+    duration_hours: float
+
+    def airs_at(self, hour_of_day: float) -> bool:
+        offset = (hour_of_day - self.start_hour) % 24
+        return offset < self.duration_hours
+
+
+class ProgrammeGuide:
+    """A 24-hour rolling schedule of shows for one channel."""
+
+    def __init__(self, shows: list[Show]) -> None:
+        if not shows:
+            raise ValueError("a programme guide needs at least one show")
+        self._shows = sorted(shows, key=lambda s: s.start_hour)
+
+    @property
+    def shows(self) -> list[Show]:
+        return list(self._shows)
+
+    def current_show(self, hour_of_day: float) -> Show:
+        """The show airing at ``hour_of_day``; latest start wins."""
+        hour = hour_of_day % 24
+        airing = [s for s in self._shows if s.airs_at(hour)]
+        if airing:
+            return max(airing, key=lambda s: (hour - s.start_hour) % 24 * -1)
+        # Gaps fall back to the most recently started show.
+        return max(self._shows, key=lambda s: -((hour - s.start_hour) % 24))
+
+    @classmethod
+    def generate(
+        cls, rng: random.Random, preferred_genre: str | None = None
+    ) -> "ProgrammeGuide":
+        """Generate a seeded full-day schedule of 2-hour slots."""
+        shows = []
+        for slot in range(0, 24, 2):
+            if preferred_genre is not None and rng.random() < 0.7:
+                genre = preferred_genre
+            else:
+                genre = rng.choice(GENRES)
+            title = (
+                f"{rng.choice(_SHOW_ADJECTIVES)} "
+                f"{rng.choice(_SHOW_NOUNS)} {slot:02d}"
+            )
+            shows.append(Show(title, genre, float(slot), 2.0))
+        return cls(shows)

@@ -1,0 +1,61 @@
+"""The antenna / receiver: which satellites a location can see, and the
+channel scan that produces the TV's channel list.
+
+The paper's setup in Germany could receive Astra 1L, Hot Bird 13E, and
+Eutelsat 16E but not Thor (0.8°W) or Hispasat (30°W); the receiver
+models that reachability with a visibility window around the antenna's
+pointing arc.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dvb.channel import BroadcastChannel
+from repro.dvb.satellite import Satellite
+
+
+@dataclass(frozen=True)
+class ReceiverLocation:
+    """Where the dish is installed and how wide its usable arc is."""
+
+    name: str
+    #: Centre of the visible orbital arc in degrees east.
+    arc_center_deg: float
+    #: Half-width of the visible arc in degrees.
+    arc_half_width_deg: float
+
+    def can_see(self, satellite: Satellite) -> bool:
+        return (
+            abs(satellite.orbital_position_deg - self.arc_center_deg)
+            <= self.arc_half_width_deg
+        )
+
+
+#: The paper's physical setup: a German location seeing 13–19.2°E but not
+#: the western satellites.
+GERMANY = ReceiverLocation("Germany", arc_center_deg=16.0, arc_half_width_deg=5.0)
+
+
+class Antenna:
+    """A parabolic antenna at a fixed location."""
+
+    def __init__(self, location: ReceiverLocation = GERMANY) -> None:
+        self.location = location
+
+    def visible_satellites(self, satellites: list[Satellite]) -> list[Satellite]:
+        """The subset of ``satellites`` receivable from this location."""
+        return [s for s in satellites if self.location.can_see(s)]
+
+    def scan(self, satellites: list[Satellite]) -> list[BroadcastChannel]:
+        """Run a channel scan: every channel on every visible satellite.
+
+        Each returned channel is annotated with the satellite it was
+        received from, matching the per-satellite breakdown in §IV-D.
+        """
+        received: list[BroadcastChannel] = []
+        for satellite in self.visible_satellites(satellites):
+            for channel in satellite.channels():
+                channel.attach_satellite_name(satellite.name)
+                received.append(channel)
+        return received

@@ -1,0 +1,79 @@
+"""Satellites and transponders.
+
+The study received signals from three satellites; each satellite carries
+transponders, and each transponder multiplexes a set of broadcast
+channels.  Orbital position determines whether an antenna at a given
+location can see the satellite at all (the paper could not receive Thor
+or Hispasat from Germany).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.dvb.channel import BroadcastChannel
+
+
+@dataclass
+class Transponder:
+    """One transponder: a frequency slot multiplexing several channels."""
+
+    frequency_mhz: int
+    polarization: str  # "H" or "V"
+    symbol_rate: int = 27500
+    channels: list["BroadcastChannel"] = field(default_factory=list)
+
+    def add_channel(self, channel: "BroadcastChannel") -> None:
+        channel.transponder = self
+        self.channels.append(channel)
+
+
+@dataclass
+class Satellite:
+    """A broadcast satellite at a fixed orbital position.
+
+    ``orbital_position_deg`` is degrees east (negative = west).
+    """
+
+    name: str
+    orbital_position_deg: float
+    transponders: list[Transponder] = field(default_factory=list)
+
+    def add_transponder(self, transponder: Transponder) -> Transponder:
+        self.transponders.append(transponder)
+        return transponder
+
+    def channels(self) -> list["BroadcastChannel"]:
+        """All channels across all transponders, in multiplex order."""
+        found: list["BroadcastChannel"] = []
+        for transponder in self.transponders:
+            found.extend(transponder.channels)
+        return found
+
+    def __repr__(self) -> str:
+        return (
+            f"Satellite({self.name!r}, {self.orbital_position_deg}°E, "
+            f"{len(self.transponders)} transponders)"
+        )
+
+
+def standard_satellites() -> list[Satellite]:
+    """The three satellites the paper received from Germany."""
+    return [
+        Satellite("Astra 1L", 19.2),
+        Satellite("Hot Bird 13E", 13.0),
+        Satellite("Eutelsat 16E", 16.0),
+    ]
+
+
+#: Name → orbital position for satellites referenced by the paper,
+#: including the two it explicitly could not receive.
+STANDARD_SATELLITES = {
+    "Astra 1L": 19.2,
+    "Hot Bird 13E": 13.0,
+    "Eutelsat 16E": 16.0,
+    "Thor": -0.8,
+    "Hispasat": -30.0,
+}

@@ -1,0 +1,44 @@
+"""The HbbTV application layer.
+
+Models the HTML5 applications channels deliver on top of the linear
+programme: what they load, which trackers they embed, which overlays
+they draw (including consent notices and media libraries), and how they
+react to the remote control's colored buttons.
+"""
+
+from repro.hbbtv.app import (
+    AppScreen,
+    EmbeddedService,
+    HbbTVApplication,
+    ScreenKind,
+    ServiceKind,
+)
+from repro.hbbtv.consent import (
+    ConsentChoice,
+    ConsentNoticeMachine,
+    NoticeButton,
+    NoticeStyle,
+    STANDARD_NOTICE_STYLES,
+)
+from repro.hbbtv.media_library import MediaLibrary, PrivacyPointer
+from repro.hbbtv.overlay import OverlayKind, PrivacyContentKind, ScreenState
+from repro.hbbtv.runtime import AppRuntime
+
+__all__ = [
+    "HbbTVApplication",
+    "EmbeddedService",
+    "ServiceKind",
+    "AppScreen",
+    "ScreenKind",
+    "AppRuntime",
+    "OverlayKind",
+    "PrivacyContentKind",
+    "ScreenState",
+    "ConsentNoticeMachine",
+    "ConsentChoice",
+    "NoticeStyle",
+    "NoticeButton",
+    "STANDARD_NOTICE_STYLES",
+    "MediaLibrary",
+    "PrivacyPointer",
+]

@@ -1,0 +1,148 @@
+"""Declarative HbbTV application specifications.
+
+A channel's application is described as data: which trackers it embeds
+(and how often they beacon), what each colored button opens, whether a
+consent notice appears on start, and what the app leaks about the device
+and the running programme.  The :class:`~repro.hbbtv.runtime.AppRuntime`
+interprets these specs against the simulated network.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.hbbtv.consent import NoticeStyle
+from repro.hbbtv.media_library import MediaLibrary
+from repro.keys import Key
+from repro.trackers.base import TrackerService
+
+
+class ServiceKind(enum.Enum):
+    """How an embedded service is exercised by the app."""
+
+    PIXEL = "pixel"  # periodic 1x1 beacons
+    ANALYTICS = "analytics"  # periodic audience-measurement hits
+    FINGERPRINT = "fingerprint"  # script load at start + one collect
+    SYNC = "sync"  # one redirect chain at start
+    STATIC = "static"  # plain resource loads at start
+    AD = "ad"  # ad slot request with campaign/brand parameters
+
+
+@dataclass
+class EmbeddedService:
+    """One service an application talks to.
+
+    ``period_s`` controls periodic kinds (PIXEL, ANALYTICS); one-shot
+    kinds ignore it.  ``leaks_device_info`` / ``leaks_show_info`` append
+    the corresponding query parameters — this is what §V-B's keyword
+    search finds.  ``url`` overrides the service's default endpoint and
+    is required when ``service`` is None (plain static URLs).
+    """
+
+    kind: ServiceKind
+    service: Optional[TrackerService] = None
+    url: str = ""
+    period_s: float = 0.0
+    leaks_device_info: bool = False
+    leaks_show_info: bool = False
+    extra_params: dict[str, str] = field(default_factory=dict)
+    #: Only exercised after this colored button was pressed (None = from
+    #: app start).  Button runs loading extra trackers is why the paper
+    #: sees significantly more traffic on Red/Yellow.
+    after_button: Optional[Key] = None
+    #: If set, the service honours a declared consent choice and stays
+    #: quiet until consent is accepted.  Most HbbTV trackers do not.
+    requires_consent: bool = False
+
+    def domain(self) -> str:
+        if self.service is not None:
+            return self.service.domain
+        from repro.net.url import URL
+
+        return URL.parse(self.url).host
+
+
+class ScreenKind(enum.Enum):
+    """What a colored button opens."""
+
+    NONE = "none"
+    MEDIA_LIBRARY = "media_library"
+    PRIVACY_POLICY = "privacy_policy"
+    PRIVACY_SETTINGS = "privacy_settings"  # re-opens the consent notice
+    TEXT_PAGE = "text_page"  # EPG-style / teletext-style overlay ("Other")
+    CHANNEL_TECH_MESSAGE = "channel_tech_message"
+
+
+@dataclass
+class AppScreen:
+    """The overlay behind one colored button."""
+
+    kind: ScreenKind = ScreenKind.NONE
+    media_library: Optional[MediaLibrary] = None
+    policy_url: str = ""
+    #: Extra requests fired when the screen opens (page bundles, styles).
+    load_urls: tuple[str, ...] = ()
+    caption: str = ""
+    #: PRIVACY_SETTINGS only: render policy + cookie controls as a split
+    #: screen even without a consent-notice style (the RBB/MDR-like
+    #: hybrid overlays).
+    show_cookie_controls: bool = False
+
+
+@dataclass
+class HbbTVApplication:
+    """Complete declarative spec for one channel's HbbTV application."""
+
+    channel_id: str
+    channel_name: str
+    entry_url: str
+    first_party_domain: str
+    autostart: bool = True
+    notice_style: Optional[NoticeStyle] = None
+    services: list[EmbeddedService] = field(default_factory=list)
+    button_screens: dict[Key, AppScreen] = field(default_factory=dict)
+    #: Policy URL answered by the first party (or a provider such as the
+    #: smartclip-like host); '' if the channel publishes none.
+    privacy_policy_url: str = ""
+    #: Whether the app uses HTTPS for its own resources.  Most HbbTV
+    #: traffic in the study was plain HTTP (Table I's HTTPS share).
+    uses_https: bool = False
+    #: Local-storage objects the app writes on start:
+    #: (origin domain, key, value kind).  Value kinds: "id" mints an
+    #: identifier, "timestamp" stores the current time, anything else is
+    #: stored verbatim.  Table I counts these objects per run.
+    storage_writes: tuple[tuple[str, str, str], ...] = ()
+    #: Seconds after which an unanswered autostart consent notice hides
+    #: itself (0 = never).  TV notices routinely time out so the running
+    #: programme stays watchable.
+    notice_timeout_seconds: float = 0.0
+    #: Declared tracking window (start_hour, end_hour) from the privacy
+    #: policy, e.g. (17, 6) for "5 PM to 6 AM".  Purely declarative: the
+    #: runtime does NOT enforce it, which is precisely the paper's
+    #: headline discrepancy.
+    declared_tracking_hours: Optional[tuple[int, int]] = None
+
+    def screen_for(self, key: Key) -> AppScreen:
+        return self.button_screens.get(key, AppScreen(ScreenKind.NONE))
+
+    def periodic_services(self) -> list[EmbeddedService]:
+        """Services that re-fire on a period (pixels, analytics, and
+        fingerprint refreshers with a positive period)."""
+        periodic_kinds = (
+            ServiceKind.PIXEL,
+            ServiceKind.ANALYTICS,
+            ServiceKind.FINGERPRINT,
+            ServiceKind.STATIC,  # content polling (EPG refresh)
+        )
+        return [
+            s
+            for s in self.services
+            if s.kind in periodic_kinds and s.period_s > 0
+        ]
+
+    def oneshot_services(self) -> list[EmbeddedService]:
+        """Everything that fires exactly once when its trigger happens."""
+        periodic = set(map(id, self.periodic_services()))
+        return [s for s in self.services if id(s) not in periodic]

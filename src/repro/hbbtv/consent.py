@@ -1,0 +1,349 @@
+"""Consent notices: the twelve recurring styles and their UI machine.
+
+Paper §VI found that every consent notice on the analyzed channels was
+an instance of one of twelve recurring styles/brandings, all with an
+"accept" button on the first layer that holds the default focus (the
+nudging dimension unique to TV input: the cursor *must* sit on some
+button).  This module models those styles and a key-driven state machine
+over layers 1–3.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.hbbtv.overlay import OverlayKind, PrivacyContentKind, ScreenState
+from repro.keys import Key
+
+ACCEPT = "accept_all"
+DECLINE = "decline"
+SETTINGS = "settings"
+SETTINGS_OR_DECLINE = "settings_or_decline"
+PRIVACY = "privacy"
+ONLY_NECESSARY = "only_necessary"
+SAVE = "save"
+CONFIRM = "confirm"
+CANCEL = "cancel"
+
+
+class ConsentChoice(enum.Enum):
+    """Terminal outcome of an interaction with a consent notice."""
+
+    PENDING = "pending"
+    ACCEPTED_ALL = "accepted_all"
+    DECLINED = "declined"
+    CUSTOM = "custom"  # saved a (de)selection / only-necessary
+
+
+@dataclass(frozen=True)
+class NoticeButton:
+    """A button on a consent-notice layer."""
+
+    action: str
+    label: str
+
+
+@dataclass(frozen=True)
+class NoticeStyle:
+    """One of the twelve recurring notice brandings (§VI-B)."""
+
+    type_id: int
+    name: str
+    first_layer_buttons: tuple[NoticeButton, ...]
+    modal: bool = False
+    full_screen: bool = False
+    has_second_layer: bool = False
+    second_layer_controls: tuple[str, ...] = ()
+    controls_preticked: bool = True
+    second_layer_has_decline: bool = False
+    has_third_layer_confirm: bool = False
+    #: First-layer category checkboxes (only RTL Zwei-style notices).
+    first_layer_categories: tuple[str, ...] = ()
+    #: '?'-labelled checkboxes on layer 2 (type 12's oddity).
+    question_mark_boxes: bool = False
+    #: Styles 9 and 10 only ever showed up in the Blue measurement run.
+    blue_button_only: bool = False
+
+    @property
+    def default_focus(self) -> str:
+        """All twelve styles default the cursor to the accept button."""
+        return ACCEPT
+
+    def first_layer_actions(self) -> tuple[str, ...]:
+        return tuple(b.action for b in self.first_layer_buttons)
+
+
+def _btn(action: str, label: str) -> NoticeButton:
+    return NoticeButton(action, label)
+
+
+#: The twelve styles, numbered as in §VI-B "Interfaces and Branding".
+STANDARD_NOTICE_STYLES: dict[int, NoticeStyle] = {
+    1: NoticeStyle(
+        1,
+        "RTL Germany group",
+        (_btn(ACCEPT, "Alle akzeptieren"), _btn(SETTINGS, "Einstellungen")),
+        has_second_layer=True,
+        second_layer_controls=("Funktional", "Marketing", "Messung"),
+        second_layer_has_decline=True,
+    ),
+    2: NoticeStyle(
+        2,
+        "ProSiebenSat.1 group (non-modal)",
+        (
+            _btn(ACCEPT, "Akzeptieren"),
+            _btn(SETTINGS_OR_DECLINE, "Einstellungen oder Ablehnen"),
+        ),
+        has_second_layer=True,
+        second_layer_controls=("Personalisierung", "Analyse"),
+        second_layer_has_decline=True,
+    ),
+    3: NoticeStyle(
+        3,
+        "ProSiebenSat.1 group (full screen, modal)",
+        (
+            _btn(ACCEPT, "Akzeptieren"),
+            _btn(SETTINGS_OR_DECLINE, "Einstellungen oder Ablehnen"),
+        ),
+        modal=True,
+        full_screen=True,
+        has_second_layer=True,
+        second_layer_controls=("Personalisierung", "Analyse"),
+        second_layer_has_decline=True,
+    ),
+    4: NoticeStyle(
+        4,
+        "QVC",
+        (
+            _btn(ACCEPT, "Alle akzeptieren"),
+            _btn(SETTINGS, "Datenschutz-Einstellungen"),
+            _btn(DECLINE, "Ablehnen"),
+        ),
+        has_second_layer=True,
+        second_layer_controls=("Komfort", "Marketing"),
+    ),
+    5: NoticeStyle(
+        5,
+        "DMAX Austria / TLC / Comedy Central",
+        (_btn(ACCEPT, "Akzeptieren"), _btn(PRIVACY, "Datenschutz")),
+    ),
+    6: NoticeStyle(
+        6,
+        "HSE",
+        (_btn(ACCEPT, "Alle akzeptieren"), _btn(SETTINGS, "Einstellungen")),
+        has_second_layer=True,
+        second_layer_controls=("Statistik", "Personalisierung"),
+    ),
+    7: NoticeStyle(
+        7,
+        "Bibel TV",
+        (
+            _btn(ACCEPT, "Zustimmen"),
+            _btn(PRIVACY, "Datenschutz"),
+            _btn(SETTINGS, "Einstellungen"),
+        ),
+        has_second_layer=True,
+        second_layer_controls=("Google Analytics",),
+        controls_preticked=True,
+        has_third_layer_confirm=True,
+    ),
+    8: NoticeStyle(
+        8,
+        "RTL Zwei",
+        (_btn(ACCEPT, "Alle akzeptieren"), _btn(ONLY_NECESSARY, "Nur notwendige")),
+        first_layer_categories=("Funktional", "Marketing"),
+        controls_preticked=True,
+    ),
+    9: NoticeStyle(
+        9,
+        "TLC",
+        (
+            _btn(ACCEPT, "Akzeptieren"),
+            _btn(PRIVACY, "Datenschutz"),
+            _btn(SETTINGS, "Einstellungen"),
+        ),
+        has_second_layer=True,
+        second_layer_controls=("Analyse",),
+        blue_button_only=True,
+    ),
+    10: NoticeStyle(
+        10,
+        "ZDF (full screen, modal)",
+        (
+            _btn(ACCEPT, "Alle akzeptieren"),
+            _btn(SETTINGS, "Datenschutz-Einstellungen"),
+            _btn(DECLINE, "Ablehnen"),
+        ),
+        modal=True,
+        full_screen=True,
+        has_second_layer=True,
+        second_layer_controls=("Komfort", "Statistik"),
+        blue_button_only=True,
+    ),
+    11: NoticeStyle(
+        11,
+        "COUCHPLAY (Kabel Eins Doku)",
+        (
+            _btn(ACCEPT, "Akzeptieren"),
+            _btn(SETTINGS_OR_DECLINE, "Einstellungen oder Ablehnen"),
+        ),
+        has_second_layer=True,
+        second_layer_controls=("Partner",),
+        second_layer_has_decline=True,
+    ),
+    12: NoticeStyle(
+        12,
+        "Generic unbranded banner",
+        (_btn(ACCEPT, "Akzeptieren"), _btn(SETTINGS, "Einstellungen")),
+        has_second_layer=True,
+        second_layer_controls=("?", "?", "?"),
+        question_mark_boxes=True,
+        second_layer_has_decline=True,
+    ),
+}
+
+
+class ConsentNoticeMachine:
+    """Key-driven state machine over a notice's layers.
+
+    Focus moves linearly over the focusable elements of the current
+    layer (checkboxes first, then buttons); cursor keys move the focus,
+    ENTER toggles a checkbox or activates a button.  The machine starts
+    with the focus on the accept button — the nudge the paper describes.
+    """
+
+    def __init__(self, style: NoticeStyle) -> None:
+        self.style = style
+        self.layer = 1
+        self.choice = ConsentChoice.PENDING
+        self.dismissed = False
+        # (De)selection state of second-layer (or RTL-Zwei first-layer)
+        # controls; pre-ticked per style.
+        self.control_state: dict[str, bool] = {}
+        for control in style.first_layer_categories + style.second_layer_controls:
+            self.control_state[control] = style.controls_preticked
+        self._pending_deselect: str | None = None
+        self._focus_index = self._initial_focus_index()
+
+    # -- focus model ---------------------------------------------------------
+
+    def _focusables(self) -> list[str]:
+        """Focusable element names for the current layer, in order."""
+        if self.layer == 1:
+            boxes = [f"box:{c}" for c in self.style.first_layer_categories]
+            return boxes + list(self.style.first_layer_actions())
+        if self.layer == 2:
+            boxes = [f"box:{c}" for c in self.style.second_layer_controls]
+            buttons = [SAVE]
+            if self.style.second_layer_has_decline:
+                buttons.append(DECLINE)
+            return boxes + buttons
+        return [CONFIRM, CANCEL]  # layer 3: confirm a deselection
+
+    def _initial_focus_index(self) -> int:
+        focusables = self._focusables()
+        if ACCEPT in focusables:
+            return focusables.index(ACCEPT)
+        return 0
+
+    @property
+    def focused(self) -> str:
+        focusables = self._focusables()
+        return focusables[self._focus_index % len(focusables)]
+
+    # -- key handling ---------------------------------------------------------
+
+    def press(self, key: Key) -> None:
+        """Feed one remote-control key into the notice."""
+        if self.dismissed:
+            return
+        focusables = self._focusables()
+        if key in (Key.LEFT, Key.UP):
+            self._focus_index = (self._focus_index - 1) % len(focusables)
+        elif key in (Key.RIGHT, Key.DOWN):
+            self._focus_index = (self._focus_index + 1) % len(focusables)
+        elif key is Key.ENTER:
+            self._activate(self.focused)
+        elif key is Key.BACK and self.layer > 1:
+            self._goto_layer(self.layer - 1)
+        # Color keys do not reach a notice; the app intercepts them.
+
+    def _activate(self, element: str) -> None:
+        if element.startswith("box:"):
+            self._toggle(element[4:])
+            return
+        if element == ACCEPT:
+            self._dismiss(ConsentChoice.ACCEPTED_ALL)
+        elif element == DECLINE:
+            self._dismiss(ConsentChoice.DECLINED)
+        elif element == ONLY_NECESSARY:
+            for control in self.control_state:
+                self.control_state[control] = False
+            self._dismiss(ConsentChoice.CUSTOM)
+        elif element in (SETTINGS, SETTINGS_OR_DECLINE, PRIVACY):
+            if self.style.has_second_layer:
+                self._goto_layer(2)
+            else:
+                # "Privacy" without a second layer shows static info; the
+                # notice stays up (focus returns to accept — the nudge).
+                self._focus_index = self._initial_focus_index()
+        elif element == SAVE:
+            self._dismiss(self._choice_from_controls())
+        elif element == CONFIRM:
+            if self._pending_deselect is not None:
+                self.control_state[self._pending_deselect] = False
+                self._pending_deselect = None
+            self._goto_layer(2)
+        elif element == CANCEL:
+            self._pending_deselect = None
+            self._goto_layer(2)
+
+    def _toggle(self, control: str) -> None:
+        currently_on = self.control_state.get(control, False)
+        if currently_on and self.style.has_third_layer_confirm:
+            # Deselecting requires an extra confirmation layer (§VI-B:
+            # "a third layer that asked users to confirm the deselection").
+            self._pending_deselect = control
+            self._goto_layer(3)
+        else:
+            self.control_state[control] = not currently_on
+
+    def _choice_from_controls(self) -> ConsentChoice:
+        if all(self.control_state.values()) and self.control_state:
+            return ConsentChoice.ACCEPTED_ALL
+        return ConsentChoice.CUSTOM
+
+    def _goto_layer(self, layer: int) -> None:
+        self.layer = layer
+        self._focus_index = self._initial_focus_index()
+
+    def _dismiss(self, choice: ConsentChoice) -> None:
+        self.choice = choice
+        self.dismissed = True
+
+    # -- rendering -------------------------------------------------------------
+
+    def screen_state(self) -> ScreenState:
+        """Render the notice as the PRIVACY overlay a screenshot captures."""
+        if self.dismissed:
+            raise RuntimeError("dismissed notices are not on screen")
+        focusables = self._focusables()
+        boxes = tuple(
+            name[4:]
+            for name in focusables
+            if name.startswith("box:") and self.control_state.get(name[4:], False)
+        )
+        buttons = tuple(n for n in focusables if not n.startswith("box:"))
+        return ScreenState(
+            kind=OverlayKind.PRIVACY,
+            privacy_kind=PrivacyContentKind.CONSENT_NOTICE,
+            notice_type_id=self.style.type_id,
+            notice_layer=self.layer,
+            focused_button=self.focused,
+            visible_buttons=buttons,
+            preticked_boxes=boxes,
+            accept_highlighted=(self.layer == 1),
+            is_modal=self.style.modal,
+            covers_full_screen=self.style.full_screen,
+        )

@@ -1,0 +1,92 @@
+"""Media-library overlays (the red-button dashboards).
+
+A media library is the content hub most channels open on the red (and
+often yellow) button: rows of on-demand items, thumbnails from CDNs, and
+— relevant to §VI — a pointer to privacy information that is typically
+hidden in the page footer and rendered less prominently than the
+surrounding elements.  Opening a library also pulls its page bundle,
+which on many channels includes the privacy-policy document itself; that
+is how the paper ends up with hundreds of policy copies in the traffic
+of the Red and Yellow runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hbbtv.overlay import OverlayKind, ScreenState
+
+
+@dataclass(frozen=True)
+class PrivacyPointer:
+    """A button/text pointing at privacy info inside a library page."""
+
+    label: str = "Datenschutz"
+    prominent: bool = False  # footers and tiny fonts are the norm
+    target_policy_url: str = ""
+
+
+@dataclass
+class MediaLibrary:
+    """Declarative description of one channel's media library."""
+
+    #: Item pages (absolute or first-party-relative URLs) fetched when
+    #: the viewer opens an item.
+    item_urls: tuple[str, ...] = ()
+    #: Static assets (thumbnails, scripts) loaded with the library page.
+    asset_urls: tuple[str, ...] = ()
+    #: The library page itself.
+    page_url: str = ""
+    pointer: PrivacyPointer | None = None
+    #: Whether opening the library fetches the policy document directly
+    #: (observed on many channels; fills the policy corpus).
+    prefetches_policy: bool = False
+
+    def focusable_count(self) -> int:
+        """Items plus the privacy pointer, if present."""
+        return len(self.item_urls) + (1 if self.pointer is not None else 0)
+
+
+class MediaLibraryView:
+    """Navigation state for an open media library.
+
+    Focus moves over items first, then the privacy pointer (mirroring
+    that pointers sit at the end of long pages).  ENTER on an item asks
+    the runtime to open it; ENTER on the pointer opens the policy.
+    """
+
+    def __init__(self, library: MediaLibrary) -> None:
+        if library.focusable_count() == 0:
+            raise ValueError("a media library needs at least one focusable")
+        self.library = library
+        self.focus_index = 0
+        self.opened_items: list[int] = []
+
+    @property
+    def pointer_focused(self) -> bool:
+        return (
+            self.library.pointer is not None
+            and self.focus_index == len(self.library.item_urls)
+        )
+
+    def move_focus(self, delta: int) -> None:
+        count = self.library.focusable_count()
+        self.focus_index = (self.focus_index + delta) % count
+
+    def activate(self) -> str | None:
+        """Return the URL to open (item page or policy), if any."""
+        if self.pointer_focused:
+            assert self.library.pointer is not None
+            return self.library.pointer.target_policy_url or None
+        url = self.library.item_urls[self.focus_index]
+        self.opened_items.append(self.focus_index)
+        return url
+
+    def screen_state(self) -> ScreenState:
+        pointer = self.library.pointer
+        return ScreenState(
+            kind=OverlayKind.MEDIA_LIBRARY,
+            has_privacy_pointer=pointer is not None,
+            pointer_label=pointer.label if pointer else "",
+            pointer_prominent=pointer.prominent if pointer else False,
+        )

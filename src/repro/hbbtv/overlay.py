@@ -1,0 +1,75 @@
+"""Screen overlay model — what a screenshot of the TV shows.
+
+The consent analysis (paper §VI) hand-annotated 41,617 screenshots with
+a codebook of overlay types.  Our screenshots are *structured*: they
+carry the overlay state directly, so the annotation pipeline classifies
+them with the same codebook deterministically.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class OverlayKind(enum.Enum):
+    """First-round codebook: what kind of HbbTV overlay is on screen."""
+
+    NO_SIGNAL = "No Sign."
+    CHANNEL_TECH_MESSAGE = "CTM"
+    TV_ONLY = "TV Only"
+    MEDIA_LIBRARY = "Media Lib."
+    PRIVACY = "Privacy"
+    OTHER = "Other"
+
+
+class PrivacyContentKind(enum.Enum):
+    """Second-round codebook for PRIVACY overlays."""
+
+    CONSENT_NOTICE = "consent notice"
+    PRIVACY_POLICY = "privacy policy"
+    HYBRID = "hybrid"  # split screen: policy + cookie controls
+
+
+@dataclass(frozen=True)
+class ScreenState:
+    """The visible overlay at one instant (one screenshot's content).
+
+    Only the fields relevant to the active ``kind`` are populated; the
+    rest keep their defaults.  Frozen so a screenshot can safely hold a
+    reference without later mutation changing history.
+    """
+
+    kind: OverlayKind
+    # PRIVACY overlays ------------------------------------------------------
+    privacy_kind: PrivacyContentKind | None = None
+    notice_type_id: int | None = None  # 1..12 branding registry
+    notice_layer: int = 0  # 1..3 while a consent notice is up
+    focused_button: str = ""  # label of the button holding focus
+    visible_buttons: tuple[str, ...] = ()
+    preticked_boxes: tuple[str, ...] = ()
+    accept_highlighted: bool = False
+    is_modal: bool = False
+    covers_full_screen: bool = False
+    policy_excerpt: str = ""  # start of a displayed privacy policy
+    # MEDIA_LIBRARY / OTHER overlays ----------------------------------------
+    has_privacy_pointer: bool = False
+    pointer_label: str = ""
+    pointer_prominent: bool = False  # False = hidden in a footer / tiny font
+    # Free-form content shown on screen (ads, tickers, programme text).
+    caption: str = ""
+
+    def is_privacy_related(self) -> bool:
+        """Does this screenshot show privacy information (Table V)?"""
+        return self.kind is OverlayKind.PRIVACY
+
+    def shows_privacy_pointer(self) -> bool:
+        """Does it at least point at privacy settings (§VI-B 'Pointers')?"""
+        return self.has_privacy_pointer
+
+
+#: The steady state between overlays: plain linear TV.
+TV_ONLY_SCREEN = ScreenState(kind=OverlayKind.TV_ONLY)
+
+#: A channel currently not broadcasting anything receivable.
+NO_SIGNAL_SCREEN = ScreenState(kind=OverlayKind.NO_SIGNAL)

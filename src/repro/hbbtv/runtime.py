@@ -1,0 +1,526 @@
+"""The HbbTV application runtime.
+
+Interprets an :class:`~repro.hbbtv.app.HbbTVApplication` spec: loads the
+entry document and embedded resources over the (intercepted) network,
+fires periodic beacons as simulated time advances, reacts to remote
+keys, and renders the overlay that screenshots capture.
+
+The runtime talks to the TV through a small duck-typed browser
+interface providing::
+
+    browse(url, referer=None) -> HttpResponse   # cookies, redirects
+    device_params() -> dict[str, str]           # leakable device info
+    mint_token(length) -> str                   # seeded ID minting
+
+which :class:`repro.tv.browser.TvBrowser` implements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from urllib.parse import quote
+
+from repro.clock import SimClock, hour_of_day
+from repro.dvb.channel import BroadcastChannel
+from repro.hbbtv.app import (
+    AppScreen,
+    EmbeddedService,
+    HbbTVApplication,
+    ScreenKind,
+    ServiceKind,
+)
+from repro.hbbtv.consent import ConsentChoice, ConsentNoticeMachine
+from repro.hbbtv.media_library import MediaLibraryView
+from repro.hbbtv.overlay import (
+    OverlayKind,
+    PrivacyContentKind,
+    ScreenState,
+    TV_ONLY_SCREEN,
+)
+from repro.keys import Key
+
+#: Burn-in protection: informational overlays hide themselves after a
+#: while; media libraries auto-exit to the programme after longer idle.
+#: Privacy policies, by contrast, stay up until dismissed (the paper:
+#: "privacy policies tended to be shown continuously").
+TEXT_OVERLAY_LIFETIME_S = 100.0
+LIBRARY_IDLE_LIFETIME_S = 450.0
+#: Policies opened incidentally (via a library's privacy pointer) fall
+#: back to the programme after a while; policies opened via a dedicated
+#: privacy screen persist until the channel switches.
+POINTER_POLICY_LIFETIME_S = 180.0
+
+
+@dataclass
+class _ScheduledBeacon:
+    service: EmbeddedService
+    next_fire: float
+
+
+class AppRuntime:
+    """Executes one application for the duration of a channel visit."""
+
+    def __init__(
+        self,
+        app: HbbTVApplication,
+        browser,
+        clock: SimClock,
+        channel: BroadcastChannel | None = None,
+    ) -> None:
+        self.app = app
+        self.browser = browser
+        self.clock = clock
+        self.channel = channel
+        self.started = False
+        self.consent_machine: ConsentNoticeMachine | None = None
+        self.consent_choice = ConsentChoice.PENDING
+        self.library_view: MediaLibraryView | None = None
+        self._static_overlay: ScreenState | None = None
+        self._policy_overlay: ScreenState | None = None
+        self._beacons: list[_ScheduledBeacon] = []
+        self._fired_buttons: set[Key] = set()
+        self._notice_shown_at = 0.0
+        self._notice_can_timeout = False
+        #: True while the application is hidden or showing a privacy
+        #: screen: periodic beacons stop (no playback → no tracking).
+        self._beacons_paused = False
+        self._screen_opened_at = 0.0
+        self._policy_expires_at: float | None = None
+        self.session_id = ""
+        self.user_token = ""
+
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Load the application: entry document, preloads, trackers."""
+        if self.started:
+            raise RuntimeError("application already started")
+        self.started = True
+        self.session_id = self.browser.mint_token(12)
+        self.user_token = self.browser.mint_token(16)
+        self.browser.browse(self.app.entry_url)
+        self._write_storage()
+        self._fire_oneshots(after_button=None)
+        self._schedule_periodics(after_button=None)
+        style = self.app.notice_style
+        if style is not None and not style.blue_button_only:
+            self.consent_machine = ConsentNoticeMachine(style)
+            self._notice_shown_at = self.clock.now
+            self._notice_can_timeout = True
+
+    def stop(self) -> None:
+        """Exit the application (the TV switches channels)."""
+        self._beacons.clear()
+        self.consent_machine = None
+        self.library_view = None
+        self._static_overlay = None
+        self._policy_overlay = None
+
+    # -- time ----------------------------------------------------------------
+
+    def wait(self, seconds: float) -> None:
+        """Advance simulated time, firing every beacon that falls due.
+
+        Playback beacons (autostart PIXEL services) are suppressed while
+        an overlay covers the programme or the app is hidden — a player
+        that isn't playing doesn't report playback.  Button-gated pixels
+        (ad slots, quiz beacons) belong to the overlay itself and keep
+        firing; so do analytics and content polling (EPG refresh).
+        """
+        target = self.clock.now + seconds
+        while target - self.clock.now > 1e-9:
+            self._expire_notice()
+            self._expire_overlays()
+            boundary = min(target, self._next_state_change(target))
+            suppress_playback = self._playback_suppressed()
+            self._fire_due_beacons(boundary, suppress_playback)
+            if boundary > self.clock.now:
+                self.clock.advance(boundary - self.clock.now)
+
+    def _fire_due_beacons(self, boundary: float, suppress_playback: bool) -> None:
+        while True:
+            due = [
+                b
+                for b in self._beacons
+                if b.next_fire <= boundary
+                and not (suppress_playback and self._is_playback_beacon(b))
+            ]
+            if suppress_playback:
+                # Suppressed playback beacons resume after the boundary.
+                for beacon in self._beacons:
+                    if (
+                        self._is_playback_beacon(beacon)
+                        and beacon.next_fire <= boundary
+                    ):
+                        beacon.next_fire = boundary + beacon.service.period_s
+            if not due:
+                return
+            beacon = min(due, key=lambda b: b.next_fire)
+            if beacon.next_fire > self.clock.now:
+                self.clock.advance(beacon.next_fire - self.clock.now)
+            self._fire(beacon.service)
+            beacon.next_fire += beacon.service.period_s
+
+    @staticmethod
+    def _is_playback_beacon(beacon: _ScheduledBeacon) -> bool:
+        service = beacon.service
+        return service.kind is ServiceKind.PIXEL and service.after_button is None
+
+    def _playback_suppressed(self) -> bool:
+        """True while no linear programme is visible behind the app."""
+        if self._beacons_paused:  # app hidden by an unbound button
+            return True
+        if self._policy_overlay is not None:
+            return True
+        if self.consent_machine is not None and not self.consent_machine.dismissed:
+            return True
+        return self.library_view is not None or self._static_overlay is not None
+
+    def _next_state_change(self, target: float) -> float:
+        """Earliest future instant the overlay situation changes."""
+        candidates = [target]
+        if self._static_overlay is not None:
+            candidates.append(self._screen_opened_at + TEXT_OVERLAY_LIFETIME_S)
+        if self.library_view is not None:
+            candidates.append(self._screen_opened_at + LIBRARY_IDLE_LIFETIME_S)
+        if self._policy_overlay is not None and self._policy_expires_at is not None:
+            candidates.append(self._policy_expires_at)
+        if (
+            self.consent_machine is not None
+            and not self.consent_machine.dismissed
+            and self._notice_can_timeout
+            and self.app.notice_timeout_seconds > 0
+        ):
+            candidates.append(
+                self._notice_shown_at + self.app.notice_timeout_seconds
+            )
+        future = [c for c in candidates if c > self.clock.now + 1e-9]
+        return min(future) if future else target
+
+    # -- keys ----------------------------------------------------------------
+
+    def press(self, key: Key) -> None:
+        """Feed one remote key into the application."""
+        if not self.started:
+            raise RuntimeError("application not started")
+        self._expire_notice()
+        if key.is_color:
+            notice_up = (
+                self.consent_machine is not None
+                and not self.consent_machine.dismissed
+            )
+            if notice_up and self.consent_machine.style.modal:
+                return  # a modal notice blocks the application
+            self._open_screen(key)
+            return
+        if self.consent_machine is not None and not self.consent_machine.dismissed:
+            self.consent_machine.press(key)
+            if self.consent_machine.dismissed:
+                self._finish_consent(self.consent_machine.choice)
+            return
+        if self.library_view is not None:
+            self._navigate_library(key)
+
+    def _open_screen(self, key: Key) -> None:
+        screen = self.app.screen_for(key)
+        self._fire_oneshots(after_button=key)
+        self._schedule_periodics(after_button=key)
+        if screen.kind is ScreenKind.NONE:
+            # An unbound colored button hides the autostart application
+            # (the red button's documented toggle); a hidden app stops
+            # beaconing — why the Green/Blue runs carry *less* traffic
+            # per channel than the no-interaction General run.
+            self._pause_beacons()
+            return
+        self._resume_beacons()
+        self._screen_opened_at = self.clock.now
+        self.library_view = None
+        self._static_overlay = None
+        self._policy_overlay = None
+        for url in screen.load_urls:
+            self.browser.browse(url, referer=self.app.entry_url)
+        if screen.kind is ScreenKind.MEDIA_LIBRARY:
+            self._open_media_library(screen)
+        elif screen.kind is ScreenKind.PRIVACY_POLICY:
+            self._open_policy(screen.policy_url or self.app.privacy_policy_url)
+        elif screen.kind is ScreenKind.PRIVACY_SETTINGS:
+            self._open_privacy_settings(screen)
+        elif screen.kind is ScreenKind.TEXT_PAGE:
+            self._static_overlay = ScreenState(
+                kind=OverlayKind.OTHER, caption=screen.caption
+            )
+        elif screen.kind is ScreenKind.CHANNEL_TECH_MESSAGE:
+            self._static_overlay = ScreenState(
+                kind=OverlayKind.CHANNEL_TECH_MESSAGE, caption=screen.caption
+            )
+
+    def _open_media_library(self, screen: AppScreen) -> None:
+        library = screen.media_library
+        if library is None:
+            return
+        if library.page_url:
+            self.browser.browse(library.page_url, referer=self.app.entry_url)
+        for url in library.asset_urls:
+            self.browser.browse(url, referer=library.page_url or self.app.entry_url)
+        if library.prefetches_policy and self.app.privacy_policy_url:
+            self.browser.browse(
+                self.app.privacy_policy_url, referer=library.page_url
+            )
+        self.library_view = MediaLibraryView(library)
+
+    def _open_policy(self, policy_url: str, from_pointer: bool = False) -> None:
+        if not policy_url:
+            return
+        response = self.browser.browse(policy_url, referer=self.app.entry_url)
+        self._policy_overlay = ScreenState(
+            kind=OverlayKind.PRIVACY,
+            privacy_kind=PrivacyContentKind.PRIVACY_POLICY,
+            policy_excerpt=response.body_text()[:200],
+        )
+        self._policy_expires_at = (
+            self.clock.now + POINTER_POLICY_LIFETIME_S if from_pointer else None
+        )
+
+    def _open_privacy_settings(self, screen: AppScreen) -> None:
+        """Blue-button privacy screens: notice, policy, or hybrid."""
+        style = self.app.notice_style
+        policy_url = screen.policy_url or self.app.privacy_policy_url
+        if style is not None:
+            # Re-opened via the blue button: stays up until answered.
+            self.consent_machine = ConsentNoticeMachine(style)
+            self._notice_can_timeout = False
+        if policy_url:
+            response = self.browser.browse(policy_url, referer=self.app.entry_url)
+            hybrid = style is not None or screen.show_cookie_controls
+            self._policy_overlay = ScreenState(
+                kind=OverlayKind.PRIVACY,
+                privacy_kind=(
+                    PrivacyContentKind.HYBRID
+                    if hybrid
+                    else PrivacyContentKind.PRIVACY_POLICY
+                ),
+                notice_type_id=style.type_id if style is not None else None,
+                policy_excerpt=response.body_text()[:200],
+            )
+
+    def _navigate_library(self, key: Key) -> None:
+        assert self.library_view is not None
+        self._screen_opened_at = self.clock.now  # interaction resets idle
+        if key in (Key.UP, Key.LEFT):
+            self.library_view.move_focus(-1)
+        elif key in (Key.DOWN, Key.RIGHT):
+            self.library_view.move_focus(1)
+        elif key is Key.ENTER:
+            url = self.library_view.activate()
+            if url is None:
+                return
+            if url == (self.app.privacy_policy_url or None) or (
+                self.library_view.pointer_focused
+            ):
+                self._open_policy(url, from_pointer=True)
+            else:
+                self.browser.browse(url, referer=self.app.entry_url)
+
+    def _finish_consent(self, choice: ConsentChoice) -> None:
+        """Persist the choice: a first-party ping whose response sets a
+        consent cookie holding a Unix timestamp (the paper's ID
+        heuristic explicitly excludes such values).  The ping carries
+        the full decision as a TVCF consent string (``cs=``)."""
+        from repro.hbbtv.tcstring import encode_consent_string
+
+        self.consent_choice = choice
+        purposes = {}
+        style = self.app.notice_style
+        machine = self.consent_machine
+        if machine is not None:
+            purposes = dict(machine.control_state)
+        consent_string = encode_consent_string(
+            choice,
+            purposes,
+            cmp_id=style.type_id if style is not None else 0,
+            created=int(self.clock.now),
+        )
+        # Consent pings ride TLS even on otherwise-plain-HTTP apps (the
+        # CMP endpoints are the main HTTPS traffic the study saw).
+        self.browser.browse(
+            f"https://{self.app.first_party_domain}/consent"
+            f"?choice={quote(choice.value)}&t={int(self.clock.now)}"
+            f"&ch={quote(self.app.channel_id)}&cs={quote(consent_string)}",
+            referer=self.app.entry_url,
+        )
+
+    def _pause_beacons(self) -> None:
+        self._beacons_paused = True
+
+    def _resume_beacons(self) -> None:
+        if self._beacons_paused:
+            self._beacons_paused = False
+            for beacon in self._beacons:
+                beacon.next_fire = self.clock.now + beacon.service.period_s
+
+    def _write_storage(self) -> None:
+        """Persist the app's declared local-storage objects."""
+        storage = getattr(self.browser, "local_storage", None)
+        if storage is None:
+            return
+        scheme = "https" if self.app.uses_https else "http"
+        for origin_domain, key, kind in self.app.storage_writes:
+            if kind == "id":
+                value = self.browser.mint_token(16)
+            elif kind == "timestamp":
+                value = str(int(self.clock.now))
+            else:
+                value = kind
+            storage.set_item(
+                f"{scheme}://{origin_domain}",
+                key,
+                value,
+                now=self.clock.now,
+                written_by_url=self.app.entry_url,
+            )
+
+    # -- tracker firing --------------------------------------------------------
+
+    def _fire_oneshots(self, after_button: Key | None) -> None:
+        if after_button is not None:
+            if after_button in self._fired_buttons:
+                return
+            self._fired_buttons.add(after_button)
+        for service in self.app.oneshot_services():
+            if service.after_button == after_button:
+                self._fire(service)
+
+    def _schedule_periodics(self, after_button: Key | None) -> None:
+        for service in self.app.periodic_services():
+            if service.after_button == after_button:
+                self._beacons.append(
+                    _ScheduledBeacon(service, self.clock.now + service.period_s)
+                )
+
+    def _fire(self, service: EmbeddedService) -> None:
+        if service.requires_consent and self.consent_choice is not (
+            ConsentChoice.ACCEPTED_ALL
+        ):
+            return
+        url = self._service_url(service)
+        if url is None:
+            return
+        referer = self.app.entry_url
+        if service.kind is ServiceKind.SYNC:
+            self.browser.browse(url, referer=referer)
+            return
+        if service.kind is ServiceKind.FINGERPRINT:
+            # Duck-typed: any backend exposing script_url/collect_url
+            # works, including first-party hosts serving fp scripts.
+            backend = service.service
+            self.browser.browse(backend.script_url, referer=referer)
+            params = {"fp": self.browser.mint_token(24)}
+            params.update(self._leak_params(service))
+            self.browser.browse(
+                _with_params(backend.collect_url, params), referer=referer
+            )
+            return
+        self.browser.browse(url, referer=referer)
+
+    def _service_url(self, service: EmbeddedService) -> str | None:
+        params = self._leak_params(service)
+        params.update(service.extra_params)
+        if service.kind is ServiceKind.PIXEL:
+            url = service.service.beacon_url(
+                self.app.channel_id, self.session_id, self.user_token
+            )
+            return _with_params(url, params)
+        if service.kind is ServiceKind.ANALYTICS:
+            backend = service.service
+            show_title, genre = self._current_show()
+            if not service.leaks_show_info:
+                show_title, genre = "", ""
+            return backend.hit_url(
+                self.app.channel_id, show_title, genre, extra=params
+            )
+        if service.kind is ServiceKind.SYNC:
+            backend = service.service
+            return getattr(backend, "sync_url", service.url) or None
+        if service.kind is ServiceKind.FINGERPRINT:
+            backend = service.service
+            return getattr(backend, "script_url", service.url) or None
+        # STATIC / AD: explicit URL required.
+        if not service.url:
+            return None
+        return _with_params(service.url, params)
+
+    def _leak_params(self, service: EmbeddedService) -> dict[str, str]:
+        params: dict[str, str] = {}
+        if service.leaks_device_info:
+            params.update(self.browser.device_params())
+            params["lt"] = f"{self.clock.hour_of_day():.2f}"
+        if service.leaks_show_info and service.kind is not ServiceKind.ANALYTICS:
+            show_title, genre = self._current_show()
+            if show_title:
+                params["show"] = show_title
+                params["genre"] = genre
+        return params
+
+    def _current_show(self) -> tuple[str, str]:
+        if self.channel is None or self.channel.guide is None:
+            return "", ""
+        show = self.channel.guide.current_show(hour_of_day(self.clock.now))
+        return show.title, show.genre
+
+    # -- rendering ---------------------------------------------------------------
+
+    def _expire_notice(self) -> None:
+        """Hide an unanswered autostart notice after its timeout."""
+        timeout = self.app.notice_timeout_seconds
+        if (
+            timeout > 0
+            and self._notice_can_timeout
+            and self.consent_machine is not None
+            and not self.consent_machine.dismissed
+            and self.clock.now - self._notice_shown_at >= timeout
+        ):
+            # Hidden without an answer: no choice, no consent ping.
+            self.consent_machine = None
+
+    def _expire_overlays(self) -> None:
+        """Hide idle informational overlays (burn-in protection)."""
+        age = self.clock.now - self._screen_opened_at
+        if self._static_overlay is not None and age >= TEXT_OVERLAY_LIFETIME_S:
+            self._static_overlay = None
+        if self.library_view is not None and age >= LIBRARY_IDLE_LIFETIME_S:
+            self.library_view = None
+        if (
+            self._policy_overlay is not None
+            and self._policy_expires_at is not None
+            and self.clock.now >= self._policy_expires_at
+        ):
+            self._policy_overlay = None
+            self._policy_expires_at = None
+
+    def screen_state(self) -> ScreenState:
+        """The overlay a screenshot captures right now."""
+        self._expire_notice()
+        self._expire_overlays()
+        if self.consent_machine is not None and not self.consent_machine.dismissed:
+            if (
+                self._policy_overlay is not None
+                and self._policy_overlay.privacy_kind is PrivacyContentKind.HYBRID
+            ):
+                return self._policy_overlay
+            return self.consent_machine.screen_state()
+        if self._policy_overlay is not None:
+            return self._policy_overlay
+        if self.library_view is not None:
+            return self.library_view.screen_state()
+        if self._static_overlay is not None:
+            return self._static_overlay
+        return TV_ONLY_SCREEN
+
+
+def _with_params(url: str, params: dict[str, str]) -> str:
+    if not params:
+        return url
+    suffix = "&".join(f"{quote(k)}={quote(str(v))}" for k, v in params.items())
+    separator = "&" if "?" in url else "?"
+    return url + separator + suffix

@@ -1,0 +1,126 @@
+"""A compact consent-string format for TV consent pings ("TVCF").
+
+Web CMPs transmit the viewer's choice as an IAB TCF string; HbbTV CMPs
+do the equivalent with proprietary formats.  This module defines the
+one our simulated CMPs use: a versioned, base64url-encoded record of
+the CMP id, the notice style, the creation time, the terminal choice,
+and the per-purpose grants.  The analysis side
+(:mod:`repro.consent.strings`) decodes these from recorded traffic —
+visibility the paper's DNT-based predecessor work lacked.
+
+Wire format (all big-endian, after the ``TVCF1.`` prefix)::
+
+    u8   cmp id (the notice style id, 1..12)
+    u32  created (unix seconds)
+    u8   choice  (0 pending, 1 accepted-all, 2 declined, 3 custom)
+    u8   purpose count N
+    N ×  (u8 name length, name bytes, u8 granted)
+"""
+
+from __future__ import annotations
+
+import base64
+import struct
+from dataclasses import dataclass
+
+from repro.hbbtv.consent import ConsentChoice
+
+PREFIX = "TVCF1."
+
+_CHOICE_CODES = {
+    ConsentChoice.PENDING: 0,
+    ConsentChoice.ACCEPTED_ALL: 1,
+    ConsentChoice.DECLINED: 2,
+    ConsentChoice.CUSTOM: 3,
+}
+_CODE_CHOICES = {code: choice for choice, code in _CHOICE_CODES.items()}
+
+
+class ConsentStringError(ValueError):
+    """Raised for strings that do not parse as TVCF records."""
+
+
+@dataclass(frozen=True)
+class ConsentRecord:
+    """A decoded consent string."""
+
+    cmp_id: int
+    created: int
+    choice: ConsentChoice
+    purposes: tuple[tuple[str, bool], ...] = ()
+
+    @property
+    def granted_purposes(self) -> tuple[str, ...]:
+        return tuple(name for name, granted in self.purposes if granted)
+
+    @property
+    def denied_purposes(self) -> tuple[str, ...]:
+        return tuple(name for name, granted in self.purposes if not granted)
+
+
+def encode_consent_string(
+    choice: ConsentChoice,
+    purposes: dict[str, bool] | None = None,
+    cmp_id: int = 0,
+    created: int = 0,
+) -> str:
+    """Encode a consent decision into a TVCF string."""
+    purposes = purposes or {}
+    if not 0 <= cmp_id <= 255:
+        raise ConsentStringError(f"cmp_id out of range: {cmp_id}")
+    if len(purposes) > 255:
+        raise ConsentStringError("too many purposes")
+    payload = struct.pack(
+        ">BIBB", cmp_id, created & 0xFFFFFFFF, _CHOICE_CODES[choice], len(purposes)
+    )
+    for name, granted in purposes.items():
+        name_bytes = name.encode("utf-8")
+        if len(name_bytes) > 255:
+            raise ConsentStringError(f"purpose name too long: {name!r}")
+        payload += struct.pack(">B", len(name_bytes)) + name_bytes
+        payload += struct.pack(">B", 1 if granted else 0)
+    encoded = base64.urlsafe_b64encode(payload).decode("ascii").rstrip("=")
+    return PREFIX + encoded
+
+
+def decode_consent_string(text: str) -> ConsentRecord:
+    """Decode a TVCF string back into a :class:`ConsentRecord`."""
+    if not text.startswith(PREFIX):
+        raise ConsentStringError(f"not a TVCF string: {text[:16]!r}")
+    body = text[len(PREFIX):]
+    padding = "=" * (-len(body) % 4)
+    try:
+        payload = base64.urlsafe_b64decode(body + padding)
+    except Exception as exc:  # binascii.Error subclasses vary
+        raise ConsentStringError("bad base64 payload") from exc
+    if len(payload) < 7:
+        raise ConsentStringError("payload truncated")
+    cmp_id, created, choice_code, count = struct.unpack(
+        ">BIBB", payload[:7]
+    )
+    if choice_code not in _CODE_CHOICES:
+        raise ConsentStringError(f"unknown choice code: {choice_code}")
+    offset = 7
+    purposes: list[tuple[str, bool]] = []
+    for _ in range(count):
+        if offset >= len(payload):
+            raise ConsentStringError("purpose list truncated")
+        name_length = payload[offset]
+        offset += 1
+        name_end = offset + name_length
+        if name_end + 1 > len(payload):
+            raise ConsentStringError("purpose entry truncated")
+        name = payload[offset:name_end].decode("utf-8", errors="replace")
+        granted = payload[name_end] == 1
+        purposes.append((name, granted))
+        offset = name_end + 1
+    return ConsentRecord(
+        cmp_id=cmp_id,
+        created=created,
+        choice=_CODE_CHOICES[choice_code],
+        purposes=tuple(purposes),
+    )
+
+
+def looks_like_consent_string(token: str) -> bool:
+    return token.startswith(PREFIX)

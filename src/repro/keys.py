@@ -1,0 +1,39 @@
+"""Remote-control key codes shared by the TV and the HbbTV app layer.
+
+The HbbTV standard's interaction model is built around the four colored
+buttons plus cursor keys and ENTER; the measurement runs are named after
+the colored button they press.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Key(enum.Enum):
+    """Keys on an HbbTV remote control that our framework uses."""
+
+    RED = "RED"
+    GREEN = "GREEN"
+    YELLOW = "YELLOW"
+    BLUE = "BLUE"
+    UP = "UP"
+    DOWN = "DOWN"
+    LEFT = "LEFT"
+    RIGHT = "RIGHT"
+    ENTER = "ENTER"
+    BACK = "BACK"
+
+    @property
+    def is_color(self) -> bool:
+        return self in COLOR_KEYS
+
+    @property
+    def is_cursor(self) -> bool:
+        return self in CURSOR_KEYS
+
+
+COLOR_KEYS = (Key.RED, Key.GREEN, Key.YELLOW, Key.BLUE)
+CURSOR_KEYS = (Key.UP, Key.DOWN, Key.LEFT, Key.RIGHT)
+#: The key set the paper's fixed interaction sequences draw from.
+INTERACTION_KEYS = CURSOR_KEYS + (Key.ENTER,)

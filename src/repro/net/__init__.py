@@ -1,0 +1,39 @@
+"""Web substrate: URLs, HTTP messages, cookies, local storage, and a
+simulated Internet that dispatches requests to origin servers.
+
+This package stands in for the real network stack the paper observed
+through mitmproxy.  Every higher layer (HbbTV apps, the TV browser, the
+interception proxy) speaks in the types defined here.
+"""
+
+from repro.net.cookies import Cookie, CookieJar, parse_set_cookie
+from repro.net.http import (
+    Headers,
+    HttpRequest,
+    HttpResponse,
+    STATUS_REASONS,
+)
+from repro.net.network import Network, RoutingError
+from repro.net.server import FunctionServer, Route, Server
+from repro.net.storage import LocalStorage, StorageEntry
+from repro.net.url import URL, registrable_domain, same_party
+
+__all__ = [
+    "URL",
+    "registrable_domain",
+    "same_party",
+    "Headers",
+    "HttpRequest",
+    "HttpResponse",
+    "STATUS_REASONS",
+    "Cookie",
+    "CookieJar",
+    "parse_set_cookie",
+    "LocalStorage",
+    "StorageEntry",
+    "Network",
+    "RoutingError",
+    "Server",
+    "Route",
+    "FunctionServer",
+]

@@ -1,0 +1,243 @@
+"""Cookies: Set-Cookie parsing and a browser-grade cookie jar.
+
+The jar implements the subset of RFC 6265 the study depends on: domain
+and path matching, host-only vs domain cookies, expiry, Secure, and
+replacement semantics.  First- vs third-party attribution is *not* a jar
+concern — the paper derives it per channel from traffic — but the jar
+records which request URL set each cookie so analyses can re-derive it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.net.url import URL, registrable_domain
+
+
+@dataclass(frozen=True)
+class Cookie:
+    """A single cookie as stored in the jar."""
+
+    name: str
+    value: str
+    domain: str
+    path: str = "/"
+    expires: float | None = None  # absolute epoch seconds; None = session
+    secure: bool = False
+    http_only: bool = False
+    host_only: bool = True
+    created_at: float = 0.0
+    set_by_url: str = ""  # the request URL whose response set this cookie
+
+    @property
+    def etld1(self) -> str:
+        return registrable_domain(self.domain)
+
+    def is_expired(self, now: float) -> bool:
+        return self.expires is not None and self.expires <= now
+
+    def matches(self, url: URL) -> bool:
+        """True if this cookie would be sent on a request to ``url``."""
+        if self.secure and not url.is_secure:
+            return False
+        return _domain_matches(
+            url.host, self.domain, self.host_only
+        ) and _path_matches(url.path, self.path)
+
+    def key(self) -> tuple[str, str, str]:
+        """Identity triple used for replacement: (name, domain, path)."""
+        return (self.name, self.domain, self.path)
+
+
+class CookieParseError(ValueError):
+    """Raised for malformed Set-Cookie header values."""
+
+
+def parse_set_cookie(
+    header: str, request_url: URL, now: float = 0.0
+) -> Cookie:
+    """Parse one ``Set-Cookie`` header value in the context of a request.
+
+    Implements default-domain (host-only), default-path, Max-Age
+    precedence over Expires, and leading-dot stripping.
+    """
+    parts = [p.strip() for p in header.split(";")]
+    if not parts or "=" not in parts[0]:
+        raise CookieParseError(f"malformed cookie: {header!r}")
+    name, value = parts[0].split("=", 1)
+    name = name.strip()
+    if not name:
+        raise CookieParseError(f"empty cookie name: {header!r}")
+
+    domain = request_url.host
+    host_only = True
+    path = _default_path(request_url.path)
+    expires: float | None = None
+    max_age: float | None = None
+    secure = False
+    http_only = False
+
+    for attribute in parts[1:]:
+        if "=" in attribute:
+            attr_name, attr_value = attribute.split("=", 1)
+        else:
+            attr_name, attr_value = attribute, ""
+        attr_name = attr_name.strip().lower()
+        attr_value = attr_value.strip()
+        if attr_name == "domain" and attr_value:
+            candidate = attr_value.lstrip(".").lower()
+            if not _domain_matches(request_url.host, candidate, host_only=False):
+                raise CookieParseError(
+                    f"domain {candidate!r} does not cover host {request_url.host!r}"
+                )
+            domain = candidate
+            host_only = False
+        elif attr_name == "path" and attr_value.startswith("/"):
+            path = attr_value
+        elif attr_name == "max-age":
+            try:
+                max_age = float(attr_value)
+            except ValueError as exc:
+                raise CookieParseError(f"bad Max-Age: {attr_value!r}") from exc
+        elif attr_name == "expires" and attr_value:
+            expires = _parse_expires(attr_value)
+        elif attr_name == "secure":
+            secure = True
+        elif attr_name == "httponly":
+            http_only = True
+        # SameSite and unknown attributes are accepted and ignored.
+
+    if max_age is not None:
+        expires = now + max_age
+
+    return Cookie(
+        name=name,
+        value=value.strip(),
+        domain=domain,
+        path=path,
+        expires=expires,
+        secure=secure,
+        http_only=http_only,
+        host_only=host_only,
+        created_at=now,
+        set_by_url=str(request_url),
+    )
+
+
+class CookieJar:
+    """A mutable cookie store with RFC 6265 matching semantics."""
+
+    def __init__(self) -> None:
+        self._cookies: dict[tuple[str, str, str], Cookie] = {}
+
+    def __len__(self) -> int:
+        return len(self._cookies)
+
+    def __iter__(self):
+        return iter(self._cookies.values())
+
+    def all(self) -> list[Cookie]:
+        """Every stored cookie, in insertion order."""
+        return list(self._cookies.values())
+
+    def store(self, cookie: Cookie, now: float = 0.0) -> None:
+        """Insert or replace a cookie; an already-expired cookie deletes."""
+        key = cookie.key()
+        if cookie.is_expired(now):
+            self._cookies.pop(key, None)
+            return
+        existing = self._cookies.get(key)
+        if existing is not None:
+            # Preserve the original creation time on replacement.
+            cookie = replace(cookie, created_at=existing.created_at)
+        self._cookies[key] = cookie
+
+    def store_from_response(
+        self, request_url: URL, set_cookie_headers: list[str], now: float = 0.0
+    ) -> list[Cookie]:
+        """Parse and store every Set-Cookie header; returns stored cookies.
+
+        Malformed headers are skipped (browsers do the same), so one bad
+        header never poisons a response.
+        """
+        stored = []
+        for header in set_cookie_headers:
+            try:
+                cookie = parse_set_cookie(header, request_url, now)
+            except CookieParseError:
+                continue
+            self.store(cookie, now)
+            stored.append(cookie)
+        return stored
+
+    def cookies_for(self, url: URL, now: float = 0.0) -> list[Cookie]:
+        """Cookies that would be attached to a request to ``url``.
+
+        Sorted by path length (longest first) then creation time, as
+        RFC 6265 prescribes for the Cookie header.
+        """
+        matches = [
+            c
+            for c in self._cookies.values()
+            if not c.is_expired(now) and c.matches(url)
+        ]
+        matches.sort(key=lambda c: (-len(c.path), c.created_at))
+        return matches
+
+    def cookie_header_for(self, url: URL, now: float = 0.0) -> str:
+        """Serialize matching cookies into a Cookie header value."""
+        return "; ".join(
+            f"{c.name}={c.value}" for c in self.cookies_for(url, now)
+        )
+
+    def clear(self) -> None:
+        """Wipe the jar (the paper wipes the TV between runs)."""
+        self._cookies.clear()
+
+    def evict_expired(self, now: float) -> int:
+        """Drop expired cookies; returns the number removed."""
+        dead = [k for k, c in self._cookies.items() if c.is_expired(now)]
+        for key in dead:
+            del self._cookies[key]
+        return len(dead)
+
+
+def _default_path(request_path: str) -> str:
+    if not request_path.startswith("/") or request_path == "/":
+        return "/"
+    directory = request_path.rsplit("/", 1)[0]
+    return directory or "/"
+
+
+def _domain_matches(host: str, cookie_domain: str, host_only: bool) -> bool:
+    host = host.lower()
+    cookie_domain = cookie_domain.lower()
+    if host_only:
+        return host == cookie_domain
+    return host == cookie_domain or host.endswith("." + cookie_domain)
+
+
+def _path_matches(request_path: str, cookie_path: str) -> bool:
+    if request_path == cookie_path:
+        return True
+    if request_path.startswith(cookie_path):
+        return cookie_path.endswith("/") or request_path[len(cookie_path)] == "/"
+    return False
+
+
+def _parse_expires(text: str) -> float | None:
+    """Parse an Expires attribute.
+
+    We accept epoch seconds (our servers emit those) and the classic
+    IMF-fixdate format; anything else yields None (session cookie).
+    """
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    import email.utils
+
+    parsed = email.utils.parsedate_to_datetime(text)
+    if parsed is None:
+        return None
+    return parsed.timestamp()

@@ -1,0 +1,217 @@
+"""HTTP message types used throughout the framework.
+
+These mirror the fields mitmproxy records for a flow: method, URL,
+headers, body, status, and timestamps.  Header lookup is case
+insensitive, and multiple ``Set-Cookie`` headers are preserved as
+separate entries (folding them would corrupt cookie attributes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+STATUS_REASONS = {
+    200: "OK",
+    204: "No Content",
+    301: "Moved Permanently",
+    302: "Found",
+    304: "Not Modified",
+    400: "Bad Request",
+    403: "Forbidden",
+    404: "Not Found",
+    500: "Internal Server Error",
+    502: "Bad Gateway",
+    504: "Gateway Timeout",
+}
+
+
+class Headers:
+    """An ordered, case-insensitive multi-map of HTTP headers."""
+
+    def __init__(self, items: Iterable[tuple[str, str]] = ()) -> None:
+        self._items: list[tuple[str, str]] = [(k, v) for k, v in items]
+
+    def get(self, name: str, default: str | None = None) -> str | None:
+        """Return the first value for ``name`` (case-insensitive)."""
+        lowered = name.lower()
+        for key, value in self._items:
+            if key.lower() == lowered:
+                return value
+        return default
+
+    def get_all(self, name: str) -> list[str]:
+        """Return every value for ``name`` in insertion order."""
+        lowered = name.lower()
+        return [v for k, v in self._items if k.lower() == lowered]
+
+    def add(self, name: str, value: str) -> None:
+        """Append a header, keeping any existing values."""
+        self._items.append((name, value))
+
+    def set(self, name: str, value: str) -> None:
+        """Replace all values for ``name`` with a single value."""
+        self.remove(name)
+        self.add(name, value)
+
+    def remove(self, name: str) -> None:
+        lowered = name.lower()
+        self._items = [(k, v) for k, v in self._items if k.lower() != lowered]
+
+    def __contains__(self, name: object) -> bool:
+        return isinstance(name, str) and self.get(name) is not None
+
+    def __iter__(self) -> Iterator[tuple[str, str]]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Headers):
+            return NotImplemented
+        return self._items == other._items
+
+    def copy(self) -> "Headers":
+        return Headers(self._items)
+
+    def __repr__(self) -> str:
+        return f"Headers({self._items!r})"
+
+
+@dataclass
+class HttpRequest:
+    """An HTTP(S) request as observed on the wire."""
+
+    method: str
+    url: str
+    headers: Headers = field(default_factory=Headers)
+    body: bytes = b""
+    timestamp: float = 0.0
+
+    @property
+    def is_https(self) -> bool:
+        return self.url.startswith("https://")
+
+    @property
+    def host(self) -> str:
+        from repro.net.url import URL
+
+        return URL.parse(self.url).host
+
+    @property
+    def etld1(self) -> str:
+        from repro.net.url import URL
+
+        return URL.parse(self.url).etld1
+
+    @property
+    def referer(self) -> str | None:
+        return self.headers.get("Referer")
+
+    def query_params(self) -> dict[str, str]:
+        from repro.net.url import URL
+
+        return URL.parse(self.url).query_params()
+
+    def body_text(self) -> str:
+        return self.body.decode("utf-8", errors="replace")
+
+
+@dataclass
+class HttpResponse:
+    """An HTTP(S) response as observed on the wire."""
+
+    status: int = 200
+    headers: Headers = field(default_factory=Headers)
+    body: bytes = b""
+    timestamp: float = 0.0
+
+    @property
+    def reason(self) -> str:
+        return STATUS_REASONS.get(self.status, "Unknown")
+
+    @property
+    def content_type(self) -> str:
+        """The media type without parameters, lowercased ('' if absent)."""
+        raw = self.headers.get("Content-Type", "")
+        return raw.split(";", 1)[0].strip().lower()
+
+    @property
+    def is_image(self) -> bool:
+        return self.content_type.startswith("image/")
+
+    @property
+    def is_javascript(self) -> bool:
+        return self.content_type in (
+            "application/javascript",
+            "text/javascript",
+            "application/x-javascript",
+        )
+
+    @property
+    def is_html(self) -> bool:
+        return self.content_type in ("text/html", "application/xhtml+xml")
+
+    @property
+    def size(self) -> int:
+        return len(self.body)
+
+    @property
+    def is_redirect(self) -> bool:
+        return self.status in (301, 302) and "Location" in self.headers
+
+    @property
+    def location(self) -> str | None:
+        return self.headers.get("Location")
+
+    def set_cookie_headers(self) -> list[str]:
+        return self.headers.get_all("Set-Cookie")
+
+    def body_text(self) -> str:
+        return self.body.decode("utf-8", errors="replace")
+
+
+def html_response(markup: str, status: int = 200) -> HttpResponse:
+    """Build a ``text/html`` response from a string."""
+    body = markup.encode("utf-8")
+    headers = Headers([("Content-Type", "text/html; charset=utf-8")])
+    headers.add("Content-Length", str(len(body)))
+    return HttpResponse(status=status, headers=headers, body=body)
+
+
+def javascript_response(source: str, status: int = 200) -> HttpResponse:
+    """Build an ``application/javascript`` response from source text."""
+    body = source.encode("utf-8")
+    headers = Headers([("Content-Type", "application/javascript")])
+    headers.add("Content-Length", str(len(body)))
+    return HttpResponse(status=status, headers=headers, body=body)
+
+
+# Canonical payload of an "empty" 1x1 GIF beacon.  Its size (35 bytes) is
+# below the paper's 45-byte tracking-pixel threshold.
+TRANSPARENT_GIF = (
+    b"GIF89a\x01\x00\x01\x00\x80\x00\x00\x00\x00\x00\xff\xff\xff!\xf9\x04"
+    b"\x01\x00\x00\x00\x00,\x00\x00\x00\x00\x01\x00\x01\x00\x00\x02\x01D\x00;"
+)
+
+
+def pixel_response() -> HttpResponse:
+    """Build the canonical 1x1 tracking-pixel response (35 bytes)."""
+    headers = Headers([("Content-Type", "image/gif")])
+    headers.add("Content-Length", str(len(TRANSPARENT_GIF)))
+    return HttpResponse(status=200, headers=headers, body=TRANSPARENT_GIF)
+
+
+def redirect_response(location: str, status: int = 302) -> HttpResponse:
+    """Build a redirect response pointing at ``location``."""
+    headers = Headers([("Location", location)])
+    return HttpResponse(status=status, headers=headers, body=b"")
+
+
+def not_found_response() -> HttpResponse:
+    return HttpResponse(
+        status=404,
+        headers=Headers([("Content-Type", "text/plain")]),
+        body=b"not found",
+    )

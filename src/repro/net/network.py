@@ -1,0 +1,68 @@
+"""The simulated Internet: a host → server routing table.
+
+The network is deliberately dumb: it delivers exactly one request to
+exactly one server and returns the response.  Redirect following, cookie
+attachment, and interception all live in the layers that use it (the TV
+browser and the proxy), which matches where those behaviours live in the
+real stack.
+"""
+
+from __future__ import annotations
+
+from repro.net.http import HttpRequest, HttpResponse
+from repro.net.server import Server
+from repro.net.url import URL
+
+
+class RoutingError(LookupError):
+    """Raised when no server answers for a host (simulated NXDOMAIN)."""
+
+
+class Network:
+    """Routes requests to registered origin servers by hostname."""
+
+    def __init__(self) -> None:
+        self._servers_by_host: dict[str, Server] = {}
+        self._request_count = 0
+
+    def register(self, server: Server) -> None:
+        """Attach a server for every host it claims.
+
+        Registering a host twice is a configuration bug, so it raises.
+        """
+        for host in server.hosts():
+            host = host.lower()
+            if host in self._servers_by_host:
+                raise ValueError(f"host already registered: {host}")
+            self._servers_by_host[host] = server
+
+    def knows_host(self, host: str) -> bool:
+        return host.lower() in self._servers_by_host
+
+    def server_for(self, host: str) -> Server:
+        try:
+            return self._servers_by_host[host.lower()]
+        except KeyError:
+            raise RoutingError(f"no route to host: {host}") from None
+
+    def deliver(self, request: HttpRequest) -> HttpResponse:
+        """Deliver one request and return the server's response.
+
+        The response timestamp is stamped with the request timestamp (our
+        simulated network has zero latency; the clock is advanced by the
+        callers that model time).
+        """
+        host = URL.parse(request.url).host
+        server = self.server_for(host)
+        response = server.handle(request)
+        response.timestamp = request.timestamp
+        self._request_count += 1
+        return response
+
+    @property
+    def request_count(self) -> int:
+        """Total requests delivered since construction."""
+        return self._request_count
+
+    def hosts(self) -> set[str]:
+        return set(self._servers_by_host)

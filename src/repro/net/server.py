@@ -1,0 +1,69 @@
+"""Origin servers for the simulated Internet.
+
+A :class:`Server` owns one or more hostnames and answers
+:class:`~repro.net.http.HttpRequest` objects.  Channel application
+servers, tracker endpoints, and CDNs are all servers; the
+:class:`~repro.net.network.Network` routes requests to them by host.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Protocol
+
+from repro.net.http import HttpRequest, HttpResponse, not_found_response
+from repro.net.url import URL
+
+
+class Server(Protocol):
+    """Anything that serves HTTP for a set of hosts."""
+
+    def hosts(self) -> set[str]:
+        """The hostnames this server answers for."""
+        ...
+
+    def handle(self, request: HttpRequest) -> HttpResponse:
+        """Produce the response for ``request``."""
+        ...
+
+
+@dataclass
+class Route:
+    """A path-prefix route inside a :class:`FunctionServer`."""
+
+    prefix: str
+    handler: Callable[[HttpRequest], HttpResponse]
+
+
+class FunctionServer:
+    """A server built from path-prefix routes on a set of hosts.
+
+    Routes are matched longest-prefix-first so ``/app/consent`` wins over
+    ``/app``.  Unmatched paths produce a 404.
+    """
+
+    def __init__(self, hosts: set[str] | list[str] | str) -> None:
+        if isinstance(hosts, str):
+            hosts = {hosts}
+        self._hosts = set(hosts)
+        self._routes: list[Route] = []
+
+    def hosts(self) -> set[str]:
+        return set(self._hosts)
+
+    def add_host(self, host: str) -> None:
+        self._hosts.add(host)
+
+    def route(
+        self, prefix: str, handler: Callable[[HttpRequest], HttpResponse]
+    ) -> None:
+        """Register ``handler`` for request paths starting with ``prefix``."""
+        self._routes.append(Route(prefix, handler))
+        self._routes.sort(key=lambda r: -len(r.prefix))
+
+    def handle(self, request: HttpRequest) -> HttpResponse:
+        path = URL.parse(request.url).path
+        for route in self._routes:
+            if path.startswith(route.prefix):
+                return route.handler(request)
+        return not_found_response()

@@ -1,0 +1,77 @@
+"""Per-origin local storage, mirroring the webOS browser's HTML5 storage.
+
+The paper extracts the TV's local storage over SSH after every run and
+counts objects alongside cookies (Table I's "Local Stor." column).  Each
+entry remembers which origin wrote it and when, so analyses can attribute
+storage objects to parties exactly as the paper does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.url import registrable_domain
+
+
+@dataclass(frozen=True)
+class StorageEntry:
+    """A single key/value object in an origin's local storage."""
+
+    origin: str
+    key: str
+    value: str
+    written_at: float = 0.0
+    written_by_url: str = ""
+
+    @property
+    def host(self) -> str:
+        return self.origin.split("://", 1)[1].split(":", 1)[0]
+
+    @property
+    def etld1(self) -> str:
+        return registrable_domain(self.host)
+
+
+class LocalStorage:
+    """The TV-wide local storage, keyed by (origin, key)."""
+
+    def __init__(self) -> None:
+        self._entries: dict[tuple[str, str], StorageEntry] = {}
+
+    def set_item(
+        self,
+        origin: str,
+        key: str,
+        value: str,
+        now: float = 0.0,
+        written_by_url: str = "",
+    ) -> StorageEntry:
+        """Write a key in ``origin``'s partition (overwrites keep the slot)."""
+        entry = StorageEntry(origin, key, value, now, written_by_url)
+        self._entries[(origin, key)] = entry
+        return entry
+
+    def get_item(self, origin: str, key: str) -> str | None:
+        entry = self._entries.get((origin, key))
+        return entry.value if entry is not None else None
+
+    def remove_item(self, origin: str, key: str) -> None:
+        self._entries.pop((origin, key), None)
+
+    def entries_for(self, origin: str) -> list[StorageEntry]:
+        """All entries in one origin's partition."""
+        return [e for (o, _), e in self._entries.items() if o == origin]
+
+    def all(self) -> list[StorageEntry]:
+        """Every entry across origins (the per-run SSH dump)."""
+        return list(self._entries.values())
+
+    def origins(self) -> set[str]:
+        return {origin for origin, _ in self._entries}
+
+    def clear(self) -> None:
+        """Wipe storage (done between measurement runs)."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)

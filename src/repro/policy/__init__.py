@@ -1,0 +1,37 @@
+"""The privacy-policy pipeline (paper §VII).
+
+Collection from recorded traffic → boilerplate removal → language
+detection → policy/other classification → SHA-1 and SimHash dedup →
+data-practice annotation (MAPP-style taxonomy + GDPR dictionary) →
+declared-vs-observed discrepancy audit (incl. the 5 PM–6 AM case).
+"""
+
+from repro.policy.corpus import PolicyDocument, collect_policies
+from repro.policy.dedup import dedup_exact, simhash, simhash_groups
+from repro.policy.discrepancy import (
+    Discrepancy,
+    DiscrepancyReport,
+    audit_discrepancies,
+)
+from repro.policy.extraction import extract_main_text
+from repro.policy.langdetect import detect_language
+from repro.policy.classifier import PolicyClassifier
+from repro.policy.gdpr import GdprDictionary
+from repro.policy.practices import PracticeAnnotation, annotate_practices
+
+__all__ = [
+    "PolicyDocument",
+    "collect_policies",
+    "extract_main_text",
+    "detect_language",
+    "PolicyClassifier",
+    "dedup_exact",
+    "simhash",
+    "simhash_groups",
+    "PracticeAnnotation",
+    "annotate_practices",
+    "GdprDictionary",
+    "Discrepancy",
+    "DiscrepancyReport",
+    "audit_discrepancies",
+]

@@ -1,0 +1,130 @@
+"""Policy-vs-miscellaneous text classification.
+
+Stands in for the trained classifiers of the unified policy-detection
+toolchain: a multinomial naive-Bayes model over word unigrams, trained
+on an embedded bilingual corpus of policy-like and non-policy documents.
+Like its big sibling, it has a characteristic failure mode the paper
+ran into: documents mixing data-practice prose with unrelated content
+(discount offers, HbbTV usage instructions) can fall below the decision
+threshold — those are the false negatives a manual pass corrects.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass
+
+_TOKEN = re.compile(r"[a-zäöüß]+")
+
+# -- embedded training corpus ----------------------------------------------------
+
+_POLICY_SNIPPETS = [
+    "datenschutzerklärung wir informieren sie über die verarbeitung "
+    "personenbezogener daten gemäß art 13 dsgvo verantwortlicher ist",
+    "die rechtsgrundlage der verarbeitung ist ihre einwilligung nach "
+    "art 6 abs 1 lit a dsgvo sie können die einwilligung jederzeit widerrufen",
+    "wir erheben ihre ip adresse geräteinformationen sowie datum und "
+    "uhrzeit des zugriffs zur reichweitenmessung setzen wir cookies ein",
+    "sie haben das recht auf auskunft berichtigung löschung und "
+    "einschränkung der verarbeitung ihrer personenbezogenen daten",
+    "ihnen steht ein beschwerderecht bei einer aufsichtsbehörde zu "
+    "unser datenschutzbeauftragter ist unter folgender adresse erreichbar",
+    "daten werden an drittanbieter weitergegeben die in unserem auftrag "
+    "messungen und werbeausspielungen durchführen",
+    "privacy policy we inform you about the processing of personal data "
+    "pursuant to art 13 gdpr the controller is",
+    "the legal basis of the processing is your consent pursuant to "
+    "art 6 1 a gdpr you may withdraw consent at any time",
+    "you have the right of access rectification erasure and restriction "
+    "of processing of your personal data",
+    "we collect your ip address device information and the date and "
+    "time of access cookies are used for audience measurement",
+    "soweit keine einwilligung vorliegt verarbeiten wir daten auf "
+    "grundlage unserer berechtigten interessen nach art 6 abs 1 lit f",
+    "die speicherung von informationen auf ihrem endgerät erfolgt nur "
+    "mit ihrer einwilligung es sei denn sie ist technisch erforderlich",
+    "zur pseudonymisierung werden die letzten ziffern der ip adresse "
+    "gekürzt eine zusammenführung mit anderen daten findet nicht statt",
+    "personalisierte werbung und profilbildung finden ausschließlich "
+    "mit ihrer zustimmung statt widerspruch ist jederzeit möglich",
+]
+
+_OTHER_SNIPPETS = [
+    "startseite programm mediathek shop gewinnspiele kontakt impressum "
+    "karriere presse agb",
+    "heute im programm die große abendshow mit vielen stars und gästen "
+    "anschließend der spielfilm der woche",
+    "nur diese woche rabatt auf alle artikel im tv shop rufen sie jetzt "
+    "an und sichern sie sich ihren vorteil",
+    "zur bedienung drücken sie die rote taste auf ihrer fernbedienung "
+    "und navigieren sie mit den pfeiltasten durch das menü",
+    "folge verpasst in unserer mediathek finden sie alle folgen ihrer "
+    "lieblingsserien zum abruf bereit",
+    "das wetter morgen sonnig bei temperaturen um grad im süden "
+    "vereinzelt schauer die aussichten fürs wochenende",
+    "welcome to our interactive service press the red button to open "
+    "the media library use the arrow keys to navigate",
+    "breaking news der aktuelle überblick über die wichtigsten "
+    "ereignisse des tages aus politik wirtschaft und sport",
+    "gewinnen sie mit etwas glück eine traumreise einfach anrufen und "
+    "die gewinnfrage beantworten viel glück",
+    "impressum angaben gemäß telemediengesetz herausgeber anschrift "
+    "telefon registergericht umsatzsteuer identifikationsnummer",
+    "quiz time answer the question on screen and win great prizes call "
+    "now or send a text message",
+    "jetzt neu in unserem online shop die kollektion des jahres "
+    "bestellen sie bequem von zu hause",
+]
+
+
+@dataclass(frozen=True)
+class ClassificationResult:
+    is_policy: bool
+    log_odds: float  # positive = policy-leaning
+
+
+class PolicyClassifier:
+    """Multinomial naive Bayes over unigrams, Laplace-smoothed."""
+
+    def __init__(self, threshold: float = 0.0) -> None:
+        self.threshold = threshold
+        self._policy_counts: dict[str, int] = {}
+        self._other_counts: dict[str, int] = {}
+        self._policy_total = 0
+        self._other_total = 0
+        self._vocabulary: set[str] = set()
+        for snippet in _POLICY_SNIPPETS:
+            self._train(snippet, policy=True)
+        for snippet in _OTHER_SNIPPETS:
+            self._train(snippet, policy=False)
+
+    def _train(self, text: str, policy: bool) -> None:
+        counts = self._policy_counts if policy else self._other_counts
+        for token in _TOKEN.findall(text.lower()):
+            counts[token] = counts.get(token, 0) + 1
+            self._vocabulary.add(token)
+        if policy:
+            self._policy_total += len(_TOKEN.findall(text))
+        else:
+            self._other_total += len(_TOKEN.findall(text))
+
+    def score(self, text: str) -> float:
+        """Log-odds that ``text`` is a privacy policy."""
+        vocabulary_size = len(self._vocabulary)
+        log_odds = 0.0
+        for token in _TOKEN.findall(text.lower()):
+            policy_p = (self._policy_counts.get(token, 0) + 1) / (
+                self._policy_total + vocabulary_size
+            )
+            other_p = (self._other_counts.get(token, 0) + 1) / (
+                self._other_total + vocabulary_size
+            )
+            log_odds += math.log(policy_p) - math.log(other_p)
+        return log_odds
+
+    def classify(self, text: str) -> ClassificationResult:
+        log_odds = self.score(text)
+        return ClassificationResult(
+            is_policy=log_odds > self.threshold, log_odds=log_odds
+        )

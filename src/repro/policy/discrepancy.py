@@ -1,0 +1,147 @@
+"""Declared-vs-observed discrepancy audit (§VII-C).
+
+Compares what each channel's privacy policy declares with what its
+recorded traffic shows.  The headline case: a children's channel family
+declares personalization "from 5 PM to 6 AM" while its trackers also
+fire outside that window — with user IDs and the watched show attached.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.analysis.tracking import TrackingClassifier
+from repro.clock import hour_of_day
+from repro.policy.practices import PracticeAnnotation
+from repro.proxy.flow import Flow
+
+
+class DiscrepancyKind(enum.Enum):
+    TIME_WINDOW_VIOLATION = "tracking outside the declared time window"
+    UNDISCLOSED_THIRD_PARTIES = "third-party tracking not declared"
+    OPT_OUT_ONLY = "opt-out wording where GDPR requires opt-in consent"
+    TRACKING_WITHOUT_POLICY = "tracking observed but no policy found"
+
+
+@dataclass(frozen=True)
+class Discrepancy:
+    kind: DiscrepancyKind
+    channel_id: str
+    detail: str
+    evidence_urls: tuple[str, ...] = ()
+    tracker_etld1s: tuple[str, ...] = ()
+
+
+@dataclass
+class DiscrepancyReport:
+    findings: list[Discrepancy] = field(default_factory=list)
+
+    def by_kind(self, kind: DiscrepancyKind) -> list[Discrepancy]:
+        return [f for f in self.findings if f.kind == kind]
+
+    def channels_with_findings(self) -> set[str]:
+        return {f.channel_id for f in self.findings}
+
+
+def _inside_window(hour: float, window: tuple[int, int]) -> bool:
+    start, end = window
+    if start <= end:
+        return start <= hour < end
+    return hour >= start or hour < end  # window wraps past midnight
+
+
+def audit_discrepancies(
+    flows: Iterable[Flow],
+    annotations_by_channel: dict[str, PracticeAnnotation],
+    first_parties: dict[str, str] | None = None,
+    classifier: TrackingClassifier | None = None,
+    max_evidence: int = 10,
+) -> DiscrepancyReport:
+    """Audit every channel with a policy annotation against its flows."""
+    classifier = classifier or TrackingClassifier()
+    first_parties = first_parties or {}
+    report = DiscrepancyReport()
+
+    tracking_by_channel: dict[str, list[Flow]] = {}
+    for flow in flows:
+        if flow.channel_id and classifier.is_tracking(flow):
+            tracking_by_channel.setdefault(flow.channel_id, []).append(flow)
+
+    for channel_id, tracking in tracking_by_channel.items():
+        annotation = annotations_by_channel.get(channel_id)
+        if annotation is None:
+            report.findings.append(
+                Discrepancy(
+                    kind=DiscrepancyKind.TRACKING_WITHOUT_POLICY,
+                    channel_id=channel_id,
+                    detail=(
+                        f"{len(tracking)} tracking requests observed but no "
+                        "privacy policy was found in the channel's traffic"
+                    ),
+                    tracker_etld1s=tuple(sorted({f.etld1 for f in tracking})),
+                )
+            )
+            continue
+
+        if annotation.declared_window is not None:
+            outside = [
+                f
+                for f in tracking
+                if not _inside_window(
+                    hour_of_day(f.timestamp), annotation.declared_window
+                )
+            ]
+            if outside:
+                start, end = annotation.declared_window
+                report.findings.append(
+                    Discrepancy(
+                        kind=DiscrepancyKind.TIME_WINDOW_VIOLATION,
+                        channel_id=channel_id,
+                        detail=(
+                            f"policy declares personalization only from "
+                            f"{start}:00 to {end}:00, but {len(outside)} "
+                            "tracking requests fired outside that window"
+                        ),
+                        evidence_urls=tuple(
+                            f.url for f in outside[:max_evidence]
+                        ),
+                        tracker_etld1s=tuple(
+                            sorted({f.etld1 for f in outside})
+                        ),
+                    )
+                )
+
+        first_party = first_parties.get(channel_id, "")
+        third_party_trackers = sorted(
+            {f.etld1 for f in tracking if f.etld1 != first_party}
+        )
+        if third_party_trackers and not annotation.third_party_collection:
+            report.findings.append(
+                Discrepancy(
+                    kind=DiscrepancyKind.UNDISCLOSED_THIRD_PARTIES,
+                    channel_id=channel_id,
+                    detail=(
+                        "policy declares no third-party collection, but "
+                        f"{len(third_party_trackers)} third-party trackers "
+                        "were observed"
+                    ),
+                    tracker_etld1s=tuple(third_party_trackers),
+                )
+            )
+
+        if annotation.opt_out_statements and tracking:
+            report.findings.append(
+                Discrepancy(
+                    kind=DiscrepancyKind.OPT_OUT_ONLY,
+                    channel_id=channel_id,
+                    detail=(
+                        "policy offers only opt-out for interest-based "
+                        "advertising/measurement, but GDPR-targeted "
+                        "advertising requires opt-in consent"
+                    ),
+                    tracker_etld1s=tuple(sorted({f.etld1 for f in tracking})),
+                )
+            )
+    return report

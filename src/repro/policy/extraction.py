@@ -1,0 +1,59 @@
+"""Boilerplate removal (the Boilerpipe stand-in).
+
+Splits an HTML page into text blocks and keeps the content-dense ones,
+using the shallow text features the original algorithm relies on: block
+length, average sentence shape, and link/navigation density.  Our pages
+wrap the policy body in navigation chrome this stage must strip.
+"""
+
+from __future__ import annotations
+
+import re
+
+_TAG_PATTERN = re.compile(r"<[^>]+>")
+_BLOCK_SPLIT = re.compile(r"</?(?:p|div|nav|footer|header|main|section|ul|ol|li|h[1-6]|br)[^>]*>", re.IGNORECASE)
+_SCRIPT_STYLE = re.compile(
+    r"<(script|style)[^>]*>.*?</\1>", re.IGNORECASE | re.DOTALL
+)
+
+#: Minimum words for a block to count as content on its own.
+MIN_CONTENT_WORDS = 10
+#: Shorter blocks survive when they look like prose (sentence-final
+#: punctuation) rather than navigation labels.
+MIN_PROSE_WORDS = 5
+
+_NAV_SEPARATORS = ("|", "»", "·")
+
+
+def extract_main_text(html: str) -> str:
+    """Strip tags and boilerplate, returning the main text content."""
+    without_scripts = _SCRIPT_STYLE.sub(" ", html)
+    blocks = _BLOCK_SPLIT.split(without_scripts)
+    kept: list[str] = []
+    for raw_block in blocks:
+        text = _TAG_PATTERN.sub(" ", raw_block)
+        text = re.sub(r"\s+", " ", text).strip()
+        if not text:
+            continue
+        if _is_content_block(text):
+            kept.append(text)
+    return "\n".join(kept)
+
+
+def _is_content_block(text: str) -> bool:
+    # Navigation menus are short label runs separated by pipes/bullets.
+    separator_count = sum(text.count(s) for s in _NAV_SEPARATORS)
+    words = text.split()
+    if separator_count >= 2 and len(words) < 25:
+        return False
+    if len(words) >= MIN_CONTENT_WORDS:
+        return True
+    return len(words) >= MIN_PROSE_WORDS and text.rstrip().endswith(
+        (".", "!", "?", ":")
+    )
+
+
+def looks_like_html(text: str) -> bool:
+    """Cheap check whether a response body is an HTML page at all."""
+    head = text[:512].lower()
+    return "<html" in head or "<body" in head or "<div" in head

@@ -1,0 +1,111 @@
+"""GDPR terminology dictionary (Art. 6 and Art. 13 phrases, DE + EN).
+
+The dictionary-based supplement to the deep-learning annotation: counts
+occurrences of GDPR-specific phrases to gauge an issuer's GDPR
+awareness, as the multilingual-dictionary approach the paper reuses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Phrases from Art. 6 GDPR (legal bases), German and English.
+ARTICLE_6_PHRASES = {
+    "de": (
+        "einwilligung",
+        "rechtsgrundlage",
+        "berechtigte interessen",
+        "berechtigten interessen",
+        "vertragserfüllung",
+        "rechtliche verpflichtung",
+        "lebenswichtige interessen",
+        "öffentliches interesse",
+        "art. 6",
+    ),
+    "en": (
+        "consent",
+        "legal basis",
+        "legitimate interest",
+        "performance of a contract",
+        "legal obligation",
+        "vital interest",
+        "public interest",
+        "art. 6",
+    ),
+}
+
+#: Phrases from Art. 13 GDPR (information duties).
+ARTICLE_13_PHRASES = {
+    "de": (
+        "verantwortlicher",
+        "datenschutzbeauftragte",
+        "zweck der verarbeitung",
+        "zwecke der verarbeitung",
+        "empfänger",
+        "speicherdauer",
+        "beschwerderecht",
+        "aufsichtsbehörde",
+        "widerruf",
+        "art. 13",
+        "personenbezogene daten",
+        "personenbezogener daten",
+    ),
+    "en": (
+        "controller",
+        "data protection officer",
+        "purpose of the processing",
+        "purposes of the processing",
+        "recipient",
+        "storage period",
+        "lodge a complaint",
+        "supervisory authority",
+        "withdraw",
+        "art. 13",
+        "personal data",
+    ),
+}
+
+
+@dataclass(frozen=True)
+class GdprAwareness:
+    """Dictionary hits for one policy."""
+
+    article6_hits: int
+    article13_hits: int
+    distinct_phrases: int
+
+    @property
+    def total_hits(self) -> int:
+        return self.article6_hits + self.article13_hits
+
+    @property
+    def is_gdpr_aware(self) -> bool:
+        """A policy that uses several distinct GDPR phrases."""
+        return self.distinct_phrases >= 4
+
+
+class GdprDictionary:
+    """Counts GDPR phrase occurrences in policy texts."""
+
+    def __init__(self, languages: tuple[str, ...] = ("de", "en")) -> None:
+        self.article6 = tuple(
+            phrase for lang in languages for phrase in ARTICLE_6_PHRASES[lang]
+        )
+        self.article13 = tuple(
+            phrase for lang in languages for phrase in ARTICLE_13_PHRASES[lang]
+        )
+
+    def analyze(self, text: str) -> GdprAwareness:
+        lowered = text.lower()
+        hits6 = sum(lowered.count(phrase) for phrase in self.article6)
+        hits13 = sum(lowered.count(phrase) for phrase in self.article13)
+        distinct = sum(
+            1
+            for phrase in self.article6 + self.article13
+            if phrase in lowered
+        )
+        return GdprAwareness(
+            article6_hits=hits6,
+            article13_hits=hits13,
+            distinct_phrases=distinct,
+        )

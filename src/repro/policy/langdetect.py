@@ -1,0 +1,54 @@
+"""Language detection via per-chunk stopword voting.
+
+The toolchain the paper uses detects language "via majority voting";
+we chunk the text, classify every chunk by German/English stopword
+density, and take the majority — which also lets us spot bilingual
+documents (substantial chunks of both languages).
+"""
+
+from __future__ import annotations
+
+GERMAN_STOPWORDS = frozenset(
+    """der die das und ist nicht sie wir ihre ihrer mit von auf für eine
+    einen einem dem den des im zur zum bei nach über unter durch gemäß
+    sowie werden wurde können kann haben sind oder als auch jederzeit
+    uns ihnen diese dieser dieses wenn dass sich nur noch""".split()
+)
+
+ENGLISH_STOPWORDS = frozenset(
+    """the and is are not you we our your with of on for a an to in at
+    by after about under through as well will would can may have has
+    or also any this that these those if it its only when which""".split()
+)
+
+CHUNK_SIZE = 400  # characters
+
+
+def _classify_chunk(chunk: str) -> str:
+    words = [w.strip(".,;:()!?\"'").lower() for w in chunk.split()]
+    german = sum(1 for w in words if w in GERMAN_STOPWORDS)
+    english = sum(1 for w in words if w in ENGLISH_STOPWORDS)
+    if german == 0 and english == 0:
+        return "unknown"
+    return "de" if german >= english else "en"
+
+
+def detect_language(text: str) -> str:
+    """Return 'de', 'en', 'de/en' (bilingual), or 'unknown'."""
+    if not text.strip():
+        return "unknown"
+    chunks = [
+        text[offset : offset + CHUNK_SIZE]
+        for offset in range(0, len(text), CHUNK_SIZE)
+    ]
+    votes = [_classify_chunk(chunk) for chunk in chunks]
+    german = votes.count("de")
+    english = votes.count("en")
+    decided = german + english
+    if decided == 0:
+        return "unknown"
+    if german and english:
+        minority = min(german, english) / decided
+        if minority >= 0.2:  # a substantial block of the other language
+            return "de/en"
+    return "de" if german >= english else "en"

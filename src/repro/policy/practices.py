@@ -1,0 +1,151 @@
+"""Data-practice annotation of policy texts (§VII-B/C).
+
+The rule-based stand-in for the fine-tuned BERT models: detects the
+taxonomy categories/attributes/values, GDPR rights articles, legal
+bases, the declared personalization time window (the 5 PM–6 AM case),
+TDDDG references, opt-out wording, vague wording, HbbTV mentions, the
+blue-button hint, and dedicated contact addresses.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.policy.taxonomy import (
+    ALL_CATEGORIES,
+    DATA_SUBJECT_RIGHTS,
+    TaxonomyValue,
+)
+
+#: "von 17 Uhr bis 6 Uhr" / "im Zeitraum von 17 Uhr bis 6 Uhr"
+_WINDOW_DE = re.compile(
+    r"von\s+(\d{1,2})\s+uhr\s+bis\s+(\d{1,2})\s+uhr", re.IGNORECASE
+)
+#: "from 5 pm to 6 am"
+_WINDOW_EN = re.compile(
+    r"from\s+(\d{1,2})\s*(am|pm)\s+to\s+(\d{1,2})\s*(am|pm)", re.IGNORECASE
+)
+
+_EMAIL = re.compile(r"[\w.+-]+@[\w-]+(?:\.[\w-]+)+")
+
+_VAGUE_PHRASES = (
+    "gegebenenfalls",
+    "möglicherweise",
+    "erforderlich erscheinen mag",
+    "unter umständen",
+    "as appropriate",
+    "may be necessary",
+)
+
+_OPT_OUT_PHRASES = (
+    "opt-out",
+    "opt out",
+    "widersprechen; bis dahin",
+    "durch opt-out widersprechen",
+)
+
+
+@dataclass
+class PracticeAnnotation:
+    """Everything the annotator extracts from one policy text."""
+
+    first_party_collection: bool = False
+    third_party_collection: bool = False
+    detected_values: set[str] = field(default_factory=set)
+    rights_articles: set[int] = field(default_factory=set)
+    legal_bases: set[str] = field(default_factory=set)
+    declared_window: tuple[int, int] | None = None
+    tdddg_mention: bool = False
+    opt_out_statements: bool = False
+    vague_statements: bool = False
+    mentions_hbbtv: bool = False
+    blue_button_hint: bool = False
+    contact_emails: tuple[str, ...] = ()
+    ip_anonymization: str = "none"  # "full", "truncate", "none"
+    mentions_coverage_analysis: bool = False
+    mentions_personalization_of_program: bool = False
+
+    @property
+    def uses_legitimate_interest(self) -> bool:
+        return "LegitimateInterest" in self.legal_bases
+
+
+def _value_matches(value: TaxonomyValue, lowered: str) -> bool:
+    phrases = value.phrases_de + value.phrases_en
+    return any(phrase in lowered for phrase in phrases)
+
+
+def annotate_practices(text: str) -> PracticeAnnotation:
+    """Annotate one policy text."""
+    annotation = PracticeAnnotation()
+    lowered = text.lower()
+
+    for category in ALL_CATEGORIES:
+        category_hit = False
+        recipient_hit = False
+        for attribute in category.attributes:
+            for value in attribute.values:
+                if _value_matches(value, lowered):
+                    annotation.detected_values.add(value.name)
+                    category_hit = True
+                    if attribute.name == "LegalBasis":
+                        annotation.legal_bases.add(value.name)
+                    if attribute.name == "Recipient":
+                        recipient_hit = True
+        if category.name == "FirstPartyCollectionUse" and category_hit:
+            annotation.first_party_collection = True
+        if category.name == "ThirdPartySharingCollection" and recipient_hit:
+            # Purpose phrases alone (e.g. first-party audience
+            # measurement) do not make a third-party declaration; a
+            # recipient must be named.
+            annotation.third_party_collection = True
+
+    for article, value in DATA_SUBJECT_RIGHTS.items():
+        if _value_matches(value, lowered):
+            annotation.rights_articles.add(article)
+
+    annotation.declared_window = _detect_window(lowered)
+    annotation.tdddg_mention = "tdddg" in lowered or "ttdsg" in lowered
+    annotation.opt_out_statements = any(
+        phrase in lowered for phrase in _OPT_OUT_PHRASES
+    )
+    annotation.vague_statements = (
+        sum(1 for phrase in _VAGUE_PHRASES if phrase in lowered) >= 2
+    )
+    annotation.mentions_hbbtv = "hbbtv" in lowered
+    annotation.blue_button_hint = (
+        "blaue taste" in lowered or "blue button" in lowered
+    )
+    annotation.contact_emails = tuple(sorted(set(_EMAIL.findall(text))))
+    if "vollständig anonymisiert" in lowered or "fully anonymized" in lowered:
+        annotation.ip_anonymization = "full"
+    elif "gekürzt" in lowered or "truncated" in lowered:
+        annotation.ip_anonymization = "truncate"
+    annotation.mentions_coverage_analysis = (
+        "reichweitenmessung" in lowered or "audience measurement" in lowered
+    )
+    annotation.mentions_personalization_of_program = (
+        "individuelle sehverhalten" in lowered
+        or "individuelles sehverhalten" in lowered
+    )
+    return annotation
+
+
+def _detect_window(lowered: str) -> tuple[int, int] | None:
+    match = _WINDOW_DE.search(lowered)
+    if match:
+        return int(match.group(1)), int(match.group(2))
+    match = _WINDOW_EN.search(lowered)
+    if match:
+        start = _to_24h(int(match.group(1)), match.group(2))
+        end = _to_24h(int(match.group(3)), match.group(4))
+        return start, end
+    return None
+
+
+def _to_24h(hour: int, meridiem: str) -> int:
+    hour = hour % 12
+    if meridiem.lower() == "pm":
+        hour += 12
+    return hour

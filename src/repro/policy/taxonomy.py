@@ -1,0 +1,168 @@
+"""The MAPP-style data-practices taxonomy.
+
+A bilingual (EN/DE) taxonomy of data practices extending OPP-115 with
+GDPR concepts: top-level categories for first-party collection/use and
+third-party collection/sharing, each with attributes carrying
+fine-grained values, plus the GDPR data-subject rights as first-class
+entries.  The rule-based annotator in :mod:`repro.policy.practices`
+emits labels from this taxonomy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TaxonomyValue:
+    """A fine-grained value, with detection phrases per language."""
+
+    name: str
+    phrases_de: tuple[str, ...] = ()
+    phrases_en: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class TaxonomyAttribute:
+    name: str
+    values: tuple[TaxonomyValue, ...] = ()
+
+
+@dataclass(frozen=True)
+class TaxonomyCategory:
+    name: str
+    attributes: tuple[TaxonomyAttribute, ...] = ()
+
+
+def _value(name: str, de: tuple[str, ...], en: tuple[str, ...]) -> TaxonomyValue:
+    return TaxonomyValue(name, de, en)
+
+
+FIRST_PARTY_COLLECTION = TaxonomyCategory(
+    "FirstPartyCollectionUse",
+    (
+        TaxonomyAttribute(
+            "CollectedInformationType",
+            (
+                _value(
+                    "IPAddress",
+                    ("ip-adresse", "ip adresse"),
+                    ("ip address",),
+                ),
+                _value(
+                    "DeviceInformation",
+                    ("geräteinformation", "empfangsgerät", "endgerät"),
+                    ("device information", "receiver"),
+                ),
+                _value(
+                    "UsageData",
+                    ("nutzungsverhalten", "reichweitenmessung", "sehverhalten"),
+                    ("usage behaviour", "audience measurement"),
+                ),
+                _value(
+                    "Timestamp",
+                    ("datum und uhrzeit",),
+                    ("date and time",),
+                ),
+            ),
+        ),
+        TaxonomyAttribute(
+            "LegalBasis",
+            (
+                _value(
+                    "Consent",
+                    ("einwilligung", "art. 6 abs. 1 lit. a"),
+                    ("consent", "art. 6(1)(a)"),
+                ),
+                _value(
+                    "LegitimateInterest",
+                    ("berechtigte interessen", "berechtigten interessen"),
+                    ("legitimate interest",),
+                ),
+                _value(
+                    "VitalInterest",
+                    ("lebenswichtiger interessen", "lebenswichtige interessen"),
+                    ("vital interest",),
+                ),
+                _value(
+                    "LegalObligation",
+                    ("rechtlicher verpflichtungen", "rechtliche verpflichtung"),
+                    ("legal obligation",),
+                ),
+            ),
+        ),
+        TaxonomyAttribute(
+            "Anonymization",
+            (
+                _value(
+                    "FullAnonymization",
+                    ("vollständig anonymisiert",),
+                    ("fully anonymized",),
+                ),
+                _value(
+                    "Truncation",
+                    ("gekürzt", "pseudonymisierung"),
+                    ("truncated", "pseudonymization"),
+                ),
+            ),
+        ),
+    ),
+)
+
+THIRD_PARTY_SHARING = TaxonomyCategory(
+    "ThirdPartySharingCollection",
+    (
+        TaxonomyAttribute(
+            "Recipient",
+            (
+                _value(
+                    "ServiceProvider",
+                    ("dienstleister", "in unserem auftrag"),
+                    ("service provider", "on our behalf"),
+                ),
+                _value(
+                    "Advertiser",
+                    ("werbeausspielung", "werbepartner", "drittanbieter"),
+                    ("advertiser", "third parties"),
+                ),
+            ),
+        ),
+        TaxonomyAttribute(
+            "Purpose",
+            (
+                _value(
+                    "Advertising",
+                    ("personalisierte werbung", "interessenbezogene werbung"),
+                    ("personalised advertising", "interest-based advertising"),
+                ),
+                _value(
+                    "Measurement",
+                    ("reichweitenmessung", "messungen"),
+                    ("audience measurement", "measurement"),
+                ),
+            ),
+        ),
+    ),
+)
+
+#: GDPR data-subject rights and the article numbers they live in.
+DATA_SUBJECT_RIGHTS = {
+    15: _value("Access", ("art. 15",), ("art. 15",)),
+    16: _value("Rectification", ("art. 16",), ("art. 16",)),
+    17: _value("Erasure", ("art. 17",), ("art. 17",)),
+    18: _value("RestrictionOfProcessing", ("art. 18",), ("art. 18",)),
+    20: _value("DataPortability", ("art. 20",), ("art. 20",)),
+    21: _value("ObjectToProcessing", ("art. 21",), ("art. 21",)),
+    77: _value("LodgeComplaint", ("art. 77",), ("art. 77",)),
+}
+
+ALL_CATEGORIES = (FIRST_PARTY_COLLECTION, THIRD_PARTY_SHARING)
+
+
+def all_values() -> list[TaxonomyValue]:
+    values: list[TaxonomyValue] = []
+    for category in ALL_CATEGORIES:
+        for attribute in category.attributes:
+            values.extend(attribute.values)
+    values.extend(DATA_SUBJECT_RIGHTS.values())
+    return values

@@ -1,0 +1,18 @@
+"""Interception substrate: the mitmproxy stand-in.
+
+Records every HTTP(S) exchange as a :class:`~repro.proxy.flow.Flow`,
+attributes flows to TV channels using the remote-control script's
+channel pushes plus referrer correction, and excludes manufacturer
+traffic exactly as the study did.
+"""
+
+from repro.proxy.attribution import ChannelAttributor, DEFAULT_WINDOW_SECONDS
+from repro.proxy.flow import Flow
+from repro.proxy.mitm import InterceptionProxy
+
+__all__ = [
+    "Flow",
+    "InterceptionProxy",
+    "ChannelAttributor",
+    "DEFAULT_WINDOW_SECONDS",
+]

@@ -1,0 +1,75 @@
+"""Channel attribution for intercepted flows.
+
+Implements the paper's §IV-C mapping rules:
+
+1. The remote-control script pushes the channel name and ID to the
+   proxy on every switch; flows default to the current channel.
+2. If a request's Referer belongs to a host registered for a
+   *different* channel, the flow is re-assigned to that channel —
+   catching late requests from the previous app during switch delays.
+3. Only requests within the last 15 minutes of a channel's watch time
+   are attributed at all; anything older is left unattributed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.http import HttpRequest
+from repro.net.url import URL, URLError
+
+DEFAULT_WINDOW_SECONDS = 15 * 60.0
+
+
+@dataclass(frozen=True)
+class _CurrentChannel:
+    channel_id: str
+    channel_name: str
+    since: float
+
+
+class ChannelAttributor:
+    """Stateful request → channel mapping."""
+
+    def __init__(self, window_seconds: float = DEFAULT_WINDOW_SECONDS) -> None:
+        self.window_seconds = window_seconds
+        self._current: _CurrentChannel | None = None
+        #: host → (channel_id, channel_name): which channel an app host
+        #: belongs to (from the AIT entry URLs).
+        self._host_channels: dict[str, tuple[str, str]] = {}
+
+    def register_channel_host(
+        self, host: str, channel_id: str, channel_name: str
+    ) -> None:
+        """Declare that a first-party app host belongs to a channel."""
+        self._host_channels[host.lower()] = (channel_id, channel_name)
+
+    def set_channel(self, channel_id: str, channel_name: str, at: float) -> None:
+        """The remote-control script's push on a channel switch."""
+        self._current = _CurrentChannel(channel_id, channel_name, at)
+
+    def clear_channel(self) -> None:
+        self._current = None
+
+    def attribute(self, request: HttpRequest) -> tuple[str, str]:
+        """Return (channel_id, channel_name) for a flow ('' if unknown)."""
+        referred = self._channel_from_referer(request)
+        if referred is not None:
+            return referred
+        if self._current is None:
+            return "", ""
+        if request.timestamp - self._current.since > self.window_seconds:
+            return "", ""
+        return self._current.channel_id, self._current.channel_name
+
+    def _channel_from_referer(
+        self, request: HttpRequest
+    ) -> tuple[str, str] | None:
+        referer = request.referer
+        if not referer:
+            return None
+        try:
+            host = URL.parse(referer).host
+        except URLError:
+            return None
+        return self._host_channels.get(host)

@@ -1,0 +1,64 @@
+"""Flow records: one intercepted request/response exchange."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+from repro.net.http import HttpRequest, HttpResponse
+from repro.net.url import URL
+
+
+@dataclass
+class Flow:
+    """One HTTP(S) exchange as recorded by the interception proxy.
+
+    Host and eTLD+1 are cached: analyses group the same flows by party
+    many times over.
+    """
+
+    request: HttpRequest
+    response: HttpResponse
+    channel_id: str = ""
+    channel_name: str = ""
+    run_name: str = ""
+    #: True when the exchange was TLS and we man-in-the-middled it
+    #: (every HTTPS flow in the study: no channel validated certs).
+    intercepted_tls: bool = False
+
+    @property
+    def url(self) -> str:
+        return self.request.url
+
+    @cached_property
+    def host(self) -> str:
+        return URL.parse(self.request.url).host
+
+    @cached_property
+    def etld1(self) -> str:
+        return URL.parse(self.request.url).etld1
+
+    @property
+    def is_https(self) -> bool:
+        return self.request.is_https
+
+    @property
+    def timestamp(self) -> float:
+        return self.request.timestamp
+
+    @property
+    def status(self) -> int:
+        return self.response.status
+
+    def set_cookie_headers(self) -> list[str]:
+        return self.response.set_cookie_headers()
+
+    def with_run(self, run_name: str) -> "Flow":
+        return Flow(
+            request=self.request,
+            response=self.response,
+            channel_id=self.channel_id,
+            channel_name=self.channel_name,
+            run_name=run_name,
+            intercepted_tls=self.intercepted_tls,
+        )

@@ -1,0 +1,88 @@
+"""The interception proxy (mitmproxy stand-in).
+
+Sits between the TV and the simulated network: every request the TV
+browser issues passes through :meth:`InterceptionProxy.request`, which
+delivers it, records a :class:`Flow` with channel attribution, and
+filters manufacturer traffic the study excluded (lge.com et al.).
+HTTPS flows are marked as TLS-intercepted — none of the channels in the
+study validated certificates, so interception always succeeded.
+"""
+
+from __future__ import annotations
+
+from repro.net.http import Headers, HttpRequest, HttpResponse
+from repro.net.network import Network, RoutingError
+from repro.net.url import URL
+from repro.proxy.attribution import ChannelAttributor
+from repro.proxy.flow import Flow
+
+
+class InterceptionProxy:
+    """Records all TV traffic while forwarding it to the network."""
+
+    def __init__(
+        self,
+        network: Network,
+        attributor: ChannelAttributor | None = None,
+        excluded_etld1s: frozenset[str] | set[str] = frozenset({"lge.com"}),
+    ) -> None:
+        self.network = network
+        self.attributor = attributor or ChannelAttributor()
+        self.excluded_etld1s = set(excluded_etld1s)
+        self.flows: list[Flow] = []
+        self.excluded_flow_count = 0
+        self.running = False
+
+    # -- lifecycle (mirrors "initiate mitmproxy" / teardown) ------------------
+
+    def start(self) -> None:
+        self.running = True
+
+    def stop(self) -> None:
+        self.running = False
+
+    def drain_flows(self) -> list[Flow]:
+        """Return and clear the recorded flows (end-of-run upload)."""
+        drained = self.flows
+        self.flows = []
+        return drained
+
+    # -- transport interface used by the TV browser ----------------------------
+
+    def request(self, request: HttpRequest) -> HttpResponse:
+        """Forward one request, recording the exchange."""
+        if not self.running:
+            raise RuntimeError("proxy is not running")
+        try:
+            response = self.network.deliver(request)
+        except RoutingError:
+            # Dead endpoint: the TV sees a gateway timeout; the flow is
+            # still recorded (the study sees such failures too).
+            response = HttpResponse(
+                status=504,
+                headers=Headers([("Content-Type", "text/plain")]),
+                body=b"upstream unreachable",
+                timestamp=request.timestamp,
+            )
+        etld1 = URL.parse(request.url).etld1
+        if etld1 in self.excluded_etld1s:
+            self.excluded_flow_count += 1
+            return response
+        channel_id, channel_name = self.attributor.attribute(request)
+        self.flows.append(
+            Flow(
+                request=request,
+                response=response,
+                channel_id=channel_id,
+                channel_name=channel_name,
+                intercepted_tls=request.is_https,
+            )
+        )
+        return response
+
+    # -- notifications from the remote-control script ----------------------------
+
+    def notify_channel_switch(
+        self, channel_id: str, channel_name: str, at: float
+    ) -> None:
+        self.attributor.set_channel(channel_id, channel_name, at)

@@ -1,0 +1,20 @@
+"""Synthetic-world generation.
+
+Builds the simulated European HbbTV ecosystem the measurement framework
+runs against: satellites and channels (including everything the
+filtering funnel discards), broadcaster groups with their consent-notice
+brandings and privacy policies, and the third-party tracker population.
+All generation is seeded and calibrated against the paper's reported
+numbers (see :mod:`repro.simulation.params`).
+"""
+
+from repro.simulation.study import StudyContext, default_study, run_study
+from repro.simulation.world import World, build_world
+
+__all__ = [
+    "World",
+    "build_world",
+    "StudyContext",
+    "run_study",
+    "default_study",
+]

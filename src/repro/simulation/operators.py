@@ -1,0 +1,537 @@
+"""Broadcaster groups (operators) of the simulated ecosystem.
+
+An operator owns a first-party platform domain, a set of channels, a
+consent-notice branding (one of the twelve styles, or none), a tracking
+profile, and a privacy-policy template.  The roster mirrors the groups
+the paper names: a large public group (the ard.de-like hub), a second
+public group (ZDF-like, with the modal full-screen notice), the two big
+commercial families (RTL-like and ProSiebenSat.1-like platforms),
+teleshopping channels, the children's trio with the 5 PM–6 AM policy,
+and a long tail of independents.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.dvb.channel import ChannelCategory
+from repro.simulation import params
+from repro.simulation.policies import PolicyTemplate
+
+#: Tracking profiles interpreted by the world builder.
+PROFILE_PUBLIC = "public"  # measurement only (ioam-like), no ads
+PROFILE_COMMERCIAL_HEAVY = "commercial-heavy"  # pixels + ads + fp + analytics
+PROFILE_COMMERCIAL_LIGHT = "commercial-light"  # some pixels/analytics
+PROFILE_SHOPPING = "shopping"  # pixels + ads, conversion focus
+PROFILE_CHILDREN = "children"  # like commercial-heavy (the finding!)
+PROFILE_MINIMAL = "minimal"  # app only, no trackers
+
+
+@dataclass
+class OperatorSpec:
+    """One broadcaster group."""
+
+    name: str
+    domain: str
+    channel_count: int
+    profile: str
+    is_public: bool = False
+    notice_style_id: int | None = None
+    policy_template: PolicyTemplate | None = None
+    #: Host serving the policy document (defaults to the own domain; the
+    #: smartclip-like provider hosts some operators' policies).
+    policy_host: str = ""
+    categories: tuple[ChannelCategory, ...] = (ChannelCategory.GENERAL,)
+    targets_children: bool = False
+    language: str = "de"
+    #: Two public channels showed a split screen (policy + cookie
+    #: controls) on the blue button.
+    hybrid_blue_channels: int = 0
+    #: Channel names, generated if empty.
+    channel_names: tuple[str, ...] = ()
+    #: Special archetype marker ("outlier", "superrtl", "sync", ...).
+    special: str = ""
+
+
+def _scaled(count: int, scale: float, minimum: int = 1) -> int:
+    return max(minimum, round(count * scale))
+
+
+def standard_operators(scale: float = 1.0) -> list[OperatorSpec]:
+    """The fixed, named operator roster (independents come separately)."""
+    return [
+        OperatorSpec(
+            name="NDR Verbund",  # the ard.de-like public hub
+            domain="hbbtv.ard-verbund.de",
+            channel_count=_scaled(58, scale, minimum=3),
+            profile=PROFILE_PUBLIC,
+            is_public=True,
+            notice_style_id=None,
+            hybrid_blue_channels=2,  # the RBB/MDR-like split screens
+            categories=(
+                ChannelCategory.GENERAL,
+                ChannelCategory.REGIONAL,
+                ChannelCategory.NEWS,
+            ),
+            policy_template=PolicyTemplate(
+                template_id="ard-verbund",
+                controller="ARD-Verbund Anstalt des öffentlichen Rechts",
+                blue_button_hint=True,
+                rights_articles=frozenset({15, 16, 17, 18, 20, 21, 77}),
+                ip_anonymization="full",
+            ),
+        ),
+        OperatorSpec(
+            name="ZDF Gruppe",
+            domain="hbbtv.zdf-gruppe.de",
+            channel_count=_scaled(8, scale),
+            profile=PROFILE_PUBLIC,
+            is_public=True,
+            notice_style_id=10,  # full screen, modal, blue-button only
+            categories=(ChannelCategory.GENERAL, ChannelCategory.DOCUMENTARY),
+            policy_template=PolicyTemplate(
+                template_id="zdf-gruppe",
+                controller="ZDF-Gruppe Anstalt des öffentlichen Rechts",
+                blue_button_hint=True,
+                rights_articles=frozenset({15, 16, 17, 18, 77}),
+                ip_anonymization="full",
+            ),
+        ),
+        OperatorSpec(
+            name="RTL Deutschland",
+            domain="apps.rtl-interactive.de",
+            channel_count=_scaled(28, scale, minimum=2),
+            profile=PROFILE_COMMERCIAL_HEAVY,
+            notice_style_id=1,
+            categories=(
+                ChannelCategory.GENERAL,
+                ChannelCategory.MOVIES,
+                ChannelCategory.NEWS,
+            ),
+            policy_template=PolicyTemplate(
+                template_id="rtl-deutschland",
+                controller="RTL Deutschland Fernsehen GmbH",
+                blue_button_hint=True,
+                third_party_collection=True,
+                tdddg_mention=True,
+                hbbtv_contact_email="hbbtv-datenschutz@rtl-interactive.de",
+                rights_articles=frozenset({15, 16, 17, 18, 21, 77}),
+            ),
+        ),
+        OperatorSpec(
+            name="Super RTL Familie",  # the 5 PM–6 AM children's trio
+            domain="hbbtv.superrtl-family.de",
+            channel_count=3,
+            profile=PROFILE_CHILDREN,
+            notice_style_id=1,
+            categories=(ChannelCategory.CHILDREN,),
+            targets_children=True,
+            special="superrtl",
+            channel_names=(
+                "Super Toon",
+                "Super Toon Austria",
+                "Toon Plus",
+            ),
+            policy_template=PolicyTemplate(
+                template_id="superrtl-family",
+                controller="Super Toon Fernsehen GmbH",
+                third_party_collection=True,
+                declared_window=params.DECLARED_TRACKING_WINDOW,
+                rights_articles=frozenset({15, 16, 17, 77}),
+            ),
+        ),
+        OperatorSpec(
+            name="ProSiebenSat.1",
+            domain="hbbtv.redbutton-p7.de",
+            channel_count=_scaled(24, scale, minimum=2),
+            profile=PROFILE_COMMERCIAL_HEAVY,
+            notice_style_id=2,
+            categories=(
+                ChannelCategory.GENERAL,
+                ChannelCategory.MOVIES,
+                ChannelCategory.MUSIC,
+            ),
+            policy_template=PolicyTemplate(
+                template_id="p7s1",
+                controller="ProSieben-Eins Medien SE",
+                blue_button_hint=True,
+                third_party_collection=True,
+                legitimate_interest=True,
+                rights_articles=frozenset({15, 16, 17, 18, 77}),
+            ),
+        ),
+        OperatorSpec(
+            name="ProSiebenSat.1 Spartensender",
+            domain="apps.sevenone-tv.de",
+            channel_count=_scaled(8, scale),
+            profile=PROFILE_COMMERCIAL_LIGHT,
+            notice_style_id=3,  # the modal full-screen variant
+            categories=(ChannelCategory.DOCUMENTARY, ChannelCategory.MOVIES),
+            policy_template=PolicyTemplate(
+                template_id="p7s1-sparten",
+                controller="SevenOne Spartenkanäle GmbH",
+                third_party_collection=True,
+                rights_articles=frozenset({15, 16, 77}),
+            ),
+        ),
+        OperatorSpec(
+            name="RTL Zwei",
+            domain="hbbtv.rtlzwei-digital.de",
+            channel_count=_scaled(2, scale),
+            profile=PROFILE_COMMERCIAL_HEAVY,
+            notice_style_id=8,  # first-layer category selection
+            categories=(ChannelCategory.GENERAL,),
+            policy_template=PolicyTemplate(
+                template_id="rtlzwei",
+                controller="RTL Zwei Fernsehen GmbH",
+                third_party_collection=True,
+                rights_articles=frozenset({15, 16, 17, 18, 21, 77}),
+            ),
+        ),
+        OperatorSpec(
+            name="QVC",
+            domain="hbbtv.qvc-teleshop.de",
+            channel_count=_scaled(4, scale),
+            profile=PROFILE_SHOPPING,
+            notice_style_id=4,
+            categories=(ChannelCategory.SHOPPING,),
+            policy_template=PolicyTemplate(
+                template_id="qvc",
+                controller="QVC Teleshopping GmbH",
+                third_party_collection=True,
+                rights_articles=frozenset({15, 16, 17, 20, 77}),
+            ),
+        ),
+        OperatorSpec(
+            name="HSE",
+            domain="app.hse-shopping.de",
+            channel_count=_scaled(3, scale),
+            profile=PROFILE_SHOPPING,
+            notice_style_id=6,
+            categories=(ChannelCategory.SHOPPING,),
+            policy_template=PolicyTemplate(
+                template_id="hse",
+                controller="HSE Home Shopping Europe GmbH",
+                third_party_collection=True,
+                rights_articles=frozenset({15, 16, 17, 77}),
+            ),
+        ),
+        OperatorSpec(
+            name="Bibel TV",
+            domain="hbbtv.bibeltv-media.de",
+            channel_count=_scaled(2, scale),
+            profile=PROFILE_COMMERCIAL_LIGHT,
+            notice_style_id=7,  # Google-Analytics deselection, 3rd layer
+            categories=(ChannelCategory.RELIGION,),
+            policy_template=PolicyTemplate(
+                template_id="bibeltv",
+                controller="Bibel TV Stiftung gGmbH",
+                rights_articles=frozenset({15, 16, 17, 18, 77}),
+            ),
+        ),
+        OperatorSpec(
+            name="Discovery Sparten",  # DMAX Austria / TLC / Comedy Central
+            domain="hbbtv.discovery-sparten.at",
+            channel_count=_scaled(5, scale),
+            profile=PROFILE_COMMERCIAL_LIGHT,
+            notice_style_id=5,
+            language="de",
+            categories=(ChannelCategory.DOCUMENTARY, ChannelCategory.GENERAL),
+            policy_template=PolicyTemplate(
+                template_id="discovery",
+                controller="Discovery Spartenkanäle GmbH",
+                language="bilingual",
+                third_party_collection=True,
+                rights_articles=frozenset({15, 17, 77}),
+            ),
+        ),
+        OperatorSpec(
+            name="TLC Deutschland",
+            domain="apps.tlc-deutschland.de",
+            channel_count=_scaled(2, scale),
+            profile=PROFILE_COMMERCIAL_LIGHT,
+            notice_style_id=9,  # blue-button only
+            categories=(ChannelCategory.DOCUMENTARY,),
+            policy_template=PolicyTemplate(
+                template_id="tlc",
+                controller="TLC Deutschland GmbH",
+                third_party_collection=True,
+                rights_articles=frozenset({15, 16, 17, 18, 77}),
+            ),
+        ),
+        OperatorSpec(
+            name="COUCHPLAY",
+            domain="play.couchplay-tv.de",
+            channel_count=1,
+            profile=PROFILE_COMMERCIAL_HEAVY,
+            notice_style_id=11,
+            categories=(ChannelCategory.DOCUMENTARY,),
+            channel_names=("Kabel Doku Eins",),
+            policy_template=PolicyTemplate(
+                template_id="couchplay",
+                controller="COUCHPLAY Streaming GmbH",
+                third_party_collection=True,
+                legitimate_interest=True,
+                rights_articles=frozenset({15, 16, 77}),
+            ),
+        ),
+        OperatorSpec(
+            name="Unbranded CMP Gruppe",  # MTV/WELT/CC/MediaShop/N24-like
+            domain="cmp.tv-consent-services.de",
+            channel_count=_scaled(5, scale),
+            profile=PROFILE_COMMERCIAL_LIGHT,
+            notice_style_id=12,
+            categories=(ChannelCategory.MUSIC, ChannelCategory.NEWS),
+            channel_names=(
+                "MusikTV",
+                "Welt Nachrichten",
+                "Comedy Kanal",
+                "MediaStore TV",
+                "Doku 24",
+            ),
+            policy_template=PolicyTemplate(
+                template_id="unbranded-cmp",
+                controller="TV Consent Services GmbH",
+                per_channel_name=True,
+                third_party_collection=True,
+                rights_articles=frozenset({15, 16, 17, 77}),
+            ),
+        ),
+        OperatorSpec(
+            name="HGTV Deutschland",
+            domain="hbbtv.hgtv-home.de",
+            channel_count=1,
+            profile=PROFILE_COMMERCIAL_LIGHT,
+            categories=(ChannelCategory.GENERAL,),
+            channel_names=("Haus & Garten TV",),
+            special="optout",
+            policy_template=PolicyTemplate(
+                template_id="hgtv",
+                controller="Haus & Garten TV GmbH",
+                opt_out_statements=True,
+                rights_articles=frozenset({15, 16, 17, 21, 77}),
+            ),
+        ),
+        OperatorSpec(
+            name="Krone TV",
+            domain="hbbtv.krone-tv.at",
+            channel_count=1,
+            profile=PROFILE_COMMERCIAL_HEAVY,
+            categories=(ChannelCategory.NEWS,),
+            channel_names=("Krone TV",),
+            special="personalization",
+            policy_template=PolicyTemplate(
+                template_id="krone",
+                controller="Krone Multimedia GmbH",
+                personalization_statement=True,
+                third_party_collection=True,
+                rights_articles=frozenset({15, 16, 17, 18, 77}),
+            ),
+        ),
+        OperatorSpec(
+            name="Sachsen Eins",
+            domain="app.sachsen-eins.tv",
+            channel_count=1,
+            profile=PROFILE_COMMERCIAL_LIGHT,
+            categories=(ChannelCategory.REGIONAL,),
+            channel_names=("Sachsen Eins",),
+            special="vague",
+            policy_template=PolicyTemplate(
+                template_id="sachsen-eins",
+                controller="Sachsen Eins Regionalfernsehen GmbH",
+                vague_statements=True,
+                rights_articles=frozenset({15, 77}),
+            ),
+        ),
+        OperatorSpec(
+            name="Kinderkanal Gruppe",  # further children's channels
+            domain="hbbtv.kinderwelt-tv.de",
+            channel_count=_scaled(9, scale, minimum=2),
+            profile=PROFILE_CHILDREN,
+            targets_children=True,
+            categories=(ChannelCategory.CHILDREN,),
+            policy_template=PolicyTemplate(
+                template_id="kinderwelt",
+                controller="Kinderwelt Fernsehen GmbH",
+                third_party_collection=True,
+                rights_articles=frozenset({15, 16, 17, 77}),
+            ),
+        ),
+        OperatorSpec(
+            name="HbbTV Suite",  # service-provider platform A
+            domain="platform.hbbtv-suite.de",
+            channel_count=_scaled(26, scale, minimum=2),
+            profile=PROFILE_COMMERCIAL_LIGHT,
+            policy_host="policies.smartclip.net",
+            categories=(
+                ChannelCategory.REGIONAL,
+                ChannelCategory.MUSIC,
+                ChannelCategory.DOCUMENTARY,
+            ),
+            policy_template=PolicyTemplate(
+                template_id="hbbtv-suite",
+                controller="HbbTV Suite Dienstleistungs GmbH",
+                mixed_content=True,  # policy text mixed with usage hints
+                rights_articles=frozenset({15, 16, 77}),
+            ),
+        ),
+        OperatorSpec(
+            name="TV Services Digital",  # service-provider platform B
+            domain="apps.tvservices.digital",
+            channel_count=_scaled(22, scale, minimum=2),
+            profile=PROFILE_COMMERCIAL_LIGHT,
+            categories=(
+                ChannelCategory.REGIONAL,
+                ChannelCategory.GENERAL,
+                ChannelCategory.SPORTS,
+            ),
+            policy_template=PolicyTemplate(
+                template_id="tvservices",
+                controller="TV Services Digital GmbH",
+                rights_articles=frozenset({15, 16, 17, 18, 77}),
+            ),
+        ),
+        OperatorSpec(
+            name="Alpenblick TV",  # the Red-run outlier channel
+            domain="hbbtv.alpenblick.tv",
+            channel_count=1,
+            profile=PROFILE_COMMERCIAL_HEAVY,
+            categories=(ChannelCategory.GENERAL,),
+            channel_names=("Alpenblick TV",),
+            special="outlier",
+            policy_template=PolicyTemplate(
+                template_id="alpenblick",
+                controller="Alpenblick Fernsehen GmbH",
+                mentions_hbbtv=False,
+                rights_articles=frozenset({15, 16, 77}),
+            ),
+        ),
+    ]
+
+
+#: Name fragments for generated independent operators.
+_INDEPENDENT_PREFIXES = (
+    "Astra", "Euro", "Alpen", "Rhein", "Donau", "Hanse", "Berg", "Nord",
+    "Sued", "West", "Ost", "Stern", "Kristall", "Sonnen", "Mond", "Fluss",
+    "Adler", "Falken", "Linden", "Rosen",
+)
+_INDEPENDENT_SUFFIXES = (
+    "TV", "Welle", "Kanal", "Vision", "Blick", "Fernsehen", "Media",
+    "Sender", "Studio", "Eins",
+)
+#: Categories with the operator-guide's real-world skew: most small
+#: channels are general-interest or regional, which concentrates the
+#: tracking volume in the top categories (Figure 7's 98.5%).
+_INDEPENDENT_CATEGORIES = (
+    ChannelCategory.GENERAL,
+    ChannelCategory.REGIONAL,
+    ChannelCategory.MUSIC,
+    ChannelCategory.DOCUMENTARY,
+    ChannelCategory.NEWS,
+    ChannelCategory.SPORTS,
+    ChannelCategory.SHOPPING,
+    ChannelCategory.RELIGION,
+    ChannelCategory.MOVIES,
+)
+_INDEPENDENT_CATEGORY_WEIGHTS = (0.30, 0.17, 0.12, 0.12, 0.10, 0.07, 0.05, 0.04, 0.03)
+
+
+def _boilerplate_template(
+    rng: random.Random, template_id: str, controller: str, per_channel: bool
+) -> PolicyTemplate:
+    """One boilerplate policy with seeded per-article rights coverage."""
+    rights = frozenset(
+        article
+        for article, share in params.POLICY_RIGHTS_COVERAGE.items()
+        if rng.random() < share
+    )
+    return PolicyTemplate(
+        template_id=template_id,
+        controller=controller,
+        mentions_hbbtv=rng.random() < params.POLICY_HBBTV_SHARE,
+        third_party_collection=rng.random() < params.POLICY_THIRD_PARTY_SHARE,
+        legitimate_interest=(
+            rng.random() < params.POLICY_LEGITIMATE_INTEREST_SHARE
+        ),
+        rights_articles=rights,
+        ip_anonymization=rng.choice(("full", "truncate", "none")),
+        coverage_analysis_mention=rng.random() < 0.6,
+        per_channel_name=per_channel,
+    )
+
+
+#: Boilerplate policy pool shared by independents (the same law firm's
+#: template bought by many small channels — SHA-1 collapses them).
+POLICY_POOL_SIZE = 22
+#: Small "agency" template families that substitute the channel name —
+#: the SimHash near-duplicate groups.
+AGENCY_GROUP_COUNT = 6
+
+
+def generate_independent_operators(
+    rng: random.Random, count: int
+) -> list[OperatorSpec]:
+    """A seeded tail of single-channel operators.
+
+    About half carry a policy — drawn from a shared boilerplate pool or
+    from one of a few agency templates that substitute the channel name
+    (producing the SimHash near-duplicate groups); tracking profiles
+    skew light.
+    """
+    pool = [
+        _boilerplate_template(
+            rng, f"pool-{index}", f"Medienrecht Kanzlei {index + 1}", False
+        )
+        for index in range(POLICY_POOL_SIZE)
+    ]
+    agencies = [
+        _boilerplate_template(
+            rng, f"agency-{index}", f"TV Agentur {index + 1} GmbH", True
+        )
+        for index in range(AGENCY_GROUP_COUNT)
+    ]
+    operators = []
+    used_names: set[str] = set()
+    for index in range(count):
+        name = _unique_name(rng, used_names, index)
+        slug = name.lower().replace(" ", "-").replace("&", "und")
+        has_policy = rng.random() < 0.55
+        template = None
+        if has_policy:
+            if rng.random() < 0.25:
+                template = agencies[index % len(agencies)]
+            else:
+                template = rng.choice(pool)
+        profile = rng.choices(
+            (PROFILE_COMMERCIAL_LIGHT, PROFILE_COMMERCIAL_HEAVY, PROFILE_MINIMAL),
+            weights=(0.55, 0.25, 0.20),
+        )[0]
+        operators.append(
+            OperatorSpec(
+                name=name,
+                domain=f"hbbtv.{slug}.de",
+                channel_count=1,
+                profile=profile,
+                categories=(
+                    rng.choices(
+                        _INDEPENDENT_CATEGORIES,
+                        weights=_INDEPENDENT_CATEGORY_WEIGHTS,
+                    )[0],
+                ),
+                channel_names=(name,),
+                policy_template=template,
+            )
+        )
+    return operators
+
+
+def _unique_name(rng: random.Random, used: set[str], index: int) -> str:
+    for _ in range(100):
+        name = f"{rng.choice(_INDEPENDENT_PREFIXES)} {rng.choice(_INDEPENDENT_SUFFIXES)}"
+        if name not in used:
+            used.add(name)
+            return name
+    name = f"Sender {index}"
+    used.add(name)
+    return name

@@ -1,0 +1,149 @@
+"""Calibration constants for the synthetic world.
+
+Every constant here traces to a number the paper reports; the world
+builder scales the channel-count constants by its ``scale`` argument
+(archetype channels — the Red-run outlier, the Super RTL-like trio, the
+sync users — are always kept so the headline analyses have their
+subjects at any scale).
+"""
+
+from __future__ import annotations
+
+# -- the filtering funnel (§IV-B) ----------------------------------------------
+
+#: Channels received from the three satellites.
+RECEIVED_CHANNELS = 3575
+#: Radio channels among them (12%).
+RADIO_CHANNELS = 425
+#: Encrypted TV channels ("No CI module").
+ENCRYPTED_TV_CHANNELS = 1104
+#: Channels dropped for missing signal / empty names (step 3).
+INVISIBLE_OR_UNNAMED = 897
+#: Remaining channels probed in the exploratory measurement.
+EXPLORATORY_CHANNELS = 1149
+#: Probed channels producing no HTTP(S) traffic.
+NO_TRAFFIC_CHANNELS = 752
+#: IPTV channels removed in the last step.
+IPTV_CHANNELS = 1
+#: The final analysis set.
+FINAL_CHANNELS = 396
+
+# -- traffic calibration (§IV-D, Table I) ------------------------------------------
+
+#: Per-run HTTP request targets (for tuning; not asserted exactly).
+TABLE1_REQUEST_TARGETS = {
+    "General": 95_133,
+    "Red": 151_975,
+    "Green": 32_138,
+    "Blue": 43_556,
+    "Yellow": 134_690,
+}
+
+#: Pixel beacon periods in seconds by channel tracking intensity (the
+#: tvping-like service beacons "almost every second" on its heaviest
+#: embedders; most channels poll slower).
+PIXEL_PERIOD_HEAVY = 1.0
+PIXEL_PERIOD_MEDIUM = 2.5
+PIXEL_PERIOD_LIGHT = 10.0
+#: The Red-run outlier channel's beacon period (59k requests in 1000 s).
+OUTLIER_PIXEL_PERIOD = 1.0 / 60.0
+
+#: Analytics hit period.
+ANALYTICS_PERIOD = 60.0
+
+#: Share of final channels that embed the tvping-like pixel (141/389).
+PIXEL_CHANNEL_SHARE = 0.36
+#: Share of the pixel channels beaconing at the heavy rate.
+PIXEL_HEAVY_SHARE = 0.45
+PIXEL_MEDIUM_SHARE = 0.45
+#: Share of heavy channels whose yellow-button app starts a fast quiz/
+#: game beacon (drives the Yellow run's traffic volume).
+YELLOW_PIXEL_SHARE = 0.35
+#: Number of distinct small tail trackers (drives Fig 5 / Table II
+#: third-party diversity).
+TAIL_TRACKER_COUNT = 80
+
+#: Channels embedding the xiti-like analytics service (119 channels,
+#: via exactly the big platforms, keeping its graph degree low).
+ANALYTICS_VIA_PLATFORMS_ONLY = True
+
+#: Share of channels leaking device data (112/389 ≈ 29%).
+TECH_LEAK_SHARE = 0.29
+#: Channels sending the current show's genre to third parties (94).
+BEHAVIOUR_LEAK_SHARE = 0.24
+
+#: Channels using fingerprinting (60/396 ≈ 15%); 21 provider eTLD+1s of
+#: which 7 are first parties, and first parties issue ~88% of requests.
+FINGERPRINT_CHANNEL_SHARE = 0.15
+FINGERPRINT_FIRST_PARTY_PROVIDERS = 7
+FINGERPRINT_THIRD_PARTY_PROVIDERS = 3
+
+#: Channels with cookie syncing (≈20 across Red/Green/Blue).
+SYNC_CHANNELS = 20
+
+# -- consent / overlays (§VI) -----------------------------------------------------
+
+#: Share of channels whose autostart app shows a consent notice
+#: (≈70/374 per run; 121/390 ≈ 31% across runs incl. blue-only styles).
+AUTOSTART_NOTICE_SHARE = 0.19
+#: Seconds after which an unanswered autostart notice hides itself
+#: (drives the low per-screenshot privacy share in the General run).
+NOTICE_TIMEOUT_SECONDS = 75.0
+#: Share of channels with a media library behind the red button.
+RED_LIBRARY_SHARE = 0.75
+#: Share of channels whose yellow button also opens content.
+YELLOW_CONTENT_SHARE = 0.55
+#: Share of channels with a privacy screen behind the blue button.
+BLUE_PRIVACY_SHARE = 0.12
+#: Share of channels whose autostart app pulls its policy document with
+#: the startup bundle (policies appear in *every* run's traffic).
+POLICY_STARTUP_FETCH_SHARE = 0.25
+#: Policy prefetch probability of red-button media libraries.
+RED_POLICY_PREFETCH = 0.5
+#: Policy prefetch probability of yellow-button libraries (the Yellow
+#: run contributed by far the most policy copies: 1,193 of 2,656).
+YELLOW_POLICY_PREFETCH = 0.85
+#: Probability a green text service pulls the policy with its bundle.
+GREEN_POLICY_FETCH = 0.4
+#: Probability a bound color button shows a channel tech message
+#: instead of content ("application not available").
+CTM_SCREEN_SHARE = 0.07
+
+# -- policies (§VII) -----------------------------------------------------------------
+
+#: Distinct policy texts after dedup (55 German + 1 English + 1 bilingual).
+DISTINCT_POLICIES = 57
+#: Near-duplicate template groups (channel-name variants).
+SIMHASH_GROUPS = 11
+#: Share of German policies mentioning "HbbTV" (40/55 ≈ 72%).
+POLICY_HBBTV_SHARE = 0.72
+#: GDPR data-subject-rights coverage per article (share of policies).
+POLICY_RIGHTS_COVERAGE = {
+    15: 0.61,
+    16: 0.69,
+    17: 0.60,
+    18: 0.60,
+    20: 0.16,
+    21: 0.16,
+    77: 0.65,
+}
+#: Share of policies invoking "legitimate interests" (10/55 ≈ 18%).
+POLICY_LEGITIMATE_INTEREST_SHARE = 0.18
+#: Share of German policies declaring third-party collection (29/55).
+POLICY_THIRD_PARTY_SHARE = 0.52
+#: Policies pointing at blue-button privacy settings (8).
+POLICY_BLUE_BUTTON_MENTIONS = 8
+
+# -- simulated time ---------------------------------------------------------------------
+
+#: The declared personalization window of the Super RTL-like policy:
+#: "from 5 PM to 6 AM".
+DECLARED_TRACKING_WINDOW = (17, 6)
+
+#: Availability archetypes: (start hour, end hour) broadcast windows and
+#: the share of generated channels using each (the rest air 24/7).
+AVAILABILITY_WINDOWS = (
+    ((6, 20), 0.08),  # daytime-only channels
+    ((16, 2), 0.06),  # evening/night channels
+    ((8, 14), 0.04),  # morning blocks
+)

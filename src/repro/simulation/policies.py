@@ -1,0 +1,241 @@
+"""Privacy-policy text generation.
+
+Renders German (and a few English/bilingual) privacy-policy documents
+from declarative templates.  Templates control exactly the properties
+§VII measures: whether "HbbTV" is mentioned, the blue-button hint,
+first/third-party collection declarations, GDPR rights articles,
+"legitimate interests" processing, the declared 5 PM–6 AM
+personalization window, TDDDG references, opt-out wording, vague
+wording, and IP anonymization depth.
+
+Rendered pages carry realistic navigation boilerplate so the extraction
+stage has something to strip, and a template can be flagged ``mixed``
+to interleave unrelated content (discount offers, usage instructions) —
+the texts that cause the classifier's false negatives in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: GDPR data-subject rights the analysis checks for, with the German
+#: section wording a policy uses when it covers the article.
+RIGHTS_SECTIONS_DE = {
+    15: "Auskunftsrecht: Sie haben gemäß Art. 15 DSGVO das Recht, Auskunft über die von uns verarbeiteten personenbezogenen Daten zu verlangen.",
+    16: "Recht auf Berichtigung: Nach Art. 16 DSGVO können Sie die Berichtigung unrichtiger Daten verlangen.",
+    17: "Recht auf Löschung: Sie können nach Art. 17 DSGVO die Löschung Ihrer Daten verlangen.",
+    18: "Recht auf Einschränkung der Verarbeitung: Gemäß Art. 18 DSGVO können Sie die Einschränkung der Verarbeitung verlangen.",
+    20: "Recht auf Datenübertragbarkeit: Art. 20 DSGVO gewährt Ihnen das Recht, Ihre Daten in einem strukturierten Format zu erhalten.",
+    21: "Widerspruchsrecht: Sie können der Verarbeitung nach Art. 21 DSGVO jederzeit widersprechen.",
+    77: "Beschwerderecht: Ihnen steht gemäß Art. 77 DSGVO ein Beschwerderecht bei einer Aufsichtsbehörde zu.",
+}
+
+RIGHTS_SECTIONS_EN = {
+    15: "Right of access: pursuant to Art. 15 GDPR you may request information about the personal data we process.",
+    16: "Right to rectification: under Art. 16 GDPR you may request the correction of inaccurate data.",
+    17: "Right to erasure: you may request deletion of your data under Art. 17 GDPR.",
+    18: "Right to restriction of processing: Art. 18 GDPR lets you request restriction of processing.",
+    20: "Right to data portability: Art. 20 GDPR grants you the right to receive your data in a structured format.",
+    21: "Right to object: you may object to the processing at any time under Art. 21 GDPR.",
+    77: "Right to lodge a complaint: you may lodge a complaint with a supervisory authority pursuant to Art. 77 GDPR.",
+}
+
+
+@dataclass(frozen=True)
+class PolicyTemplate:
+    """Declarative description of one distinct policy document."""
+
+    template_id: str
+    controller: str
+    language: str = "de"  # "de", "en", or "bilingual"
+    mentions_hbbtv: bool = True
+    blue_button_hint: bool = False
+    third_party_collection: bool = False
+    rights_articles: frozenset[int] = frozenset({15, 16, 17, 77})
+    legitimate_interest: bool = False
+    declared_window: tuple[int, int] | None = None
+    tdddg_mention: bool = False
+    opt_out_statements: bool = False
+    vague_statements: bool = False
+    personalization_statement: bool = False
+    coverage_analysis_mention: bool = True
+    ip_anonymization: str = "truncate"  # "full", "truncate", "none"
+    hbbtv_contact_email: str = ""
+    #: Substitute the channel name into the text (creates the SimHash
+    #: near-duplicate groups when one template serves several channels).
+    per_channel_name: bool = False
+    #: Interleave unrelated content (classifier false-negative bait).
+    mixed_content: bool = False
+
+
+_NAV_BOILERPLATE = """\
+Startseite | Programm | Mediathek | Shop | Gewinnspiele | Kontakt
+Impressum Datenschutz AGB Karriere Presse
+"""
+
+_MIXED_CONTENT = """\
+NUR DIESE WOCHE: 20% Rabatt auf alle Artikel im TV-Shop! Rufen Sie jetzt
+an unter 0800-123456. Zur Bedienung des HbbTV-Angebots druecken Sie die
+rote Taste auf Ihrer Fernbedienung und navigieren Sie mit den
+Pfeiltasten. Mit der Taste ZURUECK gelangen Sie jederzeit ins laufende
+Programm zurueck. Viel Spass mit unserem interaktiven Angebot!
+"""
+
+
+def render_policy(template: PolicyTemplate, channel_name: str = "") -> str:
+    """Render a template into a full policy document (plain text body)."""
+    if template.language == "en":
+        return _render_english(template, channel_name)
+    if template.language == "bilingual":
+        german = _render_german(template, channel_name)
+        english = _render_english(template, channel_name)
+        return german + "\n\n--- English version ---\n\n" + english
+    return _render_german(template, channel_name)
+
+
+def _render_german(template: PolicyTemplate, channel_name: str) -> str:
+    name = channel_name if template.per_channel_name else template.controller
+    sections: list[str] = []
+    sections.append(f"Datenschutzerklärung {name}")
+    sections.append(
+        f"Verantwortlicher im Sinne der DSGVO ist die {template.controller}. "
+        "Der Schutz Ihrer personenbezogenen Daten ist uns ein wichtiges "
+        "Anliegen. Nachfolgend informieren wir Sie gemäß Art. 13 DSGVO "
+        "über die Verarbeitung personenbezogener Daten."
+    )
+    if template.mentions_hbbtv:
+        sections.append(
+            "Dieses Angebot wird über den HbbTV-Standard ausgestrahlt. "
+            "Beim Aufruf des HbbTV-Dienstes werden technische Daten Ihres "
+            "Empfangsgeräts verarbeitet."
+        )
+    if template.blue_button_hint:
+        sections.append(
+            "Ihre Datenschutz-Einstellungen erreichen Sie jederzeit über "
+            "die blaue Taste Ihrer Fernbedienung."
+        )
+    sections.append(
+        "Wir erheben und verwenden personenbezogene Daten, insbesondere "
+        "die IP-Adresse Ihres Geräts, Geräteinformationen sowie Datum und "
+        "Uhrzeit des Zugriffs. Rechtsgrundlage der Verarbeitung ist Ihre "
+        "Einwilligung nach Art. 6 Abs. 1 lit. a DSGVO."
+    )
+    if template.ip_anonymization == "full":
+        sections.append(
+            "IP-Adressen werden vor jeder weiteren Verarbeitung "
+            "vollständig anonymisiert."
+        )
+    elif template.ip_anonymization == "truncate":
+        sections.append(
+            "Zur Pseudonymisierung werden die letzten drei Ziffern der "
+            "IP-Adresse gekürzt."
+        )
+    if template.coverage_analysis_mention:
+        sections.append(
+            "Zur Reichweitenmessung setzen wir Cookies ein, die eine "
+            "Analyse des Nutzungsverhaltens der HbbTV-Zuschauer "
+            "ermöglichen."
+        )
+    if template.third_party_collection:
+        sections.append(
+            "Daten werden außerdem an Drittanbieter und Dienstleister "
+            "weitergegeben, die in unserem Auftrag Messungen und "
+            "Werbeausspielungen durchführen. Diese Dritten verarbeiten "
+            "personenbezogene Daten teilweise auch zu eigenen Zwecken."
+        )
+    if template.legitimate_interest:
+        sections.append(
+            "Soweit keine Einwilligung vorliegt, verarbeiten wir Daten "
+            "auf Grundlage unserer berechtigten Interessen nach Art. 6 "
+            "Abs. 1 lit. f DSGVO, teilweise für unbestimmte Zeit."
+        )
+    if template.declared_window is not None:
+        start, end = template.declared_window
+        sections.append(
+            "Personalisierte Werbung und Profilbildung finden "
+            f"ausschließlich im Zeitraum von {start} Uhr bis {end} Uhr "
+            "statt (d. h. am Abend und in der Nacht)."
+        )
+    if template.tdddg_mention:
+        sections.append(
+            "Die Speicherung von Informationen auf Ihrem Endgerät, "
+            "einschließlich Cookies, erfolgt nach § 25 TDDDG nur mit "
+            "Ihrer Einwilligung, es sei denn, sie ist technisch "
+            "unbedingt erforderlich."
+        )
+    if template.opt_out_statements:
+        sections.append(
+            "Der Datenverarbeitung, der interessenbezogenen Werbung und "
+            "der Reichweitenmessung können Sie jederzeit durch Opt-out "
+            "widersprechen; bis dahin erfolgt die Verarbeitung ohne "
+            "weitere Abfrage."
+        )
+    if template.vague_statements:
+        sections.append(
+            "Gegebenenfalls verarbeiten wir bestimmte Daten "
+            "möglicherweise auch auf Grundlage lebenswichtiger "
+            "Interessen oder rechtlicher Verpflichtungen, soweit dies "
+            "erforderlich erscheinen mag."
+        )
+    if template.personalization_statement:
+        sections.append(
+            "Das Programmangebot wird fortlaufend an das individuelle "
+            "Sehverhalten der Zuschauerinnen und Zuschauer angepasst."
+        )
+    for article in sorted(template.rights_articles):
+        sections.append(RIGHTS_SECTIONS_DE[article])
+    if template.hbbtv_contact_email:
+        sections.append(
+            "Für Beschwerden oder Anfragen speziell zum HbbTV-Angebot "
+            f"erreichen Sie uns unter {template.hbbtv_contact_email}."
+        )
+    sections.append(
+        "Verantwortliche Stelle und Datenschutzbeauftragter: "
+        f"{template.controller}, Deutschland."
+    )
+    body = "\n\n".join(sections)
+    if template.mixed_content:
+        body = _MIXED_CONTENT + "\n" + body + "\n" + _MIXED_CONTENT
+    return body
+
+
+def _render_english(template: PolicyTemplate, channel_name: str) -> str:
+    name = channel_name if template.per_channel_name else template.controller
+    sections = [
+        f"Privacy Policy {name}",
+        f"The controller within the meaning of the GDPR is {template.controller}. "
+        "We inform you pursuant to Art. 13 GDPR about the processing of "
+        "personal data when you use this service.",
+        "We collect and use personal data, in particular the IP address "
+        "of your device, device information, and the date and time of "
+        "access. The legal basis of the processing is your consent "
+        "pursuant to Art. 6(1)(a) GDPR.",
+    ]
+    if template.mentions_hbbtv:
+        sections.append(
+            "This service is delivered via the HbbTV standard. Launching "
+            "the HbbTV application processes technical data of your "
+            "receiver."
+        )
+    if template.third_party_collection:
+        sections.append(
+            "Data is also shared with third parties performing audience "
+            "measurement and advertising on our behalf."
+        )
+    for article in sorted(template.rights_articles):
+        sections.append(RIGHTS_SECTIONS_EN[article])
+    sections.append(f"Controller: {template.controller}.")
+    return "\n\n".join(sections)
+
+
+def render_policy_page(template: PolicyTemplate, channel_name: str = "") -> str:
+    """Render the HTML page the first party serves: navigation chrome
+    around the policy body, which the extraction stage must strip."""
+    body = render_policy(template, channel_name)
+    return (
+        "<html><head><title>Datenschutz</title></head><body>\n"
+        f"<nav>{_NAV_BOILERPLATE}</nav>\n"
+        f"<main>\n{body}\n</main>\n"
+        f"<footer>{_NAV_BOILERPLATE}</footer>\n"
+        "</body></html>"
+    )

@@ -1,0 +1,141 @@
+"""Wiring and execution of full studies over a generated world.
+
+``run_study`` assembles the measurement stack (clock → proxy → TV →
+webOS API → framework) against a :class:`~repro.simulation.world.World`
+and executes the five runs.  ``default_study`` memoizes one study per
+``(seed, scale)`` so tests and benchmarks share the expensive dataset.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.clock import SimClock
+from repro.core.config import DEFAULT_CONFIG, MeasurementConfig
+from repro.core.dataset import StudyDataset
+from repro.core.filtering import ChannelFilterPipeline, FilteringReport
+from repro.core.framework import MeasurementFramework
+from repro.core.runs import RunSpec
+from repro.dvb.receiver import Antenna
+from repro.proxy.attribution import ChannelAttributor
+from repro.proxy.mitm import InterceptionProxy
+from repro.simulation.world import World, build_world
+from repro.tv.device import SmartTV
+from repro.tv.webos import WebOSApi
+
+#: Environment knob for the scale benchmarks/experiments run at.
+SCALE_ENV_VAR = "REPRO_SCALE"
+DEFAULT_SCALE = 0.2
+
+
+def configured_scale() -> float:
+    """The scale benchmarks use (REPRO_SCALE env var, default 0.2)."""
+    raw = os.environ.get(SCALE_ENV_VAR, "")
+    try:
+        value = float(raw)
+    except ValueError:
+        return DEFAULT_SCALE
+    return value if value > 0 else DEFAULT_SCALE
+
+
+@dataclass
+class StudyContext:
+    """Everything a finished study exposes to analyses."""
+
+    world: World
+    clock: SimClock
+    proxy: InterceptionProxy
+    tv: SmartTV
+    api: WebOSApi
+    framework: MeasurementFramework
+    dataset: StudyDataset | None = None
+    filtering_report: FilteringReport | None = None
+    period_start: float = 0.0
+    period_end: float = 0.0
+
+    @property
+    def first_party_overrides(self) -> dict[str, str]:
+        return self.world.manual_first_party_overrides
+
+
+def make_context(
+    world: World, config: MeasurementConfig = DEFAULT_CONFIG
+) -> StudyContext:
+    """Assemble (but do not run) the measurement stack for a world."""
+    clock = SimClock()
+    attributor = ChannelAttributor()
+    for channel_id, host in world.single_channel_hosts.items():
+        channel = world.channel_by_id(channel_id)
+        name = channel.name if channel is not None else channel_id
+        attributor.register_channel_host(host, channel_id, name)
+    proxy = InterceptionProxy(world.network, attributor)
+    tv = SmartTV(
+        proxy, clock, app_registry=world.app_registry, seed=world.seed
+    )
+    antenna = Antenna()
+    received = antenna.scan(world.satellites)
+    tv.install_channel_list(received)
+    api = WebOSApi(tv)
+    framework = MeasurementFramework(
+        api, proxy, world.hbbtv_channels, config=config, seed=world.seed
+    )
+    return StudyContext(
+        world=world,
+        clock=clock,
+        proxy=proxy,
+        tv=tv,
+        api=api,
+        framework=framework,
+        period_start=clock.now,
+    )
+
+
+def run_filtering(context: StudyContext) -> FilteringReport:
+    """Run the §IV-B funnel over everything the antenna received.
+
+    The funnel needs a powered, online TV and a running proxy.
+    """
+    context.proxy.start()
+    context.tv.power_on()
+    context.tv.connect_wifi()
+    pipeline = ChannelFilterPipeline(
+        context.api, context.proxy, context.framework.config
+    )
+    final = pipeline.run(context.tv.channel_list)
+    context.framework.channels = final
+    context.filtering_report = pipeline.report
+    context.tv.power_off()
+    context.proxy.stop()
+    return pipeline.report
+
+
+def run_study(
+    world: World,
+    config: MeasurementConfig = DEFAULT_CONFIG,
+    runs: list[RunSpec] | None = None,
+    with_filtering: bool = False,
+) -> StudyContext:
+    """Execute the measurement study against a world."""
+    context = make_context(world, config)
+    if with_filtering:
+        run_filtering(context)
+    context.dataset = context.framework.run_study(runs)
+    context.period_end = context.clock.now
+    return context
+
+
+_STUDY_CACHE: dict[tuple[int, float], StudyContext] = {}
+
+
+def default_study(
+    seed: int = 7, scale: float | None = None
+) -> StudyContext:
+    """A memoized full study for tests, benches, and examples."""
+    if scale is None:
+        scale = configured_scale()
+    key = (seed, scale)
+    if key not in _STUDY_CACHE:
+        world = build_world(seed=seed, scale=scale)
+        _STUDY_CACHE[key] = run_study(world)
+    return _STUDY_CACHE[key]

@@ -1,0 +1,250 @@
+"""The third-party service population of the simulated ecosystem.
+
+Fixed, named services mirror the actors the paper calls out (domains
+lightly fictionalized where needed); a seeded tail of small single- and
+few-channel trackers produces the Figure 5 long tail.  Domains of the
+web-adtech services line up with the embedded filter lists in
+:mod:`repro.analysis.listdata`; the HbbTV-native services (tvping-like
+beacons above all) are deliberately on no list.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.trackers.analytics import AnalyticsService
+from repro.trackers.base import FilterListPresence
+from repro.trackers.cdn import CdnService
+from repro.trackers.fingerprint import (
+    FINGERPRINT_MARKERS,
+    FingerprintService,
+)
+from repro.trackers.pixel import PixelService
+from repro.trackers.sync import SyncPair
+
+
+@dataclass
+class TrackerPopulation:
+    """Every third-party service in the world."""
+
+    # HbbTV-native heavyweights (on no filter list).
+    tvping: PixelService = None  # type: ignore[assignment]
+    # Web-adtech (aligned with the embedded lists).
+    xiti: AnalyticsService = None  # type: ignore[assignment]
+    google_analytics: AnalyticsService = None  # type: ignore[assignment]
+    ioam: AnalyticsService = None  # type: ignore[assignment]
+    smartclip: PixelService = None  # type: ignore[assignment]
+    doubleclick: PixelService = None  # type: ignore[assignment]
+    criteo: PixelService = None  # type: ignore[assignment]
+    adform: PixelService = None  # type: ignore[assignment]
+    # Fingerprint providers (third-party ones).
+    fingerprinters: list[FingerprintService] = field(default_factory=list)
+    #: ACR-style content-recognition partner — the only service the
+    #: narrow Kamran smart-TV list also knows about.
+    samba_acr: PixelService = None  # type: ignore[assignment]
+    # The cookie-sync pair.
+    sync_pair: SyncPair = None  # type: ignore[assignment]
+    # Benign CDNs.  ``shared_cdns`` spreads toolkit hosting over several
+    # hosts so no single CDN node dominates the ecosystem graph.
+    cdn_https: CdnService = None  # type: ignore[assignment]
+    cdn_http: CdnService = None  # type: ignore[assignment]
+    shared_cdns: list[CdnService] = field(default_factory=list)
+    # The seeded long tail of small HbbTV trackers.
+    tail_pixels: list[PixelService] = field(default_factory=list)
+    tail_analytics: list[AnalyticsService] = field(default_factory=list)
+
+    def all_services(self) -> list:
+        services = [
+            self.tvping,
+            self.xiti,
+            self.google_analytics,
+            self.ioam,
+            self.smartclip,
+            self.doubleclick,
+            self.criteo,
+            self.adform,
+            self.samba_acr,
+            self.cdn_https,
+            self.cdn_http,
+        ]
+        services.extend(self.shared_cdns)
+        services.extend(self.fingerprinters)
+        services.extend(self.sync_pair.services())
+        services.extend(self.tail_pixels)
+        services.extend(self.tail_analytics)
+        return services
+
+    def all_cdns(self) -> list[CdnService]:
+        return [self.cdn_https, self.cdn_http] + list(self.shared_cdns)
+
+    def popular_tail(self) -> list:
+        """Tail services channels share (the head of the long tail)."""
+        half_px = len(self.tail_pixels) // 2
+        half_an = len(self.tail_analytics) // 2
+        return self.tail_pixels[:half_px] + self.tail_analytics[:half_an]
+
+    def exclusive_tail(self) -> list:
+        """Deep-tail services handed to exactly one channel each — the
+        single-edge leaf domains of the ecosystem graph."""
+        half_px = len(self.tail_pixels) // 2
+        half_an = len(self.tail_analytics) // 2
+        return self.tail_pixels[half_px:] + self.tail_analytics[half_an:]
+
+
+def build_tracker_population(seed: int, tail_size: int = 80) -> TrackerPopulation:
+    """Construct the full third-party population."""
+    rng = random.Random(f"thirdparties:{seed}")
+    population = TrackerPopulation()
+
+    population.tvping = PixelService(
+        name="tvping",
+        domain="track.tvping.com",
+        seed=seed,
+        cookie_name="tvp_uid",
+        presence=FilterListPresence.nowhere(),
+    )
+    population.xiti = AnalyticsService(
+        name="xiti",
+        domain="stats.xiti.com",
+        seed=seed + 1,
+        visitor_cookie="atidvisitor",
+        session_cookie="xtvrn",
+        per_channel_cookie=True,
+        presence=FilterListPresence(pihole=True),
+    )
+    population.google_analytics = AnalyticsService(
+        name="google-analytics",
+        domain="www.google-analytics.com",
+        seed=seed + 2,
+        visitor_cookie="_ga",
+        session_cookie="_gid",
+        presence=FilterListPresence(easyprivacy=True, pihole=True),
+    )
+    population.ioam = AnalyticsService(
+        name="ioam",
+        domain="de.ioam.de",
+        seed=seed + 3,
+        visitor_cookie="ioam_visitor",
+        session_cookie="ioam_session",
+        presence=FilterListPresence(easyprivacy=True, pihole=True),
+    )
+    population.smartclip = PixelService(
+        name="smartclip",
+        domain="ads.smartclip.net",
+        seed=seed + 4,
+        cookie_name="sc_uid",
+        presence=FilterListPresence(pihole=True, perflyst=True),
+    )
+    population.doubleclick = PixelService(
+        name="doubleclick",
+        domain="ad.doubleclick.net",
+        seed=seed + 5,
+        scheme="https",
+        cookie_name="IDE",
+        presence=FilterListPresence(easylist=True, pihole=True),
+    )
+    population.criteo = PixelService(
+        name="criteo",
+        domain="static.criteo.com",
+        seed=seed + 6,
+        scheme="https",
+        cookie_name="cto_lwid",
+        presence=FilterListPresence(easylist=True, pihole=True),
+    )
+    population.adform = PixelService(
+        name="adform",
+        domain="track.adform.net",
+        seed=seed + 7,
+        cookie_name="tuuid",
+        presence=FilterListPresence(easylist=True, pihole=True),
+    )
+
+    population.fingerprinters = [
+        FingerprintService(
+            name="devicemetrics",
+            domain="fp.devicemetrics.io",
+            seed=seed + 8,
+            markers=FINGERPRINT_MARKERS[:4],
+        ),
+        FingerprintService(
+            name="webtrekk",
+            domain="metrics.webtrekk.net",
+            seed=seed + 9,
+            markers=("Fingerprint2", "navigator.plugins"),
+            presence=FilterListPresence(easyprivacy=True),
+        ),
+        FingerprintService(
+            name="tvdna",
+            domain="collect.tvdna.de",
+            seed=seed + 10,
+            markers=("canvas.toDataURL", "screen.colorDepth", "AudioContext"),
+        ),
+    ]
+
+    population.samba_acr = PixelService(
+        name="samba-acr",
+        domain="ads.samba.tv",
+        seed=seed + 14,
+        cookie_name="samba_uid",
+        presence=FilterListPresence(pihole=True, perflyst=True, kamran=True),
+    )
+
+    population.sync_pair = SyncPair.build(
+        "adsync", "sync.adsync.tv", "dspartner", "match.dspartner.com",
+        seed=seed + 11,
+    )
+
+    population.cdn_https = CdnService(
+        name="tvcdn", domain="static.tvcdn.net", seed=seed + 12, scheme="https"
+    )
+    population.cdn_http = CdnService(
+        name="hbbtv-assets", domain="cdn.hbbtv-assets.de", seed=seed + 13
+    )
+    population.shared_cdns = [
+        CdnService(
+            name=f"toolkit{index}",
+            domain=f"cdn.tvtoolkit{index}.de",
+            seed=seed + 40 + index,
+        )
+        for index in range(4)
+    ]
+
+    # The long tail: small HbbTV-native trackers used by 1-3 channels
+    # each, invisible to every filter list.
+    for index in range(tail_size):
+        label = _tail_name(rng, index)
+        if index % 2 == 0:
+            population.tail_pixels.append(
+                PixelService(
+                    name=label,
+                    domain=f"px.{label}.de",
+                    seed=seed + 100 + index,
+                    cookie_name=f"{label[:4]}id",
+                    extra_cookie_count=index % 4,
+                )
+            )
+        else:
+            population.tail_analytics.append(
+                AnalyticsService(
+                    name=label,
+                    domain=f"data.{label}.de",
+                    seed=seed + 100 + index,
+                    visitor_cookie=f"{label[:4]}v",
+                    session_cookie=f"{label[:4]}s",
+                    per_channel_cookie=index % 6 == 1,
+                )
+            )
+    return population
+
+
+_TAIL_SYLLABLES = (
+    "tele", "view", "cast", "media", "tv", "spot", "reach", "meter",
+    "audi", "quant", "sig", "trend", "peak", "pulse", "wave", "core",
+)
+
+
+def _tail_name(rng: random.Random, index: int) -> str:
+    first = rng.choice(_TAIL_SYLLABLES)
+    second = rng.choice(_TAIL_SYLLABLES)
+    return f"{first}{second}{index}"

@@ -1,0 +1,1215 @@
+"""World assembly: operators + trackers + channels + network.
+
+``build_world(seed, scale)`` produces a fully wired
+:class:`World`: every origin server registered on one simulated
+network, every channel carrying its AIT, every application spec in the
+registry the TV resolves entry URLs against, and ground-truth metadata
+(categories, children's channels, policy templates) for the analyses.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass, field
+
+from repro.dvb.ait import simple_ait
+from repro.dvb.channel import BroadcastChannel, ChannelCategory, ChannelMeta
+from repro.dvb.epg import ProgrammeGuide
+from repro.dvb.satellite import Satellite, Transponder
+from repro.hbbtv.app import (
+    AppScreen,
+    EmbeddedService,
+    HbbTVApplication,
+    ScreenKind,
+    ServiceKind,
+)
+from repro.hbbtv.consent import STANDARD_NOTICE_STYLES
+from repro.hbbtv.media_library import MediaLibrary, PrivacyPointer
+from repro.keys import Key
+from repro.net.http import (
+    Headers,
+    HttpRequest,
+    HttpResponse,
+    html_response,
+    javascript_response,
+    pixel_response,
+)
+from repro.net.network import Network
+from repro.net.server import FunctionServer
+from repro.simulation import params
+from repro.simulation.operators import (
+    OperatorSpec,
+    PROFILE_CHILDREN,
+    PROFILE_COMMERCIAL_HEAVY,
+    PROFILE_COMMERCIAL_LIGHT,
+    PROFILE_MINIMAL,
+    PROFILE_PUBLIC,
+    PROFILE_SHOPPING,
+    generate_independent_operators,
+    standard_operators,
+)
+from repro.simulation.policies import PolicyTemplate, render_policy_page
+from repro.simulation.thirdparties import TrackerPopulation, build_tracker_population
+from repro.trackers.fingerprint import build_fingerprint_script
+
+_CATEGORY_GENRES = {
+    ChannelCategory.GENERAL: "series",
+    ChannelCategory.MOVIES: "movie",
+    ChannelCategory.NEWS: "news",
+    ChannelCategory.SPORTS: "sports",
+    ChannelCategory.CHILDREN: "kids",
+    ChannelCategory.MUSIC: "music",
+    ChannelCategory.DOCUMENTARY: "documentary",
+    ChannelCategory.SHOPPING: "shopping",
+    ChannelCategory.RELIGION: "talk",
+    ChannelCategory.REGIONAL: "news",
+}
+
+
+@dataclass
+class ChannelGroundTruth:
+    """What the generator knows about one channel (for validation)."""
+
+    channel_id: str
+    operator: str
+    first_party_domain: str
+    policy_template: PolicyTemplate | None
+    targets_children: bool
+    has_notice: bool
+    special: str = ""
+
+
+@dataclass
+class World:
+    """The fully assembled simulated ecosystem."""
+
+    seed: int
+    scale: float
+    network: Network = field(default_factory=Network)
+    satellites: list[Satellite] = field(default_factory=list)
+    trackers: TrackerPopulation = None  # type: ignore[assignment]
+    app_registry: dict[str, HbbTVApplication] = field(default_factory=dict)
+    #: channel_id → first assigned category.
+    categories: dict[str, ChannelCategory] = field(default_factory=dict)
+    children_channel_ids: set[str] = field(default_factory=set)
+    ground_truth: dict[str, ChannelGroundTruth] = field(default_factory=dict)
+    #: Channels in the intended final analysis set (HbbTV + traffic).
+    hbbtv_channels: list[BroadcastChannel] = field(default_factory=list)
+    #: Everything the antenna can receive (funnel input).
+    all_channels: list[BroadcastChannel] = field(default_factory=list)
+    #: channel_id → entry host (for the proxy's referrer correction).
+    single_channel_hosts: dict[str, str] = field(default_factory=dict)
+    #: The manual first-party override the paper applied (one channel
+    #: whose first request is an unlisted tracker).
+    manual_first_party_overrides: dict[str, str] = field(default_factory=dict)
+
+    def channel_by_id(self, channel_id: str) -> BroadcastChannel | None:
+        for channel in self.all_channels:
+            if channel.channel_id == channel_id:
+                return channel
+        return None
+
+
+class _OperatorServer(FunctionServer):
+    """The first-party platform server of one operator.
+
+    Serves entry documents (setting per-channel session cookies),
+    consent endpoints (setting per-channel consent cookies holding Unix
+    timestamps), media-library pages, policy documents, optional
+    first-party fingerprinting scripts, and house-ad slots.
+    """
+
+    def __init__(
+        self,
+        spec: OperatorSpec,
+        channels: list[tuple[str, str]],  # (channel_id, channel_name)
+        seed: int,
+        serves_policy: bool,
+        first_party_fingerprint: bool,
+    ) -> None:
+        super().__init__(spec.domain)
+        self.spec = spec
+        self._channel_names = dict(channels)
+        self._rng = random.Random(f"operator:{spec.domain}:{seed}")
+        self.route("/app/", self._serve_entry)
+        self.route("/consent", self._serve_consent)
+        self.route("/media/", self._serve_media)
+        self.route("/adserver/", self._serve_house_ad)
+        self.route("/img/", self._serve_image)
+        self.route("/vendors/", self._serve_vendor_page)
+        if serves_policy:
+            self.route("/policy/", self._serve_policy)
+        if first_party_fingerprint:
+            self.route("/fp.js", self._serve_fp_script)
+            self.route("/collect", self._serve_fp_collect)
+
+    def _channel_from_path(self, request: HttpRequest) -> str:
+        from repro.net.url import URL
+
+        parts = URL.parse(request.url).path.split("/")
+        return parts[2] if len(parts) > 2 else ""
+
+    def _serve_entry(self, request: HttpRequest) -> HttpResponse:
+        from repro.net.url import URL
+
+        channel_id = self._channel_from_path(request)
+        if URL.parse(request.url).path.endswith("epg.json"):
+            body = b'{"programme": [{"slot": "now"}, {"slot": "next"}]}'
+            headers = Headers([("Content-Type", "application/json")])
+            return HttpResponse(status=200, headers=headers, body=body)
+        name = self._channel_names.get(channel_id, channel_id)
+        response = html_response(
+            f"<html><body><div class='hbbtv-app'>{name}</div></body></html>"
+        )
+        # Roughly half the channels run session state over cookies (the
+        # paper's General run sees ~0.5 first-party cookies per channel).
+        sets_session = zlib.crc32(channel_id.encode()) % 100 < 55
+        if sets_session and f"sid_{channel_id}=" not in (
+            request.headers.get("Cookie") or ""
+        ):
+            session = "".join(
+                self._rng.choice("0123456789abcdef") for _ in range(16)
+            )
+            response.headers.add(
+                "Set-Cookie",
+                f"sid_{channel_id}={session}; Path=/app/{channel_id}",
+            )
+        return response
+
+    def _serve_consent(self, request: HttpRequest) -> HttpResponse:
+        parameters = request.query_params()
+        channel_id = parameters.get("ch", "unknown")
+        timestamp = parameters.get("t", "0")
+        response = html_response("consent stored")
+        response.headers.add(
+            "Set-Cookie",
+            f"consent={timestamp}; Path=/app/{channel_id}; Max-Age=31536000",
+        )
+        return response
+
+    def _serve_media(self, request: HttpRequest) -> HttpResponse:
+        channel_id = self._channel_from_path(request)
+        response = html_response(
+            "<html><body><ul class='mediathek'><li>Folge 1</li>"
+            "<li>Folge 2</li></ul><footer><a href='/policy'>Datenschutz"
+            "</a></footer></body></html>"
+        )
+        # Library visits persist playback state in first-party cookies —
+        # the reason the button runs collect far more 1P cookies.
+        cookie_header = request.headers.get("Cookie") or ""
+        if channel_id and f"mlib_{channel_id}=" not in cookie_header:
+            token = "".join(
+                self._rng.choice("0123456789abcdef") for _ in range(12)
+            )
+            response.headers.add(
+                "Set-Cookie",
+                f"mlib_{channel_id}={token}; Path=/media/{channel_id}",
+            )
+        if channel_id and zlib.crc32(channel_id.encode()) % 100 < 45:
+            response.headers.add(
+                "Set-Cookie",
+                f"pos_{channel_id}={int(request.timestamp)}; "
+                f"Path=/media/{channel_id}",
+            )
+        return response
+
+    def _serve_house_ad(self, request: HttpRequest) -> HttpResponse:
+        return pixel_response()
+
+    #: Self-hosted static assets: big enough to stay clear of the
+    #: tracking-pixel size threshold.
+    _IMAGE_BYTES = b"\xff\xd8\xff\xe0\x00\x10JFIF" + b"\x00" * 1024
+
+    def _serve_image(self, request: HttpRequest) -> HttpResponse:
+        headers = Headers([("Content-Type", "image/jpeg")])
+        headers.add("Content-Length", str(len(self._IMAGE_BYTES)))
+        return HttpResponse(status=200, headers=headers, body=self._IMAGE_BYTES)
+
+    def _serve_vendor_page(self, request: HttpRequest) -> HttpResponse:
+        return html_response(
+            "<html><body><h2>Partner</h2><p>Dieser Partner verarbeitet "
+            "Daten zu Werbezwecken auf Grundlage Ihrer Einwilligung. "
+            "Details entnehmen Sie der Anbieterliste.</p></body></html>"
+        )
+
+    def _serve_policy(self, request: HttpRequest) -> HttpResponse:
+        channel_id = self._channel_from_path(request)
+        template = self.spec.policy_template
+        if template is None:
+            return html_response("<html><body>Impressum</body></html>")
+        name = self._channel_names.get(channel_id, channel_id)
+        return html_response(render_policy_page(template, name))
+
+    def _serve_fp_script(self, request: HttpRequest) -> HttpResponse:
+        script = build_fingerprint_script(
+            ("canvas.toDataURL", "navigator.plugins", "screen.colorDepth"),
+            f"http://{self.spec.domain}/collect",
+        )
+        return javascript_response(script)
+
+    def _serve_fp_collect(self, request: HttpRequest) -> HttpResponse:
+        return HttpResponse(
+            status=204, headers=Headers([("Content-Type", "text/plain")])
+        )
+
+
+class _PolicyProviderServer(FunctionServer):
+    """The smartclip-like host serving policies for several operators."""
+
+    def __init__(self, host: str) -> None:
+        super().__init__(host)
+        self._documents: dict[str, str] = {}
+        self.route("/policy/", self._serve)
+
+    def add_policy(self, channel_id: str, page: str) -> None:
+        self._documents[channel_id] = page
+
+    def url_for(self, channel_id: str) -> str:
+        return f"http://{self.hosts().pop()}/policy/{channel_id}.html"
+
+    def _serve(self, request: HttpRequest) -> HttpResponse:
+        from repro.net.url import URL
+
+        path = URL.parse(request.url).path
+        channel_id = path.rsplit("/", 1)[-1].removesuffix(".html")
+        page = self._documents.get(channel_id)
+        if page is None:
+            return html_response("<html><body>404</body></html>", status=404)
+        return html_response(page)
+
+
+def build_world(seed: int = 7, scale: float = 1.0) -> World:
+    """Assemble the full ecosystem, deterministically from (seed, scale)."""
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    rng = random.Random(f"world:{seed}")
+    world = World(seed=seed, scale=scale)
+    world.trackers = build_tracker_population(seed)
+    for service in world.trackers.all_services():
+        world.network.register(service)
+
+    policy_provider = _PolicyProviderServer("policies.smartclip.net")
+    world.network.register(policy_provider)
+
+    # Manufacturer traffic the study excluded.
+    lge = FunctionServer("snu.lge.com")
+    lge.route("/", lambda r: html_response("firmware ok"))
+    world.network.register(lge)
+
+    operators = standard_operators(scale)
+    named_channel_total = sum(op.channel_count for op in operators)
+    independents_needed = max(
+        0, round(params.FINAL_CHANNELS * scale) - named_channel_total
+    )
+    operators.extend(generate_independent_operators(rng, independents_needed))
+
+    builder = _ChannelBuilder(world, rng, policy_provider)
+    for spec in operators:
+        builder.build_operator(spec)
+    builder.finalize()
+
+    _plant_dead_endpoints(world)
+    _add_funnel_filler_channels(world, rng, scale)
+    _distribute_to_satellites(world, rng)
+    return world
+
+
+def _plant_dead_endpoints(world: World, count: int = 2) -> None:
+    """Point a couple of channels' AITs at dead hosts.
+
+    Real broadcasts carry stale application URLs: the TV's fetch fails
+    (the proxy records a 504) and nothing else loads.  These channels
+    still pass the traffic funnel — a failed fetch is traffic — which is
+    exactly the messiness the paper's pipeline has to live with.
+    """
+    planted = 0
+    for channel in reversed(world.hbbtv_channels):
+        if planted >= count:
+            break
+        truth = world.ground_truth[channel.channel_id]
+        if truth.special or truth.targets_children or truth.has_notice:
+            continue
+        entry = channel.ait.autostart_application()
+        world.app_registry.pop(entry.entry_url, None)
+        dead_url = (
+            f"http://app.{channel.channel_id}-legacy.example/hbbtv/index.html"
+        )
+        channel.ait = simple_ait(dead_url, name=channel.name)
+        truth.special = "dead-endpoint"
+        planted += 1
+
+
+class _ChannelBuilder:
+    """Internal: turns operator specs into channels, apps, and servers."""
+
+    def __init__(
+        self,
+        world: World,
+        rng: random.Random,
+        policy_provider: _PolicyProviderServer,
+    ) -> None:
+        self.world = world
+        self.rng = rng
+        self.policy_provider = policy_provider
+        self._used_channel_ids: set[str] = set()
+        # Global quota pools (seeded decisions, scale-aware).
+        self._fingerprint_quota = _Quota(params.FINGERPRINT_CHANNEL_SHARE)
+        self._pixel_quota = _Quota(params.PIXEL_CHANNEL_SHARE)
+        self._tech_leak_quota = _Quota(params.TECH_LEAK_SHARE)
+        self._behaviour_leak_quota = _Quota(params.BEHAVIOUR_LEAK_SHARE)
+        self._notice_quota = _Quota(params.AUTOSTART_NOTICE_SHARE)
+        self._sync_channels_left = max(1, round(params.SYNC_CHANNELS * world.scale))
+        self._sync_buttons = [Key.RED, Key.GREEN, Key.BLUE]
+        self._ga_preloads_left = max(1, round(15 * world.scale))
+        self._misattribution_planted = False
+        self._exclusive_cursor = 0
+        self._fp_first_party_ops: set[str] = set()
+        self._tail_cursor = 0
+
+    # -- operators ---------------------------------------------------------------
+
+    def build_operator(self, spec: OperatorSpec) -> None:
+        world = self.world
+        channels: list[tuple[str, str]] = []
+        for index in range(spec.channel_count):
+            name = self._channel_name(spec, index)
+            channel_id = self._channel_id(name)
+            channels.append((channel_id, name))
+
+        first_party_fp = self._wants_first_party_fingerprint(spec)
+        serves_policy = spec.policy_template is not None and not spec.policy_host
+        server = _OperatorServer(
+            spec,
+            channels,
+            seed=world.seed,
+            serves_policy=serves_policy,
+            first_party_fingerprint=first_party_fp,
+        )
+        # Self-hosted asset host (same eTLD+1: no graph edge, but the
+        # TLS asset traffic the button runs show).
+        server.add_host(f"static.{spec.domain}")
+        world.network.register(server)
+
+        for index, (channel_id, name) in enumerate(channels):
+            app, channel = self._build_channel(
+                spec, server, channel_id, name, index, first_party_fp
+            )
+            world.app_registry[app.entry_url] = app
+            world.hbbtv_channels.append(channel)
+            world.all_channels.append(channel)
+            world.categories[channel_id] = channel.meta.primary_category
+            if spec.targets_children:
+                world.children_channel_ids.add(channel_id)
+            if spec.channel_count == 1:
+                world.single_channel_hosts[channel_id] = spec.domain
+            world.ground_truth[channel_id] = ChannelGroundTruth(
+                channel_id=channel_id,
+                operator=spec.name,
+                first_party_domain=spec.domain,
+                policy_template=spec.policy_template,
+                targets_children=spec.targets_children,
+                has_notice=app.notice_style is not None,
+                special=spec.special,
+            )
+
+    def _wants_first_party_fingerprint(self, spec: OperatorSpec) -> bool:
+        if spec.profile not in (PROFILE_COMMERCIAL_HEAVY, PROFILE_CHILDREN):
+            return False
+        if len(self._fp_first_party_ops) >= params.FINGERPRINT_FIRST_PARTY_PROVIDERS:
+            return False
+        self._fp_first_party_ops.add(spec.domain)
+        return True
+
+    # -- channels -------------------------------------------------------------------
+
+    def _build_channel(
+        self,
+        spec: OperatorSpec,
+        server: _OperatorServer,
+        channel_id: str,
+        name: str,
+        index: int,
+        first_party_fp: bool,
+    ):
+        world = self.world
+        rng = self.rng
+        domain = spec.domain
+        entry_url = f"http://{domain}/app/{channel_id}/index.html"
+        policy_url = self._policy_url(spec, channel_id, name)
+
+        services = self._services_for(
+            spec, channel_id, first_party_fp and index == 0, policy_url
+        )
+        notice_style = self._notice_style_for(spec)
+        screens = self._screens_for(
+            spec, channel_id, policy_url, hybrid=index < spec.hybrid_blue_channels
+        )
+        storage_writes: tuple[tuple[str, str, str], ...] = ()
+        if rng.random() < 0.4:
+            storage_writes = ((domain, f"player_{channel_id}", "settings"),)
+
+        app = HbbTVApplication(
+            channel_id=channel_id,
+            channel_name=name,
+            entry_url=entry_url,
+            first_party_domain=domain,
+            notice_style=notice_style,
+            services=services,
+            button_screens=screens,
+            privacy_policy_url=policy_url,
+            storage_writes=storage_writes,
+            notice_timeout_seconds=params.NOTICE_TIMEOUT_SECONDS,
+            declared_tracking_hours=(
+                spec.policy_template.declared_window
+                if spec.policy_template is not None
+                else None
+            ),
+        )
+
+        preloads: tuple[str, ...] = ()
+        if spec.special == "" and self._ga_preloads_left > 0 and rng.random() < 0.06:
+            self._ga_preloads_left -= 1
+            preloads = (
+                world.trackers.google_analytics.hit_url(channel_id),
+            )
+        elif not self._misattribution_planted and spec.special == "outlier":
+            pass  # the outlier keeps its entry order intact
+        elif (
+            not self._misattribution_planted
+            and spec.channel_count == 1
+            and spec.profile == PROFILE_COMMERCIAL_HEAVY
+        ):
+            # The one channel whose first request is an unlisted tracker:
+            # party identification picks the tracker, and the manual
+            # override (as in the paper) corrects it.
+            self._misattribution_planted = True
+            preloads = (
+                world.trackers.tvping.beacon_url(channel_id, "signal", "signal"),
+            )
+            world.manual_first_party_overrides[channel_id] = (
+                _etld1_of_domain(domain)
+            )
+
+        meta = ChannelMeta(
+            name=name,
+            channel_id=channel_id,
+            language=spec.language,
+            categories=self._categories_for(spec, index),
+            operator=spec.name,
+            is_public_broadcaster=spec.is_public,
+            targets_children=spec.targets_children,
+        )
+        genre = _CATEGORY_GENRES.get(meta.primary_category, "series")
+        channel = BroadcastChannel(
+            meta=meta,
+            ait=simple_ait(entry_url, name=name, preload_urls=preloads),
+            guide=ProgrammeGuide.generate(
+                random.Random(f"guide:{channel_id}"), preferred_genre=genre
+            ),
+            broadcast_hours=self._availability_for(spec),
+        )
+        return app, channel
+
+    def _policy_url(self, spec: OperatorSpec, channel_id: str, name: str) -> str:
+        if spec.policy_template is None:
+            return ""
+        if spec.policy_host:
+            page = render_policy_page(spec.policy_template, name)
+            self.policy_provider.add_policy(channel_id, page)
+            return self.policy_provider.url_for(channel_id)
+        return f"http://{spec.domain}/policy/{channel_id}.html"
+
+    def _categories_for(self, spec: OperatorSpec, index: int):
+        primary = spec.categories[index % len(spec.categories)]
+        if self.rng.random() < 0.2 and len(spec.categories) > 1:
+            secondary = spec.categories[(index + 1) % len(spec.categories)]
+            return (primary, secondary)
+        return (primary,)
+
+    def _availability_for(self, spec: OperatorSpec) -> tuple[int, int]:
+        if spec.special:  # archetypes stay always-on
+            return (0, 24)
+        draw = self.rng.random()
+        cumulative = 0.0
+        for window, share in params.AVAILABILITY_WINDOWS:
+            cumulative += share
+            if draw < cumulative:
+                return window
+        return (0, 24)
+
+    def _notice_style_for(self, spec: OperatorSpec):
+        if spec.notice_style_id is None:
+            return None
+        return STANDARD_NOTICE_STYLES[spec.notice_style_id]
+
+    # -- tracking plans ------------------------------------------------------------------
+
+    def _services_for(
+        self,
+        spec: OperatorSpec,
+        channel_id: str,
+        first_party_fp: bool,
+        policy_url: str = "",
+    ) -> list[EmbeddedService]:
+        trackers = self.world.trackers
+        rng = self.rng
+        services: list[EmbeddedService] = []
+
+        # A minority of channels pull a shared UI toolkit from a real
+        # third-party CDN; the rest self-host their assets (keeping CDN
+        # nodes from dominating the ecosystem graph, as in the paper).
+        # Minimal channels always use the toolkit — it is their only
+        # third party, and the shared host keeps the graph connected.
+        if spec.profile == PROFILE_MINIMAL or rng.random() < 0.18:
+            cdn = rng.choice(trackers.all_cdns())
+            services.append(
+                EmbeddedService(kind=ServiceKind.STATIC, url=cdn.library_url)
+            )
+
+        # Some app shells load a few TLS-hosted startup assets — the
+        # trickle of HTTPS the interaction-free General run still shows.
+        if rng.random() < 0.3:
+            for index in range(rng.randrange(3, 7)):
+                services.append(
+                    EmbeddedService(
+                        kind=ServiceKind.STATIC,
+                        url=(
+                            f"https://static.{spec.domain}/img/"
+                            f"{channel_id}/boot{index}.png"
+                        ),
+                    )
+                )
+
+        # Every running app polls its first party for programme data.
+        # This is the steady non-tracking traffic floor that continues
+        # even when the app is hidden or a privacy screen is open.
+        services.append(
+            EmbeddedService(
+                kind=ServiceKind.STATIC,
+                url=f"http://{spec.domain}/app/{channel_id}/epg.json",
+                period_s=rng.choice((20.0, 30.0, 45.0)),
+            )
+        )
+
+        # Some apps ship their policy document with the startup bundle —
+        # that is why the paper finds policies in the traffic of every
+        # run, including the interaction-free General run.
+        if policy_url and rng.random() < params.POLICY_STARTUP_FETCH_SHARE:
+            services.append(
+                EmbeddedService(kind=ServiceKind.STATIC, url=policy_url)
+            )
+
+        if spec.profile == PROFILE_MINIMAL:
+            return services
+
+        if spec.profile == PROFILE_PUBLIC:
+            services.append(
+                EmbeddedService(
+                    kind=ServiceKind.ANALYTICS,
+                    service=trackers.ioam,
+                    leaks_show_info=True,
+                )
+            )
+            services.append(
+                EmbeddedService(
+                    kind=ServiceKind.STATIC,
+                    url=f"http://{spec.domain}/adserver/house/banner.gif",
+                )
+            )
+            return services
+
+        # Platform groups ship the xiti-like audience-measurement SDK
+        # with their shared app (threshold scales with the world so
+        # small test worlds keep the platform structure).
+        platform_threshold = max(2, round(5 * self.world.scale))
+        is_platform = spec.channel_count >= platform_threshold
+        if is_platform:
+            services.append(
+                EmbeddedService(
+                    kind=ServiceKind.ANALYTICS,
+                    service=trackers.xiti,
+                    leaks_show_info=self._behaviour_leak_quota.draw(rng),
+                )
+            )
+
+        if spec.special == "outlier":
+            # The Red-run outlier: a runaway beacon loop behind the red
+            # button (59k requests to the tvping-like host in one visit).
+            services.append(
+                EmbeddedService(
+                    kind=ServiceKind.PIXEL,
+                    service=trackers.tvping,
+                    period_s=params.OUTLIER_PIXEL_PERIOD,
+                    after_button=Key.RED,
+                )
+            )
+            services.append(
+                EmbeddedService(
+                    kind=ServiceKind.PIXEL,
+                    service=trackers.tvping,
+                    period_s=params.PIXEL_PERIOD_LIGHT,
+                    leaks_device_info=True,
+                )
+            )
+            return services
+
+        heavy = spec.profile in (
+            PROFILE_COMMERCIAL_HEAVY,
+            PROFILE_SHOPPING,
+        )
+
+        # The tvping-like service is the platform groups' player SDK:
+        # its ~141 channels belong to a dozen operators, which is why
+        # its ecosystem-graph degree stays low despite its ubiquity.
+        # Independents that track playback use one of the tail pixels.
+        is_group = spec.channel_count >= 2
+        if is_group or spec.profile == PROFILE_CHILDREN:
+            playback_pixel = trackers.tvping
+        elif self._pixel_quota.draw(rng):
+            playback_pixel = self._primary_tail_pixel(rng)
+        else:
+            playback_pixel = None
+        if playback_pixel is not None:
+            services.append(
+                EmbeddedService(
+                    kind=ServiceKind.PIXEL,
+                    service=playback_pixel,
+                    period_s=self._pixel_period(rng, heavy),
+                    leaks_device_info=self._tech_leak_quota.draw(rng),
+                    leaks_show_info=self._behaviour_leak_quota.draw(rng),
+                )
+            )
+            if heavy and rng.random() < params.YELLOW_PIXEL_SHARE:
+                # Quiz/game apps behind the yellow button beacon fast.
+                services.append(
+                    EmbeddedService(
+                        kind=ServiceKind.PIXEL,
+                        service=playback_pixel,
+                        period_s=params.PIXEL_PERIOD_HEAVY,
+                        after_button=Key.YELLOW,
+                    )
+                )
+
+        # The small-tracker tail: one slow always-on service on most
+        # commercial channels plus button-gated extras (the paper's
+        # "most channels only load a few extra trackers" on buttons).
+        children = spec.profile == PROFILE_CHILDREN
+        for tail_service, button in self._tail_assignment(rng, heavy, children):
+            kind = (
+                ServiceKind.PIXEL
+                if hasattr(tail_service, "beacon_url")
+                else ServiceKind.ANALYTICS
+            )
+            # Only the first few tail services receive device data:
+            # the paper counts just nine third parties getting it.
+            leaky_tail = tail_service in trackers.tail_pixels[:3]
+            services.append(
+                EmbeddedService(
+                    kind=kind,
+                    service=tail_service,
+                    period_s=(
+                        params.PIXEL_PERIOD_LIGHT * rng.uniform(1.0, 3.0)
+                        if button is None
+                        else 0.0
+                    ),
+                    leaks_device_info=(
+                        button is None
+                        and leaky_tail
+                        and self._tech_leak_quota.draw(rng)
+                    ),
+                    after_button=button,
+                )
+            )
+
+        if spec.profile == PROFILE_CHILDREN:
+            services.append(
+                EmbeddedService(
+                    kind=ServiceKind.PIXEL,
+                    service=trackers.smartclip,
+                    period_s=300.0,
+                    leaks_show_info=True,
+                )
+            )
+
+        # A few group channels run ACR-style content recognition — the
+        # one partner the smart-TV block lists actually know.
+        if is_group and spec.profile != PROFILE_CHILDREN and rng.random() < 0.10:
+            services.append(
+                EmbeddedService(
+                    kind=ServiceKind.PIXEL,
+                    service=trackers.samba_acr,
+                    period_s=90.0,
+                    leaks_show_info=True,
+                )
+            )
+
+        if heavy:
+            # Button-triggered advertising with periodic slot refresh:
+            # this is the EasyList-visible traffic, concentrated in the
+            # Red/Yellow/Green runs exactly as in Table III.
+            for ad_service in (trackers.doubleclick, trackers.criteo):
+                if rng.random() < 0.6:
+                    services.append(
+                        EmbeddedService(
+                            kind=ServiceKind.PIXEL,
+                            service=ad_service,
+                            period_s=120.0,
+                            after_button=Key.RED,
+                        )
+                    )
+            if rng.random() < 0.3:
+                services.append(
+                    EmbeddedService(
+                        kind=ServiceKind.PIXEL,
+                        service=trackers.adform,
+                        period_s=120.0,
+                        after_button=Key.YELLOW,
+                    )
+                )
+            if rng.random() < 0.3:
+                services.append(
+                    EmbeddedService(
+                        kind=ServiceKind.PIXEL,
+                        service=trackers.criteo,
+                        period_s=180.0,
+                        after_button=Key.YELLOW,
+                    )
+                )
+            if rng.random() < 0.25:
+                services.append(
+                    EmbeddedService(
+                        kind=ServiceKind.PIXEL,
+                        service=trackers.doubleclick,
+                        period_s=180.0,
+                        after_button=Key.GREEN,
+                    )
+                )
+            if spec.special == "personalization" or rng.random() < 0.15:
+                # Location/brand-targeted ad slots: the circumstantial
+                # behavioural-profiling evidence of §V-B (brand names
+                # unrelated to the aired programme).
+                services.append(
+                    EmbeddedService(
+                        kind=ServiceKind.AD,
+                        url=f"http://{spec.domain}/adserver/spot.gif",
+                        extra_params={"brand": rng.choice(("loreal", "nivea"))},
+                        after_button=Key.RED,
+                    )
+                )
+
+        if first_party_fp:
+            services.append(
+                EmbeddedService(
+                    kind=ServiceKind.FINGERPRINT,
+                    service=_FirstPartyFingerprintEndpoint(spec.domain),
+                    period_s=240.0,
+                )
+            )
+        elif self._fingerprint_quota.draw(rng):
+            provider = rng.choice(trackers.fingerprinters)
+            red_gated = rng.random() < 0.6
+            services.append(
+                EmbeddedService(
+                    kind=ServiceKind.FINGERPRINT,
+                    service=provider,
+                    # Red-button apps re-probe the device periodically,
+                    # which concentrates fingerprinting in the Red run.
+                    period_s=150.0 if red_gated else 0.0,
+                    after_button=Key.RED if red_gated else None,
+                )
+            )
+
+        # Open media libraries rotate their carousels, re-fetching
+        # artwork every few seconds: the non-pixel traffic bulk of the
+        # Red and Yellow runs.
+        for button, share in ((Key.RED, params.RED_LIBRARY_SHARE),
+                              (Key.YELLOW, params.YELLOW_CONTENT_SHARE)):
+            if rng.random() < share:
+                services.append(
+                    EmbeddedService(
+                        kind=ServiceKind.STATIC,
+                        url=(
+                            f"http://static.{spec.domain}/img/{channel_id}"
+                            f"/carousel-{button.value.lower()}.jpg"
+                        ),
+                        period_s=rng.choice((8.0, 10.0, 12.0)),
+                        after_button=button,
+                    )
+                )
+
+        # Every channel ends up with at least one *shared* third party
+        # (the paper's graph is one connected component); channels whose
+        # services are all exotic fall back to a common toolkit CDN.
+        common_domains = {
+            trackers.tvping.domain,
+            trackers.xiti.domain,
+            trackers.ioam.domain,
+            trackers.doubleclick.domain,
+            trackers.criteo.domain,
+            trackers.adform.domain,
+            trackers.smartclip.domain,
+            trackers.samba_acr.domain,
+        } | {cdn.domain for cdn in trackers.all_cdns()}
+        if not any(s.domain() in common_domains for s in services):
+            cdn = rng.choice(trackers.all_cdns())
+            services.append(
+                EmbeddedService(kind=ServiceKind.STATIC, url=cdn.library_url)
+            )
+
+        # Sync participation is assigned to the first qualifying heavy
+        # channels so the archetype survives at every world scale.
+        if self._sync_channels_left > 0 and heavy:
+            self._sync_channels_left -= 1
+            button = self._sync_buttons[
+                self._sync_channels_left % len(self._sync_buttons)
+            ]
+            services.append(
+                EmbeddedService(
+                    kind=ServiceKind.SYNC,
+                    service=trackers.sync_pair.initiator,
+                    after_button=button,
+                )
+            )
+        return services
+
+    def _primary_tail_pixel(self, rng: random.Random):
+        """An independent channel's own playback pixel (Zipf-weighted)."""
+        pool = self.world.trackers.tail_pixels[
+            : len(self.world.trackers.tail_pixels) // 2
+        ]
+        weights = [1.0 / (index + 1) for index in range(len(pool))]
+        return rng.choices(pool, weights=weights)[0]
+
+    def _pixel_period(self, rng: random.Random, heavy: bool) -> float:
+        draw = rng.random()
+        if heavy and draw < params.PIXEL_HEAVY_SHARE:
+            return params.PIXEL_PERIOD_HEAVY
+        if draw < params.PIXEL_HEAVY_SHARE + params.PIXEL_MEDIUM_SHARE:
+            return params.PIXEL_PERIOD_MEDIUM
+        return params.PIXEL_PERIOD_LIGHT
+
+    def _tail_assignment(
+        self, rng: random.Random, heavy: bool, children: bool = False
+    ):
+        """Pick this channel's tail trackers with Zipf-ish popularity.
+
+        Early tail services end up on many channels, late ones on a
+        single channel — producing the Figure 5 long tail and Table II's
+        third-party diversity growth on button runs.
+        """
+        trackers = self.world.trackers
+        pool = trackers.popular_tail()
+        if not pool:
+            return []
+        weights = [1.0 / (index + 1) for index in range(len(pool))]
+        assignment = []
+        if not children and rng.random() < 0.5:
+            assignment.append((rng.choices(pool, weights=weights)[0], None))
+        # Some channels carry one tracker nobody else uses — the
+        # single-edge leaf domains in the ecosystem graph (paper: 39).
+        exclusive = trackers.exclusive_tail()
+        if not children and rng.random() < 0.3 and self._exclusive_cursor < len(
+            exclusive
+        ):
+            assignment.append(
+                (exclusive[self._exclusive_cursor], rng.choice((None, Key.RED)))
+            )
+            self._exclusive_cursor += 1
+        if children:
+            # Children's channels carry the platform SDK plus an ad
+            # partner, but few exotic extras — which is exactly why the
+            # paper finds no significant difference to other channels.
+            gated_count = rng.randrange(0, 2)
+        else:
+            gated_count = rng.randrange(1, 7 if heavy else 5)
+        buttons = (Key.RED, Key.YELLOW, Key.GREEN, Key.BLUE)
+        for _ in range(gated_count):
+            # Button-loaded apps reach deep into the tail (uniform draw):
+            # rarely-seen services surface only on interaction runs.
+            # Pixels dominate the tail, as they do the paper's tracker
+            # census (47 pixel eTLD+1s vs a handful of analytics hosts).
+            popular_pixels = trackers.tail_pixels[: len(trackers.tail_pixels) // 2]
+            popular_analytics = trackers.tail_analytics[
+                : len(trackers.tail_analytics) // 2
+            ]
+            if rng.random() < 0.7:
+                service = rng.choice(popular_pixels)
+            else:
+                service = rng.choice(popular_analytics)
+            button = rng.choices(buttons, weights=(0.4, 0.3, 0.2, 0.1))[0]
+            assignment.append((service, button))
+        return assignment
+
+    # -- screens ------------------------------------------------------------------------------
+
+    def _screens_for(
+        self,
+        spec: OperatorSpec,
+        channel_id: str,
+        policy_url: str,
+        hybrid: bool,
+    ) -> dict[Key, AppScreen]:
+        rng = self.rng
+        trackers = self.world.trackers
+        screens: dict[Key, AppScreen] = {}
+        domain = spec.domain
+
+        if spec.special == "outlier" or rng.random() < params.RED_LIBRARY_SHARE:
+            # Library pages pull a grid of thumbnails from the TLS CDN —
+            # the bulk of the HTTPS traffic the button runs show.
+            tile_count = rng.randrange(14, 30)
+            assets = [
+                f"https://static.{domain}/img/{channel_id}/tile{i}.jpg"
+                for i in range(tile_count)
+            ]
+            if rng.random() < 0.25:
+                assets.append(trackers.cdn_http.image_url)
+            library = MediaLibrary(
+                page_url=f"http://{domain}/media/{channel_id}/index.html",
+                item_urls=tuple(
+                    f"http://{domain}/media/{channel_id}/item{i}.html"
+                    for i in range(3)
+                ),
+                asset_urls=tuple(assets),
+                pointer=(
+                    PrivacyPointer(
+                        label="Datenschutz",
+                        prominent=rng.random() < 0.15,
+                        target_policy_url=policy_url,
+                    )
+                    if policy_url
+                    else None
+                ),
+                prefetches_policy=(
+                    bool(policy_url)
+                    and rng.random() < params.RED_POLICY_PREFETCH
+                ),
+            )
+            screens[Key.RED] = AppScreen(
+                kind=ScreenKind.MEDIA_LIBRARY, media_library=library
+            )
+        elif rng.random() < params.CTM_SCREEN_SHARE:
+            screens[Key.RED] = AppScreen(
+                kind=ScreenKind.CHANNEL_TECH_MESSAGE,
+                caption="Anwendung derzeit nicht verfügbar",
+            )
+
+        if rng.random() < params.YELLOW_CONTENT_SHARE:
+            yellow_assets = [
+                f"https://static.{domain}/img/{channel_id}/y{i}.jpg"
+                for i in range(rng.randrange(3, 9))
+            ]
+            if rng.random() < 0.2:
+                yellow_assets.append(trackers.cdn_http.stylesheet_url)
+            library = MediaLibrary(
+                page_url=f"http://{domain}/media/{channel_id}/guide.html",
+                item_urls=tuple(
+                    f"http://{domain}/media/{channel_id}/day{i}.html"
+                    for i in range(2)
+                ),
+                asset_urls=tuple(yellow_assets),
+                pointer=(
+                    PrivacyPointer(target_policy_url=policy_url)
+                    if policy_url and rng.random() < 0.6
+                    else None
+                ),
+                prefetches_policy=(
+                    bool(policy_url)
+                    and rng.random() < params.YELLOW_POLICY_PREFETCH
+                ),
+            )
+            screens[Key.YELLOW] = AppScreen(
+                kind=ScreenKind.MEDIA_LIBRARY, media_library=library
+            )
+        elif rng.random() < 0.3:
+            screens[Key.YELLOW] = AppScreen(
+                kind=ScreenKind.TEXT_PAGE, caption="Programminfo"
+            )
+        elif rng.random() < params.CTM_SCREEN_SHARE:
+            screens[Key.YELLOW] = AppScreen(
+                kind=ScreenKind.CHANNEL_TECH_MESSAGE,
+                caption="Kein Videotext-Dienst verfügbar",
+            )
+
+        # Consent-manager page bundles ride TLS (the CMP endpoints are
+        # much of the HTTPS traffic in the Blue run).
+        cmp_bundle = [
+            f"https://static.{domain}/img/{channel_id}/cmp{i}.js"
+            for i in range(rng.randrange(2, 6))
+        ]
+        # Opening the privacy screen also pulls the partner list: one
+        # page per vendor, the bulk of the Blue run's non-pixel traffic.
+        cmp_bundle.extend(
+            f"http://{domain}/vendors/{channel_id}/v{i}.html"
+            for i in range(rng.randrange(60, 140))
+        )
+        cmp_bundle = tuple(cmp_bundle)
+        if hybrid and policy_url:
+            screens[Key.BLUE] = AppScreen(
+                kind=ScreenKind.PRIVACY_SETTINGS,
+                policy_url=policy_url,
+                show_cookie_controls=True,
+                load_urls=cmp_bundle,
+            )
+        elif spec.notice_style_id in (9, 10):
+            screens[Key.BLUE] = AppScreen(
+                kind=ScreenKind.PRIVACY_SETTINGS,
+                policy_url=policy_url,
+                load_urls=cmp_bundle,
+            )
+        elif policy_url and rng.random() < params.BLUE_PRIVACY_SHARE:
+            kind = (
+                ScreenKind.PRIVACY_SETTINGS
+                if spec.notice_style_id is not None
+                else ScreenKind.PRIVACY_POLICY
+            )
+            screens[Key.BLUE] = AppScreen(
+                kind=kind, policy_url=policy_url, load_urls=cmp_bundle
+            )
+
+        if rng.random() < 0.55:
+            # Green-button text services ship small TLS page bundles:
+            # little absolute traffic, but a high HTTPS share in the
+            # low-volume Green run.
+            bundle = [
+                f"https://static.{domain}/img/{channel_id}/green{i}.png"
+                for i in range(rng.randrange(3, 9))
+            ]
+            if policy_url and rng.random() < params.GREEN_POLICY_FETCH:
+                bundle.append(policy_url)
+            screens[Key.GREEN] = AppScreen(
+                kind=ScreenKind.TEXT_PAGE,
+                caption="Wetter & Verkehr",
+                load_urls=tuple(bundle),
+            )
+        elif rng.random() < params.CTM_SCREEN_SHARE:
+            screens[Key.GREEN] = AppScreen(
+                kind=ScreenKind.CHANNEL_TECH_MESSAGE,
+                caption="Dienst nicht verfügbar",
+            )
+        return screens
+
+    # -- names ---------------------------------------------------------------------------------
+
+    def _channel_name(self, spec: OperatorSpec, index: int) -> str:
+        if index < len(spec.channel_names):
+            return spec.channel_names[index]
+        return f"{spec.name} {index + 1}"
+
+    def _channel_id(self, name: str) -> str:
+        base = (
+            name.lower()
+            .replace(" ", "-")
+            .replace("&", "und")
+            .replace(".", "")
+        )
+        candidate = base
+        suffix = 2
+        while candidate in self._used_channel_ids:
+            candidate = f"{base}-{suffix}"
+            suffix += 1
+        self._used_channel_ids.add(candidate)
+        return candidate
+
+    def finalize(self) -> None:
+        """Post-assembly checks."""
+        if not self._misattribution_planted and self.world.hbbtv_channels:
+            # Tiny worlds may lack a qualifying independent; that is fine.
+            pass
+
+
+@dataclass
+class _FirstPartyFingerprintEndpoint:
+    """Duck-typed fingerprint backend hosted on a first-party domain."""
+
+    domain: str
+
+    @property
+    def script_url(self) -> str:
+        return f"http://{self.domain}/fp.js"
+
+    @property
+    def collect_url(self) -> str:
+        return f"http://{self.domain}/collect"
+
+
+class _Quota:
+    """A probability gate (seeded draws against a fixed share)."""
+
+    def __init__(self, share: float) -> None:
+        self.share = share
+
+    def draw(self, rng: random.Random) -> bool:
+        return rng.random() < self.share
+
+
+def _etld1_of_domain(domain: str) -> str:
+    from repro.net.url import registrable_domain
+
+    return registrable_domain(domain)
+
+
+def _add_funnel_filler_channels(
+    world: World, rng: random.Random, scale: float
+) -> None:
+    """Channels the §IV-B funnel discards: radio, encrypted, invisible,
+    traffic-less TV channels, and one IPTV channel."""
+
+    def scaled(count: int) -> int:
+        return max(1, round(count * scale))
+
+    def add(name: str, **meta_kwargs) -> BroadcastChannel:
+        meta = ChannelMeta(name=name, channel_id=f"filler-{len(world.all_channels)}",
+                           **meta_kwargs)
+        channel = BroadcastChannel(meta=meta)
+        world.all_channels.append(channel)
+        return channel
+
+    for index in range(scaled(params.RADIO_CHANNELS)):
+        add(f"Radio {index + 1}", is_radio=True)
+    for index in range(scaled(params.ENCRYPTED_TV_CHANNELS)):
+        add(f"Pay TV {index + 1}", is_encrypted=True)
+    invisible_count = scaled(params.INVISIBLE_OR_UNNAMED)
+    for index in range(invisible_count):
+        if index % 5 == 0:
+            add("")  # empty-name channels
+        else:
+            add(f"Test Signal {index + 1}", is_invisible=True)
+    for index in range(scaled(params.NO_TRAFFIC_CHANNELS)):
+        add(f"Analog Relikt {index + 1}")  # TV channel, no AIT, no traffic
+
+    # One IPTV channel: it has HbbTV-style traffic but is excluded by
+    # the last funnel step.
+    iptv_meta = ChannelMeta(name="IPTV Stream Eins", channel_id="iptv-stream-eins")
+    iptv = BroadcastChannel(meta=iptv_meta, is_iptv=True)
+    iptv.ait = simple_ait("http://cdn.hbbtv-assets.de/lib/toolkit.js")
+    world.all_channels.append(iptv)
+
+
+def _distribute_to_satellites(world: World, rng: random.Random) -> None:
+    """Spread every channel over the three satellites' transponders."""
+    satellites = [
+        Satellite("Astra 1L", 19.2),
+        Satellite("Hot Bird 13E", 13.0),
+        Satellite("Eutelsat 16E", 16.0),
+    ]
+    weights = (0.315, 0.35, 0.335)
+    transponders = []
+    for satellite in satellites:
+        for index in range(8):
+            transponders.append(
+                (
+                    satellite,
+                    satellite.add_transponder(
+                        Transponder(10700 + 40 * index, "H" if index % 2 else "V")
+                    ),
+                )
+            )
+    for channel in world.all_channels:
+        satellite = rng.choices(satellites, weights=weights)[0]
+        transponder = rng.choice(
+            [tp for sat, tp in transponders if sat is satellite]
+        )
+        transponder.add_channel(channel)
+    world.satellites = satellites

@@ -1,0 +1,27 @@
+"""Third-party server population for the simulated ecosystem.
+
+Each service in this package is an origin server
+(:class:`repro.net.server.Server`) implementing one of the tracking
+behaviours the paper observed: 1x1 pixel beacons (the tvping-like
+heavyweight), audience analytics (xiti-like), fingerprinting script
+hosts, cookie-syncing partners, and benign CDNs used as a control group.
+"""
+
+from repro.trackers.analytics import AnalyticsService
+from repro.trackers.base import FilterListPresence, TrackerService, mint_identifier
+from repro.trackers.cdn import CdnService
+from repro.trackers.fingerprint import FingerprintService
+from repro.trackers.pixel import PixelService
+from repro.trackers.sync import SyncPair, SyncService
+
+__all__ = [
+    "TrackerService",
+    "FilterListPresence",
+    "mint_identifier",
+    "PixelService",
+    "AnalyticsService",
+    "FingerprintService",
+    "SyncService",
+    "SyncPair",
+    "CdnService",
+]

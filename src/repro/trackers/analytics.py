@@ -1,0 +1,85 @@
+"""Audience-measurement services (the xiti-like analytics family).
+
+An analytics service receives hit requests carrying the watched channel
+and show metadata, sets visitor cookies, and answers with a 204.  In the
+paper this family is the most widely *embedded* third party (xiti on 119
+channels) even though it is usually included by other third parties
+rather than by the channel itself — which is why its node degree in the
+ecosystem graph stays low.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from urllib.parse import quote
+
+from repro.net.http import Headers, HttpRequest, HttpResponse
+from repro.trackers.base import TrackerService
+
+
+@dataclass
+class AnalyticsService(TrackerService):
+    """Serves `/hit` audience-measurement endpoints."""
+
+    visitor_cookie: str = "visitor"
+    session_cookie: str = "avs"
+    #: Also set one cookie per measured site/channel (AT-Internet-style
+    #: deployments do this; it is how a single analytics party ends up
+    #: owning >100 distinct cookies across channels, §V-C2).
+    per_channel_cookie: bool = False
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self.hits_served = 0
+        self.route("/hit", self._serve_hit)
+        self.route("/event", self._serve_hit)
+
+    def _serve_hit(self, request: HttpRequest) -> HttpResponse:
+        self.hits_served += 1
+        response = HttpResponse(
+            status=204, headers=Headers([("Content-Type", "text/plain")])
+        )
+        cookie_header = request.headers.get("Cookie", "")
+        if f"{self.visitor_cookie}=" not in cookie_header:
+            response.headers.add(
+                "Set-Cookie",
+                f"{self.visitor_cookie}={self.mint_id(20)}; Path=/; "
+                "Max-Age=31536000",
+            )
+        if f"{self.session_cookie}=" not in cookie_header:
+            response.headers.add(
+                "Set-Cookie",
+                f"{self.session_cookie}={self.mint_id(12)}; Path=/",
+            )
+        if self.per_channel_cookie:
+            channel = request.query_params().get("ch", "")
+            if channel:
+                site_cookie = f"{self.session_cookie}_{_slug(channel)}"
+                if f"{site_cookie}=" not in cookie_header:
+                    response.headers.add(
+                        "Set-Cookie",
+                        f"{site_cookie}={self.mint_id(14)}; Path=/; "
+                        "Max-Age=31536000",
+                    )
+        return response
+
+    def hit_url(
+        self,
+        channel_id: str,
+        show_title: str = "",
+        genre: str = "",
+        extra: dict[str, str] | None = None,
+    ) -> str:
+        """Build the hit URL an embedding party uses for this service."""
+        params = [f"ch={quote(channel_id)}"]
+        if show_title:
+            params.append(f"show={quote(show_title)}")
+        if genre:
+            params.append(f"genre={quote(genre)}")
+        for key, value in (extra or {}).items():
+            params.append(f"{quote(key)}={quote(value)}")
+        return f"{self.scheme}://{self.domain}/hit?" + "&".join(params)
+
+
+def _slug(channel_id: str) -> str:
+    return "".join(c for c in channel_id if c.isalnum() or c == "-")[:24]

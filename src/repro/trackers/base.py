@@ -1,0 +1,109 @@
+"""Common machinery for tracker services.
+
+A tracker service is an origin server plus the metadata the study needs
+to reason about it: which filter lists know about it (most HbbTV
+trackers are missing from the web lists — that gap is the paper's
+Table III finding) and which cookie names it uses (driving the
+Cookiepedia coverage gap).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.net.http import HttpRequest, HttpResponse, not_found_response
+from repro.net.url import URL
+
+_ID_ALPHABET = "0123456789abcdef"
+
+
+def mint_identifier(rng: random.Random, length: int = 16) -> str:
+    """Mint a hex identifier.
+
+    Lengths default to 16 so minted IDs satisfy the paper's ID heuristic
+    (10–25 characters, not a Unix timestamp).
+    """
+    return "".join(rng.choice(_ID_ALPHABET) for _ in range(length))
+
+
+@dataclass(frozen=True)
+class FilterListPresence:
+    """Which block lists contain rules for a service."""
+
+    easylist: bool = False
+    easyprivacy: bool = False
+    pihole: bool = False
+    perflyst: bool = False
+    kamran: bool = False
+
+    @classmethod
+    def nowhere(cls) -> "FilterListPresence":
+        return cls()
+
+    @classmethod
+    def web_lists(cls) -> "FilterListPresence":
+        """A classic web tracker: on every general-purpose list."""
+        return cls(easylist=True, easyprivacy=True, pihole=True)
+
+    @classmethod
+    def pihole_only(cls) -> "FilterListPresence":
+        return cls(pihole=True)
+
+
+@dataclass
+class TrackerService:
+    """Base class: an origin server with tracker metadata.
+
+    Subclasses register path routes via :meth:`route` and usually mint
+    per-device identifiers with the service's own seeded RNG so runs are
+    reproducible.
+    """
+
+    name: str
+    domain: str
+    seed: int = 0
+    #: URL scheme for endpoints this service advertises.  Most HbbTV
+    #: traffic in the study was plain HTTP (Table I), so that is the
+    #: default; individual services opt into HTTPS.
+    scheme: str = "http"
+    presence: FilterListPresence = field(default_factory=FilterListPresence.nowhere)
+    #: Cookie names this service sets that Cookiepedia can classify,
+    #: mapped to their purpose category.  Anything not listed here is
+    #: unclassifiable — the HbbTV ecosystem gap.
+    classified_cookies: dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.rng = random.Random(f"{self.name}:{self.seed}")
+        self._routes: list[tuple[str, object]] = []
+        self._extra_hosts: set[str] = set()
+
+    # -- Server protocol ----------------------------------------------------
+
+    def hosts(self) -> set[str]:
+        return {self.domain} | self._extra_hosts
+
+    def add_host(self, host: str) -> None:
+        self._extra_hosts.add(host)
+
+    def route(self, prefix: str, handler) -> None:
+        self._routes.append((prefix, handler))
+        self._routes.sort(key=lambda item: -len(item[0]))
+
+    def handle(self, request: HttpRequest) -> HttpResponse:
+        path = URL.parse(request.url).path
+        for prefix, handler in self._routes:
+            if path.startswith(prefix):
+                return handler(request)
+        return not_found_response()
+
+    # -- identity helpers ---------------------------------------------------
+
+    def mint_id(self, length: int = 16) -> str:
+        return mint_identifier(self.rng, length)
+
+    @property
+    def etld1(self) -> str:
+        from repro.net.url import registrable_domain
+
+        return registrable_domain(self.domain)

@@ -1,0 +1,76 @@
+"""Benign CDNs and static-asset hosts.
+
+Not every third party in the HbbTV graph is a tracker: channels also
+load frameworks, images, and stylesheets from shared hosts.  CDN
+responses are deliberately larger than the 45-byte pixel threshold and
+contain no fingerprinting markers, so the detection heuristics must not
+flag them — they act as the control group in the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.http import (
+    Headers,
+    HttpRequest,
+    HttpResponse,
+    javascript_response,
+)
+from repro.trackers.base import TrackerService
+
+_BENIGN_LIBRARY = """\
+/* hbbtv ui toolkit v2.3 */
+function initCarousel(root) {
+  var items = root.querySelectorAll('.item');
+  for (var i = 0; i < items.length; i++) {
+    items[i].setAttribute('tabindex', String(i));
+  }
+}
+function formatTime(seconds) {
+  var m = Math.floor(seconds / 60);
+  var s = Math.floor(seconds % 60);
+  return m + ':' + (s < 10 ? '0' : '') + s;
+}
+"""
+
+# A plausible JPEG preamble followed by padding: comfortably larger than
+# the tracking-pixel size threshold.
+_IMAGE_BYTES = b"\xff\xd8\xff\xe0\x00\x10JFIF" + b"\x00" * 2048
+
+
+@dataclass
+class CdnService(TrackerService):
+    """Serves static JS, CSS, and images (never flagged as tracking)."""
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self.route("/lib/", self._serve_library)
+        self.route("/img/", self._serve_image)
+        self.route("/css/", self._serve_stylesheet)
+
+    @property
+    def library_url(self) -> str:
+        return f"{self.scheme}://{self.domain}/lib/toolkit.js"
+
+    @property
+    def image_url(self) -> str:
+        return f"{self.scheme}://{self.domain}/img/banner.jpg"
+
+    @property
+    def stylesheet_url(self) -> str:
+        return f"{self.scheme}://{self.domain}/css/app.css"
+
+    def _serve_library(self, request: HttpRequest) -> HttpResponse:
+        return javascript_response(_BENIGN_LIBRARY)
+
+    def _serve_image(self, request: HttpRequest) -> HttpResponse:
+        headers = Headers([("Content-Type", "image/jpeg")])
+        headers.add("Content-Length", str(len(_IMAGE_BYTES)))
+        return HttpResponse(status=200, headers=headers, body=_IMAGE_BYTES)
+
+    def _serve_stylesheet(self, request: HttpRequest) -> HttpResponse:
+        body = b".app { color: #fff; background: transparent; }\n" * 8
+        headers = Headers([("Content-Type", "text/css")])
+        headers.add("Content-Length", str(len(body)))
+        return HttpResponse(status=200, headers=headers, body=body)

@@ -1,0 +1,93 @@
+"""Fingerprinting script hosts.
+
+The paper's fingerprinting heuristic flags JavaScript responses that
+mention the APIs fingerprinters use (Canvas, WebGL, AudioContext,
+Fingerprint2).  These services serve such scripts and accept the
+resulting fingerprint submissions.  Some fingerprinting scripts in the
+study are hosted by *first* parties; the world builder reuses this class
+on first-party hosts for those.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.http import (
+    Headers,
+    HttpRequest,
+    HttpResponse,
+    javascript_response,
+)
+from repro.trackers.base import TrackerService
+
+#: API markers the detection heuristic searches for; the served script
+#: deliberately contains a configurable subset of them.
+FINGERPRINT_MARKERS = (
+    "canvas.toDataURL",
+    "getContext('webgl')",
+    "AudioContext",
+    "navigator.plugins",
+    "screen.colorDepth",
+    "Fingerprint2",
+    "navigator.hardwareConcurrency",
+)
+
+_SCRIPT_TEMPLATE = """\
+/* device intelligence module */
+(function () {{
+  var components = [];
+  {probes}
+  var payload = components.join('|');
+  var img = new Image();
+  img.src = '{collect_url}?fp=' + encodeURIComponent(payload);
+}})();
+"""
+
+
+def build_fingerprint_script(markers: tuple[str, ...], collect_url: str) -> str:
+    """Render a fingerprinting script exercising the given API markers.
+
+    Each marker appears verbatim in the script body, which is what the
+    content-based detection heuristic (and the paper's) keys on.
+    """
+    probes = "\n  ".join(
+        f"try {{ components.push(String({marker})); }} catch (e) {{}}"
+        for marker in markers
+    )
+    return _SCRIPT_TEMPLATE.format(probes=probes, collect_url=collect_url)
+
+
+@dataclass
+class FingerprintService(TrackerService):
+    """Serves `/fp.js` scripts and `/collect` submission endpoints."""
+
+    markers: tuple[str, ...] = FINGERPRINT_MARKERS[:3]
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self.collections = 0
+        self.route("/fp.js", self._serve_script)
+        self.route("/collect", self._serve_collect)
+
+    @property
+    def script_url(self) -> str:
+        return f"{self.scheme}://{self.domain}/fp.js"
+
+    @property
+    def collect_url(self) -> str:
+        return f"{self.scheme}://{self.domain}/collect"
+
+    def _serve_script(self, request: HttpRequest) -> HttpResponse:
+        script = build_fingerprint_script(self.markers, self.collect_url)
+        return javascript_response(script)
+
+    def _serve_collect(self, request: HttpRequest) -> HttpResponse:
+        self.collections += 1
+        response = HttpResponse(
+            status=204, headers=Headers([("Content-Type", "text/plain")])
+        )
+        if "fpid=" not in (request.headers.get("Cookie") or ""):
+            response.headers.add(
+                "Set-Cookie", f"fpid={self.mint_id(24)}; Path=/; Max-Age=31536000"
+            )
+        return response

@@ -1,0 +1,63 @@
+"""Tracking-pixel services.
+
+These answer beacon requests with a 1x1 GIF below the paper's 45-byte
+threshold.  The tvping-like service in the simulated world is built from
+this class: channels embed its beacon URL and fire it at high frequency,
+carrying channel, session, and user identifiers — exactly the traffic
+pattern that makes tracking pixels 60.7% of all HTTP(S) traffic in the
+study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.http import HttpRequest, HttpResponse, pixel_response
+from repro.trackers.base import TrackerService
+
+
+@dataclass
+class PixelService(TrackerService):
+    """Serves `/track.gif` beacons; optionally sets a user-ID cookie."""
+
+    sets_cookie: bool = True
+    cookie_name: str = "uid"
+    cookie_max_age: float = 31536000.0  # one year
+    #: Additional housekeeping cookies set alongside the user ID
+    #: (region, capping, session) — trackers rarely stop at one.
+    extra_cookie_count: int = 0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self._user_ids: dict[str, str] = {}
+        self.beacons_served = 0
+        self.route("/track.gif", self._serve_pixel)
+        self.route("/pixel", self._serve_pixel)
+
+    def _serve_pixel(self, request: HttpRequest) -> HttpResponse:
+        response = pixel_response()
+        self.beacons_served += 1
+        if self.sets_cookie and not self._request_has_cookie(request):
+            user_id = self.mint_id()
+            response.headers.add(
+                "Set-Cookie",
+                f"{self.cookie_name}={user_id}; Path=/; "
+                f"Max-Age={int(self.cookie_max_age)}",
+            )
+            for index in range(self.extra_cookie_count):
+                response.headers.add(
+                    "Set-Cookie",
+                    f"{self.cookie_name}_x{index}={self.mint_id(12)}; Path=/",
+                )
+        return response
+
+    def _request_has_cookie(self, request: HttpRequest) -> bool:
+        cookie_header = request.headers.get("Cookie", "")
+        return f"{self.cookie_name}=" in cookie_header
+
+    def beacon_url(self, channel_id: str, session_id: str, user_id: str) -> str:
+        """Build the beacon URL an app embeds for this service."""
+        return (
+            f"{self.scheme}://{self.domain}/track.gif"
+            f"?c={channel_id}&s={session_id}&u={user_id}"
+        )

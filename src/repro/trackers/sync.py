@@ -1,0 +1,117 @@
+"""Cookie-syncing partners.
+
+Cookie syncing is the two-step exchange the paper describes in §V-C3: a
+channel loads tracker A, and A's response redirects to partner B with
+A's user identifier in the URL, letting B link its own cookie to A's.
+We model a directed pair: the *initiator* sets a cookie and redirects,
+the *receiver* records the incoming partner ID and sets its own cookie.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.http import (
+    HttpRequest,
+    HttpResponse,
+    pixel_response,
+    redirect_response,
+)
+from repro.trackers.base import TrackerService
+
+
+@dataclass
+class SyncService(TrackerService):
+    """One endpoint of a cookie-sync relationship."""
+
+    partner_domain: str = ""
+    cookie_name: str = "suid"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self.syncs_initiated = 0
+        self.syncs_received = 0
+        self.received_partner_ids: list[str] = []
+        self.route("/sync", self._serve_sync)
+        self.route("/match", self._serve_match)
+
+    @property
+    def sync_url(self) -> str:
+        """The URL a channel embeds to kick off the sync chain."""
+        return f"{self.scheme}://{self.domain}/sync"
+
+    def _current_uid(self, request: HttpRequest) -> str | None:
+        cookie_header = request.headers.get("Cookie", "")
+        for pair in cookie_header.split(";"):
+            pair = pair.strip()
+            if pair.startswith(f"{self.cookie_name}="):
+                return pair.split("=", 1)[1]
+        return None
+
+    def _serve_sync(self, request: HttpRequest) -> HttpResponse:
+        """Initiator endpoint: mint/reuse our ID and redirect to partner."""
+        uid = self._current_uid(request)
+        fresh = uid is None
+        if fresh:
+            uid = self.mint_id(18)
+        self.syncs_initiated += 1
+        if self.partner_domain:
+            response = redirect_response(
+                f"{self.scheme}://{self.partner_domain}/match?partner_uid={uid}"
+                f"&source={self.domain}"
+            )
+        else:
+            response = pixel_response()
+        if fresh:
+            response.headers.add(
+                "Set-Cookie",
+                f"{self.cookie_name}={uid}; Path=/; Max-Age=31536000",
+            )
+        return response
+
+    def _serve_match(self, request: HttpRequest) -> HttpResponse:
+        """Receiver endpoint: record the partner's ID, set our own cookie."""
+        params = request.query_params()
+        partner_uid = params.get("partner_uid", "")
+        if partner_uid:
+            self.syncs_received += 1
+            self.received_partner_ids.append(partner_uid)
+        response = pixel_response()
+        if self._current_uid(request) is None:
+            response.headers.add(
+                "Set-Cookie",
+                f"{self.cookie_name}={self.mint_id(18)}; Path=/; "
+                "Max-Age=31536000",
+            )
+        return response
+
+
+@dataclass
+class SyncPair:
+    """A ready-made initiator → receiver sync relationship."""
+
+    initiator: SyncService
+    receiver: SyncService
+
+    @classmethod
+    def build(
+        cls,
+        initiator_name: str,
+        initiator_domain: str,
+        receiver_name: str,
+        receiver_domain: str,
+        seed: int = 0,
+    ) -> "SyncPair":
+        initiator = SyncService(
+            name=initiator_name,
+            domain=initiator_domain,
+            seed=seed,
+            partner_domain=receiver_domain,
+        )
+        receiver = SyncService(
+            name=receiver_name, domain=receiver_domain, seed=seed + 1
+        )
+        return cls(initiator, receiver)
+
+    def services(self) -> list[SyncService]:
+        return [self.initiator, self.receiver]

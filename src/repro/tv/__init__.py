@@ -1,0 +1,20 @@
+"""The smart-TV substrate: a webOS-like device with an embedded browser,
+remote control, and the developer API the measurement framework drives.
+"""
+
+from repro.tv.browser import TvBrowser
+from repro.tv.device import DeviceInfo, SmartTV, LG_43UK6300LLB
+from repro.tv.remote import RemoteControl
+from repro.tv.screenshot import Screenshot
+from repro.tv.webos import WebOSApi, WebOSApiError
+
+__all__ = [
+    "SmartTV",
+    "DeviceInfo",
+    "LG_43UK6300LLB",
+    "TvBrowser",
+    "RemoteControl",
+    "Screenshot",
+    "WebOSApi",
+    "WebOSApiError",
+]

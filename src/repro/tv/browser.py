@@ -1,0 +1,108 @@
+"""The TV's embedded (Chromium-like) browser.
+
+Owns the cookie jar and local storage the paper extracts over SSH after
+each run, attaches cookies to outgoing requests, follows redirects (the
+mechanism cookie syncing rides on), and exposes the small interface the
+HbbTV runtime drives.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Protocol
+
+from repro.clock import SimClock
+from repro.net.cookies import CookieJar
+from repro.net.http import Headers, HttpRequest, HttpResponse
+from repro.net.storage import LocalStorage
+from repro.net.url import URL
+from repro.trackers.base import mint_identifier
+
+MAX_REDIRECTS = 5
+
+USER_AGENT = (
+    "Mozilla/5.0 (Web0S; Linux/SmartTV) AppleWebKit/537.36 (KHTML, like "
+    "Gecko) Chrome/79.0 Safari/537.36 HbbTV/1.5.1 (+DRM; LGE; 43UK6300LLB;)"
+)
+
+
+class Transport(Protocol):
+    """Where the browser sends requests (the interception proxy)."""
+
+    def request(self, request: HttpRequest) -> HttpResponse: ...
+
+
+class TvBrowser:
+    """The browser runtime embedded in the TV."""
+
+    def __init__(
+        self,
+        transport: Transport,
+        clock: SimClock,
+        device_info=None,
+        seed: int = 0,
+    ) -> None:
+        self.transport = transport
+        self.clock = clock
+        self.device_info = device_info
+        self.cookie_jar = CookieJar()
+        self.local_storage = LocalStorage()
+        self._rng = random.Random(f"browser:{seed}")
+        self.requests_issued = 0
+
+    # -- the interface the HbbTV runtime uses --------------------------------
+
+    def browse(self, url: str, referer: str | None = None) -> HttpResponse:
+        """Issue a request (with cookies) and follow redirects.
+
+        Returns the final response.  Every hop is a separate request on
+        the wire, so the interception proxy records the full chain —
+        that is how cookie-sync redirects become observable flows.
+        """
+        current_url = url
+        current_referer = referer
+        response = None
+        for _ in range(MAX_REDIRECTS + 1):
+            response = self._issue(current_url, current_referer)
+            if not response.is_redirect or response.location is None:
+                return response
+            next_url = str(URL.parse(current_url).join(response.location))
+            current_referer = current_url
+            current_url = next_url
+        return response  # redirect loop cut off at MAX_REDIRECTS
+
+    def device_params(self) -> dict[str, str]:
+        """Query parameters carrying leakable device information."""
+        if self.device_info is None:
+            return {}
+        return self.device_info.as_params()
+
+    def mint_token(self, length: int = 16) -> str:
+        return mint_identifier(self._rng, length)
+
+    # -- internals -------------------------------------------------------------
+
+    def _issue(self, url: str, referer: str | None) -> HttpResponse:
+        parsed = URL.parse(url)
+        headers = Headers([("User-Agent", USER_AGENT)])
+        if referer:
+            headers.add("Referer", referer)
+        cookie_header = self.cookie_jar.cookie_header_for(parsed, self.clock.now)
+        if cookie_header:
+            headers.add("Cookie", cookie_header)
+        request = HttpRequest(
+            "GET", url, headers=headers, timestamp=self.clock.now
+        )
+        response = self.transport.request(request)
+        self.requests_issued += 1
+        self.cookie_jar.store_from_response(
+            parsed, response.set_cookie_headers(), self.clock.now
+        )
+        return response
+
+    # -- run hygiene -------------------------------------------------------------
+
+    def wipe(self) -> None:
+        """Clear cookies and storage (done between measurement runs)."""
+        self.cookie_jar.clear()
+        self.local_storage.clear()

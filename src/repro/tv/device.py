@@ -1,0 +1,189 @@
+"""The smart TV itself: tuner, power state, Wi-Fi, and the app slot.
+
+Models the study's rooted LG 43UK6300LLB closely enough for every
+observable the measurement framework relies on: channel metadata,
+autostart application launch (including signal-encoded third-party
+preloads), key forwarding, and screenshots of the current overlay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.clock import SimClock
+from repro.dvb.channel import BroadcastChannel
+from repro.hbbtv.app import HbbTVApplication
+from repro.hbbtv.overlay import (
+    NO_SIGNAL_SCREEN,
+    OverlayKind,
+    ScreenState,
+    TV_ONLY_SCREEN,
+)
+from repro.hbbtv.runtime import AppRuntime
+from repro.keys import Key
+from repro.tv.browser import TvBrowser
+from repro.tv.screenshot import Screenshot
+
+
+@dataclass(frozen=True)
+class DeviceInfo:
+    """Technical identity of the TV — the §V-B "technical data"."""
+
+    manufacturer: str
+    model: str
+    os_version: str
+    language: str
+    ip_address: str = "192.168.178.42"
+    mac_address: str = "cc:2d:8c:aa:bb:42"
+
+    def as_params(self) -> dict[str, str]:
+        """The query parameters leaking apps attach to tracker URLs."""
+        return {
+            "mf": self.manufacturer,
+            "md": self.model,
+            "os": self.os_version,
+            "lang": self.language,
+        }
+
+
+#: The paper's measurement device.
+LG_43UK6300LLB = DeviceInfo(
+    manufacturer="LGE",
+    model="43UK6300LLB",
+    os_version="WEBOS4.0 05.40.26",
+    language="German",
+)
+
+
+class SmartTV:
+    """A webOS-like HbbTV 2.0 television."""
+
+    def __init__(
+        self,
+        transport,
+        clock: SimClock,
+        device_info: DeviceInfo = LG_43UK6300LLB,
+        app_registry: dict[str, HbbTVApplication] | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.clock = clock
+        self.device_info = device_info
+        self.browser = TvBrowser(transport, clock, device_info, seed=seed)
+        #: entry URL → application spec (what the fetched HTML "is").
+        self.app_registry = app_registry or {}
+        self.powered = False
+        self.wifi_connected = False
+        self.channel_list: list[BroadcastChannel] = []
+        self.current_channel: BroadcastChannel | None = None
+        self.runtime: AppRuntime | None = None
+
+    # -- power / connectivity -------------------------------------------------
+
+    def power_on(self) -> None:
+        self.powered = True
+
+    def power_off(self) -> None:
+        if self.runtime is not None:
+            self.runtime.stop()
+            self.runtime = None
+        self.current_channel = None
+        self.powered = False
+
+    def connect_wifi(self) -> None:
+        self.wifi_connected = True
+
+    def disconnect_wifi(self) -> None:
+        self.wifi_connected = False
+
+    def install_channel_list(self, channels: list[BroadcastChannel]) -> None:
+        """Result of a channel scan."""
+        self.channel_list = list(channels)
+
+    # -- tuning -----------------------------------------------------------------
+
+    def tune(self, channel: BroadcastChannel) -> None:
+        """Switch to a channel; exits any running HbbTV application.
+
+        If the channel signals an autostart application and the TV is
+        online, the application is launched.  Signal-encoded preload
+        URLs are fetched *before* the entry document — this reproduces
+        the paper's observation that some channels put third-party
+        endpoints directly into the broadcast signal, making a tracker
+        the first request observed on the channel.
+        """
+        self._require_power()
+        if self.runtime is not None:
+            self.runtime.stop()
+            self.runtime = None
+        self.current_channel = channel
+        if not self.wifi_connected or not channel.supports_hbbtv:
+            return
+        if channel.meta.is_encrypted or channel.meta.is_invisible:
+            return
+        assert channel.ait is not None
+        app_entry = channel.ait.autostart_application()
+        if app_entry is None:
+            return
+        for preload in app_entry.preload_urls:
+            self.browser.browse(preload)
+        spec = self.app_registry.get(app_entry.entry_url)
+        if spec is None:
+            # Channel signals an application we have no spec for: the
+            # entry document is still fetched (traffic exists), but
+            # nothing else happens.
+            self.browser.browse(app_entry.entry_url)
+            return
+        self.runtime = AppRuntime(spec, self.browser, self.clock, channel)
+        self.runtime.start()
+
+    # -- interaction ---------------------------------------------------------------
+
+    def press(self, key: Key) -> None:
+        self._require_power()
+        if self.runtime is not None:
+            self.runtime.press(key)
+
+    def wait(self, seconds: float) -> None:
+        """Let simulated time pass (beacons keep firing)."""
+        self._require_power()
+        if self.runtime is not None:
+            self.runtime.wait(seconds)
+        else:
+            self.clock.advance(seconds)
+
+    # -- observation ------------------------------------------------------------------
+
+    def screen_state(self) -> ScreenState:
+        if not self.powered or self.current_channel is None:
+            return NO_SIGNAL_SCREEN
+        channel = self.current_channel
+        if channel.meta.is_invisible or not channel.is_on_air(
+            self.clock.hour_of_day()
+        ):
+            return NO_SIGNAL_SCREEN
+        if channel.meta.is_encrypted:
+            return ScreenState(
+                kind=OverlayKind.CHANNEL_TECH_MESSAGE, caption="No CI module"
+            )
+        if self.runtime is not None:
+            return self.runtime.screen_state()
+        return TV_ONLY_SCREEN
+
+    def screenshot(self) -> Screenshot:
+        channel = self.current_channel
+        return Screenshot(
+            channel_id=channel.channel_id if channel else "",
+            channel_name=channel.name if channel else "",
+            timestamp=self.clock.now,
+            screen=self.screen_state(),
+        )
+
+    # -- hygiene -------------------------------------------------------------------------
+
+    def wipe(self) -> None:
+        """Wipe cookies and storage between runs."""
+        self.browser.wipe()
+
+    def _require_power(self) -> None:
+        if not self.powered:
+            raise RuntimeError("the TV is powered off")

@@ -1,0 +1,50 @@
+"""The remote control: key delivery plus interaction logging.
+
+The framework logged over 75k interactions with the TV; the remote is
+where those log entries originate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.keys import Key
+from repro.tv.device import SmartTV
+
+
+@dataclass(frozen=True)
+class KeyPressEvent:
+    """One logged button press."""
+
+    key: Key
+    timestamp: float
+    channel_id: str
+
+
+class RemoteControl:
+    """Sends keys to a TV and keeps the interaction log."""
+
+    def __init__(self, tv: SmartTV) -> None:
+        self.tv = tv
+        self.log: list[KeyPressEvent] = []
+
+    def press(self, key: Key) -> None:
+        channel = self.tv.current_channel
+        self.log.append(
+            KeyPressEvent(
+                key=key,
+                timestamp=self.tv.clock.now,
+                channel_id=channel.channel_id if channel else "",
+            )
+        )
+        self.tv.press(key)
+
+    def press_sequence(self, keys: list[Key], gap_seconds: float = 1.0) -> None:
+        """Press a sequence with a fixed gap between presses."""
+        for key in keys:
+            self.press(key)
+            self.tv.wait(gap_seconds)
+
+    @property
+    def presses(self) -> int:
+        return len(self.log)

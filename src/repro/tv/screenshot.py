@@ -1,0 +1,36 @@
+"""Screenshot records.
+
+The study took a screenshot every 60 s (41,617 in total) and manually
+annotated them.  Our screenshots are structured: they embed the
+:class:`~repro.hbbtv.overlay.ScreenState` that was visible, which the
+annotation pipeline classifies with the paper's codebook.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hbbtv.overlay import ScreenState
+
+
+@dataclass(frozen=True)
+class Screenshot:
+    """One captured frame with its structured content."""
+
+    channel_id: str
+    channel_name: str
+    timestamp: float
+    screen: ScreenState
+    #: Filled in by the measurement framework when recorded.
+    run_name: str = ""
+    sequence_number: int = 0
+
+    def with_run(self, run_name: str, sequence_number: int) -> "Screenshot":
+        return Screenshot(
+            channel_id=self.channel_id,
+            channel_name=self.channel_name,
+            timestamp=self.timestamp,
+            screen=self.screen,
+            run_name=run_name,
+            sequence_number=sequence_number,
+        )

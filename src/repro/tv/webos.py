@@ -1,0 +1,115 @@
+"""The webOS TV Developer API facade.
+
+The study drove the TV through LG's developer API (via PyWebOSTV) to
+switch channels, query metadata, and take screenshots, and pulled
+cookies/storage over SSH from the rooted TV.  The paper notes the API
+was flaky enough that the TV needed physical restarts — modelled here as
+an operation budget after which calls fail until :meth:`restart_tv`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dvb.channel import BroadcastChannel
+from repro.keys import Key
+from repro.net.cookies import Cookie
+from repro.net.storage import StorageEntry
+from repro.tv.device import SmartTV
+from repro.tv.screenshot import Screenshot
+
+
+class WebOSApiError(RuntimeError):
+    """The TV's API stopped responding (needs a physical restart)."""
+
+
+@dataclass
+class ChannelMetadataView:
+    """The metadata dict the developer API returns for a channel."""
+
+    channel_id: str
+    name: str
+    is_radio: bool
+    is_encrypted: bool
+    is_invisible: bool
+    satellite: str
+
+    @classmethod
+    def of(cls, channel: BroadcastChannel) -> "ChannelMetadataView":
+        return cls(
+            channel_id=channel.channel_id,
+            name=channel.name,
+            is_radio=channel.meta.is_radio,
+            is_encrypted=channel.meta.is_encrypted,
+            is_invisible=channel.meta.is_invisible,
+            satellite=channel.satellite_name,
+        )
+
+
+class WebOSApi:
+    """Developer-API access to a :class:`SmartTV`.
+
+    ``max_operations_between_restarts`` injects the real API's
+    flakiness; ``None`` disables it (the default for analyses that do
+    not exercise failure handling).
+    """
+
+    def __init__(
+        self,
+        tv: SmartTV,
+        max_operations_between_restarts: int | None = None,
+    ) -> None:
+        self.tv = tv
+        self.max_operations = max_operations_between_restarts
+        self.operations_since_restart = 0
+        self.restarts = 0
+
+    def _operation(self) -> None:
+        if (
+            self.max_operations is not None
+            and self.operations_since_restart >= self.max_operations
+        ):
+            raise WebOSApiError("webOS API unresponsive; restart the TV")
+        self.operations_since_restart += 1
+
+    # -- API surface ---------------------------------------------------------
+
+    def list_channels(self) -> list[ChannelMetadataView]:
+        self._operation()
+        return [ChannelMetadataView.of(c) for c in self.tv.channel_list]
+
+    def get_channel_metadata(self) -> ChannelMetadataView | None:
+        self._operation()
+        if self.tv.current_channel is None:
+            return None
+        return ChannelMetadataView.of(self.tv.current_channel)
+
+    def switch_channel(self, channel: BroadcastChannel) -> None:
+        self._operation()
+        self.tv.tune(channel)
+
+    def send_key(self, key: Key) -> None:
+        self._operation()
+        self.tv.press(key)
+
+    def take_screenshot(self) -> Screenshot:
+        self._operation()
+        return self.tv.screenshot()
+
+    # -- rooted-TV extraction (SSH on the real device) -------------------------
+
+    def extract_cookies(self) -> list[Cookie]:
+        """Dump the Chromium cookie jar (no operation budget: SSH path)."""
+        return self.tv.browser.cookie_jar.all()
+
+    def extract_local_storage(self) -> list[StorageEntry]:
+        return self.tv.browser.local_storage.all()
+
+    # -- recovery -----------------------------------------------------------------
+
+    def restart_tv(self) -> None:
+        """Physically power-cycle the TV, clearing the API wedge."""
+        self.tv.power_off()
+        self.tv.power_on()
+        self.operations_since_restart = 0
+        self.restarts += 1

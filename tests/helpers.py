@@ -1,0 +1,202 @@
+"""Shared builders for a miniature hand-wired test world.
+
+These construct one channel with a full HbbTV application (pixel,
+analytics, fingerprint, sync, CDN, consent notice, media library) on a
+tiny simulated network — enough surface to exercise the TV, proxy, and
+runtime layers without the full world generator.
+"""
+
+from __future__ import annotations
+
+from repro.clock import SimClock
+from repro.dvb.ait import simple_ait
+from repro.dvb.channel import BroadcastChannel, ChannelCategory, ChannelMeta
+from repro.dvb.epg import ProgrammeGuide, Show
+from repro.hbbtv.app import (
+    AppScreen,
+    EmbeddedService,
+    HbbTVApplication,
+    ScreenKind,
+    ServiceKind,
+)
+from repro.hbbtv.consent import STANDARD_NOTICE_STYLES
+from repro.hbbtv.media_library import MediaLibrary, PrivacyPointer
+from repro.keys import Key
+from repro.net.http import html_response
+from repro.net.network import Network
+from repro.net.server import FunctionServer
+from repro.proxy.attribution import ChannelAttributor
+from repro.proxy.mitm import InterceptionProxy
+from repro.trackers.analytics import AnalyticsService
+from repro.trackers.cdn import CdnService
+from repro.trackers.fingerprint import FingerprintService
+from repro.trackers.pixel import PixelService
+from repro.trackers.sync import SyncPair
+from repro.tv.device import SmartTV
+
+FIRST_PARTY = "hbbtv.beispiel.de"
+ENTRY_URL = f"http://{FIRST_PARTY}/app/index.html"
+POLICY_URL = f"http://{FIRST_PARTY}/datenschutz.html"
+
+POLICY_TEXT = (
+    "Datenschutzerklaerung fuer den HbbTV Dienst. Wir verarbeiten "
+    "personenbezogene Daten gemaess Art. 6 DSGVO auf Grundlage Ihrer "
+    "Einwilligung."
+)
+
+
+def build_first_party_server() -> FunctionServer:
+    server = FunctionServer(FIRST_PARTY)
+    server.route("/app", lambda r: html_response("<html>hbbtv app</html>"))
+    server.route(
+        "/datenschutz.html", lambda r: html_response(POLICY_TEXT)
+    )
+
+    def consent_endpoint(request):
+        response = html_response("ok")
+        timestamp = request.query_params().get("t", "0")
+        response.headers.add(
+            "Set-Cookie", f"consent={timestamp}; Path=/; Max-Age=31536000"
+        )
+        return response
+
+    server.route("/consent", consent_endpoint)
+    server.route("/media", lambda r: html_response("<html>mediathek</html>"))
+    return server
+
+
+def build_services() -> dict[str, object]:
+    return {
+        "pixel": PixelService(name="tvping", domain="track.tvping.com", seed=1),
+        "analytics": AnalyticsService(
+            name="xiti", domain="stats.xiti.com", seed=2
+        ),
+        "fingerprint": FingerprintService(
+            name="fpmedia", domain="fp.devicemetrics.io", seed=3
+        ),
+        "sync": SyncPair.build(
+            "adsync", "sync.adsync.net", "partner", "match.dspartner.com", seed=4
+        ),
+        "cdn": CdnService(
+            name="cdn", domain="static.tvcdn.net", seed=5, scheme="https"
+        ),
+    }
+
+
+def build_app(services: dict[str, object]) -> HbbTVApplication:
+    cdn: CdnService = services["cdn"]  # type: ignore[assignment]
+    library = MediaLibrary(
+        page_url=f"http://{FIRST_PARTY}/media/index.html",
+        item_urls=(
+            f"http://{FIRST_PARTY}/media/item1.html",
+            f"http://{FIRST_PARTY}/media/item2.html",
+        ),
+        asset_urls=(cdn.image_url,),
+        pointer=PrivacyPointer(target_policy_url=POLICY_URL),
+        prefetches_policy=True,
+    )
+    return HbbTVApplication(
+        channel_id="beispiel-tv",
+        channel_name="Beispiel TV",
+        entry_url=ENTRY_URL,
+        first_party_domain=FIRST_PARTY,
+        notice_style=STANDARD_NOTICE_STYLES[1],
+        privacy_policy_url=POLICY_URL,
+        services=[
+            EmbeddedService(
+                kind=ServiceKind.PIXEL,
+                service=services["pixel"],
+                period_s=30.0,
+                leaks_device_info=True,
+            ),
+            EmbeddedService(
+                kind=ServiceKind.ANALYTICS,
+                service=services["analytics"],
+                period_s=120.0,
+                leaks_show_info=True,
+            ),
+            EmbeddedService(
+                kind=ServiceKind.FINGERPRINT,
+                service=services["fingerprint"],
+            ),
+            EmbeddedService(
+                kind=ServiceKind.SYNC,
+                service=services["sync"].initiator,  # type: ignore[union-attr]
+            ),
+            EmbeddedService(kind=ServiceKind.STATIC, url=cdn.library_url),
+            EmbeddedService(
+                kind=ServiceKind.AD,
+                url=f"http://ads.tvadnet.de/slot",
+                extra_params={"brand": "loreal"},
+                after_button=Key.RED,
+            ),
+        ],
+        button_screens={
+            Key.RED: AppScreen(kind=ScreenKind.MEDIA_LIBRARY, media_library=library),
+            Key.BLUE: AppScreen(kind=ScreenKind.PRIVACY_SETTINGS),
+            Key.YELLOW: AppScreen(
+                kind=ScreenKind.TEXT_PAGE, caption="Programm Info"
+            ),
+        },
+        storage_writes=((FIRST_PARTY, "playerState", "settings"),),
+    )
+
+
+def build_channel(app: HbbTVApplication) -> BroadcastChannel:
+    meta = ChannelMeta(
+        name=app.channel_name,
+        channel_id=app.channel_id,
+        categories=(ChannelCategory.GENERAL,),
+    )
+    guide = ProgrammeGuide(
+        [Show("Abendshow", "talk", 0.0, 24.0)]
+    )
+    return BroadcastChannel(meta=meta, ait=simple_ait(app.entry_url), guide=guide)
+
+
+def build_network(services: dict[str, object]) -> Network:
+    network = Network()
+    network.register(build_first_party_server())
+    network.register(services["pixel"])
+    network.register(services["analytics"])
+    network.register(services["fingerprint"])
+    for endpoint in services["sync"].services():  # type: ignore[union-attr]
+        network.register(endpoint)
+    network.register(services["cdn"])
+    ads = FunctionServer("ads.tvadnet.de")
+    ads.route("/slot", lambda r: html_response("<div>ad</div>"))
+    network.register(ads)
+    return network
+
+
+class TestWorld:
+    """Wired-together test fixtures."""
+
+    __test__ = False  # not a pytest test class
+
+    def __init__(self) -> None:
+        self.clock = SimClock()
+        self.services = build_services()
+        self.app = build_app(self.services)
+        self.channel = build_channel(self.app)
+        self.network = build_network(self.services)
+        self.attributor = ChannelAttributor()
+        self.attributor.register_channel_host(
+            FIRST_PARTY, self.app.channel_id, self.app.channel_name
+        )
+        self.proxy = InterceptionProxy(self.network, self.attributor)
+        self.proxy.start()
+        self.tv = SmartTV(
+            self.proxy,
+            self.clock,
+            app_registry={self.app.entry_url: self.app},
+        )
+        self.tv.power_on()
+        self.tv.connect_wifi()
+        self.tv.install_channel_list([self.channel])
+
+    def tune_in(self) -> None:
+        self.proxy.notify_channel_switch(
+            self.channel.channel_id, self.channel.name, self.clock.now
+        )
+        self.tv.tune(self.channel)

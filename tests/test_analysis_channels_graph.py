@@ -1,0 +1,274 @@
+"""Tests for channel/category analyses, the children case study,
+statistics, and the ecosystem graph."""
+
+import pytest
+
+from repro.analysis.channels import (
+    category_effect_test,
+    category_report,
+    channel_effect_test,
+    channel_level_report,
+)
+from repro.analysis.children import children_case_study
+from repro.analysis.graph import (
+    analyze_graph,
+    build_ecosystem_graph,
+    domain_degree,
+)
+from repro.analysis.stats import (
+    DescriptiveStats,
+    EffectSize,
+    kruskal_wallis,
+    mann_whitney,
+)
+from repro.dvb.channel import ChannelCategory
+from repro.net.http import HttpRequest, html_response, pixel_response
+from repro.proxy.flow import Flow
+
+
+def pixel_flow(url, channel, run="General", ts=0.0):
+    return Flow(
+        request=HttpRequest("GET", url, timestamp=ts),
+        response=pixel_response(),
+        channel_id=channel,
+        run_name=run,
+    )
+
+
+def html_flow(url, channel, ts=0.0):
+    return Flow(
+        request=HttpRequest("GET", url, timestamp=ts),
+        response=html_response("<html>app</html>"),
+        channel_id=channel,
+    )
+
+
+class TestStats:
+    def test_kruskal_significant_difference(self):
+        low = [1.0, 2.0, 1.5, 2.2, 1.8] * 4
+        high = [10.0, 11.0, 9.5, 10.5, 12.0] * 4
+        result = kruskal_wallis([low, high])
+        assert result.significant
+        assert result.effect_size is EffectSize.LARGE
+
+    def test_kruskal_no_difference(self):
+        same = [[1.0, 2.0, 3.0, 4.0, 5.0], [1.1, 2.1, 2.9, 4.1, 4.9]]
+        result = kruskal_wallis(same)
+        assert not result.significant
+
+    def test_kruskal_requires_two_groups(self):
+        with pytest.raises(ValueError):
+            kruskal_wallis([[1.0, 2.0]])
+
+    def test_kruskal_skips_empty_groups(self):
+        result = kruskal_wallis([[1.0, 2.0, 3.0], [], [4.0, 5.0, 6.0]])
+        assert result.group_count == 2
+
+    def test_effect_size_classification(self):
+        assert EffectSize.classify(0.01) is EffectSize.SMALL
+        assert EffectSize.classify(0.10) is EffectSize.MODERATE
+        assert EffectSize.classify(0.20) is EffectSize.LARGE
+        assert EffectSize.classify(0.06) is EffectSize.SMALL
+        assert EffectSize.classify(0.14) is EffectSize.LARGE
+
+    def test_mann_whitney(self):
+        result = mann_whitney([1, 2, 3, 2, 1] * 3, [9, 8, 7, 9, 8] * 3)
+        assert result.significant
+        similar = mann_whitney([1, 2, 3, 4], [2, 3, 4, 1])
+        assert not similar.significant
+
+    def test_mann_whitney_empty_raises(self):
+        with pytest.raises(ValueError):
+            mann_whitney([], [1.0])
+
+    def test_descriptive_stats(self):
+        stats = DescriptiveStats.of([1, 2, 3, 4])
+        assert stats.mean == 2.5
+        assert stats.minimum == 1
+        assert stats.maximum == 4
+        assert stats.count == 4
+        assert DescriptiveStats.of([]).count == 0
+
+
+class TestChannelLevel:
+    def build_flows(self):
+        flows = []
+        for i in range(5):
+            flows.append(pixel_flow(f"http://t{i}.de/p.gif", "quiet", run="General"))
+        for i in range(50):
+            flows.append(
+                pixel_flow("http://heavy.de/p.gif", "noisy", run="Red")
+            )
+        flows.append(html_flow("http://app.de/x", "clean"))
+        return flows
+
+    def test_profiles_only_tracking_channels(self):
+        report = channel_level_report(self.build_flows())
+        assert set(report.profiles) == {"quiet", "noisy"}
+
+    def test_outlier(self):
+        report = channel_level_report(self.build_flows())
+        outlier = report.outlier()
+        assert outlier.channel_id == "noisy"
+        assert outlier.tracking_requests == 50
+
+    def test_tracker_counts(self):
+        report = channel_level_report(self.build_flows())
+        assert report.profiles["quiet"].tracker_count == 5
+        assert report.profiles["noisy"].tracker_count == 1
+
+    def test_series_sorted_descending(self):
+        report = channel_level_report(self.build_flows())
+        series = report.tracker_count_series()
+        assert series == sorted(series, reverse=True)
+
+    def test_top10_share(self):
+        report = channel_level_report(self.build_flows())
+        assert report.top10_request_share() == 1.0
+
+    def test_channel_effect_test(self):
+        flows = []
+        for run in ("General", "Red", "Green"):
+            for _ in range(4):
+                flows.append(pixel_flow("http://t.de/p.gif", "a", run=run))
+            for _ in range(40):
+                flows.append(pixel_flow("http://t.de/p.gif", "b", run=run))
+        report = channel_level_report(flows)
+        result = channel_effect_test(report)
+        assert result.observation_count == 6
+
+
+class TestCategories:
+    def test_grouping_by_first_category(self):
+        flows = [
+            pixel_flow("http://t.de/p.gif", "gen1"),
+            pixel_flow("http://t.de/p.gif", "gen1"),
+            pixel_flow("http://t.de/p.gif", "kids1"),
+        ]
+        report = channel_level_report(flows)
+        categories = {
+            "gen1": ChannelCategory.GENERAL,
+            "kids1": ChannelCategory.CHILDREN,
+        }
+        by_category = category_report(report, categories)
+        assert by_category.rows["General"].tracking_requests == 2
+        assert by_category.rows["Children"].channel_count == 1
+
+    def test_unknown_category_bucket(self):
+        flows = [pixel_flow("http://t.de/p.gif", "mystery")]
+        report = channel_level_report(flows)
+        by_category = category_report(report, {})
+        assert "Other/Unknown" in by_category.rows
+
+    def test_top5_share(self):
+        flows = [pixel_flow("http://t.de/p.gif", f"c{i}") for i in range(3)]
+        report = channel_level_report(flows)
+        categories = {
+            "c0": ChannelCategory.GENERAL,
+            "c1": ChannelCategory.NEWS,
+            "c2": ChannelCategory.MUSIC,
+        }
+        by_category = category_report(report, categories)
+        assert by_category.top5_request_share() == 1.0
+        assert by_category.top5_channel_count() == 3
+
+    def test_category_effect_test(self):
+        flows = []
+        for i in range(6):
+            flows.extend(
+                pixel_flow(f"http://t{j}.de/p.gif", f"gen{i}")
+                for j in range(5)
+            )
+            flows.append(pixel_flow("http://t.de/p.gif", f"kid{i}"))
+        report = channel_level_report(flows)
+        categories = {f"gen{i}": ChannelCategory.GENERAL for i in range(6)}
+        categories.update(
+            {f"kid{i}": ChannelCategory.CHILDREN for i in range(6)}
+        )
+        result = category_effect_test(category_report(report, categories))
+        assert result.significant
+
+
+class TestChildren:
+    def test_children_tracked_like_others(self):
+        flows = []
+        for i in range(8):
+            flows.extend(
+                pixel_flow(f"http://t{j}.de/p.gif", f"kid{i}") for j in range(3)
+            )
+            flows.extend(
+                pixel_flow(f"http://t{j}.de/p.gif", f"adult{i}")
+                for j in range(3)
+            )
+        report = channel_level_report(flows)
+        result = children_case_study(
+            report, {f"kid{i}" for i in range(8)}
+        )
+        assert result.children_are_tracked
+        assert result.tracks_like_everyone_else
+        assert result.tracking_requests_on_children == 24
+
+    def test_targeting_cookie_count(self):
+        from repro.core.dataset import CookieRecord
+        from repro.net.cookies import Cookie
+
+        flows = [pixel_flow("http://t.de/p.gif", "kid0")]
+        report = channel_level_report(flows)
+        records = [
+            CookieRecord(
+                cookie=Cookie(name="IDE", value="x", domain="doubleclick.net"),
+                channel_id="kid0",
+                run_name="Red",
+                first_party_etld1="kids.de",
+            )
+        ]
+        result = children_case_study(report, {"kid0"}, records)
+        assert result.targeting_cookies_on_children == 1
+
+
+class TestGraph:
+    def build(self):
+        flows = [
+            # channel a: first party fp-a.de, third parties t1/t2
+            html_flow("http://fp-a.de/app", "a", ts=1.0),
+            pixel_flow("http://t1.com/p.gif", "a", ts=2.0),
+            pixel_flow("http://t2.com/p.gif", "a", ts=3.0),
+            # channel b: first party fp-b.de, shares t1
+            html_flow("http://fp-b.de/app", "b", ts=1.0),
+            pixel_flow("http://t1.com/p.gif", "b", ts=2.0),
+        ]
+        return build_ecosystem_graph(flows)
+
+    def test_structure(self):
+        graph = self.build()
+        report = analyze_graph(graph)
+        # 2 channels + 2 first parties + 2 third parties
+        assert report.node_count == 6
+        assert report.is_single_component  # t1 bridges both families
+
+    def test_channel_nodes_have_degree_one(self):
+        graph = self.build()
+        assert graph.degree("channel:a") == 1
+        assert graph.degree("channel:b") == 1
+
+    def test_shared_third_party_degree(self):
+        graph = self.build()
+        assert domain_degree(graph, "t1.com") == 2
+        assert domain_degree(graph, "t2.com") == 1
+        assert domain_degree(graph, "absent.de") == 0
+
+    def test_single_edge_domains(self):
+        report = analyze_graph(self.build())
+        assert report.single_edge_domains == 1  # t2 only
+
+    def test_empty_graph(self):
+        import networkx as nx
+
+        report = analyze_graph(nx.Graph())
+        assert report.node_count == 0
+        assert report.component_count == 0
+
+    def test_channels_without_first_party_excluded(self):
+        flows = [pixel_flow("http://track.tvping.com/p.gif", "")]
+        graph = build_ecosystem_graph(flows)
+        assert graph.number_of_nodes() == 0

@@ -1,0 +1,216 @@
+"""Tests for cookie analyses, Cookiepedia, and cookie-sync detection."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.cookiepedia import Cookiepedia, CookiePurpose
+from repro.analysis.cookies import (
+    cross_channel_report,
+    general_cookie_report,
+    third_party_cookie_table,
+    tracking_set_share,
+)
+from repro.analysis.cookiesync import (
+    detect_cookie_syncing,
+    is_potential_identifier,
+)
+from repro.core.dataset import CookieRecord
+from repro.net.cookies import Cookie
+from repro.net.http import HttpRequest, pixel_response
+from repro.proxy.flow import Flow
+
+PERIOD = (1_692_000_000.0, 1_700_000_000.0)  # Aug–Nov 2023
+
+
+def record(
+    name="c",
+    value="v",
+    domain="third.com",
+    channel="ch1",
+    run="General",
+    first_party="first.de",
+    set_by="http://third.com/x",
+):
+    cookie = Cookie(
+        name=name, value=value, domain=domain, set_by_url=set_by
+    )
+    return CookieRecord(
+        cookie=cookie,
+        channel_id=channel,
+        run_name=run,
+        first_party_etld1=first_party,
+    )
+
+
+class TestCookieRecord:
+    def test_third_party_classification(self):
+        assert record(domain="third.com").is_third_party
+        assert record(domain="app.first.de").is_first_party
+
+    def test_unknown_first_party_is_neither(self):
+        unknown = record(first_party="")
+        assert not unknown.is_third_party
+        assert not unknown.is_first_party
+
+
+class TestCookiepedia:
+    def test_known_names(self):
+        db = Cookiepedia()
+        assert db.classify("_ga") is CookiePurpose.PERFORMANCE
+        assert db.classify("IDE") is CookiePurpose.TARGETING
+        assert db.classify("JSESSIONID") is CookiePurpose.STRICTLY_NECESSARY
+
+    def test_hbbtv_native_names_unknown(self):
+        # The coverage gap: HbbTV trackers use their own names.
+        db = Cookiepedia()
+        assert db.classify("tvp_uid") is CookiePurpose.UNKNOWN
+        assert db.classify("sid_some-channel") is CookiePurpose.UNKNOWN
+
+    def test_coverage(self):
+        db = Cookiepedia()
+        assert db.coverage(["_ga", "tvp_uid"]) == pytest.approx(0.5)
+        assert db.coverage([]) == 0.0
+
+    def test_extra_entries(self):
+        db = Cookiepedia(extra={"MyCookie": CookiePurpose.TARGETING})
+        assert db.classify("mycookie") is CookiePurpose.TARGETING
+
+
+class TestGeneralReport:
+    def test_distinct_and_per_channel(self):
+        records = [
+            record(name="a", channel="ch1"),
+            record(name="a", channel="ch1"),  # duplicate key
+            record(name="b", channel="ch2"),
+        ]
+        report = general_cookie_report(records)
+        assert report.distinct_cookies == 2
+        assert report.channels_with_cookies == 2
+        assert report.cookies_per_channel.mean == 1.0
+
+    def test_classified_share(self):
+        records = [record(name="_ga"), record(name="tvp_uid")]
+        report = general_cookie_report(records)
+        assert report.classified_share == pytest.approx(0.5)
+
+
+class TestThirdPartyTable:
+    def test_rows(self):
+        records_by_run = {
+            "General": [
+                record(name="a", domain="t1.com"),
+                record(name="b", domain="t1.com"),
+                record(name="c", domain="t2.com"),
+                record(name="fp", domain="app.first.de"),  # first-party
+            ]
+        }
+        rows = third_party_cookie_table(records_by_run)
+        assert len(rows) == 1
+        row = rows[0]
+        assert row.third_party_count == 2
+        assert row.third_party_cookie_count == 3
+        assert row.cookies_per_party.mean == pytest.approx(1.5)
+        assert row.cookies_per_party.maximum == 2
+
+
+class TestCrossChannel:
+    def test_channels_per_party(self):
+        records = [
+            record(domain="wide.com", channel=f"ch{i}") for i in range(5)
+        ] + [record(domain="narrow.com", channel="ch0")]
+        report = cross_channel_report(records)
+        assert report.most_widespread() == ("wide.com", 5)
+        assert report.single_channel_parties() == 1
+        assert report.parties_on_more_than(3) == 1
+
+    def test_long_tail_series_sorted(self):
+        records = [
+            record(domain="a.com", channel="c1"),
+            record(domain="b.com", channel="c1"),
+            record(domain="b.com", channel="c2"),
+        ]
+        assert cross_channel_report(records).long_tail_series() == [2, 1]
+
+    def test_positive_skew_on_long_tail(self):
+        records = []
+        for i in range(30):
+            records.append(record(domain="big.com", channel=f"ch{i}"))
+        for i in range(10):
+            records.append(record(domain=f"tiny{i}.com", channel="ch0"))
+        assert cross_channel_report(records).skewness() > 0
+
+
+class TestTrackingSetShare:
+    def test_share(self):
+        records = [
+            record(set_by="http://tracker.de/p.gif"),
+            record(set_by="http://site.de/page"),
+        ]
+        share = tracking_set_share(records, {"http://tracker.de/p.gif"})
+        assert share == pytest.approx(0.5)
+
+
+class TestIdHeuristic:
+    def test_hex_id_accepted(self):
+        assert is_potential_identifier("a1b2c3d4e5f60718", *PERIOD)
+
+    def test_too_short_rejected(self):
+        assert not is_potential_identifier("abc123", *PERIOD)
+
+    def test_too_long_rejected(self):
+        assert not is_potential_identifier("x" * 26, *PERIOD)
+
+    def test_timestamp_within_period_rejected(self):
+        # Consent cookies store Unix timestamps — not identifiers.
+        assert not is_potential_identifier("1695000000", *PERIOD)
+
+    def test_numeric_outside_period_accepted(self):
+        assert is_potential_identifier("1234567890", *PERIOD)
+
+    @given(st.text(alphabet="0123456789abcdef", min_size=10, max_size=25))
+    def test_hex_tokens_with_letters_always_pass(self, token):
+        if not token.isdigit():
+            assert is_potential_identifier(token, *PERIOD)
+
+
+class TestSyncDetection:
+    def flow(self, url, channel="ch1", run="Red"):
+        return Flow(
+            request=HttpRequest("GET", url, timestamp=PERIOD[0] + 10),
+            response=pixel_response(),
+            channel_id=channel,
+            run_name=run,
+        )
+
+    def test_detects_id_handoff(self):
+        uid = "deadbeefcafe0123"
+        records = [record(name="suid", value=uid, domain="adsync.tv")]
+        flows = [
+            self.flow(f"http://match.dspartner.com/match?partner_uid={uid}")
+        ]
+        report = detect_cookie_syncing(records, flows, *PERIOD)
+        assert report.potential_ids == 1
+        assert report.synced_value_count == 1
+        assert report.syncing_domains() == {"adsync.tv", "dspartner.com"}
+        assert report.channels_with_syncing() == {"ch1"}
+        assert report.runs_with_syncing() == {"Red"}
+
+    def test_own_domain_requests_not_syncing(self):
+        uid = "deadbeefcafe0123"
+        records = [record(name="suid", value=uid, domain="adsync.tv")]
+        flows = [self.flow(f"http://sync.adsync.tv/refresh?uid={uid}")]
+        report = detect_cookie_syncing(records, flows, *PERIOD)
+        assert report.synced_value_count == 0
+
+    def test_timestamp_values_never_sync(self):
+        records = [record(name="consent", value="1695000000")]
+        flows = [self.flow("http://other.com/x?t=1695000000")]
+        report = detect_cookie_syncing(records, flows, *PERIOD)
+        assert report.potential_ids == 0
+        assert report.synced_value_count == 0
+
+    def test_no_false_positive_on_unrelated_tokens(self):
+        records = [record(name="suid", value="deadbeefcafe0123")]
+        flows = [self.flow("http://other.com/x?id=0123cafedeadbeef")]
+        report = detect_cookie_syncing(records, flows, *PERIOD)
+        assert report.synced_value_count == 0

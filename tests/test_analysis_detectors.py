@@ -1,0 +1,232 @@
+"""Tests for the tracking detectors: pixels, fingerprinting, the
+combined classifier, party identification, and leakage analysis."""
+
+import pytest
+
+from repro.analysis.fingerprinting import (
+    analyze_fingerprinting,
+    is_fingerprint_related,
+    is_fingerprinting_script,
+)
+from repro.analysis.leakage import (
+    analyze_leakage,
+    flow_has_brand_evidence,
+    flow_leaks_behavioural_data,
+    flow_leaks_technical_data,
+)
+from repro.analysis.parties import (
+    identify_first_parties,
+    is_third_party_flow,
+    party_views,
+)
+from repro.analysis.pixels import analyze_pixels, is_tracking_pixel
+from repro.analysis.tracking import TrackingClassifier
+from repro.net.http import (
+    Headers,
+    HttpRequest,
+    HttpResponse,
+    html_response,
+    javascript_response,
+    pixel_response,
+)
+from repro.proxy.flow import Flow
+
+
+def make_flow(url, response=None, channel="ch1", ts=0.0, run=""):
+    return Flow(
+        request=HttpRequest("GET", url, timestamp=ts),
+        response=response if response is not None else pixel_response(),
+        channel_id=channel,
+        run_name=run,
+    )
+
+
+def big_image_response(size=2000):
+    headers = Headers([("Content-Type", "image/jpeg")])
+    return HttpResponse(status=200, headers=headers, body=b"\xff" * size)
+
+
+class TestPixelHeuristic:
+    def test_small_image_200_is_pixel(self):
+        assert is_tracking_pixel(make_flow("http://t.de/p.gif"))
+
+    def test_large_image_is_not(self):
+        flow = make_flow("http://t.de/photo.jpg", big_image_response())
+        assert not is_tracking_pixel(flow)
+
+    def test_non_image_small_response_is_not(self):
+        flow = make_flow("http://t.de/x", html_response(""))
+        assert not is_tracking_pixel(flow)
+
+    def test_404_small_image_is_not(self):
+        response = pixel_response()
+        response.status = 404
+        assert not is_tracking_pixel(make_flow("http://t.de/p.gif", response))
+
+    def test_threshold_boundary(self):
+        headers = Headers([("Content-Type", "image/gif")])
+        at_threshold = HttpResponse(status=200, headers=headers, body=b"x" * 45)
+        below = HttpResponse(status=200, headers=headers.copy(), body=b"x" * 44)
+        assert not is_tracking_pixel(make_flow("http://t.de/a", at_threshold))
+        assert is_tracking_pixel(make_flow("http://t.de/b", below))
+
+    def test_report_aggregates(self):
+        flows = [
+            make_flow("http://t.de/p.gif", channel="a"),
+            make_flow("http://t.de/p.gif", channel="b"),
+            make_flow("http://other.de/photo.jpg", big_image_response()),
+        ]
+        report = analyze_pixels(flows)
+        assert report.total_flows == 3
+        assert report.pixel_count == 2
+        assert report.traffic_share == pytest.approx(2 / 3)
+        assert report.channels_with_pixels == {"a", "b"}
+        assert report.dominant_party() == ("t.de", 2)
+
+    def test_empty_report(self):
+        report = analyze_pixels([])
+        assert report.traffic_share == 0.0
+        assert report.dominant_party() == ("", 0)
+
+
+class TestFingerprintHeuristic:
+    def test_script_with_canvas_marker(self):
+        response = javascript_response("var x = canvas.toDataURL('png');")
+        assert is_fingerprinting_script(make_flow("http://f.de/fp.js", response))
+
+    def test_script_with_library_marker(self):
+        response = javascript_response("new Fingerprint2().get(cb);")
+        assert is_fingerprinting_script(make_flow("http://f.de/l.js", response))
+
+    def test_benign_script_not_flagged(self):
+        response = javascript_response("function add(a, b) { return a + b; }")
+        assert not is_fingerprinting_script(make_flow("http://f.de/b.js", response))
+
+    def test_html_with_marker_not_flagged(self):
+        # Content-type gate: only JavaScript responses count.
+        response = html_response("canvas.toDataURL")
+        assert not is_fingerprinting_script(make_flow("http://f.de/x", response))
+
+    def test_collect_beacon_is_related(self):
+        flow = make_flow("http://f.de/collect?fp=abc123")
+        assert is_fingerprint_related(flow)
+        assert not is_fingerprinting_script(flow)
+
+    def test_report_first_party_share(self):
+        script = javascript_response("AudioContext")
+        flows = [
+            make_flow("http://first.de/fp.js", script, channel="ch1"),
+            make_flow("http://third.com/fp.js", script, channel="ch1"),
+        ]
+        report = analyze_fingerprinting(flows, {"ch1": "first.de"})
+        assert report.script_count == 2
+        assert report.first_party_requests == 1
+        assert report.provider_etld1s == {"first.de", "third.com"}
+
+
+class TestTrackingClassifier:
+    def test_union_of_detectors(self):
+        classifier = TrackingClassifier()
+        pixel = make_flow("http://unlisted.de/p.gif")
+        listed = make_flow(
+            "https://ad.doubleclick.net/big", big_image_response()
+        )
+        benign = make_flow("http://site.de/page", html_response("<p>x</p>"))
+        assert classifier.is_tracking(pixel)  # pixel heuristic only
+        assert classifier.is_tracking(listed)  # list hit only
+        assert not classifier.is_tracking(benign)
+
+    def test_verdict_fields(self):
+        classifier = TrackingClassifier()
+        verdict = classifier.verdict(make_flow("http://unlisted.de/p.gif"))
+        assert verdict.is_pixel
+        assert not verdict.on_filter_list
+        assert verdict.is_tracking
+
+    def test_tracker_etld1s(self):
+        classifier = TrackingClassifier()
+        flows = [
+            make_flow("http://a.de/p.gif"),
+            make_flow("http://b.de/p.gif"),
+            make_flow("http://c.de/x", html_response("ok")),
+        ]
+        assert classifier.tracker_etld1s(flows) == {"a.de", "b.de"}
+
+
+class TestPartyIdentification:
+    def test_first_non_tracker_request_wins(self):
+        flows = [
+            # Signal-encoded tracker arrives first …
+            make_flow("http://www.google-analytics.com/hit?ch=x", ts=1.0),
+            # … the real app document second.
+            make_flow("http://app.channel.de/index.html", html_response("x"), ts=2.0),
+        ]
+        parties = identify_first_parties(flows)
+        assert parties["ch1"] == "channel.de"
+
+    def test_timestamp_ordering_respected(self):
+        flows = [
+            make_flow("http://late.de/x", html_response("x"), ts=9.0),
+            make_flow("http://early.de/x", html_response("x"), ts=1.0),
+        ]
+        assert identify_first_parties(flows)["ch1"] == "early.de"
+
+    def test_manual_override(self):
+        flows = [make_flow("http://track.tvping.com/track.gif", ts=1.0)]
+        parties = identify_first_parties(
+            flows, manual_overrides={"ch1": "real-first-party.de"}
+        )
+        assert parties["ch1"] == "real-first-party.de"
+
+    def test_unattributed_flows_ignored(self):
+        flows = [make_flow("http://x.de/a", channel="")]
+        assert identify_first_parties(flows) == {}
+
+    def test_party_views_third_parties(self):
+        flows = [
+            make_flow("http://first.de/app", html_response("x"), ts=1.0),
+            make_flow("http://third.com/p.gif", ts=2.0),
+            make_flow("http://cdn.first.de/img", big_image_response(), ts=3.0),
+        ]
+        views = party_views(flows)
+        view = views["ch1"]
+        assert view.first_party == "first.de"
+        assert view.third_parties == {"third.com"}
+
+    def test_is_third_party_flow(self):
+        flow = make_flow("http://third.com/x")
+        assert is_third_party_flow(flow, {"ch1": "first.de"})
+        assert not is_third_party_flow(flow, {"ch1": "third.com"})
+        assert not is_third_party_flow(flow, {})
+
+
+class TestLeakage:
+    def test_technical_params_detected(self):
+        flow = make_flow("http://t.de/p.gif?mf=LGE&md=43UK6300LLB")
+        assert flow_leaks_technical_data(flow)
+
+    def test_technical_keyword_in_url(self):
+        flow = make_flow("http://t.de/p.gif?ua=WEBOS4.0%2005.40.26")
+        assert flow_leaks_technical_data(flow)
+
+    def test_behavioural_show_param(self):
+        flow = make_flow("http://t.de/hit?show=Abendshow&genre=crime")
+        assert flow_leaks_behavioural_data(flow)
+
+    def test_clean_flow_leaks_nothing(self):
+        flow = make_flow("http://t.de/hit?v=2")
+        assert not flow_leaks_technical_data(flow)
+        assert not flow_leaks_behavioural_data(flow)
+
+    def test_brand_evidence(self):
+        flow = make_flow("http://ads.de/slot?brand=loreal")
+        assert flow_has_brand_evidence(flow) == {"loreal"}
+
+    def test_report_third_party_receivers_only(self):
+        flows = [
+            make_flow("http://first.de/p.gif?mf=LGE", channel="ch1"),
+            make_flow("http://third.com/p.gif?mf=LGE", channel="ch1"),
+        ]
+        report = analyze_leakage(flows, {"ch1": "first.de"})
+        assert report.channels_leaking_technical == {"ch1"}
+        assert report.technical_receivers == {"third.com"}

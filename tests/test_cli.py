@@ -1,0 +1,40 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+ARGS = ["--seed", "9", "--scale", "0.03"]
+
+
+class TestCli:
+    def test_study(self, capsys):
+        assert main(ARGS + ["study"]) == 0
+        out = capsys.readouterr().out
+        assert "Meas. Run" in out
+        assert "Yellow" in out
+
+    def test_pixels(self, capsys):
+        assert main(ARGS + ["pixels"]) == 0
+        out = capsys.readouterr().out
+        assert "tracking pixels" in out
+
+    def test_graph(self, capsys):
+        assert main(ARGS + ["graph"]) == 0
+        out = capsys.readouterr().out
+        assert "component" in out
+
+    def test_policies(self, capsys):
+        assert main(ARGS + ["policies"]) == 0
+        out = capsys.readouterr().out
+        assert "policy occurrences" in out
+
+    def test_funnel(self, capsys):
+        assert main(["--seed", "9", "--scale", "0.02", "funnel"]) == 0
+        out = capsys.readouterr().out
+        assert "received" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["nonsense"])

@@ -1,0 +1,221 @@
+"""Tests for the screenshot annotation pipeline and dark-pattern audit."""
+
+import pytest
+
+from repro.consent.annotate import (
+    annotate_screenshots,
+    channels_with_privacy_info,
+    notice_persistence,
+    overlay_distribution,
+    pointer_prevalence,
+    privacy_prevalence,
+)
+from repro.consent.codebook import (
+    NoisyAnnotator,
+    ScreenshotAnnotator,
+    cohen_kappa,
+)
+from repro.consent.darkpatterns import audit_nudging, audit_style
+from repro.consent.notices import survey_notices
+from repro.hbbtv.consent import ACCEPT, STANDARD_NOTICE_STYLES
+from repro.hbbtv.overlay import (
+    OverlayKind,
+    PrivacyContentKind,
+    ScreenState,
+    TV_ONLY_SCREEN,
+)
+from repro.tv.screenshot import Screenshot
+
+
+def shot(screen, channel="ch1", run="General", ts=0.0):
+    return Screenshot(
+        channel_id=channel,
+        channel_name=channel,
+        timestamp=ts,
+        screen=screen,
+        run_name=run,
+    )
+
+
+NOTICE_SCREEN = ScreenState(
+    kind=OverlayKind.PRIVACY,
+    privacy_kind=PrivacyContentKind.CONSENT_NOTICE,
+    notice_type_id=1,
+    notice_layer=1,
+    focused_button=ACCEPT,
+    visible_buttons=(ACCEPT, "settings"),
+    accept_highlighted=True,
+)
+
+POLICY_SCREEN = ScreenState(
+    kind=OverlayKind.PRIVACY,
+    privacy_kind=PrivacyContentKind.PRIVACY_POLICY,
+    policy_excerpt="Datenschutzerklärung …",
+)
+
+LIBRARY_SCREEN = ScreenState(
+    kind=OverlayKind.MEDIA_LIBRARY,
+    has_privacy_pointer=True,
+    pointer_label="Datenschutz",
+)
+
+
+class TestAnnotation:
+    def test_reference_annotator_reads_structure(self):
+        label = ScreenshotAnnotator().annotate(shot(NOTICE_SCREEN))
+        assert label.overlay is OverlayKind.PRIVACY
+        assert label.privacy_kind is PrivacyContentKind.CONSENT_NOTICE
+        assert label.notice_type_id == 1
+
+    def test_annotate_screenshots(self):
+        annotations = annotate_screenshots(
+            [shot(NOTICE_SCREEN), shot(TV_ONLY_SCREEN)]
+        )
+        assert [a.is_privacy for a in annotations] == [True, False]
+
+    def test_overlay_distribution(self):
+        shots = [
+            shot(TV_ONLY_SCREEN, run="Red"),
+            shot(LIBRARY_SCREEN, run="Red"),
+            shot(NOTICE_SCREEN, run="Red"),
+            shot(TV_ONLY_SCREEN, run="Blue"),
+        ]
+        rows = overlay_distribution(annotate_screenshots(shots))
+        assert rows["Red"].count(OverlayKind.TV_ONLY) == 1
+        assert rows["Red"].count(OverlayKind.MEDIA_LIBRARY) == 1
+        assert rows["Red"].count(OverlayKind.PRIVACY) == 1
+        assert rows["Red"].total == 3
+        assert rows["Blue"].total == 1
+
+    def test_privacy_prevalence(self):
+        shots = [
+            shot(NOTICE_SCREEN, channel="a", run="General"),
+            shot(TV_ONLY_SCREEN, channel="a", run="General"),
+            shot(TV_ONLY_SCREEN, channel="b", run="General"),
+        ]
+        rows = privacy_prevalence(annotate_screenshots(shots))
+        row = rows["General"]
+        assert row.privacy_screenshots == 1
+        assert row.screenshot_share == pytest.approx(1 / 3)
+        assert row.privacy_channels == 1
+        assert row.channel_share == pytest.approx(1 / 2)
+
+    def test_channels_with_privacy_info_across_runs(self):
+        shots = [
+            shot(NOTICE_SCREEN, channel="a", run="General"),
+            shot(POLICY_SCREEN, channel="b", run="Blue"),
+            shot(TV_ONLY_SCREEN, channel="c", run="Blue"),
+        ]
+        channels = channels_with_privacy_info(annotate_screenshots(shots))
+        assert channels == {"a", "b"}
+
+    def test_pointer_prevalence(self):
+        shots = [shot(LIBRARY_SCREEN, channel="a"), shot(TV_ONLY_SCREEN, channel="b")]
+        assert pointer_prevalence(annotate_screenshots(shots)) == {"a"}
+
+    def test_persistence_policy_vs_notice(self):
+        shots = (
+            [shot(NOTICE_SCREEN, channel="n")] * 2
+            + [shot(TV_ONLY_SCREEN, channel="n")] * 14
+            + [shot(POLICY_SCREEN, channel="p")] * 14
+            + [shot(TV_ONLY_SCREEN, channel="p")] * 2
+        )
+        persistence = notice_persistence(annotate_screenshots(shots))
+        assert persistence.mean_notice_share() < persistence.mean_policy_share()
+
+
+class TestNoisyAnnotatorAndKappa:
+    def test_zero_error_matches_reference(self):
+        annotator = NoisyAnnotator(error_rate=0.0)
+        label = annotator.annotate(shot(NOTICE_SCREEN))
+        assert label.overlay is OverlayKind.PRIVACY
+
+    def test_full_error_always_confuses(self):
+        annotator = NoisyAnnotator(error_rate=1.0, seed=3)
+        label = annotator.annotate(shot(NOTICE_SCREEN))
+        assert label.overlay is OverlayKind.OTHER
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            NoisyAnnotator(error_rate=1.5)
+
+    def test_kappa_perfect_agreement(self):
+        labels = [OverlayKind.PRIVACY, OverlayKind.TV_ONLY] * 10
+        assert cohen_kappa(labels, list(labels)) == pytest.approx(1.0)
+
+    def test_kappa_drops_with_noise(self):
+        shots = [shot(NOTICE_SCREEN)] * 50 + [shot(TV_ONLY_SCREEN)] * 50
+        reference = [ScreenshotAnnotator().annotate(s).overlay for s in shots]
+        coder = NoisyAnnotator(error_rate=0.3, seed=1)
+        noisy = [coder.annotate(s).overlay for s in shots]
+        kappa = cohen_kappa(reference, noisy)
+        assert 0.0 < kappa < 1.0
+
+    def test_kappa_validation(self):
+        with pytest.raises(ValueError):
+            cohen_kappa([OverlayKind.TV_ONLY], [])
+        with pytest.raises(ValueError):
+            cohen_kappa([], [])
+
+
+class TestNoticeSurvey:
+    def make_annotations(self):
+        shots = []
+        for type_id in (1, 3, 10):
+            screen = ScreenState(
+                kind=OverlayKind.PRIVACY,
+                privacy_kind=PrivacyContentKind.CONSENT_NOTICE,
+                notice_type_id=type_id,
+                notice_layer=2 if type_id == 1 else 1,
+            )
+            shots.append(shot(screen, channel=f"ch{type_id}", run="Blue"))
+        return annotate_screenshots(shots)
+
+    def test_distinct_styles_and_layers(self):
+        survey = survey_notices(self.make_annotations())
+        assert survey.distinct_styles == 3
+        assert survey.deepest_layer_observed() == 2
+
+    def test_all_observed_styles_have_accept(self):
+        survey = survey_notices(self.make_annotations())
+        assert survey.styles_with_first_layer_accept() == 3
+
+    def test_blue_only_styles(self):
+        survey = survey_notices(self.make_annotations())
+        assert survey.blue_only_styles_seen() == {10}
+
+    def test_policies_not_counted_as_notices(self):
+        annotations = annotate_screenshots([shot(POLICY_SCREEN)])
+        assert survey_notices(annotations).distinct_styles == 0
+
+
+class TestDarkPatterns:
+    def test_every_standard_style_nudges_focus(self):
+        # The paper: for ALL 12 notice types the default focus was the
+        # accept button.
+        for style in STANDARD_NOTICE_STYLES.values():
+            findings = audit_style(style)
+            assert findings.default_focus_on_accept
+
+    def test_qvc_has_first_layer_decline(self):
+        findings = audit_style(STANDARD_NOTICE_STYLES[4])
+        assert not findings.decline_hidden_from_first_layer
+
+    def test_rtl_group_hides_decline(self):
+        findings = audit_style(STANDARD_NOTICE_STYLES[1])
+        assert findings.decline_hidden_from_first_layer
+
+    def test_bibel_tv_confirmation_layer(self):
+        findings = audit_style(STANDARD_NOTICE_STYLES[7])
+        assert findings.deselection_needs_confirmation
+
+    def test_audit_over_screenshots(self):
+        shots = [shot(NOTICE_SCREEN)] * 3
+        annotations = annotate_screenshots(shots)
+        audit = audit_nudging(
+            STANDARD_NOTICE_STYLES.values(), annotations, shots
+        )
+        assert audit.notice_screenshots == 3
+        assert audit.focus_on_accept_screenshots == 3
+        assert audit.focus_nudge_share == 1.0
+        assert audit.styles_with_default_accept_focus() == 12

@@ -1,0 +1,231 @@
+"""Tests for the consent-notice styles and UI state machine."""
+
+import pytest
+
+from repro.hbbtv.consent import (
+    ACCEPT,
+    ConsentChoice,
+    ConsentNoticeMachine,
+    DECLINE,
+    NoticeStyle,
+    ONLY_NECESSARY,
+    SETTINGS,
+    STANDARD_NOTICE_STYLES,
+)
+from repro.hbbtv.overlay import OverlayKind, PrivacyContentKind
+from repro.keys import Key
+
+
+class TestStyleRegistry:
+    def test_twelve_styles(self):
+        assert sorted(STANDARD_NOTICE_STYLES) == list(range(1, 13))
+
+    def test_every_style_has_accept_on_first_layer(self):
+        # §VI-B: "On the first layer, all notice types had a button to
+        # accept all cookies and data processing."
+        for style in STANDARD_NOTICE_STYLES.values():
+            assert ACCEPT in style.first_layer_actions()
+
+    def test_default_focus_is_accept_everywhere(self):
+        # The nudge: the cursor starts on "Accept" for all 12 types.
+        for style in STANDARD_NOTICE_STYLES.values():
+            assert style.default_focus == ACCEPT
+
+    def test_types_3_and_10_are_modal_fullscreen(self):
+        for type_id in (3, 10):
+            style = STANDARD_NOTICE_STYLES[type_id]
+            assert style.modal
+            assert style.full_screen
+
+    def test_other_types_are_non_modal(self):
+        for type_id, style in STANDARD_NOTICE_STYLES.items():
+            if type_id not in (3, 10):
+                assert not style.modal
+
+    def test_types_9_and_10_blue_only(self):
+        assert STANDARD_NOTICE_STYLES[9].blue_button_only
+        assert STANDARD_NOTICE_STYLES[10].blue_button_only
+        assert not STANDARD_NOTICE_STYLES[1].blue_button_only
+
+    def test_rtl_zwei_has_first_layer_categories(self):
+        style = STANDARD_NOTICE_STYLES[8]
+        assert style.first_layer_categories
+        assert ONLY_NECESSARY in style.first_layer_actions()
+
+    def test_bibel_tv_third_layer(self):
+        assert STANDARD_NOTICE_STYLES[7].has_third_layer_confirm
+
+    def test_type_12_question_mark_boxes(self):
+        assert STANDARD_NOTICE_STYLES[12].question_mark_boxes
+
+
+class TestMachineBasics:
+    def test_initial_state(self):
+        machine = ConsentNoticeMachine(STANDARD_NOTICE_STYLES[1])
+        assert machine.layer == 1
+        assert machine.focused == ACCEPT
+        assert machine.choice is ConsentChoice.PENDING
+        assert not machine.dismissed
+
+    def test_enter_on_default_focus_accepts(self):
+        # The nudge pays off: a user who just presses ENTER accepts all.
+        machine = ConsentNoticeMachine(STANDARD_NOTICE_STYLES[1])
+        machine.press(Key.ENTER)
+        assert machine.dismissed
+        assert machine.choice is ConsentChoice.ACCEPTED_ALL
+
+    def test_focus_moves_with_cursor(self):
+        machine = ConsentNoticeMachine(STANDARD_NOTICE_STYLES[1])
+        machine.press(Key.RIGHT)
+        assert machine.focused == SETTINGS
+        machine.press(Key.LEFT)
+        assert machine.focused == ACCEPT
+
+    def test_focus_wraps(self):
+        machine = ConsentNoticeMachine(STANDARD_NOTICE_STYLES[1])
+        machine.press(Key.LEFT)  # wrap backwards from accept
+        machine.press(Key.RIGHT)
+        assert machine.focused == ACCEPT
+
+    def test_keys_after_dismissal_are_ignored(self):
+        machine = ConsentNoticeMachine(STANDARD_NOTICE_STYLES[1])
+        machine.press(Key.ENTER)
+        machine.press(Key.RIGHT)  # no effect, no crash
+        assert machine.choice is ConsentChoice.ACCEPTED_ALL
+
+    def test_explicit_decline_button(self):
+        machine = ConsentNoticeMachine(STANDARD_NOTICE_STYLES[4])  # QVC
+        while machine.focused != DECLINE:
+            machine.press(Key.RIGHT)
+        machine.press(Key.ENTER)
+        assert machine.choice is ConsentChoice.DECLINED
+
+
+class TestSecondLayer:
+    def test_settings_opens_second_layer(self):
+        machine = ConsentNoticeMachine(STANDARD_NOTICE_STYLES[1])
+        machine.press(Key.RIGHT)  # focus settings
+        machine.press(Key.ENTER)
+        assert machine.layer == 2
+        assert not machine.dismissed
+
+    def test_second_layer_boxes_preticked(self):
+        machine = ConsentNoticeMachine(STANDARD_NOTICE_STYLES[1])
+        machine.press(Key.RIGHT)
+        machine.press(Key.ENTER)
+        # Pre-ticked checkboxes: the ECJ-noncompliant default.
+        assert all(machine.control_state.values())
+
+    def test_save_with_all_ticked_is_accept_all(self):
+        machine = ConsentNoticeMachine(STANDARD_NOTICE_STYLES[1])
+        machine.press(Key.RIGHT)
+        machine.press(Key.ENTER)  # layer 2
+        while machine.focused != "save":
+            machine.press(Key.RIGHT)
+        machine.press(Key.ENTER)
+        assert machine.choice is ConsentChoice.ACCEPTED_ALL
+
+    def test_deselect_then_save_is_custom(self):
+        machine = ConsentNoticeMachine(STANDARD_NOTICE_STYLES[1])
+        machine.press(Key.RIGHT)
+        machine.press(Key.ENTER)  # layer 2, focus on first box
+        machine.press(Key.ENTER)  # untick first box
+        while machine.focused != "save":
+            machine.press(Key.RIGHT)
+        machine.press(Key.ENTER)
+        assert machine.choice is ConsentChoice.CUSTOM
+        assert not all(machine.control_state.values())
+
+    def test_back_returns_to_first_layer(self):
+        machine = ConsentNoticeMachine(STANDARD_NOTICE_STYLES[1])
+        machine.press(Key.RIGHT)
+        machine.press(Key.ENTER)
+        machine.press(Key.BACK)
+        assert machine.layer == 1
+        assert machine.focused == ACCEPT  # focus resets to the nudge
+
+
+class TestRtlZweiFirstLayer:
+    def test_only_necessary_unticks_everything(self):
+        machine = ConsentNoticeMachine(STANDARD_NOTICE_STYLES[8])
+        while machine.focused != ONLY_NECESSARY:
+            machine.press(Key.RIGHT)
+        machine.press(Key.ENTER)
+        assert machine.choice is ConsentChoice.CUSTOM
+        assert not any(machine.control_state.values())
+
+    def test_first_layer_category_toggle(self):
+        machine = ConsentNoticeMachine(STANDARD_NOTICE_STYLES[8])
+        while not machine.focused.startswith("box:"):
+            machine.press(Key.RIGHT)
+        box = machine.focused[4:]
+        assert machine.control_state[box] is True
+        machine.press(Key.ENTER)
+        assert machine.control_state[box] is False
+
+
+class TestThirdLayer:
+    def make_layer2(self):
+        machine = ConsentNoticeMachine(STANDARD_NOTICE_STYLES[7])  # Bibel TV
+        while machine.focused != SETTINGS:
+            machine.press(Key.RIGHT)
+        machine.press(Key.ENTER)
+        assert machine.layer == 2
+        return machine
+
+    def test_deselection_asks_for_confirmation(self):
+        machine = self.make_layer2()
+        # focus lands on the Google Analytics box (first focusable)
+        machine.press(Key.ENTER)
+        assert machine.layer == 3
+
+    def test_confirm_applies_deselection(self):
+        machine = self.make_layer2()
+        machine.press(Key.ENTER)  # -> layer 3
+        machine.press(Key.ENTER)  # confirm (first focusable)
+        assert machine.layer == 2
+        assert machine.control_state["Google Analytics"] is False
+
+    def test_cancel_keeps_selection(self):
+        machine = self.make_layer2()
+        machine.press(Key.ENTER)  # -> layer 3
+        machine.press(Key.RIGHT)  # focus cancel
+        machine.press(Key.ENTER)
+        assert machine.layer == 2
+        assert machine.control_state["Google Analytics"] is True
+
+
+class TestRendering:
+    def test_screen_state_layer1(self):
+        machine = ConsentNoticeMachine(STANDARD_NOTICE_STYLES[3])
+        state = machine.screen_state()
+        assert state.kind is OverlayKind.PRIVACY
+        assert state.privacy_kind is PrivacyContentKind.CONSENT_NOTICE
+        assert state.notice_type_id == 3
+        assert state.notice_layer == 1
+        assert state.focused_button == ACCEPT
+        assert state.accept_highlighted
+        assert state.is_modal
+        assert state.covers_full_screen
+
+    def test_screen_state_shows_preticked_boxes_on_layer2(self):
+        machine = ConsentNoticeMachine(STANDARD_NOTICE_STYLES[1])
+        machine.press(Key.RIGHT)
+        machine.press(Key.ENTER)
+        state = machine.screen_state()
+        assert state.notice_layer == 2
+        assert state.preticked_boxes  # ticked boxes visible
+
+    def test_dismissed_machine_cannot_render(self):
+        machine = ConsentNoticeMachine(STANDARD_NOTICE_STYLES[1])
+        machine.press(Key.ENTER)
+        with pytest.raises(RuntimeError):
+            machine.screen_state()
+
+    def test_privacy_without_second_layer_keeps_notice_up(self):
+        machine = ConsentNoticeMachine(STANDARD_NOTICE_STYLES[5])  # DMAX
+        machine.press(Key.RIGHT)  # focus "privacy"
+        machine.press(Key.ENTER)
+        assert not machine.dismissed
+        assert machine.layer == 1
+        assert machine.focused == ACCEPT

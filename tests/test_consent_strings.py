@@ -1,0 +1,116 @@
+"""Tests for the TVCF consent-string format and its traffic analysis."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.consent.strings import analyze_consent_strings
+from repro.hbbtv.consent import ConsentChoice
+from repro.hbbtv.tcstring import (
+    ConsentStringError,
+    decode_consent_string,
+    encode_consent_string,
+    looks_like_consent_string,
+)
+
+
+class TestEncodeDecode:
+    def test_round_trip(self):
+        encoded = encode_consent_string(
+            ConsentChoice.CUSTOM,
+            {"Marketing": False, "Funktional": True},
+            cmp_id=8,
+            created=1_692_600_000,
+        )
+        record = decode_consent_string(encoded)
+        assert record.choice is ConsentChoice.CUSTOM
+        assert record.cmp_id == 8
+        assert record.created == 1_692_600_000
+        assert dict(record.purposes) == {"Marketing": False, "Funktional": True}
+        assert record.granted_purposes == ("Funktional",)
+        assert record.denied_purposes == ("Marketing",)
+
+    def test_url_safe(self):
+        encoded = encode_consent_string(
+            ConsentChoice.ACCEPTED_ALL, {"Ä ö ü": True}, cmp_id=1
+        )
+        assert "+" not in encoded and "/" not in encoded and "=" not in encoded
+
+    def test_prefix_detection(self):
+        encoded = encode_consent_string(ConsentChoice.DECLINED)
+        assert looks_like_consent_string(encoded)
+        assert not looks_like_consent_string("somethingelse")
+
+    def test_bad_prefix_rejected(self):
+        with pytest.raises(ConsentStringError):
+            decode_consent_string("WRONG.abcdef")
+
+    def test_truncated_payload_rejected(self):
+        with pytest.raises(ConsentStringError):
+            decode_consent_string("TVCF1.AAAA")
+
+    def test_garbage_base64_rejected(self):
+        with pytest.raises(ConsentStringError):
+            decode_consent_string("TVCF1.!!!not-base64!!!")
+
+    def test_cmp_id_range_enforced(self):
+        with pytest.raises(ConsentStringError):
+            encode_consent_string(ConsentChoice.ACCEPTED_ALL, cmp_id=999)
+
+    @given(
+        choice=st.sampled_from(list(ConsentChoice)),
+        cmp_id=st.integers(min_value=0, max_value=255),
+        created=st.integers(min_value=0, max_value=2**32 - 1),
+        purposes=st.dictionaries(
+            st.text(min_size=1, max_size=20), st.booleans(), max_size=8
+        ),
+    )
+    def test_round_trip_property(self, choice, cmp_id, created, purposes):
+        encoded = encode_consent_string(choice, purposes, cmp_id, created)
+        record = decode_consent_string(encoded)
+        assert record.choice is choice
+        assert record.cmp_id == cmp_id
+        assert record.created == created
+        assert dict(record.purposes) == purposes
+
+
+class TestTrafficAnalysis:
+    def test_strings_observed_in_study(self):
+        from repro.simulation.study import default_study
+
+        study = default_study(seed=7, scale=0.15)
+        report = analyze_consent_strings(study.dataset.all_flows())
+        assert report.observed
+        assert report.undecodable == 0
+        # The interaction runs carry decisions; all observed CMP ids are
+        # real notice styles.
+        assert report.cmp_ids_seen() <= set(range(1, 13))
+        # The default-focus nudge pays off: ENTER lands on "accept all".
+        assert report.accept_share() > 0.8
+
+    def test_no_strings_in_general_run(self):
+        from repro.simulation.study import default_study
+
+        study = default_study(seed=7, scale=0.15)
+        general = analyze_consent_strings(study.dataset.runs["General"].flows)
+        # Nobody presses anything in the General run: notices time out
+        # unanswered, so nothing is transmitted.
+        assert general.observed == []
+
+    def test_purpose_grant_rates(self):
+        from repro.net.http import HttpRequest, html_response
+        from repro.proxy.flow import Flow
+
+        encoded = encode_consent_string(
+            ConsentChoice.CUSTOM, {"Marketing": False, "Analyse": True}, cmp_id=2
+        )
+        flow = Flow(
+            request=HttpRequest(
+                "GET", f"https://cmp.de/consent?cs={encoded}"
+            ),
+            response=html_response("ok"),
+            channel_id="ch1",
+            run_name="Blue",
+        )
+        report = analyze_consent_strings([flow])
+        rates = report.purpose_grant_rates()
+        assert rates == {"Marketing": 0.0, "Analyse": 1.0}

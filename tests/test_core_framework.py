@@ -1,0 +1,217 @@
+"""Tests for the measurement framework: runs, remote script, filtering,
+dataset, and the Table I report — on a small generated world."""
+
+import pytest
+
+from repro.core.config import DEFAULT_CONFIG, MeasurementConfig
+from repro.core.dataset import (
+    StudyDataset,
+    RunDataset,
+    cookie_records_from_flows,
+    summarize_flows,
+)
+from repro.core.report import DatasetOverview, format_overview_table, overview_table
+from repro.core.runs import generate_interaction_sequence, standard_runs
+from repro.keys import INTERACTION_KEYS, Key
+from repro.simulation.study import make_context, run_filtering, run_study
+from repro.simulation.world import build_world
+
+import random
+
+SMALL_SCALE = 0.04
+
+
+@pytest.fixture(scope="module")
+def study():
+    world = build_world(seed=11, scale=SMALL_SCALE)
+    return run_study(world)
+
+
+class TestRunSpecs:
+    def test_five_standard_runs(self):
+        runs = standard_runs()
+        assert [r.name for r in runs] == [
+            "General",
+            "Red",
+            "Green",
+            "Blue",
+            "Yellow",
+        ]
+        assert runs[0].color_button is None
+        assert runs[1].color_button is Key.RED
+
+    def test_interaction_sequences_fixed_per_run(self):
+        runs_a = standard_runs(seed=1)
+        runs_b = standard_runs(seed=1)
+        assert runs_a[1].interaction_sequence == runs_b[1].interaction_sequence
+
+    def test_sequences_differ_across_runs(self):
+        runs = standard_runs(seed=1)
+        sequences = {r.interaction_sequence for r in runs if r.is_interactive}
+        assert len(sequences) > 1
+
+    def test_sequence_contains_enter(self):
+        for seed in range(20):
+            sequence = generate_interaction_sequence(random.Random(seed))
+            assert Key.ENTER in sequence
+            assert len(sequence) == 10
+            assert all(key in INTERACTION_KEYS for key in sequence)
+
+    def test_sequence_length_validation(self):
+        with pytest.raises(ValueError):
+            generate_interaction_sequence(random.Random(0), length=0)
+
+    def test_general_run_dates(self):
+        runs = standard_runs()
+        assert runs[0].date_label == "2023-08-21"
+        assert runs[4].date_label == "2023-10-12"
+
+
+class TestConfig:
+    def test_paper_defaults(self):
+        config = DEFAULT_CONFIG
+        assert config.watch_seconds == 900.0
+        assert config.color_run_watch_seconds == 1000.0
+        assert config.exploratory_watch_seconds == 910.0
+        assert config.expected_screenshots(False) == 16
+        assert config.expected_screenshots(True) == 27
+
+
+class TestStudyExecution:
+    def test_all_runs_present(self, study):
+        assert set(study.dataset.runs) == {
+            "General",
+            "Red",
+            "Green",
+            "Blue",
+            "Yellow",
+        }
+
+    def test_flows_recorded_with_run_names(self, study):
+        run = study.dataset.runs["Red"]
+        assert run.flows
+        assert all(f.run_name == "Red" for f in run.flows)
+
+    def test_screenshot_counts_match_protocol(self, study):
+        general = study.dataset.runs["General"]
+        by_channel = general.screenshots_by_channel()
+        for channel_id, shots in by_channel.items():
+            assert len(shots) == 16
+        red = study.dataset.runs["Red"]
+        for channel_id, shots in red.screenshots_by_channel().items():
+            assert len(shots) == 27
+
+    def test_cookie_records_derived_from_flows(self, study):
+        run = study.dataset.runs["General"]
+        assert run.cookie_records
+        for record in run.cookie_records[:20]:
+            assert record.run_name == "General"
+            assert record.cookie.set_by_url
+
+    def test_interaction_runs_have_more_traffic(self, study):
+        general = study.dataset.runs["General"].http_request_count
+        red = study.dataset.runs["Red"].http_request_count
+        assert red > general
+
+    def test_tv_wiped_between_runs(self, study):
+        # After the study the TV is off and its stores are clean.
+        assert not study.tv.powered
+        assert len(study.tv.browser.cookie_jar) == 0
+
+    def test_dataset_totals(self, study):
+        dataset = study.dataset
+        assert dataset.total_requests() == sum(
+            r.http_request_count for r in dataset.runs.values()
+        )
+        assert dataset.channels_measured()
+
+    def test_duplicate_run_rejected(self, study):
+        with pytest.raises(ValueError):
+            study.dataset.add_run(RunDataset(run_name="Red"))
+
+    def test_clock_advanced_through_study(self, study):
+        assert study.period_end > study.period_start
+
+
+class TestOverviewReport:
+    def test_table1_rows(self, study):
+        rows = overview_table(study.dataset)
+        assert len(rows) == 5
+        general = rows[0]
+        assert general.run_name == "General"
+        assert general.http_requests > 0
+        assert 0 <= general.https_share < 0.2
+        assert general.total_cookies >= general.third_party_cookies
+
+    def test_cookie_columns_do_not_need_to_add_up(self, study):
+        # Some cookies are 1P on one channel and 3P on another.
+        for row in overview_table(study.dataset):
+            assert row.first_party_cookies + row.third_party_cookies >= (
+                row.total_cookies - row.total_cookies * 0.01
+            ) or True  # the invariant is: no exact-sum requirement
+
+    def test_format_table(self, study):
+        text = format_overview_table(overview_table(study.dataset))
+        assert "Meas. Run" in text
+        assert "General" in text
+        assert len(text.splitlines()) == 7  # header + rule + 5 rows
+
+
+class TestFiltering:
+    def test_funnel_on_generated_world(self):
+        world = build_world(seed=13, scale=SMALL_SCALE)
+        context = make_context(world)
+        report = run_filtering(context)
+        assert report.received == len(context.tv.channel_list)
+        assert report.tv_channels < report.received  # radio removed
+        assert report.unencrypted < report.tv_channels
+        assert report.visible_named < report.unencrypted
+        assert report.with_traffic <= report.visible_named
+        assert report.final <= report.with_traffic
+        assert report.final > 0
+
+    def test_funnel_excludes_iptv(self):
+        world = build_world(seed=13, scale=SMALL_SCALE)
+        context = make_context(world)
+        report = run_filtering(context)
+        final_ids = {c.channel_id for c in context.framework.channels}
+        assert "iptv-stream-eins" not in final_ids
+        assert report.with_traffic - report.final >= 1
+
+    def test_funnel_rows(self):
+        world = build_world(seed=13, scale=SMALL_SCALE)
+        context = make_context(world)
+        report = run_filtering(context)
+        rows = report.as_rows()
+        assert rows[0][0] == "received"
+        assert rows[-1][1] == report.final
+        shares = [share for _, _, share in rows]
+        assert shares == sorted(shares, reverse=True)
+
+
+class TestDatasetHelpers:
+    def test_summarize_flows(self, study):
+        summary = summarize_flows(study.dataset.runs["General"].flows)
+        assert summary["total"] == study.dataset.runs["General"].http_request_count
+        assert summary["https"] <= summary["total"]
+
+    def test_cookie_records_classification(self, study):
+        run = study.dataset.runs["General"]
+        first_party = [r for r in run.cookie_records if r.is_first_party]
+        third_party = [r for r in run.cookie_records if r.is_third_party]
+        assert first_party
+        assert third_party
+
+    def test_export_jsonl(self, study, tmp_path):
+        from repro.core.dataset import export_flows_jsonl
+        import json
+
+        path = tmp_path / "flows.jsonl"
+        count = export_flows_jsonl(
+            study.dataset.runs["General"].flows[:50], str(path)
+        )
+        assert count == 50
+        lines = path.read_text().splitlines()
+        assert len(lines) == 50
+        record = json.loads(lines[0])
+        assert {"url", "ts", "status", "run"} <= set(record)

@@ -1,0 +1,55 @@
+"""Round-trip tests for the JSONL flow export/import."""
+
+import pytest
+
+from repro.analysis.pixels import analyze_pixels
+from repro.core.dataset import export_flows_jsonl, import_flows_jsonl
+from repro.simulation.study import default_study
+
+
+@pytest.fixture(scope="module")
+def run_flows():
+    study = default_study(seed=7, scale=0.15)
+    return study.dataset.runs["General"].flows[:500]
+
+
+class TestRoundTrip:
+    def test_counts_preserved(self, run_flows, tmp_path):
+        path = str(tmp_path / "flows.jsonl")
+        exported = export_flows_jsonl(run_flows, path)
+        restored = import_flows_jsonl(path)
+        assert exported == len(run_flows) == len(restored)
+
+    def test_urls_and_attribution_preserved(self, run_flows, tmp_path):
+        path = str(tmp_path / "flows.jsonl")
+        export_flows_jsonl(run_flows, path)
+        restored = import_flows_jsonl(path)
+        for original, rebuilt in zip(run_flows, restored):
+            assert rebuilt.url == original.url
+            assert rebuilt.channel_id == original.channel_id
+            assert rebuilt.run_name == "General"
+            assert rebuilt.timestamp == original.timestamp
+            assert rebuilt.is_https == original.is_https
+
+    def test_pixel_heuristic_survives_round_trip(self, run_flows, tmp_path):
+        """Content type + size + status survive, so the pixel detector
+        yields identical results on re-imported traffic."""
+        path = str(tmp_path / "flows.jsonl")
+        export_flows_jsonl(run_flows, path)
+        restored = import_flows_jsonl(path)
+        original_report = analyze_pixels(run_flows)
+        restored_report = analyze_pixels(restored)
+        assert restored_report.pixel_count == original_report.pixel_count
+        assert restored_report.pixel_etld1s == original_report.pixel_etld1s
+
+    def test_set_cookie_headers_preserved(self, run_flows, tmp_path):
+        path = str(tmp_path / "flows.jsonl")
+        export_flows_jsonl(run_flows, path)
+        restored = import_flows_jsonl(path)
+        for original, rebuilt in zip(run_flows, restored):
+            assert rebuilt.set_cookie_headers() == original.set_cookie_headers()
+
+    def test_empty_file(self, tmp_path):
+        path = str(tmp_path / "empty.jsonl")
+        export_flows_jsonl([], path)
+        assert import_flows_jsonl(path) == []

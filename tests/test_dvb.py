@@ -1,0 +1,183 @@
+"""Tests for the DVB broadcast substrate."""
+
+import random
+
+import pytest
+
+from repro.dvb.ait import AitApplication, ApplicationInformationTable, simple_ait
+from repro.dvb.channel import BroadcastChannel, ChannelCategory, ChannelMeta
+from repro.dvb.epg import GENRES, ProgrammeGuide, Show
+from repro.dvb.receiver import GERMANY, Antenna, ReceiverLocation
+from repro.dvb.satellite import (
+    STANDARD_SATELLITES,
+    Satellite,
+    Transponder,
+    standard_satellites,
+)
+
+
+def make_channel(name="Test TV", **meta_kwargs):
+    return BroadcastChannel(
+        meta=ChannelMeta(name=name, channel_id=name.lower(), **meta_kwargs)
+    )
+
+
+class TestSatellites:
+    def test_standard_three(self):
+        sats = standard_satellites()
+        assert [s.name for s in sats] == [
+            "Astra 1L",
+            "Hot Bird 13E",
+            "Eutelsat 16E",
+        ]
+
+    def test_transponder_channels(self):
+        sat = Satellite("Test", 19.2)
+        tp = sat.add_transponder(Transponder(11720, "H"))
+        channel = make_channel()
+        tp.add_channel(channel)
+        assert channel.transponder is tp
+        assert sat.channels() == [channel]
+
+    def test_channels_across_transponders(self):
+        sat = Satellite("Test", 19.2)
+        for freq in (11720, 11800):
+            tp = sat.add_transponder(Transponder(freq, "V"))
+            tp.add_channel(make_channel(name=f"ch{freq}"))
+        assert len(sat.channels()) == 2
+
+    def test_catalog_includes_unreceivable(self):
+        assert STANDARD_SATELLITES["Thor"] < 0
+        assert STANDARD_SATELLITES["Hispasat"] < 0
+
+
+class TestReceiver:
+    def test_germany_sees_papers_three(self):
+        antenna = Antenna(GERMANY)
+        visible = antenna.visible_satellites(standard_satellites())
+        assert len(visible) == 3
+
+    def test_germany_cannot_see_western_satellites(self):
+        antenna = Antenna(GERMANY)
+        thor = Satellite("Thor", -0.8)
+        hispasat = Satellite("Hispasat", -30.0)
+        assert antenna.visible_satellites([thor, hispasat]) == []
+
+    def test_scan_annotates_satellite_name(self):
+        sat = Satellite("Astra 1L", 19.2)
+        tp = sat.add_transponder(Transponder(11720, "H"))
+        tp.add_channel(make_channel())
+        received = Antenna(GERMANY).scan([sat])
+        assert received[0].satellite_name == "Astra 1L"
+
+    def test_custom_location(self):
+        nordic = ReceiverLocation("Norway", arc_center_deg=-0.8, arc_half_width_deg=2)
+        antenna = Antenna(nordic)
+        assert antenna.visible_satellites([Satellite("Thor", -0.8)])
+        assert not antenna.visible_satellites(standard_satellites())
+
+
+class TestChannelMeta:
+    def test_primary_category(self):
+        meta = ChannelMeta(
+            "Kids TV",
+            "kids",
+            categories=(ChannelCategory.CHILDREN, ChannelCategory.GENERAL),
+        )
+        assert meta.primary_category is ChannelCategory.CHILDREN
+
+    def test_supports_hbbtv(self):
+        channel = make_channel()
+        assert not channel.supports_hbbtv
+        channel.ait = simple_ait("http://app.test.de/index.html")
+        assert channel.supports_hbbtv
+
+    def test_empty_ait_is_not_hbbtv(self):
+        channel = make_channel()
+        channel.ait = ApplicationInformationTable()
+        assert not channel.supports_hbbtv
+
+    def test_on_air_all_day_default(self):
+        channel = make_channel()
+        assert channel.is_on_air(3.0)
+        assert channel.is_on_air(23.9)
+
+    def test_on_air_daytime_window(self):
+        channel = make_channel()
+        channel.broadcast_hours = (6, 20)
+        assert channel.is_on_air(12.0)
+        assert not channel.is_on_air(3.0)
+        assert not channel.is_on_air(20.0)
+
+    def test_on_air_wrapping_window(self):
+        channel = make_channel()
+        channel.broadcast_hours = (20, 4)
+        assert channel.is_on_air(22.0)
+        assert channel.is_on_air(2.0)
+        assert not channel.is_on_air(12.0)
+
+
+class TestAit:
+    def test_autostart_application(self):
+        ait = ApplicationInformationTable(
+            applications=[
+                AitApplication(2, 1, "present", "http://a.de/p", autostart=False),
+                AitApplication(1, 1, "auto", "http://a.de/auto", autostart=True),
+            ]
+        )
+        assert ait.autostart_application().name == "auto"
+
+    def test_no_autostart(self):
+        ait = ApplicationInformationTable(
+            applications=[
+                AitApplication(1, 1, "p", "http://a.de/p", autostart=False)
+            ]
+        )
+        assert ait.autostart_application() is None
+
+    def test_application_urls_include_preloads(self):
+        ait = simple_ait(
+            "http://a.de/app",
+            preload_urls=("http://tracker.com/signal.gif",),
+        )
+        assert ait.application_urls() == [
+            "http://a.de/app",
+            "http://tracker.com/signal.gif",
+        ]
+
+
+class TestEpg:
+    def test_current_show(self):
+        guide = ProgrammeGuide(
+            [Show("Morning", "news", 6.0, 4.0), Show("Night", "movie", 20.0, 4.0)]
+        )
+        assert guide.current_show(7.5).title == "Morning"
+        assert guide.current_show(21.0).title == "Night"
+
+    def test_show_airs_at_wraps_midnight(self):
+        show = Show("Late", "movie", 23.0, 2.0)
+        assert show.airs_at(23.5)
+        assert show.airs_at(0.5)
+        assert not show.airs_at(2.0)
+
+    def test_generated_guide_covers_full_day(self):
+        guide = ProgrammeGuide.generate(random.Random(7))
+        for hour in range(24):
+            assert guide.current_show(hour + 0.5) is not None
+
+    def test_generated_guide_deterministic(self):
+        titles_a = [s.title for s in ProgrammeGuide.generate(random.Random(3)).shows]
+        titles_b = [s.title for s in ProgrammeGuide.generate(random.Random(3)).shows]
+        assert titles_a == titles_b
+
+    def test_preferred_genre_dominates(self):
+        guide = ProgrammeGuide.generate(random.Random(1), preferred_genre="kids")
+        kid_slots = sum(1 for s in guide.shows if s.genre == "kids")
+        assert kid_slots >= len(guide.shows) // 2
+
+    def test_empty_guide_rejected(self):
+        with pytest.raises(ValueError):
+            ProgrammeGuide([])
+
+    def test_genres_nonempty(self):
+        assert "kids" in GENRES

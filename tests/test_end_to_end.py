@@ -1,0 +1,315 @@
+"""End-to-end tests: the full study on a generated world reproduces the
+paper's qualitative findings (the shape criteria from DESIGN.md §5)."""
+
+import pytest
+
+from repro.analysis.channels import category_report, channel_level_report
+from repro.analysis.children import children_case_study
+from repro.analysis.cookies import cross_channel_report, general_cookie_report
+from repro.analysis.cookiesync import detect_cookie_syncing
+from repro.analysis.filterlists import FilterListSuite
+from repro.analysis.fingerprinting import analyze_fingerprinting
+from repro.analysis.graph import analyze_graph, build_ecosystem_graph, domain_degree
+from repro.analysis.leakage import analyze_leakage
+from repro.analysis.parties import identify_first_parties
+from repro.analysis.pixels import analyze_pixels
+from repro.analysis.tracking import TrackingClassifier
+from repro.consent.annotate import (
+    annotate_screenshots,
+    channels_with_privacy_info,
+    overlay_distribution,
+    pointer_prevalence,
+    privacy_prevalence,
+)
+from repro.hbbtv.overlay import OverlayKind
+from repro.policy.corpus import collect_policies
+from repro.policy.discrepancy import DiscrepancyKind, audit_discrepancies
+from repro.policy.practices import annotate_practices
+from repro.simulation.study import default_study
+
+SCALE = 0.15
+
+
+@pytest.fixture(scope="module")
+def study():
+    return default_study(seed=7, scale=SCALE)
+
+
+@pytest.fixture(scope="module")
+def flows(study):
+    return list(study.dataset.all_flows())
+
+
+@pytest.fixture(scope="module")
+def first_parties(study, flows):
+    return identify_first_parties(
+        flows, manual_overrides=study.first_party_overrides
+    )
+
+
+@pytest.fixture(scope="module")
+def annotations(study):
+    return annotate_screenshots(study.dataset.all_screenshots())
+
+
+class TestTrafficShape:
+    def test_red_run_has_most_requests(self, study):
+        counts = {
+            name: run.http_request_count
+            for name, run in study.dataset.runs.items()
+        }
+        assert counts["Red"] == max(counts.values())
+
+    def test_https_share_low_everywhere(self, study):
+        for run in study.dataset.runs.values():
+            assert run.https_share < 0.10
+
+    def test_general_has_lowest_https_share(self, study):
+        shares = {n: r.https_share for n, r in study.dataset.runs.items()}
+        assert shares["General"] <= min(shares["Red"], shares["Green"], shares["Blue"])
+
+
+class TestPartyStructure:
+    def test_every_measured_channel_has_first_party(self, study, first_parties):
+        measured = study.dataset.channels_measured()
+        identified = {c for c, fp in first_parties.items() if fp}
+        # Channels whose stale signal-encoded endpoint is dead produce
+        # only failed fetches and legitimately get no first party.
+        dead = {
+            truth.channel_id
+            for truth in study.world.ground_truth.values()
+            if truth.special == "dead-endpoint"
+        }
+        assert measured - dead <= identified
+
+    def test_signal_encoded_trackers_not_first_parties(self, first_parties):
+        # google-analytics-like preloads must never win.
+        assert "google-analytics.com" not in first_parties.values()
+
+    def test_manual_override_applied(self, study, first_parties):
+        for channel_id, expected in study.first_party_overrides.items():
+            assert first_parties[channel_id] == expected
+
+
+class TestPixelsAndFingerprinting:
+    def test_pixels_dominate_traffic(self, flows):
+        report = analyze_pixels(flows)
+        assert report.traffic_share > 0.4
+
+    def test_single_party_dominates_pixels(self, flows):
+        report = analyze_pixels(flows)
+        party, count = report.dominant_party()
+        assert party == "tvping.com"
+        assert count > sum(report.requests_per_etld1.values()) * 0.5
+
+    def test_most_channels_use_pixels(self, study, flows):
+        report = analyze_pixels(flows)
+        measured = study.dataset.channels_measured()
+        assert len(report.channels_with_pixels) / len(measured) > 0.5
+
+    def test_filter_lists_miss_most_pixels(self, flows):
+        suite = FilterListSuite()
+        pixels = analyze_pixels(flows)
+        flagged = sum(
+            1
+            for flow in flows
+            if flow.etld1 in pixels.pixel_etld1s
+            and suite.flags_url(flow.url, flow.host)
+        )
+        assert flagged < pixels.pixel_count * 0.1
+
+    def test_fingerprinting_mostly_first_party(self, flows, first_parties):
+        report = analyze_fingerprinting(flows, first_parties)
+        assert report.related_request_count > 0
+        assert report.first_party_requests / report.related_request_count > 0.3
+
+
+class TestFilterListGap:
+    def test_lists_flag_tiny_share_of_urls(self, flows):
+        suite = FilterListSuite()
+        coverage = suite.coverage(flows)
+        assert coverage.on_easylist / coverage.total < 0.02
+        assert coverage.on_easyprivacy / coverage.total < 0.02
+        assert coverage.on_pihole / coverage.total < 0.05
+
+    def test_smart_tv_lists_block_less_than_pihole(self, flows):
+        suite = FilterListSuite()
+        coverage = suite.coverage(flows)
+        assert coverage.on_perflyst < coverage.on_pihole
+        assert coverage.on_kamran < coverage.on_perflyst
+
+
+class TestCookieEcosystem:
+    def test_cookiepedia_coverage_low(self, study):
+        report = general_cookie_report(study.dataset.all_cookie_records())
+        assert report.classified_share < 0.45
+
+    def test_cross_channel_long_tail(self, study):
+        report = cross_channel_report(study.dataset.all_cookie_records())
+        assert report.skewness() > 0
+        assert report.single_channel_parties() >= 1
+
+    def test_cookie_syncing_rare(self, study, flows):
+        report = detect_cookie_syncing(
+            study.dataset.all_cookie_records(),
+            flows,
+            study.period_start,
+            study.period_end,
+        )
+        assert report.potential_ids > 50
+        assert len(report.syncing_domains()) <= 4
+        assert report.runs_with_syncing() <= {"Red", "Green", "Blue"}
+
+    def test_most_cookies_set_by_tracking_requests(self, study, flows):
+        classifier = TrackingClassifier()
+        tracking_urls = {f.url for f in flows if classifier.is_tracking(f)}
+        from repro.analysis.cookies import tracking_set_share
+
+        share = tracking_set_share(
+            study.dataset.all_cookie_records(), tracking_urls
+        )
+        assert share > 0.3
+
+
+class TestLeakageShape:
+    def test_technical_data_reaches_few_third_parties(self, flows, first_parties):
+        report = analyze_leakage(flows, first_parties)
+        assert report.channels_leaking_technical
+        assert 1 <= len(report.technical_receivers) <= 15
+
+    def test_brand_evidence_found(self, flows, first_parties):
+        report = analyze_leakage(flows, first_parties)
+        assert report.brands_seen
+
+
+class TestEcosystemGraph:
+    def test_single_connected_component(self, flows, first_parties):
+        graph = build_ecosystem_graph(flows, first_parties)
+        report = analyze_graph(graph)
+        assert report.is_single_component
+
+    def test_platform_hubs_dominate(self, flows, first_parties):
+        graph = build_ecosystem_graph(flows, first_parties)
+        report = analyze_graph(graph)
+        top_nodes = dict(report.top_degree_nodes[:6])
+        platformish = {
+            "ard-verbund.de",
+            "rtl-interactive.de",
+            "redbutton-p7.de",
+            "hbbtv-suite.de",
+            "tvservices.digital",
+            "superrtl-family.de",
+        }
+        assert platformish & set(top_nodes)
+
+    def test_most_embedded_third_party_has_low_degree(self, flows, first_parties):
+        graph = build_ecosystem_graph(flows, first_parties)
+        # tvping is on the most channels but rides platform SDKs.
+        assert 1 <= domain_degree(graph, "tvping.com") <= 25
+
+    def test_outlier_channel_exists(self, flows):
+        report = channel_level_report(flows)
+        outlier = report.outlier()
+        assert outlier is not None
+        # ~99% of the outlier's tracking goes to the tvping-like party
+        # and only in the Red run.
+        assert outlier.tracking_by_run.get("Red", 0) > (
+            0.9 * outlier.tracking_requests
+        )
+
+
+class TestCategoriesAndChildren:
+    def test_top_categories_carry_most_tracking(self, study, flows):
+        report = channel_level_report(flows)
+        by_category = category_report(report, study.world.categories)
+        assert by_category.top5_request_share() > 0.8
+
+    def test_children_tracked_like_everyone(self, study, flows):
+        report = channel_level_report(flows)
+        result = children_case_study(
+            report,
+            study.world.children_channel_ids,
+            study.dataset.all_cookie_records(),
+        )
+        assert result.children_are_tracked
+        assert result.comparison is not None
+        assert result.comparison.p_value > 0.05  # no significant difference
+
+
+class TestConsentShape:
+    def test_tv_only_dominates_overlays(self, annotations):
+        for run, row in overlay_distribution(annotations).items():
+            assert row.count(OverlayKind.TV_ONLY) >= row.count(
+                OverlayKind.PRIVACY
+            ) or run == "Blue"
+
+    def test_media_libraries_concentrate_on_red_yellow(self, annotations):
+        rows = overlay_distribution(annotations)
+        red_yellow = rows["Red"].count(OverlayKind.MEDIA_LIBRARY) + rows[
+            "Yellow"
+        ].count(OverlayKind.MEDIA_LIBRARY)
+        others = rows["General"].count(OverlayKind.MEDIA_LIBRARY) + rows[
+            "Blue"
+        ].count(OverlayKind.MEDIA_LIBRARY)
+        assert red_yellow > others
+
+    def test_blue_run_has_highest_privacy_screenshot_share(self, annotations):
+        rows = privacy_prevalence(annotations)
+        blue = rows["Blue"].screenshot_share
+        assert blue == max(row.screenshot_share for row in rows.values())
+
+    def test_minority_of_channels_show_privacy_info(self, study, annotations):
+        channels = channels_with_privacy_info(annotations)
+        measured = study.dataset.channels_measured()
+        assert 0.1 < len(channels) / len(measured) < 0.75
+
+    def test_most_channels_show_pointers(self, study, annotations):
+        pointers = pointer_prevalence(annotations)
+        measured = study.dataset.channels_measured()
+        assert len(pointers) / len(measured) > 0.5
+
+
+class TestPolicyShape:
+    @pytest.fixture(scope="class")
+    def corpus(self, flows):
+        return collect_policies(flows)
+
+    def test_policies_found_in_every_run(self, corpus):
+        counts = corpus.per_run_counts()
+        assert set(counts) == {"General", "Red", "Green", "Blue", "Yellow"}
+
+    def test_yellow_run_contributes_most(self, corpus):
+        counts = corpus.per_run_counts()
+        assert counts["Yellow"] == max(counts.values())
+
+    def test_mostly_german(self, corpus):
+        languages = corpus.per_language_counts()
+        assert languages.get("de", 0) > sum(
+            v for k, v in languages.items() if k != "de"
+        )
+
+    def test_dedup_collapses_copies(self, corpus):
+        assert corpus.distinct_count() < len(corpus.documents)
+
+    def test_near_duplicate_groups_exist(self, corpus):
+        assert corpus.near_duplicate_groups()
+
+    def test_majority_mention_hbbtv(self, corpus):
+        distinct = list(corpus.distinct_texts().values())
+        mentioning = sum(
+            1 for d in distinct if annotate_practices(d.text).mentions_hbbtv
+        )
+        assert mentioning / len(distinct) > 0.5
+
+    def test_five_pm_to_six_am_discrepancy(self, study, corpus, flows, first_parties):
+        annotations_by_channel = {
+            document.channel_id: annotate_practices(document.text)
+            for document in corpus.documents
+        }
+        report = audit_discrepancies(
+            flows, annotations_by_channel, first_parties
+        )
+        violations = report.by_kind(DiscrepancyKind.TIME_WINDOW_VIOLATION)
+        assert violations
+        violating = {v.channel_id for v in violations}
+        assert violating & study.world.children_channel_ids

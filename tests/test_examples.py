@@ -1,0 +1,32 @@
+"""Smoke tests: every example script runs end to end at a tiny scale."""
+
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = [
+    ("examples/quickstart.py", ["0.04"]),
+    ("examples/tracking_ecosystem.py", ["0.06"]),
+    ("examples/consent_audit.py", ["0.06"]),
+    ("examples/policy_compliance.py", ["0.06"]),
+    ("examples/single_channel_session.py", []),
+]
+
+
+@pytest.mark.parametrize("script,args", EXAMPLES, ids=[s for s, _ in EXAMPLES])
+def test_example_runs(script, args, capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", [script] + args)
+    runpy.run_path(script, run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip()  # every example prints its findings
+
+
+def test_replication_report_example(tmp_path, capsys, monkeypatch):
+    output = str(tmp_path / "report.md")
+    monkeypatch.setattr(
+        sys, "argv", ["examples/replication_report.py", "0.06", output]
+    )
+    runpy.run_path("examples/replication_report.py", run_name="__main__")
+    content = open(output, encoding="utf-8").read()
+    assert content.startswith("# Replication report")

@@ -1,0 +1,134 @@
+"""Tests for the ABP-lite and hosts-file filter engines."""
+
+import pytest
+
+from repro.analysis.filterlists import (
+    AbpFilterList,
+    FilterListSuite,
+    HostsFilterList,
+    easylist,
+    easyprivacy,
+    kamran,
+    perflyst,
+    pihole,
+)
+from repro.net.http import HttpRequest, pixel_response
+from repro.proxy.flow import Flow
+
+
+def make_flow(url):
+    return Flow(request=HttpRequest("GET", url), response=pixel_response())
+
+
+class TestAbpEngine:
+    def test_domain_anchor_matches_domain_and_subdomains(self):
+        rules = AbpFilterList("t", "||tracker.com^\n")
+        assert rules.matches("http://tracker.com/x")
+        assert rules.matches("https://cdn.tracker.com/y")
+        assert not rules.matches("http://nottracker.com/x")
+        assert not rules.matches("http://tracker.com.evil.de/x")
+
+    def test_domain_anchor_with_path(self):
+        rules = AbpFilterList("t", "||host.de/ads\n")
+        assert rules.matches("http://host.de/ads/banner")
+        assert not rules.matches("http://host.de/content")
+
+    def test_substring_rule(self):
+        rules = AbpFilterList("t", "/adserver/\n")
+        assert rules.matches("http://any.de/adserver/slot")
+        assert not rules.matches("http://any.de/content/slot")
+
+    def test_exception_rule_wins(self):
+        rules = AbpFilterList("t", "||site.de^\n@@||site.de/allowed^\n")
+        assert rules.matches("http://site.de/blocked")
+        assert not rules.matches("http://site.de/allowed/x")
+
+    def test_comments_headers_cosmetics_ignored(self):
+        text = "! comment\n[Adblock Plus 2.0]\nsite.de##.ad-banner\n||real.com^\n"
+        rules = AbpFilterList("t", text)
+        assert len(rules) == 1
+        assert rules.matches("http://real.com/")
+
+    def test_rule_options_stripped(self):
+        rules = AbpFilterList("t", "||imgtracker.com^$image,third-party\n")
+        assert rules.matches("http://imgtracker.com/a.gif")
+
+    def test_invalid_url_never_matches(self):
+        rules = AbpFilterList("t", "||x.com^\n")
+        assert not rules.matches("not a url")
+
+
+class TestHostsEngine:
+    def test_exact_host(self):
+        rules = HostsFilterList("t", "0.0.0.0 ad.tracker.com\n")
+        assert rules.matches_host("ad.tracker.com")
+        assert not rules.matches_host("other.tracker.com")
+
+    def test_bare_registrable_domain_covers_subdomains(self):
+        rules = HostsFilterList("t", "tracker.com\n")
+        assert rules.matches_host("tracker.com")
+        assert rules.matches_host("deep.sub.tracker.com")
+
+    def test_subdomain_entry_does_not_cover_siblings(self):
+        rules = HostsFilterList("t", "0.0.0.0 a.tracker.com\n")
+        assert not rules.matches_host("b.tracker.com")
+
+    def test_comments_and_localhost_formats(self):
+        text = "# header\n127.0.0.1 legacy.de\n0.0.0.0 modern.de # inline\n"
+        rules = HostsFilterList("t", text)
+        assert rules.matches_host("legacy.de")
+        assert rules.matches_host("modern.de")
+
+    def test_matches_url_form(self):
+        rules = HostsFilterList("t", "0.0.0.0 t.de\n")
+        assert rules.matches("http://t.de/path?x=1")
+
+
+class TestEmbeddedLists:
+    def test_lists_parse_nonempty(self):
+        for build in (easylist, easyprivacy, pihole, perflyst, kamran):
+            assert len(build()) > 3
+
+    def test_web_lists_know_classic_adtech(self):
+        assert easylist().matches("https://ad.doubleclick.net/pixel")
+        assert easyprivacy().matches("http://www.google-analytics.com/hit")
+        assert pihole().matches_host("stats.xiti.com")
+
+    def test_web_lists_miss_hbbtv_native_trackers(self):
+        # The paper's central Table III finding.
+        suite = FilterListSuite()
+        assert not suite.flags_url("http://track.tvping.com/track.gif?c=x")
+
+    def test_smart_tv_lists_narrower_than_pihole(self):
+        # Perflyst and Kamran know platform telemetry, not HbbTV.
+        assert perflyst().matches_host("events.samsungads.com")
+        assert kamran().matches_host("events.samsungads.com")
+        assert not perflyst().matches_host("stats.xiti.com")
+        assert not kamran().matches_host("ads.smartclip.net")
+
+    def test_house_ad_exception(self):
+        assert not easylist().matches(
+            "http://hbbtv.ard-verbund.de/adserver/house/banner.gif"
+        )
+        assert easylist().matches("http://other.de/adserver/slot")
+
+
+class TestSuiteCoverage:
+    def test_coverage_counts(self):
+        suite = FilterListSuite()
+        flows = [
+            make_flow("https://ad.doubleclick.net/track.gif"),
+            make_flow("http://track.tvping.com/track.gif"),
+            make_flow("http://www.google-analytics.com/hit?ch=x"),
+        ]
+        coverage = suite.coverage(flows, "Test")
+        assert coverage.total == 3
+        assert coverage.on_easylist == 1
+        assert coverage.on_easyprivacy == 1
+        assert coverage.on_pihole == 2  # doubleclick + google-analytics
+
+    def test_flags_url_union(self):
+        suite = FilterListSuite()
+        assert suite.flags_url("https://ad.doubleclick.net/x")
+        assert suite.flags_url("http://de.ioam.de/hit")
+        assert not suite.flags_url("http://hbbtv.example.de/app")

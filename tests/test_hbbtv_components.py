@@ -1,0 +1,195 @@
+"""Tests for HbbTV components not covered elsewhere: media-library
+views, overlay model, app-spec helpers, keys, and notice timeouts."""
+
+import pytest
+
+from repro.hbbtv.app import (
+    AppScreen,
+    EmbeddedService,
+    HbbTVApplication,
+    ScreenKind,
+    ServiceKind,
+)
+from repro.hbbtv.media_library import (
+    MediaLibrary,
+    MediaLibraryView,
+    PrivacyPointer,
+)
+from repro.hbbtv.overlay import (
+    NO_SIGNAL_SCREEN,
+    OverlayKind,
+    ScreenState,
+    TV_ONLY_SCREEN,
+)
+from repro.keys import COLOR_KEYS, CURSOR_KEYS, INTERACTION_KEYS, Key
+from repro.trackers.pixel import PixelService
+
+
+class TestKeys:
+    def test_color_and_cursor_partitions(self):
+        assert Key.RED.is_color and not Key.RED.is_cursor
+        assert Key.UP.is_cursor and not Key.UP.is_color
+        assert not Key.ENTER.is_color and not Key.ENTER.is_cursor
+
+    def test_interaction_keys_are_cursors_plus_enter(self):
+        assert set(INTERACTION_KEYS) == set(CURSOR_KEYS) | {Key.ENTER}
+        assert len(COLOR_KEYS) == 4
+
+
+class TestOverlayModel:
+    def test_privacy_predicate(self):
+        assert ScreenState(kind=OverlayKind.PRIVACY).is_privacy_related()
+        assert not TV_ONLY_SCREEN.is_privacy_related()
+        assert not NO_SIGNAL_SCREEN.is_privacy_related()
+
+    def test_pointer_predicate(self):
+        with_pointer = ScreenState(
+            kind=OverlayKind.MEDIA_LIBRARY, has_privacy_pointer=True
+        )
+        assert with_pointer.shows_privacy_pointer()
+        assert not TV_ONLY_SCREEN.shows_privacy_pointer()
+
+    def test_screen_state_frozen(self):
+        state = ScreenState(kind=OverlayKind.TV_ONLY)
+        with pytest.raises(AttributeError):
+            state.kind = OverlayKind.PRIVACY
+
+
+class TestMediaLibraryView:
+    def make_library(self, with_pointer=True):
+        return MediaLibrary(
+            page_url="http://a.de/media/index.html",
+            item_urls=("http://a.de/m/1", "http://a.de/m/2", "http://a.de/m/3"),
+            pointer=(
+                PrivacyPointer(target_policy_url="http://a.de/policy")
+                if with_pointer
+                else None
+            ),
+        )
+
+    def test_focus_starts_on_first_item(self):
+        view = MediaLibraryView(self.make_library())
+        assert view.focus_index == 0
+        assert not view.pointer_focused
+
+    def test_focus_wraps_over_items_and_pointer(self):
+        view = MediaLibraryView(self.make_library())
+        for _ in range(3):
+            view.move_focus(1)
+        assert view.pointer_focused
+        view.move_focus(1)
+        assert view.focus_index == 0
+
+    def test_backwards_wrap_reaches_pointer(self):
+        view = MediaLibraryView(self.make_library())
+        view.move_focus(-1)
+        assert view.pointer_focused
+
+    def test_activate_item_records_opening(self):
+        view = MediaLibraryView(self.make_library())
+        url = view.activate()
+        assert url == "http://a.de/m/1"
+        assert view.opened_items == [0]
+
+    def test_activate_pointer_returns_policy(self):
+        view = MediaLibraryView(self.make_library())
+        view.move_focus(-1)
+        assert view.activate() == "http://a.de/policy"
+
+    def test_pointerless_library(self):
+        view = MediaLibraryView(self.make_library(with_pointer=False))
+        assert view.library.focusable_count() == 3
+        state = view.screen_state()
+        assert not state.has_privacy_pointer
+
+    def test_empty_library_rejected(self):
+        with pytest.raises(ValueError):
+            MediaLibraryView(MediaLibrary())
+
+    def test_screen_state_pointer_fields(self):
+        library = self.make_library()
+        state = MediaLibraryView(library).screen_state()
+        assert state.kind is OverlayKind.MEDIA_LIBRARY
+        assert state.has_privacy_pointer
+        assert state.pointer_label == "Datenschutz"
+
+
+class TestAppSpec:
+    def make_app(self, services):
+        return HbbTVApplication(
+            channel_id="c",
+            channel_name="C",
+            entry_url="http://a.de/app/c/index.html",
+            first_party_domain="a.de",
+            services=services,
+        )
+
+    def test_periodic_vs_oneshot_partition(self):
+        pixel_service = PixelService(name="p", domain="p.de")
+        periodic = EmbeddedService(
+            kind=ServiceKind.PIXEL, service=pixel_service, period_s=10.0
+        )
+        oneshot_pixel = EmbeddedService(
+            kind=ServiceKind.PIXEL, service=pixel_service, period_s=0.0
+        )
+        static_poll = EmbeddedService(
+            kind=ServiceKind.STATIC, url="http://a.de/epg.json", period_s=30.0
+        )
+        static_once = EmbeddedService(
+            kind=ServiceKind.STATIC, url="http://a.de/boot.js"
+        )
+        app = self.make_app([periodic, oneshot_pixel, static_poll, static_once])
+        assert app.periodic_services() == [periodic, static_poll]
+        assert app.oneshot_services() == [oneshot_pixel, static_once]
+
+    def test_service_domain_resolution(self):
+        with_service = EmbeddedService(
+            kind=ServiceKind.PIXEL, service=PixelService(name="p", domain="p.de")
+        )
+        with_url = EmbeddedService(
+            kind=ServiceKind.STATIC, url="https://cdn.x.de/lib.js"
+        )
+        assert with_service.domain() == "p.de"
+        assert with_url.domain() == "cdn.x.de"
+
+    def test_screen_for_unbound_button(self):
+        app = self.make_app([])
+        assert app.screen_for(Key.GREEN).kind is ScreenKind.NONE
+
+
+class TestNoticeTimeout:
+    def test_unanswered_notice_hides_after_timeout(self):
+        from tests.helpers import TestWorld
+
+        world = TestWorld()
+        world.app.notice_timeout_seconds = 75.0
+        world.tune_in()
+        assert world.tv.screen_state().kind is OverlayKind.PRIVACY
+        world.tv.wait(74)
+        assert world.tv.screen_state().kind is OverlayKind.PRIVACY
+        world.tv.wait(2)
+        assert world.tv.screen_state().kind is OverlayKind.TV_ONLY
+        # No consent ping was sent: the viewer never answered.
+        assert not [f for f in world.proxy.flows if "/consent" in f.url]
+
+    def test_blue_reopened_notice_does_not_time_out(self):
+        from tests.helpers import TestWorld
+
+        world = TestWorld()
+        world.app.notice_timeout_seconds = 75.0
+        world.tune_in()
+        world.tv.press(Key.ENTER)  # answer the autostart notice
+        world.tv.press(Key.BLUE)  # hybrid privacy screen with controls
+        world.tv.wait(300)
+        assert world.tv.screen_state().kind is OverlayKind.PRIVACY
+
+    def test_playback_beacons_resume_after_timeout(self):
+        from tests.helpers import TestWorld
+
+        world = TestWorld()
+        world.app.notice_timeout_seconds = 60.0
+        world.tune_in()
+        world.tv.wait(300)
+        beacons = [f for f in world.proxy.flows if "track.gif" in f.url]
+        # Suppressed for the first 60 s, then 30 s period: (300-60)/30 = 8.
+        assert len(beacons) == 8

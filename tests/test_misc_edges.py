@@ -1,0 +1,123 @@
+"""Edge-case tests across small helpers that deserve explicit cover."""
+
+import pytest
+
+from repro.core.dataset import RunDataset, StudyDataset
+from repro.core.report import DatasetOverview, format_overview_table
+from repro.net.http import Headers, HttpRequest, HttpResponse, html_response
+from repro.net.url import URL
+from repro.tv.browser import TvBrowser
+from repro.clock import SimClock
+
+
+class TestEmptyRun:
+    def test_empty_run_overview(self):
+        run = RunDataset(run_name="Empty")
+        overview = DatasetOverview.of(run)
+        assert overview.http_requests == 0
+        assert overview.https_share == 0.0
+        assert overview.total_cookies == 0
+
+    def test_empty_run_groupings(self):
+        run = RunDataset(run_name="Empty")
+        assert run.flows_by_channel() == {}
+        assert run.screenshots_by_channel() == {}
+
+    def test_empty_dataset(self):
+        dataset = StudyDataset()
+        assert dataset.total_requests() == 0
+        assert dataset.channels_measured() == set()
+        assert list(dataset.all_flows()) == []
+
+    def test_format_empty_table(self):
+        text = format_overview_table([])
+        assert "Meas. Run" in text
+
+
+class _LoopTransport:
+    """A server that redirects forever (redirect-loop cutoff test)."""
+
+    def __init__(self):
+        self.requests = 0
+
+    def request(self, request):
+        self.requests += 1
+        return HttpResponse(
+            status=302,
+            headers=Headers([("Location", request.url + "x")]),
+        )
+
+
+class TestBrowserRedirectCutoff:
+    def test_redirect_loop_bounded(self):
+        transport = _LoopTransport()
+        browser = TvBrowser(transport, SimClock())
+        response = browser.browse("http://loop.de/a")
+        # MAX_REDIRECTS + 1 requests, then the chain is cut.
+        assert transport.requests == 6
+        assert response.is_redirect  # last response returned as-is
+
+
+class _EchoTransport:
+    def __init__(self):
+        self.last_request = None
+
+    def request(self, request):
+        self.last_request = request
+        return html_response("ok")
+
+
+class TestBrowserHeaders:
+    def test_user_agent_is_hbbtv(self):
+        transport = _EchoTransport()
+        browser = TvBrowser(transport, SimClock())
+        browser.browse("http://h.de/")
+        agent = transport.last_request.headers.get("User-Agent")
+        assert "HbbTV" in agent
+
+    def test_no_cookie_header_when_jar_empty(self):
+        transport = _EchoTransport()
+        browser = TvBrowser(transport, SimClock())
+        browser.browse("http://h.de/")
+        assert transport.last_request.headers.get("Cookie") is None
+
+    def test_cookies_attached_after_set(self):
+        transport = _EchoTransport()
+        browser = TvBrowser(transport, SimClock())
+
+        def with_cookie(request):
+            response = html_response("ok")
+            response.headers.add("Set-Cookie", "sid=abc; Path=/")
+            return response
+
+        transport.request = with_cookie  # first response sets a cookie
+        browser.browse("http://h.de/")
+        transport = _EchoTransport()
+        browser.transport = transport
+        browser.browse("http://h.de/page")
+        assert transport.last_request.headers.get("Cookie") == "sid=abc"
+
+    def test_referer_attached(self):
+        transport = _EchoTransport()
+        browser = TvBrowser(transport, SimClock())
+        browser.browse("http://h.de/x", referer="http://app.de/entry")
+        assert (
+            transport.last_request.headers.get("Referer")
+            == "http://app.de/entry"
+        )
+
+
+class TestUrlEdges:
+    def test_with_query_encodes_spaces(self):
+        url = URL.parse("http://h.de/p").with_query({"q": "a b"})
+        assert "a%20b" in str(url)
+
+    def test_origin_roundtrip_nonstandard_port(self):
+        url = URL.parse("https://h.de:8443/x")
+        assert url.origin == "https://h.de:8443"
+        assert URL.parse(str(url)) == url
+
+    def test_fragment_preserved_in_join(self):
+        base = URL.parse("http://h.de/a/b")
+        joined = base.join("/c#frag")
+        assert joined.fragment == "frag"

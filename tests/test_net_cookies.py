@@ -1,0 +1,206 @@
+"""Tests for Set-Cookie parsing and cookie-jar semantics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.cookies import (
+    Cookie,
+    CookieJar,
+    CookieParseError,
+    parse_set_cookie,
+)
+from repro.net.url import URL
+
+PAGE = URL.parse("https://app.channel.de/hbbtv/index.html")
+
+
+class TestParseSetCookie:
+    def test_minimal(self):
+        cookie = parse_set_cookie("sid=abc123", PAGE)
+        assert cookie.name == "sid"
+        assert cookie.value == "abc123"
+        assert cookie.domain == "app.channel.de"
+        assert cookie.host_only
+        assert cookie.path == "/hbbtv"
+
+    def test_explicit_domain_widens(self):
+        cookie = parse_set_cookie("sid=1; Domain=channel.de", PAGE)
+        assert cookie.domain == "channel.de"
+        assert not cookie.host_only
+
+    def test_domain_leading_dot_stripped(self):
+        cookie = parse_set_cookie("sid=1; Domain=.channel.de", PAGE)
+        assert cookie.domain == "channel.de"
+
+    def test_foreign_domain_rejected(self):
+        with pytest.raises(CookieParseError):
+            parse_set_cookie("sid=1; Domain=other.de", PAGE)
+
+    def test_explicit_path(self):
+        cookie = parse_set_cookie("sid=1; Path=/", PAGE)
+        assert cookie.path == "/"
+
+    def test_max_age(self):
+        cookie = parse_set_cookie("sid=1; Max-Age=3600", PAGE, now=100.0)
+        assert cookie.expires == 3700.0
+
+    def test_max_age_wins_over_expires(self):
+        cookie = parse_set_cookie(
+            "sid=1; Expires=99999; Max-Age=10", PAGE, now=0.0
+        )
+        assert cookie.expires == 10.0
+
+    def test_epoch_expires(self):
+        cookie = parse_set_cookie("sid=1; Expires=1700000000", PAGE)
+        assert cookie.expires == 1700000000.0
+
+    def test_secure_and_httponly(self):
+        cookie = parse_set_cookie("sid=1; Secure; HttpOnly", PAGE)
+        assert cookie.secure
+        assert cookie.http_only
+
+    def test_unknown_attributes_ignored(self):
+        cookie = parse_set_cookie("sid=1; SameSite=Lax; Priority=High", PAGE)
+        assert cookie.name == "sid"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(CookieParseError):
+            parse_set_cookie("=value", PAGE)
+
+    def test_no_equals_rejected(self):
+        with pytest.raises(CookieParseError):
+            parse_set_cookie("garbage", PAGE)
+
+    def test_records_setting_url(self):
+        cookie = parse_set_cookie("sid=1", PAGE)
+        assert cookie.set_by_url == str(PAGE)
+
+    def test_etld1(self):
+        cookie = parse_set_cookie("sid=1", PAGE)
+        assert cookie.etld1 == "channel.de"
+
+
+class TestCookieMatching:
+    def test_host_only_exact_match(self):
+        cookie = parse_set_cookie("a=1; Path=/", PAGE)
+        assert cookie.matches(URL.parse("https://app.channel.de/other"))
+        assert not cookie.matches(URL.parse("https://www.channel.de/"))
+
+    def test_domain_cookie_matches_subdomains(self):
+        cookie = parse_set_cookie("a=1; Domain=channel.de; Path=/", PAGE)
+        assert cookie.matches(URL.parse("https://www.channel.de/"))
+        assert cookie.matches(URL.parse("https://channel.de/"))
+        assert not cookie.matches(URL.parse("https://notchannel.de/"))
+
+    def test_secure_cookie_not_sent_on_http(self):
+        cookie = parse_set_cookie("a=1; Secure; Path=/", PAGE)
+        assert not cookie.matches(URL.parse("http://app.channel.de/"))
+
+    def test_path_matching(self):
+        cookie = parse_set_cookie("a=1; Path=/hbbtv", PAGE)
+        assert cookie.matches(URL.parse("https://app.channel.de/hbbtv"))
+        assert cookie.matches(URL.parse("https://app.channel.de/hbbtv/sub"))
+        assert not cookie.matches(URL.parse("https://app.channel.de/hbbtvx"))
+        assert not cookie.matches(URL.parse("https://app.channel.de/"))
+
+
+class TestCookieJar:
+    def test_store_and_retrieve(self):
+        jar = CookieJar()
+        jar.store(parse_set_cookie("a=1; Path=/", PAGE))
+        assert len(jar) == 1
+        assert jar.cookie_header_for(PAGE) == "a=1"
+
+    def test_replacement_same_key(self):
+        jar = CookieJar()
+        jar.store(parse_set_cookie("a=1; Path=/", PAGE, now=1.0), now=1.0)
+        jar.store(parse_set_cookie("a=2; Path=/", PAGE, now=5.0), now=5.0)
+        cookies = jar.all()
+        assert len(cookies) == 1
+        assert cookies[0].value == "2"
+        assert cookies[0].created_at == 1.0  # creation time preserved
+
+    def test_different_paths_coexist(self):
+        jar = CookieJar()
+        jar.store(parse_set_cookie("a=1; Path=/", PAGE))
+        jar.store(parse_set_cookie("a=2; Path=/hbbtv", PAGE))
+        assert len(jar) == 2
+
+    def test_expired_cookie_deletes(self):
+        jar = CookieJar()
+        jar.store(parse_set_cookie("a=1; Path=/; Max-Age=100", PAGE, now=0.0))
+        jar.store(
+            parse_set_cookie("a=gone; Path=/; Max-Age=0", PAGE, now=50.0),
+            now=50.0,
+        )
+        assert len(jar) == 0
+
+    def test_expired_not_returned(self):
+        jar = CookieJar()
+        jar.store(parse_set_cookie("a=1; Path=/; Max-Age=10", PAGE, now=0.0))
+        assert jar.cookies_for(PAGE, now=5.0)
+        assert not jar.cookies_for(PAGE, now=15.0)
+
+    def test_evict_expired(self):
+        jar = CookieJar()
+        jar.store(parse_set_cookie("a=1; Path=/; Max-Age=10", PAGE, now=0.0))
+        jar.store(parse_set_cookie("b=1; Path=/", PAGE, now=0.0))
+        assert jar.evict_expired(now=100.0) == 1
+        assert len(jar) == 1
+
+    def test_store_from_response_skips_malformed(self):
+        jar = CookieJar()
+        stored = jar.store_from_response(PAGE, ["good=1; Path=/", "bad"])
+        assert [c.name for c in stored] == ["good"]
+        assert len(jar) == 1
+
+    def test_header_ordering_longest_path_first(self):
+        jar = CookieJar()
+        jar.store(parse_set_cookie("root=1; Path=/", PAGE, now=1.0), now=1.0)
+        jar.store(
+            parse_set_cookie("deep=1; Path=/hbbtv", PAGE, now=2.0), now=2.0
+        )
+        assert jar.cookie_header_for(PAGE) == "deep=1; root=1"
+
+    def test_clear(self):
+        jar = CookieJar()
+        jar.store(parse_set_cookie("a=1; Path=/", PAGE))
+        jar.clear()
+        assert len(jar) == 0
+
+
+COOKIE_NAME = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_",
+    min_size=1,
+    max_size=12,
+)
+COOKIE_VALUE = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789-_.", min_size=0, max_size=30
+)
+
+
+class TestCookieProperties:
+    @given(name=COOKIE_NAME, value=COOKIE_VALUE)
+    def test_parse_preserves_name_value(self, name, value):
+        cookie = parse_set_cookie(f"{name}={value}", PAGE)
+        assert cookie.name == name
+        assert cookie.value == value
+
+    @given(
+        pairs=st.lists(
+            st.tuples(COOKIE_NAME, COOKIE_VALUE), min_size=1, max_size=10
+        )
+    )
+    def test_jar_size_bounded_by_distinct_names(self, pairs):
+        jar = CookieJar()
+        for name, value in pairs:
+            jar.store(parse_set_cookie(f"{name}={value}; Path=/", PAGE))
+        assert len(jar) == len({name for name, _ in pairs})
+
+    @given(max_age=st.integers(min_value=1, max_value=10_000))
+    def test_cookie_alive_before_expiry_dead_after(self, max_age):
+        cookie = parse_set_cookie(
+            f"a=1; Max-Age={max_age}", PAGE, now=0.0
+        )
+        assert not cookie.is_expired(max_age - 0.5)
+        assert cookie.is_expired(max_age + 0.5)

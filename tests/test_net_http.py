@@ -1,0 +1,127 @@
+"""Tests for HTTP message types and canned response builders."""
+
+from repro.net.http import (
+    Headers,
+    HttpRequest,
+    HttpResponse,
+    TRANSPARENT_GIF,
+    html_response,
+    javascript_response,
+    not_found_response,
+    pixel_response,
+    redirect_response,
+)
+
+
+class TestHeaders:
+    def test_case_insensitive_get(self):
+        headers = Headers([("Content-Type", "text/html")])
+        assert headers.get("content-type") == "text/html"
+        assert headers.get("CONTENT-TYPE") == "text/html"
+
+    def test_get_default(self):
+        assert Headers().get("X-Missing", "fallback") == "fallback"
+        assert Headers().get("X-Missing") is None
+
+    def test_multiple_set_cookie_preserved(self):
+        headers = Headers()
+        headers.add("Set-Cookie", "a=1")
+        headers.add("Set-Cookie", "b=2; Path=/")
+        assert headers.get_all("set-cookie") == ["a=1", "b=2; Path=/"]
+
+    def test_set_replaces_all(self):
+        headers = Headers([("X", "1"), ("x", "2")])
+        headers.set("X", "3")
+        assert headers.get_all("X") == ["3"]
+
+    def test_remove(self):
+        headers = Headers([("A", "1"), ("B", "2")])
+        headers.remove("a")
+        assert "A" not in headers
+        assert "B" in headers
+
+    def test_contains_and_len(self):
+        headers = Headers([("A", "1")])
+        assert "a" in headers
+        assert len(headers) == 1
+
+    def test_copy_is_independent(self):
+        original = Headers([("A", "1")])
+        copy = original.copy()
+        copy.add("B", "2")
+        assert "B" not in original
+
+    def test_iteration_order(self):
+        pairs = [("A", "1"), ("B", "2"), ("A", "3")]
+        assert list(Headers(pairs)) == pairs
+
+
+class TestHttpRequest:
+    def test_is_https(self):
+        assert HttpRequest("GET", "https://h.de/").is_https
+        assert not HttpRequest("GET", "http://h.de/").is_https
+
+    def test_host_and_etld1(self):
+        request = HttpRequest("GET", "https://a.tracker.com/p")
+        assert request.host == "a.tracker.com"
+        assert request.etld1 == "tracker.com"
+
+    def test_referer(self):
+        request = HttpRequest(
+            "GET", "http://h.de/", Headers([("Referer", "http://r.de/")])
+        )
+        assert request.referer == "http://r.de/"
+
+    def test_query_params(self):
+        request = HttpRequest("GET", "http://h.de/?id=abc&v=2")
+        assert request.query_params() == {"id": "abc", "v": "2"}
+
+    def test_body_text(self):
+        request = HttpRequest("POST", "http://h.de/", body=b"key=value")
+        assert request.body_text() == "key=value"
+
+
+class TestHttpResponse:
+    def test_content_type_strips_parameters(self):
+        response = html_response("<html></html>")
+        assert response.content_type == "text/html"
+
+    def test_is_image(self):
+        assert pixel_response().is_image
+        assert not html_response("x").is_image
+
+    def test_is_javascript(self):
+        assert javascript_response("var x;").is_javascript
+
+    def test_is_html(self):
+        assert html_response("<p>hi</p>").is_html
+
+    def test_size(self):
+        assert pixel_response().size == len(TRANSPARENT_GIF)
+
+    def test_pixel_fits_tracking_threshold(self):
+        # The paper's pixel heuristic requires image responses < 45 bytes.
+        assert pixel_response().size < 45
+
+    def test_redirect(self):
+        response = redirect_response("https://partner.com/sync?id=1")
+        assert response.is_redirect
+        assert response.location == "https://partner.com/sync?id=1"
+
+    def test_non_redirect_has_no_location(self):
+        assert not html_response("x").is_redirect
+        assert html_response("x").location is None
+
+    def test_reason_phrases(self):
+        assert HttpResponse(status=200).reason == "OK"
+        assert HttpResponse(status=404).reason == "Not Found"
+        assert HttpResponse(status=999).reason == "Unknown"
+
+    def test_not_found(self):
+        assert not_found_response().status == 404
+
+    def test_set_cookie_headers(self):
+        response = HttpResponse()
+        response.headers.add("Set-Cookie", "a=1")
+        response.headers.add("Set-Cookie", "b=2")
+        assert response.set_cookie_headers() == ["a=1", "b=2"]

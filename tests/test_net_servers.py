@@ -1,0 +1,127 @@
+"""Tests for local storage, origin servers, and network routing."""
+
+import pytest
+
+from repro.net.http import HttpRequest, html_response
+from repro.net.network import Network, RoutingError
+from repro.net.server import FunctionServer
+from repro.net.storage import LocalStorage
+
+
+class TestLocalStorage:
+    def test_set_get(self):
+        storage = LocalStorage()
+        storage.set_item("https://a.de", "k", "v")
+        assert storage.get_item("https://a.de", "k") == "v"
+
+    def test_origins_partitioned(self):
+        storage = LocalStorage()
+        storage.set_item("https://a.de", "k", "va")
+        storage.set_item("https://b.de", "k", "vb")
+        assert storage.get_item("https://a.de", "k") == "va"
+        assert storage.get_item("https://b.de", "k") == "vb"
+        assert len(storage) == 2
+
+    def test_overwrite_keeps_single_slot(self):
+        storage = LocalStorage()
+        storage.set_item("https://a.de", "k", "1")
+        storage.set_item("https://a.de", "k", "2")
+        assert len(storage) == 1
+        assert storage.get_item("https://a.de", "k") == "2"
+
+    def test_remove(self):
+        storage = LocalStorage()
+        storage.set_item("https://a.de", "k", "v")
+        storage.remove_item("https://a.de", "k")
+        assert storage.get_item("https://a.de", "k") is None
+
+    def test_entries_for_origin(self):
+        storage = LocalStorage()
+        storage.set_item("https://a.de", "k1", "1")
+        storage.set_item("https://a.de", "k2", "2")
+        storage.set_item("https://b.de", "k1", "3")
+        assert len(storage.entries_for("https://a.de")) == 2
+
+    def test_entry_etld1(self):
+        storage = LocalStorage()
+        entry = storage.set_item("https://cdn.tracker.com", "id", "x")
+        assert entry.etld1 == "tracker.com"
+        assert entry.host == "cdn.tracker.com"
+
+    def test_clear(self):
+        storage = LocalStorage()
+        storage.set_item("https://a.de", "k", "v")
+        storage.clear()
+        assert len(storage) == 0
+        assert storage.origins() == set()
+
+    def test_missing_item_is_none(self):
+        assert LocalStorage().get_item("https://a.de", "nope") is None
+
+
+class TestFunctionServer:
+    def make_server(self):
+        server = FunctionServer("app.channel.de")
+        server.route("/", lambda r: html_response("root"))
+        server.route("/hbbtv", lambda r: html_response("app"))
+        return server
+
+    def test_longest_prefix_wins(self):
+        server = self.make_server()
+        response = server.handle(
+            HttpRequest("GET", "http://app.channel.de/hbbtv/index.html")
+        )
+        assert response.body == b"app"
+
+    def test_root_fallback(self):
+        server = self.make_server()
+        response = server.handle(HttpRequest("GET", "http://app.channel.de/x"))
+        assert response.body == b"root"
+
+    def test_404_when_no_route(self):
+        server = FunctionServer("h.de")
+        assert server.handle(HttpRequest("GET", "http://h.de/x")).status == 404
+
+    def test_multiple_hosts(self):
+        server = FunctionServer({"a.de", "b.de"})
+        assert server.hosts() == {"a.de", "b.de"}
+        server.add_host("c.de")
+        assert "c.de" in server.hosts()
+
+
+class TestNetwork:
+    def test_deliver(self):
+        network = Network()
+        server = FunctionServer("h.de")
+        server.route("/", lambda r: html_response("hello"))
+        network.register(server)
+        response = network.deliver(HttpRequest("GET", "http://h.de/"))
+        assert response.body == b"hello"
+        assert network.request_count == 1
+
+    def test_unknown_host_raises(self):
+        network = Network()
+        with pytest.raises(RoutingError):
+            network.deliver(HttpRequest("GET", "http://nowhere.de/"))
+
+    def test_duplicate_host_rejected(self):
+        network = Network()
+        network.register(FunctionServer("h.de"))
+        with pytest.raises(ValueError):
+            network.register(FunctionServer("h.de"))
+
+    def test_knows_host(self):
+        network = Network()
+        network.register(FunctionServer("h.de"))
+        assert network.knows_host("H.DE")
+        assert not network.knows_host("x.de")
+
+    def test_response_timestamp_copied_from_request(self):
+        network = Network()
+        server = FunctionServer("h.de")
+        server.route("/", lambda r: html_response("x"))
+        network.register(server)
+        response = network.deliver(
+            HttpRequest("GET", "http://h.de/", timestamp=42.5)
+        )
+        assert response.timestamp == 42.5

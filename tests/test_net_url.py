@@ -1,0 +1,174 @@
+"""Tests for URL parsing and eTLD+1 computation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.url import (
+    URL,
+    URLError,
+    public_suffix,
+    registrable_domain,
+    same_party,
+)
+
+
+class TestParse:
+    def test_basic_https(self):
+        url = URL.parse("https://www.example.de/path/page?a=1#frag")
+        assert url.scheme == "https"
+        assert url.host == "www.example.de"
+        assert url.port == 443
+        assert url.path == "/path/page"
+        assert url.query == "a=1"
+        assert url.fragment == "frag"
+
+    def test_default_ports(self):
+        assert URL.parse("http://h.de/").port == 80
+        assert URL.parse("https://h.de/").port == 443
+
+    def test_explicit_port(self):
+        url = URL.parse("http://h.de:8080/x")
+        assert url.port == 8080
+        assert url.origin == "http://h.de:8080"
+
+    def test_no_path_defaults_to_root(self):
+        assert URL.parse("http://host.de").path == "/"
+
+    def test_host_lowercased(self):
+        assert URL.parse("http://HOST.De/").host == "host.de"
+
+    def test_userinfo_stripped(self):
+        assert URL.parse("http://user:pw@host.de/").host == "host.de"
+
+    def test_rejects_relative(self):
+        with pytest.raises(URLError):
+            URL.parse("/just/a/path")
+
+    def test_rejects_unknown_scheme(self):
+        with pytest.raises(URLError):
+            URL.parse("ftp://host.de/")
+
+    def test_rejects_empty_host(self):
+        with pytest.raises(URLError):
+            URL.parse("http:///path")
+
+    def test_rejects_bad_port(self):
+        with pytest.raises(URLError):
+            URL.parse("http://host.de:abc/")
+
+    def test_str_roundtrip(self):
+        raw = "https://cdn.example.com/a/b?x=1&y=2#top"
+        assert str(URL.parse(raw)) == raw
+
+    def test_str_elides_default_port(self):
+        assert str(URL.parse("https://h.de:443/p")) == "https://h.de/p"
+
+
+class TestDerived:
+    def test_origin(self):
+        assert URL.parse("https://a.b.de/x").origin == "https://a.b.de"
+
+    def test_is_secure(self):
+        assert URL.parse("https://h.de/").is_secure
+        assert not URL.parse("http://h.de/").is_secure
+
+    def test_query_params(self):
+        url = URL.parse("http://h.de/?a=1&b=two&empty=")
+        assert url.query_params() == {"a": "1", "b": "two", "empty": ""}
+
+    def test_with_query(self):
+        url = URL.parse("http://h.de/p").with_query({"k": "v 1"})
+        assert url.query_params() == {"k": "v 1"}
+
+    def test_etld1(self):
+        assert URL.parse("https://apps.hbbtv.ard.de/x").etld1 == "ard.de"
+
+
+class TestJoin:
+    def test_absolute_reference(self):
+        base = URL.parse("http://a.de/x")
+        assert str(base.join("https://b.de/y")) == "https://b.de/y"
+
+    def test_absolute_path(self):
+        base = URL.parse("http://a.de/x/y")
+        assert str(base.join("/z?q=1")) == "http://a.de/z?q=1"
+
+    def test_relative_path(self):
+        base = URL.parse("http://a.de/dir/page.html")
+        assert str(base.join("other.js")) == "http://a.de/dir/other.js"
+
+    def test_protocol_relative(self):
+        base = URL.parse("https://a.de/x")
+        assert str(base.join("//cdn.b.de/lib.js")) == "https://cdn.b.de/lib.js"
+
+
+class TestRegistrableDomain:
+    @pytest.mark.parametrize(
+        "host,expected",
+        [
+            ("www.ard.de", "ard.de"),
+            ("ard.de", "ard.de"),
+            ("a.b.c.tracker.com", "tracker.com"),
+            ("static.service.co.uk", "service.co.uk"),
+            ("hbbtv.redbutton.de", "redbutton.de"),
+            ("xiti.com", "xiti.com"),
+        ],
+    )
+    def test_common_cases(self, host, expected):
+        assert registrable_domain(host) == expected
+
+    def test_bare_suffix_returns_itself(self):
+        assert registrable_domain("de") == "de"
+        assert registrable_domain("co.uk") == "co.uk"
+
+    def test_ip_address_returned_verbatim(self):
+        assert registrable_domain("192.168.1.20") == "192.168.1.20"
+
+    def test_trailing_dot_ignored(self):
+        assert registrable_domain("www.ard.de.") == "ard.de"
+
+    def test_case_insensitive(self):
+        assert registrable_domain("WWW.ARD.DE") == "ard.de"
+
+    def test_empty_raises(self):
+        with pytest.raises(URLError):
+            registrable_domain("")
+
+    def test_public_suffix_longest_match(self):
+        assert public_suffix("x.co.uk") == "co.uk"
+        assert public_suffix("x.uk") == "uk"
+
+    def test_same_party(self):
+        assert same_party("a.ard.de", "b.ard.de")
+        assert not same_party("ard.de", "zdf.de")
+
+
+HOST_LABEL = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789-", min_size=1, max_size=10
+).filter(lambda s: not s.startswith("-") and not s.endswith("-"))
+
+
+class TestProperties:
+    @given(labels=st.lists(HOST_LABEL, min_size=1, max_size=5))
+    def test_registrable_domain_is_suffix_of_host(self, labels):
+        host = ".".join(labels)
+        rd = registrable_domain(host)
+        assert host == rd or host.endswith("." + rd)
+
+    @given(labels=st.lists(HOST_LABEL, min_size=1, max_size=5))
+    def test_registrable_domain_idempotent(self, labels):
+        host = ".".join(labels)
+        rd = registrable_domain(host)
+        assert registrable_domain(rd) == rd
+
+    @given(
+        labels=st.lists(HOST_LABEL, min_size=1, max_size=4),
+        path=st.text(
+            alphabet="abcdefghijklmnopqrstuvwxyz/.-_", min_size=0, max_size=20
+        ),
+    )
+    def test_parse_str_roundtrip(self, labels, path):
+        host = ".".join(labels)
+        raw = f"http://{host}/{path.lstrip('/')}"
+        parsed = URL.parse(raw)
+        assert URL.parse(str(parsed)) == parsed

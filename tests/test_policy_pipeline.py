@@ -1,0 +1,351 @@
+"""Tests for the privacy-policy pipeline: extraction, language
+detection, classification, dedup, practice annotation, GDPR dictionary,
+and the discrepancy audit."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.tracking import TrackingClassifier
+from repro.clock import DEFAULT_START
+from repro.net.http import Headers, HttpRequest, HttpResponse, html_response, pixel_response
+from repro.policy.classifier import PolicyClassifier
+from repro.policy.corpus import collect_policies
+from repro.policy.dedup import (
+    dedup_exact,
+    hamming_distance,
+    sha1_digest,
+    simhash,
+    simhash_groups,
+)
+from repro.policy.discrepancy import DiscrepancyKind, audit_discrepancies
+from repro.policy.extraction import extract_main_text, looks_like_html
+from repro.policy.gdpr import GdprDictionary
+from repro.policy.langdetect import detect_language
+from repro.policy.practices import annotate_practices
+from repro.proxy.flow import Flow
+from repro.simulation.policies import PolicyTemplate, render_policy, render_policy_page
+
+GERMAN_POLICY = render_policy(
+    PolicyTemplate(
+        template_id="t",
+        controller="Test Fernsehen GmbH",
+        third_party_collection=True,
+        legitimate_interest=True,
+        blue_button_hint=True,
+        declared_window=(17, 6),
+        tdddg_mention=True,
+        rights_articles=frozenset({15, 16, 17, 77}),
+        hbbtv_contact_email="datenschutz@test-tv.de",
+    )
+)
+
+ENGLISH_POLICY = render_policy(
+    PolicyTemplate(
+        template_id="en",
+        controller="Test Broadcasting Ltd",
+        language="en",
+        rights_articles=frozenset({15, 17}),
+    )
+)
+
+
+class TestExtraction:
+    def test_strips_navigation_chrome(self):
+        page = render_policy_page(
+            PolicyTemplate(template_id="x", controller="X GmbH")
+        )
+        text = extract_main_text(page)
+        assert "Datenschutzerklärung" in text
+        assert "Gewinnspiele" not in text  # nav menu stripped
+
+    def test_strips_scripts(self):
+        html = "<html><script>var tracking = 1;</script><p>" + "wort " * 20 + ".</p></html>"
+        text = extract_main_text(html)
+        assert "tracking" not in text
+        assert "wort" in text
+
+    def test_keeps_prose_blocks(self):
+        html = "<div>Dies ist ein kurzer Satz mit Punkt am Ende.</div>"
+        assert "kurzer Satz" in extract_main_text(html)
+
+    def test_drops_label_runs(self):
+        html = "<nav>Home | Shop | Kontakt | Impressum</nav>"
+        assert extract_main_text(html) == ""
+
+    def test_looks_like_html(self):
+        assert looks_like_html("<html><body>x</body></html>")
+        assert not looks_like_html('{"json": true}')
+
+
+class TestLanguageDetection:
+    def test_german(self):
+        assert detect_language(GERMAN_POLICY) == "de"
+
+    def test_english(self):
+        assert detect_language(ENGLISH_POLICY) == "en"
+
+    def test_bilingual(self):
+        bilingual = GERMAN_POLICY + "\n\n" + ENGLISH_POLICY
+        assert detect_language(bilingual) == "de/en"
+
+    def test_unknown(self):
+        assert detect_language("zzz qqq xxx 123") == "unknown"
+        assert detect_language("") == "unknown"
+
+
+class TestClassifier:
+    def test_policy_recognized(self):
+        assert PolicyClassifier().classify(GERMAN_POLICY).is_policy
+
+    def test_english_policy_recognized(self):
+        assert PolicyClassifier().classify(ENGLISH_POLICY).is_policy
+
+    def test_programme_text_rejected(self):
+        text = (
+            "Heute im Programm: die große Abendshow mit vielen Stars. "
+            "Anschließend der Spielfilm der Woche mit Action und Spannung. "
+            "Morgen: das Quiz am Vormittag und die Gewinnspiele."
+        )
+        assert not PolicyClassifier().classify(text).is_policy
+
+    def test_shop_text_rejected(self):
+        text = (
+            "Nur diese Woche: 20% Rabatt auf alle Artikel im TV-Shop! "
+            "Rufen Sie jetzt an und sichern Sie sich Ihren Vorteil. "
+            "Bestellen Sie bequem von zu Hause im Online-Shop."
+        )
+        assert not PolicyClassifier().classify(text).is_policy
+
+    def test_log_odds_ordering(self):
+        classifier = PolicyClassifier()
+        policy_score = classifier.score(GERMAN_POLICY)
+        other_score = classifier.score("Rabatt im Shop, jetzt anrufen!")
+        assert policy_score > other_score
+
+
+class TestDedup:
+    def test_sha1_whitespace_insensitive(self):
+        assert sha1_digest("a  b\nc") == sha1_digest("a b c")
+
+    def test_dedup_exact(self):
+        texts = ["same text", "same  text", "different"]
+        assert len(dedup_exact(texts)) == 2
+
+    def test_simhash_identical(self):
+        assert hamming_distance(simhash("abc def"), simhash("abc def")) == 0
+
+    def test_simhash_near_duplicates_close(self):
+        base = GERMAN_POLICY
+        variant = base.replace("Test Fernsehen GmbH", "Anders TV GmbH")
+        assert hamming_distance(simhash(base), simhash(variant)) <= 8
+
+    def test_simhash_distinct_texts_far(self):
+        distance = hamming_distance(
+            simhash(GERMAN_POLICY),
+            simhash("Heute im Programm: Fußball, danach Wetter und Nachrichten."),
+        )
+        assert distance > 8
+
+    def test_simhash_groups(self):
+        base = render_policy(
+            PolicyTemplate(
+                template_id="g",
+                controller="Gruppe GmbH",
+                per_channel_name=True,
+            ),
+            channel_name="Kanal Eins",
+        )
+        variant = base.replace("Kanal Eins", "Kanal Zwei")
+        other = "Völlig anderer Text über das Fernsehprogramm von morgen."
+        groups = simhash_groups([base, variant, other])
+        assert groups == [[0, 1]]
+
+    @given(st.text(min_size=1, max_size=200))
+    def test_simhash_deterministic(self, text):
+        assert simhash(text) == simhash(text)
+
+
+class TestPracticeAnnotation:
+    def test_full_template_detection(self):
+        annotation = annotate_practices(GERMAN_POLICY)
+        assert annotation.first_party_collection
+        assert annotation.third_party_collection
+        assert annotation.rights_articles == {15, 16, 17, 77}
+        assert annotation.uses_legitimate_interest
+        assert annotation.declared_window == (17, 6)
+        assert annotation.tdddg_mention
+        assert annotation.mentions_hbbtv
+        assert annotation.blue_button_hint
+        assert "datenschutz@test-tv.de" in annotation.contact_emails
+
+    def test_window_english_form(self):
+        annotation = annotate_practices(
+        "Personalised advertising only happens from 5 pm to 6 am daily."
+        )
+        assert annotation.declared_window == (17, 6)
+
+    def test_no_window(self):
+        assert annotate_practices("Wir verarbeiten Daten.").declared_window is None
+
+    def test_opt_out_and_vague(self):
+        optout = render_policy(
+            PolicyTemplate(
+                template_id="o", controller="O GmbH", opt_out_statements=True
+            )
+        )
+        vague = render_policy(
+            PolicyTemplate(
+                template_id="v", controller="V GmbH", vague_statements=True
+            )
+        )
+        assert annotate_practices(optout).opt_out_statements
+        assert annotate_practices(vague).vague_statements
+
+    def test_ip_anonymization_levels(self):
+        full = render_policy(
+            PolicyTemplate(template_id="f", controller="F", ip_anonymization="full")
+        )
+        truncated = render_policy(
+            PolicyTemplate(template_id="t", controller="T", ip_anonymization="truncate")
+        )
+        assert annotate_practices(full).ip_anonymization == "full"
+        assert annotate_practices(truncated).ip_anonymization == "truncate"
+
+
+class TestGdprDictionary:
+    def test_policy_is_gdpr_aware(self):
+        awareness = GdprDictionary().analyze(GERMAN_POLICY)
+        assert awareness.article6_hits > 0
+        assert awareness.article13_hits > 0
+        assert awareness.is_gdpr_aware
+
+    def test_shop_text_not_aware(self):
+        awareness = GdprDictionary().analyze("Rabatt im Shop! Jetzt anrufen!")
+        assert awareness.total_hits == 0
+        assert not awareness.is_gdpr_aware
+
+
+class TestCorpusCollection:
+    def make_policy_flow(self, run="Red", channel="ch1", text=None):
+        page = render_policy_page(
+            PolicyTemplate(template_id="c", controller="C GmbH")
+        ) if text is None else text
+        return Flow(
+            request=HttpRequest("GET", "http://c.de/policy/ch1.html"),
+            response=html_response(page),
+            channel_id=channel,
+            run_name=run,
+        )
+
+    def make_other_flow(self):
+        return Flow(
+            request=HttpRequest("GET", "http://c.de/media/x.html"),
+            response=html_response(
+                "<html><body><p>"
+                + "Heute im Programm die große Abendshow mit Stars und Musik. " * 8
+                + "</p></body></html>"
+            ),
+            channel_id="ch1",
+            run_name="Red",
+        )
+
+    def test_collects_policies_only(self):
+        corpus = collect_policies([self.make_policy_flow(), self.make_other_flow()])
+        assert len(corpus.documents) == 1
+        assert corpus.documents[0].language == "de"
+
+    def test_per_run_counts_and_dedup(self):
+        flows = [
+            self.make_policy_flow(run="Red"),
+            self.make_policy_flow(run="Red"),
+            self.make_policy_flow(run="Yellow"),
+        ]
+        corpus = collect_policies(flows)
+        assert corpus.per_run_counts() == {"Red": 2, "Yellow": 1}
+        assert corpus.distinct_count() == 1
+
+    def test_non_html_skipped(self):
+        flow = Flow(
+            request=HttpRequest("GET", "http://t.de/p.gif"),
+            response=pixel_response(),
+        )
+        assert collect_policies([flow]).documents == []
+
+    def test_mixed_content_recovered_by_manual_review(self):
+        mixed_page = render_policy_page(
+            PolicyTemplate(
+                template_id="m", controller="M GmbH", mixed_content=True
+            )
+        )
+        with_review = collect_policies([self.make_policy_flow(text=mixed_page)])
+        assert len(with_review.documents) == 1
+
+
+class TestDiscrepancies:
+    def tracking_flow(self, ts, channel="kids1", url="http://track.tvping.com/track.gif?c=kids1"):
+        return Flow(
+            request=HttpRequest("GET", url, timestamp=ts),
+            response=pixel_response(),
+            channel_id=channel,
+            run_name="General",
+        )
+
+    def test_time_window_violation(self):
+        # DEFAULT_START is 09:00 — outside the declared 17:00–06:00.
+        annotation = annotate_practices(GERMAN_POLICY)
+        report = audit_discrepancies(
+            [self.tracking_flow(DEFAULT_START)], {"kids1": annotation}
+        )
+        violations = report.by_kind(DiscrepancyKind.TIME_WINDOW_VIOLATION)
+        assert len(violations) == 1
+        assert "tvping.com" in violations[0].tracker_etld1s
+
+    def test_no_violation_inside_window(self):
+        evening = DEFAULT_START + 10 * 3600  # 19:00
+        annotation = annotate_practices(GERMAN_POLICY)
+        report = audit_discrepancies(
+            [self.tracking_flow(evening)], {"kids1": annotation}
+        )
+        assert not report.by_kind(DiscrepancyKind.TIME_WINDOW_VIOLATION)
+
+    def test_undisclosed_third_parties(self):
+        no_third = render_policy(
+            PolicyTemplate(template_id="n", controller="N GmbH")
+        )
+        annotation = annotate_practices(no_third)
+        assert not annotation.third_party_collection
+        report = audit_discrepancies(
+            [self.tracking_flow(DEFAULT_START, channel="ch1",
+                                url="http://track.tvping.com/track.gif")],
+            {"ch1": annotation},
+            first_parties={"ch1": "n.de"},
+        )
+        assert report.by_kind(DiscrepancyKind.UNDISCLOSED_THIRD_PARTIES)
+
+    def test_opt_out_finding(self):
+        optout = render_policy(
+            PolicyTemplate(
+                template_id="o", controller="O GmbH", opt_out_statements=True
+            )
+        )
+        report = audit_discrepancies(
+            [self.tracking_flow(DEFAULT_START, channel="hgtv")],
+            {"hgtv": annotate_practices(optout)},
+        )
+        assert report.by_kind(DiscrepancyKind.OPT_OUT_ONLY)
+
+    def test_tracking_without_policy(self):
+        report = audit_discrepancies(
+            [self.tracking_flow(DEFAULT_START, channel="nopolicy")], {}
+        )
+        findings = report.by_kind(DiscrepancyKind.TRACKING_WITHOUT_POLICY)
+        assert findings and findings[0].channel_id == "nopolicy"
+
+    def test_non_tracking_flows_no_findings(self):
+        flow = Flow(
+            request=HttpRequest("GET", "http://site.de/page"),
+            response=html_response("<p>hi</p>"),
+            channel_id="clean",
+        )
+        report = audit_discrepancies([flow], {})
+        assert report.findings == []

@@ -1,0 +1,97 @@
+"""Property-based invariants across core data structures (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.filterlists import AbpFilterList, HostsFilterList
+from repro.clock import SimClock
+from repro.hbbtv.consent import (
+    ConsentChoice,
+    ConsentNoticeMachine,
+    STANDARD_NOTICE_STYLES,
+)
+from repro.keys import Key
+from repro.policy.dedup import hamming_distance, simhash
+from repro.policy.extraction import extract_main_text
+from repro.policy.langdetect import detect_language
+
+ANY_KEY = st.sampled_from(list(Key))
+STYLE = st.sampled_from(list(STANDARD_NOTICE_STYLES.values()))
+
+
+class TestConsentMachineProperties:
+    @given(style=STYLE, keys=st.lists(ANY_KEY, max_size=40))
+    def test_any_key_sequence_is_safe(self, style, keys):
+        """No key sequence crashes the machine or corrupts its state."""
+        machine = ConsentNoticeMachine(style)
+        for key in keys:
+            machine.press(key)
+        assert machine.layer in (1, 2, 3)
+        assert isinstance(machine.choice, ConsentChoice)
+        if not machine.dismissed:
+            # A live machine can always render itself.
+            state = machine.screen_state()
+            assert state.notice_layer == machine.layer
+
+    @given(style=STYLE, keys=st.lists(ANY_KEY, max_size=40))
+    def test_dismissal_is_terminal(self, style, keys):
+        machine = ConsentNoticeMachine(style)
+        for key in keys:
+            machine.press(key)
+        if machine.dismissed:
+            choice = machine.choice
+            machine.press(Key.ENTER)
+            assert machine.choice is choice
+
+    @given(style=STYLE)
+    def test_focus_always_valid(self, style):
+        machine = ConsentNoticeMachine(style)
+        for _ in range(30):
+            machine.press(Key.RIGHT)
+            if machine.dismissed:
+                break
+            assert machine.focused in machine._focusables()
+
+
+class TestFilterListProperties:
+    @given(text=st.text(max_size=400))
+    def test_abp_parser_never_crashes(self, text):
+        rules = AbpFilterList("fuzz", text)
+        assert rules.matches("http://example.de/path") in (True, False)
+
+    @given(text=st.text(max_size=400))
+    def test_hosts_parser_never_crashes(self, text):
+        rules = HostsFilterList("fuzz", text)
+        assert rules.matches_host("example.de") in (True, False)
+
+
+class TestPolicyPipelineProperties:
+    @given(html=st.text(max_size=800))
+    def test_extraction_never_crashes(self, html):
+        text = extract_main_text(html)
+        assert isinstance(text, str)
+
+    @given(text=st.text(max_size=600))
+    def test_langdetect_returns_known_label(self, text):
+        assert detect_language(text) in ("de", "en", "de/en", "unknown")
+
+    @given(a=st.text(max_size=300), b=st.text(max_size=300))
+    def test_simhash_distance_symmetric_and_bounded(self, a, b):
+        distance = hamming_distance(simhash(a), simhash(b))
+        assert 0 <= distance <= 64
+        assert distance == hamming_distance(simhash(b), simhash(a))
+
+    @given(a=st.text(max_size=300))
+    def test_simhash_self_distance_zero(self, a):
+        assert hamming_distance(simhash(a), simhash(a)) == 0
+
+
+class TestClockProperties:
+    @given(deltas=st.lists(st.floats(min_value=0, max_value=1e6), max_size=30))
+    def test_clock_monotone(self, deltas):
+        clock = SimClock(start=0.0)
+        previous = clock.now
+        for delta in deltas:
+            clock.advance(delta)
+            assert clock.now >= previous
+            previous = clock.now
+        assert 0 <= clock.hour_of_day() < 24

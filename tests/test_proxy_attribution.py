@@ -1,0 +1,159 @@
+"""Tests for channel attribution, the webOS API failure model, and the
+simulated clock."""
+
+import pytest
+
+from repro.clock import DEFAULT_START, SimClock, hour_of_day
+from repro.net.http import HttpRequest, Headers
+from repro.proxy.attribution import ChannelAttributor, DEFAULT_WINDOW_SECONDS
+
+
+class TestClock:
+    def test_advance(self):
+        clock = SimClock(start=100.0)
+        clock.advance(25.5)
+        assert clock.now == 125.5
+        assert clock.elapsed == 25.5
+
+    def test_backwards_rejected(self):
+        clock = SimClock()
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+
+    def test_hour_of_day(self):
+        # DEFAULT_START is 2023-08-21 09:00 UTC.
+        assert hour_of_day(DEFAULT_START) == pytest.approx(9.0)
+        assert hour_of_day(DEFAULT_START + 3600 * 20) == pytest.approx(5.0)
+
+    def test_default_start_crosses_5pm(self):
+        clock = SimClock()
+        clock.advance(9 * 3600)  # 09:00 + 9h = 18:00
+        assert clock.hour_of_day() == pytest.approx(18.0)
+
+
+class TestAttribution:
+    def request(self, ts=0.0, referer=None):
+        headers = Headers()
+        if referer:
+            headers.add("Referer", referer)
+        return HttpRequest("GET", "http://t.de/x", headers, timestamp=ts)
+
+    def test_current_channel_wins(self):
+        attributor = ChannelAttributor()
+        attributor.set_channel("ch1", "Channel One", at=100.0)
+        assert attributor.attribute(self.request(ts=150.0)) == (
+            "ch1",
+            "Channel One",
+        )
+
+    def test_no_channel_set(self):
+        assert ChannelAttributor().attribute(self.request()) == ("", "")
+
+    def test_window_expires(self):
+        attributor = ChannelAttributor()
+        attributor.set_channel("ch1", "One", at=0.0)
+        inside = self.request(ts=DEFAULT_WINDOW_SECONDS - 1)
+        outside = self.request(ts=DEFAULT_WINDOW_SECONDS + 1)
+        assert attributor.attribute(inside)[0] == "ch1"
+        assert attributor.attribute(outside)[0] == ""
+
+    def test_referer_overrides_current_channel(self):
+        # A late request from the previous app (referer pointing at its
+        # host) is re-assigned — the paper's correction for switch lag.
+        attributor = ChannelAttributor()
+        attributor.register_channel_host("old-app.de", "old", "Old Channel")
+        attributor.set_channel("new", "New Channel", at=100.0)
+        late = self.request(ts=101.0, referer="http://old-app.de/app/index.html")
+        assert attributor.attribute(late) == ("old", "Old Channel")
+
+    def test_unknown_referer_falls_back(self):
+        attributor = ChannelAttributor()
+        attributor.set_channel("ch1", "One", at=0.0)
+        request = self.request(ts=1.0, referer="http://cdn.assets.de/lib.js")
+        assert attributor.attribute(request)[0] == "ch1"
+
+    def test_malformed_referer_ignored(self):
+        attributor = ChannelAttributor()
+        attributor.set_channel("ch1", "One", at=0.0)
+        request = self.request(ts=1.0, referer="not-a-url")
+        assert attributor.attribute(request)[0] == "ch1"
+
+    def test_clear_channel(self):
+        attributor = ChannelAttributor()
+        attributor.set_channel("ch1", "One", at=0.0)
+        attributor.clear_channel()
+        assert attributor.attribute(self.request(ts=1.0)) == ("", "")
+
+
+class TestWebOsFlakiness:
+    def make_tv(self):
+        from repro.clock import SimClock
+        from repro.net.http import html_response
+        from repro.net.network import Network
+        from repro.net.server import FunctionServer
+        from repro.proxy.mitm import InterceptionProxy
+        from repro.tv.device import SmartTV
+        from repro.tv.webos import WebOSApi, WebOSApiError
+
+        network = Network()
+        server = FunctionServer("h.de")
+        server.route("/", lambda r: html_response("x"))
+        network.register(server)
+        proxy = InterceptionProxy(network)
+        proxy.start()
+        tv = SmartTV(proxy, SimClock())
+        tv.power_on()
+        return tv
+
+    def test_api_wedges_after_budget(self):
+        from repro.tv.webos import WebOSApi, WebOSApiError
+
+        api = WebOSApi(self.make_tv(), max_operations_between_restarts=3)
+        for _ in range(3):
+            api.list_channels()
+        with pytest.raises(WebOSApiError):
+            api.list_channels()
+
+    def test_restart_recovers(self):
+        from repro.tv.webos import WebOSApi, WebOSApiError
+
+        api = WebOSApi(self.make_tv(), max_operations_between_restarts=2)
+        api.list_channels()
+        api.list_channels()
+        with pytest.raises(WebOSApiError):
+            api.list_channels()
+        api.restart_tv()
+        assert api.restarts == 1
+        assert api.list_channels() == []
+
+    def test_unlimited_by_default(self):
+        from repro.tv.webos import WebOSApi
+
+        api = WebOSApi(self.make_tv())
+        for _ in range(500):
+            api.list_channels()
+
+    def test_ssh_extraction_has_no_budget(self):
+        from repro.tv.webos import WebOSApi, WebOSApiError
+
+        api = WebOSApi(self.make_tv(), max_operations_between_restarts=1)
+        api.list_channels()
+        # The API is wedged now, but SSH extraction still works.
+        assert api.extract_cookies() == []
+        assert api.extract_local_storage() == []
+
+    def test_remote_script_survives_flaky_api(self):
+        """The framework's retry-after-restart keeps a run going."""
+        from repro.core.config import MeasurementConfig
+        from repro.core.runs import standard_runs
+        from repro.simulation.study import make_context, run_study
+        from repro.simulation.world import build_world
+
+        world = build_world(seed=5, scale=0.04)
+        context = make_context(world)
+        context.api.max_operations = 40  # wedge repeatedly mid-run
+        context.proxy.start()
+        run = standard_runs(seed=5)[0]
+        dataset = context.framework.execute_run(run)
+        assert context.api.restarts > 0
+        assert dataset.channels_measured

@@ -1,0 +1,42 @@
+"""Tests for the one-shot replication-report generator."""
+
+import pytest
+
+from repro.analysis.report import generate_report
+from repro.simulation.study import default_study
+
+
+@pytest.fixture(scope="module")
+def report():
+    return generate_report(default_study(seed=7, scale=0.15))
+
+
+class TestReplicationReport:
+    def test_markdown_structure(self, report):
+        assert report.startswith("# Replication report")
+        assert report.count("## ") == 7
+
+    def test_all_sections_present(self, report):
+        for title in (
+            "Table I",
+            "tracking ecosystem",
+            "cookies",
+            "ecosystem graph",
+            "consent notices",
+            "privacy policies",
+            "categories and children",
+        ):
+            assert title in report
+
+    def test_paper_references_inline(self, report):
+        assert "paper:" in report
+        assert "60.7%" in report  # the pixel-share reference
+        assert "2,656" in report  # the policy-corpus reference
+
+    def test_headline_case_present(self, report):
+        assert "5 PM to 6 AM" in report
+        assert "time-window violation" in report
+
+    def test_table_one_rendered(self, report):
+        assert "Meas. Run" in report
+        assert "General" in report

@@ -1,0 +1,119 @@
+"""Tests for filter-rule derivation (the paper's future-work feature)."""
+
+import pytest
+
+from repro.analysis.rulegen import (
+    derive_rules,
+    score_blocking,
+)
+from repro.net.http import HttpRequest, html_response, pixel_response
+from repro.proxy.flow import Flow
+
+
+def pixel_flow(url, channel="ch1"):
+    return Flow(
+        request=HttpRequest("GET", url),
+        response=pixel_response(),
+        channel_id=channel,
+    )
+
+
+def page_flow(url, channel="ch1"):
+    return Flow(
+        request=HttpRequest("GET", url),
+        response=html_response("<html>content page</html>"),
+        channel_id=channel,
+    )
+
+
+FIRST_PARTIES = {"ch1": "channel.de", "ch2": "channel.de"}
+
+
+def build_flows():
+    flows = []
+    # Unlisted HbbTV tracker: pure pixel traffic on two channels.
+    for channel in ("ch1", "ch2"):
+        flows.extend(
+            pixel_flow("http://px.newtracker.de/track.gif", channel)
+            for _ in range(6)
+        )
+    # Already-listed web tracker.
+    flows.extend(
+        pixel_flow("https://ad.doubleclick.net/track.gif") for _ in range(6)
+    )
+    # First party serving both app pages and a beacon.
+    flows.extend(page_flow("http://app.channel.de/index.html") for _ in range(6))
+    flows.extend(pixel_flow("http://app.channel.de/beacon.gif") for _ in range(6))
+    # Mixed host below the precision threshold.
+    flows.extend(page_flow("http://mixed.de/page") for _ in range(8))
+    flows.extend(pixel_flow("http://mixed.de/p.gif") for _ in range(2))
+    return flows
+
+
+class TestDeriveRules:
+    def test_unlisted_tracker_gets_rule(self):
+        result = derive_rules(build_flows(), FIRST_PARTIES)
+        hosts = [rule.host for rule in result.rules]
+        assert hosts == ["px.newtracker.de"]
+
+    def test_listed_tracker_skipped(self):
+        result = derive_rules(build_flows(), FIRST_PARTIES)
+        assert result.skipped_already_listed >= 1
+
+    def test_first_party_never_blocked(self):
+        result = derive_rules(build_flows(), FIRST_PARTIES)
+        assert result.skipped_first_party >= 1
+        assert all("channel.de" not in rule.host for rule in result.rules)
+
+    def test_low_confidence_hosts_skipped(self):
+        result = derive_rules(build_flows(), FIRST_PARTIES)
+        assert result.skipped_low_confidence >= 1
+        assert all(rule.host != "mixed.de" for rule in result.rules)
+
+    def test_min_requests_threshold(self):
+        flows = [pixel_flow("http://rare.de/p.gif")]
+        result = derive_rules(flows, FIRST_PARTIES, min_requests=5)
+        assert result.rules == []
+
+    def test_rule_rendering(self):
+        result = derive_rules(build_flows(), FIRST_PARTIES)
+        line = result.rules[0].as_hosts_line()
+        assert line.startswith("0.0.0.0 px.newtracker.de")
+        assert "channels" in line
+
+    def test_derived_hosts_list_matches(self):
+        derived = derive_rules(build_flows(), FIRST_PARTIES).as_hosts_list()
+        assert derived.matches_host("px.newtracker.de")
+        assert not derived.matches_host("app.channel.de")
+
+    def test_as_text_has_header(self):
+        text = derive_rules(build_flows(), FIRST_PARTIES).as_text()
+        assert text.startswith("# HbbTV tracker hosts")
+
+
+class TestScoring:
+    def test_derived_list_improves_recall(self):
+        from repro.analysis.filterlists import FilterListSuite
+
+        flows = build_flows()
+        suite = FilterListSuite()
+        web_only = score_blocking("web", flows, [suite.pihole, suite.easylist])
+        derived = derive_rules(flows, FIRST_PARTIES).as_hosts_list()
+        augmented = score_blocking(
+            "web+derived", flows, [suite.pihole, suite.easylist, derived]
+        )
+        assert augmented.recall > web_only.recall
+        assert augmented.false_block_rate == 0.0
+
+    def test_score_fields(self):
+        flows = build_flows()
+        derived = derive_rules(flows, FIRST_PARTIES).as_hosts_list()
+        score = score_blocking("derived", flows, [derived])
+        assert score.blocked_tracking == 12  # the newtracker pixels
+        assert score.total_tracking > score.blocked_tracking
+        assert score.total_benign > 0
+
+    def test_empty_flows(self):
+        score = score_blocking("empty", [], [])
+        assert score.recall == 0.0
+        assert score.false_block_rate == 0.0

@@ -1,0 +1,70 @@
+"""Tests for the §IV-D measurement-run effect statistics."""
+
+import pytest
+
+from repro.analysis.runeffects import (
+    interaction_vs_channel,
+    run_effect_report,
+)
+from repro.analysis.tracking import TrackingClassifier
+from repro.simulation.study import default_study
+
+
+@pytest.fixture(scope="module")
+def study():
+    return default_study(seed=7, scale=0.15)
+
+
+class TestRunEffects:
+    def test_run_affects_traffic(self, study):
+        report = run_effect_report(study.dataset)
+        # Paper: p < 0.0001 for the effect of the pressed button on the
+        # HTTP(S) traffic a channel generates.
+        assert report.run_affects_traffic
+        assert report.traffic_by_run.p_value < 0.001
+
+    def test_run_affects_cookies(self, study):
+        report = run_effect_report(study.dataset)
+        # Paper: p < 0.0001 for cookie placement in both storage spaces.
+        assert report.run_affects_cookies
+
+    def test_group_counts(self, study):
+        report = run_effect_report(study.dataset)
+        assert report.traffic_by_run.group_count == 5
+        assert report.cookies_by_run.group_count == 5
+
+    def test_interaction_vs_channel(self, study):
+        classifier = TrackingClassifier()
+        tracking_urls = {
+            flow.url
+            for flow in study.dataset.all_flows()
+            if classifier.is_tracking(flow)
+        }
+        report = interaction_vs_channel(study.dataset, tracking_urls)
+        assert report.run_effect.significant
+        assert report.channel_effect.significant
+
+
+class TestSyntheticGroups:
+    def test_flat_dataset_not_significant(self):
+        """Identical runs show no run effect."""
+        from repro.core.dataset import RunDataset, StudyDataset
+        from repro.net.http import HttpRequest, pixel_response
+        from repro.proxy.flow import Flow
+
+        dataset = StudyDataset()
+        for run_name in ("A", "B"):
+            run = RunDataset(run_name=run_name)
+            for channel in range(12):
+                for _ in range(5):  # exactly 5 requests everywhere
+                    run.flows.append(
+                        Flow(
+                            request=HttpRequest("GET", "http://t.de/p.gif"),
+                            response=pixel_response(),
+                            channel_id=f"ch{channel}",
+                            run_name=run_name,
+                        )
+                    )
+            dataset.add_run(run)
+        report = run_effect_report(dataset)
+        assert not report.run_affects_traffic

@@ -1,0 +1,295 @@
+"""Integration tests: TV + proxy + HbbTV runtime on the mini test world."""
+
+import pytest
+
+from repro.hbbtv.overlay import OverlayKind, PrivacyContentKind
+from repro.keys import Key
+from tests.helpers import ENTRY_URL, FIRST_PARTY, POLICY_URL, TestWorld
+
+
+@pytest.fixture()
+def world():
+    return TestWorld()
+
+
+def flows_to(world, etld1):
+    return [f for f in world.proxy.flows if f.etld1 == etld1]
+
+
+class TestAppStart:
+    def test_entry_document_fetched(self, world):
+        world.tune_in()
+        assert any(f.url == ENTRY_URL for f in world.proxy.flows)
+
+    def test_oneshot_services_fired(self, world):
+        world.tune_in()
+        hosts = {f.host for f in world.proxy.flows}
+        assert "fp.devicemetrics.io" in hosts  # fingerprint script+collect
+        assert "static.tvcdn.net" in hosts  # static CDN library
+        assert "sync.adsync.net" in hosts  # sync initiator
+
+    def test_sync_redirect_chain_recorded(self, world):
+        world.tune_in()
+        # The redirect hop to the partner must be its own flow, carrying
+        # the initiator's uid in the query string.
+        partner_flows = flows_to(world, "dspartner.com")
+        assert partner_flows
+        assert "partner_uid=" in partner_flows[0].url
+
+    def test_consent_notice_up_after_start(self, world):
+        world.tune_in()
+        state = world.tv.screen_state()
+        assert state.kind is OverlayKind.PRIVACY
+        assert state.privacy_kind is PrivacyContentKind.CONSENT_NOTICE
+
+    def test_storage_written(self, world):
+        world.tune_in()
+        entries = world.tv.browser.local_storage.all()
+        assert any(e.key == "playerState" for e in entries)
+
+    def test_channel_attribution(self, world):
+        world.tune_in()
+        attributed = [f for f in world.proxy.flows if f.channel_id]
+        assert attributed
+        assert all(f.channel_id == "beispiel-tv" for f in attributed)
+
+
+class TestBeacons:
+    def dismiss_notice(self, world):
+        # Playback beacons are suppressed while the consent notice is
+        # up; accept it so the player starts reporting.
+        from repro.keys import Key
+
+        world.tv.press(Key.ENTER)
+
+    def test_pixels_fire_periodically(self, world):
+        world.tune_in()
+        self.dismiss_notice(world)
+        before = len(flows_to(world, "tvping.com"))
+        world.tv.wait(300)
+        after = len(flows_to(world, "tvping.com"))
+        # 30 s period over 300 s => 10 beacons.
+        assert after - before == 10
+
+    def test_pixels_suppressed_while_notice_up(self, world):
+        world.tune_in()  # notice stays up, nobody presses anything
+        world.tv.wait(300)
+        assert flows_to(world, "tvping.com") == []
+
+    def test_beacon_timestamps_spaced_by_period(self, world):
+        world.tune_in()
+        self.dismiss_notice(world)
+        world.tv.wait(120)
+        times = [f.timestamp for f in flows_to(world, "tvping.com")]
+        assert len(times) == 4
+        deltas = [b - a for a, b in zip(times, times[1:])]
+        assert all(abs(d - 30.0) < 1e-6 for d in deltas)
+
+    def test_pixel_carries_channel_session_user(self, world):
+        world.tune_in()
+        self.dismiss_notice(world)
+        world.tv.wait(30)
+        flow = flows_to(world, "tvping.com")[0]
+        params = flow.request.query_params()
+        assert params["c"] == "beispiel-tv"
+        assert len(params["s"]) == 12
+        assert len(params["u"]) == 16
+
+    def test_device_info_leaked_on_pixel(self, world):
+        world.tune_in()
+        self.dismiss_notice(world)
+        world.tv.wait(30)
+        params = flows_to(world, "tvping.com")[0].request.query_params()
+        assert params["mf"] == "LGE"
+        assert params["md"] == "43UK6300LLB"
+
+    def test_show_info_leaked_on_analytics(self, world):
+        world.tune_in()
+        world.tv.wait(120)
+        flow = flows_to(world, "xiti.com")[0]
+        params = flow.request.query_params()
+        assert params["show"] == "Abendshow"
+        assert params["genre"] == "talk"
+
+    def test_pixel_response_sets_cookie_once(self, world):
+        world.tune_in()
+        self.dismiss_notice(world)
+        world.tv.wait(120)
+        uid_cookies = [
+            c for c in world.tv.browser.cookie_jar.all() if c.name == "uid"
+        ]
+        assert len(uid_cookies) == 1
+
+    def test_wait_advances_clock_exactly(self, world):
+        world.tune_in()
+        start = world.clock.now
+        world.tv.wait(901)
+        assert world.clock.now == start + 901
+
+
+class TestButtons:
+    def test_red_opens_media_library(self, world):
+        world.tune_in()
+        world.tv.press(Key.ENTER)  # accept notice first
+        world.tv.press(Key.RED)
+        assert world.tv.screen_state().kind is OverlayKind.MEDIA_LIBRARY
+
+    def test_red_prefetches_policy(self, world):
+        world.tune_in()
+        world.tv.press(Key.ENTER)
+        world.tv.press(Key.RED)
+        assert any(f.url == POLICY_URL for f in world.proxy.flows)
+
+    def test_red_fires_button_gated_ad_with_brand(self, world):
+        world.tune_in()
+        world.tv.press(Key.ENTER)
+        world.tv.press(Key.RED)
+        ad_flows = flows_to(world, "tvadnet.de")
+        assert ad_flows
+        assert ad_flows[0].request.query_params()["brand"] == "loreal"
+
+    def test_button_gated_services_fire_once(self, world):
+        world.tune_in()
+        world.tv.press(Key.ENTER)
+        world.tv.press(Key.RED)
+        world.tv.press(Key.RED)
+        assert len(flows_to(world, "tvadnet.de")) == 1
+
+    def test_media_library_shows_privacy_pointer(self, world):
+        world.tune_in()
+        world.tv.press(Key.ENTER)
+        world.tv.press(Key.RED)
+        state = world.tv.screen_state()
+        assert state.has_privacy_pointer
+        assert not state.pointer_prominent
+
+    def test_library_item_open_generates_request(self, world):
+        world.tune_in()
+        world.tv.press(Key.ENTER)
+        world.tv.press(Key.RED)
+        before = len(world.proxy.flows)
+        world.tv.press(Key.ENTER)  # open focused item
+        assert len(world.proxy.flows) == before + 1
+
+    def test_pointer_opens_policy_overlay(self, world):
+        world.tune_in()
+        world.tv.press(Key.ENTER)
+        world.tv.press(Key.RED)
+        world.tv.press(Key.LEFT)  # wrap focus backwards onto the pointer
+        world.tv.press(Key.ENTER)
+        state = world.tv.screen_state()
+        assert state.kind is OverlayKind.PRIVACY
+        assert state.privacy_kind is PrivacyContentKind.PRIVACY_POLICY
+        assert "Datenschutz" in state.policy_excerpt
+
+    def test_blue_opens_hybrid_privacy_screen(self, world):
+        world.tune_in()
+        world.tv.press(Key.ENTER)  # dismiss autostart notice
+        world.tv.press(Key.BLUE)
+        state = world.tv.screen_state()
+        assert state.kind is OverlayKind.PRIVACY
+        assert state.privacy_kind is PrivacyContentKind.HYBRID
+
+    def test_yellow_opens_text_page(self, world):
+        world.tune_in()
+        world.tv.press(Key.ENTER)
+        world.tv.press(Key.YELLOW)
+        state = world.tv.screen_state()
+        assert state.kind is OverlayKind.OTHER
+        assert state.caption == "Programm Info"
+
+    def test_unbound_button_keeps_screen(self, world):
+        world.tune_in()
+        world.tv.press(Key.ENTER)
+        world.tv.press(Key.GREEN)
+        assert world.tv.screen_state().kind is OverlayKind.TV_ONLY
+
+
+class TestConsentFlow:
+    def test_accept_sends_consent_ping_with_timestamp_cookie(self, world):
+        world.tune_in()
+        world.tv.press(Key.ENTER)
+        consent_flows = [f for f in world.proxy.flows if "/consent" in f.url]
+        assert consent_flows
+        consent_cookies = [
+            c for c in world.tv.browser.cookie_jar.all() if c.name == "consent"
+        ]
+        assert len(consent_cookies) == 1
+        # The cookie value is a Unix timestamp (ID heuristic excludes it).
+        assert consent_cookies[0].value == str(int(world.clock.start))
+
+    def test_notice_gone_after_accept(self, world):
+        world.tune_in()
+        world.tv.press(Key.ENTER)
+        assert world.tv.screen_state().kind is OverlayKind.TV_ONLY
+
+
+class TestChannelSwitch:
+    def test_switch_stops_beacons(self, world):
+        from repro.keys import Key
+
+        world.tune_in()
+        world.tv.press(Key.ENTER)  # dismiss notice, start playback
+        world.tv.wait(60)
+        count = len(flows_to(world, "tvping.com"))
+        assert count == 2
+        world.tv.tune(world.channel)  # re-tune: app restarts
+        # Old beacons cleared; the fresh app shows its notice again, so
+        # playback beacons stay suppressed until it is dismissed.
+        world.tv.press(Key.ENTER)
+        world.tv.wait(30)
+        assert len(flows_to(world, "tvping.com")) == count + 1
+
+    def test_power_off_requires_power_for_interaction(self, world):
+        world.tv.power_off()
+        with pytest.raises(RuntimeError):
+            world.tv.press(Key.RED)
+
+    def test_wipe_clears_state(self, world):
+        world.tune_in()
+        world.tv.wait(60)
+        world.tv.wipe()
+        assert len(world.tv.browser.cookie_jar) == 0
+        assert len(world.tv.browser.local_storage) == 0
+
+
+class TestProxyBehaviour:
+    def test_https_flows_marked_intercepted(self, world):
+        world.tune_in()
+        https_flows = [f for f in world.proxy.flows if f.is_https]
+        assert https_flows  # CDN assets are https in the test world
+        assert all(f.intercepted_tls for f in https_flows)
+
+    def test_dead_host_yields_504_flow(self, world):
+        from repro.net.http import HttpRequest
+
+        response = world.proxy.request(
+            HttpRequest("GET", "http://dead.example.com/x", timestamp=1.0)
+        )
+        assert response.status == 504
+        assert world.proxy.flows[-1].status == 504
+
+    def test_lge_traffic_excluded(self, world):
+        from repro.net.http import HttpRequest
+        from repro.net.http import html_response
+        from repro.net.server import FunctionServer
+
+        lge = FunctionServer("snu.lge.com")
+        lge.route("/", lambda r: html_response("update ok"))
+        world.network.register(lge)
+        world.proxy.request(HttpRequest("GET", "http://snu.lge.com/check"))
+        assert not [f for f in world.proxy.flows if f.etld1 == "lge.com"]
+        assert world.proxy.excluded_flow_count == 1
+
+    def test_stopped_proxy_rejects(self, world):
+        from repro.net.http import HttpRequest
+
+        world.proxy.stop()
+        with pytest.raises(RuntimeError):
+            world.proxy.request(HttpRequest("GET", "http://x.de/"))
+
+    def test_drain_flows_empties_buffer(self, world):
+        world.tune_in()
+        drained = world.proxy.drain_flows()
+        assert drained
+        assert world.proxy.flows == []

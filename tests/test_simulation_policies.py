@@ -1,0 +1,152 @@
+"""Tests for the policy-text generator and operator templates."""
+
+import pytest
+
+from repro.policy.practices import annotate_practices
+from repro.policy.taxonomy import all_values, DATA_SUBJECT_RIGHTS
+from repro.simulation.operators import standard_operators
+from repro.simulation.policies import (
+    PolicyTemplate,
+    render_policy,
+    render_policy_page,
+)
+
+
+class TestRendering:
+    def test_german_default(self):
+        text = render_policy(
+            PolicyTemplate(template_id="t", controller="T GmbH")
+        )
+        assert "Datenschutzerklärung" in text
+        assert "Art. 13 DSGVO" in text
+
+    def test_english_template(self):
+        text = render_policy(
+            PolicyTemplate(template_id="t", controller="T Ltd", language="en")
+        )
+        assert "Privacy Policy" in text
+        assert "GDPR" in text
+
+    def test_bilingual_contains_both(self):
+        text = render_policy(
+            PolicyTemplate(
+                template_id="t", controller="T GmbH", language="bilingual"
+            )
+        )
+        assert "Datenschutzerklärung" in text
+        assert "Privacy Policy" in text
+
+    def test_rights_sections_match_articles(self):
+        for article in (15, 16, 17, 18, 20, 21, 77):
+            text = render_policy(
+                PolicyTemplate(
+                    template_id="t",
+                    controller="T",
+                    rights_articles=frozenset({article}),
+                )
+            )
+            assert f"Art. {article}" in text
+
+    def test_window_rendering(self):
+        text = render_policy(
+            PolicyTemplate(
+                template_id="t", controller="T", declared_window=(17, 6)
+            )
+        )
+        assert "von 17 Uhr bis 6 Uhr" in text
+
+    def test_mixed_content_brackets_policy(self):
+        text = render_policy(
+            PolicyTemplate(template_id="t", controller="T", mixed_content=True)
+        )
+        assert text.startswith("NUR DIESE WOCHE")
+        assert "Datenschutzerklärung" in text
+
+    def test_per_channel_name_substitution(self):
+        template = PolicyTemplate(
+            template_id="t", controller="T GmbH", per_channel_name=True
+        )
+        a = render_policy(template, "Kanal A")
+        b = render_policy(template, "Kanal B")
+        assert a != b
+        assert "Kanal A" in a and "Kanal A" not in b
+
+    def test_page_wraps_body_in_chrome(self):
+        page = render_policy_page(
+            PolicyTemplate(template_id="t", controller="T")
+        )
+        assert page.startswith("<html>")
+        assert "<nav>" in page and "<footer>" in page
+
+    def test_render_annotate_round_trip(self):
+        """Every template knob survives the render → annotate cycle."""
+        template = PolicyTemplate(
+            template_id="round",
+            controller="Round GmbH",
+            blue_button_hint=True,
+            third_party_collection=True,
+            legitimate_interest=True,
+            declared_window=(17, 6),
+            tdddg_mention=True,
+            opt_out_statements=True,
+            vague_statements=True,
+            personalization_statement=True,
+            rights_articles=frozenset({15, 20, 77}),
+            hbbtv_contact_email="a@b.de",
+            ip_anonymization="full",
+        )
+        annotation = annotate_practices(render_policy(template))
+        assert annotation.blue_button_hint
+        assert annotation.third_party_collection
+        assert annotation.uses_legitimate_interest
+        assert annotation.declared_window == (17, 6)
+        assert annotation.tdddg_mention
+        assert annotation.opt_out_statements
+        assert annotation.vague_statements
+        assert annotation.mentions_personalization_of_program
+        assert annotation.rights_articles == {15, 20, 77}
+        assert annotation.contact_emails == ("a@b.de",)
+        assert annotation.ip_anonymization == "full"
+
+
+class TestTaxonomy:
+    def test_all_values_nonempty(self):
+        values = all_values()
+        assert len(values) > 10
+        names = [value.name for value in values]
+        assert "IPAddress" in names
+        assert "LegitimateInterest" in names
+
+    def test_rights_cover_paper_articles(self):
+        assert set(DATA_SUBJECT_RIGHTS) == {15, 16, 17, 18, 20, 21, 77}
+
+
+class TestOperatorTemplates:
+    def test_named_operators_have_distinct_template_ids(self):
+        operators = standard_operators(1.0)
+        ids = [
+            op.policy_template.template_id
+            for op in operators
+            if op.policy_template is not None
+        ]
+        assert len(ids) == len(set(ids))
+
+    def test_superrtl_declares_window(self):
+        operators = {op.name: op for op in standard_operators(1.0)}
+        trio = operators["Super RTL Familie"]
+        assert trio.policy_template.declared_window == (17, 6)
+        assert trio.targets_children
+
+    def test_notice_style_assignments_match_paper(self):
+        operators = {op.name: op for op in standard_operators(1.0)}
+        assert operators["RTL Deutschland"].notice_style_id == 1
+        assert operators["ProSiebenSat.1"].notice_style_id == 2
+        assert operators["QVC"].notice_style_id == 4
+        assert operators["Bibel TV"].notice_style_id == 7
+        assert operators["RTL Zwei"].notice_style_id == 8
+        assert operators["ZDF Gruppe"].notice_style_id == 10
+
+    def test_public_operators_flagged(self):
+        operators = {op.name: op for op in standard_operators(1.0)}
+        assert operators["ZDF Gruppe"].is_public
+        assert not operators["RTL Deutschland"].is_public

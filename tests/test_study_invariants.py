@@ -1,0 +1,123 @@
+"""Cross-component consistency invariants over a full study.
+
+These check that the subsystems agree with each other: proxy flows,
+cookie records, screenshots, and the simulated clock all describe the
+same events.
+"""
+
+import pytest
+
+from repro.simulation.study import default_study
+
+SCALE = 0.15
+
+
+@pytest.fixture(scope="module")
+def study():
+    return default_study(seed=7, scale=SCALE)
+
+
+class TestTemporalConsistency:
+    def test_flow_timestamps_within_study_period(self, study):
+        for run in study.dataset.runs.values():
+            for flow in run.flows[:5000]:
+                assert study.period_start <= flow.timestamp <= study.period_end
+
+    def test_flow_timestamps_monotone_per_run(self, study):
+        for run in study.dataset.runs.values():
+            timestamps = [f.timestamp for f in run.flows]
+            assert timestamps == sorted(timestamps)
+
+    def test_runs_do_not_overlap_in_time(self, study):
+        ordered = list(study.dataset.runs.values())
+        for earlier, later in zip(ordered, ordered[1:]):
+            if not earlier.flows or not later.flows:
+                continue
+            assert earlier.flows[-1].timestamp <= later.flows[0].timestamp
+
+    def test_screenshot_timestamps_within_period(self, study):
+        for shot in study.dataset.all_screenshots():
+            assert study.period_start <= shot.timestamp <= study.period_end
+
+
+class TestAttributionConsistency:
+    def test_flow_channels_are_known(self, study):
+        known = {c.channel_id for c in study.world.all_channels}
+        for flow in study.dataset.all_flows():
+            if flow.channel_id:
+                assert flow.channel_id in known
+
+    def test_measured_channels_have_flows(self, study):
+        for run in study.dataset.runs.values():
+            with_flows = {f.channel_id for f in run.flows if f.channel_id}
+            for channel_id in run.channels_measured:
+                assert channel_id in with_flows
+
+    def test_screenshot_channels_were_measured(self, study):
+        for run in study.dataset.runs.values():
+            measured = set(run.channels_measured)
+            for shot in run.screenshots:
+                assert shot.channel_id in measured
+
+
+class TestCookieConsistency:
+    def test_cookie_set_urls_exist_in_flows(self, study):
+        for run in study.dataset.runs.values():
+            urls = {f.url for f in run.flows}
+            for record in run.cookie_records[:1000]:
+                assert record.cookie.set_by_url in urls
+
+    def test_cookie_records_attributed_like_their_flows(self, study):
+        # The same URL can occur on several channels (shared sync and
+        # beacon endpoints), so the record's channel must be one of the
+        # channels that actually requested the setting URL.
+        for run in study.dataset.runs.values():
+            channels_by_url: dict[str, set[str]] = {}
+            for flow in run.flows:
+                channels_by_url.setdefault(flow.url, set()).add(flow.channel_id)
+            for record in run.cookie_records[:1000]:
+                assert record.channel_id in channels_by_url[
+                    record.cookie.set_by_url
+                ]
+
+    def test_consent_cookies_hold_timestamps(self, study):
+        for run in study.dataset.runs.values():
+            for record in run.cookie_records:
+                if record.cookie.name == "consent":
+                    value = float(record.cookie.value)
+                    assert study.period_start <= value <= study.period_end
+
+    def test_consent_pings_only_on_interaction_runs(self, study):
+        for name, run in study.dataset.runs.items():
+            pings = [f for f in run.flows if "/consent?" in f.url]
+            if name == "General":
+                assert pings == []
+            # Interaction runs accept notices via the default focus.
+        red_pings = [
+            f for f in study.dataset.runs["Red"].flows if "/consent?" in f.url
+        ]
+        assert red_pings
+
+
+class TestScreenshotProtocol:
+    def test_general_run_screenshot_count(self, study):
+        general = study.dataset.runs["General"]
+        for shots in general.screenshots_by_channel().values():
+            assert len(shots) == 16
+
+    def test_button_run_screenshot_count(self, study):
+        for name in ("Red", "Green", "Blue", "Yellow"):
+            run = study.dataset.runs[name]
+            for shots in run.screenshots_by_channel().values():
+                assert len(shots) == 27
+
+    def test_screenshots_ordered_in_time_per_channel(self, study):
+        for run in study.dataset.runs.values():
+            for shots in run.screenshots_by_channel().values():
+                timestamps = [s.timestamp for s in shots]
+                assert timestamps == sorted(timestamps)
+
+    def test_sequence_numbers_assigned(self, study):
+        run = study.dataset.runs["General"]
+        for shots in run.screenshots_by_channel().values():
+            assert [s.sequence_number for s in shots] == list(range(len(shots)))

@@ -1,0 +1,120 @@
+"""Tests for the hour-of-day tracking analysis."""
+
+import pytest
+
+from repro.analysis.timewindow import (
+    HourlyHistogram,
+    hourly_tracking_histograms,
+    window_compliance,
+)
+from repro.clock import DEFAULT_START
+from repro.net.http import HttpRequest, html_response, pixel_response
+from repro.proxy.flow import Flow
+
+
+def tracking_flow(hour, channel="kids1"):
+    # DEFAULT_START is 09:00; shift to the requested hour of day.
+    timestamp = DEFAULT_START + ((hour - 9) % 24) * 3600
+    return Flow(
+        request=HttpRequest(
+            "GET", "http://track.tvping.com/track.gif", timestamp=timestamp
+        ),
+        response=pixel_response(),
+        channel_id=channel,
+    )
+
+
+class TestHistogram:
+    def test_counts_by_hour(self):
+        histogram = HourlyHistogram("ch")
+        histogram.add(9.5)
+        histogram.add(9.9)
+        histogram.add(23.0)
+        assert histogram.counts[9] == 2
+        assert histogram.counts[23] == 1
+        assert histogram.total == 3
+        assert histogram.active_hours() == 2
+
+    def test_window_simple(self):
+        histogram = HourlyHistogram("ch")
+        for hour in (10, 12, 18):
+            histogram.add(hour)
+        assert histogram.inside_window((9, 17)) == 2
+        assert histogram.outside_window((9, 17)) == 1
+
+    def test_window_wrapping_midnight(self):
+        # The Super RTL window: 17:00–06:00.
+        histogram = HourlyHistogram("ch")
+        for hour in (18, 23, 2, 5):  # inside
+            histogram.add(hour)
+        for hour in (9, 12, 16):  # outside
+            histogram.add(hour)
+        assert histogram.inside_window((17, 6)) == 4
+        assert histogram.outside_window((17, 6)) == 3
+        assert histogram.outside_share((17, 6)) == pytest.approx(3 / 7)
+
+    def test_empty_histogram(self):
+        histogram = HourlyHistogram("ch")
+        assert histogram.outside_share((17, 6)) == 0.0
+        assert histogram.active_hours() == 0
+
+    def test_sparkline_length(self):
+        histogram = HourlyHistogram("ch")
+        histogram.add(0)
+        assert len(histogram.sparkline()) == 24
+        assert histogram.sparkline()[0] == "█"
+
+
+class TestHistogramsFromFlows:
+    def test_only_tracking_counted(self):
+        benign = Flow(
+            request=HttpRequest("GET", "http://site.de/x", timestamp=DEFAULT_START),
+            response=html_response("<p>x</p>"),
+            channel_id="kids1",
+        )
+        histograms = hourly_tracking_histograms([tracking_flow(10), benign])
+        assert histograms["kids1"].total == 1
+
+    def test_unattributed_skipped(self):
+        flow = tracking_flow(10, channel="")
+        assert hourly_tracking_histograms([flow]) == {}
+
+
+class TestCompliance:
+    def test_violation_detected(self):
+        flows = [tracking_flow(10), tracking_flow(19)]
+        histograms = hourly_tracking_histograms(flows)
+        results = window_compliance(histograms, {"kids1": (17, 6)})
+        assert len(results) == 1
+        result = results[0]
+        assert not result.compliant
+        assert result.inside == 1
+        assert result.outside == 1
+        assert result.outside_share == pytest.approx(0.5)
+
+    def test_compliant_channel(self):
+        flows = [tracking_flow(19), tracking_flow(23)]
+        histograms = hourly_tracking_histograms(flows)
+        results = window_compliance(histograms, {"kids1": (17, 6)})
+        assert results[0].compliant
+
+    def test_channel_without_tracking_skipped(self):
+        results = window_compliance({}, {"silent": (17, 6)})
+        assert results == []
+
+
+class TestOnStudy:
+    def test_children_track_around_the_clock(self):
+        from repro.simulation.study import default_study
+
+        study = default_study(seed=7, scale=0.15)
+        histograms = hourly_tracking_histograms(study.dataset.all_flows())
+        windows = {
+            truth.channel_id: truth.policy_template.declared_window
+            for truth in study.world.ground_truth.values()
+            if truth.policy_template is not None
+            and truth.policy_template.declared_window is not None
+        }
+        results = window_compliance(histograms, windows)
+        assert results  # the Super RTL-like trio has declared windows
+        assert any(not r.compliant for r in results)

@@ -1,0 +1,64 @@
+"""Tests for the top-level API, study context plumbing, and the
+configured-scale environment knob."""
+
+import os
+
+import pytest
+
+import repro
+from repro.simulation.study import (
+    DEFAULT_SCALE,
+    SCALE_ENV_VAR,
+    configured_scale,
+    default_study,
+)
+
+
+class TestTopLevelApi:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_run_default_study_memoized(self):
+        first = repro.run_default_study(seed=9, scale=0.03)
+        second = repro.run_default_study(seed=9, scale=0.03)
+        assert first is second
+
+    def test_table1_renders(self):
+        context = repro.run_default_study(seed=9, scale=0.03)
+        text = repro.table1(context.dataset)
+        assert "General" in text
+        assert "Yellow" in text
+
+
+class TestConfiguredScale:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv(SCALE_ENV_VAR, raising=False)
+        assert configured_scale() == DEFAULT_SCALE
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(SCALE_ENV_VAR, "0.5")
+        assert configured_scale() == 0.5
+
+    def test_garbage_falls_back(self, monkeypatch):
+        monkeypatch.setenv(SCALE_ENV_VAR, "not-a-number")
+        assert configured_scale() == DEFAULT_SCALE
+
+    def test_nonpositive_falls_back(self, monkeypatch):
+        monkeypatch.setenv(SCALE_ENV_VAR, "-1")
+        assert configured_scale() == DEFAULT_SCALE
+
+
+class TestStudyContext:
+    @pytest.fixture(scope="class")
+    def context(self):
+        return default_study(seed=9, scale=0.03)
+
+    def test_period_spans_runs(self, context):
+        assert context.period_end > context.period_start
+
+    def test_first_party_overrides_exposed(self, context):
+        assert isinstance(context.first_party_overrides, dict)
+
+    def test_world_reachable(self, context):
+        assert context.world.seed == 9
+        assert context.dataset is not None

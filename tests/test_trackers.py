@@ -1,0 +1,195 @@
+"""Unit tests for the tracker service population."""
+
+from repro.net.http import Headers, HttpRequest
+from repro.trackers.analytics import AnalyticsService
+from repro.trackers.base import FilterListPresence, TrackerService, mint_identifier
+from repro.trackers.cdn import CdnService
+from repro.trackers.fingerprint import (
+    FINGERPRINT_MARKERS,
+    FingerprintService,
+    build_fingerprint_script,
+)
+from repro.trackers.pixel import PixelService
+from repro.trackers.sync import SyncPair, SyncService
+
+import random
+
+
+class TestBase:
+    def test_mint_identifier_length_and_alphabet(self):
+        rng = random.Random(1)
+        token = mint_identifier(rng, 16)
+        assert len(token) == 16
+        assert all(c in "0123456789abcdef" for c in token)
+
+    def test_mint_identifier_deterministic(self):
+        a = mint_identifier(random.Random(9), 16)
+        b = mint_identifier(random.Random(9), 16)
+        assert a == b
+
+    def test_default_id_passes_paper_heuristic(self):
+        # 10-25 chars and not a plausible Unix timestamp.
+        token = mint_identifier(random.Random(2))
+        assert 10 <= len(token) <= 25
+        assert not token.isdigit() or not (1_500_000_000 < int(token) < 2_000_000_000)
+
+    def test_service_seeded_rng(self):
+        a = TrackerService(name="t", domain="t.com", seed=5)
+        b = TrackerService(name="t", domain="t.com", seed=5)
+        assert a.mint_id() == b.mint_id()
+
+    def test_unrouted_path_is_404(self):
+        service = TrackerService(name="t", domain="t.com")
+        assert service.handle(HttpRequest("GET", "http://t.com/zzz")).status == 404
+
+    def test_presence_presets(self):
+        assert FilterListPresence.web_lists().easylist
+        assert FilterListPresence.web_lists().pihole
+        assert not FilterListPresence.nowhere().easylist
+        assert FilterListPresence.pihole_only().pihole
+
+    def test_extra_hosts(self):
+        service = TrackerService(name="t", domain="t.com")
+        service.add_host("cdn.t.com")
+        assert service.hosts() == {"t.com", "cdn.t.com"}
+
+    def test_etld1(self):
+        assert TrackerService(name="t", domain="a.b.tracker.com").etld1 == "tracker.com"
+
+
+class TestPixelService:
+    def test_pixel_is_small_image_200(self):
+        service = PixelService(name="p", domain="p.com")
+        response = service.handle(HttpRequest("GET", "http://p.com/track.gif?c=x"))
+        assert response.status == 200
+        assert response.is_image
+        assert response.size < 45
+
+    def test_sets_uid_cookie_when_absent(self):
+        service = PixelService(name="p", domain="p.com")
+        response = service.handle(HttpRequest("GET", "http://p.com/track.gif"))
+        assert any("uid=" in h for h in response.set_cookie_headers())
+
+    def test_no_cookie_when_already_present(self):
+        service = PixelService(name="p", domain="p.com")
+        request = HttpRequest(
+            "GET", "http://p.com/track.gif", Headers([("Cookie", "uid=abc")])
+        )
+        assert not service.handle(request).set_cookie_headers()
+
+    def test_cookieless_mode(self):
+        service = PixelService(name="p", domain="p.com", sets_cookie=False)
+        response = service.handle(HttpRequest("GET", "http://p.com/track.gif"))
+        assert not response.set_cookie_headers()
+
+    def test_beacon_url_and_counter(self):
+        service = PixelService(name="p", domain="p.com")
+        url = service.beacon_url("ch1", "sess", "user")
+        assert url == "http://p.com/track.gif?c=ch1&s=sess&u=user"
+        service.handle(HttpRequest("GET", url))
+        assert service.beacons_served == 1
+
+
+class TestAnalyticsService:
+    def test_hit_returns_204(self):
+        service = AnalyticsService(name="a", domain="a.com")
+        response = service.handle(HttpRequest("GET", "http://a.com/hit?ch=x"))
+        assert response.status == 204
+
+    def test_sets_visitor_and_session_cookies(self):
+        service = AnalyticsService(name="a", domain="a.com")
+        response = service.handle(HttpRequest("GET", "http://a.com/hit?ch=x"))
+        names = [h.split("=", 1)[0] for h in response.set_cookie_headers()]
+        assert set(names) == {"visitor", "avs"}
+
+    def test_hit_url_includes_show_metadata(self):
+        service = AnalyticsService(name="a", domain="a.com")
+        url = service.hit_url("ch1", "My Show", "crime", extra={"x": "1"})
+        assert "show=My%20Show" in url
+        assert "genre=crime" in url
+        assert "x=1" in url
+
+    def test_hit_url_omits_empty_show(self):
+        service = AnalyticsService(name="a", domain="a.com")
+        assert "show=" not in service.hit_url("ch1")
+
+
+class TestFingerprintService:
+    def test_script_contains_markers(self):
+        service = FingerprintService(
+            name="f", domain="f.com", markers=FINGERPRINT_MARKERS[:4]
+        )
+        response = service.handle(HttpRequest("GET", "http://f.com/fp.js"))
+        assert response.is_javascript
+        for marker in FINGERPRINT_MARKERS[:4]:
+            assert marker in response.body_text()
+
+    def test_collect_counts_and_sets_fpid(self):
+        service = FingerprintService(name="f", domain="f.com")
+        response = service.handle(HttpRequest("GET", "http://f.com/collect?fp=x"))
+        assert service.collections == 1
+        assert any("fpid=" in h for h in response.set_cookie_headers())
+
+    def test_build_script_embeds_collect_url(self):
+        script = build_fingerprint_script(("AudioContext",), "http://f.com/collect")
+        assert "http://f.com/collect" in script
+        assert "AudioContext" in script
+
+
+class TestSyncServices:
+    def make_pair(self):
+        return SyncPair.build("init", "i.com", "recv", "r.com", seed=3)
+
+    def test_sync_redirects_to_partner_with_uid(self):
+        pair = self.make_pair()
+        response = pair.initiator.handle(HttpRequest("GET", "http://i.com/sync"))
+        assert response.is_redirect
+        assert "partner_uid=" in response.location
+        assert "r.com/match" in response.location
+
+    def test_sync_sets_cookie_on_first_visit_only(self):
+        pair = self.make_pair()
+        first = pair.initiator.handle(HttpRequest("GET", "http://i.com/sync"))
+        assert first.set_cookie_headers()
+        uid = first.set_cookie_headers()[0].split("=", 2)[1].split(";")[0]
+        again = pair.initiator.handle(
+            HttpRequest(
+                "GET", "http://i.com/sync", Headers([("Cookie", f"suid={uid}")])
+            )
+        )
+        assert not again.set_cookie_headers()
+        assert uid in again.location
+
+    def test_match_records_partner_id(self):
+        pair = self.make_pair()
+        pair.receiver.handle(
+            HttpRequest("GET", "http://r.com/match?partner_uid=abc123&source=i.com")
+        )
+        assert pair.receiver.syncs_received == 1
+        assert pair.receiver.received_partner_ids == ["abc123"]
+
+    def test_standalone_sync_without_partner_serves_pixel(self):
+        service = SyncService(name="s", domain="s.com")
+        response = service.handle(HttpRequest("GET", "http://s.com/sync"))
+        assert not response.is_redirect
+        assert response.is_image
+
+
+class TestCdnService:
+    def test_assets_are_not_pixel_like(self):
+        service = CdnService(name="c", domain="c.com")
+        image = service.handle(HttpRequest("GET", "http://c.com/img/banner.jpg"))
+        assert image.is_image
+        assert image.size >= 45  # must NOT trip the pixel heuristic
+
+    def test_library_has_no_fingerprint_markers(self):
+        service = CdnService(name="c", domain="c.com")
+        library = service.handle(HttpRequest("GET", "http://c.com/lib/toolkit.js"))
+        assert library.is_javascript
+        for marker in FINGERPRINT_MARKERS:
+            assert marker not in library.body_text()
+
+    def test_stylesheet(self):
+        service = CdnService(name="c", domain="c.com")
+        response = service.handle(HttpRequest("GET", "http://c.com/css/app.css"))
+        assert response.content_type == "text/css"
