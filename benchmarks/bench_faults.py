@@ -1,0 +1,74 @@
+"""Cost of resilience — a faulted study next to a clean one.
+
+Executes the same world twice at a reduced scale: once on the plain
+happy path and once under the ``heavy`` fault preset (connection
+resets, 5xx bursts, NXDOMAIN flaps, truncated bodies on the third-party
+population) with the full resilience stack — retries with backoff,
+per-host circuit breakers, per-channel watchdogs.  Emits the run-health
+table plus the wall-clock overhead the fault/retry machinery adds.
+"""
+
+import time
+
+from benchmarks.conftest import SEED, emit
+from repro.analysis.report import format_health_table
+from repro.simulation.study import (
+    configured_scale,
+    fault_plan_for_world,
+    run_study,
+)
+from repro.simulation.world import build_world
+
+#: Full-scale faulty studies retry tens of thousands of requests; cap
+#: the bench's scale so the comparison stays in interactive territory.
+BENCH_SCALE = min(configured_scale(), 0.05)
+
+
+def run_faulty_study():
+    world = build_world(seed=SEED, scale=BENCH_SCALE)
+    return run_study(world, faults=fault_plan_for_world(world, "heavy"))
+
+
+def test_faulty_study_overhead(benchmark):
+    started = time.perf_counter()
+    clean = run_study(build_world(seed=SEED, scale=BENCH_SCALE))
+    clean_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    faulty = benchmark.pedantic(run_faulty_study, rounds=1, iterations=1)
+    faulty_seconds = time.perf_counter() - started
+
+    health = faulty.health
+    totals = health.totals()
+    clean_flows = sum(
+        len(run.flows) for run in clean.dataset.runs.values()
+    )
+    faulty_flows = sum(
+        len(run.flows) for run in faulty.dataset.runs.values()
+    )
+    overhead = faulty_seconds / clean_seconds if clean_seconds else 0.0
+    lines = [
+        f"world seed {SEED}, scale {BENCH_SCALE}; preset: heavy",
+        "",
+        f"clean  study: {clean_flows:>8,} flows   "
+        f"{clean_seconds:>6.2f}s wall",
+        f"faulty study: {faulty_flows:>8,} flows   "
+        f"{faulty_seconds:>6.2f}s wall   ({overhead:.2f}x)",
+        "",
+        f"injected {totals['faults']:,} faults → {totals['retries']:,} "
+        f"retries, {totals['breaker_opens']} breaker opens, "
+        f"{totals['gateway_timeouts']:,} synthesized 504s, "
+        f"{totals['connection_resets']:,} synthesized 502s",
+        "",
+        format_health_table(health),
+    ]
+    emit("Fault injection — resilient-run overhead", "\n".join(lines))
+
+    assert len(faulty.dataset.runs) == 5
+    assert all(run.completed for run in faulty.dataset.runs.values())
+    assert health.has_activity
+    assert totals["faults"] > 0
+    assert totals["retries"] > 0
+    assert clean_flows > 0 and faulty_flows > 0
+    # The clean study carries no health machinery at all.
+    assert clean.health is None

@@ -7,14 +7,20 @@ Subcommands:
 * ``pixels``  — the §V-D1 tracking-pixel report
 * ``graph``   — the §V-E ecosystem-graph metrics
 * ``policies``— the §VII policy-pipeline summary
+* ``health``  — the run-health report (faults, retries, degradation)
 
-All subcommands accept ``--seed`` (default 7) and ``--scale``
-(default 0.15).
+All subcommands accept ``--seed`` (default 7), ``--scale`` (default
+0.15), and ``--faults`` (default ``off``) — a fault-injection preset
+(``light``/``heavy``/``chaos``) applied to the world's third-party
+hosts, with the resilience layer (retries, breakers, watchdogs)
+switched on.
 """
 
 from __future__ import annotations
 
 import argparse
+
+FAULT_CHOICES = ("off", "light", "heavy", "chaos")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -28,8 +34,14 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--scale", type=float, default=0.15)
     parser.add_argument(
+        "--faults",
+        choices=FAULT_CHOICES,
+        default="off",
+        help="fault-injection preset applied to third-party hosts",
+    )
+    parser.add_argument(
         "command",
-        choices=("study", "funnel", "pixels", "graph", "policies"),
+        choices=("study", "funnel", "pixels", "graph", "policies", "health"),
         help="which artifact to produce",
     )
     return parser
@@ -49,7 +61,9 @@ def _funnel(arguments) -> int:
 
     world = build_world(seed=arguments.seed, scale=arguments.scale)
     context = make_context(
-        world, MeasurementConfig(exploratory_watch_seconds=60.0)
+        world,
+        MeasurementConfig(exploratory_watch_seconds=60.0),
+        faults=_fault_plan(arguments, world),
     )
     report = run_filtering(context)
     print(f"{'Step':<24} {'Channels':>9} {'Share':>8}")
@@ -58,16 +72,53 @@ def _funnel(arguments) -> int:
     return 0
 
 
-def _with_study(arguments) -> int:
-    from repro.simulation.study import default_study
+def _fault_plan(arguments, world):
+    from repro.simulation.study import fault_plan_for_world
 
-    context = default_study(seed=arguments.seed, scale=arguments.scale)
+    return fault_plan_for_world(world, arguments.faults)
+
+
+def _load_context(arguments):
+    """The study context: memoized when clean, fresh when faulty."""
+    if arguments.faults == "off" and arguments.command != "health":
+        from repro.simulation.study import default_study
+
+        return default_study(seed=arguments.seed, scale=arguments.scale)
+    from repro.simulation.study import run_study
+    from repro.simulation.world import build_world
+
+    world = build_world(seed=arguments.seed, scale=arguments.scale)
+    return run_study(world, faults=_fault_plan(arguments, world))
+
+
+def _with_study(arguments) -> int:
+    context = _load_context(arguments)
     dataset = context.dataset
+
+    if arguments.command == "health":
+        from repro.analysis.report import format_health_table
+
+        if context.health is None or not context.health.has_activity:
+            print(
+                "run healthy: no faults injected, no retries, "
+                "no degraded channels (use --faults to exercise a "
+                "faulty world)"
+            )
+            return 0
+        print(format_health_table(context.health))
+        return 0
 
     if arguments.command == "study":
         from repro.core.report import format_overview_table, overview_table
 
         print(format_overview_table(overview_table(dataset)))
+        if context.health is not None and context.health.has_activity:
+            totals = context.health.totals()
+            print(
+                f"\nrun health: {totals['faults']:,} faults injected, "
+                f"{totals['retries']:,} retries, "
+                f"{totals['degraded_channels']} degraded channel visit(s)"
+            )
         return 0
 
     flows = list(dataset.all_flows())

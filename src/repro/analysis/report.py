@@ -51,6 +51,47 @@ class ReportSection:
         return f"## {self.title}\n\n{self.body}\n"
 
 
+def format_health_table(health) -> str:
+    """Render a :class:`~repro.core.health.StudyHealth` as markdown.
+
+    One row per run — faults injected, retries spent, breaker activity,
+    synthesized gateway failures, and degraded channels — plus a totals
+    line, the reproducibility fingerprint of a faulty study.
+    """
+    lines = [
+        "| run | faults | retries | breaker opens | 504s | resets "
+        "| degraded | 504 rate |",
+        "|---|---|---|---|---|---|---|---|",
+    ]
+    for run in health.runs:
+        suffix = "" if run.completed else " (partial)"
+        lines.append(
+            f"| {run.run_name}{suffix} | {run.faults_total:,} | "
+            f"{run.retries:,} | {run.breaker_opens} | "
+            f"{run.gateway_timeouts:,} | {run.connection_resets:,} | "
+            f"{len(run.failures)} | {run.gateway_timeout_rate:.2%} |"
+        )
+    totals = health.totals()
+    by_kind = ", ".join(
+        f"{kind}={count:,}" for kind, count in sorted(health.faults_by_kind().items())
+    )
+    lines.append("")
+    lines.append(
+        f"- totals: {totals['faults']:,} faults injected "
+        f"({by_kind or 'none'}), {totals['retries']:,} retries, "
+        f"{totals['degraded_channels']} degraded channel visit(s), "
+        f"{totals['breaker_opens']} breaker open(s)"
+    )
+    for run in health.runs:
+        for failure in run.failures:
+            lines.append(
+                f"  - `{failure.channel_id}` ({run.run_name}): "
+                f"{failure.reason} after {failure.attempts} attempt(s), "
+                f"{failure.elapsed_seconds:.0f}s"
+            )
+    return "\n".join(lines)
+
+
 def generate_report(context) -> str:
     """Build the full replication report for a study context."""
     dataset = context.dataset
@@ -70,6 +111,14 @@ def generate_report(context) -> str:
         _section_policies(context, flows, first_parties),
         _section_children(context, flows, records),
     ]
+    health = getattr(context, "health", None)
+    if health is not None and health.has_activity:
+        sections.append(
+            ReportSection(
+                "Run health — faults, retries, degradation",
+                format_health_table(health),
+            )
+        )
     header = (
         "# Replication report — "
         '"Privacy from 5 PM to 6 AM" (DSN 2025)\n\n'

@@ -6,11 +6,25 @@ the remote-control script, and the five measurement runs, producing a
 """
 
 from repro.core.config import MeasurementConfig
-from repro.core.dataset import CookieRecord, RunDataset, StudyDataset
+from repro.core.dataset import (
+    CookieRecord,
+    RunDataset,
+    StudyDataset,
+    merge_run_datasets,
+)
 from repro.core.filtering import ChannelFilterPipeline, FilteringReport
 from repro.core.framework import MeasurementFramework
+from repro.core.health import HealthMonitor, RunHealth, StudyHealth
 from repro.core.remote import RemoteControlScript
 from repro.core.report import DatasetOverview, overview_table
+from repro.core.resilience import (
+    ChannelFailure,
+    CircuitBreaker,
+    ResiliencePolicy,
+    RetryPolicy,
+    StudyResilience,
+    Watchdog,
+)
 from repro.core.runs import RunSpec, standard_runs
 
 __all__ = [
@@ -24,6 +38,16 @@ __all__ = [
     "StudyDataset",
     "RunDataset",
     "CookieRecord",
+    "merge_run_datasets",
     "DatasetOverview",
     "overview_table",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "Watchdog",
+    "ResiliencePolicy",
+    "StudyResilience",
+    "ChannelFailure",
+    "HealthMonitor",
+    "RunHealth",
+    "StudyHealth",
 ]

@@ -38,6 +38,18 @@ class MeasurementConfig:
     def color_run_watch_seconds(self) -> float:
         return self.watch_seconds + self.interaction_extra_seconds
 
+    def planned_channel_seconds(self, interactive: bool) -> float:
+        """Protocol time one channel visit is *supposed* to take.
+
+        This is the baseline the per-channel watchdog budgets against:
+        anything beyond it is retry backoff, injected latency, or a
+        wedged API — the situations a resilient run must bound.
+        """
+        watch = (
+            self.color_run_watch_seconds if interactive else self.watch_seconds
+        )
+        return self.settle_seconds + watch
+
     def expected_screenshots(self, with_button: bool) -> int:
         """16 per channel on General runs, 27 on color-button runs.
 

@@ -12,6 +12,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
+from repro.core.resilience import ChannelFailure
 from repro.net.cookies import Cookie, parse_set_cookie
 from repro.net.storage import StorageEntry
 from repro.net.url import URL, URLError
@@ -63,6 +64,11 @@ class RunDataset:
     screenshots: list[Screenshot] = field(default_factory=list)
     channels_measured: list[str] = field(default_factory=list)
     interaction_count: int = 0
+    #: Channels the run degraded on instead of aborting (resilient runs).
+    channel_failures: list[ChannelFailure] = field(default_factory=list)
+    #: False when the run stopped early (too many failures) and the
+    #: remaining channels await a resume.
+    completed: bool = True
 
     # -- quick stats used by Table I -----------------------------------------
 
@@ -178,6 +184,36 @@ def cookie_records_from_flows(
                 )
             )
     return records
+
+
+def merge_run_datasets(partial: RunDataset, remainder: RunDataset) -> RunDataset:
+    """Merge a partial run with its resumed continuation.
+
+    Channel-level collections concatenate (the two halves visited
+    disjoint channel sets); jar dumps and storage extractions likewise,
+    since the TV was wiped between the halves.  The merged run counts as
+    completed when the continuation ran to the end.
+    """
+    if partial.run_name != remainder.run_name:
+        raise ValueError(
+            f"cannot merge different runs: {partial.run_name!r} "
+            f"vs {remainder.run_name!r}"
+        )
+    return RunDataset(
+        run_name=partial.run_name,
+        date_label=partial.date_label or remainder.date_label,
+        flows=partial.flows + remainder.flows,
+        cookie_records=partial.cookie_records + remainder.cookie_records,
+        jar_dump=partial.jar_dump + remainder.jar_dump,
+        storage_entries=partial.storage_entries + remainder.storage_entries,
+        screenshots=partial.screenshots + remainder.screenshots,
+        channels_measured=partial.channels_measured
+        + remainder.channels_measured,
+        interaction_count=partial.interaction_count
+        + remainder.interaction_count,
+        channel_failures=partial.channel_failures + remainder.channel_failures,
+        completed=remainder.completed,
+    )
 
 
 # -- persistence ------------------------------------------------------------------

@@ -4,19 +4,32 @@ For every run: start the proxy, power the TV on and connect Wi-Fi,
 watch the (re-shuffled) channel set with the remote-control script,
 extract cookies and storage, push everything into the dataset, wipe the
 TV, and power it off.
+
+Under a :class:`~repro.core.resilience.StudyResilience`, a channel that
+exhausts its watchdog budget or its API retries yields a structured
+:class:`~repro.core.resilience.ChannelFailure` record instead of
+poisoning the run, and a partially-completed run can be resumed from
+its last completed channel via :meth:`MeasurementFramework.resume_run`.
 """
 
 from __future__ import annotations
 
 import random
+from typing import Collection
 
 from repro.core.config import DEFAULT_CONFIG, MeasurementConfig
 from repro.core.dataset import (
     RunDataset,
     StudyDataset,
     cookie_records_from_flows,
+    merge_run_datasets,
 )
-from repro.core.remote import RemoteControlScript
+from repro.core.remote import ChannelVisit, RemoteControlScript
+from repro.core.resilience import (
+    ChannelFailure,
+    ResilienceError,
+    StudyResilience,
+)
 from repro.core.runs import RunSpec, standard_runs
 from repro.dvb.channel import BroadcastChannel
 from repro.proxy.mitm import InterceptionProxy
@@ -33,13 +46,17 @@ class MeasurementFramework:
         channels: list[BroadcastChannel],
         config: MeasurementConfig = DEFAULT_CONFIG,
         seed: int = 0,
+        resilience: StudyResilience | None = None,
+        monitor=None,
     ) -> None:
         self.api = api
         self.proxy = proxy
         self.channels = list(channels)
         self.config = config
         self.seed = seed
-        self.script = RemoteControlScript(api, proxy, config)
+        self.resilience = resilience
+        self.monitor = monitor
+        self.script = RemoteControlScript(api, proxy, config, resilience)
 
     def run_study(self, runs: list[RunSpec] | None = None) -> StudyDataset:
         """Execute every measurement run and return the full dataset."""
@@ -48,8 +65,17 @@ class MeasurementFramework:
             dataset.add_run(self.execute_run(run))
         return dataset
 
-    def execute_run(self, run: RunSpec) -> RunDataset:
-        """One measurement run over all channels, §IV-C steps 1–5."""
+    def execute_run(
+        self, run: RunSpec, skip_channels: Collection[str] = ()
+    ) -> RunDataset:
+        """One measurement run over all channels, §IV-C steps 1–5.
+
+        ``skip_channels`` holds channel ids already measured in an
+        earlier partial execution of the same run (see
+        :meth:`resume_run`); they are not visited again.
+        """
+        if self.monitor is not None:
+            self.monitor.begin_run(run.name)
         tv = self.api.tv
         self.proxy.start()
         tv.power_on()
@@ -58,9 +84,29 @@ class MeasurementFramework:
         order = list(self.channels)
         random.Random(f"order:{self.seed}:{run.name}").shuffle(order)
 
+        skip = set(skip_channels)
+        failure_budget = (
+            self.resilience.policy.max_channel_failures_per_run
+            if self.resilience is not None
+            else None
+        )
         run_data = RunDataset(run_name=run.name, date_label=run.date_label)
         for channel in order:
-            visit = self.script.watch_channel(channel, run)
+            if channel.channel_id in skip:
+                continue
+            visit = self._watch_resilient(channel, run)
+            if isinstance(visit, ChannelFailure):
+                run_data.channel_failures.append(visit)
+                if (
+                    failure_budget is not None
+                    and len(run_data.channel_failures) >= failure_budget
+                ):
+                    # Too broken to continue: close out what we have as a
+                    # well-formed partial run and leave the rest for a
+                    # resume.
+                    run_data.completed = False
+                    break
+                continue
             if visit.skipped_off_air:
                 continue
             run_data.channels_measured.append(channel.channel_id)
@@ -82,7 +128,46 @@ class MeasurementFramework:
         tv.wipe()
         tv.power_off()
         self.proxy.stop()
+        if self.monitor is not None:
+            self.monitor.end_run(run_data)
         return run_data
+
+    def resume_run(self, run: RunSpec, partial: RunDataset) -> RunDataset:
+        """Finish a partially-completed run from its last completed channel.
+
+        Re-executes only the channels ``partial`` did not measure and
+        merges both halves into one well-formed :class:`RunDataset`.
+        The TV boots fresh for the continuation (it was wiped when the
+        partial run closed out), exactly as a real resumed campaign day.
+        """
+        remainder = self.execute_run(
+            run, skip_channels=set(partial.channels_measured)
+        )
+        return merge_run_datasets(partial, remainder)
+
+    def _watch_resilient(
+        self, channel: BroadcastChannel, run: RunSpec
+    ) -> ChannelVisit | ChannelFailure:
+        """One channel visit, with bounded re-attempts under resilience."""
+        if self.resilience is None:
+            return self.script.watch_channel(channel, run)
+        clock = self.api.tv.clock
+        attempts = max(1, self.resilience.policy.channel_attempts)
+        started = clock.now
+        last_reason = ""
+        for attempt in range(attempts):
+            try:
+                return self.script.watch_channel(channel, run)
+            except ResilienceError as error:
+                last_reason = str(error)
+        return ChannelFailure(
+            channel_id=channel.channel_id,
+            channel_name=channel.name,
+            reason=last_reason,
+            attempts=attempts,
+            elapsed_seconds=clock.now - started,
+            at=clock.now,
+        )
 
     @staticmethod
     def _identify_first_parties(flows) -> dict[str, str]:

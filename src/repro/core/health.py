@@ -1,0 +1,164 @@
+"""Run-health accounting for resilient measurement runs.
+
+A :class:`HealthMonitor` watches one study execute: before each run it
+snapshots the fault-injector and transport counters, and after the run
+it turns the deltas into a :class:`RunHealth` record — faults injected,
+retries spent, breaker activity, synthesized 504s/resets, and the
+channels the run degraded on.  :class:`StudyHealth` aggregates the five
+runs and is what :func:`repro.analysis.report.format_health_table`
+renders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.resilience import ChannelFailure
+
+
+@dataclass(frozen=True)
+class RunHealth:
+    """Health counters for one measurement run."""
+
+    run_name: str
+    faults_by_kind: dict[str, int]
+    retries: int
+    breaker_opens: int
+    breaker_fast_fails: int
+    gateway_timeouts: int
+    connection_resets: int
+    flow_count: int
+    channels_measured: int
+    failures: tuple[ChannelFailure, ...] = ()
+    completed: bool = True
+
+    @property
+    def faults_total(self) -> int:
+        return sum(self.faults_by_kind.values())
+
+    @property
+    def degraded_channel_ids(self) -> tuple[str, ...]:
+        return tuple(f.channel_id for f in self.failures)
+
+    @property
+    def gateway_timeout_rate(self) -> float:
+        return self.gateway_timeouts / self.flow_count if self.flow_count else 0.0
+
+    @property
+    def reset_rate(self) -> float:
+        return self.connection_resets / self.flow_count if self.flow_count else 0.0
+
+
+@dataclass
+class StudyHealth:
+    """Health of all runs of a study, in execution order."""
+
+    runs: list[RunHealth] = field(default_factory=list)
+
+    @property
+    def has_activity(self) -> bool:
+        """Whether anything beyond the happy path happened at all."""
+        return any(
+            r.faults_total or r.retries or r.failures or r.connection_resets
+            for r in self.runs
+        )
+
+    @property
+    def faults_total(self) -> int:
+        return sum(r.faults_total for r in self.runs)
+
+    @property
+    def retries_total(self) -> int:
+        return sum(r.retries for r in self.runs)
+
+    @property
+    def degraded_channels_total(self) -> int:
+        return sum(len(r.failures) for r in self.runs)
+
+    def faults_by_kind(self) -> dict[str, int]:
+        merged: dict[str, int] = {}
+        for run in self.runs:
+            for kind, count in run.faults_by_kind.items():
+                merged[kind] = merged.get(kind, 0) + count
+        return merged
+
+    def totals(self) -> dict[str, int]:
+        """The reproducibility fingerprint of a faulty study."""
+        return {
+            "faults": self.faults_total,
+            "retries": self.retries_total,
+            "degraded_channels": self.degraded_channels_total,
+            "gateway_timeouts": sum(r.gateway_timeouts for r in self.runs),
+            "connection_resets": sum(r.connection_resets for r in self.runs),
+            "breaker_opens": sum(r.breaker_opens for r in self.runs),
+            **{
+                f"faults.{kind}": count
+                for kind, count in sorted(self.faults_by_kind().items())
+            },
+        }
+
+
+class HealthMonitor:
+    """Collects per-run counter deltas while the framework executes."""
+
+    def __init__(self, proxy, injector=None, transport=None) -> None:
+        self.proxy = proxy
+        self.injector = injector
+        self.transport = transport
+        self.study_health = StudyHealth()
+        self._mark: dict[str, float] = {}
+
+    # -- framework hooks ------------------------------------------------------
+
+    def begin_run(self, run_name: str) -> None:
+        self._mark = self._counters()
+
+    def end_run(self, run_data) -> None:
+        now = self._counters()
+        mark = self._mark
+        kinds = {}
+        if self.injector is not None:
+            before = mark.get("by_kind", {})
+            for kind, count in self.injector.stats.by_kind.items():
+                delta = count - before.get(kind, 0)
+                if delta:
+                    kinds[kind] = delta
+        self.study_health.runs.append(
+            RunHealth(
+                run_name=run_data.run_name,
+                faults_by_kind=kinds,
+                retries=int(now["retries"] - mark.get("retries", 0)),
+                breaker_opens=int(
+                    now["breaker_opens"] - mark.get("breaker_opens", 0)
+                ),
+                breaker_fast_fails=int(
+                    now["fast_fails"] - mark.get("fast_fails", 0)
+                ),
+                gateway_timeouts=int(
+                    now["gateway_timeouts"] - mark.get("gateway_timeouts", 0)
+                ),
+                connection_resets=int(
+                    now["resets"] - mark.get("resets", 0)
+                ),
+                flow_count=len(run_data.flows),
+                channels_measured=len(run_data.channels_measured),
+                failures=tuple(run_data.channel_failures),
+                completed=run_data.completed,
+            )
+        )
+
+    def _counters(self) -> dict:
+        counters: dict = {
+            "gateway_timeouts": getattr(self.proxy, "gateway_timeout_count", 0),
+            "resets": getattr(self.proxy, "reset_count", 0),
+            "retries": 0,
+            "breaker_opens": 0,
+            "fast_fails": 0,
+        }
+        if self.transport is not None:
+            counters["retries"] = self.transport.retries_total
+            counters["breaker_opens"] = self.transport.breaker_opens
+            counters["fast_fails"] = self.transport.fast_fails
+        if self.injector is not None:
+            counters["by_kind"] = dict(self.injector.stats.by_kind)
+        return counters

@@ -5,6 +5,11 @@ switch, notify the proxy, settle for 10 s, screenshot, then screenshot
 every 60 s; on color-button runs, press the button after settling, wait,
 and replay the run's fixed interaction sequence (screenshotting after
 every press).
+
+With a :class:`~repro.core.resilience.StudyResilience` attached, each
+visit runs under a simulated-time watchdog (a channel that drowns in
+retry backoff is abandoned instead of stalling the run) and API wedges
+are retried through a bounded number of power cycles.
 """
 
 from __future__ import annotations
@@ -12,6 +17,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.config import DEFAULT_CONFIG, MeasurementConfig
+from repro.core.resilience import (
+    NULL_WATCHDOG,
+    ChannelAbandoned,
+    StudyResilience,
+)
 from repro.core.runs import RunSpec
 from repro.dvb.channel import BroadcastChannel
 from repro.proxy.mitm import InterceptionProxy
@@ -38,30 +48,49 @@ class RemoteControlScript:
         api: WebOSApi,
         proxy: InterceptionProxy,
         config: MeasurementConfig = DEFAULT_CONFIG,
+        resilience: StudyResilience | None = None,
     ) -> None:
         self.api = api
         self.proxy = proxy
         self.config = config
+        self.resilience = resilience
 
     def watch_channel(
         self, channel: BroadcastChannel, run: RunSpec
     ) -> ChannelVisit:
-        """Execute the full watch protocol for one channel."""
+        """Execute the full watch protocol for one channel.
+
+        Under resilience, raises
+        :class:`~repro.core.resilience.WatchdogExpired` when the visit
+        exceeds its simulated-time budget and
+        :class:`~repro.core.resilience.ChannelAbandoned` when the TV API
+        stays wedged; the framework converts either into a
+        ``ChannelFailure`` record.
+        """
         tv = self.api.tv
         visit = ChannelVisit(channel.channel_id, channel.name)
         if not channel.is_on_air(tv.clock.hour_of_day()):
             visit.skipped_off_air = True
             return visit
 
+        config = self.config
+        if self.resilience is not None:
+            watchdog = self.resilience.watchdog(
+                config.planned_channel_seconds(run.is_interactive)
+            )
+        else:
+            watchdog = NULL_WATCHDOG
+
         # Push the channel to the proxy, then switch.
         self.proxy.notify_channel_switch(
             channel.channel_id, channel.name, tv.clock.now
         )
         self._call(lambda: self.api.switch_channel(channel))
+        watchdog.check()
 
-        config = self.config
         tv.wait(config.settle_seconds)
         visit.screenshots.append(self._shot())
+        watchdog.check()
 
         # Total stay on the channel: settle time + watch time (the paper
         # watches "at least 910 s": 10 s settle + 900 s = 16 screenshots).
@@ -78,6 +107,7 @@ class RemoteControlScript:
                 tv.wait(config.interaction_gap_seconds)
                 elapsed += config.interaction_gap_seconds
                 visit.screenshots.append(self._shot())
+                watchdog.check()
             total_watch = config.settle_seconds + config.color_run_watch_seconds
         else:
             total_watch = config.settle_seconds + config.watch_seconds
@@ -87,8 +117,10 @@ class RemoteControlScript:
             tv.wait(config.screenshot_interval_seconds)
             elapsed += config.screenshot_interval_seconds
             visit.screenshots.append(self._shot())
+            watchdog.check()
         if elapsed < total_watch:
             tv.wait(total_watch - elapsed)
+        watchdog.check()
 
         return visit
 
@@ -100,10 +132,26 @@ class RemoteControlScript:
 
         The paper had to physically restart the TV when its API stopped
         responding; the retry-after-restart here models that recovery.
+        Without resilience one restart is allowed (the original
+        behaviour); with it, the retry policy bounds the power cycles
+        and a persistently wedged API abandons the channel.
         """
-        try:
-            return operation()
-        except WebOSApiError:
-            self.api.restart_tv()
-            self.api.tv.connect_wifi()
-            return operation()
+        if self.resilience is None:
+            try:
+                return operation()
+            except WebOSApiError:
+                self.api.restart_tv()
+                self.api.tv.connect_wifi()
+                return operation()
+
+        attempts = max(2, self.resilience.policy.retry.max_attempts)
+        for attempt in range(attempts):
+            try:
+                return operation()
+            except WebOSApiError:
+                if attempt + 1 >= attempts:
+                    raise ChannelAbandoned(
+                        f"webOS API wedged through {attempts} attempts"
+                    ) from None
+                self.api.restart_tv()
+                self.api.tv.connect_wifi()

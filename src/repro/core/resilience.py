@@ -1,0 +1,282 @@
+"""Retry, backoff, watchdog, and circuit-breaker machinery.
+
+The measurement campaign survived on exactly this kind of plumbing: the
+webOS API wedged and needed power cycles, endpoints died mid-run, and a
+multi-hour run could not afford to hang on one misbehaving channel.
+Everything here advances the shared :class:`~repro.clock.SimClock`
+instead of sleeping, so resilient runs stay fully deterministic.
+
+The layer is strictly opt-in: a study built without a
+:class:`ResiliencePolicy` behaves exactly as before — no retries, no
+breakers, no watchdogs, not a single extra RNG draw.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.clock import SimClock
+from repro.net.faults import ConnectionReset, NxdomainFlap
+from repro.net.http import HttpRequest, HttpResponse
+from repro.net.network import RoutingError
+from repro.net.url import URL
+
+
+class ResilienceError(RuntimeError):
+    """Base class for failures the resilience layer gives up on."""
+
+
+class WatchdogExpired(ResilienceError):
+    """A channel visit blew through its simulated-time budget."""
+
+    def __init__(self, elapsed: float, budget: float) -> None:
+        super().__init__(
+            f"channel watchdog expired after {elapsed:.0f}s "
+            f"(budget {budget:.0f}s)"
+        )
+        self.elapsed = elapsed
+        self.budget = budget
+
+
+class ChannelAbandoned(ResilienceError):
+    """The TV API stayed wedged through every allowed restart."""
+
+
+class CircuitOpenError(RoutingError):
+    """Fast-fail for a host whose circuit breaker is open.
+
+    Subclasses :class:`RoutingError` so the proxy's existing 504
+    synthesis handles it without a new code path.
+    """
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with exponential backoff and seeded jitter."""
+
+    max_attempts: int = 3
+    base_delay_seconds: float = 0.5
+    multiplier: float = 2.0
+    max_delay_seconds: float = 30.0
+    jitter: float = 0.25
+    #: Response statuses worth retrying (transient upstream errors).
+    retry_statuses: frozenset[int] = frozenset({500, 502, 503})
+
+    def backoff_delay(self, attempt: int, rng: random.Random) -> float:
+        """Delay before retry number ``attempt`` (0-based), jittered."""
+        delay = min(
+            self.base_delay_seconds * self.multiplier**attempt,
+            self.max_delay_seconds,
+        )
+        return delay * (1.0 + self.jitter * rng.random())
+
+
+class BreakerState(Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Per-host breaker: open after N consecutive failures, probe later."""
+
+    def __init__(
+        self,
+        clock: SimClock,
+        failure_threshold: int = 4,
+        reset_after_seconds: float = 180.0,
+    ) -> None:
+        self.clock = clock
+        self.failure_threshold = failure_threshold
+        self.reset_after_seconds = reset_after_seconds
+        self.state = BreakerState.CLOSED
+        self.consecutive_failures = 0
+        self.opened_at = 0.0
+        self.open_count = 0
+
+    def allow(self) -> bool:
+        """Whether a request may go through right now."""
+        if self.state is BreakerState.CLOSED:
+            return True
+        if self.clock.now - self.opened_at >= self.reset_after_seconds:
+            self.state = BreakerState.HALF_OPEN
+            return True
+        return False
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+        self.state = BreakerState.CLOSED
+
+    def record_failure(self) -> None:
+        self.consecutive_failures += 1
+        if self.state is BreakerState.HALF_OPEN or (
+            self.consecutive_failures >= self.failure_threshold
+            and self.state is BreakerState.CLOSED
+        ):
+            self.state = BreakerState.OPEN
+            self.opened_at = self.clock.now
+            self.open_count += 1
+
+
+class Watchdog:
+    """A simulated-time budget for one channel visit."""
+
+    def __init__(self, clock: SimClock, budget_seconds: float) -> None:
+        self.clock = clock
+        self.budget_seconds = budget_seconds
+        self.started_at = clock.now
+
+    @property
+    def elapsed(self) -> float:
+        return self.clock.now - self.started_at
+
+    def check(self) -> None:
+        if self.elapsed > self.budget_seconds:
+            raise WatchdogExpired(self.elapsed, self.budget_seconds)
+
+
+class _NullWatchdog:
+    """No-op stand-in used when resilience is disabled."""
+
+    elapsed = 0.0
+
+    def check(self) -> None:  # pragma: no cover - trivial
+        pass
+
+
+NULL_WATCHDOG = _NullWatchdog()
+
+
+@dataclass(frozen=True)
+class ChannelFailure:
+    """One channel the run gave up on, instead of poisoning the run."""
+
+    channel_id: str
+    channel_name: str
+    reason: str
+    attempts: int
+    elapsed_seconds: float
+    at: float
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """Tunables for a resilient measurement run."""
+
+    retry: RetryPolicy = RetryPolicy()
+    breaker_failure_threshold: int = 4
+    breaker_reset_seconds: float = 180.0
+    #: Channel watchdog budget as a multiple of the planned visit time.
+    channel_time_budget_factor: float = 1.5
+    #: How often a failed channel is re-attempted within a run.
+    channel_attempts: int = 2
+    #: Abort the run early after this many failed channels (``None`` =
+    #: never; a partial run can be resumed via ``resume_run``).
+    max_channel_failures_per_run: int | None = None
+
+
+class TransportResilience:
+    """Retry + circuit-breaker wrapper around network delivery.
+
+    Used by the interception proxy: transient faults (connection resets,
+    NXDOMAIN flaps, retryable 5xx responses) are retried with backoff on
+    the simulated clock; hosts that keep failing trip a breaker and
+    fail fast until the reset window passes.
+    """
+
+    def __init__(
+        self, policy: ResiliencePolicy, clock: SimClock, seed: int = 0
+    ) -> None:
+        self.policy = policy
+        self.clock = clock
+        self._rng = random.Random(f"resilience:{seed}")
+        self._breakers: dict[str, CircuitBreaker] = {}
+        self.retries_total = 0
+        self.backoff_seconds_total = 0.0
+        self.fast_fails = 0
+
+    def breaker_for(self, host: str) -> CircuitBreaker:
+        breaker = self._breakers.get(host)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                self.clock,
+                self.policy.breaker_failure_threshold,
+                self.policy.breaker_reset_seconds,
+            )
+            self._breakers[host] = breaker
+        return breaker
+
+    @property
+    def breaker_opens(self) -> int:
+        return sum(b.open_count for b in self._breakers.values())
+
+    def open_hosts(self) -> list[str]:
+        return sorted(
+            host
+            for host, breaker in self._breakers.items()
+            if breaker.state is BreakerState.OPEN
+        )
+
+    def deliver(self, network, request: HttpRequest) -> HttpResponse:
+        """Deliver with bounded retries; raises like the bare network.
+
+        Exhausted resets and flaps re-raise their final fault; exhausted
+        5xx retries return the last (degraded) response.
+        """
+        host = URL.parse(request.url).host
+        breaker = self.breaker_for(host)
+        if not breaker.allow():
+            self.fast_fails += 1
+            raise CircuitOpenError(f"circuit open for host: {host}")
+        retry = self.policy.retry
+        attempt = 0
+        while True:
+            try:
+                response = network.deliver(request)
+            except (ConnectionReset, NxdomainFlap):
+                breaker.record_failure()
+                if attempt + 1 >= retry.max_attempts:
+                    raise
+                self._backoff(attempt, request)
+                attempt += 1
+                continue
+            except RoutingError:
+                # A genuinely dead host: NXDOMAIN is definitive, do not
+                # hammer it — fail once and let the breaker learn.
+                breaker.record_failure()
+                raise
+            if response.status in retry.retry_statuses:
+                breaker.record_failure()
+                if attempt + 1 >= retry.max_attempts:
+                    return response
+                self._backoff(attempt, request)
+                attempt += 1
+                continue
+            breaker.record_success()
+            return response
+
+    def _backoff(self, attempt: int, request: HttpRequest) -> None:
+        delay = self.policy.retry.backoff_delay(attempt, self._rng)
+        self.clock.advance(delay)
+        # The retried request goes out "now"; restamp so the recorded
+        # flow carries the time of the attempt that produced its response.
+        request.timestamp = self.clock.now
+        self.retries_total += 1
+        self.backoff_seconds_total += delay
+
+
+class StudyResilience:
+    """The per-study bundle: policy + live transport layer + watchdogs."""
+
+    def __init__(
+        self, policy: ResiliencePolicy, clock: SimClock, seed: int = 0
+    ) -> None:
+        self.policy = policy
+        self.clock = clock
+        self.transport = TransportResilience(policy, clock, seed)
+
+    def watchdog(self, planned_seconds: float) -> Watchdog:
+        budget = planned_seconds * self.policy.channel_time_budget_factor
+        return Watchdog(self.clock, budget)

@@ -7,6 +7,14 @@ interception proxy) speaks in the types defined here.
 """
 
 from repro.net.cookies import Cookie, CookieJar, parse_set_cookie
+from repro.net.faults import (
+    ConnectionReset,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    FaultRule,
+    NxdomainFlap,
+)
 from repro.net.http import (
     Headers,
     HttpRequest,
@@ -33,6 +41,12 @@ __all__ = [
     "StorageEntry",
     "Network",
     "RoutingError",
+    "FaultKind",
+    "FaultRule",
+    "FaultPlan",
+    "FaultInjector",
+    "ConnectionReset",
+    "NxdomainFlap",
     "Server",
     "Route",
     "FunctionServer",

@@ -1,0 +1,372 @@
+"""Deterministic fault injection for the simulated network.
+
+The paper's measurement campaign ran for weeks on consumer hardware
+against a live broadcast ecosystem: channels went off-air mid-run,
+application endpoints died (the proxy synthesizes 504s for those), CDNs
+returned error bursts, and DNS occasionally flapped.  This module makes
+that messiness reproducible: a :class:`FaultPlan` describes *which*
+hosts misbehave *when* and *how*, and a :class:`FaultInjector` wraps
+:class:`~repro.net.network.Network` to act it out.
+
+Every decision is derived from ``(plan seed, host, per-host sequence
+number)`` through :class:`random.Random`, and every time window is
+evaluated against the shared :class:`~repro.clock.SimClock` — no
+wall-clock anywhere, so two executions of the same study produce
+bit-for-bit identical fault histories.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.clock import hour_of_day
+from repro.net.http import Headers, HttpRequest, HttpResponse
+from repro.net.network import Network, RoutingError
+from repro.net.url import URL, registrable_domain
+
+
+class FaultKind(str, Enum):
+    """The failure modes the injector can act out."""
+
+    LATENCY = "latency"
+    SERVER_ERROR = "server-error"
+    RESET = "reset"
+    NXDOMAIN = "nxdomain"
+    TRUNCATE = "truncate"
+
+
+class ConnectionReset(ConnectionError):
+    """The upstream closed the connection mid-exchange (injected)."""
+
+
+class NxdomainFlap(RoutingError):
+    """A transient NXDOMAIN for a host that normally resolves (injected).
+
+    Subclasses :class:`RoutingError` so layers that already map dead
+    hosts to synthesized 504s keep working unchanged — but retry logic
+    can distinguish the flap (transient) from a truly dead host.
+    """
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One fault behaviour: which hosts, which time window, how often.
+
+    Host selection composes three mechanisms (a host matches if *any*
+    applies): an explicit ``hosts`` set, an explicit ``etld1s`` set, and
+    ``host_fraction`` — a deterministic hash bucket over the host's
+    eTLD+1 selecting that share of all parties.  ``exclude_etld1s``
+    always wins, so plans can protect first-party platforms.
+    """
+
+    kind: FaultKind
+    probability: float = 1.0
+    hosts: frozenset[str] = frozenset()
+    etld1s: frozenset[str] = frozenset()
+    #: Hash-selected share of eTLD+1s this rule applies to (0 disables).
+    host_fraction: float = 0.0
+    exclude_etld1s: frozenset[str] = frozenset()
+    #: Absolute simulated-epoch window [start, end); ``None`` = always.
+    window: tuple[float, float] | None = None
+    #: Hour-of-day window; may wrap midnight, e.g. ``(17, 6)`` for the
+    #: paper's titular 5 PM – 6 AM stretch.  ``None`` = all hours.
+    hours: tuple[float, float] | None = None
+    #: Seconds of extra delay for LATENCY faults.
+    latency_seconds: float = 2.0
+    #: Status pool for SERVER_ERROR faults.
+    statuses: tuple[int, ...] = (500, 502, 503)
+    #: Once triggered, the fault repeats for this many further requests
+    #: to the same host (models error bursts and DNS-cache flaps).
+    burst_length: int = 1
+    #: Fraction of the body kept by TRUNCATE faults.
+    truncate_fraction: float = 0.5
+    #: Extra entropy separating otherwise-identical rules.
+    salt: str = ""
+
+    def matches_host(self, host: str, etld1: str) -> bool:
+        if etld1 in self.exclude_etld1s:
+            return False
+        if host in self.hosts or etld1 in self.etld1s:
+            return True
+        if self.host_fraction > 0:
+            bucket = zlib.crc32(f"{self.salt}:{self.kind.value}:{etld1}".encode())
+            return (bucket % 10_000) < self.host_fraction * 10_000
+        return False
+
+    def active_at(self, timestamp: float) -> bool:
+        if self.window is not None:
+            start, end = self.window
+            if not (start <= timestamp < end):
+                return False
+        if self.hours is not None:
+            hour = hour_of_day(timestamp)
+            start, end = self.hours
+            if start <= end:
+                if not (start <= hour < end):
+                    return False
+            elif not (hour >= start or hour < end):  # wraps midnight
+                return False
+        return True
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded collection of fault rules driving one study."""
+
+    seed: int = 0
+    rules: tuple[FaultRule, ...] = ()
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.rules
+
+    @classmethod
+    def none(cls) -> "FaultPlan":
+        """The happy path: no faults, injector is a pure passthrough."""
+        return cls()
+
+    @classmethod
+    def light(
+        cls, seed: int = 0, exclude_etld1s: frozenset[str] = frozenset()
+    ) -> "FaultPlan":
+        """Occasional transient trouble on a small slice of parties."""
+        return cls(
+            seed=seed,
+            rules=(
+                FaultRule(
+                    FaultKind.LATENCY,
+                    probability=0.05,
+                    host_fraction=0.25,
+                    latency_seconds=1.5,
+                    exclude_etld1s=exclude_etld1s,
+                ),
+                FaultRule(
+                    FaultKind.SERVER_ERROR,
+                    probability=0.02,
+                    host_fraction=0.15,
+                    burst_length=2,
+                    exclude_etld1s=exclude_etld1s,
+                ),
+                FaultRule(
+                    FaultKind.NXDOMAIN,
+                    probability=0.01,
+                    host_fraction=0.10,
+                    burst_length=2,
+                    exclude_etld1s=exclude_etld1s,
+                ),
+            ),
+        )
+
+    @classmethod
+    def heavy(
+        cls, seed: int = 0, exclude_etld1s: frozenset[str] = frozenset()
+    ) -> "FaultPlan":
+        """Resets + 5xx bursts + NXDOMAIN flaps on a wide host slice."""
+        return cls(
+            seed=seed,
+            rules=(
+                FaultRule(
+                    FaultKind.RESET,
+                    probability=0.10,
+                    host_fraction=0.30,
+                    exclude_etld1s=exclude_etld1s,
+                ),
+                FaultRule(
+                    FaultKind.SERVER_ERROR,
+                    probability=0.08,
+                    host_fraction=0.30,
+                    burst_length=3,
+                    exclude_etld1s=exclude_etld1s,
+                ),
+                FaultRule(
+                    FaultKind.NXDOMAIN,
+                    probability=0.05,
+                    host_fraction=0.20,
+                    burst_length=3,
+                    exclude_etld1s=exclude_etld1s,
+                ),
+                FaultRule(
+                    FaultKind.TRUNCATE,
+                    probability=0.05,
+                    host_fraction=0.20,
+                    exclude_etld1s=exclude_etld1s,
+                ),
+            ),
+        )
+
+    @classmethod
+    def chaos(
+        cls, seed: int = 0, exclude_etld1s: frozenset[str] = frozenset()
+    ) -> "FaultPlan":
+        """Everything at once, with a nocturnal latency storm — the
+        network itself misbehaves from 5 PM to 6 AM."""
+        heavy = cls.heavy(seed, exclude_etld1s)
+        return cls(
+            seed=seed,
+            rules=heavy.rules
+            + (
+                FaultRule(
+                    FaultKind.LATENCY,
+                    probability=0.25,
+                    host_fraction=0.50,
+                    latency_seconds=3.0,
+                    hours=(17.0, 6.0),
+                    exclude_etld1s=exclude_etld1s,
+                ),
+            ),
+        )
+
+    @classmethod
+    def preset(
+        cls,
+        name: str,
+        seed: int = 0,
+        exclude_etld1s: frozenset[str] = frozenset(),
+    ) -> "FaultPlan":
+        """Resolve a preset by name (``off``/``light``/``heavy``/``chaos``)."""
+        try:
+            builder = _PRESETS[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown fault preset: {name!r} (choose from {sorted(_PRESETS)})"
+            ) from None
+        if builder is None:
+            return cls.none()
+        return builder(seed, exclude_etld1s)
+
+
+_PRESETS = {
+    "off": None,
+    "none": None,
+    "light": FaultPlan.light,
+    "heavy": FaultPlan.heavy,
+    "chaos": FaultPlan.chaos,
+}
+
+FAULT_PRESET_NAMES = tuple(_PRESETS)
+
+
+@dataclass
+class FaultStats:
+    """Counters over everything an injector has done."""
+
+    by_kind: dict[str, int] = field(default_factory=dict)
+    by_etld1: dict[str, int] = field(default_factory=dict)
+    total: int = 0
+    delay_seconds: float = 0.0
+
+    def record(self, kind: FaultKind, etld1: str, delay: float = 0.0) -> None:
+        self.by_kind[kind.value] = self.by_kind.get(kind.value, 0) + 1
+        self.by_etld1[etld1] = self.by_etld1.get(etld1, 0) + 1
+        self.total += 1
+        self.delay_seconds += delay
+
+    def snapshot(self) -> dict[str, int]:
+        """An immutable-ish copy of the per-kind counters."""
+        return dict(self.by_kind)
+
+
+class FaultInjector:
+    """Wraps a :class:`Network`, injecting faults per the plan.
+
+    Exposes the same delivery surface the proxy uses, so it can stand in
+    for the network transparently.  With an empty plan every request
+    passes straight through — the injector is then observationally
+    identical to the bare network.
+    """
+
+    def __init__(self, network: Network, plan: FaultPlan, clock) -> None:
+        self.network = network
+        self.plan = plan
+        self.clock = clock
+        self.stats = FaultStats()
+        #: host → number of deliveries seen (keys the decision RNG).
+        self._sequence: dict[str, int] = {}
+        #: (host, rule index) → remaining forced repetitions of a burst.
+        self._bursts: dict[tuple[str, int], int] = {}
+
+    # -- Network surface (delegated) ----------------------------------------
+
+    def knows_host(self, host: str) -> bool:
+        return self.network.knows_host(host)
+
+    def hosts(self) -> set[str]:
+        return self.network.hosts()
+
+    @property
+    def request_count(self) -> int:
+        return self.network.request_count
+
+    # -- delivery ------------------------------------------------------------
+
+    def deliver(self, request: HttpRequest) -> HttpResponse:
+        if self.plan.is_empty:
+            return self.network.deliver(request)
+        parsed = URL.parse(request.url)
+        host = parsed.host
+        etld1 = parsed.etld1
+        sequence = self._sequence.get(host, 0)
+        self._sequence[host] = sequence + 1
+        rng = random.Random(f"fault:{self.plan.seed}:{host}:{sequence}")
+
+        for index, rule in enumerate(self.plan.rules):
+            if not rule.matches_host(host, etld1):
+                continue
+            fires = False
+            burst_key = (host, index)
+            remaining = self._bursts.get(burst_key, 0)
+            if remaining > 0:
+                # Continue a running burst regardless of the draw.
+                self._bursts[burst_key] = remaining - 1
+                fires = rule.active_at(self.clock.now)
+            elif rule.active_at(self.clock.now) and rng.random() < rule.probability:
+                fires = True
+                if rule.burst_length > 1:
+                    self._bursts[burst_key] = rule.burst_length - 1
+            if fires:
+                return self._act(rule, rng, request, etld1)
+        return self.network.deliver(request)
+
+    def _act(
+        self,
+        rule: FaultRule,
+        rng: random.Random,
+        request: HttpRequest,
+        etld1: str,
+    ) -> HttpResponse:
+        kind = rule.kind
+        if kind is FaultKind.LATENCY:
+            self.stats.record(kind, etld1, delay=rule.latency_seconds)
+            self.clock.advance(rule.latency_seconds)
+            response = self.network.deliver(request)
+            response.timestamp = self.clock.now
+            return response
+        if kind is FaultKind.NXDOMAIN:
+            self.stats.record(kind, etld1)
+            raise NxdomainFlap(f"transient NXDOMAIN: {request.host}")
+        if kind is FaultKind.RESET:
+            self.stats.record(kind, etld1)
+            raise ConnectionReset(f"connection reset by peer: {request.host}")
+        if kind is FaultKind.SERVER_ERROR:
+            self.stats.record(kind, etld1)
+            status = rule.statuses[rng.randrange(len(rule.statuses))]
+            return HttpResponse(
+                status=status,
+                headers=Headers([("Content-Type", "text/plain")]),
+                body=b"upstream error (injected)",
+                timestamp=request.timestamp,
+            )
+        # TRUNCATE: deliver for real, then cut the body short.
+        self.stats.record(kind, etld1)
+        response = self.network.deliver(request)
+        keep = int(len(response.body) * rule.truncate_fraction)
+        response.body = response.body[:keep]
+        return response
+
+
+def third_party_exclusions(first_party_domains) -> frozenset[str]:
+    """eTLD+1s of first parties, for plans that only hit third parties."""
+    return frozenset(registrable_domain(d) for d in first_party_domains)

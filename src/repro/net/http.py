@@ -50,9 +50,24 @@ class Headers:
         self._items.append((name, value))
 
     def set(self, name: str, value: str) -> None:
-        """Replace all values for ``name`` with a single value."""
-        self.remove(name)
-        self.add(name, value)
+        """Replace all values for ``name`` with a single value.
+
+        The new value takes the *position* of the first existing
+        occurrence (header order is observable on the wire); only when
+        the name is absent is the header appended.
+        """
+        lowered = name.lower()
+        replaced = False
+        kept: list[tuple[str, str]] = []
+        for key, existing in self._items:
+            if key.lower() != lowered:
+                kept.append((key, existing))
+            elif not replaced:
+                kept.append((name, value))
+                replaced = True
+        if not replaced:
+            kept.append((name, value))
+        self._items = kept
 
     def remove(self, name: str) -> None:
         lowered = name.lower()

@@ -10,6 +10,7 @@ study validated certificates, so interception always succeeded.
 
 from __future__ import annotations
 
+from repro.net.faults import ConnectionReset
 from repro.net.http import Headers, HttpRequest, HttpResponse
 from repro.net.network import Network, RoutingError
 from repro.net.url import URL
@@ -18,19 +19,28 @@ from repro.proxy.flow import Flow
 
 
 class InterceptionProxy:
-    """Records all TV traffic while forwarding it to the network."""
+    """Records all TV traffic while forwarding it to the network.
+
+    With a :class:`~repro.core.resilience.TransportResilience` attached,
+    delivery goes through its retry/circuit-breaker loop; without one
+    (the default) the request path is byte-for-byte the original.
+    """
 
     def __init__(
         self,
         network: Network,
         attributor: ChannelAttributor | None = None,
         excluded_etld1s: frozenset[str] | set[str] = frozenset({"lge.com"}),
+        resilience=None,
     ) -> None:
         self.network = network
         self.attributor = attributor or ChannelAttributor()
         self.excluded_etld1s = set(excluded_etld1s)
+        self.resilience = resilience
         self.flows: list[Flow] = []
         self.excluded_flow_count = 0
+        self.gateway_timeout_count = 0
+        self.reset_count = 0
         self.running = False
 
     # -- lifecycle (mirrors "initiate mitmproxy" / teardown) ------------------
@@ -54,10 +64,24 @@ class InterceptionProxy:
         if not self.running:
             raise RuntimeError("proxy is not running")
         try:
-            response = self.network.deliver(request)
+            if self.resilience is not None:
+                response = self.resilience.deliver(self.network, request)
+            else:
+                response = self.network.deliver(request)
+        except ConnectionReset:
+            # Retries exhausted on an upstream reset: the TV sees a bad
+            # gateway; the flow is still recorded.
+            self.reset_count += 1
+            response = HttpResponse(
+                status=502,
+                headers=Headers([("Content-Type", "text/plain")]),
+                body=b"connection reset by peer",
+                timestamp=request.timestamp,
+            )
         except RoutingError:
             # Dead endpoint: the TV sees a gateway timeout; the flow is
             # still recorded (the study sees such failures too).
+            self.gateway_timeout_count += 1
             response = HttpResponse(
                 status=504,
                 headers=Headers([("Content-Type", "text/plain")]),

@@ -8,13 +8,23 @@ All generation is seeded and calibrated against the paper's reported
 numbers (see :mod:`repro.simulation.params`).
 """
 
-from repro.simulation.study import StudyContext, default_study, run_study
+from repro.simulation.study import (
+    StudyContext,
+    clear_study_cache,
+    default_study,
+    fault_plan_for_world,
+    make_context,
+    run_study,
+)
 from repro.simulation.world import World, build_world
 
 __all__ = [
     "World",
     "build_world",
     "StudyContext",
+    "make_context",
     "run_study",
     "default_study",
+    "clear_study_cache",
+    "fault_plan_for_world",
 ]

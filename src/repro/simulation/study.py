@@ -9,6 +9,7 @@ and executes the five runs.  ``default_study`` memoizes one study per
 from __future__ import annotations
 
 import os
+import warnings
 from dataclasses import dataclass
 
 from repro.clock import SimClock
@@ -16,8 +17,11 @@ from repro.core.config import DEFAULT_CONFIG, MeasurementConfig
 from repro.core.dataset import StudyDataset
 from repro.core.filtering import ChannelFilterPipeline, FilteringReport
 from repro.core.framework import MeasurementFramework
+from repro.core.health import HealthMonitor, StudyHealth
+from repro.core.resilience import ResiliencePolicy, StudyResilience
 from repro.core.runs import RunSpec
 from repro.dvb.receiver import Antenna
+from repro.net.faults import FaultInjector, FaultPlan, third_party_exclusions
 from repro.proxy.attribution import ChannelAttributor
 from repro.proxy.mitm import InterceptionProxy
 from repro.simulation.world import World, build_world
@@ -32,11 +36,25 @@ DEFAULT_SCALE = 0.2
 def configured_scale() -> float:
     """The scale benchmarks use (REPRO_SCALE env var, default 0.2)."""
     raw = os.environ.get(SCALE_ENV_VAR, "")
+    if not raw:
+        return DEFAULT_SCALE
     try:
         value = float(raw)
     except ValueError:
+        warnings.warn(
+            f"{SCALE_ENV_VAR}={raw!r} is not a number; "
+            f"falling back to the default scale {DEFAULT_SCALE}",
+            stacklevel=2,
+        )
         return DEFAULT_SCALE
-    return value if value > 0 else DEFAULT_SCALE
+    if value <= 0:
+        warnings.warn(
+            f"{SCALE_ENV_VAR}={raw!r} must be positive; "
+            f"falling back to the default scale {DEFAULT_SCALE}",
+            stacklevel=2,
+        )
+        return DEFAULT_SCALE
+    return value
 
 
 @dataclass
@@ -53,23 +71,89 @@ class StudyContext:
     filtering_report: FilteringReport | None = None
     period_start: float = 0.0
     period_end: float = 0.0
+    #: Fault-injection machinery (``None`` on clean, non-resilient runs).
+    faults: FaultPlan | None = None
+    injector: FaultInjector | None = None
+    resilience: StudyResilience | None = None
+    monitor: HealthMonitor | None = None
 
     @property
     def first_party_overrides(self) -> dict[str, str]:
         return self.world.manual_first_party_overrides
 
+    @property
+    def health(self) -> StudyHealth | None:
+        """Per-run health records, when the study ran monitored."""
+        return self.monitor.study_health if self.monitor is not None else None
+
+
+def fault_plan_for_world(world: World, preset: str) -> FaultPlan | None:
+    """Build a named :class:`FaultPlan` preset scoped to third parties.
+
+    The plan's host selection excludes every operator's first-party
+    eTLD+1, so injected faults land on the tracker/CDN population — the
+    endpoints that actually flaked during the measurement campaign.
+    """
+    if preset in ("", "off", "none"):
+        return None
+    exclusions = third_party_exclusions(
+        truth.first_party_domain for truth in world.ground_truth.values()
+    )
+    return FaultPlan.preset(preset, seed=world.seed, exclude_etld1s=exclusions)
+
 
 def make_context(
-    world: World, config: MeasurementConfig = DEFAULT_CONFIG
+    world: World,
+    config: MeasurementConfig = DEFAULT_CONFIG,
+    faults: FaultPlan | None = None,
+    resilience: ResiliencePolicy | None = None,
 ) -> StudyContext:
-    """Assemble (but do not run) the measurement stack for a world."""
+    """Assemble (but do not run) the measurement stack for a world.
+
+    With ``faults`` (a non-empty plan), the network is wrapped in a
+    :class:`FaultInjector` and the stack runs resilient: transport
+    retries with backoff, per-host circuit breakers, per-channel
+    watchdogs, and a :class:`HealthMonitor` recording it all.  Without
+    faults (and no explicit ``resilience``), the stack is exactly the
+    original happy path — no wrapper, no retries, no extra RNG draws.
+    """
     clock = SimClock()
     attributor = ChannelAttributor()
     for channel_id, host in world.single_channel_hosts.items():
         channel = world.channel_by_id(channel_id)
         name = channel.name if channel is not None else channel_id
         attributor.register_channel_host(host, channel_id, name)
-    proxy = InterceptionProxy(world.network, attributor)
+
+    injector = None
+    network = world.network
+    if faults is not None and not faults.is_empty:
+        injector = FaultInjector(world.network, faults, clock)
+        network = injector
+        if resilience is None:
+            resilience = ResiliencePolicy()
+    study_resilience = (
+        StudyResilience(resilience, clock, seed=world.seed)
+        if resilience is not None
+        else None
+    )
+    proxy = InterceptionProxy(
+        network,
+        attributor,
+        resilience=(
+            study_resilience.transport if study_resilience is not None else None
+        ),
+    )
+    monitor = None
+    if injector is not None or study_resilience is not None:
+        monitor = HealthMonitor(
+            proxy,
+            injector=injector,
+            transport=(
+                study_resilience.transport
+                if study_resilience is not None
+                else None
+            ),
+        )
     tv = SmartTV(
         proxy, clock, app_registry=world.app_registry, seed=world.seed
     )
@@ -78,7 +162,13 @@ def make_context(
     tv.install_channel_list(received)
     api = WebOSApi(tv)
     framework = MeasurementFramework(
-        api, proxy, world.hbbtv_channels, config=config, seed=world.seed
+        api,
+        proxy,
+        world.hbbtv_channels,
+        config=config,
+        seed=world.seed,
+        resilience=study_resilience,
+        monitor=monitor,
     )
     return StudyContext(
         world=world,
@@ -88,6 +178,10 @@ def make_context(
         api=api,
         framework=framework,
         period_start=clock.now,
+        faults=faults,
+        injector=injector,
+        resilience=study_resilience,
+        monitor=monitor,
     )
 
 
@@ -115,9 +209,11 @@ def run_study(
     config: MeasurementConfig = DEFAULT_CONFIG,
     runs: list[RunSpec] | None = None,
     with_filtering: bool = False,
+    faults: FaultPlan | None = None,
+    resilience: ResiliencePolicy | None = None,
 ) -> StudyContext:
     """Execute the measurement study against a world."""
-    context = make_context(world, config)
+    context = make_context(world, config, faults=faults, resilience=resilience)
     if with_filtering:
         run_filtering(context)
     context.dataset = context.framework.run_study(runs)
@@ -139,3 +235,13 @@ def default_study(
         world = build_world(seed=seed, scale=scale)
         _STUDY_CACHE[key] = run_study(world)
     return _STUDY_CACHE[key]
+
+
+def clear_study_cache() -> None:
+    """Drop every memoized default study.
+
+    Test fixtures that execute faulty or otherwise customised worlds
+    call this so their studies can never bleed into (or be polluted by)
+    the shared ``default_study`` memoization.
+    """
+    _STUDY_CACHE.clear()

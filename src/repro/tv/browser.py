@@ -49,6 +49,7 @@ class TvBrowser:
         self.local_storage = LocalStorage()
         self._rng = random.Random(f"browser:{seed}")
         self.requests_issued = 0
+        self.failed_responses = 0
 
     # -- the interface the HbbTV runtime uses --------------------------------
 
@@ -95,6 +96,12 @@ class TvBrowser:
         )
         response = self.transport.request(request)
         self.requests_issued += 1
+        if response.status >= 500:
+            # Synthesized gateway failures (dead endpoints, exhausted
+            # retries) and upstream 5xx never carry trustworthy state;
+            # a real browser drops the connection before Set-Cookie.
+            self.failed_responses += 1
+            return response
         self.cookie_jar.store_from_response(
             parsed, response.set_cookie_headers(), self.clock.now
         )

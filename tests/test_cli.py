@@ -38,3 +38,28 @@ class TestCli:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["nonsense"])
+
+
+class TestCliFaults:
+    SMALL = ["--seed", "9", "--scale", "0.02"]
+
+    def test_health_without_faults_reports_clean(self, capsys):
+        assert main(self.SMALL + ["health"]) == 0
+        out = capsys.readouterr().out
+        assert "run healthy" in out
+
+    def test_health_with_faults_prints_table(self, capsys):
+        assert main(self.SMALL + ["--faults", "light", "health"]) == 0
+        out = capsys.readouterr().out
+        assert "| run | faults | retries |" in out
+        assert "totals:" in out
+
+    def test_study_with_faults_appends_health_line(self, capsys):
+        assert main(self.SMALL + ["--faults", "heavy", "study"]) == 0
+        out = capsys.readouterr().out
+        assert "Meas. Run" in out
+        assert "run health:" in out
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(SystemExit):
+            main(self.SMALL + ["--faults", "catastrophic", "study"])

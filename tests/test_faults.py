@@ -1,0 +1,353 @@
+"""Tests for the deterministic fault-injection layer (repro.net.faults)."""
+
+import random
+
+import pytest
+
+from repro.clock import DEFAULT_START, SimClock
+from repro.net.faults import (
+    ConnectionReset,
+    FAULT_PRESET_NAMES,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    FaultRule,
+    NxdomainFlap,
+    third_party_exclusions,
+)
+from repro.net.http import HttpRequest, html_response
+from repro.net.network import Network, RoutingError
+from repro.net.server import FunctionServer
+
+HOST = "cdn.tracker-one.com"
+BODY = "<html>payload body of nontrivial length</html>"
+
+
+def build_network(*hosts: str) -> Network:
+    network = Network()
+    for host in hosts or (HOST,):
+        server = FunctionServer(host)
+        server.route("/", lambda r: html_response(BODY))
+        network.register(server)
+    return network
+
+
+def make_injector(
+    *rules: FaultRule, seed: int = 5, hosts: tuple[str, ...] = (HOST,)
+) -> FaultInjector:
+    return FaultInjector(
+        build_network(*hosts), FaultPlan(seed=seed, rules=rules), SimClock()
+    )
+
+
+def get(host: str = HOST, at: float = DEFAULT_START) -> HttpRequest:
+    return HttpRequest("GET", f"http://{host}/x", timestamp=at)
+
+
+class TestFaultRuleMatching:
+    def test_explicit_host(self):
+        rule = FaultRule(FaultKind.RESET, hosts=frozenset({HOST}))
+        assert rule.matches_host(HOST, "tracker-one.com")
+        assert not rule.matches_host("other.example", "example")
+
+    def test_explicit_etld1(self):
+        rule = FaultRule(FaultKind.RESET, etld1s=frozenset({"tracker-one.com"}))
+        assert rule.matches_host("a.tracker-one.com", "tracker-one.com")
+        assert rule.matches_host("b.tracker-one.com", "tracker-one.com")
+
+    def test_exclusion_wins_over_everything(self):
+        rule = FaultRule(
+            FaultKind.RESET,
+            hosts=frozenset({HOST}),
+            host_fraction=1.0,
+            exclude_etld1s=frozenset({"tracker-one.com"}),
+        )
+        assert not rule.matches_host(HOST, "tracker-one.com")
+
+    def test_fraction_one_matches_all(self):
+        rule = FaultRule(FaultKind.RESET, host_fraction=1.0)
+        assert rule.matches_host("anything.example", "anything.example")
+
+    def test_fraction_zero_matches_none(self):
+        rule = FaultRule(FaultKind.RESET)
+        assert not rule.matches_host(HOST, "tracker-one.com")
+
+    def test_fraction_bucket_is_deterministic_per_etld1(self):
+        rule = FaultRule(FaultKind.RESET, host_fraction=0.3)
+        domains = [f"party{i}.example" for i in range(200)]
+        first = [rule.matches_host(f"a.{d}", d) for d in domains]
+        second = [rule.matches_host(f"b.{d}", d) for d in domains]
+        # Same eTLD+1 → same bucket, regardless of subdomain.
+        assert first == second
+        assert 0 < sum(first) < len(domains)
+
+    def test_fraction_bucket_varies_by_kind_and_salt(self):
+        domains = [f"party{i}.example" for i in range(200)]
+
+        def selection(rule):
+            return [rule.matches_host(d, d) for d in domains]
+
+        base = FaultRule(FaultKind.RESET, host_fraction=0.3)
+        other_kind = FaultRule(FaultKind.NXDOMAIN, host_fraction=0.3)
+        salted = FaultRule(FaultKind.RESET, host_fraction=0.3, salt="x")
+        assert selection(base) != selection(other_kind)
+        assert selection(base) != selection(salted)
+
+
+class TestFaultRuleWindows:
+    def test_absolute_window(self):
+        rule = FaultRule(
+            FaultKind.RESET, window=(DEFAULT_START + 10, DEFAULT_START + 20)
+        )
+        assert not rule.active_at(DEFAULT_START + 9)
+        assert rule.active_at(DEFAULT_START + 10)
+        assert rule.active_at(DEFAULT_START + 19)
+        assert not rule.active_at(DEFAULT_START + 20)
+
+    def test_hour_window(self):
+        # DEFAULT_START is 09:00; a 10–12 window excludes it.
+        rule = FaultRule(FaultKind.RESET, hours=(10.0, 12.0))
+        assert not rule.active_at(DEFAULT_START)
+        assert rule.active_at(DEFAULT_START + 3600)
+
+    def test_hour_window_wrapping_midnight(self):
+        # The titular 5 PM – 6 AM stretch.
+        rule = FaultRule(FaultKind.RESET, hours=(17.0, 6.0))
+        nine_am = DEFAULT_START  # 09:00
+        assert not rule.active_at(nine_am)
+        assert rule.active_at(nine_am + 9 * 3600)  # 18:00
+        assert rule.active_at(nine_am + 18 * 3600)  # 03:00 next day
+        assert not rule.active_at(nine_am + 22 * 3600)  # 07:00
+
+    def test_no_window_always_active(self):
+        assert FaultRule(FaultKind.RESET).active_at(0.0)
+
+
+class TestFaultPlanPresets:
+    def test_none_is_empty(self):
+        assert FaultPlan.none().is_empty
+
+    @pytest.mark.parametrize("name", ["light", "heavy", "chaos"])
+    def test_named_presets_are_nonempty(self, name):
+        plan = FaultPlan.preset(name, seed=3)
+        assert not plan.is_empty
+        assert plan.seed == 3
+
+    def test_off_and_none_presets_resolve_empty(self):
+        assert FaultPlan.preset("off").is_empty
+        assert FaultPlan.preset("none").is_empty
+
+    def test_unknown_preset_raises(self):
+        with pytest.raises(ValueError, match="unknown fault preset"):
+            FaultPlan.preset("catastrophic")
+
+    def test_preset_names_cover_cli_choices(self):
+        assert {"off", "light", "heavy", "chaos"} <= set(FAULT_PRESET_NAMES)
+
+    def test_exclusions_propagate_to_every_rule(self):
+        excluded = frozenset({"broadcaster.de"})
+        plan = FaultPlan.heavy(seed=1, exclude_etld1s=excluded)
+        assert all(rule.exclude_etld1s == excluded for rule in plan.rules)
+
+    def test_chaos_includes_nocturnal_latency(self):
+        plan = FaultPlan.chaos()
+        nocturnal = [r for r in plan.rules if r.hours is not None]
+        assert len(nocturnal) == 1
+        assert nocturnal[0].kind is FaultKind.LATENCY
+        assert nocturnal[0].hours == (17.0, 6.0)
+
+
+class TestFaultInjector:
+    def test_empty_plan_is_pure_passthrough(self):
+        network = build_network()
+        injector = FaultInjector(network, FaultPlan.none(), SimClock())
+        response = injector.deliver(get())
+        assert response.status == 200
+        assert injector.stats.total == 0
+        assert network.request_count == 1
+
+    def test_network_surface_delegated(self):
+        injector = make_injector()
+        assert injector.knows_host(HOST)
+        assert not injector.knows_host("nope.example")
+        assert HOST in injector.hosts()
+        assert injector.request_count == 0
+
+    def test_server_error_fault(self):
+        injector = make_injector(
+            FaultRule(
+                FaultKind.SERVER_ERROR,
+                probability=1.0,
+                hosts=frozenset({HOST}),
+                statuses=(503,),
+            )
+        )
+        response = injector.deliver(get())
+        assert response.status == 503
+        assert b"injected" in response.body
+        assert injector.stats.by_kind == {"server-error": 1}
+        # The origin never saw the request.
+        assert injector.network.request_count == 0
+
+    def test_reset_fault_raises(self):
+        injector = make_injector(
+            FaultRule(FaultKind.RESET, probability=1.0, hosts=frozenset({HOST}))
+        )
+        with pytest.raises(ConnectionReset):
+            injector.deliver(get())
+
+    def test_nxdomain_fault_is_a_routing_error(self):
+        injector = make_injector(
+            FaultRule(
+                FaultKind.NXDOMAIN, probability=1.0, hosts=frozenset({HOST})
+            )
+        )
+        with pytest.raises(NxdomainFlap):
+            injector.deliver(get())
+        assert issubclass(NxdomainFlap, RoutingError)
+
+    def test_latency_fault_advances_clock_and_restamps(self):
+        injector = make_injector(
+            FaultRule(
+                FaultKind.LATENCY,
+                probability=1.0,
+                hosts=frozenset({HOST}),
+                latency_seconds=7.5,
+            )
+        )
+        response = injector.deliver(get())
+        assert injector.clock.now == DEFAULT_START + 7.5
+        assert response.timestamp == injector.clock.now
+        assert injector.stats.delay_seconds == 7.5
+
+    def test_truncate_fault_cuts_body(self):
+        injector = make_injector(
+            FaultRule(
+                FaultKind.TRUNCATE,
+                probability=1.0,
+                hosts=frozenset({HOST}),
+                truncate_fraction=0.5,
+            )
+        )
+        response = injector.deliver(get())
+        full = len(BODY.encode())
+        assert len(response.body) == full // 2
+
+    def test_inactive_window_means_no_fault(self):
+        injector = make_injector(
+            FaultRule(
+                FaultKind.RESET,
+                probability=1.0,
+                hosts=frozenset({HOST}),
+                window=(DEFAULT_START + 100, DEFAULT_START + 200),
+            )
+        )
+        assert injector.deliver(get()).status == 200
+        assert injector.stats.total == 0
+
+    def test_stats_record_by_etld1(self):
+        injector = make_injector(
+            FaultRule(
+                FaultKind.SERVER_ERROR, probability=1.0, hosts=frozenset({HOST})
+            )
+        )
+        injector.deliver(get())
+        injector.deliver(get())
+        assert injector.stats.by_etld1 == {"tracker-one.com": 2}
+        assert injector.stats.total == 2
+
+
+def _pick_bursty_host(seed: int, probability: float) -> str:
+    """A host whose decision draws fire on request 0 and never after.
+
+    Mirrors the injector's RNG derivation, so the burst test below can
+    attribute every post-first fault to burst continuation alone.
+    """
+    for n in range(500):
+        host = f"burst{n}.tracker-two.com"
+        draws = [
+            random.Random(f"fault:{seed}:{host}:{i}").random() for i in range(6)
+        ]
+        if draws[0] < probability and all(d >= probability for d in draws[1:]):
+            return host
+    raise AssertionError("no suitable host found")  # pragma: no cover
+
+
+class TestBursts:
+    def test_burst_continues_past_the_triggering_draw(self):
+        seed = 5
+        probability = 0.4
+        host = _pick_bursty_host(seed, probability)
+        injector = make_injector(
+            FaultRule(
+                FaultKind.SERVER_ERROR,
+                probability=probability,
+                hosts=frozenset({host}),
+                burst_length=3,
+            ),
+            seed=seed,
+            hosts=(host,),
+        )
+        statuses = [injector.deliver(get(host)).status for _ in range(6)]
+        # Draw fires on request 0; requests 1-2 ride the burst; the rest
+        # would not fire on their own draws.
+        assert [s >= 500 for s in statuses] == [
+            True, True, True, False, False, False,
+        ]
+
+    def test_burst_length_one_is_a_single_fault(self):
+        seed = 5
+        probability = 0.4
+        host = _pick_bursty_host(seed, probability)
+        injector = make_injector(
+            FaultRule(
+                FaultKind.SERVER_ERROR,
+                probability=probability,
+                hosts=frozenset({host}),
+                burst_length=1,
+            ),
+            seed=seed,
+            hosts=(host,),
+        )
+        statuses = [injector.deliver(get(host)).status for _ in range(4)]
+        assert [s >= 500 for s in statuses] == [True, False, False, False]
+
+
+class TestDeterminism:
+    def test_identical_executions_produce_identical_faults(self):
+        plan_rules = (
+            FaultRule(
+                FaultKind.SERVER_ERROR, probability=0.3, host_fraction=1.0
+            ),
+            FaultRule(FaultKind.LATENCY, probability=0.2, host_fraction=1.0),
+        )
+        hosts = tuple(f"h{i}.many-parties.com" for i in range(5))
+
+        def run_once():
+            injector = make_injector(*plan_rules, seed=11, hosts=hosts)
+            outcomes = []
+            for i in range(40):
+                host = hosts[i % len(hosts)]
+                outcomes.append(injector.deliver(get(host)).status)
+            return outcomes, injector.stats.snapshot(), injector.stats.total
+
+        assert run_once() == run_once()
+
+    def test_different_seed_changes_history(self):
+        rule = FaultRule(
+            FaultKind.SERVER_ERROR, probability=0.5, host_fraction=1.0
+        )
+
+        def run_once(seed):
+            injector = make_injector(rule, seed=seed)
+            return [injector.deliver(get()).status for _ in range(30)]
+
+        assert run_once(1) != run_once(2)
+
+
+class TestThirdPartyExclusions:
+    def test_reduces_hosts_to_registrable_domains(self):
+        excluded = third_party_exclusions(
+            ["hbbtv.daserste.de", "www.zdf.de", "zdf.de"]
+        )
+        assert excluded == frozenset({"daserste.de", "zdf.de"})

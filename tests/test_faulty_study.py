@@ -1,0 +1,217 @@
+"""End-to-end acceptance tests for resilient, fault-injected studies.
+
+These pin the PR's contract: a heavily faulted study still completes
+all five runs with structured degradation records; its health totals
+are bit-for-bit reproducible across executions; and an *empty* fault
+plan leaves every study output identical to the plain happy path.
+"""
+
+import pytest
+
+from repro.clock import DEFAULT_START
+from repro.core.resilience import ResiliencePolicy
+from repro.core.runs import standard_runs
+from repro.net.faults import FaultKind, FaultPlan, FaultRule
+from repro.net.url import registrable_domain
+from repro.simulation.study import (
+    clear_study_cache,
+    default_study,
+    fault_plan_for_world,
+    make_context,
+    run_study,
+)
+from repro.simulation.world import build_world
+
+SEED = 11
+SCALE = 0.02
+
+
+@pytest.fixture(autouse=True)
+def isolated_study_cache():
+    """Keep faulty studies out of the shared default-study memo."""
+    clear_study_cache()
+    yield
+    clear_study_cache()
+
+
+def heavy_study():
+    world = build_world(seed=SEED, scale=SCALE)
+    return run_study(world, faults=fault_plan_for_world(world, "heavy"))
+
+
+def fingerprint(context):
+    """Everything observable about a study's dataset, per run."""
+    rows = []
+    for run in context.dataset.runs.values():
+        rows.append(
+            (
+                run.run_name,
+                len(run.flows),
+                len(run.cookie_records),
+                len(run.screenshots),
+                len(run.storage_entries),
+                run.interaction_count,
+                tuple(run.channels_measured),
+                round(sum(f.request.timestamp for f in run.flows), 3),
+                round(sum(f.response.timestamp for f in run.flows), 3),
+            )
+        )
+    return tuple(rows)
+
+
+class TestHeavyFaultyStudy:
+    @pytest.fixture(scope="class")
+    def context(self):
+        clear_study_cache()
+        return heavy_study()
+
+    def test_all_five_runs_complete(self, context):
+        assert len(context.dataset.runs) == 5
+        assert all(run.completed for run in context.dataset.runs.values())
+
+    def test_faults_actually_fired(self, context):
+        health = context.health
+        assert health is not None and health.has_activity
+        assert health.faults_total > 0
+        by_kind = health.faults_by_kind()
+        # The heavy preset mixes resets, 5xx bursts, flaps, truncation.
+        assert by_kind.get("reset", 0) > 0
+        assert by_kind.get("server-error", 0) > 0
+        assert by_kind.get("nxdomain", 0) > 0
+
+    def test_degradation_is_visible_in_the_traffic(self, context):
+        health = context.health
+        totals = health.totals()
+        assert totals["retries"] > 0
+        assert totals["connection_resets"] > 0
+        assert totals["gateway_timeouts"] > 0
+        assert len(health.runs) == 5
+
+    def test_health_table_renders(self, context):
+        from repro.analysis.report import format_health_table
+
+        table = context.health
+        text = format_health_table(table)
+        assert "| run | faults | retries |" in text
+        assert "totals:" in text
+        for run_name in context.dataset.run_names():
+            assert run_name in text
+
+    def test_report_gains_health_section(self, context):
+        from repro.analysis.report import generate_report
+
+        assert "Run health — faults, retries, degradation" in generate_report(
+            context
+        )
+
+    def test_totals_reproducible_bit_for_bit(self, context):
+        again = heavy_study()
+        assert again.health.totals() == context.health.totals()
+        assert fingerprint(again) == fingerprint(context)
+
+
+class TestEmptyPlanIdentity:
+    def test_empty_plan_study_identical_to_baseline(self):
+        baseline = run_study(build_world(seed=SEED, scale=SCALE))
+        with_empty_plan = run_study(
+            build_world(seed=SEED, scale=SCALE), faults=FaultPlan.none()
+        )
+        assert fingerprint(with_empty_plan) == fingerprint(baseline)
+
+    def test_empty_plan_builds_no_resilience_machinery(self):
+        context = run_study(
+            build_world(seed=SEED, scale=SCALE), faults=FaultPlan.none()
+        )
+        assert context.injector is None
+        assert context.resilience is None
+        assert context.monitor is None
+        assert context.health is None
+        assert context.proxy.resilience is None
+
+
+class TestPartialRunResume:
+    OUTAGE_END = DEFAULT_START + 200_000.0
+
+    def outage_context(self):
+        """A world where one first party is down hard, for a while:
+        every request to it gains more latency than the whole channel
+        budget, so visits to its channels deterministically blow the
+        watchdog — until the outage window closes.  Broadcaster groups
+        share a first-party eTLD+1, so the outage can cover several
+        sibling channels; the shuffle decides which one fails first."""
+        world = build_world(seed=SEED, scale=SCALE)
+        target = world.hbbtv_channels[0]
+        domain = registrable_domain(
+            world.ground_truth[target.channel_id].first_party_domain
+        )
+        affected = {
+            channel_id
+            for channel_id, truth in world.ground_truth.items()
+            if registrable_domain(truth.first_party_domain) == domain
+        }
+        plan = FaultPlan(
+            seed=SEED,
+            rules=(
+                FaultRule(
+                    FaultKind.LATENCY,
+                    probability=1.0,
+                    etld1s=frozenset({domain}),
+                    latency_seconds=2000.0,
+                    window=(DEFAULT_START, self.OUTAGE_END),
+                ),
+            ),
+        )
+        policy = ResiliencePolicy(
+            channel_attempts=1, max_channel_failures_per_run=1
+        )
+        return make_context(world, faults=plan, resilience=policy), affected
+
+    def test_failure_budget_yields_wellformed_partial_run(self):
+        context, affected = self.outage_context()
+        run = standard_runs(SEED)[0]
+        partial = context.framework.execute_run(run)
+        assert not partial.completed
+        assert len(partial.channel_failures) == 1
+        failure = partial.channel_failures[0]
+        assert failure.channel_id in affected
+        assert "watchdog expired" in failure.reason
+        assert failure.attempts == 1
+        assert failure.channel_id not in partial.channels_measured
+        # The partial run is still a well-formed dataset: flows drained,
+        # cookies extracted, TV wiped.
+        assert partial.flows
+        assert not context.tv.powered
+
+    def test_resume_completes_after_outage_ends(self):
+        context, affected = self.outage_context()
+        run = standard_runs(SEED)[0]
+        partial = context.framework.execute_run(run)
+        measured_before = list(partial.channels_measured)
+
+        # The outage ends overnight; the campaign resumes next morning.
+        context.clock.advance(self.OUTAGE_END - context.clock.now + 1.0)
+        merged = context.framework.resume_run(run, partial)
+
+        assert merged.completed
+        assert affected <= set(merged.channels_measured)
+        # Nothing measured twice, nothing lost.
+        assert len(set(merged.channels_measured)) == len(
+            merged.channels_measured
+        )
+        assert set(measured_before) <= set(merged.channels_measured)
+        assert merged.channel_failures == partial.channel_failures
+        assert len(merged.flows) > len(partial.flows)
+
+
+class TestStudyCache:
+    def test_clear_study_cache_forces_rebuild(self):
+        first = default_study(seed=SEED, scale=SCALE)
+        assert default_study(seed=SEED, scale=SCALE) is first
+        clear_study_cache()
+        assert default_study(seed=SEED, scale=SCALE) is not first
+
+    def test_faulty_studies_never_enter_the_cache(self):
+        heavy = heavy_study()
+        cached = default_study(seed=SEED, scale=SCALE)
+        assert cached is not heavy
+        assert cached.health is None

@@ -34,6 +34,18 @@ class TestHeaders:
         headers.set("X", "3")
         assert headers.get_all("X") == ["3"]
 
+    def test_set_preserves_position_of_first_occurrence(self):
+        # Regression: set() used to remove-then-append, pushing the
+        # header to the end and reordering the wire format.
+        headers = Headers([("A", "1"), ("X", "old"), ("B", "2"), ("x", "dup")])
+        headers.set("X", "new")
+        assert list(headers) == [("A", "1"), ("X", "new"), ("B", "2")]
+
+    def test_set_appends_when_absent(self):
+        headers = Headers([("A", "1")])
+        headers.set("X", "3")
+        assert list(headers) == [("A", "1"), ("X", "3")]
+
     def test_remove(self):
         headers = Headers([("A", "1"), ("B", "2")])
         headers.remove("a")

@@ -1,0 +1,124 @@
+"""Tests for the interception proxy's failure handling and exclusion
+accounting (repro.proxy.mitm)."""
+
+import pytest
+
+from repro.clock import DEFAULT_START, SimClock
+from repro.net.faults import FaultInjector, FaultKind, FaultPlan, FaultRule
+from repro.net.http import HttpRequest, html_response
+from repro.net.network import Network
+from repro.net.server import FunctionServer
+from repro.proxy.mitm import InterceptionProxy
+
+LIVE_HOST = "app.beispiel-tv.de"
+
+
+def build_network() -> Network:
+    network = Network()
+    server = FunctionServer(LIVE_HOST)
+    server.route("/", lambda r: html_response("<html>app</html>"))
+    excluded = FunctionServer("snu.lge.com")
+    excluded.route("/", lambda r: html_response("telemetry ack"))
+    network.register(server)
+    network.register(excluded)
+    return network
+
+
+def start_proxy(network=None, **kwargs) -> InterceptionProxy:
+    proxy = InterceptionProxy(network or build_network(), **kwargs)
+    proxy.start()
+    return proxy
+
+
+def get(url: str) -> HttpRequest:
+    return HttpRequest("GET", url, timestamp=DEFAULT_START)
+
+
+class TestGatewayTimeoutPath:
+    def test_dead_host_synthesizes_504(self):
+        proxy = start_proxy()
+        response = proxy.request(get("http://dead.example/x"))
+        assert response.status == 504
+        assert response.body == b"upstream unreachable"
+        assert response.timestamp == DEFAULT_START
+
+    def test_504_flow_is_still_recorded(self):
+        proxy = start_proxy()
+        proxy.request(get("http://dead.example/x"))
+        assert len(proxy.flows) == 1
+        assert proxy.flows[0].response.status == 504
+
+    def test_gateway_timeout_counter(self):
+        proxy = start_proxy()
+        proxy.request(get("http://dead.example/x"))
+        proxy.request(get("http://also-dead.example/y"))
+        proxy.request(get(f"http://{LIVE_HOST}/"))
+        assert proxy.gateway_timeout_count == 2
+
+
+class TestExclusionAccounting:
+    def test_excluded_etld1_not_recorded_but_counted(self):
+        proxy = start_proxy()
+        response = proxy.request(get("http://snu.lge.com/telemetry"))
+        # The TV still gets its answer; the study just never records it.
+        assert response.status == 200
+        assert proxy.flows == []
+        assert proxy.excluded_flow_count == 1
+
+    def test_exclusion_matches_whole_etld1(self):
+        proxy = start_proxy()
+        proxy.request(get("http://snu.lge.com/a"))
+        proxy.request(get("http://snu.lge.com/b"))
+        proxy.request(get(f"http://{LIVE_HOST}/"))
+        assert proxy.excluded_flow_count == 2
+        assert len(proxy.flows) == 1
+
+    def test_excluded_dead_host_counts_both_ways(self):
+        proxy = start_proxy()
+        response = proxy.request(get("http://other.lge.com/ping"))
+        assert response.status == 504
+        assert proxy.gateway_timeout_count == 1
+        assert proxy.excluded_flow_count == 1
+        assert proxy.flows == []
+
+    def test_custom_exclusion_set(self):
+        proxy = start_proxy(excluded_etld1s={"beispiel-tv.de"})
+        proxy.request(get(f"http://{LIVE_HOST}/"))
+        assert proxy.excluded_flow_count == 1
+        assert proxy.flows == []
+
+
+class TestConnectionResetPath:
+    def reset_proxy(self) -> InterceptionProxy:
+        plan = FaultPlan(
+            seed=1,
+            rules=(
+                FaultRule(
+                    FaultKind.RESET,
+                    probability=1.0,
+                    hosts=frozenset({LIVE_HOST}),
+                ),
+            ),
+        )
+        injector = FaultInjector(build_network(), plan, SimClock())
+        return start_proxy(network=injector)
+
+    def test_reset_synthesizes_502(self):
+        proxy = self.reset_proxy()
+        response = proxy.request(get(f"http://{LIVE_HOST}/"))
+        assert response.status == 502
+        assert response.body == b"connection reset by peer"
+        assert proxy.reset_count == 1
+
+    def test_502_flow_is_still_recorded(self):
+        proxy = self.reset_proxy()
+        proxy.request(get(f"http://{LIVE_HOST}/"))
+        assert len(proxy.flows) == 1
+        assert proxy.flows[0].response.status == 502
+
+
+class TestLifecycle:
+    def test_request_requires_running_proxy(self):
+        proxy = InterceptionProxy(build_network())
+        with pytest.raises(RuntimeError, match="not running"):
+            proxy.request(get(f"http://{LIVE_HOST}/"))

@@ -1,0 +1,318 @@
+"""Tests for retry/backoff, circuit breakers, watchdogs, and the
+transport resilience layer (repro.core.resilience)."""
+
+import random
+
+import pytest
+
+from repro.clock import DEFAULT_START, SimClock
+from repro.core.resilience import (
+    BreakerState,
+    ChannelFailure,
+    CircuitBreaker,
+    CircuitOpenError,
+    NULL_WATCHDOG,
+    ResiliencePolicy,
+    RetryPolicy,
+    StudyResilience,
+    TransportResilience,
+    Watchdog,
+    WatchdogExpired,
+)
+from repro.net.faults import ConnectionReset, NxdomainFlap
+from repro.net.http import HttpRequest, HttpResponse, html_response
+from repro.net.network import RoutingError
+
+URL = "http://api.tracker.example/beacon"
+
+
+class ScriptedNetwork:
+    """A stand-in network that plays back a scripted outcome sequence.
+
+    Each entry is either an exception instance (raised) or an
+    :class:`HttpResponse` (returned); the last entry repeats forever.
+    """
+
+    def __init__(self, *outcomes):
+        self.outcomes = list(outcomes)
+        self.calls = 0
+
+    def deliver(self, request):
+        index = min(self.calls, len(self.outcomes) - 1)
+        self.calls += 1
+        outcome = self.outcomes[index]
+        if isinstance(outcome, BaseException):
+            raise outcome
+        return outcome
+
+
+def transport(policy: ResiliencePolicy | None = None, seed: int = 0):
+    clock = SimClock()
+    return TransportResilience(policy or ResiliencePolicy(), clock, seed)
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_exponentially_within_jitter(self):
+        policy = RetryPolicy(
+            base_delay_seconds=1.0, multiplier=2.0, jitter=0.25
+        )
+        rng = random.Random(0)
+        for attempt in range(4):
+            delay = policy.backoff_delay(attempt, rng)
+            base = 2.0**attempt
+            assert base <= delay <= base * 1.25
+
+    def test_backoff_capped_at_max(self):
+        policy = RetryPolicy(
+            base_delay_seconds=1.0,
+            multiplier=10.0,
+            max_delay_seconds=5.0,
+            jitter=0.0,
+        )
+        assert policy.backoff_delay(6, random.Random(0)) == 5.0
+
+    def test_backoff_deterministic_given_rng_state(self):
+        policy = RetryPolicy()
+        first = [policy.backoff_delay(i, random.Random(9)) for i in range(3)]
+        second = [policy.backoff_delay(i, random.Random(9)) for i in range(3)]
+        assert first == second
+
+
+class TestCircuitBreaker:
+    def make(self, clock=None):
+        return CircuitBreaker(
+            clock or SimClock(), failure_threshold=3, reset_after_seconds=60.0
+        )
+
+    def test_closed_by_default(self):
+        breaker = self.make()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow()
+
+    def test_opens_at_threshold(self):
+        breaker = self.make()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allow()
+        assert breaker.open_count == 1
+
+    def test_success_resets_failure_streak(self):
+        breaker = self.make()
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_half_open_probe_after_reset_window(self):
+        clock = SimClock()
+        breaker = self.make(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance(60.0)
+        assert breaker.allow()
+        assert breaker.state is BreakerState.HALF_OPEN
+
+    def test_half_open_failure_reopens(self):
+        clock = SimClock()
+        breaker = self.make(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(60.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.open_count == 2
+        assert not breaker.allow()
+
+    def test_half_open_success_closes(self):
+        clock = SimClock()
+        breaker = self.make(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(60.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow()
+
+
+class TestWatchdog:
+    def test_within_budget_passes(self):
+        clock = SimClock()
+        watchdog = Watchdog(clock, budget_seconds=100.0)
+        clock.advance(100.0)
+        watchdog.check()  # exactly on budget is still fine
+
+    def test_expiry_raises_with_elapsed_and_budget(self):
+        clock = SimClock()
+        watchdog = Watchdog(clock, budget_seconds=100.0)
+        clock.advance(150.0)
+        with pytest.raises(WatchdogExpired) as excinfo:
+            watchdog.check()
+        assert excinfo.value.elapsed == 150.0
+        assert excinfo.value.budget == 100.0
+        assert "watchdog expired" in str(excinfo.value)
+
+    def test_budget_measured_from_construction(self):
+        clock = SimClock()
+        clock.advance(500.0)
+        watchdog = Watchdog(clock, budget_seconds=100.0)
+        assert watchdog.elapsed == 0.0
+
+    def test_null_watchdog_never_fires(self):
+        NULL_WATCHDOG.check()
+
+
+class TestTransportResilience:
+    def test_success_passes_through_untouched(self):
+        layer = transport()
+        network = ScriptedNetwork(html_response("ok"))
+        response = layer.deliver(network, HttpRequest("GET", URL))
+        assert response.status == 200
+        assert layer.retries_total == 0
+        assert layer.clock.now == DEFAULT_START
+
+    def test_transient_reset_retried_to_success(self):
+        layer = transport()
+        network = ScriptedNetwork(
+            ConnectionReset("boom"), html_response("ok")
+        )
+        request = HttpRequest("GET", URL, timestamp=DEFAULT_START)
+        response = layer.deliver(network, request)
+        assert response.status == 200
+        assert network.calls == 2
+        assert layer.retries_total == 1
+        # Backoff advanced the simulated clock and restamped the request.
+        assert layer.clock.now > DEFAULT_START
+        assert request.timestamp == layer.clock.now
+
+    def test_persistent_reset_exhausts_and_reraises(self):
+        layer = transport()
+        network = ScriptedNetwork(ConnectionReset("boom"))
+        with pytest.raises(ConnectionReset):
+            layer.deliver(network, HttpRequest("GET", URL))
+        assert network.calls == layer.policy.retry.max_attempts
+        assert layer.retries_total == layer.policy.retry.max_attempts - 1
+
+    def test_nxdomain_flap_retried(self):
+        layer = transport()
+        network = ScriptedNetwork(NxdomainFlap("flap"), html_response("ok"))
+        response = layer.deliver(network, HttpRequest("GET", URL))
+        assert response.status == 200
+        assert layer.retries_total == 1
+
+    def test_retryable_5xx_returns_last_degraded_response(self):
+        layer = transport()
+        network = ScriptedNetwork(HttpResponse(status=503))
+        response = layer.deliver(network, HttpRequest("GET", URL))
+        assert response.status == 503
+        assert network.calls == layer.policy.retry.max_attempts
+
+    def test_5xx_then_success(self):
+        layer = transport()
+        network = ScriptedNetwork(HttpResponse(status=500), html_response("ok"))
+        response = layer.deliver(network, HttpRequest("GET", URL))
+        assert response.status == 200
+        assert layer.retries_total == 1
+
+    def test_non_retryable_status_not_retried(self):
+        layer = transport()
+        network = ScriptedNetwork(HttpResponse(status=404))
+        response = layer.deliver(network, HttpRequest("GET", URL))
+        assert response.status == 404
+        assert network.calls == 1
+        assert layer.retries_total == 0
+
+    def test_genuinely_dead_host_fails_once_without_retry(self):
+        layer = transport()
+        network = ScriptedNetwork(RoutingError("no route"))
+        with pytest.raises(RoutingError):
+            layer.deliver(network, HttpRequest("GET", URL))
+        assert network.calls == 1
+        assert layer.retries_total == 0
+        assert layer.breaker_for("api.tracker.example").consecutive_failures == 1
+
+    def test_breaker_opens_then_fast_fails(self):
+        layer = transport()
+        network = ScriptedNetwork(RoutingError("no route"))
+        threshold = layer.policy.breaker_failure_threshold
+        for _ in range(threshold):
+            with pytest.raises(RoutingError):
+                layer.deliver(network, HttpRequest("GET", URL))
+        with pytest.raises(CircuitOpenError):
+            layer.deliver(network, HttpRequest("GET", URL))
+        # The fast-fail never reached the network.
+        assert network.calls == threshold
+        assert layer.fast_fails == 1
+        assert layer.breaker_opens == 1
+        assert layer.open_hosts() == ["api.tracker.example"]
+
+    def test_circuit_open_error_is_a_routing_error(self):
+        assert issubclass(CircuitOpenError, RoutingError)
+
+    def test_half_open_probe_reaches_network_after_reset_window(self):
+        layer = transport()
+        network = ScriptedNetwork(RoutingError("no route"))
+        for _ in range(layer.policy.breaker_failure_threshold):
+            with pytest.raises(RoutingError):
+                layer.deliver(network, HttpRequest("GET", URL))
+        layer.clock.advance(layer.policy.breaker_reset_seconds)
+        recovered = ScriptedNetwork(html_response("back"))
+        response = layer.deliver(recovered, HttpRequest("GET", URL))
+        assert response.status == 200
+        breaker = layer.breaker_for("api.tracker.example")
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_breakers_are_per_host(self):
+        layer = transport()
+        network = ScriptedNetwork(RoutingError("no route"))
+        for _ in range(layer.policy.breaker_failure_threshold):
+            with pytest.raises(RoutingError):
+                layer.deliver(network, HttpRequest("GET", URL))
+        other = ScriptedNetwork(html_response("ok"))
+        response = layer.deliver(
+            other, HttpRequest("GET", "http://other.example/")
+        )
+        assert response.status == 200
+
+    def test_backoff_is_deterministic(self):
+        def run_once():
+            layer = transport(seed=4)
+            network = ScriptedNetwork(ConnectionReset("boom"))
+            with pytest.raises(ConnectionReset):
+                layer.deliver(network, HttpRequest("GET", URL))
+            return layer.backoff_seconds_total
+
+        assert run_once() == run_once()
+        assert run_once() > 0
+
+
+class TestStudyResilience:
+    def test_watchdog_budget_scales_planned_time(self):
+        clock = SimClock()
+        bundle = StudyResilience(
+            ResiliencePolicy(channel_time_budget_factor=1.5), clock
+        )
+        watchdog = bundle.watchdog(1000.0)
+        assert watchdog.budget_seconds == 1500.0
+        clock.advance(1501.0)
+        with pytest.raises(WatchdogExpired):
+            watchdog.check()
+
+    def test_channel_failure_is_frozen_record(self):
+        failure = ChannelFailure(
+            channel_id="c1",
+            channel_name="Channel One",
+            reason="watchdog expired",
+            attempts=2,
+            elapsed_seconds=12.5,
+            at=100.0,
+        )
+        with pytest.raises(AttributeError):
+            failure.reason = "other"

@@ -39,13 +39,25 @@ class TestConfiguredScale:
         monkeypatch.setenv(SCALE_ENV_VAR, "0.5")
         assert configured_scale() == 0.5
 
-    def test_garbage_falls_back(self, monkeypatch):
+    def test_garbage_falls_back_with_warning(self, monkeypatch):
         monkeypatch.setenv(SCALE_ENV_VAR, "not-a-number")
-        assert configured_scale() == DEFAULT_SCALE
+        with pytest.warns(UserWarning, match="is not a number"):
+            assert configured_scale() == DEFAULT_SCALE
 
-    def test_nonpositive_falls_back(self, monkeypatch):
+    def test_nonpositive_falls_back_with_warning(self, monkeypatch):
         monkeypatch.setenv(SCALE_ENV_VAR, "-1")
-        assert configured_scale() == DEFAULT_SCALE
+        with pytest.warns(UserWarning, match="must be positive"):
+            assert configured_scale() == DEFAULT_SCALE
+
+    def test_zero_falls_back_with_warning(self, monkeypatch):
+        monkeypatch.setenv(SCALE_ENV_VAR, "0")
+        with pytest.warns(UserWarning, match="must be positive"):
+            assert configured_scale() == DEFAULT_SCALE
+
+    def test_valid_value_does_not_warn(self, monkeypatch, recwarn):
+        monkeypatch.setenv(SCALE_ENV_VAR, "0.25")
+        assert configured_scale() == 0.25
+        assert not recwarn.list
 
 
 class TestStudyContext:
