@@ -1,0 +1,89 @@
+"""Sharded parallel execution — sequential vs 2/4/8-way workers.
+
+Runs the same sharded study (8 shards) at several scales with a
+growing worker ladder and reports wall-clock speedups against the
+one-worker (sequential) execution of the identical shard set, plus the
+classic unsharded timeline for reference.  The study digest is
+asserted equal across every worker count — the bench doubles as a
+full-scale differential equivalence check.
+
+Speedups are whatever the hardware allows: on a single-CPU container
+the worker ladder only adds process-spawn overhead and the honest
+numbers show it; with ≥4 cores the 4-way rung is where the ≥2× win
+lives, since each worker executes two of the eight shards.
+"""
+
+import os
+import time
+
+from benchmarks.conftest import SEED, emit
+from repro.core.dataset import study_digest
+from repro.simulation.study import configured_scale, run_study
+from repro.simulation.world import build_world
+
+WORKER_LADDER = (1, 2, 4, 8)
+N_SHARDS = 8
+
+#: The ladder at the configured scale, plus a small scale for contrast
+#: ("several scales" without several minutes on small boxes).
+BENCH_SCALES = tuple(
+    dict.fromkeys((min(configured_scale(), 0.05), configured_scale()))
+)
+
+
+def _run_ladder(scale):
+    timings = {}
+    digests = {}
+    for workers in WORKER_LADDER:
+        world = build_world(seed=SEED, scale=scale)
+        started = time.perf_counter()
+        context = run_study(world, workers=workers, shards=N_SHARDS)
+        timings[workers] = time.perf_counter() - started
+        digests[workers] = study_digest(context.dataset)
+    return timings, digests
+
+
+def test_parallel_speedup(benchmark):
+    legacy_seconds = {}
+    for scale in BENCH_SCALES:
+        started = time.perf_counter()
+        run_study(build_world(seed=SEED, scale=scale))
+        legacy_seconds[scale] = time.perf_counter() - started
+
+    results = {}
+
+    def ladder_all_scales():
+        for scale in BENCH_SCALES:
+            results[scale] = _run_ladder(scale)
+        return results
+
+    benchmark.pedantic(ladder_all_scales, rounds=1, iterations=1)
+
+    lines = [
+        f"world seed {SEED}, {N_SHARDS} shards, "
+        f"{os.cpu_count()} CPU(s) available",
+        "",
+    ]
+    for scale in BENCH_SCALES:
+        timings, digests = results[scale]
+        base = timings[1]
+        lines.append(f"scale {scale}:")
+        lines.append(
+            f"  unsharded sequential : {legacy_seconds[scale]:7.2f}s "
+            "(reference timeline)"
+        )
+        for workers in WORKER_LADDER:
+            speedup = base / timings[workers] if timings[workers] else 0.0
+            lines.append(
+                f"  sharded, {workers} worker(s) : {timings[workers]:7.2f}s "
+                f"({speedup:4.2f}x vs 1 worker)"
+            )
+        lines.append(f"  digest (all worker counts): {digests[1][:16]}…")
+        lines.append("")
+    emit("Sharded parallel study execution", "\n".join(lines))
+
+    for scale in BENCH_SCALES:
+        timings, digests = results[scale]
+        # Bit-for-bit identical output across the whole worker ladder.
+        assert len(set(digests.values())) == 1
+        assert all(seconds > 0 for seconds in timings.values())

@@ -14,6 +14,13 @@ All subcommands accept ``--seed`` (default 7), ``--scale`` (default
 (``light``/``heavy``/``chaos``) applied to the world's third-party
 hosts, with the resilience layer (retries, breakers, watchdogs)
 switched on.
+
+Study-based subcommands additionally accept ``--workers N`` and
+``--shards K`` (see ``repro.core.shard``): the study executes shard-
+by-shard on isolated stacks, optionally across N worker processes.
+The output depends only on ``(seed, scale, faults, shards)`` — never
+on the worker count.  ``funnel`` always runs on the classic
+sequential stack.
 """
 
 from __future__ import annotations
@@ -38,6 +45,26 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=FAULT_CHOICES,
         default="off",
         help="fault-injection preset applied to third-party hosts",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "execute the study sharded across N worker processes "
+            "(output depends only on --shards, not on N)"
+        ),
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="K",
+        help=(
+            "partition the channel corpus into K deterministic shards "
+            "(default 4 when --workers is given)"
+        ),
     )
     parser.add_argument(
         "command",
@@ -79,8 +106,13 @@ def _fault_plan(arguments, world):
 
 
 def _load_context(arguments):
-    """The study context: memoized when clean, fresh when faulty."""
-    if arguments.faults == "off" and arguments.command != "health":
+    """The study context: memoized when clean and unsharded, else fresh."""
+    sharded = arguments.workers is not None or arguments.shards is not None
+    if (
+        arguments.faults == "off"
+        and arguments.command != "health"
+        and not sharded
+    ):
         from repro.simulation.study import default_study
 
         return default_study(seed=arguments.seed, scale=arguments.scale)
@@ -88,7 +120,12 @@ def _load_context(arguments):
     from repro.simulation.world import build_world
 
     world = build_world(seed=arguments.seed, scale=arguments.scale)
-    return run_study(world, faults=_fault_plan(arguments, world))
+    return run_study(
+        world,
+        faults=_fault_plan(arguments, world),
+        workers=arguments.workers,
+        shards=arguments.shards,
+    )
 
 
 def _with_study(arguments) -> int:

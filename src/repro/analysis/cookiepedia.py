@@ -11,6 +11,7 @@ not the HbbTV-native ones.
 from __future__ import annotations
 
 import enum
+from types import MappingProxyType
 
 
 class CookiePurpose(enum.Enum):
@@ -61,6 +62,13 @@ _KNOWN_COOKIES: dict[str, CookiePurpose] = {
     "language": CookiePurpose.FUNCTIONALITY,
     "volume": CookiePurpose.FUNCTIONALITY,
 }
+
+# Frozen: the database is shared module-level state, and sharded
+# execution runs analyses in several processes that may have *forked*
+# from a common parent.  ``Cookiepedia`` copies it per instance (extras
+# go into the copy); the proxy turns any accidental module-level write
+# into an immediate TypeError instead of silent cross-worker skew.
+_KNOWN_COOKIES = MappingProxyType(_KNOWN_COOKIES)
 
 
 class Cookiepedia:

@@ -16,6 +16,7 @@ Two engine flavours, as in the paper's toolbox:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Iterable
 
@@ -234,3 +235,28 @@ class FilterListSuite:
             or self.easylist.matches(url)
             or self.easyprivacy.matches(url)
         )
+
+
+#: pid → parsed suite.  Keyed by pid for fork safety: a suite is
+#: immutable after parsing (rule sets are built once in ``__init__``
+#: and only read afterwards), so *sharing* one across forked workers
+#: would be harmless — but re-keying per process keeps the invariant
+#: trivially auditable and mirrors the study-cache guard.  ``spawn``
+#: workers start with an empty module and parse their own.
+_DEFAULT_SUITE: dict[int, FilterListSuite] = {}
+
+
+def default_suite() -> FilterListSuite:
+    """The process-wide parsed :class:`FilterListSuite`.
+
+    Parsing all five embedded lists costs noticeable time; callers on
+    hot paths (first-party identification runs once per measurement
+    run) share this memoized instance instead of re-parsing.
+    """
+    pid = os.getpid()
+    suite = _DEFAULT_SUITE.get(pid)
+    if suite is None:
+        _DEFAULT_SUITE.clear()
+        suite = FilterListSuite()
+        _DEFAULT_SUITE[pid] = suite
+    return suite

@@ -10,7 +10,10 @@ from repro.core.dataset import (
     CookieRecord,
     RunDataset,
     StudyDataset,
+    merge_parallel_run_datasets,
     merge_run_datasets,
+    serialize_study_dataset,
+    study_digest,
 )
 from repro.core.filtering import ChannelFilterPipeline, FilteringReport
 from repro.core.framework import MeasurementFramework
@@ -25,7 +28,17 @@ from repro.core.resilience import (
     StudyResilience,
     Watchdog,
 )
-from repro.core.runs import RunSpec, standard_runs
+from repro.core.runs import RunSpec, ensure_runs, standard_runs
+from repro.core.shard import (
+    DEFAULT_SHARDS,
+    ShardResult,
+    ShardSpec,
+    ShardTask,
+    execute_shard,
+    merge_shard_results,
+    run_sharded_study,
+    shard_channel_ids,
+)
 
 __all__ = [
     "MeasurementConfig",
@@ -50,4 +63,16 @@ __all__ = [
     "HealthMonitor",
     "RunHealth",
     "StudyHealth",
+    "merge_parallel_run_datasets",
+    "serialize_study_dataset",
+    "study_digest",
+    "ensure_runs",
+    "DEFAULT_SHARDS",
+    "ShardSpec",
+    "ShardTask",
+    "ShardResult",
+    "shard_channel_ids",
+    "execute_shard",
+    "merge_shard_results",
+    "run_sharded_study",
 ]

@@ -8,9 +8,10 @@ JSONL export/import so datasets survive across processes.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, Sequence
 
 from repro.core.resilience import ChannelFailure
 from repro.net.cookies import Cookie, parse_set_cookie
@@ -214,6 +215,179 @@ def merge_run_datasets(partial: RunDataset, remainder: RunDataset) -> RunDataset
         channel_failures=partial.channel_failures + remainder.channel_failures,
         completed=remainder.completed,
     )
+
+
+def merge_parallel_run_datasets(parts: Sequence[RunDataset]) -> RunDataset:
+    """Merge shard-level slices of the *same* run into one dataset.
+
+    Unlike :func:`merge_run_datasets` (a partial run plus its resumed
+    continuation), this folds any number of slices that measured
+    disjoint channel shards.  Every ordered collection concatenates in
+    the order given — callers pass shard-index order, which is what
+    makes the merged result a deterministic function of the partition
+    rather than of worker scheduling.  The merged run is completed only
+    if every slice completed.
+    """
+    if not parts:
+        raise ValueError("cannot merge zero run datasets")
+    names = {p.run_name for p in parts}
+    if len(names) > 1:
+        raise ValueError(f"cannot merge different runs: {sorted(names)}")
+    merged = RunDataset(
+        run_name=parts[0].run_name,
+        date_label=next((p.date_label for p in parts if p.date_label), ""),
+        completed=all(p.completed for p in parts),
+    )
+    for part in parts:
+        merged.flows.extend(part.flows)
+        merged.cookie_records.extend(part.cookie_records)
+        merged.jar_dump.extend(part.jar_dump)
+        merged.storage_entries.extend(part.storage_entries)
+        merged.screenshots.extend(part.screenshots)
+        merged.channels_measured.extend(part.channels_measured)
+        merged.interaction_count += part.interaction_count
+        merged.channel_failures.extend(part.channel_failures)
+    return merged
+
+
+# -- canonical serialization and digests -------------------------------------------
+
+
+def _serialize_cookie(cookie: Cookie) -> dict:
+    return {
+        "name": cookie.name,
+        "value": cookie.value,
+        "domain": cookie.domain,
+        "path": cookie.path,
+        "expires": cookie.expires,
+        "secure": cookie.secure,
+        "http_only": cookie.http_only,
+        "host_only": cookie.host_only,
+        "created_at": cookie.created_at,
+        "set_by_url": cookie.set_by_url,
+    }
+
+
+def _serialize_screenshot(shot: Screenshot) -> dict:
+    screen = shot.screen
+    return {
+        "channel_id": shot.channel_id,
+        "channel_name": shot.channel_name,
+        "ts": shot.timestamp,
+        "run": shot.run_name,
+        "seq": shot.sequence_number,
+        "kind": screen.kind.value,
+        "privacy_kind": (
+            screen.privacy_kind.value if screen.privacy_kind is not None else None
+        ),
+        "notice_type_id": screen.notice_type_id,
+        "notice_layer": screen.notice_layer,
+        "focused_button": screen.focused_button,
+        "visible_buttons": list(screen.visible_buttons),
+        "preticked_boxes": list(screen.preticked_boxes),
+        "accept_highlighted": screen.accept_highlighted,
+        "is_modal": screen.is_modal,
+        "covers_full_screen": screen.covers_full_screen,
+        "policy_excerpt": screen.policy_excerpt,
+        "has_privacy_pointer": screen.has_privacy_pointer,
+        "pointer_label": screen.pointer_label,
+        "pointer_prominent": screen.pointer_prominent,
+        "caption": screen.caption,
+    }
+
+
+def serialize_run_dataset(run: RunDataset) -> dict:
+    """A canonical, JSON-ready view of everything a run collected.
+
+    Every ordered collection keeps its wire/insertion order — flows in
+    recording order, jar dumps in jar-insertion order — so two datasets
+    serialize equal *only* if an analysis could not tell them apart.
+    This is the byte-level contract the parallel executor is tested
+    against.
+    """
+    return {
+        "run": run.run_name,
+        "date": run.date_label,
+        "completed": run.completed,
+        "interactions": run.interaction_count,
+        "channels_measured": list(run.channels_measured),
+        "flows": [
+            {
+                "method": flow.request.method,
+                "url": flow.url,
+                "ts": flow.timestamp,
+                "status": flow.status,
+                "content_type": flow.response.content_type,
+                "size": flow.response.size,
+                "set_cookies": flow.set_cookie_headers(),
+                "referer": flow.request.referer,
+                "channel_id": flow.channel_id,
+                "channel_name": flow.channel_name,
+                "run": flow.run_name,
+                "https": flow.is_https,
+                "response_ts": flow.response.timestamp,
+            }
+            for flow in run.flows
+        ],
+        "cookie_records": [
+            {
+                "cookie": _serialize_cookie(record.cookie),
+                "channel_id": record.channel_id,
+                "run": record.run_name,
+                "first_party": record.first_party_etld1,
+            }
+            for record in run.cookie_records
+        ],
+        "jar": [_serialize_cookie(cookie) for cookie in run.jar_dump],
+        "storage": [
+            {
+                "origin": entry.origin,
+                "key": entry.key,
+                "value": entry.value,
+                "written_at": entry.written_at,
+                "written_by_url": entry.written_by_url,
+            }
+            for entry in run.storage_entries
+        ],
+        "screenshots": [
+            _serialize_screenshot(shot) for shot in run.screenshots
+        ],
+        "failures": [
+            {
+                "channel_id": failure.channel_id,
+                "channel_name": failure.channel_name,
+                "reason": failure.reason,
+                "attempts": failure.attempts,
+                "elapsed_seconds": failure.elapsed_seconds,
+                "at": failure.at,
+            }
+            for failure in run.channel_failures
+        ],
+    }
+
+
+def serialize_study_dataset(dataset: StudyDataset) -> dict:
+    """Canonical JSON-ready view of a whole study (runs in order)."""
+    return {
+        "runs": [serialize_run_dataset(run) for run in dataset.runs.values()],
+        "run_names": dataset.run_names(),
+    }
+
+
+def study_digest(dataset: StudyDataset) -> str:
+    """A stable content hash of the serialized study.
+
+    Equal digests mean the datasets are byte-for-byte interchangeable
+    for every analysis; used by the golden-master regression test and
+    the sequential-vs-parallel differential harness.
+    """
+    canonical = json.dumps(
+        serialize_study_dataset(dataset),
+        sort_keys=True,
+        separators=(",", ":"),
+        ensure_ascii=True,
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 # -- persistence ------------------------------------------------------------------

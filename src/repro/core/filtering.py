@@ -27,6 +27,24 @@ class FilteringReport:
     with_traffic: int = 0  # step 5: HTTP(S) traffic observed
     final: int = 0  # step 6: not IPTV
 
+    @classmethod
+    def merged(cls, reports: "list[FilteringReport]") -> "FilteringReport":
+        """Fold per-shard funnels into the study-wide funnel.
+
+        Each shard filters a disjoint slice of the received channels,
+        so every step count is a plain sum.
+        """
+        if not reports:
+            raise ValueError("cannot merge zero filtering reports")
+        return cls(
+            received=sum(r.received for r in reports),
+            tv_channels=sum(r.tv_channels for r in reports),
+            unencrypted=sum(r.unencrypted for r in reports),
+            visible_named=sum(r.visible_named for r in reports),
+            with_traffic=sum(r.with_traffic for r in reports),
+            final=sum(r.final for r in reports),
+        )
+
     def as_rows(self) -> list[tuple[str, int, float]]:
         """(step, count, share-of-received) rows for pretty-printing."""
         if self.received == 0:

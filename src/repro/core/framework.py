@@ -30,7 +30,7 @@ from repro.core.resilience import (
     ResilienceError,
     StudyResilience,
 )
-from repro.core.runs import RunSpec, standard_runs
+from repro.core.runs import RunSpec, ensure_runs
 from repro.dvb.channel import BroadcastChannel
 from repro.proxy.mitm import InterceptionProxy
 from repro.tv.webos import WebOSApi
@@ -61,7 +61,7 @@ class MeasurementFramework:
     def run_study(self, runs: list[RunSpec] | None = None) -> StudyDataset:
         """Execute every measurement run and return the full dataset."""
         dataset = StudyDataset()
-        for run in runs or standard_runs(self.seed, self.config.interaction_presses):
+        for run in ensure_runs(runs, self.seed, self.config.interaction_presses):
             dataset.add_run(self.execute_run(run))
         return dataset
 

@@ -12,6 +12,7 @@ renders.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from repro.core.resilience import ChannelFailure
 
@@ -96,6 +97,61 @@ class StudyHealth:
                 for kind, count in sorted(self.faults_by_kind().items())
             },
         }
+
+
+def merge_run_health(parts: Sequence[RunHealth]) -> RunHealth:
+    """Combine per-shard health records of the *same* run.
+
+    Counters sum, failures concatenate (in the order given — callers
+    pass shard-index order), and the merged run only counts as
+    completed when every shard's slice completed.
+    """
+    if not parts:
+        raise ValueError("cannot merge zero run-health records")
+    names = {p.run_name for p in parts}
+    if len(names) > 1:
+        raise ValueError(f"cannot merge health of different runs: {sorted(names)}")
+    kinds: dict[str, int] = {}
+    for part in parts:
+        for kind, count in part.faults_by_kind.items():
+            kinds[kind] = kinds.get(kind, 0) + count
+    failures: list[ChannelFailure] = []
+    for part in parts:
+        failures.extend(part.failures)
+    return RunHealth(
+        run_name=parts[0].run_name,
+        faults_by_kind=kinds,
+        retries=sum(p.retries for p in parts),
+        breaker_opens=sum(p.breaker_opens for p in parts),
+        breaker_fast_fails=sum(p.breaker_fast_fails for p in parts),
+        gateway_timeouts=sum(p.gateway_timeouts for p in parts),
+        connection_resets=sum(p.connection_resets for p in parts),
+        flow_count=sum(p.flow_count for p in parts),
+        channels_measured=sum(p.channels_measured for p in parts),
+        failures=tuple(failures),
+        completed=all(p.completed for p in parts),
+    )
+
+
+def merge_study_health(parts: Sequence[StudyHealth]) -> StudyHealth:
+    """Combine per-shard study-health records run-by-run.
+
+    Every shard executes the same run sequence, so the records zip by
+    run name; the merged study keeps the execution order of the first
+    part.
+    """
+    parts = [p for p in parts if p is not None]
+    if not parts:
+        raise ValueError("cannot merge zero study-health records")
+    by_run: dict[str, list[RunHealth]] = {}
+    order: list[str] = []
+    for part in parts:
+        for run in part.runs:
+            if run.run_name not in by_run:
+                by_run[run.run_name] = []
+                order.append(run.run_name)
+            by_run[run.run_name].append(run)
+    return StudyHealth(runs=[merge_run_health(by_run[name]) for name in order])
 
 
 class HealthMonitor:

@@ -52,6 +52,20 @@ RUN_ORDER = (
 )
 
 
+def ensure_runs(
+    runs: list[RunSpec] | None, seed: int = 0, presses: int = 10
+) -> list[RunSpec]:
+    """Default ``runs`` to the paper's five standard runs.
+
+    Centralizes the fallback so the sequential framework and the
+    sharded executor resolve an omitted run list identically — shards
+    must execute the exact runs the merged study claims to contain.
+    """
+    if runs:
+        return list(runs)
+    return standard_runs(seed, presses)
+
+
 def standard_runs(seed: int = 0, presses: int = 10) -> list[RunSpec]:
     """Build the paper's five runs with seeded interaction sequences."""
     runs = []

@@ -1,0 +1,383 @@
+"""Channel-sharded parallel study execution.
+
+The paper's campaign — 396 channels × 5 runs × ≥900 s — is
+embarrassingly parallel across channels, but the simulator's
+determinism contract couples channels *within* a stack: the browser
+mints identifiers from one sequential RNG, the cookie jar persists
+across channels inside a run, operator servers draw cookie values from
+per-server RNG streams, and the fault injector keys its decisions on
+per-host sequence counters.  Slicing a live stack across workers would
+therefore change history, not just speed.
+
+This module makes **the shard the unit of deterministic state**: the
+channel corpus is partitioned by a stable hash keyed on
+``(seed, n_shards)``, and every shard executes against its *own*
+freshly rebuilt world and measurement stack — own ``SimClock``,
+``InterceptionProxy``, TV/webOS stack, fault-injector slice
+(:meth:`~repro.net.faults.FaultPlan.for_shard`), and resilience layer.
+Shard results merge in shard-index order, so the merged study is a
+pure function of ``(seed, scale, plan, n_shards)`` — running the same
+shards serially (``workers=1``) or across any number of worker
+processes yields **bit-for-bit identical** output, which the
+differential harness in ``tests/test_parallel_equivalence.py``
+enforces.  The unsharded path (``run_study`` without ``workers``)
+remains byte-for-byte the original single-stack timeline.
+
+Worlds hold live servers with closures and cannot be pickled; workers
+rebuild them from :attr:`World.recipe` instead, which is why sharded
+execution requires a :func:`~repro.simulation.world.build_world`-made
+world.  Worker processes always use the ``spawn`` start method so no
+parent module-level cache can leak across the fork boundary.
+"""
+
+from __future__ import annotations
+
+import zlib
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from multiprocessing import get_context
+from typing import Iterable, Mapping, Sequence
+
+from repro.core.config import DEFAULT_CONFIG, MeasurementConfig
+from repro.core.dataset import (
+    RunDataset,
+    StudyDataset,
+    merge_parallel_run_datasets,
+)
+from repro.core.filtering import FilteringReport
+from repro.core.health import StudyHealth, merge_study_health
+from repro.core.resilience import ResiliencePolicy
+from repro.core.runs import RunSpec, ensure_runs
+from repro.net.faults import FaultPlan
+
+#: Shard count used when only ``workers`` is given.  Fixed independently
+#: of the worker count on purpose: the partition (and therefore the
+#: output) must not change when the same study runs on different
+#: hardware with a different degree of parallelism.
+DEFAULT_SHARDS = 4
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One shard of the channel corpus."""
+
+    index: int
+    n_shards: int
+    channel_ids: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """Everything a worker needs to execute one shard.
+
+    Deliberately free of live objects — every field pickles, so the
+    task crosses a ``spawn`` process boundary unchanged.
+    """
+
+    seed: int
+    scale: float
+    shard: ShardSpec
+    config: MeasurementConfig = DEFAULT_CONFIG
+    runs: tuple[RunSpec, ...] | None = None
+    plan: FaultPlan | None = None
+    resilience: ResiliencePolicy | None = None
+    with_filtering: bool = False
+    #: run name → channel ids already measured (shard-aware resume).
+    skip_channels: tuple[tuple[str, tuple[str, ...]], ...] = ()
+
+
+@dataclass
+class ShardResult:
+    """What one shard's isolated stack produced."""
+
+    shard: ShardSpec
+    dataset: StudyDataset
+    filtering_report: FilteringReport | None = None
+    health: StudyHealth | None = None
+    period_start: float = 0.0
+    period_end: float = 0.0
+    faults_by_kind: dict[str, int] = field(default_factory=dict)
+
+
+# -- partitioning ------------------------------------------------------------------
+
+
+def shard_channel_ids(
+    channel_ids: Iterable[str], seed: int, n_shards: int
+) -> list[ShardSpec]:
+    """Partition channel ids into ``n_shards`` deterministic shards.
+
+    Channels are ranked by a stable hash keyed on ``seed`` and dealt
+    round-robin, so the partition is (a) independent of the input
+    order, (b) stable across processes and Python versions (crc32, not
+    ``hash``), and (c) balanced to within one channel.  Every channel
+    lands in exactly one shard.
+    """
+    if n_shards < 1:
+        raise ValueError(f"need at least one shard, got {n_shards}")
+    unique = list(dict.fromkeys(channel_ids))
+    ranked = sorted(
+        unique,
+        key=lambda cid: (zlib.crc32(f"shard:{seed}:{cid}".encode()), cid),
+    )
+    return [
+        ShardSpec(
+            index=index,
+            n_shards=n_shards,
+            channel_ids=tuple(ranked[index::n_shards]),
+        )
+        for index in range(n_shards)
+    ]
+
+
+# -- worker entry point ------------------------------------------------------------
+
+
+def execute_shard(task: ShardTask) -> ShardResult:
+    """Run one shard on a fresh, fully isolated measurement stack.
+
+    This is the (picklable, top-level) function worker processes run.
+    It rebuilds the world from the task's ``(seed, scale)`` recipe,
+    assembles the standard stack via ``make_context``, restricts the
+    channel corpus to the shard's members, and executes every run.
+    """
+    # Imported lazily: the simulation layer builds on core's types.
+    from repro.simulation.study import make_context, run_filtering
+    from repro.simulation.world import build_world
+
+    world = build_world(seed=task.seed, scale=task.scale)
+    members = frozenset(task.shard.channel_ids)
+    context = make_context(
+        world, task.config, faults=task.plan, resilience=task.resilience
+    )
+    if task.with_filtering:
+        # Funnel only this shard's slice of what the antenna received;
+        # the pipeline leaves its survivors on framework.channels.
+        context.tv.install_channel_list(
+            [c for c in context.tv.channel_list if c.channel_id in members]
+        )
+        run_filtering(context)
+    else:
+        context.framework.channels = [
+            c for c in world.hbbtv_channels if c.channel_id in members
+        ]
+
+    skip = dict(task.skip_channels)
+    runs = ensure_runs(
+        list(task.runs) if task.runs is not None else None,
+        world.seed,
+        task.config.interaction_presses,
+    )
+    dataset = StudyDataset()
+    for run in runs:
+        dataset.add_run(
+            context.framework.execute_run(
+                run, skip_channels=skip.get(run.name, ())
+            )
+        )
+    return ShardResult(
+        shard=task.shard,
+        dataset=dataset,
+        filtering_report=context.filtering_report,
+        health=(
+            context.monitor.study_health
+            if context.monitor is not None
+            else None
+        ),
+        period_start=context.period_start,
+        period_end=context.clock.now,
+        faults_by_kind=(
+            context.injector.stats.snapshot()
+            if context.injector is not None
+            else {}
+        ),
+    )
+
+
+# -- merging -----------------------------------------------------------------------
+
+
+def merge_shard_results(results: Sequence[ShardResult]) -> ShardResult:
+    """Fold shard results into one study-shaped result.
+
+    Results are sorted by shard index first, which makes the merge
+    invariant under any permutation of its input — worker completion
+    order can never leak into the output.  Within each run, every
+    ordered collection concatenates in shard-index order.
+    """
+    if not results:
+        raise ValueError("cannot merge zero shard results")
+    ordered = sorted(results, key=lambda r: r.shard.index)
+    indices = [r.shard.index for r in ordered]
+    if indices != list(range(len(ordered))):
+        raise ValueError(f"incomplete or duplicated shard set: {indices}")
+    counts = {r.shard.n_shards for r in ordered}
+    if counts != {len(ordered)}:
+        raise ValueError(
+            f"shard results from different partitions: n_shards={sorted(counts)}"
+        )
+
+    run_names: list[str] = []
+    for result in ordered:
+        for name in result.dataset.run_names():
+            if name not in run_names:
+                run_names.append(name)
+    dataset = StudyDataset()
+    for name in run_names:
+        parts = [
+            r.dataset.runs[name] for r in ordered if name in r.dataset.runs
+        ]
+        dataset.add_run(merge_parallel_run_datasets(parts))
+
+    reports = [
+        r.filtering_report for r in ordered if r.filtering_report is not None
+    ]
+    healths = [r.health for r in ordered if r.health is not None]
+    faults: dict[str, int] = {}
+    for result in ordered:
+        for kind, count in result.faults_by_kind.items():
+            faults[kind] = faults.get(kind, 0) + count
+    return ShardResult(
+        shard=ShardSpec(index=0, n_shards=1, channel_ids=tuple()),
+        dataset=dataset,
+        filtering_report=FilteringReport.merged(reports) if reports else None,
+        health=merge_study_health(healths) if healths else None,
+        period_start=min(r.period_start for r in ordered),
+        period_end=max(r.period_end for r in ordered),
+        faults_by_kind=faults,
+    )
+
+
+# -- orchestration -----------------------------------------------------------------
+
+
+def build_shard_tasks(
+    world,
+    config: MeasurementConfig = DEFAULT_CONFIG,
+    runs: Sequence[RunSpec] | None = None,
+    with_filtering: bool = False,
+    faults: FaultPlan | None = None,
+    resilience: ResiliencePolicy | None = None,
+    n_shards: int = DEFAULT_SHARDS,
+    skip_channels: Mapping[str, Iterable[str]] | None = None,
+) -> list[ShardTask]:
+    """Plan the shard tasks for one study over ``world``.
+
+    The partition covers the *whole* received corpus (so the filtering
+    funnel shards too); measurement runs only ever visit the shard's
+    HbbTV members.  Requires a rebuildable world — see
+    :attr:`~repro.simulation.world.World.recipe`.
+    """
+    recipe = getattr(world, "recipe", None)
+    if recipe is None:
+        raise ValueError(
+            "sharded execution needs a rebuildable world: build it with "
+            "build_world(seed, scale) (hand-wired worlds hold live servers "
+            "that cannot cross a process boundary; run them sequentially "
+            "without the workers/shards knobs)"
+        )
+    _, seed, scale = recipe
+    if faults is not None and not faults.is_empty and resilience is None:
+        # Mirror make_context: a faulty study always runs resilient.
+        resilience = ResiliencePolicy()
+    shards = shard_channel_ids(
+        (c.channel_id for c in world.all_channels), seed, n_shards
+    )
+    skip = {
+        run_name: tuple(ids)
+        for run_name, ids in (skip_channels or {}).items()
+    }
+    tasks = []
+    for shard in shards:
+        shard_skip = tuple(
+            (run_name, tuple(i for i in ids if i in set(shard.channel_ids)))
+            for run_name, ids in skip.items()
+        )
+        tasks.append(
+            ShardTask(
+                seed=seed,
+                scale=scale,
+                shard=shard,
+                config=config,
+                runs=tuple(runs) if runs is not None else None,
+                plan=(
+                    faults.for_shard(shard.index, n_shards)
+                    if faults is not None
+                    else None
+                ),
+                resilience=resilience,
+                with_filtering=with_filtering,
+                skip_channels=shard_skip,
+            )
+        )
+    return tasks
+
+
+def execute_shard_tasks(
+    tasks: Sequence[ShardTask], workers: int = 1
+) -> list[ShardResult]:
+    """Execute shard tasks, serially or across worker processes.
+
+    ``workers=1`` runs every task in-process — that *is* the sequential
+    reference semantics the parallel path is tested against.  More
+    workers fan the same tasks out over a ``spawn`` process pool; the
+    result list is in task order either way.
+    """
+    if workers <= 1 or len(tasks) <= 1:
+        return [execute_shard(task) for task in tasks]
+    pool_size = min(workers, len(tasks))
+    with ProcessPoolExecutor(
+        max_workers=pool_size, mp_context=get_context("spawn")
+    ) as pool:
+        return list(pool.map(execute_shard, tasks))
+
+
+def run_sharded_study(
+    world,
+    config: MeasurementConfig = DEFAULT_CONFIG,
+    runs: Sequence[RunSpec] | None = None,
+    with_filtering: bool = False,
+    faults: FaultPlan | None = None,
+    resilience: ResiliencePolicy | None = None,
+    workers: int = 1,
+    n_shards: int = DEFAULT_SHARDS,
+):
+    """Execute a study shard-by-shard and merge the results.
+
+    Returns a ``StudyContext`` whose dataset, filtering report, and
+    health records are the shard merge; the context's live stack
+    objects (clock, proxy, TV) are a fresh, unused assembly retained
+    for API compatibility — analyses consume the dataset, not the
+    stack.  Output is identical for every ``workers`` value.
+    """
+    # Imported lazily: the simulation layer builds on core's types.
+    from repro.simulation.study import make_context
+
+    tasks = build_shard_tasks(
+        world,
+        config=config,
+        runs=runs,
+        with_filtering=with_filtering,
+        faults=faults,
+        resilience=resilience,
+        n_shards=n_shards,
+    )
+    merged = merge_shard_results(execute_shard_tasks(tasks, workers=workers))
+
+    context = make_context(
+        world,
+        config,
+        faults=faults,
+        resilience=(
+            tasks[0].resilience if tasks and tasks[0].resilience else resilience
+        ),
+    )
+    context.dataset = merged.dataset
+    context.filtering_report = merged.filtering_report
+    context.period_start = merged.period_start
+    context.period_end = merged.period_end
+    if context.monitor is not None and merged.health is not None:
+        context.monitor.study_health = merged.health
+    context.n_shards = n_shards
+    context.workers = workers
+    return context

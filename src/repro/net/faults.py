@@ -219,6 +219,26 @@ class FaultPlan:
             ),
         )
 
+    def for_shard(self, index: int, n_shards: int) -> "FaultPlan":
+        """The slice of this plan one shard's injector executes.
+
+        Each shard runs its own :class:`FaultInjector` with fresh
+        per-host sequence counters, so the shard plan keeps the rules
+        verbatim but derives a shard-specific seed — otherwise every
+        shard would replay the identical fault schedule on its first
+        requests to a shared third-party host.  The derivation is a
+        pure function of ``(plan seed, index, n_shards)``, keeping the
+        merged study a deterministic function of the study plan.
+        """
+        if not 0 <= index < n_shards:
+            raise ValueError(f"shard index {index} out of range for {n_shards}")
+        if self.is_empty:
+            return self
+        derived = zlib.crc32(
+            f"faultshard:{self.seed}:{index}:{n_shards}".encode()
+        )
+        return FaultPlan(seed=derived, rules=self.rules)
+
     @classmethod
     def preset(
         cls,

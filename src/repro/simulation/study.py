@@ -76,6 +76,9 @@ class StudyContext:
     injector: FaultInjector | None = None
     resilience: StudyResilience | None = None
     monitor: HealthMonitor | None = None
+    #: Set by the sharded executor (``None`` on the classic path).
+    n_shards: int | None = None
+    workers: int | None = None
 
     @property
     def first_party_overrides(self) -> dict[str, str]:
@@ -211,17 +214,57 @@ def run_study(
     with_filtering: bool = False,
     faults: FaultPlan | None = None,
     resilience: ResiliencePolicy | None = None,
+    *,
+    workers: int | None = None,
+    shards: int | None = None,
 ) -> StudyContext:
-    """Execute the measurement study against a world."""
-    context = make_context(world, config, faults=faults, resilience=resilience)
-    if with_filtering:
-        run_filtering(context)
-    context.dataset = context.framework.run_study(runs)
-    context.period_end = context.clock.now
-    return context
+    """Execute the measurement study against a world.
+
+    Without ``workers``/``shards`` this is the classic single-stack
+    sequential timeline, byte-for-byte unchanged.  With either knob,
+    execution goes through :mod:`repro.core.shard`: the channel corpus
+    is partitioned into ``shards`` deterministic shards (default
+    :data:`~repro.core.shard.DEFAULT_SHARDS`), each executed on an
+    isolated stack by up to ``workers`` processes (default 1, i.e.
+    serial).  Sharded output is a pure function of
+    ``(seed, scale, plan, shards)`` — the same for every worker count —
+    but is a *different* (equally valid) timeline than the unsharded
+    path, because each shard starts its own clock and RNG streams.
+    """
+    if workers is None and shards is None:
+        context = make_context(
+            world, config, faults=faults, resilience=resilience
+        )
+        if with_filtering:
+            run_filtering(context)
+        context.dataset = context.framework.run_study(runs)
+        context.period_end = context.clock.now
+        return context
+
+    # Imported lazily: repro.core.shard re-enters this module in its
+    # worker entry point.
+    from repro.core.shard import DEFAULT_SHARDS, run_sharded_study
+
+    return run_sharded_study(
+        world,
+        config=config,
+        runs=runs,
+        with_filtering=with_filtering,
+        faults=faults,
+        resilience=resilience,
+        workers=workers if workers is not None else 1,
+        n_shards=shards if shards is not None else DEFAULT_SHARDS,
+    )
 
 
-_STUDY_CACHE: dict[tuple[int, float], StudyContext] = {}
+#: Keyed by (pid, seed, scale): the pid guard makes the memo fork-safe.
+#: A forked worker inherits the parent's cache dictionary; without the
+#: guard it would serve the parent's live StudyContext — whose mutable
+#: stack (clock, jars, proxies) would then diverge between processes
+#: while looking like shared state.  A mismatched pid drops the
+#: inherited entries and rebuilds.  (``spawn`` workers start with an
+#: empty module anyway; the guard is for ``fork``.)
+_STUDY_CACHE: dict[tuple[int, int, float], StudyContext] = {}
 
 
 def default_study(
@@ -230,8 +273,11 @@ def default_study(
     """A memoized full study for tests, benches, and examples."""
     if scale is None:
         scale = configured_scale()
-    key = (seed, scale)
+    key = (os.getpid(), seed, scale)
     if key not in _STUDY_CACHE:
+        stale = [k for k in _STUDY_CACHE if k[0] != key[0]]
+        for old in stale:
+            del _STUDY_CACHE[old]
         world = build_world(seed=seed, scale=scale)
         _STUDY_CACHE[key] = run_study(world)
     return _STUDY_CACHE[key]

@@ -103,6 +103,12 @@ class World:
     #: The manual first-party override the paper applied (one channel
     #: whose first request is an unlisted tracker).
     manual_first_party_overrides: dict[str, str] = field(default_factory=dict)
+    #: How to rebuild this world in another process.  Worlds hold live
+    #: servers with closures, so they cannot be pickled; sharded
+    #: execution ships this recipe to workers instead and calls
+    #: :func:`build_world` again.  ``None`` marks a hand-wired world
+    #: that only the sequential path can execute.
+    recipe: tuple | None = None
 
     def channel_by_id(self, channel_id: str) -> BroadcastChannel | None:
         for channel in self.all_channels:
@@ -312,6 +318,7 @@ def build_world(seed: int = 7, scale: float = 1.0) -> World:
     _plant_dead_endpoints(world)
     _add_funnel_filler_channels(world, rng, scale)
     _distribute_to_satellites(world, rng)
+    world.recipe = ("build_world", seed, scale)
     return world
 
 

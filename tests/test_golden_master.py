@@ -1,0 +1,73 @@
+"""Golden-master regression: the study digest must never drift silently.
+
+Determinism is this repo's core contract: the same ``(seed, scale,
+plan)`` must yield the same study on every machine, every Python
+version in CI, and every code revision — unless a change *intends* to
+alter measurement semantics.  This test pins the full-content digest
+(:func:`repro.core.dataset.study_digest`) of a small fixed-scale study
+for both execution paths:
+
+* ``legacy`` — the classic single-stack sequential timeline, and
+* ``sharded_4`` — the 4-shard canonical timeline (``workers=1``),
+  which every parallel execution must reproduce bit-for-bit.
+
+If a change intentionally alters what a study records, regenerate the
+golden file and review the diff alongside the change::
+
+    REPRO_UPDATE_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_golden_master.py
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core.dataset import study_digest
+from repro.simulation.study import run_study
+from repro.simulation.world import build_world
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "study_digests.json"
+GOLDEN_SEED = 7
+GOLDEN_SCALE = 0.02  # fixed on purpose: independent of REPRO_SCALE
+
+
+def _compute_digests() -> dict:
+    legacy = run_study(build_world(seed=GOLDEN_SEED, scale=GOLDEN_SCALE))
+    sharded = run_study(
+        build_world(seed=GOLDEN_SEED, scale=GOLDEN_SCALE), workers=1, shards=4
+    )
+    return {
+        "seed": GOLDEN_SEED,
+        "scale": GOLDEN_SCALE,
+        "legacy": study_digest(legacy.dataset),
+        "sharded_4": study_digest(sharded.dataset),
+        "flows_legacy": legacy.dataset.total_requests(),
+        "flows_sharded_4": sharded.dataset.total_requests(),
+    }
+
+
+def test_study_digests_match_golden_master():
+    actual = _compute_digests()
+    if os.environ.get("REPRO_UPDATE_GOLDEN"):
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_text(json.dumps(actual, indent=2) + "\n")
+        pytest.skip(f"golden file regenerated at {GOLDEN_PATH}")
+    assert GOLDEN_PATH.exists(), (
+        f"golden file missing: {GOLDEN_PATH}\n"
+        "Generate it with REPRO_UPDATE_GOLDEN=1 pytest tests/test_golden_master.py"
+    )
+    expected = json.loads(GOLDEN_PATH.read_text())
+    assert actual == expected, (
+        "Study digest drifted from the golden master — determinism broke.\n"
+        f"  expected: {json.dumps(expected, indent=2)}\n"
+        f"  actual:   {json.dumps(actual, indent=2)}\n"
+        "If this change intentionally alters what a study records "
+        "(new flows, different ordering, schema changes), update the "
+        "golden file and review its diff alongside your change:\n"
+        "  REPRO_UPDATE_GOLDEN=1 PYTHONPATH=src python -m pytest "
+        "tests/test_golden_master.py\n"
+        "If the change was NOT supposed to affect measurement output, "
+        "you have introduced a nondeterminism or an accidental "
+        "behaviour change — fix it instead of updating the golden file."
+    )

@@ -1,0 +1,179 @@
+"""Differential equivalence: sequential vs parallel sharded studies.
+
+The determinism contract of :mod:`repro.core.shard`: a sharded study's
+output is a pure function of ``(seed, scale, fault plan, n_shards)``
+and therefore **bit-for-bit identical** for every worker count.  These
+tests execute the same study sequentially (``workers=1``, the
+reference semantics) and across real ``spawn``-started worker
+processes (``workers ∈ {2, 4}``), then compare the *fully serialized*
+datasets — every flow in wire order, every cookie in jar-insertion
+order, storage, screenshots, failures — plus the filtering funnel,
+the health totals, and the rendered report text.
+
+Running across spawned processes is itself the regression test for
+module-level cache leakage: a worker that inherited (or missed) parent
+state would diverge and break the digest equality.  The fork-specific
+cache guards are covered explicitly at the bottom.
+
+Scale comes from ``REPRO_SCALE`` when set (CI runs 0.1); the local
+default keeps the matrix in interactive territory.
+"""
+
+import json
+import multiprocessing
+import os
+
+import pytest
+
+from repro.core.config import MeasurementConfig
+from repro.core.dataset import serialize_study_dataset, study_digest
+from repro.core.report import format_overview_table, overview_table
+from repro.simulation.study import fault_plan_for_world, run_study
+from repro.simulation.world import build_world
+
+SCALE = float(os.environ.get("REPRO_SCALE") or 0.02)
+
+
+def _run(seed, preset, workers, **kwargs):
+    world = build_world(seed=seed, scale=SCALE)
+    plan = fault_plan_for_world(world, preset)
+    return run_study(world, faults=plan, workers=workers, **kwargs)
+
+
+_BASELINES: dict = {}
+
+
+def _baseline(seed, preset):
+    """The sequential (workers=1) reference study, shared across cases."""
+    key = (seed, preset)
+    if key not in _BASELINES:
+        _BASELINES[key] = _run(seed, preset, workers=1)
+    return _BASELINES[key]
+
+
+@pytest.mark.parametrize(
+    "seed,preset,workers",
+    [
+        (7, "off", 2),
+        (7, "off", 4),
+        (7, "chaos", 2),
+        (11, "chaos", 2),
+    ],
+)
+def test_parallel_study_is_bit_identical_to_sequential(seed, preset, workers):
+    sequential = _baseline(seed, preset)
+    parallel = _run(seed, preset, workers=workers)
+
+    seq_view = serialize_study_dataset(sequential.dataset)
+    par_view = serialize_study_dataset(parallel.dataset)
+    assert par_view == seq_view
+    # Byte-level: the canonical JSON encodings are identical too.
+    assert json.dumps(par_view, sort_keys=True) == json.dumps(
+        seq_view, sort_keys=True
+    )
+    assert study_digest(parallel.dataset) == study_digest(sequential.dataset)
+
+    # The rendered report (Table I) must be the same text.
+    assert format_overview_table(
+        overview_table(parallel.dataset)
+    ) == format_overview_table(overview_table(sequential.dataset))
+
+    # Health totals (the reproducibility fingerprint of a faulty study).
+    if sequential.health is None:
+        assert parallel.health is None
+    else:
+        assert parallel.health.totals() == sequential.health.totals()
+        assert [r.run_name for r in parallel.health.runs] == [
+            r.run_name for r in sequential.health.runs
+        ]
+
+    assert parallel.period_end == sequential.period_end
+
+
+def test_filtering_funnel_is_equivalent_across_workers():
+    config = MeasurementConfig(exploratory_watch_seconds=60.0)
+    sequential = _run(7, "off", workers=1, config=config, with_filtering=True)
+    parallel = _run(7, "off", workers=2, config=config, with_filtering=True)
+    assert parallel.filtering_report == sequential.filtering_report
+    assert parallel.filtering_report is not None
+    assert parallel.filtering_report.final > 0
+    assert study_digest(parallel.dataset) == study_digest(sequential.dataset)
+
+
+def test_worker_count_does_not_change_the_digest_only_shards_do():
+    base = study_digest(_baseline(7, "off").dataset)
+    assert study_digest(_run(7, "off", workers=2).dataset) == base
+    # A different partition is a different (equally valid) timeline.
+    other = _run(7, "off", workers=1, shards=2)
+    assert study_digest(other.dataset) != base
+
+
+# -- module-level cache guards (fork/spawn safety) ---------------------------------
+
+
+def test_default_study_memo_is_pid_guarded():
+    """The study memo must never serve an entry minted by another pid."""
+    from repro.simulation import study
+
+    study.clear_study_cache()
+    foreign_key = (os.getpid() + 1, 7, SCALE)
+    study._STUDY_CACHE[foreign_key] = "stale-from-another-process"
+    context = study.default_study(seed=7, scale=SCALE)
+    assert context != "stale-from-another-process"
+    assert context.dataset is not None
+    # The foreign entry was purged, the fresh one keyed to *this* pid.
+    assert foreign_key not in study._STUDY_CACHE
+    assert (os.getpid(), 7, SCALE) in study._STUDY_CACHE
+    assert study.default_study(seed=7, scale=SCALE) is context
+    study.clear_study_cache()
+
+
+def test_default_suite_memo_is_pid_guarded():
+    from repro.analysis import filterlists
+
+    first = filterlists.default_suite()
+    assert filterlists.default_suite() is first
+    filterlists._DEFAULT_SUITE.clear()
+    filterlists._DEFAULT_SUITE[os.getpid() + 1] = "stale-from-another-process"
+    fresh = filterlists.default_suite()
+    assert isinstance(fresh, filterlists.FilterListSuite)
+    assert os.getpid() + 1 not in filterlists._DEFAULT_SUITE
+
+
+def _forked_child_probe(parent_context_id, queue):
+    from repro.simulation import study
+
+    context = study.default_study(seed=7, scale=SCALE)
+    queue.put(
+        {
+            "same_object": id(context) == parent_context_id,
+            "digest": study_digest(context.dataset),
+        }
+    )
+
+
+@pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="fork start method unavailable",
+)
+def test_forked_worker_rebuilds_instead_of_reusing_parent_study():
+    """A fork inherits ``_STUDY_CACHE`` by memory copy; without the pid
+    guard the child would keep using the parent's live (mutable) stack.
+    The rebuild must also land on the identical digest — cross-process
+    determinism of the classic path."""
+    from repro.simulation import study
+
+    study.clear_study_cache()
+    parent = study.default_study(seed=7, scale=SCALE)
+    context = multiprocessing.get_context("fork")
+    queue = context.Queue()
+    child = context.Process(
+        target=_forked_child_probe, args=(id(parent), queue)
+    )
+    child.start()
+    result = queue.get(timeout=600)
+    child.join(timeout=600)
+    assert child.exitcode == 0
+    assert not result["same_object"]
+    assert result["digest"] == study_digest(parent.dataset)
+    study.clear_study_cache()

@@ -1,9 +1,18 @@
 """Property-based invariants across core data structures (hypothesis)."""
 
+import random
+
 from hypothesis import given, settings, strategies as st
 
 from repro.analysis.filterlists import AbpFilterList, HostsFilterList
 from repro.clock import SimClock
+from repro.core.dataset import RunDataset, StudyDataset
+from repro.core.shard import (
+    ShardResult,
+    ShardSpec,
+    merge_shard_results,
+    shard_channel_ids,
+)
 from repro.hbbtv.consent import (
     ConsentChoice,
     ConsentNoticeMachine,
@@ -83,6 +92,81 @@ class TestPolicyPipelineProperties:
     @given(a=st.text(max_size=300))
     def test_simhash_self_distance_zero(self, a):
         assert hamming_distance(simhash(a), simhash(a)) == 0
+
+
+CHANNEL_ID_SETS = st.lists(
+    st.text(alphabet="abcdefghijklmnop0123456789-", min_size=1, max_size=12),
+    unique=True,
+    max_size=50,
+)
+SHARD_SEEDS = st.integers(min_value=0, max_value=2**31 - 1)
+SHARD_COUNTS = st.integers(min_value=1, max_value=8)
+
+
+class TestShardProperties:
+    @given(ids=CHANNEL_ID_SETS, seed=SHARD_SEEDS, n=SHARD_COUNTS)
+    def test_every_channel_lands_in_exactly_one_shard(self, ids, seed, n):
+        shards = shard_channel_ids(ids, seed, n)
+        assert len(shards) == n
+        assigned = [cid for shard in shards for cid in shard.channel_ids]
+        assert sorted(assigned) == sorted(ids)
+        assert len(assigned) == len(set(assigned))
+        sizes = [len(shard.channel_ids) for shard in shards]
+        if sizes:
+            assert max(sizes) - min(sizes) <= 1
+
+    @given(ids=CHANNEL_ID_SETS, seed=SHARD_SEEDS, n=SHARD_COUNTS)
+    def test_partition_is_stable_and_order_independent(self, ids, seed, n):
+        """Re-running with the same (seed, n_shards) — even from a
+        differently ordered corpus — reproduces the partition."""
+        first = shard_channel_ids(ids, seed, n)
+        assert shard_channel_ids(ids, seed, n) == first
+        assert shard_channel_ids(list(reversed(ids)), seed, n) == first
+        shuffled = list(ids)
+        random.Random(seed).shuffle(shuffled)
+        assert shard_channel_ids(shuffled, seed, n) == first
+
+    @given(
+        ids=CHANNEL_ID_SETS,
+        seed=SHARD_SEEDS,
+        n=SHARD_COUNTS,
+        order_seed=SHARD_SEEDS,
+    )
+    def test_merge_of_shards_is_permutation_invariant(
+        self, ids, seed, n, order_seed
+    ):
+        """Worker completion order must never leak into the merge."""
+        results = []
+        for shard in shard_channel_ids(ids, seed, n):
+            dataset = StudyDataset()
+            dataset.add_run(
+                RunDataset(
+                    run_name="General",
+                    channels_measured=list(shard.channel_ids),
+                    interaction_count=len(shard.channel_ids),
+                )
+            )
+            results.append(
+                ShardResult(
+                    shard=shard,
+                    dataset=dataset,
+                    period_end=float(shard.index),
+                )
+            )
+        reference = merge_shard_results(results)
+        shuffled = list(results)
+        random.Random(order_seed).shuffle(shuffled)
+        merged = merge_shard_results(shuffled)
+        assert (
+            merged.dataset.runs["General"].channels_measured
+            == reference.dataset.runs["General"].channels_measured
+        )
+        assert (
+            merged.dataset.runs["General"].interaction_count
+            == reference.dataset.runs["General"].interaction_count
+            == len(ids)
+        )
+        assert merged.period_end == reference.period_end
 
 
 class TestClockProperties:

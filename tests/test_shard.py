@@ -1,0 +1,244 @@
+"""Unit tests for the channel-sharded executor (``repro.core.shard``).
+
+Fast structural tests: partitioning, per-shard fault-plan slicing, and
+the merge layer (datasets, funnels, health).  The full differential
+harness — sequential vs parallel studies — lives in
+``test_parallel_equivalence.py``.
+"""
+
+import pytest
+
+from repro.core.dataset import RunDataset, StudyDataset, merge_parallel_run_datasets
+from repro.core.filtering import FilteringReport
+from repro.core.health import (
+    RunHealth,
+    StudyHealth,
+    merge_run_health,
+    merge_study_health,
+)
+from repro.core.resilience import ChannelFailure, ResiliencePolicy
+from repro.core.shard import (
+    ShardResult,
+    ShardSpec,
+    build_shard_tasks,
+    merge_shard_results,
+    shard_channel_ids,
+)
+from repro.net.faults import FaultPlan
+from repro.simulation.world import World
+
+IDS = [f"ch{i:03d}" for i in range(23)]
+
+
+class TestPartition:
+    def test_every_channel_in_exactly_one_shard(self):
+        shards = shard_channel_ids(IDS, seed=7, n_shards=4)
+        assigned = [cid for shard in shards for cid in shard.channel_ids]
+        assert sorted(assigned) == sorted(IDS)
+        assert len(assigned) == len(set(assigned))
+
+    def test_balanced_within_one(self):
+        shards = shard_channel_ids(IDS, seed=7, n_shards=4)
+        sizes = [len(s.channel_ids) for s in shards]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_stable_and_input_order_independent(self):
+        first = shard_channel_ids(IDS, seed=7, n_shards=4)
+        again = shard_channel_ids(list(reversed(IDS)), seed=7, n_shards=4)
+        assert first == again
+
+    def test_seed_changes_partition(self):
+        assert shard_channel_ids(IDS, seed=7, n_shards=4) != shard_channel_ids(
+            IDS, seed=8, n_shards=4
+        )
+
+    def test_single_shard_holds_everything(self):
+        (only,) = shard_channel_ids(IDS, seed=7, n_shards=1)
+        assert sorted(only.channel_ids) == sorted(IDS)
+
+    def test_duplicate_ids_are_deduplicated(self):
+        shards = shard_channel_ids(IDS + IDS[:5], seed=7, n_shards=3)
+        assigned = [cid for shard in shards for cid in shard.channel_ids]
+        assert sorted(assigned) == sorted(IDS)
+
+    def test_zero_shards_rejected(self):
+        with pytest.raises(ValueError):
+            shard_channel_ids(IDS, seed=7, n_shards=0)
+
+
+class TestFaultPlanSlicing:
+    def test_shards_get_distinct_deterministic_seeds(self):
+        plan = FaultPlan.chaos(seed=3)
+        slices = [plan.for_shard(i, 4) for i in range(4)]
+        assert len({s.seed for s in slices}) == 4
+        assert [plan.for_shard(i, 4) for i in range(4)] == slices
+        for shard_plan in slices:
+            assert shard_plan.rules == plan.rules
+
+    def test_empty_plan_passes_through(self):
+        plan = FaultPlan.none()
+        assert plan.for_shard(0, 4) is plan
+
+    def test_out_of_range_index_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan.chaos(seed=3).for_shard(4, 4)
+
+
+def _run_slice(name, channels, flows=(), completed=True, interactions=0):
+    return RunDataset(
+        run_name=name,
+        date_label="2023-08-21",
+        flows=list(flows),
+        channels_measured=list(channels),
+        interaction_count=interactions,
+        completed=completed,
+    )
+
+
+class TestMergeParallelRunDatasets:
+    def test_concatenates_in_given_order_and_sums_counters(self):
+        merged = merge_parallel_run_datasets(
+            [
+                _run_slice("General", ["a", "b"], flows=["f1"], interactions=3),
+                _run_slice("General", ["c"], flows=["f2", "f3"], interactions=4),
+            ]
+        )
+        assert merged.channels_measured == ["a", "b", "c"]
+        assert merged.flows == ["f1", "f2", "f3"]
+        assert merged.interaction_count == 7
+        assert merged.completed
+
+    def test_any_incomplete_slice_marks_merge_incomplete(self):
+        merged = merge_parallel_run_datasets(
+            [
+                _run_slice("General", ["a"]),
+                _run_slice("General", ["b"], completed=False),
+            ]
+        )
+        assert not merged.completed
+
+    def test_mismatched_runs_rejected(self):
+        with pytest.raises(ValueError):
+            merge_parallel_run_datasets(
+                [_run_slice("General", []), _run_slice("Red", [])]
+            )
+
+    def test_zero_slices_rejected(self):
+        with pytest.raises(ValueError):
+            merge_parallel_run_datasets([])
+
+
+def _shard_result(index, n_shards, channels, report=None, health=None):
+    dataset = StudyDataset()
+    dataset.add_run(_run_slice("General", channels, flows=list(channels)))
+    return ShardResult(
+        shard=ShardSpec(index=index, n_shards=n_shards, channel_ids=tuple(channels)),
+        dataset=dataset,
+        filtering_report=report,
+        health=health,
+        period_start=0.0,
+        period_end=float(10 + index),
+        faults_by_kind={"reset": index + 1},
+    )
+
+
+class TestMergeShardResults:
+    def test_merge_is_permutation_invariant(self):
+        results = [
+            _shard_result(0, 3, ["a", "b"]),
+            _shard_result(1, 3, ["c"]),
+            _shard_result(2, 3, ["d", "e"]),
+        ]
+        forward = merge_shard_results(results)
+        backward = merge_shard_results(list(reversed(results)))
+        assert (
+            forward.dataset.runs["General"].channels_measured
+            == backward.dataset.runs["General"].channels_measured
+            == ["a", "b", "c", "d", "e"]
+        )
+        assert forward.period_end == backward.period_end == 12.0
+        assert forward.faults_by_kind == backward.faults_by_kind == {"reset": 6}
+
+    def test_missing_shard_rejected(self):
+        with pytest.raises(ValueError):
+            merge_shard_results(
+                [_shard_result(0, 3, ["a"]), _shard_result(2, 3, ["b"])]
+            )
+
+    def test_mixed_partitions_rejected(self):
+        with pytest.raises(ValueError):
+            merge_shard_results(
+                [_shard_result(0, 2, ["a"]), _shard_result(1, 3, ["b"])]
+            )
+
+    def test_filtering_reports_sum(self):
+        results = [
+            _shard_result(
+                0, 2, ["a"], report=FilteringReport(10, 8, 6, 5, 3, 3)
+            ),
+            _shard_result(
+                1, 2, ["b"], report=FilteringReport(12, 10, 7, 6, 4, 4)
+            ),
+        ]
+        merged = merge_shard_results(results)
+        assert merged.filtering_report == FilteringReport(22, 18, 13, 11, 7, 7)
+
+
+def _health(run_name, retries, failures=()):
+    return RunHealth(
+        run_name=run_name,
+        faults_by_kind={"reset": retries},
+        retries=retries,
+        breaker_opens=1,
+        breaker_fast_fails=0,
+        gateway_timeouts=2,
+        connection_resets=3,
+        flow_count=10,
+        channels_measured=4,
+        failures=tuple(failures),
+    )
+
+
+class TestHealthMerge:
+    def test_run_health_counters_sum(self):
+        failure = ChannelFailure("ch1", "One", "watchdog", 2, 5.0, 100.0)
+        merged = merge_run_health(
+            [_health("General", 2), _health("General", 5, [failure])]
+        )
+        assert merged.retries == 7
+        assert merged.faults_by_kind == {"reset": 7}
+        assert merged.breaker_opens == 2
+        assert merged.gateway_timeouts == 4
+        assert merged.connection_resets == 6
+        assert merged.flow_count == 20
+        assert merged.channels_measured == 8
+        assert merged.failures == (failure,)
+
+    def test_different_runs_rejected(self):
+        with pytest.raises(ValueError):
+            merge_run_health([_health("General", 1), _health("Red", 1)])
+
+    def test_study_health_zips_by_run_name(self):
+        merged = merge_study_health(
+            [
+                StudyHealth(runs=[_health("General", 1), _health("Red", 2)]),
+                StudyHealth(runs=[_health("General", 3), _health("Red", 4)]),
+            ]
+        )
+        assert [r.run_name for r in merged.runs] == ["General", "Red"]
+        assert [r.retries for r in merged.runs] == [4, 6]
+
+
+class TestBuildShardTasks:
+    def test_hand_wired_world_is_rejected_with_guidance(self):
+        with pytest.raises(ValueError, match="build_world"):
+            build_shard_tasks(World(seed=0, scale=1.0))
+
+    def test_faulty_plan_defaults_to_resilient_and_slices_per_shard(self):
+        world = World(seed=5, scale=1.0, recipe=("build_world", 5, 1.0))
+        plan = FaultPlan.light(seed=5)
+        tasks = build_shard_tasks(world, faults=plan, n_shards=3)
+        assert len(tasks) == 3
+        assert all(isinstance(t.resilience, ResiliencePolicy) for t in tasks)
+        assert len({t.plan.seed for t in tasks}) == 3
+        assert all(t.plan.rules == plan.rules for t in tasks)
