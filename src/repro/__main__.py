@@ -8,6 +8,7 @@ Subcommands:
 * ``graph``   — the §V-E ecosystem-graph metrics
 * ``policies``— the §VII policy-pipeline summary
 * ``health``  — the run-health report (faults, retries, degradation)
+* ``metrics`` — the study's deterministic metrics snapshot (JSON)
 
 All subcommands accept ``--seed`` (default 7), ``--scale`` (default
 0.15), and ``--faults`` (default ``off``) — a fault-injection preset
@@ -67,8 +68,25 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help=(
+            "write the study's trace stream to PATH as canonical JSONL "
+            "(deterministic: same seed/scale/faults/shards, same bytes)"
+        ),
+    )
+    parser.add_argument(
         "command",
-        choices=("study", "funnel", "pixels", "graph", "policies", "health"),
+        choices=(
+            "study",
+            "funnel",
+            "pixels",
+            "graph",
+            "policies",
+            "health",
+            "metrics",
+        ),
         help="which artifact to produce",
     )
     return parser
@@ -93,10 +111,20 @@ def _funnel(arguments) -> int:
         faults=_fault_plan(arguments, world),
     )
     report = run_filtering(context)
+    _maybe_write_trace(arguments, context)
     print(f"{'Step':<24} {'Channels':>9} {'Share':>8}")
     for step, count, share in report.as_rows():
         print(f"{step:<24} {count:>9} {share:>8.1%}")
     return 0
+
+
+def _maybe_write_trace(arguments, context) -> None:
+    if arguments.trace is None:
+        return
+    from repro.obs import write_trace_jsonl
+
+    count = write_trace_jsonl(context.trace_events, arguments.trace)
+    print(f"wrote {count} trace event(s) to {arguments.trace}")
 
 
 def _fault_plan(arguments, world):
@@ -131,6 +159,13 @@ def _load_context(arguments):
 def _with_study(arguments) -> int:
     context = _load_context(arguments)
     dataset = context.dataset
+    _maybe_write_trace(arguments, context)
+
+    if arguments.command == "metrics":
+        import json
+
+        print(json.dumps(context.metrics.snapshot(), indent=2, sort_keys=True))
+        return 0
 
     if arguments.command == "health":
         from repro.analysis.report import format_health_table

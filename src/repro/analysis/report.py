@@ -37,6 +37,7 @@ from repro.consent.annotate import (
 )
 from repro.core.report import format_overview_table, overview_table
 from repro.hbbtv.overlay import OverlayKind
+from repro.obs import MetricsRegistry, format_metrics_table, merge_metrics
 from repro.policy.corpus import collect_policies
 from repro.policy.discrepancy import DiscrepancyKind, audit_discrepancies
 from repro.policy.practices import annotate_practices
@@ -93,7 +94,14 @@ def format_health_table(health) -> str:
 
 
 def generate_report(context) -> str:
-    """Build the full replication report for a study context."""
+    """Build the full replication report for a study context.
+
+    Stage costs are recorded into a *local* registry (work units =
+    items each analysis stage consumed, never wall-clock), merged with
+    the study's own metrics only for rendering — so generating the
+    report twice yields the same document and never mutates the
+    study's telemetry.
+    """
     dataset = context.dataset
     flows = list(dataset.all_flows())
     records = list(dataset.all_cookie_records())
@@ -101,6 +109,18 @@ def generate_report(context) -> str:
         flows, manual_overrides=context.first_party_overrides
     )
     annotations = annotate_screenshots(dataset.all_screenshots())
+
+    stage_metrics = MetricsRegistry()
+
+    def stage(name: str, items: int) -> None:
+        stage_metrics.inc("analysis.stage_items", items, stage=name)
+
+    stage("tracking", len(flows))
+    stage("cookies", len(records))
+    stage("graph", len(flows))
+    stage("consent", len(annotations))
+    stage("policies", len(flows))
+    stage("children", len(flows) + len(records))
 
     sections = [
         _section_overview(context, dataset),
@@ -119,6 +139,9 @@ def generate_report(context) -> str:
                 format_health_table(health),
             )
         )
+    metrics_section = _section_metrics(context, stage_metrics)
+    if metrics_section is not None:
+        sections.append(metrics_section)
     header = (
         "# Replication report — "
         '"Privacy from 5 PM to 6 AM" (DSN 2025)\n\n'
@@ -127,6 +150,21 @@ def generate_report(context) -> str:
         f"{len(dataset.runs)} measurement runs.\n"
     )
     return header + "\n" + "\n".join(s.as_markdown() for s in sections)
+
+
+def _section_metrics(context, stage_metrics) -> ReportSection | None:
+    """The study's metrics snapshot plus the report's own stage costs."""
+    obs = getattr(context, "obs", None)
+    parts = [stage_metrics]
+    if obs is not None and not obs.metrics.is_empty:
+        parts.insert(0, obs.metrics)
+    combined = merge_metrics(parts)
+    if combined.is_empty:
+        return None
+    return ReportSection(
+        "Observability — metrics snapshot",
+        format_metrics_table(combined),
+    )
 
 
 def _section_overview(context, dataset) -> ReportSection:

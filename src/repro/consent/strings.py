@@ -9,8 +9,10 @@ DNT signals — here the consent wire format itself is observable.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
-from typing import Iterable
+from types import MappingProxyType
+from typing import Iterable, Mapping
 
 from repro.hbbtv.consent import ConsentChoice
 from repro.hbbtv.tcstring import (
@@ -75,6 +77,80 @@ class ConsentStringReport:
             name: granted.get(name, 0) / count
             for name, count in total.items()
         }
+
+    def canonical_purpose_grant_rates(self) -> dict[str, float]:
+        """Grant rates after canonicalizing purpose labels across locales.
+
+        CMPs name the same purpose differently ("Analyse", "Google
+        Analytics"); this view re-tallies grants under the canonical
+        slugs from :func:`purpose_locale_table`, so synonymous labels
+        aggregate (count-weighted, not rate-averaged) into one row.
+        The raw, label-faithful view stays in :meth:`purpose_grant_rates`.
+        """
+        granted: dict[str, int] = {}
+        total: dict[str, int] = {}
+        for item in self.observed:
+            for name, is_granted in item.record.purposes:
+                slug = canonical_purpose(name)
+                total[slug] = total.get(slug, 0) + 1
+                if is_granted:
+                    granted[slug] = granted.get(slug, 0) + 1
+        return {
+            slug: granted.get(slug, 0) / count
+            for slug, count in total.items()
+        }
+
+
+#: The German labels the simulated CMP dialogs use, plus their English
+#: counterparts, all mapping onto one canonical slug vocabulary.
+_PURPOSE_LOCALE_ROWS = (
+    ("Funktional", "functional"),
+    ("Functional", "functional"),
+    ("Marketing", "marketing"),
+    ("Messung", "measurement"),
+    ("Measurement", "measurement"),
+    ("Personalisierung", "personalization"),
+    ("Personalization", "personalization"),
+    ("Analyse", "analytics"),
+    ("Analytics", "analytics"),
+    ("Google Analytics", "analytics"),
+    ("Komfort", "convenience"),
+    ("Convenience", "convenience"),
+    ("Statistik", "statistics"),
+    ("Statistics", "statistics"),
+    ("Partner", "partners"),
+    ("Partners", "partners"),
+)
+
+#: pid → locale table.  Keyed by pid for fork safety, mirroring
+#: ``filterlists.default_suite``: the table is immutable after
+#: construction (a ``MappingProxyType`` over a dict built once), so
+#: sharing across forked workers would be harmless — but re-keying per
+#: process keeps the invariant trivially auditable.  ``spawn`` workers
+#: start with an empty module and build their own.
+_LOCALE_TABLES: dict[int, Mapping[str, str]] = {}
+
+
+def purpose_locale_table() -> Mapping[str, str]:
+    """The process-wide label → canonical-slug table, built once."""
+    pid = os.getpid()
+    table = _LOCALE_TABLES.get(pid)
+    if table is None:
+        _LOCALE_TABLES.clear()
+        table = MappingProxyType(
+            {label.casefold(): slug for label, slug in _PURPOSE_LOCALE_ROWS}
+        )
+        _LOCALE_TABLES[pid] = table
+    return table
+
+
+def canonical_purpose(label: str) -> str:
+    """Map one CMP purpose label to its canonical slug.
+
+    Unknown labels (the paper saw dialogs with unreadable purpose
+    names) fall through to ``"other"``.
+    """
+    return purpose_locale_table().get(label.casefold(), "other")
 
 
 def analyze_consent_strings(flows: Iterable[Flow]) -> ConsentStringReport:

@@ -48,6 +48,7 @@ class MeasurementFramework:
         seed: int = 0,
         resilience: StudyResilience | None = None,
         monitor=None,
+        obs=None,
     ) -> None:
         self.api = api
         self.proxy = proxy
@@ -56,13 +57,23 @@ class MeasurementFramework:
         self.seed = seed
         self.resilience = resilience
         self.monitor = monitor
-        self.script = RemoteControlScript(api, proxy, config, resilience)
+        self.obs = obs
+        self.script = RemoteControlScript(api, proxy, config, resilience, obs=obs)
 
     def run_study(self, runs: list[RunSpec] | None = None) -> StudyDataset:
         """Execute every measurement run and return the full dataset."""
-        dataset = StudyDataset()
-        for run in ensure_runs(runs, self.seed, self.config.interaction_presses):
-            dataset.add_run(self.execute_run(run))
+        specs = ensure_runs(runs, self.seed, self.config.interaction_presses)
+        if self.obs is None:
+            dataset = StudyDataset()
+            for run in specs:
+                dataset.add_run(self.execute_run(run))
+            return dataset
+        with self.obs.tracer.span(
+            "study", seed=self.seed, runs=len(specs), channels=len(self.channels)
+        ):
+            dataset = StudyDataset()
+            for run in specs:
+                dataset.add_run(self.execute_run(run))
         return dataset
 
     def execute_run(
@@ -74,6 +85,26 @@ class MeasurementFramework:
         earlier partial execution of the same run (see
         :meth:`resume_run`); they are not visited again.
         """
+        if self.obs is None:
+            return self._execute_run(run, skip_channels)
+        span_id = self.obs.tracer.begin_span("run", **run.trace_attrs())
+        try:
+            run_data = self._execute_run(run, skip_channels)
+        except BaseException:
+            self.obs.tracer.end_span(span_id, outcome="error")
+            raise
+        self.obs.tracer.end_span(
+            span_id,
+            flows=len(run_data.flows),
+            channels=len(run_data.channels_measured),
+            failures=len(run_data.channel_failures),
+            completed=run_data.completed,
+        )
+        return run_data
+
+    def _execute_run(
+        self, run: RunSpec, skip_channels: Collection[str] = ()
+    ) -> RunDataset:
         if self.monitor is not None:
             self.monitor.begin_run(run.name)
         tv = self.api.tv

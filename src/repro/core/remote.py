@@ -24,6 +24,7 @@ from repro.core.resilience import (
 )
 from repro.core.runs import RunSpec
 from repro.dvb.channel import BroadcastChannel
+from repro.obs.metrics import SHARE_BUCKETS
 from repro.proxy.mitm import InterceptionProxy
 from repro.tv.screenshot import Screenshot
 from repro.tv.webos import WebOSApi, WebOSApiError
@@ -49,11 +50,13 @@ class RemoteControlScript:
         proxy: InterceptionProxy,
         config: MeasurementConfig = DEFAULT_CONFIG,
         resilience: StudyResilience | None = None,
+        obs=None,
     ) -> None:
         self.api = api
         self.proxy = proxy
         self.config = config
         self.resilience = resilience
+        self.obs = obs
 
     def watch_channel(
         self, channel: BroadcastChannel, run: RunSpec
@@ -65,8 +68,34 @@ class RemoteControlScript:
         exceeds its simulated-time budget and
         :class:`~repro.core.resilience.ChannelAbandoned` when the TV API
         stays wedged; the framework converts either into a
-        ``ChannelFailure`` record.
+        ``ChannelFailure`` record.  Every visit attempt is one
+        ``channel`` span on the trace (a retried channel appears as
+        multiple spans), closed even when the visit raises.
         """
+        if self.obs is None:
+            return self._watch(channel, run)
+        span_id = self.obs.tracer.begin_span(
+            "channel", channel_id=channel.channel_id, run=run.name
+        )
+        outcome = "ok"
+        visit = None
+        try:
+            visit = self._watch(channel, run)
+            if visit.skipped_off_air:
+                outcome = "off-air"
+            return visit
+        except Exception as error:
+            outcome = type(error).__name__
+            raise
+        finally:
+            self.obs.tracer.end_span(
+                span_id,
+                outcome=outcome,
+                screenshots=len(visit.screenshots) if visit else 0,
+                key_presses=visit.key_presses if visit else 0,
+            )
+
+    def _watch(self, channel: BroadcastChannel, run: RunSpec) -> ChannelVisit:
         tv = self.api.tv
         visit = ChannelVisit(channel.channel_id, channel.name)
         if not channel.is_on_air(tv.clock.hour_of_day()):
@@ -122,6 +151,12 @@ class RemoteControlScript:
             tv.wait(total_watch - elapsed)
         watchdog.check()
 
+        if self.obs is not None and watchdog is not NULL_WATCHDOG:
+            self.obs.metrics.observe(
+                "watchdog.consumed_share",
+                watchdog.elapsed / watchdog.budget_seconds,
+                bounds=SHARE_BUCKETS,
+            )
         return visit
 
     def _shot(self) -> Screenshot:
@@ -136,12 +171,14 @@ class RemoteControlScript:
         behaviour); with it, the retry policy bounds the power cycles
         and a persistently wedged API abandons the channel.
         """
+        if self.obs is not None:
+            self.obs.metrics.inc("webos.calls")
         if self.resilience is None:
             try:
                 return operation()
             except WebOSApiError:
-                self.api.restart_tv()
-                self.api.tv.connect_wifi()
+                self._note_wedge(attempt=0)
+                self._restart()
                 return operation()
 
         attempts = max(2, self.resilience.policy.retry.max_attempts)
@@ -149,9 +186,32 @@ class RemoteControlScript:
             try:
                 return operation()
             except WebOSApiError:
+                self._note_wedge(attempt)
                 if attempt + 1 >= attempts:
                     raise ChannelAbandoned(
                         f"webOS API wedged through {attempts} attempts"
                     ) from None
-                self.api.restart_tv()
-                self.api.tv.connect_wifi()
+                self._restart()
+
+    def _restart(self) -> None:
+        """One power cycle, counted when telemetry is attached."""
+        if self.obs is not None:
+            self.obs.metrics.inc("webos.restarts")
+        self.api.restart_tv()
+        self.api.tv.connect_wifi()
+
+    def _note_wedge(self, attempt: int) -> None:
+        """Telemetry for one wedged API call (obs attached only).
+
+        Wedges are rare, so each one earns a ``webos-call`` trace point;
+        routine calls only tick the ``webos.calls`` counter.
+        """
+        if self.obs is None:
+            return
+        self.obs.metrics.inc("webos.wedges")
+        self.obs.tracer.point(
+            "webos-call",
+            at=self.api.tv.clock.now,
+            wedged=True,
+            attempt=attempt,
+        )

@@ -80,34 +80,48 @@ class BreakerState(Enum):
 
 
 class CircuitBreaker:
-    """Per-host breaker: open after N consecutive failures, probe later."""
+    """Per-host breaker: open after N consecutive failures, probe later.
+
+    ``on_transition(old_state, new_state)`` fires on every *actual*
+    state change (never on a no-op), which is how the observability
+    layer sees the full closed → open → half-open → closed/open life
+    cycle instead of just the end state.
+    """
 
     def __init__(
         self,
         clock: SimClock,
         failure_threshold: int = 4,
         reset_after_seconds: float = 180.0,
+        on_transition=None,
     ) -> None:
         self.clock = clock
         self.failure_threshold = failure_threshold
         self.reset_after_seconds = reset_after_seconds
+        self.on_transition = on_transition
         self.state = BreakerState.CLOSED
         self.consecutive_failures = 0
         self.opened_at = 0.0
         self.open_count = 0
+
+    def _transition(self, new_state: BreakerState) -> None:
+        old_state = self.state
+        self.state = new_state
+        if self.on_transition is not None and old_state is not new_state:
+            self.on_transition(old_state, new_state)
 
     def allow(self) -> bool:
         """Whether a request may go through right now."""
         if self.state is BreakerState.CLOSED:
             return True
         if self.clock.now - self.opened_at >= self.reset_after_seconds:
-            self.state = BreakerState.HALF_OPEN
+            self._transition(BreakerState.HALF_OPEN)
             return True
         return False
 
     def record_success(self) -> None:
         self.consecutive_failures = 0
-        self.state = BreakerState.CLOSED
+        self._transition(BreakerState.CLOSED)
 
     def record_failure(self) -> None:
         self.consecutive_failures += 1
@@ -115,7 +129,7 @@ class CircuitBreaker:
             self.consecutive_failures >= self.failure_threshold
             and self.state is BreakerState.CLOSED
         ):
-            self.state = BreakerState.OPEN
+            self._transition(BreakerState.OPEN)
             self.opened_at = self.clock.now
             self.open_count += 1
 
@@ -187,10 +201,15 @@ class TransportResilience:
     """
 
     def __init__(
-        self, policy: ResiliencePolicy, clock: SimClock, seed: int = 0
+        self,
+        policy: ResiliencePolicy,
+        clock: SimClock,
+        seed: int = 0,
+        obs=None,
     ) -> None:
         self.policy = policy
         self.clock = clock
+        self.obs = obs
         self._rng = random.Random(f"resilience:{seed}")
         self._breakers: dict[str, CircuitBreaker] = {}
         self.retries_total = 0
@@ -204,9 +223,32 @@ class TransportResilience:
                 self.clock,
                 self.policy.breaker_failure_threshold,
                 self.policy.breaker_reset_seconds,
+                on_transition=(
+                    (
+                        lambda old, new, _host=host: self._note_transition(
+                            _host, old, new
+                        )
+                    )
+                    if self.obs is not None
+                    else None
+                ),
             )
             self._breakers[host] = breaker
         return breaker
+
+    def _note_transition(
+        self, host: str, old: BreakerState, new: BreakerState
+    ) -> None:
+        self.obs.metrics.inc(
+            "breaker.transitions", frm=old.value, to=new.value
+        )
+        self.obs.tracer.point(
+            "breaker-transition",
+            at=self.clock.now,
+            host=host,
+            frm=old.value,
+            to=new.value,
+        )
 
     @property
     def breaker_opens(self) -> int:
@@ -229,6 +271,8 @@ class TransportResilience:
         breaker = self.breaker_for(host)
         if not breaker.allow():
             self.fast_fails += 1
+            if self.obs is not None:
+                self.obs.metrics.inc("resilience.fast_fails")
             raise CircuitOpenError(f"circuit open for host: {host}")
         retry = self.policy.retry
         attempt = 0
@@ -265,17 +309,25 @@ class TransportResilience:
         request.timestamp = self.clock.now
         self.retries_total += 1
         self.backoff_seconds_total += delay
+        if self.obs is not None:
+            self.obs.metrics.inc("resilience.retries")
+            self.obs.metrics.observe("resilience.backoff_seconds", delay)
 
 
 class StudyResilience:
     """The per-study bundle: policy + live transport layer + watchdogs."""
 
     def __init__(
-        self, policy: ResiliencePolicy, clock: SimClock, seed: int = 0
+        self,
+        policy: ResiliencePolicy,
+        clock: SimClock,
+        seed: int = 0,
+        obs=None,
     ) -> None:
         self.policy = policy
         self.clock = clock
-        self.transport = TransportResilience(policy, clock, seed)
+        self.obs = obs
+        self.transport = TransportResilience(policy, clock, seed, obs=obs)
 
     def watchdog(self, planned_seconds: float) -> Watchdog:
         budget = planned_seconds * self.policy.channel_time_budget_factor

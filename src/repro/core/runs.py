@@ -29,6 +29,19 @@ class RunSpec:
     def is_interactive(self) -> bool:
         return self.color_button is not None
 
+    def trace_attrs(self) -> dict:
+        """Span attributes identifying this run on the trace stream.
+
+        Centralized here so the sequential framework and the sharded
+        executor label their ``run`` spans identically — the golden
+        trace diff would otherwise drift on attribute spelling.
+        """
+        return {
+            "run": self.name,
+            "interactive": self.is_interactive,
+            "date": self.date_label,
+        }
+
 
 def generate_interaction_sequence(
     rng: random.Random, length: int = 10

@@ -49,6 +49,14 @@ from repro.core.health import StudyHealth, merge_study_health
 from repro.core.resilience import ResiliencePolicy
 from repro.core.runs import RunSpec, ensure_runs
 from repro.net.faults import FaultPlan
+from repro.obs import (
+    MetricsRegistry,
+    Observability,
+    TraceEvent,
+    merge_metrics,
+    merge_shard_traces,
+)
+from repro.obs.metrics import COUNT_BUCKETS
 
 #: Shard count used when only ``workers`` is given.  Fixed independently
 #: of the worker count on purpose: the partition (and therefore the
@@ -97,6 +105,11 @@ class ShardResult:
     period_start: float = 0.0
     period_end: float = 0.0
     faults_by_kind: dict[str, int] = field(default_factory=dict)
+    #: The shard stack's telemetry: its trace stream (``shard`` field
+    #: still unstamped) and metrics registry.  Both pickle, so they ride
+    #: back across the ``spawn`` boundary with the dataset.
+    trace: tuple[TraceEvent, ...] = ()
+    metrics: MetricsRegistry | None = None
 
 
 # -- partitioning ------------------------------------------------------------------
@@ -150,6 +163,17 @@ def execute_shard(task: ShardTask) -> ShardResult:
     context = make_context(
         world, task.config, faults=task.plan, resilience=task.resilience
     )
+    obs = context.obs
+    shard_span = (
+        obs.tracer.begin_span(
+            "shard",
+            index=task.shard.index,
+            n_shards=task.shard.n_shards,
+            channels=len(task.shard.channel_ids),
+        )
+        if obs is not None
+        else None
+    )
     if task.with_filtering:
         # Funnel only this shard's slice of what the antenna received;
         # the pipeline leaves its survivors on framework.channels.
@@ -175,6 +199,12 @@ def execute_shard(task: ShardTask) -> ShardResult:
                 run, skip_channels=skip.get(run.name, ())
             )
         )
+    if shard_span is not None:
+        obs.tracer.end_span(
+            shard_span,
+            runs=len(runs),
+            flows=sum(len(r.flows) for r in dataset.runs.values()),
+        )
     return ShardResult(
         shard=task.shard,
         dataset=dataset,
@@ -191,6 +221,8 @@ def execute_shard(task: ShardTask) -> ShardResult:
             if context.injector is not None
             else {}
         ),
+        trace=context.trace_events,
+        metrics=obs.metrics if obs is not None else None,
     )
 
 
@@ -245,7 +277,30 @@ def merge_shard_results(results: Sequence[ShardResult]) -> ShardResult:
         period_start=min(r.period_start for r in ordered),
         period_end=max(r.period_end for r in ordered),
         faults_by_kind=faults,
+        trace=merge_shard_traces([(r.shard.index, r.trace) for r in ordered]),
+        metrics=_merge_shard_metrics(ordered),
     )
+
+
+def _merge_shard_metrics(ordered: Sequence[ShardResult]) -> MetricsRegistry:
+    """Fold per-shard registries, then stamp the merge's own telemetry.
+
+    The merge-size observations are keyed only on the (sorted) shard
+    results — one per shard, in shard-index order — so the combined
+    registry stays a pure function of the partition, independent of
+    worker count and completion order.
+    """
+    merged = merge_metrics(
+        [r.metrics for r in ordered if r.metrics is not None]
+    )
+    for result in ordered:
+        flows = sum(len(r.flows) for r in result.dataset.runs.values())
+        merged.inc("shard.merged")
+        merged.observe("shard.merge_flows", float(flows), bounds=COUNT_BUCKETS)
+        merged.observe(
+            "shard.merge_events", float(len(result.trace)), bounds=COUNT_BUCKETS
+        )
+    return merged
 
 
 # -- orchestration -----------------------------------------------------------------
@@ -380,4 +435,10 @@ def run_sharded_study(
         context.monitor.study_health = merged.health
     context.n_shards = n_shards
     context.workers = workers
+    # The context's fresh (unused) stack recorded nothing; expose the
+    # merged per-shard telemetry instead.
+    context.obs = Observability.merged(
+        merged.trace,
+        merged.metrics if merged.metrics is not None else MetricsRegistry(),
+    )
     return context

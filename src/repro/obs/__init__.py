@@ -1,0 +1,80 @@
+"""Deterministic observability: structured tracing + metrics.
+
+The measurement campaign lives or dies on knowing *what the rig was
+doing* — per-channel timing, proxy flow counts, retry and breaker
+activity — yet telemetry is only trustworthy if it is as reproducible
+as the measurement itself.  Everything in this package is therefore a
+pure function of ``(seed, scale, plan, n_shards)``: spans and events
+are stamped from the simulated :class:`~repro.clock.SimClock` (never
+the wall clock), histogram buckets are fixed at declaration, and
+per-shard collectors merge permutation-invariantly in shard-index
+order, mirroring the dataset merge.  The serialized trace and metrics
+snapshot are byte-identical across worker counts and across repeated
+runs — which makes the telemetry itself golden-testable and turns a
+trace diff into a stronger equivalence oracle than the dataset digest
+alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    format_metrics_table,
+    merge_metrics,
+    metrics_digest,
+)
+from repro.obs.trace import (
+    TraceEvent,
+    Tracer,
+    merge_shard_traces,
+    serialize_trace,
+    trace_digest,
+    trace_to_jsonl,
+    write_trace_jsonl,
+)
+
+
+@dataclass
+class Observability:
+    """The per-study bundle: one tracer + one metrics registry.
+
+    Live stacks build it with :meth:`for_clock` (events stamp from the
+    stack's clock); the sharded merge rebuilds it with :meth:`merged`
+    from per-shard collectors.
+    """
+
+    tracer: Tracer = field(default_factory=lambda: Tracer())
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+
+    @classmethod
+    def for_clock(cls, clock) -> "Observability":
+        return cls(tracer=Tracer(clock), metrics=MetricsRegistry())
+
+    @classmethod
+    def merged(cls, events, metrics: MetricsRegistry) -> "Observability":
+        """A frozen view over merged shard telemetry (no live clock)."""
+        tracer = Tracer()
+        tracer.events = list(events)
+        return cls(tracer=tracer, metrics=metrics)
+
+    @property
+    def events(self) -> tuple[TraceEvent, ...]:
+        return tuple(self.tracer.events)
+
+
+__all__ = [
+    "MetricsRegistry",
+    "Observability",
+    "TraceEvent",
+    "Tracer",
+    "format_metrics_table",
+    "merge_metrics",
+    "merge_shard_traces",
+    "metrics_digest",
+    "serialize_trace",
+    "trace_digest",
+    "trace_to_jsonl",
+    "write_trace_jsonl",
+]

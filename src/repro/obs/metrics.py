@@ -1,0 +1,269 @@
+"""Deterministic metrics: counters, max-gauges, fixed-bucket histograms.
+
+A :class:`MetricsRegistry` is the numeric half of the observability
+layer.  Three metric families, each chosen for a merge law that keeps
+per-shard collectors combinable without regard to worker scheduling:
+
+* **counters** sum (identity: absent/0),
+* **gauges** keep the maximum (identity: absent) — right for
+  high-water marks like deepest breaker streak or peak jar size,
+* **histograms** have bucket boundaries fixed at first observation
+  and merge by summing bucket counts (identity: all-zero counts).
+
+Merging (:func:`merge_metrics`) folds any number of registries in one
+flat pass and accumulates float values with :func:`math.fsum`, so the
+result is independent of input order.  No metric ever touches the wall
+clock; durations come from the simulated clock and "cost" metrics are
+measured in deterministic work units (items processed).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+#: Default boundaries for simulated-seconds histograms (backoff sleeps,
+#: watch budgets).  An implicit +inf bucket always follows the last edge.
+SECONDS_BUCKETS = (0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 300.0)
+
+#: Default boundaries for byte-size histograms (response bodies).
+SIZE_BUCKETS = (64.0, 256.0, 1024.0, 4096.0, 16384.0, 65536.0, 262144.0)
+
+#: Boundaries for share-of-budget histograms (watchdog consumption).
+SHARE_BUCKETS = (0.1, 0.25, 0.5, 0.75, 0.9, 1.0)
+
+#: Boundaries for count-per-shard histograms (merge sizes).
+COUNT_BUCKETS = (1.0, 10.0, 50.0, 100.0, 500.0, 1000.0, 5000.0, 20000.0)
+
+_LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict) -> _LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _label_repr(key: _LabelKey) -> str:
+    return ",".join(f"{name}={value}" for name, value in key)
+
+
+@dataclass
+class Histogram:
+    """Fixed-boundary histogram; ``counts`` has one extra +inf bucket."""
+
+    bounds: tuple[float, ...]
+    counts: list[int] = field(default_factory=list)
+    total: float = 0.0
+    count: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.counts:
+            self.counts = [0] * (len(self.bounds) + 1)
+
+    def observe(self, value: float) -> None:
+        index = len(self.bounds)
+        for position, bound in enumerate(self.bounds):
+            if value <= bound:
+                index = position
+                break
+        self.counts[index] += 1
+        self.total += value
+        self.count += 1
+
+
+class MetricsRegistry:
+    """One study's (or one shard's) metric collectors."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, dict[_LabelKey, float]] = {}
+        self._gauges: dict[str, dict[_LabelKey, float]] = {}
+        self._histograms: dict[str, dict[_LabelKey, Histogram]] = {}
+        self._bounds: dict[str, tuple[float, ...]] = {}
+
+    # -- recording -------------------------------------------------------------
+
+    def inc(self, name: str, value: float = 1, **labels) -> None:
+        """Add to a counter (created at zero on first use)."""
+        if value < 0:
+            raise ValueError(f"counters only go up: {name} += {value}")
+        series = self._counters.setdefault(name, {})
+        key = _label_key(labels)
+        series[key] = series.get(key, 0) + value
+
+    def gauge_max(self, name: str, value: float, **labels) -> None:
+        """Raise a high-water-mark gauge (merge law: maximum)."""
+        series = self._gauges.setdefault(name, {})
+        key = _label_key(labels)
+        current = series.get(key)
+        if current is None or value > current:
+            series[key] = value
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        bounds: tuple[float, ...] = SECONDS_BUCKETS,
+        **labels,
+    ) -> None:
+        """Record one histogram observation.
+
+        The first observation fixes the bucket boundaries for ``name``;
+        later calls (and merges) must agree — silently re-bucketing
+        would make snapshots incomparable across code paths.
+        """
+        bounds = tuple(bounds)
+        fixed = self._bounds.setdefault(name, bounds)
+        if bounds != fixed:
+            raise ValueError(
+                f"histogram {name!r} declared with boundaries {fixed}, "
+                f"observed with {bounds}"
+            )
+        series = self._histograms.setdefault(name, {})
+        key = _label_key(labels)
+        histogram = series.get(key)
+        if histogram is None:
+            histogram = series[key] = Histogram(bounds=fixed)
+        histogram.observe(value)
+
+    # -- reading ---------------------------------------------------------------
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self._counters or self._gauges or self._histograms)
+
+    def counter_value(self, name: str, **labels) -> float:
+        return self._counters.get(name, {}).get(_label_key(labels), 0)
+
+    def counter_total(self, name: str) -> float:
+        return math.fsum(self._counters.get(name, {}).values())
+
+    def counter_series(self, name: str) -> dict[str, float]:
+        """label-repr → value for one counter, sorted by label."""
+        series = self._counters.get(name, {})
+        return {_label_repr(key): series[key] for key in sorted(series)}
+
+    def snapshot(self) -> dict:
+        """The canonical JSON-ready view: every family sorted by name
+        and label, histograms with their boundaries inline.  Two
+        registries snapshot equal exactly when no consumer could tell
+        them apart."""
+        return {
+            "counters": {
+                name: {
+                    _label_repr(key): series[key] for key in sorted(series)
+                }
+                for name, series in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: {
+                    _label_repr(key): series[key] for key in sorted(series)
+                }
+                for name, series in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: {
+                    _label_repr(key): {
+                        "bounds": list(series[key].bounds),
+                        "counts": list(series[key].counts),
+                        "sum": series[key].total,
+                        "count": series[key].count,
+                    }
+                    for key in sorted(series)
+                }
+                for name, series in sorted(self._histograms.items())
+            },
+        }
+
+
+def merge_metrics(parts: Sequence[MetricsRegistry]) -> MetricsRegistry:
+    """Fold registries into one, independent of input order.
+
+    Counter and histogram sums go through :func:`math.fsum` over the
+    full value list, so the merged floats do not depend on the order
+    the parts arrive in; gauges take the maximum.  Histogram boundary
+    disagreement is an error, not a silent re-bucket.  The empty
+    registry is the identity: ``merge_metrics([r])`` and
+    ``merge_metrics([MetricsRegistry(), r])`` both snapshot equal to
+    ``r``.
+    """
+    merged = MetricsRegistry()
+
+    counter_values: dict[tuple[str, _LabelKey], list[float]] = {}
+    for part in parts:
+        for name, series in part._counters.items():
+            for key, value in series.items():
+                counter_values.setdefault((name, key), []).append(value)
+    for (name, key), values in counter_values.items():
+        total = math.fsum(values)
+        merged._counters.setdefault(name, {})[key] = (
+            int(total) if total.is_integer() else total
+        )
+
+    for part in parts:
+        for name, series in part._gauges.items():
+            for key, value in series.items():
+                target = merged._gauges.setdefault(name, {})
+                current = target.get(key)
+                if current is None or value > current:
+                    target[key] = value
+
+    histogram_parts: dict[tuple[str, _LabelKey], list[Histogram]] = {}
+    for part in parts:
+        for name, series in part._histograms.items():
+            fixed = merged._bounds.setdefault(name, part._bounds[name])
+            if part._bounds[name] != fixed:
+                raise ValueError(
+                    f"cannot merge histogram {name!r}: boundaries differ "
+                    f"({part._bounds[name]} vs {fixed})"
+                )
+            for key, histogram in series.items():
+                histogram_parts.setdefault((name, key), []).append(histogram)
+    for (name, key), histograms in histogram_parts.items():
+        bounds = merged._bounds[name]
+        combined = Histogram(bounds=bounds)
+        combined.counts = [
+            sum(h.counts[index] for h in histograms)
+            for index in range(len(bounds) + 1)
+        ]
+        combined.total = math.fsum(h.total for h in histograms)
+        combined.count = sum(h.count for h in histograms)
+        merged._histograms.setdefault(name, {})[key] = combined
+    return merged
+
+
+def metrics_digest(registry: MetricsRegistry) -> str:
+    """A stable content hash of the canonical snapshot."""
+    canonical = json.dumps(
+        registry.snapshot(),
+        sort_keys=True,
+        separators=(",", ":"),
+        ensure_ascii=True,
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def format_metrics_table(registry: MetricsRegistry) -> str:
+    """Render a snapshot as a compact markdown table.
+
+    One row per (metric, label) series; histograms show count, sum,
+    and the populated bucket spine — enough to eyeball a run without
+    opening the JSON snapshot.
+    """
+    snapshot = registry.snapshot()
+    lines = ["| metric | labels | value |", "|---|---|---|"]
+    for name, series in snapshot["counters"].items():
+        for labels, value in series.items():
+            rendered = f"{value:,}" if isinstance(value, int) else f"{value:,.3f}"
+            lines.append(f"| {name} | {labels or '—'} | {rendered} |")
+    for name, series in snapshot["gauges"].items():
+        for labels, value in series.items():
+            lines.append(f"| {name} (max) | {labels or '—'} | {value:,.3f} |")
+    for name, series in snapshot["histograms"].items():
+        for labels, data in series.items():
+            lines.append(
+                f"| {name} (hist) | {labels or '—'} | "
+                f"n={data['count']:,} sum={data['sum']:,.3f} |"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,220 @@
+"""Structured tracing on the simulated clock.
+
+A :class:`Tracer` records a flat, append-only stream of
+:class:`TraceEvent` records: nested spans (``study → run → channel``)
+opened and closed in strict stack order, plus point events (requests,
+breaker transitions, webOS wedges).  Every event is stamped from the
+stack's :class:`~repro.clock.SimClock` — wall-clock time never appears
+— so the stream is a deterministic function of the study parameters
+and can be digested, golden-tested, and diffed across worker counts.
+
+Span ids are small integers minted per tracer.  When per-shard streams
+merge (:func:`merge_shard_traces`), every event is restamped with its
+shard index, which keeps ``(shard, span_id)`` globally unique and the
+merged stream a pure function of the partition, never of worker
+scheduling.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from contextlib import contextmanager
+from dataclasses import dataclass, replace
+from typing import Iterable, Sequence
+
+#: Attribute values must stay JSON scalars so the canonical encoding
+#: (and therefore the digest) is total and platform-independent.
+_SCALARS = (str, int, float, bool, type(None))
+
+
+def _canonical_attrs(attrs: dict) -> tuple[tuple[str, object], ...]:
+    for key, value in attrs.items():
+        if not isinstance(value, _SCALARS):
+            raise TypeError(
+                f"trace attribute {key!r} must be a JSON scalar, "
+                f"got {type(value).__name__}"
+            )
+    return tuple(sorted(attrs.items()))
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One record of the trace stream.
+
+    ``kind`` is ``begin``/``end`` for span boundaries and ``point`` for
+    instantaneous events.  ``shard`` is ``None`` while the event lives
+    in its producing stack and is stamped by the shard merge.
+    """
+
+    kind: str
+    name: str
+    span_id: int
+    parent_id: int | None
+    at: float
+    shard: int | None = None
+    attrs: tuple[tuple[str, object], ...] = ()
+
+
+class Tracer:
+    """Collects one deterministic event stream.
+
+    Spans nest in strict stack order — ``end_span`` must close the
+    innermost open span, which the instrumented call tree guarantees
+    via ``with``/``finally`` — so a consumer can rebuild the hierarchy
+    from the flat stream without bookkeeping.
+    """
+
+    def __init__(self, clock=None) -> None:
+        self.clock = clock
+        self.events: list[TraceEvent] = []
+        self._next_id = 0
+        self._stack: list[int] = []
+
+    # -- recording -------------------------------------------------------------
+
+    def begin_span(self, name: str, at: float | None = None, **attrs) -> int:
+        span_id = self._next_id
+        self._next_id += 1
+        self.events.append(
+            TraceEvent(
+                kind="begin",
+                name=name,
+                span_id=span_id,
+                parent_id=self._stack[-1] if self._stack else None,
+                at=self._stamp(at),
+                attrs=_canonical_attrs(attrs),
+            )
+        )
+        self._stack.append(span_id)
+        return span_id
+
+    def end_span(self, span_id: int, at: float | None = None, **attrs) -> None:
+        if not self._stack or self._stack[-1] != span_id:
+            raise ValueError(
+                f"span {span_id} is not the innermost open span "
+                f"(stack: {self._stack})"
+            )
+        self._stack.pop()
+        self.events.append(
+            TraceEvent(
+                kind="end",
+                name=self._name_of(span_id),
+                span_id=span_id,
+                parent_id=self._stack[-1] if self._stack else None,
+                at=self._stamp(at),
+                attrs=_canonical_attrs(attrs),
+            )
+        )
+
+    @contextmanager
+    def span(self, name: str, **attrs):
+        span_id = self.begin_span(name, **attrs)
+        try:
+            yield span_id
+        finally:
+            self.end_span(span_id)
+
+    def point(self, name: str, at: float | None = None, **attrs) -> None:
+        """Record an instantaneous event inside the current span."""
+        span_id = self._next_id
+        self._next_id += 1
+        self.events.append(
+            TraceEvent(
+                kind="point",
+                name=name,
+                span_id=span_id,
+                parent_id=self._stack[-1] if self._stack else None,
+                at=self._stamp(at),
+                attrs=_canonical_attrs(attrs),
+            )
+        )
+
+    @property
+    def open_spans(self) -> tuple[int, ...]:
+        return tuple(self._stack)
+
+    # -- internals -------------------------------------------------------------
+
+    def _stamp(self, at: float | None) -> float:
+        if at is not None:
+            return at
+        if self.clock is not None:
+            return self.clock.now
+        return 0.0
+
+    def _name_of(self, span_id: int) -> str:
+        for event in reversed(self.events):
+            if event.kind == "begin" and event.span_id == span_id:
+                return event.name
+        return ""
+
+
+# -- merging -----------------------------------------------------------------------
+
+
+def merge_shard_traces(
+    parts: Sequence[tuple[int, Sequence[TraceEvent]]]
+) -> tuple[TraceEvent, ...]:
+    """Concatenate per-shard streams in shard-index order.
+
+    Sorting by shard index first makes the merge invariant under any
+    permutation of its input — worker completion order can never leak
+    into the merged trace, mirroring ``merge_shard_results``.  Every
+    event is restamped with its shard index so ``(shard, span_id)``
+    stays globally unique.
+    """
+    ordered = sorted(parts, key=lambda item: item[0])
+    indices = [index for index, _ in ordered]
+    if len(set(indices)) != len(indices):
+        raise ValueError(f"duplicate shard indices in trace merge: {indices}")
+    merged: list[TraceEvent] = []
+    for index, events in ordered:
+        merged.extend(replace(event, shard=index) for event in events)
+    return tuple(merged)
+
+
+# -- canonical serialization -------------------------------------------------------
+
+
+def serialize_trace(events: Iterable[TraceEvent]) -> list[dict]:
+    """JSON-ready records, one per event, in stream order."""
+    return [
+        {
+            "kind": event.kind,
+            "name": event.name,
+            "span": event.span_id,
+            "parent": event.parent_id,
+            "at": event.at,
+            "shard": event.shard,
+            "attrs": {key: value for key, value in event.attrs},
+        }
+        for event in events
+    ]
+
+
+def trace_to_jsonl(events: Iterable[TraceEvent]) -> str:
+    """The canonical JSONL encoding (sorted keys, tight separators)."""
+    return "".join(
+        json.dumps(record, sort_keys=True, separators=(",", ":"), ensure_ascii=True)
+        + "\n"
+        for record in serialize_trace(events)
+    )
+
+
+def trace_digest(events: Iterable[TraceEvent]) -> str:
+    """A stable content hash of the canonical JSONL encoding.
+
+    Equal digests mean equal telemetry: same spans, same nesting, same
+    timestamps, same attributes, same order.  Used by the golden-trace
+    regression test and the parallel differential harness.
+    """
+    return hashlib.sha256(trace_to_jsonl(events).encode("utf-8")).hexdigest()
+
+
+def write_trace_jsonl(events: Iterable[TraceEvent], path: str) -> int:
+    """Write the canonical JSONL stream to ``path``; returns event count."""
+    encoded = trace_to_jsonl(events)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(encoded)
+    return encoded.count("\n")

@@ -14,6 +14,7 @@ from repro.net.faults import ConnectionReset
 from repro.net.http import Headers, HttpRequest, HttpResponse
 from repro.net.network import Network, RoutingError
 from repro.net.url import URL
+from repro.obs.metrics import SIZE_BUCKETS
 from repro.proxy.attribution import ChannelAttributor
 from repro.proxy.flow import Flow
 
@@ -23,7 +24,12 @@ class InterceptionProxy:
 
     With a :class:`~repro.core.resilience.TransportResilience` attached,
     delivery goes through its retry/circuit-breaker loop; without one
-    (the default) the request path is byte-for-byte the original.
+    (the default) the request path is byte-for-byte the original.  With
+    an :class:`~repro.obs.Observability` bundle attached, every exchange
+    leaves a deterministic telemetry footprint (flow counters, response
+    size histogram, a ``request`` trace point stamped at request time);
+    the telemetry only *reads* the exchange, so the recorded flows are
+    byte-for-byte identical either way.
     """
 
     def __init__(
@@ -32,11 +38,13 @@ class InterceptionProxy:
         attributor: ChannelAttributor | None = None,
         excluded_etld1s: frozenset[str] | set[str] = frozenset({"lge.com"}),
         resilience=None,
+        obs=None,
     ) -> None:
         self.network = network
         self.attributor = attributor or ChannelAttributor()
         self.excluded_etld1s = set(excluded_etld1s)
         self.resilience = resilience
+        self.obs = obs
         self.flows: list[Flow] = []
         self.excluded_flow_count = 0
         self.gateway_timeout_count = 0
@@ -72,6 +80,8 @@ class InterceptionProxy:
             # Retries exhausted on an upstream reset: the TV sees a bad
             # gateway; the flow is still recorded.
             self.reset_count += 1
+            if self.obs is not None:
+                self.obs.metrics.inc("proxy.connection_resets")
             response = HttpResponse(
                 status=502,
                 headers=Headers([("Content-Type", "text/plain")]),
@@ -82,6 +92,8 @@ class InterceptionProxy:
             # Dead endpoint: the TV sees a gateway timeout; the flow is
             # still recorded (the study sees such failures too).
             self.gateway_timeout_count += 1
+            if self.obs is not None:
+                self.obs.metrics.inc("proxy.gateway_timeouts")
             response = HttpResponse(
                 status=504,
                 headers=Headers([("Content-Type", "text/plain")]),
@@ -89,8 +101,12 @@ class InterceptionProxy:
                 timestamp=request.timestamp,
             )
         etld1 = URL.parse(request.url).etld1
+        if self.obs is not None:
+            self._record_telemetry(request, response, etld1)
         if etld1 in self.excluded_etld1s:
             self.excluded_flow_count += 1
+            if self.obs is not None:
+                self.obs.metrics.inc("proxy.excluded_flows")
             return response
         channel_id, channel_name = self.attributor.attribute(request)
         self.flows.append(
@@ -103,6 +119,33 @@ class InterceptionProxy:
             )
         )
         return response
+
+    def _record_telemetry(
+        self, request: HttpRequest, response: HttpResponse, etld1: str
+    ) -> None:
+        """The per-exchange telemetry footprint (obs attached only)."""
+        metrics = self.obs.metrics
+        metrics.inc(
+            "proxy.requests",
+            scheme="https" if request.is_https else "http",
+        )
+        metrics.inc("proxy.responses", status=f"{response.status // 100}xx")
+        metrics.observe(
+            "proxy.response_bytes", float(response.size), bounds=SIZE_BUCKETS
+        )
+        set_cookies = len(response.set_cookie_headers())
+        if set_cookies and response.status < 500:
+            # Mirrors the browser's jar semantics: 5xx responses (incl.
+            # synthesized gateway failures) never mutate the cookie jar.
+            metrics.inc("proxy.cookie_mutations", set_cookies)
+        self.obs.tracer.point(
+            "request",
+            at=request.timestamp,
+            host=URL.parse(request.url).host,
+            etld1=etld1,
+            status=response.status,
+            https=request.is_https,
+        )
 
     # -- notifications from the remote-control script ----------------------------
 

@@ -22,6 +22,7 @@ from repro.core.resilience import ResiliencePolicy, StudyResilience
 from repro.core.runs import RunSpec
 from repro.dvb.receiver import Antenna
 from repro.net.faults import FaultInjector, FaultPlan, third_party_exclusions
+from repro.obs import MetricsRegistry, Observability, TraceEvent
 from repro.proxy.attribution import ChannelAttributor
 from repro.proxy.mitm import InterceptionProxy
 from repro.simulation.world import World, build_world
@@ -79,6 +80,10 @@ class StudyContext:
     #: Set by the sharded executor (``None`` on the classic path).
     n_shards: int | None = None
     workers: int | None = None
+    #: The telemetry bundle every stack layer records into.  On the
+    #: sharded path this is replaced post-merge by the combined
+    #: per-shard streams.
+    obs: Observability | None = None
 
     @property
     def first_party_overrides(self) -> dict[str, str]:
@@ -88,6 +93,16 @@ class StudyContext:
     def health(self) -> StudyHealth | None:
         """Per-run health records, when the study ran monitored."""
         return self.monitor.study_health if self.monitor is not None else None
+
+    @property
+    def trace_events(self) -> tuple[TraceEvent, ...]:
+        """The study's trace stream (empty without an obs bundle)."""
+        return self.obs.events if self.obs is not None else ()
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The study's metrics (an empty registry without a bundle)."""
+        return self.obs.metrics if self.obs is not None else MetricsRegistry()
 
 
 def fault_plan_for_world(world: World, preset: str) -> FaultPlan | None:
@@ -121,6 +136,7 @@ def make_context(
     original happy path — no wrapper, no retries, no extra RNG draws.
     """
     clock = SimClock()
+    obs = Observability.for_clock(clock)
     attributor = ChannelAttributor()
     for channel_id, host in world.single_channel_hosts.items():
         channel = world.channel_by_id(channel_id)
@@ -135,7 +151,7 @@ def make_context(
         if resilience is None:
             resilience = ResiliencePolicy()
     study_resilience = (
-        StudyResilience(resilience, clock, seed=world.seed)
+        StudyResilience(resilience, clock, seed=world.seed, obs=obs)
         if resilience is not None
         else None
     )
@@ -145,6 +161,7 @@ def make_context(
         resilience=(
             study_resilience.transport if study_resilience is not None else None
         ),
+        obs=obs,
     )
     monitor = None
     if injector is not None or study_resilience is not None:
@@ -172,6 +189,7 @@ def make_context(
         seed=world.seed,
         resilience=study_resilience,
         monitor=monitor,
+        obs=obs,
     )
     return StudyContext(
         world=world,
@@ -185,6 +203,7 @@ def make_context(
         injector=injector,
         resilience=study_resilience,
         monitor=monitor,
+        obs=obs,
     )
 
 
@@ -204,7 +223,34 @@ def run_filtering(context: StudyContext) -> FilteringReport:
     context.filtering_report = pipeline.report
     context.tv.power_off()
     context.proxy.stop()
+    if context.obs is not None:
+        _record_funnel(context.obs, pipeline.report)
     return pipeline.report
+
+
+def _record_funnel(obs: Observability, report: FilteringReport) -> None:
+    """Mirror the §IV-B funnel counts onto the metrics registry.
+
+    Step counters (not deltas) so per-shard funnels — which filter
+    disjoint channel slices — sum to the study-wide funnel under
+    :func:`~repro.obs.merge_metrics`, exactly like
+    :meth:`FilteringReport.merged`.
+    """
+    for step, count in (
+        ("received", report.received),
+        ("tv", report.tv_channels),
+        ("unencrypted", report.unencrypted),
+        ("visible_named", report.visible_named),
+        ("with_traffic", report.with_traffic),
+        ("final", report.final),
+    ):
+        if count:
+            obs.metrics.inc("funnel.channels", count, step=step)
+    obs.tracer.point(
+        "filtering",
+        received=report.received,
+        final=report.final,
+    )
 
 
 def run_study(

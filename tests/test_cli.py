@@ -1,5 +1,7 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
+import json
+
 import pytest
 
 from repro.__main__ import main
@@ -38,6 +40,37 @@ class TestCli:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["nonsense"])
+
+    def test_metrics_prints_canonical_snapshot(self, capsys):
+        assert main(ARGS + ["metrics"]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert set(snapshot) == {"counters", "gauges", "histograms"}
+        assert snapshot["counters"]["proxy.requests"]
+        assert "proxy.response_bytes" in snapshot["histograms"]
+
+    def test_trace_writes_canonical_jsonl(self, tmp_path, capsys):
+        path = tmp_path / "study.jsonl"
+        assert main(ARGS + ["--trace", str(path), "study"]) == 0
+        out = capsys.readouterr().out
+        assert f"trace event(s) to {path}" in out
+        lines = path.read_text().strip().split("\n")
+        assert len(lines) > 10
+        first = json.loads(lines[0])
+        assert first["kind"] == "begin" and first["name"] == "study"
+        # Every record is canonical: sorted keys, tight separators.
+        assert lines[0] == json.dumps(
+            first, sort_keys=True, separators=(",", ":")
+        )
+        kinds = {json.loads(line)["name"] for line in lines}
+        assert {"study", "run", "channel", "request"} <= kinds
+
+    def test_trace_is_reproducible_byte_for_byte(self, tmp_path, capsys):
+        first = tmp_path / "a.jsonl"
+        second = tmp_path / "b.jsonl"
+        assert main(ARGS + ["--trace", str(first), "study"]) == 0
+        assert main(ARGS + ["--trace", str(second), "study"]) == 0
+        capsys.readouterr()
+        assert first.read_bytes() == second.read_bytes()
 
 
 class TestCliFaults:

@@ -1,9 +1,16 @@
 """Tests for the TVCF consent-string format and its traffic analysis."""
 
+import os
+
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.consent.strings import analyze_consent_strings
+from repro.consent import strings as consent_strings
+from repro.consent.strings import (
+    analyze_consent_strings,
+    canonical_purpose,
+    purpose_locale_table,
+)
 from repro.hbbtv.consent import ConsentChoice
 from repro.hbbtv.tcstring import (
     ConsentStringError,
@@ -114,3 +121,78 @@ class TestTrafficAnalysis:
         report = analyze_consent_strings([flow])
         rates = report.purpose_grant_rates()
         assert rates == {"Marketing": 0.0, "Analyse": 1.0}
+
+    def test_canonical_rates_aggregate_locale_synonyms(self):
+        from repro.net.http import HttpRequest, html_response
+        from repro.proxy.flow import Flow
+
+        def _flow(purposes):
+            encoded = encode_consent_string(
+                ConsentChoice.CUSTOM, purposes, cmp_id=2
+            )
+            return Flow(
+                request=HttpRequest(
+                    "GET", f"https://cmp.de/consent?cs={encoded}"
+                ),
+                response=html_response("ok"),
+                channel_id="ch1",
+                run_name="Blue",
+            )
+
+        report = analyze_consent_strings(
+            [
+                _flow({"Analyse": True, "Funktional": True}),
+                _flow({"Google Analytics": False, "Mystery": True}),
+            ]
+        )
+        # Raw view keeps the CMPs' own labels untouched.
+        assert report.purpose_grant_rates() == {
+            "Analyse": 1.0,
+            "Funktional": 1.0,
+            "Google Analytics": 0.0,
+            "Mystery": 1.0,
+        }
+        # Canonical view folds synonymous labels, count-weighted:
+        # "Analyse" (granted) and "Google Analytics" (denied) are both
+        # analytics → 1 of 2 granted.
+        assert report.canonical_purpose_grant_rates() == {
+            "analytics": 0.5,
+            "functional": 1.0,
+            "other": 1.0,
+        }
+
+
+class TestPurposeLocaleTable:
+    def test_maps_german_labels_to_canonical_slugs(self):
+        assert canonical_purpose("Funktional") == "functional"
+        assert canonical_purpose("Messung") == "measurement"
+        assert canonical_purpose("Personalisierung") == "personalization"
+        assert canonical_purpose("Komfort") == "convenience"
+        assert canonical_purpose("Statistik") == "statistics"
+        assert canonical_purpose("Partner") == "partners"
+        # English aliases, case-insensitively, land on the same slugs.
+        assert canonical_purpose("FUNCTIONAL") == "functional"
+        assert canonical_purpose("analytics") == canonical_purpose("Analyse")
+        # The paper saw dialogs with unreadable purpose names ("?").
+        assert canonical_purpose("?") == "other"
+
+    def test_table_is_immutable_and_memoized(self):
+        table = purpose_locale_table()
+        assert purpose_locale_table() is table
+        with pytest.raises(TypeError):
+            table["funktional"] = "hacked"
+
+    def test_memo_is_pid_guarded(self):
+        """Mirrors the ``default_suite`` guard: an entry minted by
+        another pid (a forked parent) must be purged, never served."""
+        consent_strings._LOCALE_TABLES.clear()
+        foreign_pid = os.getpid() + 1
+        consent_strings._LOCALE_TABLES[foreign_pid] = {
+            "stale": "from-another-process"
+        }
+        table = purpose_locale_table()
+        assert "stale" not in table
+        assert table["funktional"] == "functional"
+        assert foreign_pid not in consent_strings._LOCALE_TABLES
+        assert os.getpid() in consent_strings._LOCALE_TABLES
+        assert purpose_locale_table() is table

@@ -1,0 +1,76 @@
+"""Golden-trace regression: the telemetry digest must never drift silently.
+
+Companion to ``test_golden_master.py``: where that test pins the study
+*dataset*, this one pins the observability layer's output — the trace
+stream's canonical-JSONL digest and the metrics snapshot digest — for
+both execution paths (``legacy`` single-stack and the ``sharded_4``
+canonical timeline).  Telemetry is part of the determinism contract:
+it must be a pure function of ``(seed, scale, plan, n_shards)``, and a
+digest drift here with an unchanged study digest means the
+instrumentation itself became nondeterministic (or silently changed
+what it records).
+
+If a change intentionally alters the telemetry (new spans, new
+counters, renamed labels), regenerate and review the diff::
+
+    REPRO_UPDATE_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_golden_trace.py
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.obs import metrics_digest, trace_digest
+from repro.simulation.study import run_study
+from repro.simulation.world import build_world
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "trace_digests.json"
+GOLDEN_SEED = 7
+GOLDEN_SCALE = 0.02  # fixed on purpose: independent of REPRO_SCALE
+
+
+def _compute_digests() -> dict:
+    legacy = run_study(build_world(seed=GOLDEN_SEED, scale=GOLDEN_SCALE))
+    sharded = run_study(
+        build_world(seed=GOLDEN_SEED, scale=GOLDEN_SCALE), workers=1, shards=4
+    )
+    return {
+        "seed": GOLDEN_SEED,
+        "scale": GOLDEN_SCALE,
+        "trace_legacy": trace_digest(legacy.trace_events),
+        "trace_sharded_4": trace_digest(sharded.trace_events),
+        "metrics_legacy": metrics_digest(legacy.metrics),
+        "metrics_sharded_4": metrics_digest(sharded.metrics),
+        "events_legacy": len(legacy.trace_events),
+        "events_sharded_4": len(sharded.trace_events),
+    }
+
+
+def test_trace_digests_match_golden_master():
+    actual = _compute_digests()
+    if os.environ.get("REPRO_UPDATE_GOLDEN"):
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_text(json.dumps(actual, indent=2) + "\n")
+        pytest.skip(f"golden file regenerated at {GOLDEN_PATH}")
+    assert GOLDEN_PATH.exists(), (
+        f"golden file missing: {GOLDEN_PATH}\n"
+        "Generate it with REPRO_UPDATE_GOLDEN=1 pytest tests/test_golden_trace.py"
+    )
+    expected = json.loads(GOLDEN_PATH.read_text())
+    assert actual == expected, (
+        "Telemetry digest drifted from the golden trace — the "
+        "observability layer is no longer a pure function of "
+        "(seed, scale, plan, n_shards).\n"
+        f"  expected: {json.dumps(expected, indent=2)}\n"
+        f"  actual:   {json.dumps(actual, indent=2)}\n"
+        "If this change intentionally alters what is traced or counted "
+        "(new spans, new metrics, renamed labels), update the golden "
+        "file and review its diff alongside your change:\n"
+        "  REPRO_UPDATE_GOLDEN=1 PYTHONPATH=src python -m pytest "
+        "tests/test_golden_trace.py\n"
+        "If it was NOT supposed to change telemetry, the instrumentation "
+        "picked up a nondeterminism (wall-clock, dict order, worker "
+        "scheduling) — fix that instead of updating the golden file."
+    )

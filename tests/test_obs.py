@@ -1,0 +1,253 @@
+"""Unit tests for the observability layer (``repro.obs``).
+
+Covers the tracer's span discipline and canonical encoding, the metric
+families and their merge laws, and the shard-trace merge's permutation
+invariance — the local contracts the golden-trace and differential
+harnesses build on.
+"""
+
+import json
+import pickle
+
+import pytest
+
+from repro.clock import SimClock
+from repro.obs import (
+    MetricsRegistry,
+    Observability,
+    TraceEvent,
+    Tracer,
+    format_metrics_table,
+    merge_metrics,
+    merge_shard_traces,
+    metrics_digest,
+    serialize_trace,
+    trace_digest,
+    trace_to_jsonl,
+    write_trace_jsonl,
+)
+from repro.obs.metrics import SHARE_BUCKETS, SIZE_BUCKETS
+
+
+# -- tracer ------------------------------------------------------------------------
+
+
+def test_spans_nest_and_stamp_from_the_clock():
+    clock = SimClock(start=0.0)
+    tracer = Tracer(clock)
+    outer = tracer.begin_span("study", seed=7)
+    clock.advance(10.0)
+    inner = tracer.begin_span("run", run="General")
+    clock.advance(5.0)
+    tracer.point("request", status=200)
+    tracer.end_span(inner)
+    clock.advance(1.0)
+    tracer.end_span(outer)
+
+    kinds = [(e.kind, e.name) for e in tracer.events]
+    assert kinds == [
+        ("begin", "study"),
+        ("begin", "run"),
+        ("point", "request"),
+        ("end", "run"),
+        ("end", "study"),
+    ]
+    begin_run = tracer.events[1]
+    assert begin_run.parent_id == outer
+    assert begin_run.at == 10.0
+    point = tracer.events[2]
+    assert point.parent_id == inner
+    assert point.at == 15.0
+    assert tracer.events[-1].at == 16.0
+    assert tracer.open_spans == ()
+
+
+def test_end_span_enforces_stack_order():
+    tracer = Tracer()
+    outer = tracer.begin_span("outer")
+    tracer.begin_span("inner")
+    with pytest.raises(ValueError, match="innermost"):
+        tracer.end_span(outer)
+
+
+def test_span_context_manager_closes_on_error():
+    tracer = Tracer()
+    with pytest.raises(RuntimeError):
+        with tracer.span("run"):
+            raise RuntimeError("boom")
+    assert tracer.open_spans == ()
+    assert [e.kind for e in tracer.events] == ["begin", "end"]
+
+
+def test_trace_attrs_must_be_json_scalars():
+    tracer = Tracer()
+    with pytest.raises(TypeError, match="JSON scalar"):
+        tracer.point("bad", payload=[1, 2, 3])
+
+
+def test_explicit_timestamp_beats_clock():
+    clock = SimClock(start=0.0)
+    clock.advance(100.0)
+    tracer = Tracer(clock)
+    tracer.point("request", at=42.0)
+    assert tracer.events[0].at == 42.0
+
+
+def test_events_pickle_roundtrip():
+    tracer = Tracer()
+    with tracer.span("shard", index=3):
+        tracer.point("request", status=200, host="a.example")
+    events = tuple(tracer.events)
+    assert pickle.loads(pickle.dumps(events)) == events
+
+
+def test_serialization_is_canonical_and_digestable(tmp_path):
+    tracer = Tracer()
+    with tracer.span("study"):
+        tracer.point("request", host="a.example", status=200)
+    records = serialize_trace(tracer.events)
+    assert records[1]["attrs"] == {"host": "a.example", "status": 200}
+    jsonl = trace_to_jsonl(tracer.events)
+    lines = jsonl.strip().split("\n")
+    assert len(lines) == 3
+    assert all(json.loads(line) for line in lines)
+    # Keys sorted, separators tight: the canonical form is unique.
+    assert lines[0] == json.dumps(
+        json.loads(lines[0]), sort_keys=True, separators=(",", ":")
+    )
+    path = tmp_path / "trace.jsonl"
+    assert write_trace_jsonl(tracer.events, str(path)) == 3
+    assert path.read_text() == jsonl
+    assert trace_digest(tracer.events) == trace_digest(tuple(tracer.events))
+
+
+def test_merge_shard_traces_is_permutation_invariant():
+    parts = []
+    for index in range(3):
+        tracer = Tracer()
+        with tracer.span("shard", index=index):
+            tracer.point("request", status=200)
+        parts.append((index, tuple(tracer.events)))
+    forward = merge_shard_traces(parts)
+    backward = merge_shard_traces(list(reversed(parts)))
+    assert forward == backward
+    assert [e.shard for e in forward] == [0, 0, 0, 1, 1, 1, 2, 2, 2]
+
+
+def test_merge_shard_traces_rejects_duplicate_indices():
+    with pytest.raises(ValueError, match="duplicate"):
+        merge_shard_traces([(0, ()), (0, ())])
+
+
+# -- metrics -----------------------------------------------------------------------
+
+
+def test_counters_sum_and_reject_negatives():
+    registry = MetricsRegistry()
+    registry.inc("proxy.requests", scheme="http")
+    registry.inc("proxy.requests", 2, scheme="http")
+    registry.inc("proxy.requests", scheme="https")
+    assert registry.counter_value("proxy.requests", scheme="http") == 3
+    assert registry.counter_total("proxy.requests") == 4
+    assert registry.counter_series("proxy.requests") == {
+        "scheme=http": 3,
+        "scheme=https": 1,
+    }
+    with pytest.raises(ValueError, match="only go up"):
+        registry.inc("proxy.requests", -1)
+
+
+def test_gauge_keeps_maximum():
+    registry = MetricsRegistry()
+    registry.gauge_max("jar.peak", 5.0)
+    registry.gauge_max("jar.peak", 3.0)
+    registry.gauge_max("jar.peak", 9.0)
+    assert registry.snapshot()["gauges"]["jar.peak"][""] == 9.0
+
+
+def test_histogram_buckets_and_bounds_conflict():
+    registry = MetricsRegistry()
+    registry.observe("bytes", 100.0, bounds=SIZE_BUCKETS)
+    registry.observe("bytes", 10_000_000.0, bounds=SIZE_BUCKETS)
+    data = registry.snapshot()["histograms"]["bytes"][""]
+    assert data["count"] == 2
+    assert data["sum"] == 10_000_100.0
+    assert len(data["counts"]) == len(SIZE_BUCKETS) + 1
+    assert data["counts"][-1] == 1  # the +inf bucket caught the huge value
+    with pytest.raises(ValueError, match="boundaries"):
+        registry.observe("bytes", 1.0, bounds=SHARE_BUCKETS)
+
+
+def test_merge_is_order_independent_and_identity_preserving():
+    a = MetricsRegistry()
+    a.inc("flows", 3)
+    a.gauge_max("peak", 2.0)
+    a.observe("share", 0.5, bounds=SHARE_BUCKETS)
+    b = MetricsRegistry()
+    b.inc("flows", 4)
+    b.gauge_max("peak", 7.0)
+    b.observe("share", 0.9, bounds=SHARE_BUCKETS)
+
+    ab = merge_metrics([a, b]).snapshot()
+    ba = merge_metrics([b, a]).snapshot()
+    assert ab == ba
+    assert ab["counters"]["flows"][""] == 7
+    assert ab["gauges"]["peak"][""] == 7.0
+
+    with_identity = merge_metrics([MetricsRegistry(), a]).snapshot()
+    assert with_identity == merge_metrics([a]).snapshot() == a.snapshot()
+
+
+def test_merge_restores_integer_counters():
+    parts = []
+    for _ in range(3):
+        registry = MetricsRegistry()
+        registry.inc("flows", 2)
+        parts.append(registry)
+    merged = merge_metrics(parts)
+    value = merged.snapshot()["counters"]["flows"][""]
+    assert value == 6 and isinstance(value, int)
+
+
+def test_merge_rejects_bound_disagreement():
+    a = MetricsRegistry()
+    a.observe("h", 1.0, bounds=SHARE_BUCKETS)
+    b = MetricsRegistry()
+    b.observe("h", 1.0, bounds=SIZE_BUCKETS)
+    with pytest.raises(ValueError, match="boundaries differ"):
+        merge_metrics([a, b])
+
+
+def test_metrics_digest_and_table():
+    registry = MetricsRegistry()
+    registry.inc("proxy.requests", 10, scheme="http")
+    registry.observe("share", 0.5, bounds=SHARE_BUCKETS)
+    assert metrics_digest(registry) == metrics_digest(registry)
+    other = MetricsRegistry()
+    assert metrics_digest(other) != metrics_digest(registry)
+    table = format_metrics_table(registry)
+    assert "proxy.requests" in table
+    assert "scheme=http" in table
+    assert "share (hist)" in table
+
+
+def test_registry_pickles_across_spawn_boundary():
+    registry = MetricsRegistry()
+    registry.inc("flows", 5, run="General")
+    registry.observe("share", 0.75, bounds=SHARE_BUCKETS)
+    clone = pickle.loads(pickle.dumps(registry))
+    assert clone.snapshot() == registry.snapshot()
+
+
+# -- the bundle --------------------------------------------------------------------
+
+
+def test_observability_bundle_wiring():
+    clock = SimClock(start=0.0)
+    obs = Observability.for_clock(clock)
+    clock.advance(3.0)
+    obs.tracer.point("request")
+    assert obs.events[0].at == 3.0
+    merged = Observability.merged(obs.events, obs.metrics)
+    assert merged.events == obs.events
+    assert isinstance(merged.events[0], TraceEvent)

@@ -8,7 +8,8 @@ reference semantics) and across real ``spawn``-started worker
 processes (``workers ∈ {2, 4}``), then compare the *fully serialized*
 datasets — every flow in wire order, every cookie in jar-insertion
 order, storage, screenshots, failures — plus the filtering funnel,
-the health totals, and the rendered report text.
+the health totals, the rendered report text, and the telemetry (the
+canonical trace JSONL and the metrics snapshot, byte for byte).
 
 Running across spawned processes is itself the regression test for
 module-level cache leakage: a worker that inherited (or missed) parent
@@ -28,6 +29,7 @@ import pytest
 from repro.core.config import MeasurementConfig
 from repro.core.dataset import serialize_study_dataset, study_digest
 from repro.core.report import format_overview_table, overview_table
+from repro.obs import metrics_digest, trace_digest, trace_to_jsonl
 from repro.simulation.study import fault_plan_for_world, run_study
 from repro.simulation.world import build_world
 
@@ -89,6 +91,21 @@ def test_parallel_study_is_bit_identical_to_sequential(seed, preset, workers):
 
     assert parallel.period_end == sequential.period_end
 
+    # Telemetry is part of the contract too: the serialized trace and
+    # the metrics snapshot must be byte-identical across worker counts.
+    assert trace_to_jsonl(parallel.trace_events) == trace_to_jsonl(
+        sequential.trace_events
+    )
+    assert trace_digest(parallel.trace_events) == trace_digest(
+        sequential.trace_events
+    )
+    assert parallel.metrics.snapshot() == sequential.metrics.snapshot()
+    assert metrics_digest(parallel.metrics) == metrics_digest(
+        sequential.metrics
+    )
+    assert len(parallel.trace_events) > 0
+    assert parallel.metrics.counter_total("proxy.requests") > 0
+
 
 def test_filtering_funnel_is_equivalent_across_workers():
     config = MeasurementConfig(exploratory_watch_seconds=60.0)
@@ -98,6 +115,13 @@ def test_filtering_funnel_is_equivalent_across_workers():
     assert parallel.filtering_report is not None
     assert parallel.filtering_report.final > 0
     assert study_digest(parallel.dataset) == study_digest(sequential.dataset)
+    # The merged funnel counters mirror the merged filtering report.
+    assert metrics_digest(parallel.metrics) == metrics_digest(
+        sequential.metrics
+    )
+    assert parallel.metrics.counter_value(
+        "funnel.channels", step="received"
+    ) == parallel.filtering_report.received
 
 
 def test_worker_count_does_not_change_the_digest_only_shards_do():

@@ -19,6 +19,8 @@ from repro.hbbtv.consent import (
     STANDARD_NOTICE_STYLES,
 )
 from repro.keys import Key
+from repro.obs import MetricsRegistry, merge_metrics
+from repro.obs.metrics import SHARE_BUCKETS
 from repro.policy.dedup import hamming_distance, simhash
 from repro.policy.extraction import extract_main_text
 from repro.policy.langdetect import detect_language
@@ -167,6 +169,81 @@ class TestShardProperties:
             == len(ids)
         )
         assert merged.period_end == reference.period_end
+
+
+# Exactly-representable values (quarters): every partial sum is exact in
+# binary floating point, so the merge's fsum can never round and the
+# algebraic laws below hold as dict equality, not approximately.
+EXACT_VALUES = st.integers(min_value=0, max_value=1000).map(lambda n: n * 0.25)
+METRIC_OPS = st.lists(
+    st.tuples(
+        st.sampled_from(["inc", "gauge", "observe"]),
+        st.sampled_from(["flows", "retries", "share"]),
+        EXACT_VALUES,
+        st.sampled_from([(), (("run", "General"),), (("run", "Red"),)]),
+    ),
+    max_size=20,
+)
+
+
+def _registry_from(ops) -> MetricsRegistry:
+    registry = MetricsRegistry()
+    for kind, name, value, labels in ops:
+        label_kwargs = dict(labels)
+        if kind == "inc":
+            registry.inc(name, value, **label_kwargs)
+        elif kind == "gauge":
+            registry.gauge_max(name, value, **label_kwargs)
+        else:
+            registry.observe(name, value, bounds=SHARE_BUCKETS, **label_kwargs)
+    return registry
+
+
+REGISTRIES = METRIC_OPS.map(_registry_from)
+
+
+class TestMetricsMergeProperties:
+    """merge_metrics forms a commutative monoid on registries.
+
+    These are exactly the laws that make per-shard collectors safe: any
+    grouping (associativity) and any completion order (commutativity)
+    of the same shard registries must produce the same snapshot, and an
+    idle shard (identity) must not perturb the merge.
+    """
+
+    @given(a=REGISTRIES, b=REGISTRIES, c=REGISTRIES)
+    @settings(max_examples=50)
+    def test_merge_is_associative(self, a, b, c):
+        left = merge_metrics([merge_metrics([a, b]), c]).snapshot()
+        right = merge_metrics([a, merge_metrics([b, c])]).snapshot()
+        flat = merge_metrics([a, b, c]).snapshot()
+        assert left == right == flat
+
+    @given(a=REGISTRIES, b=REGISTRIES)
+    @settings(max_examples=50)
+    def test_merge_is_commutative(self, a, b):
+        assert (
+            merge_metrics([a, b]).snapshot()
+            == merge_metrics([b, a]).snapshot()
+        )
+
+    @given(a=REGISTRIES)
+    @settings(max_examples=50)
+    def test_empty_registry_is_the_identity(self, a):
+        alone = merge_metrics([a]).snapshot()
+        assert merge_metrics([MetricsRegistry(), a]).snapshot() == alone
+        assert merge_metrics([a, MetricsRegistry()]).snapshot() == alone
+        assert alone == a.snapshot()
+
+    @given(a=REGISTRIES)
+    @settings(max_examples=50)
+    def test_merge_never_mutates_its_inputs(self, a):
+        before = a.snapshot()
+        b = MetricsRegistry()
+        b.inc("flows", 3)
+        b.observe("share", 0.5, bounds=SHARE_BUCKETS)
+        merge_metrics([a, b])
+        assert a.snapshot() == before
 
 
 class TestClockProperties:

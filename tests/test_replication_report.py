@@ -14,7 +14,7 @@ def report():
 class TestReplicationReport:
     def test_markdown_structure(self, report):
         assert report.startswith("# Replication report")
-        assert report.count("## ") == 7
+        assert report.count("## ") == 8
 
     def test_all_sections_present(self, report):
         for title in (
@@ -25,8 +25,20 @@ class TestReplicationReport:
             "consent notices",
             "privacy policies",
             "categories and children",
+            "Observability — metrics snapshot",
         ):
             assert title in report
+
+    def test_metrics_section_lists_study_and_stage_series(self, report):
+        assert "proxy.requests" in report
+        assert "analysis.stage_items" in report
+        assert "stage=tracking" in report
+
+    def test_report_generation_is_idempotent(self, report):
+        """Stage metrics live in a local registry: generating the report
+        again must neither drift the text nor mutate study telemetry."""
+        context = default_study(seed=7, scale=0.15)
+        assert generate_report(context) == report
 
     def test_paper_references_inline(self, report):
         assert "paper:" in report

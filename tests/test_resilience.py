@@ -22,6 +22,7 @@ from repro.core.resilience import (
 from repro.net.faults import ConnectionReset, NxdomainFlap
 from repro.net.http import HttpRequest, HttpResponse, html_response
 from repro.net.network import RoutingError
+from repro.obs import Observability
 
 URL = "http://api.tracker.example/beacon"
 
@@ -291,6 +292,112 @@ class TestTransportResilience:
 
         assert run_once() == run_once()
         assert run_once() > 0
+
+
+class TestBreakerTransitionTelemetry:
+    """The full breaker life cycle as seen by the observability layer.
+
+    End-state assertions (above) cannot distinguish closed → open →
+    half-open → closed from a breaker that never opened; the injected
+    transition events can.
+    """
+
+    @staticmethod
+    def _layer():
+        clock = SimClock()
+        obs = Observability.for_clock(clock)
+        policy = ResiliencePolicy(
+            breaker_failure_threshold=2, breaker_reset_seconds=10.0
+        )
+        return TransportResilience(policy, clock, seed=0, obs=obs), obs
+
+    @staticmethod
+    def _transition_points(obs):
+        return [
+            dict(event.attrs)
+            for event in obs.events
+            if event.name == "breaker-transition"
+        ]
+
+    def test_half_open_probe_success_closes(self):
+        layer, obs = self._layer()
+        dead = ScriptedNetwork(RoutingError("no route"))
+        for _ in range(2):
+            with pytest.raises(RoutingError):
+                layer.deliver(dead, HttpRequest("GET", URL))
+        layer.clock.advance(10.0)
+        recovered = ScriptedNetwork(html_response("back"))
+        assert layer.deliver(recovered, HttpRequest("GET", URL)).status == 200
+
+        metrics = obs.metrics
+        assert metrics.counter_value(
+            "breaker.transitions", frm="closed", to="open"
+        ) == 1
+        assert metrics.counter_value(
+            "breaker.transitions", frm="open", to="half-open"
+        ) == 1
+        assert metrics.counter_value(
+            "breaker.transitions", frm="half-open", to="closed"
+        ) == 1
+        assert metrics.counter_total("breaker.transitions") == 3
+        points = self._transition_points(obs)
+        assert [(p["frm"], p["to"]) for p in points] == [
+            ("closed", "open"),
+            ("open", "half-open"),
+            ("half-open", "closed"),
+        ]
+        assert all(p["host"] == "api.tracker.example" for p in points)
+
+    def test_half_open_probe_failure_reopens(self):
+        layer, obs = self._layer()
+        dead = ScriptedNetwork(RoutingError("no route"))
+        for _ in range(2):
+            with pytest.raises(RoutingError):
+                layer.deliver(dead, HttpRequest("GET", URL))
+        layer.clock.advance(10.0)
+        with pytest.raises(RoutingError):
+            layer.deliver(dead, HttpRequest("GET", URL))
+
+        points = self._transition_points(obs)
+        assert [(p["frm"], p["to"]) for p in points] == [
+            ("closed", "open"),
+            ("open", "half-open"),
+            ("half-open", "open"),
+        ]
+        breaker = layer.breaker_for("api.tracker.example")
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.open_count == 2
+
+    def test_steady_states_emit_no_transitions(self):
+        """Repeated successes (closed → closed) and fast-fails while
+        open are no-ops on the transition stream."""
+        layer, obs = self._layer()
+        healthy = ScriptedNetwork(html_response("ok"))
+        for _ in range(3):
+            layer.deliver(healthy, HttpRequest("GET", URL))
+        assert self._transition_points(obs) == []
+
+        dead = ScriptedNetwork(RoutingError("no route"))
+        for _ in range(2):
+            with pytest.raises(RoutingError):
+                layer.deliver(dead, HttpRequest("GET", URL))
+        with pytest.raises(CircuitOpenError):
+            layer.deliver(dead, HttpRequest("GET", URL))
+        assert len(self._transition_points(obs)) == 1
+        assert obs.metrics.counter_value("resilience.fast_fails") == 1
+
+    def test_transitions_stamped_on_the_simulated_clock(self):
+        layer, obs = self._layer()
+        dead = ScriptedNetwork(RoutingError("no route"))
+        for _ in range(2):
+            with pytest.raises(RoutingError):
+                layer.deliver(dead, HttpRequest("GET", URL))
+        opened_at = [
+            event.at
+            for event in obs.events
+            if event.name == "breaker-transition"
+        ]
+        assert opened_at == [layer.clock.now]
 
 
 class TestStudyResilience:
