@@ -1,0 +1,99 @@
+"""Cache benchmark — cold vs warm resolution of the report DAG.
+
+Resolves every pass the replication report consumes
+(:data:`~repro.analysis.passes.REPORT_PASSES`) twice against one
+content-addressed cache: the cold resolve computes all artifacts, the
+warm resolve must serve every one from the cache.  The acceptance bar
+is a ≥5× wall-clock speedup (in practice it is orders of magnitude).
+
+A second test exercises the disk tier: a fresh cache pointed at the
+same directory starts with a cold memory tier, decodes every artifact
+from disk, and must still beat the cold compute while producing equal
+results.
+
+CI runs this file standalone and archives the emitted timings.
+"""
+
+import time
+
+from benchmarks.conftest import emit
+from repro.analysis.passes import REPORT_PASSES, PassContext, resolve_passes
+from repro.cache import AnalysisCache
+
+#: The warm resolve must be at least this many times faster than cold.
+MIN_SPEEDUP = 5.0
+
+
+def _resolve(study, dataset, cache):
+    ctx = PassContext.for_study(study)
+    return resolve_passes(REPORT_PASSES, dataset, ctx, cache=cache)
+
+
+def _timed(fn):
+    started = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - started
+
+
+def test_cache_warm_resolve_is_5x_faster(study, dataset):
+    cache = AnalysisCache()
+
+    cold_results, cold = _timed(lambda: _resolve(study, dataset, cache))
+    warm_results, warm = _timed(lambda: _resolve(study, dataset, cache))
+
+    stats = cache.stats()
+    speedup = cold / max(warm, 1e-9)
+    emit(
+        "Cache — cold vs warm pass resolution",
+        "\n".join(
+            [
+                f"passes resolved: {len(cold_results)} "
+                f"(roots: {len(REPORT_PASSES)})",
+                f"cold resolve: {cold:.4f}s",
+                f"warm resolve: {warm:.6f}s",
+                f"speedup: {speedup:,.0f}x (required: ≥{MIN_SPEEDUP:.0f}x)",
+                f"cache: {stats.hits} hits / {stats.misses} misses / "
+                f"{stats.puts} puts",
+            ]
+        ),
+    )
+
+    assert set(warm_results) == set(cold_results)
+    assert stats.hits >= len(cold_results)  # warm run never recomputed
+    assert warm * MIN_SPEEDUP <= cold, (
+        f"warm resolve {warm:.4f}s not {MIN_SPEEDUP}x faster "
+        f"than cold {cold:.4f}s"
+    )
+
+
+def test_cache_disk_tier_beats_recompute(study, dataset, tmp_path):
+    directory = tmp_path / "artifacts"
+
+    first = AnalysisCache(directory=directory)
+    cold_results, cold = _timed(lambda: _resolve(study, dataset, first))
+
+    # A brand-new process-like cache: empty memory, same disk directory.
+    second = AnalysisCache(directory=directory)
+    disk_results, disk = _timed(lambda: _resolve(study, dataset, second))
+
+    stats = second.stats()
+    emit(
+        "Cache — disk-tier decode vs recompute",
+        "\n".join(
+            [
+                f"cold compute: {cold:.4f}s",
+                f"disk decode:  {disk:.4f}s "
+                f"({cold / max(disk, 1e-9):,.1f}x faster)",
+                f"disk entries: {first.stats().disk_entries} "
+                f"({first.stats().disk_bytes:,} bytes)",
+                f"fresh-cache lookups: {stats.hits} hits / "
+                f"{stats.misses} misses",
+            ]
+        ),
+    )
+
+    assert stats.misses == 0  # every artifact came from disk
+    assert second.verify() == []
+    assert disk < cold
+    for name, result in cold_results.items():
+        assert disk_results[name] == result

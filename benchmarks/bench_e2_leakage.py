@@ -7,11 +7,10 @@ appears in ad traffic.
 """
 
 from benchmarks.conftest import emit
-from repro.analysis.leakage import analyze_leakage
 
 
-def test_e2_leakage(benchmark, study, flows, first_parties):
-    report = benchmark(analyze_leakage, flows, first_parties)
+def test_e2_leakage(benchmark, study, resolve):
+    report = benchmark(lambda: resolve("leakage")["leakage"])
     measured = study.dataset.channels_measured()
 
     tech_share = len(report.channels_leaking_technical) / len(measured)

@@ -8,17 +8,10 @@ Web.
 """
 
 from benchmarks.conftest import emit
-from repro.analysis.cookiesync import detect_cookie_syncing
 
 
-def test_e3_cookie_sync(benchmark, study, cookie_records, flows):
-    report = benchmark(
-        detect_cookie_syncing,
-        cookie_records,
-        flows,
-        study.period_start,
-        study.period_end,
-    )
+def test_e3_cookie_sync(benchmark, study, resolve):
+    report = benchmark(lambda: resolve("cookiesync")["cookiesync"])
 
     lines = [
         f"potential identifiers mined: {report.potential_ids:,} "

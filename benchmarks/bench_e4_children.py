@@ -7,18 +7,10 @@ Whitney comparison against the other channels is NOT significant
 """
 
 from benchmarks.conftest import emit
-from repro.analysis.channels import channel_level_report
-from repro.analysis.children import children_case_study
 
 
-def test_e4_children(benchmark, study, flows, cookie_records):
-    profiles = channel_level_report(flows)
-    report = benchmark(
-        children_case_study,
-        profiles,
-        study.world.children_channel_ids,
-        cookie_records,
-    )
+def test_e4_children(benchmark, study, resolve):
+    report = benchmark(lambda: resolve("children")["children"])
 
     lines = [
         f"children's channels: {len(report.children_channel_ids)} (paper: 12)",

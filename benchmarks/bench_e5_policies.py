@@ -13,7 +13,7 @@ import pytest
 
 from benchmarks.conftest import emit
 from repro.policy.corpus import collect_policies
-from repro.policy.discrepancy import DiscrepancyKind, audit_discrepancies
+from repro.policy.discrepancy import DiscrepancyKind
 from repro.policy.gdpr import GdprDictionary
 from repro.policy.practices import annotate_practices
 
@@ -87,15 +87,8 @@ def test_e5_policy_content(benchmark, corpus):
     assert art20 < art15  # rare rights stay rare
 
 
-def test_e5_five_pm_to_six_am(benchmark, study, flows, first_parties, corpus):
-    annotations_by_channel = {
-        document.channel_id: annotate_practices(document.text)
-        for document in corpus.documents
-        if document.channel_id
-    }
-    report = benchmark(
-        audit_discrepancies, flows, annotations_by_channel, first_parties
-    )
+def test_e5_five_pm_to_six_am(benchmark, study, resolve, corpus):
+    report = benchmark(lambda: resolve("policies")["policies"].audit)
 
     violations = report.by_kind(DiscrepancyKind.TIME_WINDOW_VIOLATION)
     lines = [f"discrepancy findings: {len(report.findings)}"]

@@ -48,6 +48,31 @@ def annotations(dataset):
     return annotate_screenshots(dataset.all_screenshots())
 
 
+@pytest.fixture(scope="session")
+def analysis_cache():
+    """One shared in-memory artifact cache for the whole bench session."""
+    from repro.cache import AnalysisCache
+
+    return AnalysisCache()
+
+
+@pytest.fixture
+def resolve(study, dataset, analysis_cache):
+    """Resolve analysis passes through the registry + session cache.
+
+    Each invocation uses a fresh :class:`PassContext`, so benches stay
+    independent; artifacts are shared via the content-addressed cache,
+    so the expensive compute happens once per session.
+    """
+    from repro.analysis.passes import PassContext, resolve_passes
+
+    def _resolve(*names):
+        ctx = PassContext.for_study(study)
+        return resolve_passes(list(names), dataset, ctx, cache=analysis_cache)
+
+    return _resolve
+
+
 def emit(title: str, body: str) -> None:
     """Print a reproduced artifact (visible with ``pytest -s``)."""
     bar = "=" * 72

@@ -12,15 +12,15 @@ for the paper-scale world (396 channels, a few minutes).
 import sys
 import time
 
-from repro.core.report import format_overview_table, overview_table
-from repro.simulation import build_world, run_study
+from repro.api import Study
 
 
 def main() -> None:
     scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.1
 
+    study = Study(seed=7, scale=scale)
     print(f"Building the synthetic HbbTV world (scale={scale}) …")
-    world = build_world(seed=7, scale=scale)
+    world = study.build_world()
     print(
         f"  {len(world.all_channels)} channels receivable, "
         f"{len(world.hbbtv_channels)} with HbbTV applications, "
@@ -29,21 +29,23 @@ def main() -> None:
 
     print("Running the five measurement runs (General/Red/Green/Blue/Yellow) …")
     started = time.time()
-    context = run_study(world)
-    dataset = context.dataset
+    result = study.run()
+    dataset = result.dataset
     print(f"  done in {time.time() - started:.1f}s\n")
 
-    print(format_overview_table(overview_table(dataset)))
+    print(result.table1())
 
     total = dataset.total_requests()
     screenshots = sum(len(r.screenshots) for r in dataset.runs.values())
     interactions = sum(r.interaction_count for r in dataset.runs.values())
+    context = result.context
     simulated_hours = (context.period_end - context.period_start) / 3600
     print(
         f"\nTotals: {total:,} HTTP(S) requests, {screenshots:,} screenshots, "
         f"{interactions:,} remote-control interactions, "
         f"{simulated_hours:,.0f} simulated hours of television."
     )
+    print(f"\nStudy digest: {result.digest}")
     print(
         "\nNext: examples/tracking_ecosystem.py, examples/consent_audit.py, "
         "examples/policy_compliance.py analyze this dataset the way the "

@@ -1,7 +1,9 @@
 """Generate the one-shot replication report.
 
-Runs a study and writes a markdown document comparing every table,
-figure, and headline number against the paper.
+Runs a study through the ``repro.api`` facade and writes a markdown
+document comparing every table, figure, and headline number against the
+paper.  Analyses resolve through the content-addressed cache, so
+regenerating the report for an already-analyzed study is nearly free.
 
 Run with::
 
@@ -10,16 +12,15 @@ Run with::
 
 import sys
 
-from repro.analysis.report import generate_report
-from repro.simulation import build_world, run_study
+from repro.api import Study
 
 
 def main() -> None:
     scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.15
     output = sys.argv[2] if len(sys.argv) > 2 else ""
 
-    context = run_study(build_world(seed=7, scale=scale))
-    report = generate_report(context)
+    result = Study(seed=7, scale=scale).run()
+    report = result.report()
 
     if output:
         with open(output, "w", encoding="utf-8") as handle:

@@ -1,8 +1,11 @@
 """Map the HbbTV tracking ecosystem (paper §V).
 
-Runs a study and performs the full tracking analysis: first/third-party
+Runs a study through the ``repro.api`` facade and performs the full
+tracking analysis via the pass registry: first/third-party
 identification, personal-data leakage, tracking pixels, fingerprinting,
-filter-list coverage, cookie syncing, and the ecosystem graph.
+filter-list coverage, cookie syncing, and the ecosystem graph.  Every
+pass resolves against the study's analysis cache, so each artifact is
+computed exactly once no matter how many sections consume it.
 
 Run with::
 
@@ -11,15 +14,8 @@ Run with::
 
 import sys
 
-from repro.analysis.channels import channel_level_report
-from repro.analysis.cookiesync import detect_cookie_syncing
-from repro.analysis.filterlists import FilterListSuite
-from repro.analysis.fingerprinting import analyze_fingerprinting
-from repro.analysis.graph import analyze_graph, build_ecosystem_graph
-from repro.analysis.leakage import analyze_leakage
-from repro.analysis.parties import identify_first_parties, party_views
-from repro.analysis.pixels import analyze_pixels
-from repro.simulation import build_world, run_study
+from repro.analysis.parties import party_views
+from repro.api import Study
 
 
 def heading(title: str) -> None:
@@ -28,28 +24,38 @@ def heading(title: str) -> None:
 
 def main() -> None:
     scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.15
-    context = run_study(build_world(seed=7, scale=scale))
-    dataset = context.dataset
+    result = Study(seed=7, scale=scale).run()
+    dataset = result.dataset
     flows = list(dataset.all_flows())
     print(f"analyzing {len(flows):,} flows from 5 measurement runs")
 
-    heading("First and third parties (§V-A)")
-    first_parties = identify_first_parties(
-        flows, manual_overrides=context.first_party_overrides
+    passes = result.analyze(
+        "parties",
+        "leakage",
+        "pixels",
+        "fingerprinting",
+        "filterlists",
+        "cookiesync",
+        "graph",
+        "channels",
     )
+
+    heading("First and third parties (§V-A)")
+    first_parties = passes["parties"].first_parties
     views = party_views(flows, first_parties)
     with_third = sum(1 for v in views.values() if v.has_third_parties)
     print(f"channels with identified first party: {len(first_parties)}")
     print(f"channels embedding third parties:     {with_third}")
-    if context.first_party_overrides:
-        channel = next(iter(context.first_party_overrides))
+    overrides = result.context.first_party_overrides
+    if overrides:
+        channel = next(iter(overrides))
         print(
             f"manually corrected misattribution:    {channel} "
             "(a signal-encoded tracker was its first request)"
         )
 
     heading("Personal-data leakage (§V-B)")
-    leakage = analyze_leakage(flows, first_parties)
+    leakage = passes["leakage"]
     print(
         f"channels sending device data:  "
         f"{len(leakage.channels_leaking_technical)} "
@@ -62,7 +68,7 @@ def main() -> None:
     print(f"brand-targeting evidence:      {sorted(leakage.brands_seen)}")
 
     heading("Tracking pixels (§V-D1)")
-    pixels = analyze_pixels(flows)
+    pixels = passes["pixels"]
     dominant, count = pixels.dominant_party()
     print(
         f"{pixels.pixel_count:,} pixel requests = "
@@ -74,7 +80,7 @@ def main() -> None:
     )
 
     heading("Fingerprinting (§V-D2)")
-    fingerprints = analyze_fingerprinting(flows, first_parties)
+    fingerprints = passes["fingerprinting"]
     share = fingerprints.first_party_requests / max(
         1, fingerprints.related_request_count
     )
@@ -85,7 +91,7 @@ def main() -> None:
     )
 
     heading("Filter-list coverage (§V-D)")
-    coverage = FilterListSuite().coverage(flows)
+    coverage = passes["filterlists"]
     for name, hits in (
         ("Pi-hole", coverage.on_pihole),
         ("EasyList", coverage.on_easylist),
@@ -98,12 +104,7 @@ def main() -> None:
     print("→ the web lists miss the HbbTV-native trackers almost entirely")
 
     heading("Cookie syncing (§V-C3)")
-    sync = detect_cookie_syncing(
-        dataset.all_cookie_records(),
-        flows,
-        context.period_start,
-        context.period_end,
-    )
+    sync = passes["cookiesync"]
     print(
         f"{sync.potential_ids:,} potential IDs; "
         f"{sync.synced_value_count} synced values between "
@@ -112,8 +113,7 @@ def main() -> None:
     )
 
     heading("The ecosystem graph (§V-E)")
-    graph = build_ecosystem_graph(flows, first_parties)
-    report = analyze_graph(graph)
+    report = passes["graph"]
     print(
         f"{report.node_count} nodes, {report.edge_count} edges, "
         f"{report.component_count} component(s), "
@@ -122,7 +122,7 @@ def main() -> None:
     print("hubs:", ", ".join(f"{d} ({deg})" for d, deg in report.top_degree_nodes[:5]))
 
     heading("Per-channel tracking (§V-D3)")
-    profiles = channel_level_report(flows)
+    profiles = passes["channels"].profiles
     outlier = profiles.outlier()
     print(
         f"{len(profiles.profiles)} channels with tracking; "
@@ -135,6 +135,12 @@ def main() -> None:
             f"{outlier.tracking_requests:,} tracking requests "
             f"(runs: {outlier.tracking_by_run})"
         )
+
+    stats = result.cache.stats()
+    print(
+        f"\ncache: {stats.hits} hit(s), {stats.misses} miss(es) across "
+        f"{stats.lookups} pass lookups"
+    )
 
 
 if __name__ == "__main__":

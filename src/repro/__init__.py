@@ -5,8 +5,9 @@ Top-level convenience API::
 
     import repro
 
-    context = repro.run_default_study(scale=0.2)
-    print(repro.table1(context.dataset))
+    result = repro.Study(seed=7, scale=0.2).run()
+    print(result.table1())
+    print(result.report())
 
 Package map (see DESIGN.md for the full inventory):
 
@@ -18,17 +19,27 @@ Package map (see DESIGN.md for the full inventory):
 - :mod:`repro.proxy` — the interception proxy
 - :mod:`repro.core` — the measurement framework (paper §IV)
 - :mod:`repro.simulation` — world generation and study execution
-- :mod:`repro.analysis` — tracking analyses (paper §V)
+- :mod:`repro.analysis` — analysis passes + registry (paper §V)
+- :mod:`repro.cache` — content-addressed analysis artifact cache
 - :mod:`repro.consent` — consent-notice analyses (paper §VI)
 - :mod:`repro.policy` — privacy-policy pipeline (paper §VII)
+- :mod:`repro.api` — the :class:`Study`/:class:`StudyResult` facade
+
+The legacy aliases (``run_study``, ``default_study``,
+``run_default_study``) survive as thin shims over the same engine; the
+package-level ``repro.simulation`` pair additionally warns.
 """
 
+from repro.api import Study, StudyResult
 from repro.core.report import format_overview_table, overview_table
-from repro.simulation import build_world, default_study, run_study
+from repro.simulation.study import default_study, run_study
+from repro.simulation.world import build_world
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "Study",
+    "StudyResult",
     "build_world",
     "run_study",
     "default_study",

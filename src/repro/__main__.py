@@ -4,11 +4,13 @@ Subcommands:
 
 * ``study``   — run the five measurement runs and print Table I
 * ``funnel``  — run the §IV-B channel-selection funnel
+* ``report``  — the full markdown replication report
 * ``pixels``  — the §V-D1 tracking-pixel report
 * ``graph``   — the §V-E ecosystem-graph metrics
 * ``policies``— the §VII policy-pipeline summary
 * ``health``  — the run-health report (faults, retries, degradation)
 * ``metrics`` — the study's deterministic metrics snapshot (JSON)
+* ``cache``   — inspect the analysis cache (``stats``/``clear``/``verify``)
 
 All subcommands accept ``--seed`` (default 7), ``--scale`` (default
 0.15), and ``--faults`` (default ``off``) — a fault-injection preset
@@ -22,6 +24,12 @@ by-shard on isolated stacks, optionally across N worker processes.
 The output depends only on ``(seed, scale, faults, shards)`` — never
 on the worker count.  ``funnel`` always runs on the classic
 sequential stack.
+
+Analysis subcommands resolve through the content-addressed pass
+registry (``repro.analysis.passes``).  ``--cache-dir PATH`` persists
+pass artifacts on disk so a second invocation skips the recompute;
+``--no-cache`` disables caching entirely.  Either way the printed
+output is byte-identical.
 """
 
 from __future__ import annotations
@@ -29,6 +37,7 @@ from __future__ import annotations
 import argparse
 
 FAULT_CHOICES = ("off", "light", "heavy", "chaos")
+CACHE_ACTIONS = ("stats", "clear", "verify")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -77,26 +86,91 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        default=None,
+        help=(
+            "persist analysis-pass artifacts under PATH "
+            "(content-addressed; safe to share across seeds/scales)"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the analysis cache (results are identical)",
+    )
+    parser.add_argument(
         "command",
         choices=(
             "study",
             "funnel",
+            "report",
             "pixels",
             "graph",
             "policies",
             "health",
             "metrics",
+            "cache",
         ),
         help="which artifact to produce",
+    )
+    parser.add_argument(
+        "action",
+        nargs="?",
+        choices=CACHE_ACTIONS,
+        default=None,
+        help="cache maintenance action (cache command only; default stats)",
     )
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     arguments = _build_parser().parse_args(argv)
+    if arguments.command == "cache":
+        return _cache_command(arguments)
     if arguments.command == "funnel":
         return _funnel(arguments)
     return _with_study(arguments)
+
+
+def _analysis_cache(arguments):
+    """The cache analysis subcommands resolve against (or ``None``)."""
+    if arguments.no_cache:
+        return None
+    from repro.cache import AnalysisCache, default_cache
+
+    if arguments.cache_dir is not None:
+        return AnalysisCache(directory=arguments.cache_dir)
+    return default_cache()
+
+
+def _cache_command(arguments) -> int:
+    import json
+
+    from repro.cache import AnalysisCache, clear_default_cache, default_cache
+
+    if arguments.cache_dir is not None:
+        cache = AnalysisCache(directory=arguments.cache_dir)
+    else:
+        cache = default_cache()
+    action = arguments.action or "stats"
+    if action == "stats":
+        print(json.dumps(cache.stats().as_dict(), indent=2, sort_keys=True))
+        return 0
+    if action == "clear":
+        removed = cache.clear()
+        clear_default_cache()
+        print(f"removed {removed} cache entr{'y' if removed == 1 else 'ies'}")
+        return 0
+    issues = cache.verify()
+    if issues:
+        for issue in issues:
+            print(issue)
+        return 1
+    entries = cache.stats().disk_entries
+    print(f"cache verified: {entries} disk entr"
+          f"{'y' if entries == 1 else 'ies'}, no issues")
+    return 0
 
 
 def _funnel(arguments) -> int:
@@ -156,6 +230,19 @@ def _load_context(arguments):
     )
 
 
+def _resolve(arguments, context, *names):
+    """Resolve analysis passes for the CLI against the selected cache."""
+    from repro.analysis.passes import PassContext, resolve_passes
+
+    ctx = PassContext.for_study(context)
+    return resolve_passes(
+        list(names),
+        context.dataset,
+        ctx,
+        cache=_analysis_cache(arguments),
+    )
+
+
 def _with_study(arguments) -> int:
     context = _load_context(arguments)
     dataset = context.dataset
@@ -193,12 +280,15 @@ def _with_study(arguments) -> int:
             )
         return 0
 
-    flows = list(dataset.all_flows())
+    if arguments.command == "report":
+        from repro.analysis.report import generate_report
+
+        cache = _analysis_cache(arguments)
+        print(generate_report(context, cache=cache if cache else False))
+        return 0
 
     if arguments.command == "pixels":
-        from repro.analysis.pixels import analyze_pixels
-
-        report = analyze_pixels(flows)
+        report = _resolve(arguments, context, "pixels")["pixels"]
         dominant, count = report.dominant_party()
         print(
             f"{report.pixel_count:,} tracking pixels "
@@ -212,13 +302,7 @@ def _with_study(arguments) -> int:
         return 0
 
     if arguments.command == "graph":
-        from repro.analysis.graph import analyze_graph, build_ecosystem_graph
-        from repro.analysis.parties import identify_first_parties
-
-        first_parties = identify_first_parties(
-            flows, manual_overrides=context.first_party_overrides
-        )
-        report = analyze_graph(build_ecosystem_graph(flows, first_parties))
+        report = _resolve(arguments, context, "graph")["graph"]
         print(
             f"{report.node_count} nodes / {report.edge_count} edges / "
             f"{report.component_count} component(s); "
@@ -229,16 +313,14 @@ def _with_study(arguments) -> int:
         return 0
 
     # policies
-    from repro.policy.corpus import collect_policies
-
-    corpus = collect_policies(flows)
+    policies = _resolve(arguments, context, "policies")["policies"]
     print(
-        f"{len(corpus.documents)} policy occurrences, "
-        f"{corpus.distinct_count()} distinct, "
-        f"{len(corpus.near_duplicate_groups())} near-duplicate groups"
+        f"{policies.occurrences} policy occurrences, "
+        f"{policies.distinct_count} distinct, "
+        f"{policies.near_duplicate_groups} near-duplicate groups"
     )
-    print(f"per run: {corpus.per_run_counts()}")
-    print(f"languages: {corpus.per_language_counts()}")
+    print(f"per run: {policies.per_run}")
+    print(f"languages: {policies.per_language}")
     return 0
 
 

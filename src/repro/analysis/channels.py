@@ -175,3 +175,37 @@ def category_effect_test(report: CategoryReport) -> KruskalWallisResult:
     """Does the category affect tracker counts? (paper: medium effect)"""
     groups = [row.tracker_counts for row in report.rows.values()]
     return kruskal_wallis([g for g in groups if g])
+
+
+# -- pass registration -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ChannelsResult:
+    """Pass result: per-channel profiles plus the category breakdown."""
+
+    profiles: ChannelLevelReport
+    by_category: CategoryReport
+    category_effect: KruskalWallisResult
+
+
+def _channels_params(ctx) -> dict:
+    return {"categories": dict(ctx.categories)}
+
+
+from repro.analysis.filterlists import default_suite  # noqa: E402
+from repro.analysis.passes import analysis_pass  # noqa: E402
+
+
+@analysis_pass("channels", version=1, params=_channels_params)
+def run(dataset, ctx) -> ChannelsResult:
+    """Pass entry point: §V-D3/4 channel and category tracking."""
+    profiles = channel_level_report(
+        dataset.all_flows(), TrackingClassifier(default_suite())
+    )
+    by_category = category_report(profiles, dict(ctx.categories))
+    return ChannelsResult(
+        profiles=profiles,
+        by_category=by_category,
+        category_effect=category_effect_test(by_category),
+    )

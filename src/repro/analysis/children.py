@@ -75,3 +75,25 @@ def children_case_study(
         targeting_cookies_on_children=targeting_cookies,
         comparison=comparison,
     )
+
+
+# -- pass registration -------------------------------------------------------------
+
+
+def _children_params(ctx) -> dict:
+    return {"children": tuple(sorted(ctx.children_channel_ids))}
+
+
+from repro.analysis.passes import analysis_pass  # noqa: E402
+
+
+@analysis_pass(
+    "children", version=1, deps=("channels",), params=_children_params
+)
+def run(dataset, ctx) -> ChildrenReport:
+    """Pass entry point: the §V-D4 children's-channels case study."""
+    return children_case_study(
+        ctx.upstream("channels").profiles,
+        ctx.children_channel_ids,
+        dataset.all_cookie_records(),
+    )

@@ -191,3 +191,34 @@ def tracking_set_share(
         1 for r in records if r.cookie.set_by_url in tracking_urls
     )
     return from_tracking / len(records)
+
+
+# -- pass registration -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CookiesResult:
+    """Pass result: the §V-C cookie analyses bundled."""
+
+    general: GeneralCookieReport
+    third_party_rows: tuple[ThirdPartyCookieRow, ...]
+    cross_channel: CrossChannelReport
+
+
+from repro.analysis.passes import analysis_pass  # noqa: E402
+
+
+@analysis_pass("cookies", version=1)
+def run(dataset, ctx) -> CookiesResult:
+    """Pass entry point: general report, Table II, and cross-channel
+    reach over every run's cookie records."""
+    records = list(dataset.all_cookie_records())
+    by_run = {
+        name: run_dataset.cookie_records
+        for name, run_dataset in dataset.runs.items()
+    }
+    return CookiesResult(
+        general=general_cookie_report(records),
+        third_party_rows=tuple(third_party_cookie_table(by_run)),
+        cross_channel=cross_channel_report(records, dataset.all_flows()),
+    )

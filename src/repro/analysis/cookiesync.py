@@ -125,3 +125,24 @@ def detect_cookie_syncing(
                     )
                 )
     return report
+
+
+# -- pass registration -------------------------------------------------------------
+
+
+def _sync_params(ctx) -> dict:
+    return {"period": (ctx.period_start, ctx.period_end)}
+
+
+from repro.analysis.passes import analysis_pass  # noqa: E402
+
+
+@analysis_pass("cookiesync", version=1, params=_sync_params)
+def run(dataset, ctx) -> SyncReport:
+    """Pass entry point: §V-C3 cookie syncing over the study period."""
+    return detect_cookie_syncing(
+        dataset.all_cookie_records(),
+        dataset.all_flows(),
+        ctx.period_start,
+        ctx.period_end,
+    )

@@ -260,3 +260,14 @@ def default_suite() -> FilterListSuite:
         suite = FilterListSuite()
         _DEFAULT_SUITE[pid] = suite
     return suite
+
+
+# -- pass registration -------------------------------------------------------------
+
+from repro.analysis.passes import analysis_pass  # noqa: E402
+
+
+@analysis_pass("filterlists", version=1)
+def run(dataset, ctx) -> ListCoverage:
+    """Pass entry point: Table III filter-list coverage."""
+    return default_suite().coverage(dataset.all_flows())

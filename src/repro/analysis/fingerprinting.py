@@ -82,3 +82,16 @@ def analyze_fingerprinting(
             if first_parties.get(flow.channel_id) == flow.etld1:
                 report.first_party_requests += 1
     return report
+
+
+# -- pass registration -------------------------------------------------------------
+
+from repro.analysis.passes import analysis_pass  # noqa: E402
+
+
+@analysis_pass("fingerprinting", version=1, deps=("parties",))
+def run(dataset, ctx) -> FingerprintReport:
+    """Pass entry point: §V-D2 fingerprinting over every run's flows."""
+    return analyze_fingerprinting(
+        dataset.all_flows(), ctx.upstream("parties").first_parties
+    )

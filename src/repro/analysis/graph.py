@@ -111,3 +111,17 @@ def domain_degree(graph: nx.Graph, etld1: str) -> int:
     if etld1 not in graph:
         return 0
     return graph.degree(etld1)
+
+
+# -- pass registration -------------------------------------------------------------
+
+from repro.analysis.passes import analysis_pass  # noqa: E402
+
+
+@analysis_pass("graph", version=1, deps=("parties",))
+def run(dataset, ctx) -> GraphReport:
+    """Pass entry point: the §V-E ecosystem-graph metrics."""
+    graph = build_ecosystem_graph(
+        dataset.all_flows(), ctx.upstream("parties").first_parties
+    )
+    return analyze_graph(graph)

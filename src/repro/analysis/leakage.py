@@ -106,3 +106,16 @@ def analyze_leakage(
     report.channels_leaking_technical.discard("")
     report.channels_leaking_behavioural.discard("")
     return report
+
+
+# -- pass registration -------------------------------------------------------------
+
+from repro.analysis.passes import analysis_pass  # noqa: E402
+
+
+@analysis_pass("leakage", version=1, deps=("parties",))
+def run(dataset, ctx) -> LeakageReport:
+    """Pass entry point: §V-B personal-data leakage."""
+    return analyze_leakage(
+        dataset.all_flows(), ctx.upstream("parties").first_parties
+    )

@@ -103,3 +103,31 @@ def is_third_party_flow(flow: Flow, first_parties: dict[str, str]) -> bool:
     if not first_party:
         return False
     return flow.etld1 != first_party
+
+
+# -- pass registration -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PartiesResult:
+    """Pass result: channel_id → first-party eTLD+1."""
+
+    first_parties: dict[str, str]
+
+
+def _parties_params(ctx) -> dict:
+    return {"overrides": dict(ctx.first_party_overrides)}
+
+
+from repro.analysis.passes import analysis_pass  # noqa: E402
+
+
+@analysis_pass("parties", version=1, params=_parties_params)
+def run(dataset, ctx) -> PartiesResult:
+    """Pass entry point: the §V-A first-party identification."""
+    return PartiesResult(
+        first_parties=identify_first_parties(
+            dataset.all_flows(),
+            manual_overrides=dict(ctx.first_party_overrides),
+        )
+    )

@@ -1,0 +1,324 @@
+"""The incremental analysis-pass registry.
+
+Every analysis entry point is registered here as a *pass*: a named,
+versioned function with the uniform signature
+``run(dataset, ctx) -> <PassResult dataclass>`` and a declared list of
+upstream passes it depends on.  The resolver walks that DAG in
+topological order, computes each pass's content address —
+``sha256(study_digest, name, version, params_digest, dep_keys)`` — and
+consults an :class:`~repro.cache.AnalysisCache` before running
+anything.  Because a pass's key embeds its upstream keys, bumping one
+pass's ``version`` transparently invalidates its dependents and nothing
+else; a new dataset or changed parameters likewise re-key exactly the
+affected subgraph.
+
+``generate_report``, the CLI analysis commands, the E-benchmarks, and
+the :mod:`repro.api` facade all resolve passes through this module, so
+"analyze the study again" costs a digest lookup, not a recompute.
+
+Modules register themselves with the :func:`analysis_pass` decorator;
+:func:`ensure_registered` imports the built-in pass modules exactly
+once.  Registration is import-order independent — dependencies are
+validated at resolve time, not declaration time.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from repro.cache import MISS, AnalysisCache, artifact_key, params_digest
+from repro.core.dataset import StudyDataset, study_digest
+
+#: Modules that declare built-in passes.  Imported lazily by
+#: :func:`ensure_registered` so the registry has no import cycle with
+#: the modules it registers.
+_BUILTIN_PASS_MODULES = (
+    "repro.analysis.parties",
+    "repro.analysis.tracking",
+    "repro.analysis.pixels",
+    "repro.analysis.fingerprinting",
+    "repro.analysis.leakage",
+    "repro.analysis.filterlists",
+    "repro.analysis.graph",
+    "repro.analysis.cookies",
+    "repro.analysis.cookiesync",
+    "repro.analysis.channels",
+    "repro.analysis.children",
+    "repro.analysis.runeffects",
+    "repro.consent.annotate",
+    "repro.policy.discrepancy",
+)
+
+#: The passes the one-shot replication report resolves (its DAG roots;
+#: dependencies join automatically).
+REPORT_PASSES = (
+    "overview",
+    "parties",
+    "pixels",
+    "fingerprinting",
+    "leakage",
+    "filterlists",
+    "graph",
+    "cookies",
+    "consent",
+    "policies",
+    "channels",
+    "children",
+)
+
+
+class PassError(ValueError):
+    """Registry misuse: unknown pass, duplicate name, or cyclic deps."""
+
+
+@dataclass
+class PassContext:
+    """Everything a pass may consume besides the dataset itself.
+
+    The study metadata here (overrides, categories, children ids,
+    measurement period) is world knowledge that is *not* derivable from
+    the dataset bytes — which is exactly why passes declare the slice
+    they read as ``params``, folding it into their cache key.
+
+    ``results`` is filled by the resolver in topological order; a pass
+    reads its declared upstreams with :meth:`upstream`.
+    """
+
+    first_party_overrides: Mapping[str, str] = field(default_factory=dict)
+    categories: Mapping[str, Any] = field(default_factory=dict)
+    children_channel_ids: tuple[str, ...] = ()
+    period_start: float = 0.0
+    period_end: float = 0.0
+    results: dict[str, Any] = field(default_factory=dict, repr=False)
+
+    def upstream(self, name: str) -> Any:
+        """The resolved result of a declared upstream pass."""
+        try:
+            return self.results[name]
+        except KeyError:
+            raise PassError(
+                f"pass result {name!r} not resolved — declare it in deps"
+            ) from None
+
+    @classmethod
+    def for_study(cls, context) -> "PassContext":
+        """Build a context from a ``StudyContext`` (or anything shaped
+        like one: ``world``, ``period_start``, ``period_end``)."""
+        world = getattr(context, "world", None)
+        return cls(
+            first_party_overrides=dict(
+                getattr(world, "manual_first_party_overrides", {}) or {}
+            ),
+            categories=dict(getattr(world, "categories", {}) or {}),
+            children_channel_ids=tuple(
+                sorted(getattr(world, "children_channel_ids", ()) or ())
+            ),
+            period_start=getattr(context, "period_start", 0.0),
+            period_end=getattr(context, "period_end", 0.0),
+        )
+
+
+@dataclass(frozen=True)
+class PassSpec:
+    """One registered analysis pass."""
+
+    name: str
+    version: int
+    fn: Callable[[StudyDataset, PassContext], Any]
+    deps: tuple[str, ...] = ()
+    #: Extracts the parameter slice of the context this pass reads;
+    #: ``None`` means the pass depends on the dataset (and deps) only.
+    params: Callable[[PassContext], dict] | None = None
+
+    def params_for(self, ctx: PassContext) -> dict:
+        return dict(self.params(ctx)) if self.params is not None else {}
+
+
+_REGISTRY: dict[str, PassSpec] = {}
+_BUILTINS_LOADED = False
+
+
+def register_pass(spec: PassSpec, replace: bool = False) -> PassSpec:
+    if not replace and spec.name in _REGISTRY:
+        raise PassError(f"analysis pass already registered: {spec.name!r}")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def unregister_pass(name: str) -> None:
+    _REGISTRY.pop(name, None)
+
+
+def analysis_pass(
+    name: str,
+    version: int = 1,
+    deps: Iterable[str] = (),
+    params: Callable[[PassContext], dict] | None = None,
+    replace: bool = False,
+):
+    """Decorator registering a uniform ``run(dataset, ctx)`` entry point."""
+
+    def decorate(fn):
+        register_pass(
+            PassSpec(
+                name=name,
+                version=version,
+                fn=fn,
+                deps=tuple(deps),
+                params=params,
+            ),
+            replace=replace,
+        )
+        return fn
+
+    return decorate
+
+
+def ensure_registered() -> None:
+    """Import every built-in pass module exactly once."""
+    global _BUILTINS_LOADED
+    if _BUILTINS_LOADED:
+        return
+    _BUILTINS_LOADED = True
+    for module in _BUILTIN_PASS_MODULES:
+        importlib.import_module(module)
+
+
+def get_pass(name: str) -> PassSpec:
+    ensure_registered()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise PassError(
+            f"unknown analysis pass {name!r} "
+            f"(registered: {sorted(_REGISTRY)})"
+        ) from None
+
+
+def all_passes() -> dict[str, PassSpec]:
+    ensure_registered()
+    return dict(_REGISTRY)
+
+
+def topological_order(names: Sequence[str]) -> list[str]:
+    """Requested passes plus their transitive deps, dependency-first.
+
+    Deterministic: depth-first over the requested names in the order
+    given, deps before dependents.  Cycles raise :class:`PassError`.
+    """
+    ensure_registered()
+    order: list[str] = []
+    states: dict[str, int] = {}  # 1 = visiting, 2 = done
+
+    def visit(name: str, chain: tuple[str, ...]) -> None:
+        state = states.get(name)
+        if state == 2:
+            return
+        if state == 1:
+            cycle = " -> ".join(chain + (name,))
+            raise PassError(f"cyclic pass dependencies: {cycle}")
+        states[name] = 1
+        for dep in get_pass(name).deps:
+            visit(dep, chain + (name,))
+        states[name] = 2
+        order.append(name)
+
+    for name in names:
+        visit(name, ())
+    return order
+
+
+def dataset_digest(dataset: StudyDataset) -> str:
+    """The dataset half of every artifact key (memoized when possible)."""
+    digest = getattr(dataset, "digest", None)
+    if callable(digest):
+        return digest()
+    return study_digest(dataset)
+
+
+def pass_keys(
+    names: Sequence[str], dataset: StudyDataset, ctx: PassContext
+) -> dict[str, str]:
+    """The content address of every requested pass (and its deps)."""
+    digest = dataset_digest(dataset)
+    keys: dict[str, str] = {}
+    for name in topological_order(names):
+        spec = get_pass(name)
+        keys[name] = artifact_key(
+            digest,
+            spec.name,
+            spec.version,
+            params=params_digest(spec.params_for(ctx)),
+            dep_keys=tuple(keys[dep] for dep in spec.deps),
+        )
+    return keys
+
+
+def resolve_passes(
+    names: Sequence[str],
+    dataset: StudyDataset,
+    ctx: PassContext | None = None,
+    cache: AnalysisCache | None = None,
+) -> dict[str, Any]:
+    """Resolve passes (and their deps), consulting the cache per pass.
+
+    Returns ``{pass_name: result}`` for the requested names and every
+    transitive dependency.  With a cache, each pass is looked up by its
+    content address first; hits skip the compute *and* still feed
+    downstream passes.  Results are byte-identical with and without a
+    cache — the golden tests pin that equivalence.
+    """
+    if ctx is None:
+        ctx = PassContext()
+    digest = dataset_digest(dataset)
+    keys: dict[str, str] = {}
+    for name in topological_order(names):
+        spec = get_pass(name)
+        p_digest = params_digest(spec.params_for(ctx))
+        key = artifact_key(
+            digest,
+            spec.name,
+            spec.version,
+            params=p_digest,
+            dep_keys=tuple(keys[dep] for dep in spec.deps),
+        )
+        keys[name] = key
+        if cache is not None:
+            value = cache.get(key, pass_name=spec.name)
+            if value is not MISS:
+                ctx.results[name] = value
+                continue
+        value = spec.fn(dataset, ctx)
+        ctx.results[name] = value
+        if cache is not None:
+            cache.put(
+                key,
+                value,
+                meta={
+                    "pass": spec.name,
+                    "version": spec.version,
+                    "params_digest": p_digest,
+                    "study_digest": digest,
+                },
+            )
+    return dict(ctx.results)
+
+
+# -- built-in passes with no better home -------------------------------------------
+
+
+@dataclass(frozen=True)
+class OverviewResult:
+    """Pass result: the Table I rows."""
+
+    rows: tuple
+
+
+@analysis_pass("overview", version=1)
+def run_overview(dataset: StudyDataset, ctx: PassContext) -> OverviewResult:
+    """Table I — the per-run dataset overview."""
+    from repro.core.report import overview_table
+
+    return OverviewResult(rows=tuple(overview_table(dataset)))

@@ -78,3 +78,14 @@ def analyze_pixels(
             report.requests_per_etld1.get(flow.etld1, 0) + 1
         )
     return report
+
+
+# -- pass registration -------------------------------------------------------------
+
+from repro.analysis.passes import analysis_pass  # noqa: E402
+
+
+@analysis_pass("pixels", version=1)
+def run(dataset, ctx) -> PixelReport:
+    """Pass entry point: the §V-D1 pixel report over every run's flows."""
+    return analyze_pixels(dataset.all_flows())

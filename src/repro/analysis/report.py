@@ -5,42 +5,26 @@ paper into a single markdown document, with the paper's reference
 numbers inline.  The benchmarks regenerate artifacts one by one; this
 module is the "give me everything" entry point used by
 ``examples/replication_report.py``.
+
+Since the analysis layer moved to the pass registry
+(:mod:`repro.analysis.passes`), the report is a pure *renderer*: it
+resolves :data:`~repro.analysis.passes.REPORT_PASSES` — consulting the
+content-addressed :class:`~repro.cache.AnalysisCache` — and formats the
+resulting dataclasses.  The document is byte-identical whether every
+pass was computed cold, served from the in-memory tier, or decoded from
+the disk store; the golden tests pin that equivalence.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.analysis.channels import (
-    category_effect_test,
-    category_report,
-    channel_level_report,
-)
-from repro.analysis.children import children_case_study
-from repro.analysis.cookies import (
-    cross_channel_report,
-    general_cookie_report,
-    third_party_cookie_table,
-)
-from repro.analysis.filterlists import FilterListSuite
-from repro.analysis.fingerprinting import analyze_fingerprinting
-from repro.analysis.graph import analyze_graph, build_ecosystem_graph
-from repro.analysis.leakage import analyze_leakage
-from repro.analysis.parties import identify_first_parties
-from repro.analysis.pixels import analyze_pixels
-from repro.consent.annotate import (
-    annotate_screenshots,
-    channels_with_privacy_info,
-    overlay_distribution,
-    pointer_prevalence,
-    privacy_prevalence,
-)
-from repro.core.report import format_overview_table, overview_table
+from repro.analysis.passes import REPORT_PASSES, PassContext, resolve_passes
+from repro.cache import AnalysisCache, default_cache
+from repro.core.report import format_overview_table
 from repro.hbbtv.overlay import OverlayKind
 from repro.obs import MetricsRegistry, format_metrics_table, merge_metrics
-from repro.policy.corpus import collect_policies
-from repro.policy.discrepancy import DiscrepancyKind, audit_discrepancies
-from repro.policy.practices import annotate_practices
+from repro.policy.discrepancy import DiscrepancyKind
 
 
 @dataclass
@@ -93,43 +77,62 @@ def format_health_table(health) -> str:
     return "\n".join(lines)
 
 
-def generate_report(context) -> str:
+def coerce_cache(cache) -> AnalysisCache | None:
+    """Resolve the ``cache=`` convention shared by report/CLI/facade.
+
+    ``"default"`` → the process-wide cache; ``None``/``False`` →
+    caching disabled; an :class:`~repro.cache.AnalysisCache` (or
+    anything cache-shaped) is used as-is.
+    """
+    if cache == "default":
+        return default_cache()
+    if cache is None or cache is False:
+        return None
+    return cache
+
+
+def generate_report(context, cache="default") -> str:
     """Build the full replication report for a study context.
 
-    Stage costs are recorded into a *local* registry (work units =
-    items each analysis stage consumed, never wall-clock), merged with
-    the study's own metrics only for rendering — so generating the
-    report twice yields the same document and never mutates the
-    study's telemetry.
+    Analyses resolve through the pass registry against ``cache`` (the
+    :func:`coerce_cache` convention), so re-reporting a dataset that was
+    already analyzed costs digest lookups, not recomputes.  Stage costs
+    are recorded into a *local* registry (work units = items each
+    analysis stage consumed, never wall-clock), merged with the study's
+    own metrics only for rendering — so generating the report twice
+    yields the same document and never mutates the study's telemetry.
+    Cache hit/miss counters live on the cache's own registry and never
+    appear in the document.
     """
     dataset = context.dataset
-    flows = list(dataset.all_flows())
-    records = list(dataset.all_cookie_records())
-    first_parties = identify_first_parties(
-        flows, manual_overrides=context.first_party_overrides
+    ctx = PassContext.for_study(context)
+    results = resolve_passes(
+        REPORT_PASSES, dataset, ctx, cache=coerce_cache(cache)
     )
-    annotations = annotate_screenshots(dataset.all_screenshots())
+
+    flow_count = sum(1 for _ in dataset.all_flows())
+    record_count = sum(1 for _ in dataset.all_cookie_records())
 
     stage_metrics = MetricsRegistry()
 
     def stage(name: str, items: int) -> None:
         stage_metrics.inc("analysis.stage_items", items, stage=name)
 
-    stage("tracking", len(flows))
-    stage("cookies", len(records))
-    stage("graph", len(flows))
-    stage("consent", len(annotations))
-    stage("policies", len(flows))
-    stage("children", len(flows) + len(records))
+    stage("tracking", flow_count)
+    stage("cookies", record_count)
+    stage("graph", flow_count)
+    stage("consent", results["consent"].annotation_count)
+    stage("policies", flow_count)
+    stage("children", flow_count + record_count)
 
     sections = [
-        _section_overview(context, dataset),
-        _section_tracking(flows, first_parties),
-        _section_cookies(dataset, records, flows),
-        _section_graph(flows, first_parties),
-        _section_consent(dataset, annotations),
-        _section_policies(context, flows, first_parties),
-        _section_children(context, flows, records),
+        _section_overview(results["overview"]),
+        _section_tracking(results),
+        _section_cookies(results["cookies"]),
+        _section_graph(results["graph"]),
+        _section_consent(results["consent"]),
+        _section_policies(results["policies"]),
+        _section_children(results["children"], results["channels"]),
     ]
     health = getattr(context, "health", None)
     if health is not None and health.has_activity:
@@ -167,17 +170,16 @@ def _section_metrics(context, stage_metrics) -> ReportSection | None:
     )
 
 
-def _section_overview(context, dataset) -> ReportSection:
-    body = "```\n" + format_overview_table(overview_table(dataset)) + "\n```"
+def _section_overview(overview) -> ReportSection:
+    body = "```\n" + format_overview_table(list(overview.rows)) + "\n```"
     return ReportSection("Table I — dataset overview", body)
 
 
-def _section_tracking(flows, first_parties) -> ReportSection:
-    suite = FilterListSuite()
-    coverage = suite.coverage(flows)
-    pixels = analyze_pixels(flows)
-    fingerprints = analyze_fingerprinting(flows, first_parties)
-    leakage = analyze_leakage(flows, first_parties)
+def _section_tracking(results) -> ReportSection:
+    coverage = results["filterlists"]
+    pixels = results["pixels"]
+    fingerprints = results["fingerprinting"]
+    leakage = results["leakage"]
     dominant, dominant_count = pixels.dominant_party()
     first_party_share = fingerprints.first_party_requests / max(
         1, fingerprints.related_request_count
@@ -204,11 +206,9 @@ def _section_tracking(flows, first_parties) -> ReportSection:
     return ReportSection("§V — the tracking ecosystem", "\n".join(lines))
 
 
-def _section_cookies(dataset, records, flows) -> ReportSection:
-    general = general_cookie_report(records)
-    by_run = {name: run.cookie_records for name, run in dataset.runs.items()}
-    table2 = third_party_cookie_table(by_run)
-    cross = cross_channel_report(records, flows)
+def _section_cookies(cookies) -> ReportSection:
+    general = cookies.general
+    cross = cookies.cross_channel
     widest, reach = cross.most_widespread()
     lines = [
         f"- {general.distinct_cookies:,} distinct cookies from "
@@ -225,7 +225,7 @@ def _section_cookies(dataset, records, flows) -> ReportSection:
         "| run | # 3Ps | # 3P cookies | mean/party |",
         "|---|---|---|---|",
     ]
-    for row in table2:
+    for row in cookies.third_party_rows:
         lines.append(
             f"| {row.run_name} | {row.third_party_count} | "
             f"{row.third_party_cookie_count} | "
@@ -234,9 +234,7 @@ def _section_cookies(dataset, records, flows) -> ReportSection:
     return ReportSection("§V-C — cookies (Table II, Figure 5)", "\n".join(lines))
 
 
-def _section_graph(flows, first_parties) -> ReportSection:
-    graph = build_ecosystem_graph(flows, first_parties)
-    report = analyze_graph(graph)
+def _section_graph(report) -> ReportSection:
     hubs = ", ".join(f"{d} ({deg})" for d, deg in report.top_degree_nodes[:5])
     lines = [
         f"- {report.node_count} nodes, {report.edge_count} edges, "
@@ -250,12 +248,9 @@ def _section_graph(flows, first_parties) -> ReportSection:
     return ReportSection("§V-E — ecosystem graph (Figure 8)", "\n".join(lines))
 
 
-def _section_consent(dataset, annotations) -> ReportSection:
-    distribution = overlay_distribution(annotations)
-    prevalence = privacy_prevalence(annotations)
-    measured = dataset.channels_measured()
-    overall = channels_with_privacy_info(annotations)
-    pointers = pointer_prevalence(annotations)
+def _section_consent(consent) -> ReportSection:
+    prevalence = consent.prevalence
+    measured = consent.measured_channels
     lines = [
         "| run | shots | privacy shots | privacy channels |",
         "|---|---|---|---|",
@@ -270,44 +265,37 @@ def _section_consent(dataset, annotations) -> ReportSection:
             f"{row.privacy_channels} ({row.channel_share:.2%}) |"
         )
     libraries = sum(
-        row.count(OverlayKind.MEDIA_LIBRARY) for row in distribution.values()
+        row.count(OverlayKind.MEDIA_LIBRARY)
+        for row in consent.distribution.values()
     )
     lines.extend(
         [
             "",
             f"- media-library overlays: {libraries:,} shots, concentrated "
             "on Red/Yellow (paper: 4,532 / 3,376)",
-            f"- channels with privacy info across runs: {len(overall)} "
-            f"({len(overall) / max(1, len(measured)):.1%}; paper: 31.03%)",
-            f"- channels with privacy pointers: {len(pointers)} "
-            f"({len(pointers) / max(1, len(measured)):.1%}; paper: 74.36%)",
+            f"- channels with privacy info across runs: "
+            f"{len(consent.privacy_channels)} "
+            f"({len(consent.privacy_channels) / max(1, measured):.1%}; "
+            "paper: 31.03%)",
+            f"- channels with privacy pointers: "
+            f"{len(consent.pointer_channels)} "
+            f"({len(consent.pointer_channels) / max(1, measured):.1%}; "
+            "paper: 74.36%)",
         ]
     )
     return ReportSection("§VI — consent notices (Tables IV, V)", "\n".join(lines))
 
 
-def _section_policies(context, flows, first_parties) -> ReportSection:
-    corpus = collect_policies(flows)
-    distinct = list(corpus.distinct_texts().values())
-    practice_annotations = [annotate_practices(d.text) for d in distinct]
-    total = max(1, len(practice_annotations))
-    hbbtv_share = sum(
-        1 for a in practice_annotations if a.mentions_hbbtv
-    ) / total
-    by_channel = {
-        d.channel_id: annotate_practices(d.text)
-        for d in corpus.documents
-        if d.channel_id
-    }
-    audit = audit_discrepancies(flows, by_channel, first_parties)
+def _section_policies(policies) -> ReportSection:
+    audit = policies.audit
     violations = audit.by_kind(DiscrepancyKind.TIME_WINDOW_VIOLATION)
     lines = [
-        f"- {len(corpus.documents):,} policy occurrences "
-        f"(per run: {corpus.per_run_counts()}; paper: 2,656, Yellow first)",
-        f"- {corpus.distinct_count()} distinct texts after SHA-1 dedup "
-        f"(paper: 57); {len(corpus.near_duplicate_groups())} SimHash "
+        f"- {policies.occurrences:,} policy occurrences "
+        f"(per run: {policies.per_run}; paper: 2,656, Yellow first)",
+        f"- {policies.distinct_count} distinct texts after SHA-1 dedup "
+        f"(paper: 57); {policies.near_duplicate_groups} SimHash "
         "near-duplicate groups (paper: 11)",
-        f"- {hbbtv_share:.0%} mention 'HbbTV' (paper: 72%)",
+        f"- {policies.hbbtv_share:.0%} mention 'HbbTV' (paper: 72%)",
         f"- discrepancies: {len(violations)} time-window violations, "
         f"{len(audit.by_kind(DiscrepancyKind.UNDISCLOSED_THIRD_PARTIES))} "
         "undisclosed-third-party findings, "
@@ -320,13 +308,9 @@ def _section_policies(context, flows, first_parties) -> ReportSection:
     )
 
 
-def _section_children(context, flows, records) -> ReportSection:
-    profiles = channel_level_report(flows)
-    result = children_case_study(
-        profiles, context.world.children_channel_ids, records
-    )
-    by_category = category_report(profiles, context.world.categories)
-    effect = category_effect_test(by_category)
+def _section_children(result, channels) -> ReportSection:
+    by_category = channels.by_category
+    effect = channels.category_effect
     comparison = (
         f"p = {result.comparison.p_value:.3f}"
         if result.comparison is not None

@@ -132,3 +132,14 @@ def interaction_vs_channel(
     return InteractionVsChannelReport(
         run_effect=run_effect, channel_effect=channel_effect
     )
+
+
+# -- pass registration -------------------------------------------------------------
+
+from repro.analysis.passes import analysis_pass  # noqa: E402
+
+
+@analysis_pass("runeffects", version=1)
+def run(dataset, ctx) -> RunEffectReport:
+    """Pass entry point: do interaction runs change what is collected?"""
+    return run_effect_report(dataset)

@@ -52,3 +52,37 @@ class TrackingClassifier:
     def tracker_etld1s(self, flows: Iterable[Flow]) -> set[str]:
         """The distinct tracker parties across a flow set."""
         return {f.etld1 for f in flows if self.is_tracking(f)}
+
+
+# -- pass registration -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TrackingSummary:
+    """Pass result: the combined-predicate totals over a study."""
+
+    tracking_requests: int
+    tracker_parties: tuple[str, ...]
+
+    @property
+    def tracker_count(self) -> int:
+        return len(self.tracker_parties)
+
+
+from repro.analysis.filterlists import default_suite  # noqa: E402
+from repro.analysis.passes import analysis_pass  # noqa: E402
+
+
+@analysis_pass("tracking", version=1)
+def run(dataset, ctx) -> TrackingSummary:
+    """Pass entry point: tracking-request totals (union of detectors)."""
+    classifier = TrackingClassifier(default_suite())
+    requests = 0
+    parties: set[str] = set()
+    for flow in dataset.all_flows():
+        if classifier.is_tracking(flow):
+            requests += 1
+            parties.add(flow.etld1)
+    return TrackingSummary(
+        tracking_requests=requests, tracker_parties=tuple(sorted(parties))
+    )

@@ -1,0 +1,185 @@
+"""The one-import programmatic facade over the replication pipeline.
+
+Everything the CLI, examples, and benchmarks do is two lines away::
+
+    from repro.api import Study
+
+    result = Study(seed=7, scale=0.1).run()
+    print(result.report())
+
+:class:`Study` describes *what* to measure (seed, scale, measurement
+config); :meth:`Study.run` decides *how* (worker count, shard count,
+fault preset, caching) and returns a :class:`StudyResult` — an
+immutable bundle of the dataset, the §IV-B funnel, run health, the
+trace stream, the metrics snapshot, and the study's content digest.
+Analyses then resolve through the pass registry against the result's
+:class:`~repro.cache.AnalysisCache`, so ``result.report()`` followed by
+``result.analyze("graph")`` computes each pass at most once.
+
+The old entry points (``repro.simulation.run_study`` /
+``default_study``) still work but emit :class:`DeprecationWarning`;
+internal code imports :mod:`repro.simulation.study` directly.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.cache import AnalysisCache, default_cache
+from repro.core.config import DEFAULT_CONFIG, MeasurementConfig
+from repro.core.dataset import StudyDataset
+from repro.core.filtering import FilteringReport
+from repro.core.health import StudyHealth
+from repro.core.resilience import ResiliencePolicy
+from repro.core.runs import RunSpec
+from repro.net.faults import FaultPlan
+from repro.obs import MetricsRegistry, TraceEvent
+from repro.simulation.study import (
+    StudyContext,
+    configured_scale,
+    fault_plan_for_world,
+    run_study,
+)
+from repro.simulation.world import World, build_world
+
+__all__ = ["Study", "StudyResult"]
+
+
+def _coerce_run_cache(cache) -> AnalysisCache | None:
+    """Resolve :meth:`Study.run`'s ``cache=`` knob.
+
+    ``True`` → the process-wide default cache; ``False``/``None`` → no
+    caching; a path → a disk-backed :class:`AnalysisCache` rooted
+    there; an existing cache object is used as-is.
+    """
+    if cache is True:
+        return default_cache()
+    if cache is False or cache is None:
+        return None
+    if isinstance(cache, (str, os.PathLike)):
+        return AnalysisCache(directory=cache)
+    return cache
+
+
+@dataclass(frozen=True)
+class StudyResult:
+    """Everything one finished measurement study produced.
+
+    The heavyweight machinery (proxy, TV, framework) stays reachable
+    via ``context`` for power users; the fields here are the stable
+    surface the examples and tests consume.
+    """
+
+    dataset: StudyDataset
+    funnel: FilteringReport | None
+    health: StudyHealth | None
+    trace: tuple[TraceEvent, ...]
+    metrics: MetricsRegistry
+    digest: str
+    seed: int
+    scale: float
+    context: StudyContext = field(repr=False)
+    cache: AnalysisCache | None = field(default=None, repr=False)
+
+    # -- analysis --------------------------------------------------------------
+
+    def report(self) -> str:
+        """The full markdown replication report (cached passes)."""
+        from repro.analysis.report import generate_report
+
+        cache = self.cache if self.cache is not None else False
+        return generate_report(self.context, cache=cache)
+
+    def analyze(self, *names: str) -> dict[str, Any]:
+        """Resolve named analysis passes (plus deps) against the cache.
+
+        Returns ``{pass_name: result}`` for the requested passes and
+        every transitive dependency.
+        """
+        from repro.analysis.passes import PassContext, resolve_passes
+
+        ctx = PassContext.for_study(self.context)
+        return resolve_passes(
+            list(names), self.dataset, ctx, cache=self.cache
+        )
+
+    def table1(self) -> str:
+        """Table I — the formatted per-run dataset overview."""
+        from repro.core.report import format_overview_table
+
+        return format_overview_table(
+            list(self.analyze("overview")["overview"].rows)
+        )
+
+
+@dataclass(frozen=True)
+class Study:
+    """A declarative description of one measurement study.
+
+    ``Study(seed=7, scale=0.1).run()`` builds the world, executes the
+    five measurement runs, and returns a :class:`StudyResult`.  The
+    constructor pins what is measured; :meth:`run` picks the execution
+    strategy.
+    """
+
+    seed: int = 7
+    scale: float | None = None
+    config: MeasurementConfig = DEFAULT_CONFIG
+
+    def build_world(self) -> World:
+        return build_world(seed=self.seed, scale=self.effective_scale)
+
+    @property
+    def effective_scale(self) -> float:
+        return self.scale if self.scale is not None else configured_scale()
+
+    def run(
+        self,
+        *,
+        workers: int | None = None,
+        shards: int | None = None,
+        faults: str | FaultPlan | None = "off",
+        resilience: ResiliencePolicy | None = None,
+        with_filtering: bool = False,
+        runs: list[RunSpec] | None = None,
+        cache: Any = True,
+    ) -> StudyResult:
+        """Execute the study and bundle everything it produced.
+
+        ``faults`` accepts a preset name (``"off"``, ``"mild"``, …) or
+        a prebuilt :class:`FaultPlan`.  ``workers``/``shards`` select
+        the sharded executor exactly like
+        :func:`repro.simulation.study.run_study`.  ``cache`` follows
+        :func:`_coerce_run_cache`; the resolved cache rides on the
+        result so every later analysis reuses it.
+        """
+        world = self.build_world()
+        if isinstance(faults, FaultPlan):
+            plan = faults
+        else:
+            plan = fault_plan_for_world(world, faults or "off")
+        context = run_study(
+            world,
+            self.config,
+            runs=runs,
+            with_filtering=with_filtering,
+            faults=plan,
+            resilience=resilience,
+            workers=workers,
+            shards=shards,
+        )
+        dataset = context.dataset
+        return StudyResult(
+            dataset=dataset,
+            funnel=context.filtering_report,
+            health=context.health,
+            trace=context.trace_events,
+            metrics=context.metrics,
+            digest=dataset.digest(),
+            seed=self.seed,
+            scale=self.effective_scale,
+            context=context,
+            cache=_coerce_run_cache(cache),
+        )

@@ -1,0 +1,224 @@
+"""Content-addressed cache for analysis artifacts.
+
+The pipeline is measure-once, analyze-many: the same five-run dataset
+feeds every tracking, cookie, consent, and policy analysis, yet each
+report or benchmark used to recompute them all from the raw
+:class:`~repro.core.dataset.StudyDataset`.  This package keys every
+analysis-pass result by *content*::
+
+    sha256(study_digest, pass_name, pass_version, params_digest,
+           upstream_artifact_keys)
+
+so an artifact is reusable exactly when nothing that could change its
+value has changed — the dataset bytes, the pass implementation version,
+its parameters, or any upstream pass it depends on.  Including the
+upstream keys makes invalidation transitive: bumping one pass's version
+invalidates its dependents automatically, and nothing else.
+
+Two tiers sit behind one :class:`AnalysisCache` facade: a hot in-memory
+LRU returning the live result objects, and an optional on-disk JSON
+store (see :mod:`repro.cache.store`) that survives processes.  Hits,
+misses, puts, and evictions are counted on a
+:class:`~repro.obs.metrics.MetricsRegistry`, so cache behaviour is
+observable with the same machinery as the measurement itself — but on
+the cache's *own* registry, never the study's: study telemetry stays a
+pure function of ``(seed, scale, plan, n_shards)`` whether the cache is
+cold, warm, or absent.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from typing import Any
+
+from repro.cache.codec import CodecError, canonical_json, encode
+from repro.cache.store import MISS, DiskJSONStore, MemoryLRU
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "MISS",
+    "AnalysisCache",
+    "CacheStats",
+    "artifact_key",
+    "clear_default_cache",
+    "default_cache",
+    "params_digest",
+]
+
+
+def params_digest(params: dict | None) -> str:
+    """A stable content hash of a pass's parameters.
+
+    Parameters go through the artifact codec first, so sets, enums, and
+    nested dataclasses digest deterministically.
+    """
+    encoded = encode(dict(params or {}))
+    return hashlib.sha256(canonical_json(encoded).encode("utf-8")).hexdigest()
+
+
+def artifact_key(
+    study_digest: str,
+    pass_name: str,
+    pass_version: int,
+    params: str = "",
+    dep_keys: tuple[str, ...] = (),
+) -> str:
+    """The content address of one pass result.
+
+    ``params`` is a :func:`params_digest`; ``dep_keys`` are the artifact
+    keys of the pass's (ordered) upstream dependencies, which is what
+    propagates invalidation down the DAG.
+    """
+    canonical = json.dumps(
+        [study_digest, pass_name, int(pass_version), params, list(dep_keys)],
+        separators=(",", ":"),
+        ensure_ascii=True,
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A point-in-time summary of one cache's activity and contents."""
+
+    hits: int
+    misses: int
+    puts: int
+    evictions: int
+    memory_entries: int
+    disk_entries: int
+    disk_bytes: int
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        if not self.lookups:
+            return 0.0
+        return self.hits / self.lookups
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "evictions": self.evictions,
+            "hit_rate": round(self.hit_rate, 4),
+            "memory_entries": self.memory_entries,
+            "disk_entries": self.disk_entries,
+            "disk_bytes": self.disk_bytes,
+        }
+
+
+class AnalysisCache:
+    """Two-tier content-addressed store for analysis-pass artifacts.
+
+    Lookups hit the in-memory LRU first (live objects, zero decode
+    cost), then the optional disk store (codec round-trip, promoted to
+    memory on hit).  Because keys are content addresses, a single cache
+    instance can safely serve any number of datasets, pass versions, and
+    parameterizations at once — entries can never collide, only expire
+    from the LRU.
+    """
+
+    def __init__(
+        self,
+        max_entries: int = 512,
+        directory: str | os.PathLike | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.memory = MemoryLRU(max_entries)
+        self.disk = DiskJSONStore(directory) if directory is not None else None
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+
+    # -- lookup/store ----------------------------------------------------------
+
+    def get(self, key: str, pass_name: str = "") -> Any:
+        """The cached artifact for ``key``, or :data:`MISS`."""
+        value = self.memory.get(key)
+        if value is not MISS:
+            self.metrics.inc("cache.hits", tier="memory", **{"pass": pass_name})
+            return value
+        if self.disk is not None:
+            value = self.disk.get(key)
+            if value is not MISS:
+                self.metrics.inc(
+                    "cache.hits", tier="disk", **{"pass": pass_name}
+                )
+                self._put_memory(key, value)
+                return value
+        self.metrics.inc("cache.misses", **{"pass": pass_name})
+        return MISS
+
+    def put(self, key: str, value: Any, meta: dict | None = None) -> None:
+        pass_name = str((meta or {}).get("pass", ""))
+        self._put_memory(key, value)
+        self.metrics.inc("cache.puts", tier="memory", **{"pass": pass_name})
+        if self.disk is not None:
+            self.disk.put(key, value, meta=meta)
+            self.metrics.inc("cache.puts", tier="disk", **{"pass": pass_name})
+
+    def _put_memory(self, key: str, value: Any) -> None:
+        evicted = self.memory.put(key, value)
+        if evicted:
+            self.metrics.inc("cache.evictions", evicted, tier="memory")
+
+    # -- maintenance -----------------------------------------------------------
+
+    def clear(self) -> int:
+        """Drop every entry from both tiers; returns entries removed."""
+        removed = len(self.memory)
+        self.memory.clear()
+        if self.disk is not None:
+            removed += self.disk.clear()
+        return removed
+
+    def verify(self) -> list[str]:
+        """Integrity-check the disk tier (memory needs no verification)."""
+        if self.disk is None:
+            return []
+        return self.disk.verify()
+
+    def stats(self) -> CacheStats:
+        return CacheStats(
+            hits=int(self.metrics.counter_total("cache.hits")),
+            misses=int(self.metrics.counter_total("cache.misses")),
+            puts=int(
+                sum(
+                    value
+                    for label, value in self.metrics.counter_series(
+                        "cache.puts"
+                    ).items()
+                    if "tier=memory" in label
+                )
+            ),
+            evictions=int(self.metrics.counter_total("cache.evictions")),
+            memory_entries=len(self.memory),
+            disk_entries=len(self.disk) if self.disk is not None else 0,
+            disk_bytes=self.disk.total_bytes() if self.disk is not None else 0,
+        )
+
+
+#: Process-wide default cache, pid-guarded for fork safety exactly like
+#: the study memo in :mod:`repro.simulation.study`.
+_DEFAULT: tuple[int, AnalysisCache] | None = None
+
+
+def default_cache() -> AnalysisCache:
+    """The process-wide in-memory analysis cache."""
+    global _DEFAULT
+    pid = os.getpid()
+    if _DEFAULT is None or _DEFAULT[0] != pid:
+        _DEFAULT = (pid, AnalysisCache())
+    return _DEFAULT[1]
+
+
+def clear_default_cache() -> None:
+    """Drop the process-wide cache (tests and the CLI ``cache clear``)."""
+    global _DEFAULT
+    _DEFAULT = None

@@ -1,0 +1,138 @@
+"""Canonical tagged-JSON codec for analysis artifacts.
+
+The disk tier of the content-addressed cache stores pass results as
+JSON, but analysis results are rich Python values — nested dataclasses,
+enums, sets, tuples, byte strings, dicts with non-string keys.  This
+codec maps that value space onto plain JSON losslessly and
+*canonically*:
+
+* every non-scalar container is tagged (``{"$": "tuple", ...}``), so
+  decoding never guesses;
+* sets serialize in a deterministic order (sorted by their members'
+  canonical JSON), making the encoding digestible;
+* dicts keep insertion order via an explicit pair list, so a decoded
+  report iterates exactly like the original;
+* dataclasses and enums carry a ``module:qualname`` type tag and are
+  reconstructed without calling ``__init__`` (fields are restored
+  verbatim, which also covers frozen and ``init=False`` fields).
+
+Decoding only ever imports types from the ``repro`` package — a cache
+file can name no other constructor, so a tampered store cannot be used
+to instantiate arbitrary classes.
+"""
+
+from __future__ import annotations
+
+import base64
+import dataclasses
+import enum
+import hashlib
+import importlib
+import json
+from typing import Any
+
+#: Bumped whenever the encoding itself changes shape; part of every
+#: disk envelope so old stores read as misses instead of mis-decoding.
+CODEC_VERSION = 1
+
+
+class CodecError(ValueError):
+    """A value cannot be encoded, or an encoding cannot be decoded."""
+
+
+def _type_tag(value: Any) -> str:
+    cls = type(value)
+    return f"{cls.__module__}:{cls.__qualname__}"
+
+
+def _resolve_type(tag: str) -> type:
+    module_name, _, qualname = tag.partition(":")
+    if not module_name.startswith("repro"):
+        raise CodecError(f"refusing to resolve non-repro type {tag!r}")
+    obj: Any = importlib.import_module(module_name)
+    for part in qualname.split("."):
+        obj = getattr(obj, part)
+    if not isinstance(obj, type):
+        raise CodecError(f"{tag!r} does not name a class")
+    return obj
+
+
+def encode(value: Any) -> Any:
+    """Map a Python analysis value onto tagged, JSON-ready structures."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, bytes):
+        return {"$": "bytes", "v": base64.b64encode(value).decode("ascii")}
+    if isinstance(value, enum.Enum):
+        return {"$": "enum", "t": _type_tag(value), "v": value.name}
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            "$": "dc",
+            "t": _type_tag(value),
+            "v": {
+                f.name: encode(getattr(value, f.name))
+                for f in dataclasses.fields(value)
+            },
+        }
+    if isinstance(value, tuple):
+        return {"$": "tuple", "v": [encode(item) for item in value]}
+    if isinstance(value, (set, frozenset)):
+        encoded = [encode(item) for item in value]
+        encoded.sort(key=lambda item: json.dumps(item, sort_keys=True))
+        kind = "frozenset" if isinstance(value, frozenset) else "set"
+        return {"$": kind, "v": encoded}
+    if isinstance(value, dict):
+        return {
+            "$": "dict",
+            "v": [[encode(k), encode(v)] for k, v in value.items()],
+        }
+    if isinstance(value, list):
+        return [encode(item) for item in value]
+    raise CodecError(
+        f"cannot encode {type(value).__name__!r} for the artifact cache"
+    )
+
+
+def decode(encoded: Any) -> Any:
+    """Reverse :func:`encode`."""
+    if encoded is None or isinstance(encoded, (bool, int, float, str)):
+        return encoded
+    if isinstance(encoded, list):
+        return [decode(item) for item in encoded]
+    if not isinstance(encoded, dict):
+        raise CodecError(f"unexpected encoded value: {encoded!r}")
+    tag = encoded.get("$")
+    if tag == "bytes":
+        return base64.b64decode(encoded["v"])
+    if tag == "enum":
+        cls = _resolve_type(encoded["t"])
+        return cls[encoded["v"]]
+    if tag == "dc":
+        cls = _resolve_type(encoded["t"])
+        if not dataclasses.is_dataclass(cls):
+            raise CodecError(f"{encoded['t']!r} is not a dataclass")
+        instance = object.__new__(cls)
+        for name, field_value in encoded["v"].items():
+            object.__setattr__(instance, name, decode(field_value))
+        return instance
+    if tag == "tuple":
+        return tuple(decode(item) for item in encoded["v"])
+    if tag == "set":
+        return {decode(item) for item in encoded["v"]}
+    if tag == "frozenset":
+        return frozenset(decode(item) for item in encoded["v"])
+    if tag == "dict":
+        return {decode(k): decode(v) for k, v in encoded["v"]}
+    raise CodecError(f"unknown codec tag {tag!r}")
+
+
+def canonical_json(encoded: Any) -> str:
+    """The one canonical rendering of an encoded value."""
+    return json.dumps(
+        encoded, sort_keys=True, separators=(",", ":"), ensure_ascii=True
+    )
+
+
+def payload_digest(encoded: Any) -> str:
+    """Content hash of an encoded payload (disk-store integrity)."""
+    return hashlib.sha256(canonical_json(encoded).encode("utf-8")).hexdigest()

@@ -1,0 +1,204 @@
+"""Storage tiers for the content-addressed artifact cache.
+
+Two tiers with one contract — ``get`` returns :data:`MISS` (a unique
+sentinel, since ``None`` is a legitimate artifact) and ``put`` never
+fails the caller:
+
+* :class:`MemoryLRU` holds live Python objects with least-recently-used
+  eviction.  It is the hot tier every lookup touches first.
+* :class:`DiskJSONStore` persists codec-encoded envelopes as one JSON
+  file per key, written atomically (temp file + rename).  A corrupt or
+  tampered file reads as a miss, never as a wrong value: the envelope
+  embeds a payload content hash that is re-checked on every load.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import OrderedDict
+from typing import Any, Iterator
+
+from repro.cache.codec import (
+    CODEC_VERSION,
+    CodecError,
+    canonical_json,
+    decode,
+    encode,
+    payload_digest,
+)
+
+#: Unique miss sentinel — ``None`` is a valid cached artifact.
+MISS = object()
+
+
+class MemoryLRU:
+    """An in-memory LRU map from artifact key to live result object."""
+
+    def __init__(self, max_entries: int = 512) -> None:
+        if max_entries < 1:
+            raise ValueError(f"need at least one entry, got {max_entries}")
+        self.max_entries = max_entries
+        self.evictions = 0
+        self._entries: "OrderedDict[str, Any]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def get(self, key: str) -> Any:
+        if key not in self._entries:
+            return MISS
+        self._entries.move_to_end(key)
+        return self._entries[key]
+
+    def put(self, key: str, value: Any) -> int:
+        """Store a value; returns how many entries were evicted."""
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        evicted = 0
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            evicted += 1
+        self.evictions += evicted
+        return evicted
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def keys(self) -> list[str]:
+        return list(self._entries)
+
+
+class DiskJSONStore:
+    """One JSON envelope file per artifact key under a directory."""
+
+    def __init__(self, directory: str | os.PathLike) -> None:
+        self.directory = os.fspath(directory)
+        os.makedirs(self.directory, exist_ok=True)
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}.json")
+
+    def __contains__(self, key: str) -> bool:
+        return os.path.exists(self._path(key))
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.iter_keys())
+
+    def iter_keys(self) -> Iterator[str]:
+        try:
+            names = sorted(os.listdir(self.directory))
+        except FileNotFoundError:
+            return
+        for name in names:
+            if name.endswith(".json"):
+                yield name[: -len(".json")]
+
+    def get(self, key: str) -> Any:
+        """Load and decode one artifact; any corruption reads as a miss."""
+        try:
+            with open(self._path(key), "r", encoding="utf-8") as handle:
+                envelope = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return MISS
+        if self._envelope_error(key, envelope) is not None:
+            return MISS
+        try:
+            return decode(envelope["payload"])
+        except (CodecError, KeyError, TypeError, AttributeError):
+            return MISS
+
+    def put(self, key: str, value: Any, meta: dict | None = None) -> None:
+        """Encode and persist one artifact atomically.
+
+        Values the codec cannot express are skipped silently — the disk
+        tier is an accelerator, not a system of record.
+        """
+        try:
+            payload = encode(value)
+        except CodecError:
+            return
+        envelope = dict(meta or {})
+        envelope.update(
+            key=key,
+            codec=CODEC_VERSION,
+            payload=payload,
+            payload_sha256=payload_digest(payload),
+        )
+        path = self._path(key)
+        tmp_path = f"{path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp_path, "w", encoding="utf-8") as handle:
+                json.dump(envelope, handle, sort_keys=True, separators=(",", ":"))
+            os.replace(tmp_path, path)
+        except OSError:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+
+    def read_meta(self, key: str) -> dict | None:
+        """The envelope without its payload (for stats/verify listings)."""
+        try:
+            with open(self._path(key), "r", encoding="utf-8") as handle:
+                envelope = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+        return {k: v for k, v in envelope.items() if k != "payload"}
+
+    def clear(self) -> int:
+        removed = 0
+        for key in list(self.iter_keys()):
+            try:
+                os.unlink(self._path(key))
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def total_bytes(self) -> int:
+        total = 0
+        for key in self.iter_keys():
+            try:
+                total += os.path.getsize(self._path(key))
+            except OSError:
+                pass
+        return total
+
+    def _envelope_error(self, key: str, envelope: Any) -> str | None:
+        if not isinstance(envelope, dict):
+            return "envelope is not an object"
+        if envelope.get("key") != key:
+            return f"key mismatch: file says {envelope.get('key')!r}"
+        if envelope.get("codec") != CODEC_VERSION:
+            return f"codec version {envelope.get('codec')!r} != {CODEC_VERSION}"
+        if "payload" not in envelope:
+            return "missing payload"
+        recorded = envelope.get("payload_sha256")
+        actual = payload_digest(envelope["payload"])
+        if recorded != actual:
+            return f"payload hash mismatch ({recorded} != {actual})"
+        return None
+
+    def verify(self) -> list[str]:
+        """Integrity-check every envelope; returns human-readable issues."""
+        issues = []
+        for key in self.iter_keys():
+            try:
+                with open(self._path(key), "r", encoding="utf-8") as handle:
+                    envelope = json.load(handle)
+            except (OSError, json.JSONDecodeError) as error:
+                issues.append(f"{key}: unreadable ({error})")
+                continue
+            error_text = self._envelope_error(key, envelope)
+            if error_text is not None:
+                issues.append(f"{key}: {error_text}")
+                continue
+            try:
+                decode(envelope["payload"])
+            except (CodecError, KeyError, TypeError, AttributeError) as error:
+                issues.append(f"{key}: payload does not decode ({error})")
+        return issues

@@ -177,3 +177,37 @@ def notice_persistence(annotations: Iterable[Annotation]) -> NoticePersistence:
     for channel, count in policy.items():
         result.policy_share_by_channel[channel] = count / total[channel]
     return result
+
+
+# -- pass registration -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ConsentResult:
+    """Pass result: the §VI annotation aggregates (Tables IV, V)."""
+
+    annotation_count: int
+    distribution: dict[str, OverlayDistribution]
+    prevalence: dict[str, PrivacyPrevalence]
+    privacy_channels: tuple[str, ...]
+    pointer_channels: tuple[str, ...]
+    measured_channels: int
+
+
+from repro.analysis.passes import analysis_pass  # noqa: E402
+
+
+@analysis_pass("consent", version=1)
+def run(dataset, ctx) -> ConsentResult:
+    """Pass entry point: annotate every screenshot and aggregate."""
+    annotations = annotate_screenshots(dataset.all_screenshots())
+    return ConsentResult(
+        annotation_count=len(annotations),
+        distribution=overlay_distribution(annotations),
+        prevalence=privacy_prevalence(annotations),
+        privacy_channels=tuple(
+            sorted(channels_with_privacy_info(annotations))
+        ),
+        pointer_channels=tuple(sorted(pointer_prevalence(annotations))),
+        measured_channels=len(dataset.channels_measured()),
+    )

@@ -120,11 +120,32 @@ class StudyDataset:
     """All measurement runs of the study."""
 
     runs: dict[str, RunDataset] = field(default_factory=dict)
+    #: Memoized content hash (see :meth:`digest`); dropped on mutation.
+    _digest_cache: str | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def add_run(self, run: RunDataset) -> None:
         if run.run_name in self.runs:
             raise ValueError(f"run already recorded: {run.run_name}")
         self.runs[run.run_name] = run
+        self._digest_cache = None
+
+    def digest(self) -> str:
+        """The study's canonical content hash, memoized.
+
+        This is the dataset half of every analysis-cache key, looked up
+        once per report/benchmark instead of re-serializing the whole
+        study for each pass.  ``add_run`` invalidates the memo; callers
+        that mutate a run's collections in place (tests, mostly) must
+        call :meth:`invalidate_digest` themselves.
+        """
+        if self._digest_cache is None:
+            self._digest_cache = study_digest(self)
+        return self._digest_cache
+
+    def invalidate_digest(self) -> None:
+        self._digest_cache = None
 
     def run_names(self) -> list[str]:
         return list(self.runs)

@@ -110,6 +110,11 @@ class ShardResult:
     #: back across the ``spawn`` boundary with the dataset.
     trace: tuple[TraceEvent, ...] = ()
     metrics: MetricsRegistry | None = None
+    #: Content digest of ``dataset``, computed in the worker while the
+    #: shard is hot.  The memo rides back across the spawn boundary, so
+    #: analysis caching on a shard (or the merged study) never pays the
+    #: canonicalization twice.
+    dataset_digest: str = ""
 
 
 # -- partitioning ------------------------------------------------------------------
@@ -223,6 +228,7 @@ def execute_shard(task: ShardTask) -> ShardResult:
         ),
         trace=context.trace_events,
         metrics=obs.metrics if obs is not None else None,
+        dataset_digest=dataset.digest(),
     )
 
 
@@ -417,7 +423,8 @@ def run_sharded_study(
         resilience=resilience,
         n_shards=n_shards,
     )
-    merged = merge_shard_results(execute_shard_tasks(tasks, workers=workers))
+    results = execute_shard_tasks(tasks, workers=workers)
+    merged = merge_shard_results(results)
 
     context = make_context(
         world,
@@ -428,6 +435,9 @@ def run_sharded_study(
         ),
     )
     context.dataset = merged.dataset
+    # Prewarm the merged dataset's digest memo so downstream cache
+    # lookups do not pay for serialization again.
+    context.dataset.digest()
     context.filtering_report = merged.filtering_report
     context.period_start = merged.period_start
     context.period_end = merged.period_end
@@ -435,6 +445,10 @@ def run_sharded_study(
         context.monitor.study_health = merged.health
     context.n_shards = n_shards
     context.workers = workers
+    context.shard_digests = tuple(
+        r.dataset_digest
+        for r in sorted(results, key=lambda r: r.shard.index)
+    )
     # The context's fresh (unused) stack recorded nothing; expose the
     # merged per-shard telemetry instead.
     context.obs = Observability.merged(

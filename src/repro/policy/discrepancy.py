@@ -145,3 +145,56 @@ def audit_discrepancies(
                 )
             )
     return report
+
+
+# -- pass registration -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PoliciesResult:
+    """Pass result: the §VII corpus statistics plus the audit."""
+
+    occurrences: int
+    per_run: dict[str, int]
+    per_language: dict[str, int]
+    distinct_count: int
+    near_duplicate_groups: int
+    manually_recovered: int
+    hbbtv_share: float
+    audit: DiscrepancyReport
+
+
+from repro.analysis.passes import analysis_pass  # noqa: E402
+from repro.policy.corpus import collect_policies  # noqa: E402
+from repro.policy.practices import annotate_practices  # noqa: E402
+
+
+@analysis_pass("policies", version=1, deps=("parties",))
+def run(dataset, ctx) -> PoliciesResult:
+    """Pass entry point: collect the corpus, annotate practices, audit."""
+    flows = list(dataset.all_flows())
+    corpus = collect_policies(flows)
+    distinct = list(corpus.distinct_texts().values())
+    practice_annotations = [annotate_practices(d.text) for d in distinct]
+    total = max(1, len(practice_annotations))
+    hbbtv_share = (
+        sum(1 for a in practice_annotations if a.mentions_hbbtv) / total
+    )
+    by_channel = {
+        d.channel_id: annotate_practices(d.text)
+        for d in corpus.documents
+        if d.channel_id
+    }
+    audit = audit_discrepancies(
+        flows, by_channel, ctx.upstream("parties").first_parties
+    )
+    return PoliciesResult(
+        occurrences=len(corpus.documents),
+        per_run=dict(corpus.per_run_counts()),
+        per_language=dict(corpus.per_language_counts()),
+        distinct_count=corpus.distinct_count(),
+        near_duplicate_groups=len(corpus.near_duplicate_groups()),
+        manually_recovered=corpus.manually_recovered,
+        hbbtv_share=hbbtv_share,
+        audit=audit,
+    )

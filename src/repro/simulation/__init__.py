@@ -6,16 +6,24 @@ filtering funnel discards), broadcaster groups with their consent-notice
 brandings and privacy policies, and the third-party tracker population.
 All generation is seeded and calibrated against the paper's reported
 numbers (see :mod:`repro.simulation.params`).
+
+The package-level ``run_study``/``default_study`` re-exports are
+deprecated in favour of the :class:`repro.api.Study` facade — they
+still work (delegating to :mod:`repro.simulation.study` unchanged) but
+emit :class:`DeprecationWarning`.  Internal code imports the ``study``
+module directly and never sees the warning.
 """
+
+import warnings
 
 from repro.simulation.study import (
     StudyContext,
     clear_study_cache,
-    default_study,
     fault_plan_for_world,
     make_context,
-    run_study,
 )
+from repro.simulation.study import default_study as _default_study
+from repro.simulation.study import run_study as _run_study
 from repro.simulation.world import World, build_world
 
 __all__ = [
@@ -28,3 +36,34 @@ __all__ = [
     "clear_study_cache",
     "fault_plan_for_world",
 ]
+
+
+def run_study(*args, **kwargs):
+    """Deprecated alias for :func:`repro.simulation.study.run_study`.
+
+    Prefer ``repro.api.Study(...).run(...)``, which returns a bundled
+    :class:`~repro.api.StudyResult` instead of a raw context.
+    """
+    warnings.warn(
+        "repro.simulation.run_study is deprecated; "
+        "use repro.api.Study(...).run(...) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _run_study(*args, **kwargs)
+
+
+def default_study(*args, **kwargs):
+    """Deprecated alias for :func:`repro.simulation.study.default_study`.
+
+    Prefer ``repro.api.Study(...).run(...)``; the facade shares the
+    analysis cache, so repeat analyses stay cheap without the study
+    memo.
+    """
+    warnings.warn(
+        "repro.simulation.default_study is deprecated; "
+        "use repro.api.Study(...).run(...) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _default_study(*args, **kwargs)

@@ -80,6 +80,10 @@ class StudyContext:
     #: Set by the sharded executor (``None`` on the classic path).
     n_shards: int | None = None
     workers: int | None = None
+    #: Per-shard dataset content digests in shard-index order (empty on
+    #: the classic path) — the warm half of the analysis cache's keys,
+    #: computed in the workers while each shard was hot.
+    shard_digests: tuple[str, ...] = ()
     #: The telemetry bundle every stack layer records into.  On the
     #: sharded path this is replaced post-merge by the combined
     #: per-shard streams.

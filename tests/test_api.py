@@ -1,0 +1,123 @@
+"""The ``repro.api`` facade and the legacy deprecation shims."""
+
+import warnings
+
+import pytest
+
+import repro
+from repro.api import Study, StudyResult
+from repro.cache import AnalysisCache
+from repro.core.dataset import study_digest
+from repro.simulation.study import default_study
+
+SCALE = 0.05
+
+
+@pytest.fixture(scope="module")
+def result():
+    return Study(seed=7, scale=SCALE).run()
+
+
+class TestStudyRun:
+    def test_bundles_every_artifact(self, result):
+        assert isinstance(result, StudyResult)
+        assert len(result.dataset.runs) == 5
+        assert result.trace and any(e.name == "study" for e in result.trace)
+        assert result.metrics.counter_total("proxy.requests") > 0
+        assert result.seed == 7 and result.scale == SCALE
+        assert result.health is None  # clean, non-resilient run
+
+    def test_digest_matches_engine_output(self, result):
+        assert result.digest == study_digest(result.dataset)
+        engine = default_study(seed=7, scale=SCALE)
+        assert result.digest == study_digest(engine.dataset)
+
+    def test_report_equals_generate_report(self, result):
+        from repro.analysis.report import generate_report
+
+        assert result.report() == generate_report(
+            result.context, cache=False
+        )
+
+    def test_analyze_resolves_deps_and_hits_cache(self, result):
+        results = result.analyze("graph")
+        assert set(results) == {"parties", "graph"}
+        before = result.cache.stats().hits
+        again = result.analyze("graph")
+        assert again["graph"] == results["graph"]
+        assert result.cache.stats().hits >= before + 2
+
+    def test_table1_renders_overview(self, result):
+        table = result.table1()
+        assert "Meas. Run" in table and "Yellow" in table
+
+    def test_effective_scale_defaults_to_configured(self):
+        study = Study(seed=7)
+        assert study.effective_scale > 0
+
+    def test_with_filtering_populates_the_funnel(self):
+        result = Study(seed=9, scale=0.02).run(with_filtering=True)
+        assert result.funnel is not None
+        assert result.funnel.final > 0
+
+
+class TestCacheKnob:
+    def test_cache_false_disables(self):
+        result = Study(seed=9, scale=0.02).run(cache=False)
+        assert result.cache is None
+        # report() still works without a cache.
+        assert result.report().startswith("# Replication report")
+
+    def test_cache_path_persists_to_disk(self, tmp_path):
+        result = Study(seed=9, scale=0.02).run(cache=tmp_path / "store")
+        result.analyze("pixels")
+        assert result.cache.stats().disk_entries == 1
+        assert result.cache.verify() == []
+
+    def test_cache_instance_used_verbatim(self):
+        cache = AnalysisCache(max_entries=16)
+        result = Study(seed=9, scale=0.02).run(cache=cache)
+        assert result.cache is cache
+
+
+class TestShardedRun:
+    def test_shards_flow_through(self):
+        result = Study(seed=9, scale=0.02).run(shards=2)
+        assert result.context.n_shards == 2
+        assert len(result.context.shard_digests) == 2
+        assert all(len(d) == 64 for d in result.context.shard_digests)
+        # The merged digest memo was prewarmed by the shard merge.
+        assert result.dataset._digest_cache == result.digest
+
+    def test_faults_preset_accepted(self):
+        result = Study(seed=9, scale=0.02).run(faults="light")
+        assert result.health is not None
+        assert result.health.has_activity
+
+
+class TestDeprecationShims:
+    def test_package_level_run_study_warns_and_works(self):
+        from repro.simulation import run_study as legacy_run_study
+        from repro.simulation.world import build_world
+
+        world = build_world(seed=9, scale=0.02)
+        with pytest.warns(DeprecationWarning, match="repro.api.Study"):
+            context = legacy_run_study(world)
+        assert context.dataset is not None
+
+    def test_package_level_default_study_warns_and_works(self):
+        from repro.simulation import default_study as legacy_default_study
+
+        with pytest.warns(DeprecationWarning, match="repro.api.Study"):
+            context = legacy_default_study(seed=9, scale=0.02)
+        assert len(context.dataset.runs) == 5
+
+    def test_top_level_imports_stay_quiet(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            context = repro.run_default_study(seed=9, scale=0.02)
+        assert context.dataset is not None
+
+    def test_facade_exported_at_top_level(self):
+        assert repro.Study is Study
+        assert repro.StudyResult is StudyResult

@@ -1,0 +1,317 @@
+"""The content-addressed analysis cache: codec, tiers, keys, goldens."""
+
+import dataclasses
+import enum
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.passes import (
+    REPORT_PASSES,
+    PassContext,
+    pass_keys,
+    resolve_passes,
+)
+from repro.analysis.report import generate_report
+from repro.cache import (
+    MISS,
+    AnalysisCache,
+    artifact_key,
+    clear_default_cache,
+    default_cache,
+    params_digest,
+)
+from repro.cache.codec import CodecError, decode, encode, payload_digest
+from repro.cache.store import DiskJSONStore, MemoryLRU
+from repro.dvb.channel import ChannelCategory
+from repro.simulation.study import default_study
+
+
+@dataclasses.dataclass(frozen=True)
+class _Sample:
+    """A codec-exercising dataclass living under the repro package."""
+
+    name: str
+    values: tuple
+    tags: frozenset
+    table: dict
+
+
+# The codec resolves types by module path, so test dataclasses must be
+# importable from a repro module.
+import repro.cache.codec as _codec_mod  # noqa: E402
+
+_codec_mod._Sample = _Sample
+_Sample.__module__ = "repro.cache.codec"
+_Sample.__qualname__ = "_Sample"
+
+
+class TestCodec:
+    def test_round_trips_rich_values(self):
+        value = _Sample(
+            name="xiti",
+            values=(1, 2.5, None, b"\x00\xff", ("nested",)),
+            tags=frozenset({"a", "b"}),
+            table={("k", 1): [True, False], "plain": {"x": 1}},
+        )
+        decoded = decode(encode(value))
+        assert decoded == value
+        assert isinstance(decoded, _Sample)
+
+    def test_round_trips_enums_and_sets(self):
+        value = {
+            "cat": ChannelCategory.CHILDREN,
+            "seen": {3, 1, 2},
+        }
+        decoded = decode(encode(value))
+        assert decoded["cat"] is ChannelCategory.CHILDREN
+        assert decoded["seen"] == {1, 2, 3}
+
+    def test_dict_insertion_order_survives(self):
+        value = {"z": 1, "a": 2, "m": 3}
+        assert list(decode(encode(value))) == ["z", "a", "m"]
+
+    def test_set_encoding_is_order_independent(self):
+        a = encode({"s": {"x", "y", "z"}})
+        b = encode({"s": {"z", "y", "x"}})
+        assert payload_digest(a) == payload_digest(b)
+
+    def test_unencodable_value_raises(self):
+        with pytest.raises(CodecError):
+            encode(object())
+
+    def test_decode_refuses_foreign_types(self):
+        smuggled = {"$": "dc", "t": "os:path", "v": {}}
+        with pytest.raises(CodecError):
+            decode(smuggled)
+
+    def test_decode_refuses_unknown_tag(self):
+        with pytest.raises(CodecError):
+            decode({"$": "pickle", "v": ""})
+
+
+class TestMemoryLRU:
+    def test_get_miss_returns_sentinel(self):
+        lru = MemoryLRU(4)
+        assert lru.get("absent") is MISS
+
+    def test_none_is_a_valid_cached_value(self):
+        lru = MemoryLRU(4)
+        lru.put("k", None)
+        assert lru.get("k") is None
+
+    def test_evicts_least_recently_used(self):
+        lru = MemoryLRU(2)
+        lru.put("a", 1)
+        lru.put("b", 2)
+        assert lru.get("a") == 1  # refresh a
+        evicted = lru.put("c", 3)  # b is now the oldest
+        assert evicted == 1
+        assert lru.get("b") is MISS
+        assert lru.get("a") == 1 and lru.get("c") == 3
+        assert lru.evictions == 1
+
+
+class TestDiskStore:
+    def test_round_trip_and_meta(self, tmp_path):
+        store = DiskJSONStore(tmp_path)
+        store.put("k1", {"x": (1, 2)}, meta={"pass": "demo"})
+        assert store.get("k1") == {"x": (1, 2)}
+        meta = store.read_meta("k1")
+        assert meta["pass"] == "demo"
+        assert "payload" not in meta
+
+    def test_corrupt_file_reads_as_miss(self, tmp_path):
+        store = DiskJSONStore(tmp_path)
+        store.put("k1", [1, 2, 3])
+        path = tmp_path / "k1.json"
+        path.write_text("{not json")
+        assert store.get("k1") is MISS
+
+    def test_tampered_payload_reads_as_miss_and_fails_verify(self, tmp_path):
+        store = DiskJSONStore(tmp_path)
+        store.put("k1", [1, 2, 3])
+        path = tmp_path / "k1.json"
+        envelope = json.loads(path.read_text())
+        envelope["payload"] = [9, 9, 9]
+        path.write_text(json.dumps(envelope))
+        assert store.get("k1") is MISS
+        issues = store.verify()
+        assert issues and "hash mismatch" in issues[0]
+
+    def test_unencodable_put_is_skipped(self, tmp_path):
+        store = DiskJSONStore(tmp_path)
+        store.put("k1", object())
+        assert "k1" not in store
+        assert len(store) == 0
+
+    def test_clear_removes_everything(self, tmp_path):
+        store = DiskJSONStore(tmp_path)
+        store.put("a", 1)
+        store.put("b", 2)
+        assert store.clear() == 2
+        assert len(store) == 0
+
+
+class TestArtifactKeys:
+    def test_version_bump_changes_key(self):
+        base = artifact_key("d" * 64, "pixels", 1)
+        assert artifact_key("d" * 64, "pixels", 2) != base
+
+    def test_params_change_changes_key(self):
+        p1 = params_digest({"overrides": {"ch": "a.de"}})
+        p2 = params_digest({"overrides": {"ch": "b.de"}})
+        assert p1 != p2
+        base = artifact_key("d" * 64, "parties", 1, params=p1)
+        assert artifact_key("d" * 64, "parties", 1, params=p2) != base
+
+    def test_dataset_change_changes_key(self):
+        assert artifact_key("a" * 64, "pixels", 1) != artifact_key(
+            "b" * 64, "pixels", 1
+        )
+
+    def test_dep_keys_propagate_invalidation(self):
+        dep_a = artifact_key("d" * 64, "parties", 1)
+        dep_b = artifact_key("d" * 64, "parties", 2)
+        assert artifact_key(
+            "d" * 64, "graph", 1, dep_keys=(dep_a,)
+        ) != artifact_key("d" * 64, "graph", 1, dep_keys=(dep_b,))
+
+    def test_params_digest_treats_dict_order_as_semantic(self):
+        """The codec preserves insertion order, so the digest does too."""
+        assert params_digest({"a": 1, "b": 2}) == params_digest(
+            {"a": 1, "b": 2}
+        )
+        assert params_digest({"a": 1, "b": 2}) != params_digest(
+            {"b": 2, "a": 1}
+        )
+
+
+class TestAnalysisCache:
+    def test_memory_then_disk_then_miss(self, tmp_path):
+        cache = AnalysisCache(max_entries=8, directory=tmp_path)
+        cache.put("k", {"v": 1}, meta={"pass": "demo"})
+        assert cache.get("k") == {"v": 1}
+        # Drop the memory tier; disk must serve and re-promote.
+        cache.memory.clear()
+        assert cache.get("k") == {"v": 1}
+        assert "k" in cache.memory
+        assert cache.get("absent") is MISS
+        stats = cache.stats()
+        assert stats.hits == 2 and stats.misses == 1
+        assert stats.disk_entries == 1
+
+    def test_eviction_counted(self):
+        cache = AnalysisCache(max_entries=1)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.stats().evictions == 1
+        assert cache.get("a") is MISS
+
+    def test_clear_and_verify(self, tmp_path):
+        cache = AnalysisCache(directory=tmp_path)
+        cache.put("a", (1, 2))
+        assert cache.verify() == []
+        assert cache.clear() == 2  # one memory entry + one disk entry
+        assert cache.stats().memory_entries == 0
+        assert cache.stats().disk_entries == 0
+
+    def test_default_cache_is_memoized(self):
+        clear_default_cache()
+        assert default_cache() is default_cache()
+        clear_default_cache()
+
+    def test_cache_metrics_never_touch_study_obs(self):
+        """Study telemetry stays pure: cache counters live on the cache."""
+        context = default_study(seed=7, scale=0.15)
+        before = context.metrics.snapshot()
+        cache = AnalysisCache()
+        generate_report(context, cache=cache)
+        assert context.metrics.snapshot() == before
+        assert cache.stats().lookups > 0
+
+
+class TestPassInvalidation:
+    def test_version_bump_invalidates_dependents_only(self):
+        context = default_study(seed=7, scale=0.15)
+        ctx = PassContext.for_study(context)
+        keys = pass_keys(REPORT_PASSES, context.dataset, ctx)
+
+        from repro.analysis import passes as reg
+
+        spec = reg.get_pass("parties")
+        bumped = dataclasses.replace(spec, version=spec.version + 1)
+        reg.register_pass(bumped, replace=True)
+        try:
+            new_keys = pass_keys(REPORT_PASSES, context.dataset, ctx)
+        finally:
+            reg.register_pass(spec, replace=True)
+
+        changed = {n for n in keys if keys[n] != new_keys[n]}
+        # parties itself plus its transitive dependents — nothing else.
+        assert changed == {
+            "parties",
+            "fingerprinting",
+            "leakage",
+            "graph",
+            "policies",
+        }
+
+    def test_context_params_rekey_exactly_the_affected_passes(self):
+        context = default_study(seed=7, scale=0.15)
+        base = PassContext.for_study(context)
+        tweaked = PassContext.for_study(context)
+        tweaked.children_channel_ids = tweaked.children_channel_ids + ("zzz",)
+
+        keys = pass_keys(REPORT_PASSES, context.dataset, base)
+        new_keys = pass_keys(REPORT_PASSES, context.dataset, tweaked)
+        changed = {n for n in keys if keys[n] != new_keys[n]}
+        assert changed == {"children"}
+
+
+class TestGoldenByteIdentity:
+    def test_report_identical_uncached_cold_warm_and_disk(self, tmp_path):
+        """The acceptance golden: caching never changes a byte."""
+        context = default_study(seed=7, scale=0.15)
+        baseline = generate_report(context, cache=False)
+
+        cache = AnalysisCache(directory=tmp_path / "store")
+        cold = generate_report(context, cache=cache)
+        warm = generate_report(context, cache=cache)
+        # A fresh cache over the same directory decodes from disk.
+        fresh = AnalysisCache(directory=tmp_path / "store")
+        decoded = generate_report(context, cache=fresh)
+
+        assert cold == baseline
+        assert warm == baseline
+        assert decoded == baseline
+        assert fresh.stats().misses == 0
+
+    @settings(max_examples=4, deadline=None)
+    @given(
+        seed=st.sampled_from([5, 9]),
+        scale=st.sampled_from([0.02, 0.03]),
+    )
+    def test_cache_hit_equals_cold_compute(self, seed, scale):
+        """Property: cached results equal fresh computes, any study."""
+        context = default_study(seed=seed, scale=scale)
+        cold = resolve_passes(
+            REPORT_PASSES, context.dataset, PassContext.for_study(context)
+        )
+        cache = AnalysisCache()
+        resolve_passes(
+            REPORT_PASSES,
+            context.dataset,
+            PassContext.for_study(context),
+            cache=cache,
+        )
+        warm = resolve_passes(
+            REPORT_PASSES,
+            context.dataset,
+            PassContext.for_study(context),
+            cache=cache,
+        )
+        assert set(warm) == set(cold)
+        for name, result in cold.items():
+            assert warm[name] == result, name

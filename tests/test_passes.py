@@ -1,0 +1,189 @@
+"""The analysis-pass registry: registration, DAG resolution, uniformity."""
+
+import pytest
+
+from repro.analysis import passes as reg
+from repro.analysis.passes import (
+    REPORT_PASSES,
+    PassContext,
+    PassError,
+    PassSpec,
+    all_passes,
+    analysis_pass,
+    get_pass,
+    resolve_passes,
+    topological_order,
+    unregister_pass,
+)
+from repro.simulation.study import default_study
+
+SCALE = 0.15
+
+EXPECTED_PASSES = {
+    "overview",
+    "parties",
+    "tracking",
+    "pixels",
+    "fingerprinting",
+    "leakage",
+    "filterlists",
+    "graph",
+    "cookies",
+    "cookiesync",
+    "channels",
+    "children",
+    "runeffects",
+    "consent",
+    "policies",
+}
+
+
+@pytest.fixture
+def study():
+    return default_study(seed=7, scale=SCALE)
+
+
+class TestRegistry:
+    def test_every_analysis_entry_point_is_registered(self):
+        assert EXPECTED_PASSES <= set(all_passes())
+
+    def test_report_passes_are_all_registered(self):
+        registered = all_passes()
+        for name in REPORT_PASSES:
+            assert name in registered
+
+    def test_unknown_pass_raises(self):
+        with pytest.raises(PassError, match="unknown analysis pass"):
+            get_pass("nope")
+
+    def test_duplicate_registration_raises(self):
+        with pytest.raises(PassError, match="already registered"):
+            analysis_pass("pixels")(lambda dataset, ctx: None)
+
+    def test_register_replace_and_unregister(self):
+        @analysis_pass("temp-pass", version=3)
+        def run(dataset, ctx):
+            return "v3"
+
+        try:
+            assert get_pass("temp-pass").version == 3
+            spec = PassSpec(name="temp-pass", version=4, fn=run)
+            reg.register_pass(spec, replace=True)
+            assert get_pass("temp-pass").version == 4
+        finally:
+            unregister_pass("temp-pass")
+        with pytest.raises(PassError):
+            get_pass("temp-pass")
+
+
+class TestTopology:
+    def test_dependencies_come_first(self):
+        order = topological_order(REPORT_PASSES)
+        assert order.index("parties") < order.index("fingerprinting")
+        assert order.index("parties") < order.index("leakage")
+        assert order.index("parties") < order.index("graph")
+        assert order.index("parties") < order.index("policies")
+        assert order.index("channels") < order.index("children")
+
+    def test_requesting_a_dependent_pulls_its_deps(self):
+        assert topological_order(["graph"]) == ["parties", "graph"]
+
+    def test_each_pass_appears_once(self):
+        order = topological_order(REPORT_PASSES + ("graph", "children"))
+        assert len(order) == len(set(order))
+
+    def test_cycle_detection(self):
+        analysis_pass("cyc-a", deps=("cyc-b",))(lambda d, c: None)
+        analysis_pass("cyc-b", deps=("cyc-a",))(lambda d, c: None)
+        try:
+            with pytest.raises(PassError, match="cyclic"):
+                topological_order(["cyc-a"])
+        finally:
+            unregister_pass("cyc-a")
+            unregister_pass("cyc-b")
+
+
+class TestUniformEntryPoints:
+    """Each registered ``run(dataset, ctx)`` equals the direct call."""
+
+    def test_pixels_matches_direct_call(self, study):
+        from repro.analysis.pixels import analyze_pixels
+
+        results = resolve_passes(
+            ["pixels"], study.dataset, PassContext.for_study(study)
+        )
+        assert results["pixels"] == analyze_pixels(study.dataset.all_flows())
+
+    def test_parties_matches_direct_call(self, study):
+        from repro.analysis.parties import identify_first_parties
+
+        results = resolve_passes(
+            ["parties"], study.dataset, PassContext.for_study(study)
+        )
+        assert results["parties"].first_parties == identify_first_parties(
+            study.dataset.all_flows(),
+            manual_overrides=study.first_party_overrides,
+        )
+
+    def test_graph_consumes_upstream_parties(self, study):
+        from repro.analysis.graph import analyze_graph, build_ecosystem_graph
+        from repro.analysis.parties import identify_first_parties
+
+        flows = list(study.dataset.all_flows())
+        first_parties = identify_first_parties(
+            flows, manual_overrides=study.first_party_overrides
+        )
+        expected = analyze_graph(build_ecosystem_graph(flows, first_parties))
+
+        results = resolve_passes(
+            ["graph"], study.dataset, PassContext.for_study(study)
+        )
+        assert results["graph"] == expected
+
+    def test_cookiesync_reads_period_params(self, study):
+        from repro.analysis.cookiesync import detect_cookie_syncing
+
+        expected = detect_cookie_syncing(
+            study.dataset.all_cookie_records(),
+            study.dataset.all_flows(),
+            study.period_start,
+            study.period_end,
+        )
+        results = resolve_passes(
+            ["cookiesync"], study.dataset, PassContext.for_study(study)
+        )
+        assert results["cookiesync"] == expected
+
+    def test_consent_pass_bundles_the_annotation_aggregates(self, study):
+        from repro.consent.annotate import annotate_screenshots
+
+        annotations = annotate_screenshots(study.dataset.all_screenshots())
+        results = resolve_passes(
+            ["consent"], study.dataset, PassContext.for_study(study)
+        )
+        consent = results["consent"]
+        assert consent.annotation_count == len(annotations)
+        assert consent.measured_channels == len(
+            study.dataset.channels_measured()
+        )
+
+
+class TestPassContext:
+    def test_upstream_requires_resolution(self):
+        ctx = PassContext()
+        with pytest.raises(PassError, match="not resolved"):
+            ctx.upstream("parties")
+
+    def test_for_study_collects_world_metadata(self, study):
+        ctx = PassContext.for_study(study)
+        assert ctx.first_party_overrides == study.first_party_overrides
+        assert set(ctx.children_channel_ids) == set(
+            study.world.children_channel_ids
+        )
+        assert ctx.period_start == study.period_start
+        assert ctx.period_end == study.period_end
+
+    def test_results_accumulate_deps(self, study):
+        ctx = PassContext.for_study(study)
+        resolve_passes(["graph"], study.dataset, ctx)
+        assert set(ctx.results) == {"parties", "graph"}
