@@ -11,6 +11,7 @@ Subcommands:
 * ``health``  — the run-health report (faults, retries, degradation)
 * ``metrics`` — the study's deterministic metrics snapshot (JSON)
 * ``cache``   — inspect the analysis cache (``stats``/``clear``/``verify``)
+* ``audit``   — determinism audit (``lint``/``fuzz``, see DESIGN.md §12)
 
 All subcommands accept ``--seed`` (default 7), ``--scale`` (default
 0.15), and ``--faults`` (default ``off``) — a fault-injection preset
@@ -38,6 +39,7 @@ import argparse
 
 FAULT_CHOICES = ("off", "light", "heavy", "chaos")
 CACHE_ACTIONS = ("stats", "clear", "verify")
+AUDIT_ACTIONS = ("lint", "fuzz")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -100,6 +102,42 @@ def _build_parser() -> argparse.ArgumentParser:
         help="disable the analysis cache (results are identical)",
     )
     parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="audit lint: exit nonzero on any unallowlisted finding",
+    )
+    parser.add_argument(
+        "--json",
+        dest="as_json",
+        action="store_true",
+        help="audit: print machine-readable JSON instead of text",
+    )
+    parser.add_argument(
+        "--json-out",
+        metavar="PATH",
+        default=None,
+        help="audit: also write the JSON report to PATH",
+    )
+    parser.add_argument(
+        "--allowlist",
+        metavar="PATH",
+        default=None,
+        help=(
+            "audit lint: allowlist file for audited exceptions "
+            "(default: the packaged repro/audit/allowlist.json)"
+        ),
+    )
+    parser.add_argument(
+        "--budget",
+        type=int,
+        default=3,
+        metavar="N",
+        help=(
+            "audit fuzz: number of sampled (seed, scale, faults) points "
+            "(--seed seeds the sampler)"
+        ),
+    )
+    parser.add_argument(
         "command",
         choices=(
             "study",
@@ -111,15 +149,19 @@ def _build_parser() -> argparse.ArgumentParser:
             "health",
             "metrics",
             "cache",
+            "audit",
         ),
         help="which artifact to produce",
     )
     parser.add_argument(
         "action",
         nargs="?",
-        choices=CACHE_ACTIONS,
+        choices=CACHE_ACTIONS + AUDIT_ACTIONS,
         default=None,
-        help="cache maintenance action (cache command only; default stats)",
+        help=(
+            "subaction: cache maintenance (stats/clear/verify, default "
+            "stats) or determinism audit (lint/fuzz, default lint)"
+        ),
     )
     return parser
 
@@ -128,6 +170,8 @@ def main(argv: list[str] | None = None) -> int:
     arguments = _build_parser().parse_args(argv)
     if arguments.command == "cache":
         return _cache_command(arguments)
+    if arguments.command == "audit":
+        return _audit_command(arguments)
     if arguments.command == "funnel":
         return _funnel(arguments)
     return _with_study(arguments)
@@ -154,6 +198,9 @@ def _cache_command(arguments) -> int:
     else:
         cache = default_cache()
     action = arguments.action or "stats"
+    if action not in CACHE_ACTIONS:
+        print(f"unknown cache action {action!r} (expected {CACHE_ACTIONS})")
+        return 2
     if action == "stats":
         print(json.dumps(cache.stats().as_dict(), indent=2, sort_keys=True))
         return 0
@@ -171,6 +218,44 @@ def _cache_command(arguments) -> int:
     print(f"cache verified: {entries} disk entr"
           f"{'y' if entries == 1 else 'ies'}, no issues")
     return 0
+
+
+def _audit_command(arguments) -> int:
+    """The determinism audit: static lint or differential fuzz."""
+    import json
+
+    action = arguments.action or "lint"
+    if action not in AUDIT_ACTIONS:
+        print(f"unknown audit action {action!r} (expected {AUDIT_ACTIONS})")
+        return 2
+
+    if action == "lint":
+        from repro.audit import lint_package
+
+        report = lint_package(allowlist=arguments.allowlist)
+        payload = report.as_dict()
+        failed = arguments.strict and not report.clean
+    else:
+        from repro.audit import FuzzConfig, run_fuzz
+
+        config = FuzzConfig(
+            budget=arguments.budget, base_seed=arguments.seed
+        )
+        report = run_fuzz(
+            config, log=None if arguments.as_json else print
+        )
+        payload = report.as_dict()
+        failed = not report.ok
+
+    if arguments.json_out is not None:
+        with open(arguments.json_out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if arguments.as_json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(report.describe())
+    return 1 if failed else 0
 
 
 def _funnel(arguments) -> int:

@@ -44,7 +44,9 @@ def general_cookie_report(
                 record.cookie.key()
             )
         parties.add(record.etld1)
-    names = [key[0] for key in distinct]
+    # Sorted so the purposes dict below is built in a process-independent
+    # order (set iteration order leaks the string hash seed).
+    names = sorted(key[0] for key in distinct)
     purposes: dict[str, int] = {}
     for name in names:
         purpose = cookiepedia.classify(name)

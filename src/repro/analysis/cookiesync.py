@@ -105,7 +105,7 @@ def detect_cookie_syncing(
         receiver = flow.etld1
         # The ID can appear in the query string or anywhere in the URL;
         # tokenizing once per URL keeps this linear in the flow count.
-        for value in set(_TOKEN_PATTERN.findall(url)):
+        for value in sorted(set(_TOKEN_PATTERN.findall(url))):
             owner_set = owners.get(value)
             if owner_set is None:
                 continue
@@ -113,7 +113,9 @@ def detect_cookie_syncing(
             if not foreign_owners:
                 continue
             report.synced_values.add(value)
-            for owner in foreign_owners:
+            # Sorted: the event list is serialized output, and set
+            # iteration order would differ across worker processes.
+            for owner in sorted(foreign_owners):
                 report.events.append(
                     SyncEvent(
                         identifier=value,

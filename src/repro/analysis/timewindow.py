@@ -33,11 +33,18 @@ class HourlyHistogram:
         self.counts[int(hour) % 24] += 1
 
     def inside_window(self, window: tuple[int, int]) -> int:
-        """Requests inside a [start, end) window (may wrap midnight)."""
+        """Requests inside a [start, end) window (may wrap midnight).
+
+        ``start == end`` is the degenerate "at all times" window and
+        covers every hour, matching ``_inside_window`` in
+        :mod:`repro.policy.discrepancy`.
+        """
         start, end = window
+        if start == end:
+            return self.total
         hours = (
             range(start, end)
-            if start <= end
+            if start < end
             else list(range(start, 24)) + list(range(0, end))
         )
         return sum(self.counts[hour % 24] for hour in hours)

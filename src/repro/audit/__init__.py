@@ -1,0 +1,78 @@
+"""Determinism audit tooling (``repro audit``).
+
+The repo's core guarantee — study output is a pure function of
+``(seed, scale, plan, n_shards)``, byte-identical across worker counts
+and cache states — is only as strong as the code that upholds it.  This
+package makes the claim *checkable* with two engines:
+
+* :mod:`repro.audit.lint` — a static AST pass over the source tree that
+  flags nondeterminism hazards (wall-clock reads, unsorted set
+  iteration feeding output, pid-unsafe module memos, unseeded
+  randomness, order-dependent float accumulation), with a JSON
+  allowlist for audited exceptions.
+* :mod:`repro.audit.fuzz` — a differential fuzzer that executes sampled
+  ``(seed, scale, faults)`` study points across worker counts, shard
+  counts, and cache states, compares the content digests, and on
+  divergence bisects the canonical trace JSONL to the first differing
+  span so the report names the guilty module
+  (:mod:`repro.audit.bisect`).
+
+Both are surfaced as ``repro audit lint`` / ``repro audit fuzz`` CLI
+subcommands and as a CI job; see DESIGN.md §12.
+"""
+
+from __future__ import annotations
+
+from repro.audit.bisect import (
+    SPAN_MODULES,
+    DivergenceLocation,
+    bisect_jsonl,
+    localize_divergence,
+    prefix_digests,
+)
+from repro.audit.fuzz import (
+    Divergence,
+    FuzzConfig,
+    FuzzPoint,
+    FuzzReport,
+    VariantOutcome,
+    run_fuzz,
+    sample_points,
+    shuffled_merge_fault,
+)
+from repro.audit.lint import (
+    RULES,
+    Allowlist,
+    AllowlistError,
+    Finding,
+    LintReport,
+    default_allowlist_path,
+    lint_package,
+    lint_source,
+    load_allowlist,
+)
+
+__all__ = [
+    "RULES",
+    "SPAN_MODULES",
+    "Allowlist",
+    "AllowlistError",
+    "Divergence",
+    "DivergenceLocation",
+    "Finding",
+    "FuzzConfig",
+    "FuzzPoint",
+    "FuzzReport",
+    "LintReport",
+    "VariantOutcome",
+    "bisect_jsonl",
+    "default_allowlist_path",
+    "lint_package",
+    "lint_source",
+    "load_allowlist",
+    "localize_divergence",
+    "prefix_digests",
+    "run_fuzz",
+    "sample_points",
+    "shuffled_merge_fault",
+]

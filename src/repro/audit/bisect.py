@@ -1,0 +1,186 @@
+"""Trace bisection: from "digests differ" to "this module diverged".
+
+When the differential fuzzer finds two study executions whose trace
+digests disagree, a digest tells you nothing about *where*.  This
+module narrows the blame in two steps:
+
+1. **Bisect the canonical JSONL.**  ``prefix_digests`` folds the stream
+   into cumulative content hashes (one O(n) pass, incremental SHA-256),
+   and ``bisect_jsonl`` binary-searches them for the first line whose
+   prefix digest disagrees — O(log n) probes, no line-by-line string
+   comparison of the full streams.
+2. **Name the guilty module.**  ``localize_divergence`` replays the
+   common prefix with :func:`repro.obs.trace.diff_traces` to recover
+   the open-span path at the divergence, then maps the innermost
+   recognized span or point name to the module that records it
+   (:data:`SPAN_MODULES`).
+
+The output is a :class:`DivergenceLocation` — event index, span path,
+module, and a one-line human description — which is what ``repro audit
+fuzz`` prints and serializes on failure.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.obs.trace import TraceDivergence, TraceEvent, diff_traces
+
+#: span/point name → the module whose instrumentation records it.  The
+#: fallback for unknown names walks the open-span path outward, so a
+#: custom point inside a ``channel`` span still blames the remote layer.
+SPAN_MODULES = {
+    "study": "repro.core.framework",
+    "run": "repro.core.framework",
+    "channel": "repro.core.remote",
+    "request": "repro.proxy.mitm",
+    "webos-call": "repro.core.remote",
+    "breaker-transition": "repro.core.resilience",
+    "shard": "repro.core.shard",
+    "filtering": "repro.simulation.study",
+}
+
+
+# -- JSONL bisection ---------------------------------------------------------------
+
+
+def prefix_digests(lines: Sequence[str]) -> list[str]:
+    """Cumulative SHA-256 digests: entry ``i`` covers ``lines[:i + 1]``.
+
+    One incremental pass — each line is hashed once, and the running
+    hasher is snapshotted per prefix — so bisection pays O(n) setup and
+    O(log n) comparisons instead of re-hashing every probe.
+    """
+    hasher = hashlib.sha256()
+    digests: list[str] = []
+    for line in lines:
+        hasher.update(line.encode("utf-8"))
+        hasher.update(b"\n")
+        digests.append(hasher.hexdigest())
+    return digests
+
+
+def bisect_jsonl(
+    left: Sequence[str], right: Sequence[str]
+) -> int | None:
+    """Index of the first differing line between two JSONL streams.
+
+    Returns ``None`` when the streams are identical.  When one stream
+    is a strict prefix of the other, the divergence is the first index
+    past the shared prefix.
+    """
+    left_digests = prefix_digests(left)
+    right_digests = prefix_digests(right)
+    common = min(len(left_digests), len(right_digests))
+    if common and left_digests[common - 1] == right_digests[common - 1]:
+        return common if len(left) != len(right) else None
+    # Smallest i in [0, common) whose prefix digests disagree.
+    lo, hi = 0, common - 1
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if left_digests[mid] == right_digests[mid]:
+            lo = mid + 1
+        else:
+            hi = mid
+    if common == 0:
+        return 0 if len(left) != len(right) else None
+    return lo
+
+
+# -- module attribution ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DivergenceLocation:
+    """Where two traces first disagree, attributed to a module."""
+
+    index: int
+    name: str
+    span_path: tuple[str, ...]
+    module: str
+    left: TraceEvent | None
+    right: TraceEvent | None
+
+    def describe(self) -> str:
+        path = " > ".join(self.span_path) or "(top level)"
+        left = _summarize(self.left)
+        right = _summarize(self.right)
+        return (
+            f"first divergence at event {self.index} "
+            f"(span path: {path}): {left} != {right} — "
+            f"suspect module: {self.module}"
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "name": self.name,
+            "span_path": list(self.span_path),
+            "module": self.module,
+            "left": _summarize(self.left),
+            "right": _summarize(self.right),
+        }
+
+
+def _summarize(event: TraceEvent | None) -> str:
+    if event is None:
+        return "<stream ended>"
+    return (
+        f"{event.kind}:{event.name}@{event.at:g}"
+        f"(span={event.span_id}, shard={event.shard})"
+    )
+
+
+def attribute_module(divergence: TraceDivergence) -> str:
+    """The module most likely responsible for a trace divergence."""
+    candidates = [divergence.name, *reversed(divergence.span_path)]
+    for name in candidates:
+        if name in SPAN_MODULES:
+            return SPAN_MODULES[name]
+    return "repro.obs.trace"
+
+
+def localize_divergence(
+    left: Sequence[TraceEvent], right: Sequence[TraceEvent]
+) -> DivergenceLocation | None:
+    """Diff two event streams and name the guilty module, or ``None``."""
+    divergence = diff_traces(left, right)
+    if divergence is None:
+        return None
+    return DivergenceLocation(
+        index=divergence.index,
+        name=divergence.name,
+        span_path=divergence.span_path,
+        module=attribute_module(divergence),
+        left=divergence.left,
+        right=divergence.right,
+    )
+
+
+def events_from_jsonl(lines: Sequence[str]) -> list[TraceEvent]:
+    """Rehydrate trace events from canonical JSONL lines.
+
+    The inverse of :func:`repro.obs.trace.serialize_trace` for the
+    fields bisection needs; used when only trace files (for example CI
+    artifacts) are available rather than live event streams.
+    """
+    events = []
+    for line in lines:
+        if not line.strip():
+            continue
+        record = json.loads(line)
+        events.append(
+            TraceEvent(
+                kind=record["kind"],
+                name=record["name"],
+                span_id=record["span"],
+                parent_id=record["parent"],
+                at=record["at"],
+                shard=record["shard"],
+                attrs=tuple(sorted(record["attrs"].items())),
+            )
+        )
+    return events

@@ -1,0 +1,338 @@
+"""Differential fuzzing of the determinism contract.
+
+The contract under test (DESIGN.md §9/§10/§11): a study's dataset,
+trace, and metrics are a pure function of ``(seed, scale, plan,
+n_shards)`` — identical for every worker count — and analysis-pass
+results are byte-identical whether the cache is absent, cold, or warm.
+
+The fuzzer samples ``(seed, scale, faults)`` points from a seeded RNG,
+executes each point across the worker × shard matrix, and compares the
+three content digests (``study_digest``, ``trace_digest``,
+``metrics_digest``) of every variant against the sequential baseline.
+On a trace divergence it does not stop at "digests differ": it hands
+both event streams to :mod:`repro.audit.bisect`, which bisects the
+canonical JSONL to the first differing span and names the module that
+recorded it.
+
+Two seams exist for testing the tooling itself (and are what the
+self-check tests use):
+
+* ``runner`` — replaces real study execution with a synthetic one.
+* ``perturb`` — mutates a variant's trace post-run; e.g.
+  :func:`shuffled_merge_fault` simulates a merge that leaks worker
+  completion order, which the fuzzer must catch and bisect.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field, replace
+from typing import Callable, Sequence
+
+from repro.audit.bisect import DivergenceLocation, localize_divergence
+from repro.obs import metrics_digest, trace_digest
+
+DEFAULT_WORKERS = (1, 2, 4)
+DEFAULT_SHARDS = (1, 3)
+DEFAULT_SCALES = (0.02, 0.03)
+DEFAULT_FAULTS = ("off", "light", "chaos")
+
+#: The digest fields every variant comparison checks.
+DIGEST_FIELDS = ("study_digest", "trace_digest", "metrics_digest")
+
+
+@dataclass(frozen=True)
+class FuzzPoint:
+    """One sampled study configuration."""
+
+    seed: int
+    scale: float
+    faults: str
+
+    def label(self) -> str:
+        return f"seed={self.seed} scale={self.scale} faults={self.faults}"
+
+    def as_dict(self) -> dict:
+        return {"seed": self.seed, "scale": self.scale, "faults": self.faults}
+
+
+def sample_points(
+    budget: int,
+    base_seed: int = 0,
+    scales: Sequence[float] = DEFAULT_SCALES,
+    faults: Sequence[str] = DEFAULT_FAULTS,
+) -> list[FuzzPoint]:
+    """Sample ``budget`` points deterministically from ``base_seed``."""
+    rng = random.Random(base_seed)
+    return [
+        FuzzPoint(
+            seed=rng.randrange(1, 100_000),
+            scale=rng.choice(list(scales)),
+            faults=rng.choice(list(faults)),
+        )
+        for _ in range(budget)
+    ]
+
+
+@dataclass(frozen=True)
+class VariantOutcome:
+    """The comparable fingerprint of one study execution."""
+
+    label: str
+    study_digest: str
+    trace_digest: str
+    metrics_digest: str
+    events: tuple = field(repr=False, default=())
+
+    def digests(self) -> dict[str, str]:
+        return {name: getattr(self, name) for name in DIGEST_FIELDS}
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """One detected contract violation."""
+
+    point: FuzzPoint
+    axis: str  # "workers" (parallel equivalence) or "cache" (byte identity)
+    baseline: str
+    variant: str
+    fields: tuple[str, ...]
+    location: DivergenceLocation | None = None
+
+    def describe(self) -> str:
+        lines = [
+            f"DIVERGENCE [{self.axis}] at {self.point.label()}: "
+            f"{self.variant} != {self.baseline} "
+            f"(differs in: {', '.join(self.fields)})"
+        ]
+        if self.location is not None:
+            lines.append("  " + self.location.describe())
+        return "\n".join(lines)
+
+    def as_dict(self) -> dict:
+        return {
+            "point": self.point.as_dict(),
+            "axis": self.axis,
+            "baseline": self.baseline,
+            "variant": self.variant,
+            "fields": list(self.fields),
+            "location": (
+                self.location.as_dict() if self.location is not None else None
+            ),
+        }
+
+
+@dataclass
+class FuzzReport:
+    """Everything one fuzzing session established."""
+
+    points: list[FuzzPoint] = field(default_factory=list)
+    comparisons: int = 0
+    divergences: list[Divergence] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+    def as_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "points": [p.as_dict() for p in self.points],
+            "comparisons": self.comparisons,
+            "divergences": [d.as_dict() for d in self.divergences],
+        }
+
+    def describe(self) -> str:
+        lines = [
+            f"fuzzed {len(self.points)} point(s), "
+            f"{self.comparisons} comparison(s), "
+            f"{len(self.divergences)} divergence(s)"
+        ]
+        lines.extend(d.describe() for d in self.divergences)
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """The sampling and matrix knobs of one fuzzing session."""
+
+    budget: int = 3
+    base_seed: int = 0
+    workers: tuple[int, ...] = DEFAULT_WORKERS
+    shards: tuple[int, ...] = DEFAULT_SHARDS
+    scales: tuple[float, ...] = DEFAULT_SCALES
+    faults: tuple[str, ...] = DEFAULT_FAULTS
+    check_cache: bool = True
+    cache_passes: tuple[str, ...] = ("overview",)
+
+
+# -- execution ---------------------------------------------------------------------
+
+
+def _study_runner(point: FuzzPoint, workers: int, shards: int):
+    """Execute one real study variant; returns (outcome, context)."""
+    # Imported lazily so the audit tooling stays importable (and fast)
+    # without pulling the whole simulation stack in.
+    from repro.simulation.study import fault_plan_for_world, run_study
+    from repro.simulation.world import build_world
+
+    world = build_world(seed=point.seed, scale=point.scale)
+    plan = fault_plan_for_world(world, point.faults)
+    context = run_study(world, faults=plan, workers=workers, shards=shards)
+    outcome = VariantOutcome(
+        label=f"workers={workers} shards={shards}",
+        study_digest=context.dataset.digest(),
+        trace_digest=trace_digest(context.trace_events),
+        metrics_digest=metrics_digest(context.metrics),
+        events=tuple(context.trace_events),
+    )
+    return outcome, context
+
+
+def _passes_digest(results: dict) -> str:
+    """A content hash of resolved pass results, via the cache codec."""
+    from repro.cache.codec import canonical_json, encode
+
+    return hashlib.sha256(
+        canonical_json(encode(results)).encode("utf-8")
+    ).hexdigest()
+
+
+def _cache_divergences(
+    point: FuzzPoint, context, passes: tuple[str, ...]
+) -> tuple[int, list[Divergence]]:
+    """Compare pass results with no cache, a cold cache, and a warm cache."""
+    from repro.analysis.passes import PassContext, resolve_passes
+    from repro.cache import AnalysisCache
+
+    ctx = PassContext.for_study(context)
+    names = list(passes)
+    uncached = _passes_digest(
+        resolve_passes(names, context.dataset, ctx, cache=None)
+    )
+    cache = AnalysisCache()
+    cold = _passes_digest(
+        resolve_passes(names, context.dataset, ctx, cache=cache)
+    )
+    warm = _passes_digest(
+        resolve_passes(names, context.dataset, ctx, cache=cache)
+    )
+    divergences = []
+    for variant_label, digest in (("cold-cache", cold), ("warm-cache", warm)):
+        if digest != uncached:
+            divergences.append(
+                Divergence(
+                    point=point,
+                    axis="cache",
+                    baseline=f"no-cache:{uncached[:12]}",
+                    variant=f"{variant_label}:{digest[:12]}",
+                    fields=("passes_digest",),
+                )
+            )
+    return 2, divergences
+
+
+def run_fuzz(
+    config: FuzzConfig | None = None,
+    runner: Callable | None = None,
+    perturb: Callable | None = None,
+    log: Callable[[str], None] | None = None,
+) -> FuzzReport:
+    """Run one differential fuzzing session.
+
+    ``runner(point, workers, shards) -> (VariantOutcome, context|None)``
+    defaults to real study execution.  ``perturb(point, workers,
+    shards, events) -> events`` mutates a variant's trace after the
+    run (fault self-injection); when it changes the stream, the trace
+    digest is recomputed from the mutated events, exactly as a buggy
+    merge would have produced it.
+    """
+    config = config or FuzzConfig()
+    runner = runner or _study_runner
+    emit = log or (lambda message: None)
+    report = FuzzReport(
+        points=sample_points(
+            config.budget, config.base_seed, config.scales, config.faults
+        )
+    )
+
+    def execute(point, workers, shards):
+        outcome, context = runner(point, workers, shards)
+        if perturb is not None:
+            mutated = tuple(perturb(point, workers, shards, outcome.events))
+            if mutated != tuple(outcome.events):
+                outcome = replace(
+                    outcome,
+                    events=mutated,
+                    trace_digest=trace_digest(mutated),
+                )
+        return outcome, context
+
+    for point in report.points:
+        emit(f"point {point.label()}")
+        cache_checked = False
+        for shards in config.shards:
+            baseline_workers, *rest = sorted(set(config.workers))
+            baseline, context = execute(point, baseline_workers, shards)
+            emit(
+                f"  baseline workers={baseline_workers} shards={shards}: "
+                f"study={baseline.study_digest[:12]}"
+            )
+            if config.check_cache and not cache_checked and context is not None:
+                compared, found = _cache_divergences(
+                    point, context, config.cache_passes
+                )
+                report.comparisons += compared
+                report.divergences.extend(found)
+                cache_checked = True
+            for workers in rest:
+                variant, _ = execute(point, workers, shards)
+                differing = tuple(
+                    name
+                    for name in DIGEST_FIELDS
+                    if getattr(baseline, name) != getattr(variant, name)
+                )
+                report.comparisons += 1
+                if not differing:
+                    continue
+                location = localize_divergence(
+                    baseline.events, variant.events
+                )
+                divergence = Divergence(
+                    point=point,
+                    axis="workers",
+                    baseline=baseline.label,
+                    variant=variant.label,
+                    fields=differing,
+                    location=location,
+                )
+                report.divergences.append(divergence)
+                emit("  " + divergence.describe())
+    return report
+
+
+# -- fault self-injection ----------------------------------------------------------
+
+
+def shuffled_merge_fault(
+    target_workers: int = 2, seed: int = 0
+) -> Callable:
+    """A ``perturb`` simulating a shard merge that leaks worker order.
+
+    Variants running with ``target_workers`` get their merged trace
+    shuffled (seeded, so the fuzzer's own behaviour stays
+    deterministic); every other variant is untouched.  The fuzzer must
+    flag the trace-digest divergence and bisect it — this is the
+    documented self-check that the oracle actually fires.
+    """
+
+    def perturb(point, workers, shards, events):
+        if workers != target_workers or len(events) < 2:
+            return events
+        rng = random.Random(seed)
+        shuffled = list(events)
+        rng.shuffle(shuffled)
+        return tuple(shuffled)
+
+    return perturb

@@ -1,0 +1,696 @@
+"""Static AST lint pass for nondeterminism hazards.
+
+The determinism contract (DESIGN.md §6/§9/§10) bans whole classes of
+constructs from the measurement and analysis code: wall-clock reads
+(only :mod:`repro.clock` may define time), unsorted iteration over
+sets feeding serialized or merged output (string hashing is randomized
+per process, so set order differs between workers), module-level memo
+dicts without the pid-guard idiom (a forked worker would serve the
+parent's live objects), module-level ``random`` calls (entropy outside
+the injected seed), and float accumulation whose order depends on the
+shard partition (float addition is not associative).
+
+This linter enforces those bans *statically*: it parses every module
+under ``src/repro`` and reports hazards as structured
+:class:`Finding` records.  It is deliberately heuristic — a focused
+reviewer, not a type checker — so audited exceptions are recorded in a
+JSON allowlist (:data:`default_allowlist_path`) with a mandatory
+justification string.  ``repro audit lint --strict`` fails when a
+finding is neither fixed nor allowlisted.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+#: rule id → one-line description (the linter's public rule table).
+RULES = {
+    "wall-clock": (
+        "wall-clock read (time.time/datetime.now/...) outside repro.clock; "
+        "all time must come from the injected SimClock"
+    ),
+    "unseeded-random": (
+        "module-level random/uuid/os.urandom entropy; randomness must flow "
+        "from an injected, seeded random.Random"
+    ),
+    "set-iteration": (
+        "iteration over a set in an order-sensitive position without "
+        "sorted(); set order is process-dependent (string hash "
+        "randomization) and would leak into serialized or merged output"
+    ),
+    "pid-memo": (
+        "module-level memo dict mutated from function scope without the "
+        "os.getpid() guard idiom; a forked worker would inherit and serve "
+        "the parent's live objects"
+    ),
+    "float-accum": (
+        "float accumulation over an unordered set; float addition is not "
+        "associative, so the total depends on iteration order"
+    ),
+}
+
+#: Fully-qualified callables whose result depends on the host's clock.
+_WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.ctime",
+        "time.localtime",
+        "time.gmtime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: Module-level ``random.<fn>`` calls that draw from the shared,
+#: OS-seeded generator.  ``random.Random(seed)`` instances are the
+#: sanctioned idiom and are not listed.
+_RANDOM_FUNCS = frozenset(
+    {
+        "random.random",
+        "random.randint",
+        "random.randrange",
+        "random.randbytes",
+        "random.getrandbits",
+        "random.choice",
+        "random.choices",
+        "random.shuffle",
+        "random.sample",
+        "random.uniform",
+        "random.triangular",
+        "random.gauss",
+        "random.normalvariate",
+        "random.expovariate",
+        "random.betavariate",
+        "random.seed",
+    }
+)
+
+_ENTROPY_CALLS = frozenset({"uuid.uuid1", "uuid.uuid4", "os.urandom"})
+
+#: Builtins that consume an iterable without depending on its order.
+_ORDER_FREE_CONSUMERS = frozenset(
+    {"sorted", "len", "min", "max", "any", "all", "set", "frozenset"}
+)
+
+#: Builtins that materialize or expose iteration order.
+_ORDER_SENSITIVE_CONSUMERS = frozenset(
+    {"list", "tuple", "enumerate", "reversed", "iter", "dict", "next"}
+)
+
+_SET_METHODS = frozenset(
+    {"union", "intersection", "difference", "symmetric_difference", "copy"}
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One hazard the linter found."""
+
+    rule: str
+    path: str  # posix path relative to the linted package root
+    line: int
+    col: int
+    symbol: str  # enclosing scope ("" at module level) or memo name
+    message: str
+
+    def as_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "symbol": self.symbol,
+            "message": self.message,
+        }
+
+    def describe(self) -> str:
+        where = f"{self.path}:{self.line}:{self.col}"
+        scope = f" [{self.symbol}]" if self.symbol else ""
+        return f"{where} {self.rule}{scope}: {self.message}"
+
+
+# -- the AST pass ------------------------------------------------------------------
+
+
+class _ModuleLinter(ast.NodeVisitor):
+    """Walks one module and collects findings."""
+
+    def __init__(self, path: str, source: str) -> None:
+        self.path = path
+        self.source = source
+        self.findings: list[Finding] = []
+        self._scope: list[str] = []
+        #: local alias → canonical dotted path ("dt" → "datetime").
+        self._aliases: dict[str, str] = {}
+        #: per-function names known to be bound to set expressions.
+        self._set_names: list[set[str]] = []
+        #: id() of nodes already reported or exempted by their consumer.
+        self._consumed: dict[int, str] = {}
+        self._has_getpid = "getpid" in source
+
+    # -- plumbing --------------------------------------------------------------
+
+    def lint(self) -> list[Finding]:
+        tree = ast.parse(self.source, filename=self.path)
+        self._collect_module_memos(tree)
+        self.visit(tree)
+        return self.findings
+
+    def _report(self, rule: str, node: ast.AST, message: str, symbol=None):
+        self.findings.append(
+            Finding(
+                rule=rule,
+                path=self.path,
+                line=getattr(node, "lineno", 0),
+                col=getattr(node, "col_offset", 0),
+                symbol=".".join(self._scope) if symbol is None else symbol,
+                message=message,
+            )
+        )
+
+    # -- imports (alias resolution) --------------------------------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self._aliases[alias.asname or alias.name.split(".")[0]] = (
+                alias.name
+            )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module and node.level == 0:
+            for alias in node.names:
+                self._aliases[alias.asname or alias.name] = (
+                    f"{node.module}.{alias.name}"
+                )
+        self.generic_visit(node)
+
+    def _canonical(self, func: ast.expr) -> str | None:
+        """The canonical dotted path of a call target, if resolvable."""
+        parts: list[str] = []
+        node = func
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = self._aliases.get(node.id, node.id)
+        return ".".join([root, *reversed(parts)])
+
+    # -- scopes ----------------------------------------------------------------
+
+    def _visit_scope(self, node, name: str) -> None:
+        self._scope.append(name)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self._set_names.append(self._infer_set_names(node))
+        self.generic_visit(node)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self._set_names.pop()
+        self._scope.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_scope(node, node.name)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_scope(node, node.name)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._visit_scope(node, node.name)
+
+    def _infer_set_names(self, func: ast.AST) -> set[str]:
+        """Names bound only to set expressions within one function."""
+        candidates: set[str] = set()
+        rejected: set[str] = set()
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                target = node.target
+            else:
+                continue
+            if not isinstance(target, ast.Name):
+                continue
+            if self._is_set_expr(node.value, known=candidates):
+                candidates.add(target.id)
+            else:
+                rejected.add(target.id)
+        return candidates - rejected
+
+    # -- set-expression detection ----------------------------------------------
+
+    def _known_set_names(self) -> set[str]:
+        return self._set_names[-1] if self._set_names else set()
+
+    def _is_set_expr(self, node: ast.expr | None, known=None) -> bool:
+        if node is None:
+            return False
+        known = self._known_set_names() if known is None else known
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in known
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+        ):
+            return self._is_set_expr(node.left, known) or self._is_set_expr(
+                node.right, known
+            )
+        if isinstance(node, ast.Call):
+            if isinstance(node.func, ast.Name) and node.func.id in (
+                "set",
+                "frozenset",
+            ):
+                return True
+            if isinstance(node.func, ast.Attribute) and (
+                node.func.attr in _SET_METHODS
+            ):
+                return self._is_set_expr(node.func.value, known)
+        return False
+
+    # -- rule: wall-clock / unseeded-random ------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        canonical = self._canonical(node.func)
+        if canonical is not None:
+            self._check_clock_and_entropy(node, canonical)
+        self._mark_consumed_args(node, canonical)
+        self.generic_visit(node)
+
+    def _check_clock_and_entropy(self, node: ast.Call, canonical: str):
+        if canonical in _WALL_CLOCK_CALLS:
+            self._report(
+                "wall-clock",
+                node,
+                f"{canonical}() reads the host clock; use the injected "
+                "SimClock (repro.clock) instead",
+            )
+        elif canonical in _RANDOM_FUNCS or canonical in _ENTROPY_CALLS or (
+            canonical.startswith("secrets.")
+        ):
+            self._report(
+                "unseeded-random",
+                node,
+                f"{canonical}() draws OS-seeded entropy; use an injected "
+                "random.Random(seed) instead",
+            )
+        elif canonical == "random.Random" and not node.args:
+            self._report(
+                "unseeded-random",
+                node,
+                "random.Random() without a seed argument falls back to OS "
+                "entropy; pass an explicit seed",
+            )
+
+    # -- rule: set-iteration / float-accum -------------------------------------
+
+    def _mark_consumed_args(self, node: ast.Call, canonical: str | None):
+        """Record how a call consumes its first argument.
+
+        ``sorted({...})`` is the sanctioned fix and exempts the set;
+        ``list({...})`` / ``",".join({...})`` materialize the order and
+        are flagged; ``sum({...})`` is order-dependent for floats and is
+        flagged under the float-accum rule.
+        """
+        if not node.args:
+            return
+        first = node.args[0]
+        consumer = None
+        if isinstance(node.func, ast.Name):
+            consumer = node.func.id
+        elif isinstance(node.func, ast.Attribute) and node.func.attr == "join":
+            consumer = "join"
+        if consumer is None:
+            return
+        if consumer in _ORDER_FREE_CONSUMERS:
+            self._consumed[id(first)] = "order-free"
+            if isinstance(first, ast.GeneratorExp):
+                for generator in first.generators:
+                    self._consumed[id(generator.iter)] = "order-free"
+        elif consumer == "sum":
+            if self._is_set_expr(first):
+                self._report(
+                    "float-accum",
+                    node,
+                    "sum() over a set accumulates in process-dependent "
+                    "order; sort first (or prove the elements are ints)",
+                )
+            self._consumed[id(first)] = "sum"
+        elif consumer in _ORDER_SENSITIVE_CONSUMERS or consumer == "join":
+            if self._is_set_expr(first):
+                self._report(
+                    "set-iteration",
+                    node,
+                    f"{consumer}() over a set materializes process-dependent "
+                    "order; wrap the set in sorted()",
+                )
+                self._consumed[id(first)] = "reported"
+
+    def visit_For(self, node: ast.For) -> None:
+        if self._is_set_expr(node.iter):
+            if self._loop_accumulates(node):
+                self._report(
+                    "float-accum",
+                    node,
+                    "accumulation inside a loop over a set depends on "
+                    "iteration order; iterate sorted(...) instead",
+                )
+            else:
+                self._report(
+                    "set-iteration",
+                    node,
+                    "for-loop over a set iterates in process-dependent "
+                    "order; iterate sorted(...) instead",
+                )
+        self.generic_visit(node)
+
+    @staticmethod
+    def _loop_accumulates(node: ast.For) -> bool:
+        return any(
+            isinstance(inner, ast.AugAssign)
+            and isinstance(inner.op, (ast.Add, ast.Sub))
+            for inner in ast.walk(node)
+        )
+
+    def _check_comprehension(self, node) -> None:
+        if self._consumed.get(id(node)) == "order-free":
+            self.generic_visit(node)
+            return
+        order_free = isinstance(node, ast.SetComp) or (
+            self._consumed.get(id(node)) == "order-free"
+        )
+        for generator in node.generators:
+            if self._consumed.get(id(generator.iter)) is not None:
+                continue
+            if not order_free and self._is_set_expr(generator.iter):
+                self._report(
+                    "set-iteration",
+                    generator.iter,
+                    "comprehension over a set iterates in process-dependent "
+                    "order; iterate sorted(...) instead",
+                )
+        self.generic_visit(node)
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self._check_comprehension(node)
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        self._check_comprehension(node)
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        self._check_comprehension(node)
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        self._check_comprehension(node)
+
+    # -- rule: pid-memo --------------------------------------------------------
+
+    def _collect_module_memos(self, tree: ast.Module) -> None:
+        """Flag module-level empty dicts used as memos without a pid guard.
+
+        The sanctioned idiom (``_STUDY_CACHE`` in
+        :mod:`repro.simulation.study`, ``_DEFAULT_SUITE`` in
+        :mod:`repro.analysis.filterlists`) keys or guards the memo on
+        ``os.getpid()`` so a forked worker rebuilds instead of serving
+        the parent's live objects.
+        """
+        if self._has_getpid:
+            return
+        memos: dict[str, ast.stmt] = {}
+        for stmt in tree.body:
+            target = None
+            value = None
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target, value = stmt.targets[0], stmt.value
+            elif isinstance(stmt, ast.AnnAssign):
+                target, value = stmt.target, stmt.value
+            if not isinstance(target, ast.Name) or value is None:
+                continue
+            is_empty_dict = (
+                isinstance(value, ast.Dict) and not value.keys
+            ) or (
+                isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Name)
+                and value.func.id == "dict"
+                and not value.args
+                and not value.keywords
+            )
+            if is_empty_dict:
+                memos[target.id] = stmt
+        if not memos:
+            return
+        mutated = self._names_mutated_in_functions(tree, set(memos))
+        for name in sorted(mutated):
+            self._report(
+                "pid-memo",
+                memos[name],
+                f"module-level memo {name!r} is mutated from function scope "
+                "but the module never consults os.getpid(); forked workers "
+                "would share the parent's live entries (see _STUDY_CACHE "
+                "for the guard idiom)",
+                symbol=name,
+            )
+
+    @staticmethod
+    def _names_mutated_in_functions(
+        tree: ast.Module, names: set[str]
+    ) -> set[str]:
+        mutated: set[str] = set()
+        for top in tree.body:
+            if not isinstance(top, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for node in ast.walk(top):
+                target = None
+                if isinstance(node, (ast.Assign, ast.AugAssign)):
+                    targets = (
+                        node.targets
+                        if isinstance(node, ast.Assign)
+                        else [node.target]
+                    )
+                    for t in targets:
+                        if isinstance(t, ast.Subscript) and isinstance(
+                            t.value, ast.Name
+                        ):
+                            target = t.value.id
+                elif isinstance(node, ast.Call) and isinstance(
+                    node.func, ast.Attribute
+                ):
+                    if node.func.attr in ("setdefault", "update", "pop"):
+                        if isinstance(node.func.value, ast.Name):
+                            target = node.func.value.id
+                if target in names:
+                    mutated.add(target)
+        return mutated
+
+
+def lint_source(source: str, path: str = "<string>") -> list[Finding]:
+    """Lint one module's source text; returns findings in file order."""
+    findings = _ModuleLinter(path, source).lint()
+    return sorted(findings, key=lambda f: (f.line, f.col, f.rule))
+
+
+# -- the allowlist -----------------------------------------------------------------
+
+
+class AllowlistError(ValueError):
+    """Raised for a malformed allowlist file or entry."""
+
+
+@dataclass(frozen=True)
+class AllowlistEntry:
+    """One audited exception.
+
+    Matches a finding by rule and path, optionally narrowed by symbol
+    and line.  The justification is mandatory — an exception nobody can
+    explain is a bug, not an exception.
+    """
+
+    rule: str
+    path: str
+    justification: str
+    symbol: str | None = None
+    line: int | None = None
+
+    def matches(self, finding: Finding) -> bool:
+        if self.rule != finding.rule or self.path != finding.path:
+            return False
+        if self.symbol is not None and self.symbol != finding.symbol:
+            return False
+        if self.line is not None and self.line != finding.line:
+            return False
+        return True
+
+
+@dataclass
+class Allowlist:
+    """The audited-exception list, with per-entry usage tracking."""
+
+    entries: list[AllowlistEntry] = field(default_factory=list)
+    _used: set[int] = field(default_factory=set)
+
+    def match(self, finding: Finding) -> AllowlistEntry | None:
+        for index, entry in enumerate(self.entries):
+            if entry.matches(finding):
+                self._used.add(index)
+                return entry
+        return None
+
+    def apply(
+        self, findings: Iterable[Finding]
+    ) -> tuple[list[Finding], list[Finding]]:
+        """Split findings into (kept, suppressed)."""
+        kept: list[Finding] = []
+        suppressed: list[Finding] = []
+        for finding in findings:
+            (suppressed if self.match(finding) else kept).append(finding)
+        return kept, suppressed
+
+    def unused(self) -> list[AllowlistEntry]:
+        """Entries that matched nothing — stale, candidates for removal."""
+        return [
+            entry
+            for index, entry in enumerate(self.entries)
+            if index not in self._used
+        ]
+
+
+def load_allowlist(path: str | os.PathLike) -> Allowlist:
+    """Load and validate an allowlist JSON file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        raw = json.load(handle)
+    if not isinstance(raw, dict) or not isinstance(raw.get("entries"), list):
+        raise AllowlistError(
+            f"{path}: allowlist must be an object with an 'entries' list"
+        )
+    entries = []
+    for index, item in enumerate(raw["entries"]):
+        if not isinstance(item, dict):
+            raise AllowlistError(f"{path}: entry {index} is not an object")
+        rule = item.get("rule")
+        if rule not in RULES:
+            raise AllowlistError(
+                f"{path}: entry {index} names unknown rule {rule!r} "
+                f"(known: {', '.join(sorted(RULES))})"
+            )
+        if not item.get("path"):
+            raise AllowlistError(f"{path}: entry {index} is missing 'path'")
+        justification = str(item.get("justification") or "").strip()
+        if not justification:
+            raise AllowlistError(
+                f"{path}: entry {index} ({rule} in {item['path']}) has no "
+                "justification — every audited exception must explain itself"
+            )
+        entries.append(
+            AllowlistEntry(
+                rule=rule,
+                path=str(item["path"]),
+                justification=justification,
+                symbol=item.get("symbol"),
+                line=item.get("line"),
+            )
+        )
+    return Allowlist(entries=entries)
+
+
+def default_allowlist_path() -> Path:
+    """The allowlist shipped with the package (``repro/audit/allowlist.json``)."""
+    return Path(__file__).parent / "allowlist.json"
+
+
+# -- whole-package lint ------------------------------------------------------------
+
+
+@dataclass
+class LintReport:
+    """The outcome of linting a source tree."""
+
+    findings: list[Finding]
+    suppressed: list[Finding]
+    files_scanned: int
+    unused_allowlist: list[AllowlistEntry] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def as_dict(self) -> dict:
+        return {
+            "clean": self.clean,
+            "files_scanned": self.files_scanned,
+            "findings": [f.as_dict() for f in self.findings],
+            "suppressed": [f.as_dict() for f in self.suppressed],
+            "unused_allowlist": [
+                {"rule": e.rule, "path": e.path, "symbol": e.symbol}
+                for e in self.unused_allowlist
+            ],
+        }
+
+    def describe(self) -> str:
+        lines = [
+            f"scanned {self.files_scanned} file(s): "
+            f"{len(self.findings)} finding(s), "
+            f"{len(self.suppressed)} allowlisted"
+        ]
+        lines.extend(f.describe() for f in self.findings)
+        for entry in self.unused_allowlist:
+            lines.append(
+                f"warning: unused allowlist entry ({entry.rule} in "
+                f"{entry.path}) — remove it or re-justify"
+            )
+        return "\n".join(lines)
+
+
+def _iter_sources(root: Path) -> Iterable[Path]:
+    return sorted(p for p in root.rglob("*.py"))
+
+
+def lint_package(
+    root: str | os.PathLike | None = None,
+    allowlist: Allowlist | str | os.PathLike | None = None,
+    extra_paths: Sequence[str | os.PathLike] = (),
+) -> LintReport:
+    """Lint every module under ``root`` (default: the repro package).
+
+    ``allowlist`` accepts a loaded :class:`Allowlist`, a path, or
+    ``None`` for the packaged default.  Finding paths are recorded
+    relative to ``root`` in posix form, which is what allowlist entries
+    match against.
+    """
+    if root is None:
+        root = Path(__file__).resolve().parent.parent
+    root = Path(root)
+    if allowlist is None:
+        default = default_allowlist_path()
+        allowlist = load_allowlist(default) if default.exists() else Allowlist()
+    elif not isinstance(allowlist, Allowlist):
+        allowlist = load_allowlist(allowlist)
+
+    findings: list[Finding] = []
+    files = list(_iter_sources(root)) + [Path(p) for p in extra_paths]
+    for source_path in files:
+        relative = (
+            source_path.relative_to(root).as_posix()
+            if source_path.is_relative_to(root)
+            else source_path.as_posix()
+        )
+        source = source_path.read_text(encoding="utf-8")
+        findings.extend(lint_source(source, relative))
+
+    kept, suppressed = allowlist.apply(findings)
+    return LintReport(
+        findings=kept,
+        suppressed=suppressed,
+        files_scanned=len(files),
+        unused_allowlist=allowlist.unused(),
+    )

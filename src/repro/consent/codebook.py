@@ -88,7 +88,9 @@ def cohen_kappa(labels_a: list[OverlayKind], labels_b: list[OverlayKind]) -> flo
     observed = sum(1 for a, b in zip(labels_a, labels_b) if a == b) / n
     categories = set(labels_a) | set(labels_b)
     expected = 0.0
-    for category in categories:
+    # Sorted: float addition is not associative, so accumulating in set
+    # order would make the κ value process-dependent in the last bits.
+    for category in sorted(categories, key=lambda kind: kind.value):
         share_a = sum(1 for a in labels_a if a == category) / n
         share_b = sum(1 for b in labels_b if b == category) / n
         expected += share_a * share_b

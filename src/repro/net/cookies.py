@@ -34,7 +34,13 @@ class Cookie:
         return registrable_domain(self.domain)
 
     def is_expired(self, now: float) -> bool:
-        return self.expires is not None and self.expires <= now
+        """True once the cookie's expiry time *has passed* (RFC 6265).
+
+        The comparison is strict: a ``Max-Age`` cookie stored as
+        ``now + max_age`` is still live at that exact instant — it
+        expires only when ``now`` moves beyond it.
+        """
+        return self.expires is not None and self.expires < now
 
     def matches(self, url: URL) -> bool:
         """True if this cookie would be sent on a request to ``url``."""
@@ -108,7 +114,14 @@ def parse_set_cookie(
         # SameSite and unknown attributes are accepted and ignored.
 
     if max_age is not None:
-        expires = now + max_age
+        if max_age > 0:
+            expires = now + max_age
+        else:
+            # RFC 6265 §5.2.2: a zero or negative Max-Age means "the
+            # earliest representable time" — immediate deletion.  A
+            # strictly-past expiry (never exactly ``now``, which would
+            # still be live under the boundary semantics above).
+            expires = min(now, 0.0) - 1.0
 
     return Cookie(
         name=name,

@@ -26,8 +26,10 @@ from repro.obs.metrics import (
     metrics_digest,
 )
 from repro.obs.trace import (
+    TraceDivergence,
     TraceEvent,
     Tracer,
+    diff_traces,
     merge_shard_traces,
     serialize_trace,
     trace_digest,
@@ -67,8 +69,10 @@ class Observability:
 __all__ = [
     "MetricsRegistry",
     "Observability",
+    "TraceDivergence",
     "TraceEvent",
     "Tracer",
+    "diff_traces",
     "format_metrics_table",
     "merge_metrics",
     "merge_shard_traces",

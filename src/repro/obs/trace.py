@@ -174,6 +174,66 @@ def merge_shard_traces(
     return tuple(merged)
 
 
+# -- diffing -----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TraceDivergence:
+    """The first point where two trace streams stop agreeing.
+
+    ``left``/``right`` are the events at ``index`` (``None`` when that
+    stream ended early).  ``span_path`` is the chain of spans — outermost
+    first — open at the divergence in the stream that still has an
+    event, which is what lets the audit subsystem name the subsystem
+    that produced the first divergent record.
+    """
+
+    index: int
+    left: TraceEvent | None
+    right: TraceEvent | None
+    span_path: tuple[str, ...]
+
+    @property
+    def name(self) -> str:
+        """The divergent event's name (left stream wins when both exist)."""
+        event = self.left if self.left is not None else self.right
+        return event.name if event is not None else ""
+
+
+def diff_traces(
+    left: Sequence[TraceEvent], right: Sequence[TraceEvent]
+) -> TraceDivergence | None:
+    """Locate the first differing event between two streams.
+
+    Returns ``None`` when the streams are identical.  The span path is
+    replayed from the common prefix, per shard — merged streams
+    interleave per-shard spans, and ``(shard, span_id)`` is the unique
+    key — so the path is exact, not heuristic.
+    """
+    stacks: dict[int | None, list[str]] = {}
+    limit = min(len(left), len(right))
+    index = limit
+    for i in range(limit):
+        if left[i] != right[i]:
+            index = i
+            break
+        event = left[i]
+        stack = stacks.setdefault(event.shard, [])
+        if event.kind == "begin":
+            stack.append(event.name)
+        elif event.kind == "end" and stack:
+            stack.pop()
+    if index == limit and len(left) == len(right):
+        return None
+    left_event = left[index] if index < len(left) else None
+    right_event = right[index] if index < len(right) else None
+    witness = left_event if left_event is not None else right_event
+    path = tuple(stacks.get(witness.shard, ())) if witness is not None else ()
+    return TraceDivergence(
+        index=index, left=left_event, right=right_event, span_path=path
+    )
+
+
 # -- canonical serialization -------------------------------------------------------
 
 

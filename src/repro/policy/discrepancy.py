@@ -46,8 +46,19 @@ class DiscrepancyReport:
 
 
 def _inside_window(hour: float, window: tuple[int, int]) -> bool:
+    """Whether ``hour`` falls inside a declared ``[start, end)`` window.
+
+    A window may wrap past midnight (the paper's headline Super RTL
+    case declares 17→6, i.e. 5 PM to 6 AM: 17.0 is inside, 5.999 is
+    inside, 6.0 is the first hour outside).  A degenerate window with
+    ``start == end`` is how annotators encode "at all times" — it
+    covers the full day, it does not cover nothing (the previous
+    reading, which flagged every request as a violation).
+    """
     start, end = window
-    if start <= end:
+    if start == end:
+        return True
+    if start < end:
         return start <= hour < end
     return hour >= start or hour < end  # window wraps past midnight
 

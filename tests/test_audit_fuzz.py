@@ -1,0 +1,261 @@
+"""Tests for the differential fuzzer and trace bisection
+(repro.audit.fuzz / repro.audit.bisect)."""
+
+import pytest
+
+from repro.audit import (
+    Divergence,
+    DivergenceLocation,
+    FuzzConfig,
+    FuzzPoint,
+    SPAN_MODULES,
+    VariantOutcome,
+    bisect_jsonl,
+    localize_divergence,
+    prefix_digests,
+    run_fuzz,
+    sample_points,
+    shuffled_merge_fault,
+)
+from repro.audit.bisect import attribute_module, events_from_jsonl
+from repro.obs import diff_traces, trace_digest, trace_to_jsonl
+from repro.obs.trace import TraceEvent
+
+
+def make_events(seed=0, shard=None):
+    """A small, deterministic span tree: study > channel > request."""
+    base = float(seed)
+    return (
+        TraceEvent("begin", "study", 1, None, base + 0.0, shard),
+        TraceEvent("begin", "channel", 2, 1, base + 1.0, shard,
+                   (("channel", f"ch{seed}"),)),
+        TraceEvent("point", "request", 3, 2, base + 2.0, shard),
+        TraceEvent("point", "request", 4, 2, base + 3.0, shard),
+        TraceEvent("end", "channel", 2, 1, base + 4.0, shard),
+        TraceEvent("end", "study", 1, None, base + 5.0, shard),
+    )
+
+
+class TestPrefixDigests:
+    def test_cumulative_and_stable(self):
+        lines = ["a", "b", "c"]
+        digests = prefix_digests(lines)
+        assert len(digests) == 3
+        assert digests == prefix_digests(lines)
+        # Each prefix digest depends only on its prefix.
+        assert digests[:2] == prefix_digests(["a", "b"])
+
+    def test_empty(self):
+        assert prefix_digests([]) == []
+
+
+class TestBisectJsonl:
+    def test_identical_streams(self):
+        lines = ["x", "y", "z"]
+        assert bisect_jsonl(lines, lines) is None
+
+    def test_first_difference_found(self):
+        left = ["a", "b", "c", "d", "e"]
+        right = ["a", "b", "X", "d", "e"]
+        assert bisect_jsonl(left, right) == 2
+
+    def test_difference_at_start(self):
+        assert bisect_jsonl(["A", "b"], ["a", "b"]) == 0
+
+    def test_strict_prefix(self):
+        assert bisect_jsonl(["a", "b"], ["a", "b", "c"]) == 2
+        assert bisect_jsonl(["a", "b", "c"], ["a", "b"]) == 2
+
+    def test_empty_vs_nonempty(self):
+        assert bisect_jsonl([], ["a"]) == 0
+        assert bisect_jsonl([], []) is None
+
+    def test_agrees_with_linear_scan(self):
+        left = [f"line-{i}" for i in range(50)]
+        for mutate_at in (0, 1, 24, 25, 49):
+            right = list(left)
+            right[mutate_at] = "MUTATED"
+            assert bisect_jsonl(left, right) == mutate_at
+
+
+class TestDiffTraces:
+    def test_identical(self):
+        events = make_events()
+        assert diff_traces(events, events) is None
+
+    def test_divergent_event_with_span_path(self):
+        left = make_events()
+        right = list(left)
+        right[3] = TraceEvent("point", "request", 4, 2, 99.0, None)
+        divergence = diff_traces(left, tuple(right))
+        assert divergence is not None
+        assert divergence.index == 3
+        assert divergence.name == "request"
+        assert divergence.span_path == ("study", "channel")
+
+    def test_truncated_stream(self):
+        left = make_events()
+        divergence = diff_traces(left, left[:4])
+        assert divergence is not None
+        assert divergence.index == 4
+        assert divergence.right is None
+
+    def test_per_shard_span_stacks(self):
+        # Interleaved shards: the path is replayed per shard, so a
+        # divergence inside shard 1 reports shard 1's open spans.
+        s0 = make_events(shard=0)
+        s1 = make_events(shard=1)
+        left = (s0[0], s1[0], s0[1], s1[1], s0[2], s1[2])
+        right = list(left)
+        right[5] = TraceEvent("point", "request", 3, 2, 77.0, 1)
+        divergence = diff_traces(left, tuple(right))
+        assert divergence.index == 5
+        assert divergence.span_path == ("study", "channel")
+
+
+class TestAttribution:
+    def test_known_point_name(self):
+        left = make_events()
+        right = list(left)
+        right[2] = TraceEvent("point", "request", 3, 2, 50.0, None)
+        location = localize_divergence(left, tuple(right))
+        assert isinstance(location, DivergenceLocation)
+        assert location.module == SPAN_MODULES["request"]
+        assert "suspect module" in location.describe()
+
+    def test_unknown_name_walks_span_path(self):
+        base = list(make_events())
+        base[3] = TraceEvent("point", "custom-probe", 9, 2, 3.0, None)
+        left = tuple(base)
+        right = list(base)
+        right[3] = TraceEvent("point", "custom-probe", 9, 2, 77.0, None)
+        divergence = diff_traces(left, tuple(right))
+        # "custom-probe" is unknown; the innermost known open span wins.
+        assert divergence.name == "custom-probe"
+        assert attribute_module(divergence) == SPAN_MODULES["channel"]
+
+    def test_no_divergence_returns_none(self):
+        events = make_events()
+        assert localize_divergence(events, events) is None
+
+
+class TestJsonlRoundTrip:
+    def test_events_from_jsonl_inverts_serialization(self):
+        events = make_events(seed=3, shard=2)
+        lines = trace_to_jsonl(events).splitlines()
+        restored = events_from_jsonl(lines)
+        assert tuple(restored) == events
+        assert trace_digest(restored) == trace_digest(events)
+
+
+def stub_runner(point, workers, shards):
+    """A deterministic fake study: output depends only on (point, shards)."""
+    events = make_events(seed=point.seed, shard=None if shards == 1 else 0)
+    return (
+        VariantOutcome(
+            label=f"workers={workers} shards={shards}",
+            study_digest=f"study-{point.seed}-{shards}",
+            trace_digest=trace_digest(events),
+            metrics_digest=f"metrics-{point.seed}-{shards}",
+            events=events,
+        ),
+        None,  # no study context → the cache check is skipped
+    )
+
+
+class TestSampling:
+    def test_deterministic_for_a_base_seed(self):
+        assert sample_points(4, base_seed=9) == sample_points(4, base_seed=9)
+        assert sample_points(4, base_seed=9) != sample_points(4, base_seed=10)
+
+    def test_budget_respected(self):
+        points = sample_points(5)
+        assert len(points) == 5
+        assert all(isinstance(p, FuzzPoint) for p in points)
+
+
+class TestFuzzWithStubRunner:
+    CONFIG = FuzzConfig(
+        budget=3, workers=(1, 2, 4), shards=(1, 3), check_cache=False
+    )
+
+    def test_deterministic_runner_reports_clean(self):
+        report = run_fuzz(self.CONFIG, runner=stub_runner)
+        assert report.ok
+        assert len(report.points) == 3
+        # 2 non-baseline worker counts × 2 shard counts × 3 points.
+        assert report.comparisons == 12
+
+    def test_shuffled_merge_fault_is_caught_and_bisected(self):
+        # The acceptance self-check: a merge that leaks worker
+        # completion order must be flagged, and the divergence must be
+        # bisected to an event index with a module attribution.
+        report = run_fuzz(
+            self.CONFIG,
+            runner=stub_runner,
+            perturb=shuffled_merge_fault(target_workers=2, seed=1),
+        )
+        assert not report.ok
+        divergences = report.divergences
+        assert all(isinstance(d, Divergence) for d in divergences)
+        assert {d.variant.split()[0] for d in divergences} == {"workers=2"}
+        for divergence in divergences:
+            assert divergence.axis == "workers"
+            assert "trace_digest" in divergence.fields
+            # study/metrics digests are untouched by a trace shuffle.
+            assert "study_digest" not in divergence.fields
+            assert divergence.location is not None
+            assert divergence.location.index >= 0
+            assert divergence.location.module.startswith("repro.")
+        assert "DIVERGENCE" in report.describe()
+
+    def test_fault_on_unused_worker_count_is_silent(self):
+        report = run_fuzz(
+            FuzzConfig(budget=2, workers=(1, 4), shards=(1,),
+                       check_cache=False),
+            runner=stub_runner,
+            perturb=shuffled_merge_fault(target_workers=2),
+        )
+        assert report.ok
+
+    def test_report_serializes(self):
+        report = run_fuzz(
+            self.CONFIG,
+            runner=stub_runner,
+            perturb=shuffled_merge_fault(target_workers=2, seed=1),
+        )
+        payload = report.as_dict()
+        assert payload["ok"] is False
+        assert payload["comparisons"] == report.comparisons
+        location = payload["divergences"][0]["location"]
+        assert set(location) == {
+            "index", "name", "span_path", "module", "left", "right",
+        }
+
+    def test_log_callback_receives_progress(self):
+        lines = []
+        run_fuzz(
+            FuzzConfig(budget=1, workers=(1, 2), shards=(1,),
+                       check_cache=False),
+            runner=stub_runner,
+            log=lines.append,
+        )
+        assert any(line.startswith("point seed=") for line in lines)
+
+
+class TestFuzzRealStudy:
+    def test_single_point_real_run_is_clean(self):
+        # One real (tiny) point through the full oracle: workers 1 vs 2,
+        # plus the no-cache/cold/warm cache comparison.
+        config = FuzzConfig(
+            budget=1,
+            base_seed=7,
+            workers=(1, 2),
+            shards=(1,),
+            scales=(0.02,),
+            faults=("off",),
+            check_cache=True,
+        )
+        report = run_fuzz(config)
+        assert report.ok, report.describe()
+        assert report.comparisons == 3  # 1 worker pair + 2 cache variants

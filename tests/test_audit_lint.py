@@ -1,0 +1,412 @@
+"""Tests for the nondeterminism linter (repro.audit.lint)."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.audit import (
+    RULES,
+    Allowlist,
+    AllowlistError,
+    LintReport,
+    default_allowlist_path,
+    lint_package,
+    lint_source,
+    load_allowlist,
+)
+
+
+def lint(snippet):
+    return lint_source(textwrap.dedent(snippet), path="snippet.py")
+
+
+def rules_of(findings):
+    return [f.rule for f in findings]
+
+
+class TestWallClockRule:
+    def test_time_time_is_caught(self):
+        # The acceptance self-check: an injected time.time() call must
+        # be flagged by the linter.
+        findings = lint(
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """
+        )
+        assert rules_of(findings) == ["wall-clock"]
+        assert findings[0].symbol == "stamp"
+        assert "time.time" in findings[0].message
+
+    def test_aliased_import_resolved(self):
+        findings = lint(
+            """
+            import datetime as dt
+
+            def today():
+                return dt.datetime.now()
+            """
+        )
+        assert rules_of(findings) == ["wall-clock"]
+
+    def test_from_import_resolved(self):
+        findings = lint(
+            """
+            from time import monotonic
+
+            def tick():
+                return monotonic()
+            """
+        )
+        assert rules_of(findings) == ["wall-clock"]
+
+    def test_simclock_time_not_flagged(self):
+        findings = lint(
+            """
+            def stamp(clock):
+                return clock.time()
+            """
+        )
+        assert findings == []
+
+
+class TestUnseededRandomRule:
+    def test_module_random_flagged(self):
+        findings = lint(
+            """
+            import random
+
+            def pick(items):
+                return random.choice(items)
+            """
+        )
+        assert rules_of(findings) == ["unseeded-random"]
+
+    def test_uuid4_and_urandom_flagged(self):
+        findings = lint(
+            """
+            import os
+            import uuid
+
+            def token():
+                return uuid.uuid4().hex + os.urandom(4).hex()
+            """
+        )
+        assert rules_of(findings) == ["unseeded-random", "unseeded-random"]
+
+    def test_seedless_random_instance_flagged(self):
+        findings = lint(
+            """
+            import random
+
+            def make_rng():
+                return random.Random()
+            """
+        )
+        assert rules_of(findings) == ["unseeded-random"]
+
+    def test_seeded_random_instance_is_the_sanctioned_idiom(self):
+        findings = lint(
+            """
+            import random
+
+            def make_rng(seed):
+                return random.Random(seed)
+            """
+        )
+        assert findings == []
+
+
+class TestSetIterationRule:
+    def test_for_loop_over_set_literal(self):
+        findings = lint(
+            """
+            def emit(write):
+                for item in {"a", "b"}:
+                    write(item)
+            """
+        )
+        assert rules_of(findings) == ["set-iteration"]
+
+    def test_list_over_set_call(self):
+        findings = lint(
+            """
+            def names(flows):
+                return list({f.host for f in flows})
+            """
+        )
+        assert rules_of(findings) == ["set-iteration"]
+
+    def test_join_over_named_set(self):
+        findings = lint(
+            """
+            def render(flows):
+                hosts = {f.host for f in flows}
+                return ",".join(hosts)
+            """
+        )
+        assert rules_of(findings) == ["set-iteration"]
+
+    def test_comprehension_over_set_union(self):
+        findings = lint(
+            """
+            def merged(a, b):
+                return [x for x in set(a) | set(b)]
+            """
+        )
+        assert rules_of(findings) == ["set-iteration"]
+
+    def test_sorted_is_the_sanctioned_fix(self):
+        findings = lint(
+            """
+            def names(flows):
+                hosts = {f.host for f in flows}
+                return sorted(hosts)
+            """
+        )
+        assert findings == []
+
+    def test_membership_test_not_flagged(self):
+        # `x in {...}` never iterates in a meaningful order.
+        findings = lint(
+            """
+            def keep(index, wanted):
+                return index in set(wanted)
+            """
+        )
+        assert findings == []
+
+    def test_order_free_consumers_not_flagged(self):
+        findings = lint(
+            """
+            def stats(flows):
+                hosts = {f.host for f in flows}
+                return len(hosts), max(hosts), sorted(hosts)
+            """
+        )
+        assert findings == []
+
+    def test_set_comprehension_over_set_not_flagged(self):
+        # Building a new set from a set stays unordered — harmless.
+        findings = lint(
+            """
+            def upper(hosts):
+                tracked = set(hosts)
+                return {h.upper() for h in tracked}
+            """
+        )
+        assert findings == []
+
+    def test_dict_iteration_not_flagged(self):
+        # dicts are insertion-ordered; only sets are hazards.
+        findings = lint(
+            """
+            def render(counts):
+                return [f"{k}={v}" for k, v in counts.items()]
+            """
+        )
+        assert findings == []
+
+
+class TestFloatAccumRule:
+    def test_sum_over_set(self):
+        findings = lint(
+            """
+            def total(samples):
+                return sum({s.weight for s in samples})
+            """
+        )
+        assert rules_of(findings) == ["float-accum"]
+
+    def test_augmented_accumulation_in_loop_over_set(self):
+        findings = lint(
+            """
+            def total(weights):
+                acc = 0.0
+                seen = set(weights)
+                for w in seen:
+                    acc += w
+                return acc
+            """
+        )
+        assert rules_of(findings) == ["float-accum"]
+
+    def test_sum_over_sorted_set_not_flagged(self):
+        findings = lint(
+            """
+            def total(samples):
+                return sum(sorted({s.weight for s in samples}))
+            """
+        )
+        assert findings == []
+
+
+class TestPidMemoRule:
+    def test_module_memo_without_guard(self):
+        findings = lint(
+            """
+            _CACHE = {}
+
+            def lookup(key):
+                if key not in _CACHE:
+                    _CACHE[key] = expensive(key)
+                return _CACHE[key]
+            """
+        )
+        assert rules_of(findings) == ["pid-memo"]
+        assert findings[0].symbol == "_CACHE"
+
+    def test_memo_with_getpid_guard_not_flagged(self):
+        findings = lint(
+            """
+            import os
+
+            _CACHE = {}
+
+            def lookup(key):
+                full = (os.getpid(), key)
+                if full not in _CACHE:
+                    _CACHE[full] = expensive(key)
+                return _CACHE[full]
+            """
+        )
+        assert findings == []
+
+    def test_constant_dict_not_flagged(self):
+        findings = lint(
+            """
+            TABLE = {"a": 1}
+
+            def lookup(key):
+                return TABLE[key]
+            """
+        )
+        assert findings == []
+
+
+class TestAllowlist:
+    def write(self, tmp_path, payload):
+        path = tmp_path / "allow.json"
+        path.write_text(json.dumps(payload))
+        return path
+
+    def test_entry_suppresses_matching_finding(self, tmp_path):
+        path = self.write(
+            tmp_path,
+            {
+                "entries": [
+                    {
+                        "rule": "pid-memo",
+                        "path": "snippet.py",
+                        "symbol": "_CACHE",
+                        "justification": "rebuilt identically per process",
+                    }
+                ]
+            },
+        )
+        allowlist = load_allowlist(path)
+        findings = lint(
+            """
+            _CACHE = {}
+
+            def lookup(key):
+                _CACHE[key] = key
+            """
+        )
+        kept, suppressed = allowlist.apply(findings)
+        assert kept == []
+        assert rules_of(suppressed) == ["pid-memo"]
+        assert allowlist.unused() == []
+
+    def test_missing_justification_rejected(self, tmp_path):
+        path = self.write(
+            tmp_path,
+            {"entries": [{"rule": "pid-memo", "path": "x.py"}]},
+        )
+        with pytest.raises(AllowlistError, match="justification"):
+            load_allowlist(path)
+
+    def test_blank_justification_rejected(self, tmp_path):
+        path = self.write(
+            tmp_path,
+            {
+                "entries": [
+                    {"rule": "pid-memo", "path": "x.py", "justification": "  "}
+                ]
+            },
+        )
+        with pytest.raises(AllowlistError, match="justification"):
+            load_allowlist(path)
+
+    def test_unknown_rule_rejected(self, tmp_path):
+        path = self.write(
+            tmp_path,
+            {
+                "entries": [
+                    {
+                        "rule": "no-such-rule",
+                        "path": "x.py",
+                        "justification": "because",
+                    }
+                ]
+            },
+        )
+        with pytest.raises(AllowlistError, match="unknown rule"):
+            load_allowlist(path)
+
+    def test_unmatched_entry_reported_unused(self):
+        allowlist = Allowlist()
+        findings = lint("x = 1\n")
+        kept, suppressed = allowlist.apply(findings)
+        assert kept == [] and suppressed == []
+
+    def test_packaged_default_is_valid(self):
+        allowlist = load_allowlist(default_allowlist_path())
+        assert allowlist.entries
+        assert all(e.justification for e in allowlist.entries)
+
+
+class TestLintPackage:
+    def test_repo_is_clean_under_default_allowlist(self):
+        # The strict-mode acceptance criterion: the shipped tree has no
+        # unallowlisted findings and no stale allowlist entries.
+        report = lint_package()
+        assert isinstance(report, LintReport)
+        assert report.files_scanned > 40
+        assert report.clean, report.describe()
+        assert report.unused_allowlist == []
+        assert report.suppressed  # the audited _REGISTRY exception
+
+    def test_injected_wall_clock_caught(self, tmp_path):
+        # End-to-end acceptance self-check: drop a time.time() call
+        # into the scanned tree and the package lint must fail.
+        bad = tmp_path / "injected.py"
+        bad.write_text(
+            "import time\n\n\ndef stamp():\n    return time.time()\n"
+        )
+        report = lint_package(extra_paths=[bad])
+        assert not report.clean
+        assert any(
+            f.rule == "wall-clock" and f.path.endswith("injected.py")
+            for f in report.findings
+        )
+
+    def test_report_serializes(self):
+        report = lint_package()
+        payload = report.as_dict()
+        assert payload["clean"] is True
+        assert payload["files_scanned"] == report.files_scanned
+        assert isinstance(payload["suppressed"], list)
+
+    def test_rule_table_documented(self):
+        assert set(RULES) == {
+            "wall-clock",
+            "unseeded-random",
+            "set-iteration",
+            "pid-memo",
+            "float-accum",
+        }
+        assert all(RULES[rule] for rule in RULES)

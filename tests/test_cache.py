@@ -112,6 +112,18 @@ class TestMemoryLRU:
         assert lru.get("a") == 1 and lru.get("c") == 3
         assert lru.evictions == 1
 
+    def test_hot_key_survives_capacity_churn(self):
+        # Regression: get() must refresh recency, so a key touched on
+        # every round survives max_entries inserts of fresh keys.
+        max_entries = 8
+        lru = MemoryLRU(max_entries)
+        lru.put("hot", "pinned")
+        for i in range(max_entries):
+            lru.put(f"cold-{i}", i)
+            assert lru.get("hot") == "pinned"
+        assert lru.get("hot") == "pinned"
+        assert lru.evictions > 0  # churn really evicted the cold keys
+
 
 class TestDiskStore:
     def test_round_trip_and_meta(self, tmp_path):

@@ -73,6 +73,104 @@ class TestCli:
         assert first.read_bytes() == second.read_bytes()
 
 
+class TestCliAudit:
+    def test_lint_default_action(self, capsys):
+        assert main(["audit"]) == 0
+        out = capsys.readouterr().out
+        assert "scanned" in out and "allowlisted" in out
+
+    def test_lint_strict_passes_on_clean_tree(self, capsys):
+        # The acceptance criterion: strict lint exits 0 on the repo.
+        assert main(["--strict", "audit", "lint"]) == 0
+        capsys.readouterr()
+
+    def test_lint_json_output(self, capsys):
+        assert main(["--json", "audit", "lint"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["clean"] is True
+        assert payload["findings"] == []
+        assert payload["suppressed"]  # the audited exceptions
+
+    def test_lint_json_out_writes_artifact(self, tmp_path, capsys):
+        path = tmp_path / "lint.json"
+        assert main(["--json-out", str(path), "audit", "lint"]) == 0
+        capsys.readouterr()
+        payload = json.loads(path.read_text())
+        assert payload["clean"] is True
+
+    def test_fuzz_clean_report_exits_zero(self, capsys, monkeypatch):
+        from repro.audit import FuzzReport, sample_points
+
+        def fake_run_fuzz(config, log=None):
+            return FuzzReport(
+                points=sample_points(config.budget, config.base_seed),
+                comparisons=6,
+            )
+
+        monkeypatch.setattr("repro.audit.run_fuzz", fake_run_fuzz)
+        assert main(["--budget", "2", "audit", "fuzz"]) == 0
+        out = capsys.readouterr().out
+        assert "fuzzed 2 point(s)" in out
+        assert "0 divergence(s)" in out
+
+    def test_fuzz_divergence_exits_one_with_artifact(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        from repro.audit import Divergence, FuzzPoint, FuzzReport
+
+        def fake_run_fuzz(config, log=None):
+            point = FuzzPoint(seed=1, scale=0.02, faults="off")
+            return FuzzReport(
+                points=[point],
+                comparisons=1,
+                divergences=[
+                    Divergence(
+                        point=point,
+                        axis="workers",
+                        baseline="workers=1 shards=1",
+                        variant="workers=2 shards=1",
+                        fields=("trace_digest",),
+                    )
+                ],
+            )
+
+        monkeypatch.setattr("repro.audit.run_fuzz", fake_run_fuzz)
+        path = tmp_path / "fuzz.json"
+        assert main(["--json-out", str(path), "audit", "fuzz"]) == 1
+        out = capsys.readouterr().out
+        assert "DIVERGENCE" in out
+        payload = json.loads(path.read_text())
+        assert payload["ok"] is False
+        assert payload["divergences"][0]["fields"] == ["trace_digest"]
+
+    def test_fuzz_budget_and_seed_reach_config(self, capsys, monkeypatch):
+        captured = {}
+
+        def fake_run_fuzz(config, log=None):
+            from repro.audit import FuzzReport
+
+            captured["config"] = config
+            return FuzzReport()
+
+        monkeypatch.setattr("repro.audit.run_fuzz", fake_run_fuzz)
+        assert main(["--seed", "42", "--budget", "5", "audit", "fuzz"]) == 0
+        capsys.readouterr()
+        assert captured["config"].budget == 5
+        assert captured["config"].base_seed == 42
+
+    def test_unknown_audit_action_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["audit", "nonsense"])
+
+    def test_cache_rejects_audit_action(self, capsys):
+        assert main(["cache", "lint"]) == 2
+        assert "unknown cache action" in capsys.readouterr().out
+
+    def test_audit_rejects_cache_action(self, capsys):
+        assert main(["audit", "stats"]) == 2
+        assert "unknown audit action" in capsys.readouterr().out
+
+
 class TestCliFaults:
     SMALL = ["--seed", "9", "--scale", "0.02"]
 

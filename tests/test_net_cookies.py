@@ -169,6 +169,94 @@ class TestCookieJar:
         assert len(jar) == 0
 
 
+class TestExpiryBoundary:
+    """RFC 6265 expiry semantics: a cookie dies when its expiry time
+    *has passed*, not at the exact boundary instant."""
+
+    def test_live_at_exact_expiry_instant(self):
+        cookie = parse_set_cookie("a=1; Max-Age=100", PAGE, now=0.0)
+        assert cookie.expires == 100.0
+        assert not cookie.is_expired(100.0)
+        assert cookie.is_expired(100.000001)
+
+    def test_boundary_cookie_still_sent(self):
+        jar = CookieJar()
+        jar.store(parse_set_cookie("a=1; Path=/; Max-Age=100", PAGE, now=0.0))
+        assert jar.cookie_header_for(PAGE, now=100.0) == "a=1"
+        assert jar.cookie_header_for(PAGE, now=100.5) == ""
+
+    def test_max_age_zero_is_immediate_deletion(self):
+        cookie = parse_set_cookie("a=1; Max-Age=0", PAGE, now=50.0)
+        assert cookie.is_expired(50.0)
+
+    def test_max_age_negative_is_immediate_deletion(self):
+        cookie = parse_set_cookie("a=1; Max-Age=-300", PAGE, now=50.0)
+        assert cookie.is_expired(50.0)
+        # Not a live past-dated cookie either: it is dead at every time
+        # from the moment it was set.
+        assert cookie.expires is not None and cookie.expires < 50.0
+
+    def test_max_age_zero_deletes_existing_at_same_instant(self):
+        # The regression pair for the boundary fix: with `expires < now`
+        # alone, a Max-Age=0 cookie stamped `expires = now` would be
+        # *live* at `now` and replace instead of delete.
+        jar = CookieJar()
+        jar.store(parse_set_cookie("a=1; Path=/; Max-Age=100", PAGE, now=0.0))
+        jar.store(
+            parse_set_cookie("a=gone; Path=/; Max-Age=0", PAGE, now=0.0),
+            now=0.0,
+        )
+        assert len(jar) == 0
+
+    def test_evict_expired_keeps_boundary_cookie(self):
+        jar = CookieJar()
+        jar.store(parse_set_cookie("a=1; Path=/; Max-Age=10", PAGE, now=0.0))
+        assert jar.evict_expired(now=10.0) == 0
+        assert jar.evict_expired(now=10.5) == 1
+
+
+class TestAttributeEdgeCases:
+    """Jar state after each Set-Cookie attribute edge case."""
+
+    def test_non_numeric_max_age_skips_header_only(self):
+        with pytest.raises(CookieParseError):
+            parse_set_cookie("a=1; Max-Age=soon", PAGE)
+        jar = CookieJar()
+        stored = jar.store_from_response(
+            PAGE, ["a=1; Path=/; Max-Age=soon", "b=2; Path=/"]
+        )
+        assert [c.name for c in stored] == ["b"]
+        assert [c.name for c in jar.all()] == ["b"]
+
+    def test_domain_with_leading_dot(self):
+        jar = CookieJar()
+        jar.store_from_response(PAGE, ["sid=1; Path=/; Domain=.channel.de"])
+        (cookie,) = jar.all()
+        assert cookie.domain == "channel.de"
+        assert not cookie.host_only
+        assert jar.cookies_for(URL.parse("https://www.channel.de/"), now=0.0)
+
+    def test_super_domain_rejected_jar_unchanged(self):
+        jar = CookieJar()
+        stored = jar.store_from_response(
+            PAGE, ["sid=1; Path=/; Domain=other.de"]
+        )
+        assert stored == []
+        assert len(jar) == 0
+
+    def test_expires_in_past_never_enters_jar(self):
+        jar = CookieJar()
+        jar.store_from_response(PAGE, ["a=1; Path=/; Expires=50"], now=100.0)
+        assert len(jar) == 0
+        assert jar.cookie_header_for(PAGE, now=100.0) == ""
+
+    def test_expires_in_past_deletes_existing(self):
+        jar = CookieJar()
+        jar.store(parse_set_cookie("a=1; Path=/", PAGE, now=0.0))
+        jar.store_from_response(PAGE, ["a=gone; Path=/; Expires=50"], now=100.0)
+        assert len(jar) == 0
+
+
 COOKIE_NAME = st.text(
     alphabet="abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_",
     min_size=1,

@@ -2,6 +2,8 @@
 detection, classification, dedup, practice annotation, GDPR dictionary,
 and the discrepancy audit."""
 
+import dataclasses
+
 import pytest
 from hypothesis import given, strategies as st
 
@@ -17,7 +19,11 @@ from repro.policy.dedup import (
     simhash,
     simhash_groups,
 )
-from repro.policy.discrepancy import DiscrepancyKind, audit_discrepancies
+from repro.policy.discrepancy import (
+    DiscrepancyKind,
+    _inside_window,
+    audit_discrepancies,
+)
 from repro.policy.extraction import extract_main_text, looks_like_html
 from repro.policy.gdpr import GdprDictionary
 from repro.policy.langdetect import detect_language
@@ -305,6 +311,27 @@ class TestDiscrepancies:
         annotation = annotate_practices(GERMAN_POLICY)
         report = audit_discrepancies(
             [self.tracking_flow(evening)], {"kids1": annotation}
+        )
+        assert not report.by_kind(DiscrepancyKind.TIME_WINDOW_VIOLATION)
+
+    def test_wrap_boundary_hours(self):
+        # The 5 PM → 6 AM window: [17, 6) wrapping past midnight.
+        window = (17, 6)
+        assert _inside_window(17.0, window)  # opening instant is inside
+        assert _inside_window(5.999, window)  # last moment before close
+        assert not _inside_window(6.0, window)  # first hour outside
+        assert not _inside_window(16.999, window)
+
+    def test_degenerate_window_means_at_all_times(self):
+        # start == end encodes "at all times" — no hour is a violation.
+        for hour in (0.0, 6.0, 17.0, 23.999):
+            assert _inside_window(hour, (6, 6))
+
+    def test_degenerate_window_never_flags_violation(self):
+        annotation = annotate_practices(GERMAN_POLICY)
+        annotation = dataclasses.replace(annotation, declared_window=(9, 9))
+        report = audit_discrepancies(
+            [self.tracking_flow(DEFAULT_START)], {"kids1": annotation}
         )
         assert not report.by_kind(DiscrepancyKind.TIME_WINDOW_VIOLATION)
 

@@ -53,6 +53,15 @@ class TestHistogram:
         assert histogram.outside_window((17, 6)) == 3
         assert histogram.outside_share((17, 6)) == pytest.approx(3 / 7)
 
+    def test_degenerate_window_covers_full_day(self):
+        # start == end encodes "at all times": everything is inside.
+        histogram = HourlyHistogram("ch")
+        for hour in (0, 9, 17, 23):
+            histogram.add(hour)
+        assert histogram.inside_window((6, 6)) == histogram.total
+        assert histogram.outside_window((6, 6)) == 0
+        assert histogram.outside_share((6, 6)) == 0.0
+
     def test_empty_histogram(self):
         histogram = HourlyHistogram("ch")
         assert histogram.outside_share((17, 6)) == 0.0
