@@ -1,0 +1,142 @@
+"""Throughput of the discrete-event network co-simulation.
+
+Drives a synthetic request mix through a congested
+:class:`~repro.net.netsim.NetSimTransport` (no study machinery — the
+bench isolates the transport itself) and reports the event-heap
+throughput plus the queueing-delay distribution.  The numbers persist
+to ``BENCH_netsim.json``; when a previous file exists (CI restores it
+as an artifact, or a local rerun finds the last one), the bench fails
+on a >2x events/sec regression.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from benchmarks.conftest import SEED, emit
+from repro.clock import SimClock
+from repro.net.http import HttpRequest, html_response
+from repro.net.netsim import (
+    QUEUE_DELAY_HEADER,
+    DeadlineExpired,
+    NetSimConfig,
+    NetSimTransport,
+)
+from repro.net.network import Network, RoutingError
+from repro.net.server import FunctionServer
+
+#: Where the numbers persist (and where the regression baseline lives).
+RESULT_PATH = Path(
+    os.environ.get("REPRO_NETSIM_BENCH_PATH", "BENCH_netsim.json")
+)
+#: Fail when throughput drops below baseline / REGRESSION_FACTOR.
+REGRESSION_FACTOR = 2.0
+
+HOST_COUNT = 12
+REQUESTS = 20_000
+
+
+def build_transport() -> NetSimTransport:
+    network = Network()
+    hosts = [f"origin-{i:02d}.bench.example" for i in range(HOST_COUNT)]
+    for host in hosts:
+        server = FunctionServer(host)
+        server.route("/", lambda r: html_response("<html>bench</html>"))
+        network.register(server)
+    transport = NetSimTransport(
+        network, NetSimConfig.preset("congested"), SimClock(), seed=SEED
+    )
+    return transport
+
+
+def drive(transport: NetSimTransport) -> list[float]:
+    """Offer the synthetic mix; returns the observed queueing delays."""
+    delays: list[float] = []
+    hosts = sorted(transport.hosts())
+    for i in range(REQUESTS):
+        host = hosts[i % len(hosts)]
+        request = HttpRequest(
+            "GET",
+            f"http://{host}/",
+            timestamp=transport.clock.now,
+            body=b"x" * ((i * 37) % 2048),
+        )
+        try:
+            response = transport.deliver(request)
+        except (DeadlineExpired, RoutingError):
+            continue
+        delay = response.headers.get(QUEUE_DELAY_HEADER)
+        if delay is not None:
+            delays.append(float(delay))
+    return delays
+
+
+def percentile(sorted_samples: list[float], fraction: float) -> float:
+    if not sorted_samples:
+        return 0.0
+    rank = max(1, round(len(sorted_samples) * fraction))
+    return sorted_samples[min(rank, len(sorted_samples)) - 1]
+
+
+def test_netsim_event_throughput(benchmark):
+    transport = build_transport()
+    started = time.perf_counter()
+    delays = benchmark.pedantic(drive, args=(transport,), rounds=1, iterations=1)
+    wall = time.perf_counter() - started
+
+    events_per_second = transport.heap.processed / wall if wall else 0.0
+    ordered = sorted(delays)
+    stats = transport.stats
+    result = {
+        "seed": SEED,
+        "requests_offered": stats.offered,
+        "events_processed": transport.heap.processed,
+        "events_per_second": round(events_per_second, 1),
+        "queueing_delay_p50": round(percentile(ordered, 0.50), 4),
+        "queueing_delay_p99": round(percentile(ordered, 0.99), 4),
+        "delivered": stats.delivered,
+        "shed": stats.shed,
+        "expired": stats.expired,
+        "wall_seconds": round(wall, 3),
+    }
+
+    baseline = None
+    if RESULT_PATH.exists():
+        try:
+            baseline = json.loads(RESULT_PATH.read_text())
+        except (OSError, ValueError):
+            baseline = None
+    RESULT_PATH.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+
+    lines = [
+        f"{stats.offered:,} requests offered over {HOST_COUNT} hosts "
+        f"(congested preset)",
+        f"{transport.heap.processed:,} heap events in {wall:.2f}s wall "
+        f"= {events_per_second:,.0f} events/sec",
+        f"queueing delay p50 {result['queueing_delay_p50']:.3f}s, "
+        f"p99 {result['queueing_delay_p99']:.3f}s",
+        f"delivered {stats.delivered:,} / shed {stats.shed:,} / "
+        f"expired {stats.expired:,}",
+        f"persisted to {RESULT_PATH}",
+    ]
+    if baseline is not None:
+        lines.append(
+            f"baseline: {baseline.get('events_per_second', 0):,.0f} events/sec"
+        )
+    emit("Netsim — event-heap throughput", "\n".join(lines))
+
+    assert stats.conserved()
+    assert transport.heap.processed == transport.heap.pushed
+    assert stats.delivered > 0 and stats.shed > 0
+    # Sanity floor: the pure-python event loop should never be this slow.
+    assert events_per_second > 1_000, (
+        f"netsim throughput collapsed: {events_per_second:,.0f} events/sec"
+    )
+    if baseline is not None and baseline.get("events_per_second"):
+        floor = baseline["events_per_second"] / REGRESSION_FACTOR
+        assert events_per_second >= floor, (
+            f"netsim throughput regressed >{REGRESSION_FACTOR}x: "
+            f"{events_per_second:,.0f} events/sec vs baseline "
+            f"{baseline['events_per_second']:,.0f}"
+        )

@@ -38,6 +38,7 @@ from __future__ import annotations
 import argparse
 
 FAULT_CHOICES = ("off", "light", "heavy", "chaos")
+NETSIM_CHOICES = ("off", "dsl", "fiber", "congested")
 CACHE_ACTIONS = ("stats", "clear", "verify")
 AUDIT_ACTIONS = ("lint", "fuzz")
 
@@ -57,6 +58,16 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=FAULT_CHOICES,
         default="off",
         help="fault-injection preset applied to third-party hosts",
+    )
+    parser.add_argument(
+        "--netsim",
+        choices=NETSIM_CHOICES,
+        default="off",
+        help=(
+            "network co-simulation preset: bounded per-host capacity, "
+            "hour-of-day congestion, load shedding (default off = the "
+            "original infinitely fast wire)"
+        ),
     )
     parser.add_argument(
         "--workers",
@@ -239,7 +250,9 @@ def _audit_command(arguments) -> int:
         from repro.audit import FuzzConfig, run_fuzz
 
         config = FuzzConfig(
-            budget=arguments.budget, base_seed=arguments.seed
+            budget=arguments.budget,
+            base_seed=arguments.seed,
+            netsim=arguments.netsim,
         )
         report = run_fuzz(
             config, log=None if arguments.as_json else print
@@ -268,6 +281,7 @@ def _funnel(arguments) -> int:
         world,
         MeasurementConfig(exploratory_watch_seconds=60.0),
         faults=_fault_plan(arguments, world),
+        netsim=arguments.netsim,
     )
     report = run_filtering(context)
     _maybe_write_trace(arguments, context)
@@ -297,6 +311,7 @@ def _load_context(arguments):
     sharded = arguments.workers is not None or arguments.shards is not None
     if (
         arguments.faults == "off"
+        and arguments.netsim == "off"
         and arguments.command != "health"
         and not sharded
     ):
@@ -310,6 +325,7 @@ def _load_context(arguments):
     return run_study(
         world,
         faults=_fault_plan(arguments, world),
+        netsim=arguments.netsim,
         workers=arguments.workers,
         shards=arguments.shards,
     )

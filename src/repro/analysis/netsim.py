@@ -1,0 +1,181 @@
+"""Hour-of-day congestion analysis over the co-simulated network.
+
+When a study runs with :mod:`repro.net.netsim` enabled, every delivered
+response carries the transport's congestion footprint (queueing delay,
+queue depth, shed/degraded/expired markers) in its headers, and those
+fields survive into the serialized dataset.  This pass folds them into
+per-hour buckets — the congestion twin of the paper's "5 PM to 6 AM"
+lens: the simulated evening crest is where queueing delay and load
+shedding concentrate, so the report can show p99 queueing delay and
+shed counts inside the peak window against the daytime floor.
+
+The pass is a pure function of the dataset bytes: it reads only
+:func:`~repro.core.dataset.netsim_flow_fields` (the same projection the
+serializer writes) and flow timestamps.  A study without netsim yields
+an empty report and no section in the rendered document.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.clock import hour_of_day
+from repro.core.dataset import StudyDataset, netsim_flow_fields
+
+#: The paper's declared personalization window, reused as the netsim
+#: peak window (matches ``NetSimConfig.peak_hours``).
+PEAK_WINDOW = (17, 6)
+
+
+def _percentile(sorted_samples: list[float], fraction: float) -> float:
+    """Nearest-rank percentile over pre-sorted samples (deterministic)."""
+    if not sorted_samples:
+        return 0.0
+    rank = max(1, math.ceil(len(sorted_samples) * fraction))
+    return sorted_samples[rank - 1]
+
+
+@dataclass(frozen=True)
+class HourCongestion:
+    """One hour-of-day bucket of transport congestion."""
+
+    hour: int
+    requests: int
+    shed: int
+    expired: int
+    degraded: int
+    p50_queue_delay: float
+    p99_queue_delay: float
+    max_queue_depth: int
+
+    @property
+    def shed_share(self) -> float:
+        if self.requests == 0:
+            return 0.0
+        return self.shed / self.requests
+
+
+@dataclass(frozen=True)
+class NetSimCongestionReport:
+    """Pass result: the 24 hourly buckets plus peak/off-peak contrast."""
+
+    hours: tuple[HourCongestion, ...]
+    window: tuple[int, int] = PEAK_WINDOW
+
+    @property
+    def sample_count(self) -> int:
+        return sum(bucket.requests for bucket in self.hours)
+
+    @property
+    def has_samples(self) -> bool:
+        return self.sample_count > 0
+
+    @property
+    def shed_total(self) -> int:
+        return sum(bucket.shed for bucket in self.hours)
+
+    @property
+    def expired_total(self) -> int:
+        return sum(bucket.expired for bucket in self.hours)
+
+    @property
+    def degraded_total(self) -> int:
+        return sum(bucket.degraded for bucket in self.hours)
+
+    def _hours_inside(self) -> list[int]:
+        start, end = self.window
+        if start == end:
+            return list(range(24))
+        if start < end:
+            return list(range(start, end))
+        return list(range(start, 24)) + list(range(0, end))
+
+    def inside(self) -> tuple[HourCongestion, ...]:
+        wanted = set(self._hours_inside())
+        return tuple(b for b in self.hours if b.hour in wanted)
+
+    def outside(self) -> tuple[HourCongestion, ...]:
+        wanted = set(self._hours_inside())
+        return tuple(b for b in self.hours if b.hour not in wanted)
+
+    @staticmethod
+    def _aggregate(buckets: tuple[HourCongestion, ...]) -> dict:
+        """Worst-hour p99 plus summed counters over a bucket subset."""
+        requests = sum(b.requests for b in buckets)
+        return {
+            "requests": requests,
+            "shed": sum(b.shed for b in buckets),
+            "expired": sum(b.expired for b in buckets),
+            "p99": max((b.p99_queue_delay for b in buckets), default=0.0),
+        }
+
+    def peak_summary(self) -> dict:
+        return self._aggregate(self.inside())
+
+    def offpeak_summary(self) -> dict:
+        return self._aggregate(self.outside())
+
+    def shed_sparkline(self) -> str:
+        """One glyph per hour of shed volume (midnight first)."""
+        counts = [b.shed for b in self.hours]
+        peak = max(counts) or 1
+        glyphs = " ▁▂▃▄▅▆▇█"
+        return "".join(
+            glyphs[min(8, round(8 * count / peak))] for count in counts
+        )
+
+
+def netsim_congestion_report(dataset: StudyDataset) -> NetSimCongestionReport:
+    """Fold every netsim-stamped flow into hourly congestion buckets."""
+    requests = [0] * 24
+    shed = [0] * 24
+    expired = [0] * 24
+    degraded = [0] * 24
+    depth = [0] * 24
+    delays: list[list[float]] = [[] for _ in range(24)]
+    for flow in dataset.all_flows():
+        fields = netsim_flow_fields(flow)
+        if fields is None:
+            continue
+        hour = int(hour_of_day(flow.timestamp)) % 24
+        requests[hour] += 1
+        if fields.get("shed"):
+            shed[hour] += 1
+        if fields.get("expired"):
+            expired[hour] += 1
+        if fields.get("degraded"):
+            degraded[hour] += 1
+        queue_depth = fields.get("queue_depth")
+        if queue_depth is not None:
+            depth[hour] = max(depth[hour], int(queue_depth))
+        delay = fields.get("queue_delay")
+        if delay is not None:
+            delays[hour].append(float(delay))
+    buckets = []
+    for hour in range(24):
+        samples = sorted(delays[hour])
+        buckets.append(
+            HourCongestion(
+                hour=hour,
+                requests=requests[hour],
+                shed=shed[hour],
+                expired=expired[hour],
+                degraded=degraded[hour],
+                p50_queue_delay=_percentile(samples, 0.50),
+                p99_queue_delay=_percentile(samples, 0.99),
+                max_queue_depth=depth[hour],
+            )
+        )
+    return NetSimCongestionReport(hours=tuple(buckets))
+
+
+# -- pass registration -------------------------------------------------------------
+
+from repro.analysis.passes import analysis_pass  # noqa: E402
+
+
+@analysis_pass("netsim", version=1)
+def run(dataset, ctx) -> NetSimCongestionReport:
+    """Pass entry point: congestion by hour over the co-simulated net."""
+    return netsim_congestion_report(dataset)

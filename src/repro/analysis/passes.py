@@ -47,6 +47,7 @@ _BUILTIN_PASS_MODULES = (
     "repro.analysis.channels",
     "repro.analysis.children",
     "repro.analysis.runeffects",
+    "repro.analysis.netsim",
     "repro.consent.annotate",
     "repro.policy.discrepancy",
 )
@@ -66,6 +67,7 @@ REPORT_PASSES = (
     "policies",
     "channels",
     "children",
+    "netsim",
 )
 
 

@@ -134,6 +134,9 @@ def generate_report(context, cache="default") -> str:
         _section_policies(results["policies"]),
         _section_children(results["children"], results["channels"]),
     ]
+    netsim_section = _section_netsim(results["netsim"])
+    if netsim_section is not None:
+        sections.append(netsim_section)
     health = getattr(context, "health", None)
     if health is not None and health.has_activity:
         sections.append(
@@ -167,6 +170,49 @@ def _section_metrics(context, stage_metrics) -> ReportSection | None:
     return ReportSection(
         "Observability — metrics snapshot",
         format_metrics_table(combined),
+    )
+
+
+def _section_netsim(report) -> ReportSection | None:
+    """Congestion by hour over the co-simulated network (netsim runs).
+
+    Rendered only when the dataset carries netsim-stamped flows, so
+    the default (netsim off) report is byte-for-byte unchanged.
+    """
+    if not report.has_samples:
+        return None
+    peak = report.peak_summary()
+    off = report.offpeak_summary()
+    start, end = report.window
+    window_label = f"{start:02d}:00–{end:02d}:00"
+    lines = [
+        f"- {report.sample_count:,} requests crossed the bounded-capacity "
+        f"transport; {report.shed_total:,} shed (503), "
+        f"{report.expired_total:,} deadline-expired (504), "
+        f"{report.degraded_total:,} served degraded",
+        f"- inside the peak window ({window_label}): {peak['requests']:,} "
+        f"requests, {peak['shed']:,} shed, worst-hour p99 queueing delay "
+        f"{peak['p99']:.2f}s",
+        f"- outside the window: {off['requests']:,} requests, "
+        f"{off['shed']:,} shed, worst-hour p99 queueing delay "
+        f"{off['p99']:.2f}s",
+        f"- shed volume by hour (00–23): `{report.shed_sparkline()}`",
+        "",
+        "| hour | requests | shed | expired | p50 delay | p99 delay "
+        "| max depth |",
+        "|---|---|---|---|---|---|---|",
+    ]
+    for bucket in report.hours:
+        if bucket.requests == 0:
+            continue
+        lines.append(
+            f"| {bucket.hour:02d} | {bucket.requests:,} | {bucket.shed:,} "
+            f"| {bucket.expired:,} | {bucket.p50_queue_delay:.2f}s "
+            f"| {bucket.p99_queue_delay:.2f}s | {bucket.max_queue_depth} |"
+        )
+    return ReportSection(
+        "Co-simulated network — congestion from 5 PM to 6 AM",
+        "\n".join(lines),
     )
 
 

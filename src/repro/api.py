@@ -142,6 +142,7 @@ class Study:
         shards: int | None = None,
         faults: str | FaultPlan | None = "off",
         resilience: ResiliencePolicy | None = None,
+        netsim: Any = "off",
         with_filtering: bool = False,
         runs: list[RunSpec] | None = None,
         cache: Any = True,
@@ -149,8 +150,11 @@ class Study:
         """Execute the study and bundle everything it produced.
 
         ``faults`` accepts a preset name (``"off"``, ``"mild"``, …) or
-        a prebuilt :class:`FaultPlan`.  ``workers``/``shards`` select
-        the sharded executor exactly like
+        a prebuilt :class:`FaultPlan`.  ``netsim`` accepts a preset
+        name (``"off"``, ``"dsl"``, ``"fiber"``, ``"congested"``) or a
+        prebuilt :class:`~repro.net.netsim.NetSimConfig` and runs the
+        study over the co-simulated bounded-capacity network.
+        ``workers``/``shards`` select the sharded executor exactly like
         :func:`repro.simulation.study.run_study`.  ``cache`` follows
         :func:`_coerce_run_cache`; the resolved cache rides on the
         result so every later analysis reuses it.
@@ -167,6 +171,7 @@ class Study:
             with_filtering=with_filtering,
             faults=plan,
             resilience=resilience,
+            netsim=netsim,
             workers=workers,
             shards=shards,
         )

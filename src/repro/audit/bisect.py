@@ -41,6 +41,10 @@ SPAN_MODULES = {
     "breaker-transition": "repro.core.resilience",
     "shard": "repro.core.shard",
     "filtering": "repro.simulation.study",
+    "netsim-shed": "repro.net.netsim",
+    "netsim-expired": "repro.net.netsim",
+    "netsim-degraded": "repro.net.netsim",
+    "netsim-errored": "repro.net.netsim",
 }
 
 

@@ -49,12 +49,25 @@ class FuzzPoint:
     seed: int
     scale: float
     faults: str
+    #: Network co-simulation preset the whole matrix runs under.  A
+    #: configuration knob, not a sampled axis — it must NOT consume RNG
+    #: draws in :func:`sample_points`, or enabling it would silently
+    #: reshuffle every (seed, scale, faults) sample after it.
+    netsim: str = "off"
 
     def label(self) -> str:
-        return f"seed={self.seed} scale={self.scale} faults={self.faults}"
+        label = f"seed={self.seed} scale={self.scale} faults={self.faults}"
+        if self.netsim != "off":
+            label += f" netsim={self.netsim}"
+        return label
 
     def as_dict(self) -> dict:
-        return {"seed": self.seed, "scale": self.scale, "faults": self.faults}
+        return {
+            "seed": self.seed,
+            "scale": self.scale,
+            "faults": self.faults,
+            "netsim": self.netsim,
+        }
 
 
 def sample_points(
@@ -62,14 +75,21 @@ def sample_points(
     base_seed: int = 0,
     scales: Sequence[float] = DEFAULT_SCALES,
     faults: Sequence[str] = DEFAULT_FAULTS,
+    netsim: str = "off",
 ) -> list[FuzzPoint]:
-    """Sample ``budget`` points deterministically from ``base_seed``."""
+    """Sample ``budget`` points deterministically from ``base_seed``.
+
+    ``netsim`` is applied verbatim to every point (no RNG draws), so
+    fuzzing with the co-simulation on visits the *same* (seed, scale,
+    faults) samples as fuzzing with it off.
+    """
     rng = random.Random(base_seed)
     return [
         FuzzPoint(
             seed=rng.randrange(1, 100_000),
             scale=rng.choice(list(scales)),
             faults=rng.choice(list(faults)),
+            netsim=netsim,
         )
         for _ in range(budget)
     ]
@@ -165,6 +185,8 @@ class FuzzConfig:
     faults: tuple[str, ...] = DEFAULT_FAULTS
     check_cache: bool = True
     cache_passes: tuple[str, ...] = ("overview",)
+    #: Netsim preset every sampled point runs under (``--netsim``).
+    netsim: str = "off"
 
 
 # -- execution ---------------------------------------------------------------------
@@ -179,7 +201,13 @@ def _study_runner(point: FuzzPoint, workers: int, shards: int):
 
     world = build_world(seed=point.seed, scale=point.scale)
     plan = fault_plan_for_world(world, point.faults)
-    context = run_study(world, faults=plan, workers=workers, shards=shards)
+    context = run_study(
+        world,
+        faults=plan,
+        netsim=point.netsim,
+        workers=workers,
+        shards=shards,
+    )
     outcome = VariantOutcome(
         label=f"workers={workers} shards={shards}",
         study_digest=context.dataset.digest(),
@@ -253,7 +281,11 @@ def run_fuzz(
     emit = log or (lambda message: None)
     report = FuzzReport(
         points=sample_points(
-            config.budget, config.base_seed, config.scales, config.faults
+            config.budget,
+            config.base_seed,
+            config.scales,
+            config.faults,
+            netsim=config.netsim,
         )
     )
 

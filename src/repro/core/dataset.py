@@ -15,10 +15,44 @@ from typing import Iterable, Iterator, Sequence
 
 from repro.core.resilience import ChannelFailure
 from repro.net.cookies import Cookie, parse_set_cookie
+from repro.net.netsim import (
+    DEGRADED_HEADER,
+    EXPIRED_HEADER,
+    QUEUE_DELAY_HEADER,
+    QUEUE_DEPTH_HEADER,
+    SHED_HEADER,
+)
 from repro.net.storage import StorageEntry
 from repro.net.url import URL, URLError
 from repro.proxy.flow import Flow
 from repro.tv.screenshot import Screenshot
+
+
+def netsim_flow_fields(flow: Flow) -> dict | None:
+    """The netsim congestion facts stamped on a flow's response.
+
+    ``None`` when the study ran without a network co-simulation — the
+    serialized flow then omits the ``netsim`` key entirely, keeping the
+    off-path dataset (and its digest) byte-for-byte what it was before
+    netsim existed.  With netsim on, the fields ride *inside* the
+    dataset, so analysis passes over congestion stay pure functions of
+    the dataset bytes (the cache-key contract of the pass registry).
+    """
+    headers = flow.response.headers
+    fields: dict = {}
+    delay = headers.get(QUEUE_DELAY_HEADER)
+    if delay is not None:
+        fields["queue_delay"] = float(delay)
+    depth = headers.get(QUEUE_DEPTH_HEADER)
+    if depth is not None:
+        fields["queue_depth"] = int(depth)
+    if SHED_HEADER in headers:
+        fields["shed"] = True
+    if DEGRADED_HEADER in headers:
+        fields["degraded"] = True
+    if EXPIRED_HEADER in headers:
+        fields["expired"] = True
+    return fields or None
 
 
 @dataclass(frozen=True)
@@ -317,6 +351,28 @@ def _serialize_screenshot(shot: Screenshot) -> dict:
     }
 
 
+def _serialize_flow(flow: Flow) -> dict:
+    record = {
+        "method": flow.request.method,
+        "url": flow.url,
+        "ts": flow.timestamp,
+        "status": flow.status,
+        "content_type": flow.response.content_type,
+        "size": flow.response.size,
+        "set_cookies": flow.set_cookie_headers(),
+        "referer": flow.request.referer,
+        "channel_id": flow.channel_id,
+        "channel_name": flow.channel_name,
+        "run": flow.run_name,
+        "https": flow.is_https,
+        "response_ts": flow.response.timestamp,
+    }
+    netsim = netsim_flow_fields(flow)
+    if netsim is not None:
+        record["netsim"] = netsim
+    return record
+
+
 def serialize_run_dataset(run: RunDataset) -> dict:
     """A canonical, JSON-ready view of everything a run collected.
 
@@ -332,24 +388,7 @@ def serialize_run_dataset(run: RunDataset) -> dict:
         "completed": run.completed,
         "interactions": run.interaction_count,
         "channels_measured": list(run.channels_measured),
-        "flows": [
-            {
-                "method": flow.request.method,
-                "url": flow.url,
-                "ts": flow.timestamp,
-                "status": flow.status,
-                "content_type": flow.response.content_type,
-                "size": flow.response.size,
-                "set_cookies": flow.set_cookie_headers(),
-                "referer": flow.request.referer,
-                "channel_id": flow.channel_id,
-                "channel_name": flow.channel_name,
-                "run": flow.run_name,
-                "https": flow.is_https,
-                "response_ts": flow.response.timestamp,
-            }
-            for flow in run.flows
-        ],
+        "flows": [_serialize_flow(flow) for flow in run.flows],
         "cookie_records": [
             {
                 "cookie": _serialize_cookie(record.cookie),

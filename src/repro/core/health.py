@@ -32,6 +32,16 @@ class RunHealth:
     channels_measured: int
     failures: tuple[ChannelFailure, ...] = ()
     completed: bool = True
+    #: Netsim congestion accounting (zero when the study ran without a
+    #: network co-simulation): requests the transport load-shed (503)
+    #: or whose client deadline expired before service.
+    shed: int = 0
+    deadline_expired: int = 0
+    #: Upstream routing failures as ``(host, simulated timestamp)`` —
+    #: *when* each NXDOMAIN/unreachable surfaced on the simulated
+    #: clock, not merely that it did (netsim defers delivery, so these
+    #: can be well after issue time).
+    routing_failures: tuple[tuple[str, float], ...] = ()
 
     @property
     def faults_total(self) -> int:
@@ -60,7 +70,12 @@ class StudyHealth:
     def has_activity(self) -> bool:
         """Whether anything beyond the happy path happened at all."""
         return any(
-            r.faults_total or r.retries or r.failures or r.connection_resets
+            r.faults_total
+            or r.retries
+            or r.failures
+            or r.connection_resets
+            or r.shed
+            or r.deadline_expired
             for r in self.runs
         )
 
@@ -92,6 +107,8 @@ class StudyHealth:
             "gateway_timeouts": sum(r.gateway_timeouts for r in self.runs),
             "connection_resets": sum(r.connection_resets for r in self.runs),
             "breaker_opens": sum(r.breaker_opens for r in self.runs),
+            "shed": sum(r.shed for r in self.runs),
+            "deadline_expired": sum(r.deadline_expired for r in self.runs),
             **{
                 f"faults.{kind}": count
                 for kind, count in sorted(self.faults_by_kind().items())
@@ -118,6 +135,9 @@ def merge_run_health(parts: Sequence[RunHealth]) -> RunHealth:
     failures: list[ChannelFailure] = []
     for part in parts:
         failures.extend(part.failures)
+    routing_failures: list[tuple[str, float]] = []
+    for part in parts:
+        routing_failures.extend(part.routing_failures)
     return RunHealth(
         run_name=parts[0].run_name,
         faults_by_kind=kinds,
@@ -130,6 +150,9 @@ def merge_run_health(parts: Sequence[RunHealth]) -> RunHealth:
         channels_measured=sum(p.channels_measured for p in parts),
         failures=tuple(failures),
         completed=all(p.completed for p in parts),
+        shed=sum(p.shed for p in parts),
+        deadline_expired=sum(p.deadline_expired for p in parts),
+        routing_failures=tuple(routing_failures),
     )
 
 
@@ -157,10 +180,11 @@ def merge_study_health(parts: Sequence[StudyHealth]) -> StudyHealth:
 class HealthMonitor:
     """Collects per-run counter deltas while the framework executes."""
 
-    def __init__(self, proxy, injector=None, transport=None) -> None:
+    def __init__(self, proxy, injector=None, transport=None, netsim=None) -> None:
         self.proxy = proxy
         self.injector = injector
         self.transport = transport
+        self.netsim = netsim
         self.study_health = StudyHealth()
         self._mark: dict[str, float] = {}
 
@@ -200,6 +224,15 @@ class HealthMonitor:
                 channels_measured=len(run_data.channels_measured),
                 failures=tuple(run_data.channel_failures),
                 completed=run_data.completed,
+                shed=int(now["shed"] - mark.get("shed", 0)),
+                deadline_expired=int(
+                    now["deadline_expired"] - mark.get("deadline_expired", 0)
+                ),
+                routing_failures=tuple(
+                    getattr(self.proxy, "routing_failures", [])[
+                        int(mark.get("routing_failure_count", 0)) :
+                    ]
+                ),
             )
         )
 
@@ -207,6 +240,13 @@ class HealthMonitor:
         counters: dict = {
             "gateway_timeouts": getattr(self.proxy, "gateway_timeout_count", 0),
             "resets": getattr(self.proxy, "reset_count", 0),
+            "shed": getattr(self.proxy, "shed_count", 0),
+            "deadline_expired": getattr(
+                self.proxy, "deadline_expired_count", 0
+            ),
+            "routing_failure_count": len(
+                getattr(self.proxy, "routing_failures", ())
+            ),
             "retries": 0,
             "breaker_opens": 0,
             "fast_fails": 0,
@@ -215,6 +255,12 @@ class HealthMonitor:
             counters["retries"] = self.transport.retries_total
             counters["breaker_opens"] = self.transport.breaker_opens
             counters["fast_fails"] = self.transport.fast_fails
+        if self.netsim is not None:
+            # The transport's own ledger counts *every* shed/expiry,
+            # including ones the retry loop consumed before the proxy
+            # ever saw a response.
+            counters["shed"] = self.netsim.stats.shed
+            counters["deadline_expired"] = self.netsim.stats.expired
         if self.injector is not None:
             counters["by_kind"] = dict(self.injector.stats.by_kind)
         return counters

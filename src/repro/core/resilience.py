@@ -20,6 +20,7 @@ from enum import Enum
 from repro.clock import SimClock
 from repro.net.faults import ConnectionReset, NxdomainFlap
 from repro.net.http import HttpRequest, HttpResponse
+from repro.net.netsim import DeadlineExpired
 from repro.net.network import RoutingError
 from repro.net.url import URL
 
@@ -279,7 +280,13 @@ class TransportResilience:
         while True:
             try:
                 response = network.deliver(request)
-            except (ConnectionReset, NxdomainFlap):
+            except (ConnectionReset, NxdomainFlap, DeadlineExpired):
+                # DeadlineExpired is a *congestion* timeout, not a dead
+                # host: by the retry the queue may have drained (and the
+                # backoff itself advances the clock), so it is retried
+                # like a transient fault — while still feeding the
+                # breaker, whose trips stop the client offering work to
+                # a drowning host and let its queue drain.
                 breaker.record_failure()
                 if attempt + 1 >= retry.max_attempts:
                     raise

@@ -49,6 +49,7 @@ from repro.core.health import StudyHealth, merge_study_health
 from repro.core.resilience import ResiliencePolicy
 from repro.core.runs import RunSpec, ensure_runs
 from repro.net.faults import FaultPlan
+from repro.net.netsim import NetSimConfig, coerce_netsim
 from repro.obs import (
     MetricsRegistry,
     Observability,
@@ -92,6 +93,9 @@ class ShardTask:
     with_filtering: bool = False
     #: run name → channel ids already measured (shard-aware resume).
     skip_channels: tuple[tuple[str, tuple[str, ...]], ...] = ()
+    #: Shard-salted network co-simulation (``None`` = infinitely fast
+    #: wire); already passed through :meth:`NetSimConfig.for_shard`.
+    netsim: NetSimConfig | None = None
 
 
 @dataclass
@@ -166,7 +170,11 @@ def execute_shard(task: ShardTask) -> ShardResult:
     world = build_world(seed=task.seed, scale=task.scale)
     members = frozenset(task.shard.channel_ids)
     context = make_context(
-        world, task.config, faults=task.plan, resilience=task.resilience
+        world,
+        task.config,
+        faults=task.plan,
+        resilience=task.resilience,
+        netsim=task.netsim,
     )
     obs = context.obs
     shard_span = (
@@ -319,6 +327,7 @@ def build_shard_tasks(
     with_filtering: bool = False,
     faults: FaultPlan | None = None,
     resilience: ResiliencePolicy | None = None,
+    netsim: NetSimConfig | str | None = None,
     n_shards: int = DEFAULT_SHARDS,
     skip_channels: Mapping[str, Iterable[str]] | None = None,
 ) -> list[ShardTask]:
@@ -338,8 +347,13 @@ def build_shard_tasks(
             "without the workers/shards knobs)"
         )
     _, seed, scale = recipe
-    if faults is not None and not faults.is_empty and resilience is None:
-        # Mirror make_context: a faulty study always runs resilient.
+    netsim_config = coerce_netsim(netsim)
+    if resilience is None and (
+        (faults is not None and not faults.is_empty)
+        or netsim_config is not None
+    ):
+        # Mirror make_context: a faulty or co-simulated study always
+        # runs resilient.
         resilience = ResiliencePolicy()
     shards = shard_channel_ids(
         (c.channel_id for c in world.all_channels), seed, n_shards
@@ -369,6 +383,11 @@ def build_shard_tasks(
                 resilience=resilience,
                 with_filtering=with_filtering,
                 skip_channels=shard_skip,
+                netsim=(
+                    netsim_config.for_shard(shard.index, n_shards)
+                    if netsim_config is not None
+                    else None
+                ),
             )
         )
     return tasks
@@ -400,6 +419,7 @@ def run_sharded_study(
     with_filtering: bool = False,
     faults: FaultPlan | None = None,
     resilience: ResiliencePolicy | None = None,
+    netsim: NetSimConfig | str | None = None,
     workers: int = 1,
     n_shards: int = DEFAULT_SHARDS,
 ):
@@ -421,6 +441,7 @@ def run_sharded_study(
         with_filtering=with_filtering,
         faults=faults,
         resilience=resilience,
+        netsim=netsim,
         n_shards=n_shards,
     )
     results = execute_shard_tasks(tasks, workers=workers)
@@ -433,6 +454,7 @@ def run_sharded_study(
         resilience=(
             tasks[0].resilience if tasks and tasks[0].resilience else resilience
         ),
+        netsim=coerce_netsim(netsim),
     )
     context.dataset = merged.dataset
     # Prewarm the merged dataset's digest memo so downstream cache

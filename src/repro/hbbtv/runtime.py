@@ -17,6 +17,7 @@ which :class:`repro.tv.browser.TvBrowser` implements.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from urllib.parse import quote
 
@@ -161,6 +162,18 @@ class AppRuntime:
                 self.clock.advance(beacon.next_fire - self.clock.now)
             self._fire(beacon.service)
             beacon.next_fire += beacon.service.period_s
+            behind = self.clock.now - beacon.next_fire
+            if behind > 0.0:
+                # The fetch itself consumed simulated time (netsim
+                # service delay, resilience backoff) past the next
+                # slot.  A synchronous client cannot fire mid-request,
+                # so the slots the fetch covered are skipped rather
+                # than replayed as a backlog — without this a 60 Hz
+                # beacon behind a congested uplink compounds without
+                # bound.  On the plain path the clock never advances
+                # inside ``_fire`` and ``behind`` is always negative.
+                period = beacon.service.period_s
+                beacon.next_fire += math.ceil(behind / period) * period
 
     @staticmethod
     def _is_playback_beacon(beacon: _ScheduledBeacon) -> bool:

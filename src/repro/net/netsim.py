@@ -1,0 +1,738 @@
+"""Discrete-event network co-simulation: capacity, congestion, shedding.
+
+The paper's headline finding is *temporal* — tracking differs between
+5 PM and 6 AM — yet the bare :class:`~repro.net.network.Network`
+resolves every flow on an infinitely fast wire.  This module gives the
+simulated Internet a finite capacity: every host sits behind a
+:class:`HostQueue` with bounded uplink/downlink bandwidth and a bounded
+FIFO queue, service time is a function of payload size and link
+bandwidth, and an hour-of-day ambient traffic curve (everyone else's
+TVs are on in the evening too) turns the 17:00–06:00 window into a
+*load* phenomenon rather than a policy flag:
+
+* fan-in past the link's capacity produces **queueing delay** — the
+  response completes later on the shared :class:`~repro.clock.SimClock`;
+* a queue past the configurable **high-water mark** degrades service
+  and sheds load deterministically — a synthesized ``503`` with a
+  ``Retry-After`` header, which the resilience layer's retry/backoff
+  and circuit breakers then act on (breaker trips stop the client from
+  offering more work, which is exactly how the pressure drains);
+* a predicted sojourn beyond the client **deadline** raises
+  :class:`DeadlineExpired` (the TV gives up), which the proxy
+  synthesizes into a gateway timeout stamped with the simulated time.
+
+Everything is a pure function of ``(seed, scale, plan, n_shards)``:
+shedding decisions derive from ``random.Random`` keyed on
+``(netsim seed, shard salt, host, per-host sequence number)``, ambient
+load is a piecewise-linear wave of the simulated clock (no trig — the
+arithmetic is bit-identical across platforms), and the per-request
+lifecycle runs through an :class:`EventHeap` ordered by ``(time, seq)``
+so the event history itself is reproducible and auditable.  With
+``NetSimConfig`` disabled (the ``off`` preset) no wrapper exists and
+the request path is byte-for-byte the original pipeline.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+import zlib
+from dataclasses import dataclass, field, replace
+from enum import Enum
+
+from repro.clock import hour_of_day
+from repro.net.http import Headers, HttpRequest, HttpResponse
+from repro.net.network import RoutingError
+from repro.net.url import URL
+
+#: Response headers the transport stamps; the analysis layer (and the
+#: dataset serializer) read congestion back out of the recorded flows,
+#: so the hour-of-day latency pass stays a pure function of the dataset.
+QUEUE_DELAY_HEADER = "X-NetSim-Queue-Delay"
+QUEUE_DEPTH_HEADER = "X-NetSim-Queue-Depth"
+SHED_HEADER = "X-NetSim-Shed"
+DEGRADED_HEADER = "X-NetSim-Degraded"
+EXPIRED_HEADER = "X-NetSim-Expired"
+
+#: Protocol overhead added to every request/response transfer (headers,
+#: TLS records) so even empty-body exchanges cost wire time.
+WIRE_OVERHEAD_BYTES = 512.0
+
+
+class DeadlineExpired(RoutingError):
+    """The client abandoned a request whose predicted sojourn blew the
+    deadline (congestion-induced timeout).
+
+    Subclasses :class:`~repro.net.network.RoutingError` so the proxy's
+    gateway-timeout synthesis handles it without a new failure channel;
+    carries the simulated timestamp (``at``) and predicted delay so the
+    synthesized flow and :class:`~repro.core.health.RunHealth` record
+    *when* the deadline expired on the simulated clock.
+    """
+
+    def __init__(self, host: str, predicted_delay: float, at: float) -> None:
+        super().__init__(
+            f"deadline expired for {host}: predicted queueing delay "
+            f"{predicted_delay:.2f}s"
+        )
+        self.host = host
+        self.predicted_delay = predicted_delay
+        self.at = at
+
+
+# -- configuration -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class NetSimConfig:
+    """Tunables of the co-simulated transport (all times in seconds).
+
+    ``enabled=False`` (the ``off`` preset) means "do not build the
+    transport at all" — the study wiring checks :attr:`is_active` and
+    leaves the original request path untouched.
+    """
+
+    enabled: bool = False
+    preset_name: str = "off"
+    #: Link bandwidth in bytes per second of simulated time.
+    uplink_bytes_per_second: float = 128_000.0
+    downlink_bytes_per_second: float = 2_000_000.0
+    #: Propagation round trip added to every exchange.
+    base_rtt_seconds: float = 0.03
+    #: Mean service time of one ambient job — converts the fluid
+    #: backlog (seconds of queued work) into a queue *depth* (jobs).
+    mean_job_seconds: float = 0.25
+    #: Bounded FIFO: a queue at this depth sheds new arrivals outright.
+    queue_capacity: int = 24
+    #: Depth at which graceful degradation starts (degraded service
+    #: marking plus deterministic partial shedding).
+    high_water: int = 16
+    #: Client deadline on the *predicted* sojourn; beyond it the
+    #: request is abandoned before transfer (:class:`DeadlineExpired`).
+    deadline_seconds: float = 12.0
+    #: Advertised back-off on shed responses (``Retry-After``).
+    retry_after_seconds: float = 2.0
+    #: Hour-of-day window of the ambient traffic peak; wraps midnight
+    #: like the paper's titular 17:00–06:00 stretch.
+    peak_hours: tuple[float, float] = (17.0, 6.0)
+    #: The crest within the peak window — prime-time evening TV.
+    evening_hours: tuple[float, float] = (17.0, 23.0)
+    #: Ambient utilization of every host's link (1.0 = the ambient
+    #: neighborhood alone saturates it): the evening crest, the
+    #: overnight shoulder (rest of the 17:00–06:00 window — standby
+    #: beacons, backups, everyone's 3 AM), and the daytime floor.
+    peak_utilization: float = 0.85
+    overnight_utilization: float = 0.6
+    offpeak_utilization: float = 0.35
+    #: Shard-specific entropy mixed into shedding decisions; derived by
+    #: :meth:`for_shard` exactly like ``FaultPlan.for_shard``.
+    seed_salt: int = 0
+
+    @property
+    def is_active(self) -> bool:
+        return self.enabled
+
+    @property
+    def capacity_seconds(self) -> float:
+        """The bounded queue expressed as seconds of queued work."""
+        return self.queue_capacity * self.mean_job_seconds
+
+    @staticmethod
+    def _in_window(hour: float, window: tuple[float, float]) -> bool:
+        start, end = window
+        if start <= end:
+            return start <= hour < end
+        return hour >= start or hour < end  # wraps midnight
+
+    def in_peak(self, timestamp: float) -> bool:
+        return self._in_window(hour_of_day(timestamp), self.peak_hours)
+
+    def utilization_at(self, timestamp: float) -> float:
+        """Three-tier ambient utilization: the 5 PM evening crest, the
+        lighter (but still elevated) overnight shoulder, the daytime
+        floor — so 5 PM ≠ 3 AM ≠ 9 AM, while the whole 17:00–06:00
+        window stays hotter than the hours outside it."""
+        hour = hour_of_day(timestamp)
+        if self._in_window(hour, self.evening_hours):
+            return self.peak_utilization
+        if self._in_window(hour, self.peak_hours):
+            return self.overnight_utilization
+        return self.offpeak_utilization
+
+    def for_shard(self, index: int, n_shards: int) -> "NetSimConfig":
+        """The shard-salted variant one shard's transport executes.
+
+        Each shard runs its own :class:`NetSimTransport` with fresh
+        per-host sequence counters; without a shard-specific salt every
+        shard would replay the identical shed schedule on its first
+        requests to a shared third-party host.  A pure function of
+        ``(config, index, n_shards)``, so the merged study stays a
+        deterministic function of the partition.
+        """
+        if not 0 <= index < n_shards:
+            raise ValueError(f"shard index {index} out of range for {n_shards}")
+        if not self.enabled:
+            return self
+        derived = zlib.crc32(
+            f"netsimshard:{self.seed_salt}:{index}:{n_shards}".encode()
+        )
+        return replace(self, seed_salt=derived)
+
+    @classmethod
+    def preset(cls, name: str) -> "NetSimConfig":
+        """Resolve a preset by name (``off``/``dsl``/``fiber``/``congested``)."""
+        try:
+            builder = _PRESETS[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown netsim preset: {name!r} "
+                f"(choose from {sorted(_PRESETS)})"
+            ) from None
+        return builder()
+
+
+def _preset_off() -> NetSimConfig:
+    return NetSimConfig()
+
+
+def _preset_dsl() -> NetSimConfig:
+    """A consumer DSL uplink: modest bandwidth, mild evening queues."""
+    return NetSimConfig(
+        enabled=True,
+        preset_name="dsl",
+        uplink_bytes_per_second=128_000.0,
+        downlink_bytes_per_second=2_000_000.0,
+        base_rtt_seconds=0.03,
+        mean_job_seconds=0.25,
+        queue_capacity=24,
+        high_water=16,
+        deadline_seconds=12.0,
+        retry_after_seconds=2.0,
+        peak_utilization=0.85,
+        overnight_utilization=0.6,
+        offpeak_utilization=0.35,
+    )
+
+
+def _preset_fiber() -> NetSimConfig:
+    """Fat pipes, low RTT: congestion is rare even at 5 PM."""
+    return NetSimConfig(
+        enabled=True,
+        preset_name="fiber",
+        uplink_bytes_per_second=5_000_000.0,
+        downlink_bytes_per_second=12_500_000.0,
+        base_rtt_seconds=0.005,
+        mean_job_seconds=0.1,
+        queue_capacity=64,
+        high_water=56,
+        deadline_seconds=10.0,
+        retry_after_seconds=1.0,
+        peak_utilization=0.5,
+        overnight_utilization=0.35,
+        offpeak_utilization=0.2,
+    )
+
+
+def _preset_congested() -> NetSimConfig:
+    """The stress preset: the evening peak overloads most links."""
+    return NetSimConfig(
+        enabled=True,
+        preset_name="congested",
+        uplink_bytes_per_second=64_000.0,
+        downlink_bytes_per_second=1_000_000.0,
+        base_rtt_seconds=0.05,
+        mean_job_seconds=0.4,
+        queue_capacity=16,
+        high_water=10,
+        deadline_seconds=6.0,
+        retry_after_seconds=2.0,
+        peak_utilization=1.05,
+        overnight_utilization=0.75,
+        offpeak_utilization=0.4,
+    )
+
+
+_PRESETS = {
+    "off": _preset_off,
+    "none": _preset_off,
+    "dsl": _preset_dsl,
+    "fiber": _preset_fiber,
+    "congested": _preset_congested,
+}
+
+NETSIM_PRESET_NAMES = tuple(_PRESETS)
+
+
+def coerce_netsim(netsim) -> NetSimConfig | None:
+    """Resolve the ``netsim=`` convention shared by study/CLI/facade.
+
+    ``None``/``"off"``/a disabled config → ``None`` (build nothing);
+    a preset name → its config; a :class:`NetSimConfig` is used as-is.
+    """
+    if netsim is None:
+        return None
+    if isinstance(netsim, str):
+        netsim = NetSimConfig.preset(netsim)
+    if not netsim.is_active:
+        return None
+    return netsim
+
+
+# -- the event heap ----------------------------------------------------------------
+
+
+class EventKind(str, Enum):
+    """Lifecycle stages of one request through the transport."""
+
+    ARRIVAL = "arrival"
+    START = "start-service"
+    COMPLETE = "complete"
+    SHED = "shed"
+    EXPIRE = "expire"
+
+
+@dataclass(frozen=True)
+class NetEvent:
+    """One scheduled event, totally ordered by ``(time, seq)``."""
+
+    time: float
+    seq: int
+    kind: EventKind
+    host: str
+
+    def sort_key(self) -> tuple[float, int]:
+        return (self.time, self.seq)
+
+
+class EventHeap:
+    """A deterministic discrete-event scheduler.
+
+    Events are keyed by ``(time, seq)`` where ``seq`` is a global
+    monotone counter assigned at push time — ties in simulated time
+    resolve by scheduling order, never by hash order or arrival
+    address, which is what keeps the processed event history a pure
+    function of the offered load.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, NetEvent]] = []
+        self._seq = 0
+        self.pushed = 0
+        self.processed = 0
+        self._last_popped: tuple[float, int] | None = None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def next_seq(self) -> int:
+        return self._seq
+
+    def push(self, time: float, kind: EventKind, host: str) -> NetEvent:
+        event = NetEvent(time=time, seq=self._seq, kind=kind, host=host)
+        self._seq += 1
+        self.pushed += 1
+        heapq.heappush(self._heap, (event.time, event.seq, event))
+        return event
+
+    def pop(self) -> NetEvent:
+        _, _, event = heapq.heappop(self._heap)
+        key = event.sort_key()
+        if self._last_popped is not None and key < self._last_popped:
+            raise AssertionError(
+                f"event heap went backwards: {key} after {self._last_popped}"
+            )
+        self._last_popped = key
+        self.processed += 1
+        return event
+
+    def drain_until(self, time: float) -> list[NetEvent]:
+        """Pop (in order) every event scheduled at or before ``time``."""
+        drained: list[NetEvent] = []
+        while self._heap and self._heap[0][0] <= time:
+            drained.append(self.pop())
+        return drained
+
+
+# -- per-host queues ---------------------------------------------------------------
+
+
+@dataclass
+class HostQueue:
+    """The bounded queue in front of one host's link.
+
+    Two load components combine at every arrival:
+
+    * ``busy_until`` — the absolute simulated time this client's own
+      in-flight transfers keep the link occupied; chaining service
+      starts off it is what guarantees FIFO order per host.
+    * the *ambient* backlog — a closed-form, piecewise-linear wave of
+      the clock (see :meth:`ambient_backlog_at`) modelling everyone
+      else's traffic through the same infrastructure, scaled by the
+      hour-of-day utilization curve.
+    """
+
+    host: str
+    utilization_factor: float = 1.0
+    wave_period: float = 300.0
+    wave_phase: float = 0.0
+    busy_until: float = 0.0
+    #: Completion times of this client's own in-flight requests.
+    own_pending: list[float] = field(default_factory=list)
+    arrivals: int = 0
+
+    @classmethod
+    def for_host(cls, host: str, seed: int, salt: int) -> "HostQueue":
+        """Host-seeded ambient characteristics (pure crc32 arithmetic)."""
+        bucket = zlib.crc32(f"netsimhost:{seed}:{salt}:{host}".encode())
+        factor = 0.8 + 0.4 * ((bucket % 1000) / 999.0)
+        period = 180.0 + 420.0 * (((bucket >> 10) % 1000) / 999.0)
+        phase = ((bucket >> 20) % 1000) / 1000.0
+        return cls(
+            host=host,
+            utilization_factor=factor,
+            wave_period=period,
+            wave_phase=phase,
+        )
+
+    def _wave(self, timestamp: float) -> float:
+        """Triangle wave in [0, 1] — deterministic across platforms."""
+        x = (timestamp / self.wave_period + self.wave_phase) % 1.0
+        return 2.0 * x if x < 0.5 else 2.0 * (1.0 - x)
+
+    def ambient_backlog_at(self, timestamp: float, config: NetSimConfig) -> float:
+        """Seconds of ambient work queued ahead at ``timestamp``.
+
+        The hour-of-day utilization curve sets the level, the per-host
+        triangle wave makes it breathe (crests hit the bounded queue's
+        capacity under the congested preset's evening overload, troughs
+        drain), and the result is clamped to the bounded queue — the
+        origin sheds its *own* ambient tail past capacity, which is why
+        the queue never grows without bound.
+        """
+        utilization = config.utilization_at(timestamp) * self.utilization_factor
+        effective = utilization * (0.4 + 1.2 * self._wave(timestamp))
+        effective = min(1.0, max(0.0, effective))
+        return effective * config.capacity_seconds
+
+    def own_outstanding(self, now: float) -> int:
+        """This client's requests still in flight at ``now``."""
+        self.own_pending = [t for t in self.own_pending if t > now]
+        return len(self.own_pending)
+
+    def depth_at(self, now: float, config: NetSimConfig) -> int:
+        """Total queue depth (jobs) an arrival at ``now`` sees."""
+        ambient = self.ambient_backlog_at(now, config)
+        ambient_jobs = int(ambient / config.mean_job_seconds)
+        return ambient_jobs + self.own_outstanding(now)
+
+    def queueing_delay_at(self, now: float, config: NetSimConfig) -> float:
+        """Seconds an arrival at ``now`` waits before service starts."""
+        own_residual = max(0.0, self.busy_until - now)
+        return own_residual + self.ambient_backlog_at(now, config)
+
+    def begin_service(self, now: float, config: NetSimConfig) -> float:
+        """Admit one request; returns its service start time."""
+        self.arrivals += 1
+        start = max(now, self.busy_until) + self.ambient_backlog_at(now, config)
+        return start
+
+    def complete_service(self, completion: float) -> None:
+        self.busy_until = completion
+        self.own_pending.append(completion)
+
+
+# -- stats -------------------------------------------------------------------------
+
+
+@dataclass
+class NetSimStats:
+    """Counters over everything the transport decided.
+
+    Conservation law (pinned by the property tests): every offered
+    request is accounted for exactly once —
+    ``offered == delivered + shed + expired + errored``.
+    """
+
+    offered: int = 0
+    delivered: int = 0
+    shed: int = 0
+    expired: int = 0
+    #: Requests the inner network failed (faults, NXDOMAIN) after
+    #: admission — they consumed queue time but produced no response.
+    errored: int = 0
+    degraded: int = 0
+    queueing_delay_seconds: float = 0.0
+    max_depth: int = 0
+
+    def conserved(self) -> bool:
+        return self.offered == (
+            self.delivered + self.shed + self.expired + self.errored
+        )
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "offered": self.offered,
+            "delivered": self.delivered,
+            "shed": self.shed,
+            "expired": self.expired,
+            "errored": self.errored,
+            "degraded": self.degraded,
+        }
+
+
+# -- the transport -----------------------------------------------------------------
+
+
+class NetSimTransport:
+    """Wraps a network-shaped delivery surface with finite capacity.
+
+    Sits outermost in the delivery chain (resilience → **netsim** →
+    fault injector → network): admission control happens at the client
+    edge, so shed requests never reach the origin, while origin-side
+    faults (5xx bursts, resets, NXDOMAIN flaps) fire *inside* the
+    queueing delay — a fault burst during the 5 PM peak is paid for at
+    peak prices.
+
+    ``on_shed(host, depth)`` / ``on_degrade(host, depth)`` are the
+    graceful-degradation hooks: deterministic callbacks an operator
+    layer can use to react to overload (tests use them; the default
+    study wiring leaves them unset).
+    """
+
+    def __init__(
+        self,
+        inner,
+        config: NetSimConfig,
+        clock,
+        seed: int = 0,
+        obs=None,
+        on_shed=None,
+        on_degrade=None,
+    ) -> None:
+        if not config.is_active:
+            raise ValueError(
+                "NetSimTransport requires an enabled NetSimConfig "
+                "(the off preset must not build a transport)"
+            )
+        self.inner = inner
+        self.config = config
+        self.clock = clock
+        self.seed = seed
+        self.obs = obs
+        self.on_shed = on_shed
+        self.on_degrade = on_degrade
+        self.stats = NetSimStats()
+        self.heap = EventHeap()
+        self._queues: dict[str, HostQueue] = {}
+        #: host → deliveries seen (keys the shedding decision RNG).
+        self._sequence: dict[str, int] = {}
+
+    # -- network surface (delegated) ----------------------------------------
+
+    def knows_host(self, host: str) -> bool:
+        return self.inner.knows_host(host)
+
+    def hosts(self) -> set[str]:
+        return self.inner.hosts()
+
+    @property
+    def request_count(self) -> int:
+        return self.inner.request_count
+
+    # -- internals -----------------------------------------------------------
+
+    def queue_for(self, host: str) -> HostQueue:
+        queue = self._queues.get(host)
+        if queue is None:
+            queue = HostQueue.for_host(host, self.seed, self.config.seed_salt)
+            queue.busy_until = self.clock.now
+            self._queues[host] = queue
+        return queue
+
+    def _transfer_seconds(self, up_bytes: float, down_bytes: float) -> float:
+        config = self.config
+        return (
+            config.base_rtt_seconds
+            + (up_bytes + WIRE_OVERHEAD_BYTES) / config.uplink_bytes_per_second
+            + (down_bytes + WIRE_OVERHEAD_BYTES)
+            / config.downlink_bytes_per_second
+        )
+
+    def _shed_probability(self, depth: int) -> float:
+        """Deterministic shed pressure in the degraded band.
+
+        Zero below the high-water mark, certain at capacity, linear in
+        between — the "graceful" part of graceful degradation.
+        """
+        config = self.config
+        if depth < config.high_water:
+            return 0.0
+        if depth >= config.queue_capacity:
+            return 1.0
+        span = max(1, config.queue_capacity - config.high_water)
+        return (depth - config.high_water + 1) / (span + 1)
+
+    def _note(self, kind: str, host: str, depth: int, at: float) -> None:
+        if self.obs is None:
+            return
+        self.obs.metrics.inc(f"netsim.{kind}")
+        self.obs.tracer.point(f"netsim-{kind}", at=at, host=host, depth=depth)
+
+    # -- delivery ------------------------------------------------------------
+
+    def deliver(self, request: HttpRequest) -> HttpResponse:
+        config = self.config
+        host = URL.parse(request.url).host
+        queue = self.queue_for(host)
+        now = self.clock.now
+        sequence = self._sequence.get(host, 0)
+        self._sequence[host] = sequence + 1
+
+        self.stats.offered += 1
+        self.heap.push(now, EventKind.ARRIVAL, host)
+        depth = queue.depth_at(now, config)
+        delay = queue.queueing_delay_at(now, config)
+        if depth > self.stats.max_depth:
+            self.stats.max_depth = depth
+        if self.obs is not None:
+            self.obs.metrics.inc("netsim.offered")
+            self.obs.metrics.gauge_max("netsim.queue_depth", float(depth))
+            self.obs.metrics.observe("netsim.queueing_delay", delay)
+
+        # 1. Bounded FIFO + deterministic load shedding past high water.
+        shed_p = self._shed_probability(depth)
+        if shed_p >= 1.0 or (
+            shed_p > 0.0
+            and random.Random(
+                f"netsim:{self.seed}:{config.seed_salt}:{host}:{sequence}"
+            ).random()
+            < shed_p
+        ):
+            return self._shed(request, host, queue, depth)
+
+        # 2. Client deadline on the predicted sojourn.
+        if delay > config.deadline_seconds:
+            return self._expire(host, queue, delay, depth)
+
+        degraded = depth >= config.high_water
+        if degraded:
+            self.stats.degraded += 1
+            self._note("degraded", host, depth, now)
+            if self.on_degrade is not None:
+                self.on_degrade(host, depth)
+
+        # 3. Wait out the queue, push the request bytes upstream.
+        start = queue.begin_service(now, config)
+        self.heap.push(start, EventKind.START, host)
+        uplink = (
+            config.base_rtt_seconds / 2.0
+            + (len(request.body) + WIRE_OVERHEAD_BYTES)
+            / config.uplink_bytes_per_second
+        )
+        self.clock.advance((start - now) + uplink)
+        self.heap.drain_until(self.clock.now)
+        # The request reaches the origin *now*: hour-windowed fault
+        # rules (and the recorded flow) see the post-queue time, the
+        # same restamp idiom the resilience layer uses after backoff.
+        request.timestamp = self.clock.now
+
+        # 4. The origin (and any fault injector wrapping it) acts.
+        try:
+            response = self.inner.deliver(request)
+        except RoutingError as error:
+            # NXDOMAIN (flap or genuinely dead host) surfaced *after*
+            # netsim deferred delivery: stamp the simulated time so the
+            # failure is recorded when it happened, not when it was
+            # issued (see RunHealth.routing_failures).
+            self.stats.errored += 1
+            queue.complete_service(self.clock.now)
+            self.heap.push(self.clock.now, EventKind.COMPLETE, host)
+            self.heap.drain_until(self.clock.now)
+            self._note("errored", host, depth, self.clock.now)
+            error.at = self.clock.now
+            raise
+        except ConnectionError:
+            self.stats.errored += 1
+            queue.complete_service(self.clock.now)
+            self.heap.push(self.clock.now, EventKind.COMPLETE, host)
+            self.heap.drain_until(self.clock.now)
+            self._note("errored", host, depth, self.clock.now)
+            raise
+
+        # 5. Pull the response bytes down; the link stays busy until
+        #    the transfer completes, which is what chains FIFO order.
+        downlink = (
+            config.base_rtt_seconds / 2.0
+            + (len(response.body) + WIRE_OVERHEAD_BYTES)
+            / config.downlink_bytes_per_second
+        )
+        if degraded:
+            # Degraded band: the origin halves its effective bandwidth
+            # for best-effort traffic instead of dropping it.
+            downlink *= 2.0
+        self.clock.advance(downlink)
+        completion = self.clock.now
+        queue.complete_service(completion)
+        self.heap.push(completion, EventKind.COMPLETE, host)
+        self.heap.drain_until(completion)
+
+        self.stats.delivered += 1
+        self.stats.queueing_delay_seconds += delay
+        if self.obs is not None:
+            self.obs.metrics.inc("netsim.delivered")
+        response.timestamp = completion
+        response.headers.set(QUEUE_DELAY_HEADER, f"{delay:.6f}")
+        response.headers.set(QUEUE_DEPTH_HEADER, str(depth))
+        if degraded:
+            response.headers.set(DEGRADED_HEADER, "1")
+        return response
+
+    def _shed(
+        self, request: HttpRequest, host: str, queue: HostQueue, depth: int
+    ) -> HttpResponse:
+        """Synthesize the origin's 503 + Retry-After (load shed)."""
+        config = self.config
+        self.stats.shed += 1
+        # The rejection still crosses the wire once.
+        self.clock.advance(config.base_rtt_seconds)
+        at = self.clock.now
+        self.heap.push(at, EventKind.SHED, host)
+        self.heap.drain_until(at)
+        self._note("shed", host, depth, at)
+        if self.on_shed is not None:
+            self.on_shed(host, depth)
+        return HttpResponse(
+            status=503,
+            headers=Headers(
+                [
+                    ("Content-Type", "text/plain"),
+                    ("Retry-After", f"{config.retry_after_seconds:g}"),
+                    (SHED_HEADER, "1"),
+                    (QUEUE_DEPTH_HEADER, str(depth)),
+                ]
+            ),
+            body=b"service unavailable (load shed)",
+            timestamp=at,
+        )
+
+    def _expire(
+        self, host: str, queue: HostQueue, delay: float, depth: int
+    ) -> HttpResponse:
+        self.stats.expired += 1
+        at = self.clock.now
+        self.heap.push(at, EventKind.EXPIRE, host)
+        self.heap.drain_until(at)
+        self._note("expired", host, depth, at)
+        raise DeadlineExpired(host, delay, at)
+
+    # -- reading ---------------------------------------------------------------
+
+    def open_queues(self) -> list[str]:
+        """Hosts whose queue currently sits at or above high water."""
+        now = self.clock.now
+        return sorted(
+            host
+            for host, queue in self._queues.items()
+            if queue.depth_at(now, self.config) >= self.config.high_water
+        )

@@ -10,8 +10,17 @@ study validated certificates, so interception always succeeded.
 
 from __future__ import annotations
 
+from repro.core.resilience import CircuitOpenError
 from repro.net.faults import ConnectionReset
 from repro.net.http import Headers, HttpRequest, HttpResponse
+from repro.net.netsim import (
+    DEGRADED_HEADER,
+    EXPIRED_HEADER,
+    QUEUE_DELAY_HEADER,
+    QUEUE_DEPTH_HEADER,
+    SHED_HEADER,
+    DeadlineExpired,
+)
 from repro.net.network import Network, RoutingError
 from repro.net.url import URL
 from repro.obs.metrics import SIZE_BUCKETS
@@ -49,6 +58,14 @@ class InterceptionProxy:
         self.excluded_flow_count = 0
         self.gateway_timeout_count = 0
         self.reset_count = 0
+        self.deadline_expired_count = 0
+        self.shed_count = 0
+        #: Every upstream routing failure as ``(host, simulated time)``
+        #: — stamped with the failure's *simulated* timestamp (netsim
+        #: defers delivery, so that can be well after issue time), which
+        #: is how :class:`~repro.core.health.RunHealth` records when a
+        #: host was unreachable instead of just that it was.
+        self.routing_failures: list[tuple[str, float]] = []
         self.running = False
 
     # -- lifecycle (mirrors "initiate mitmproxy" / teardown) ------------------
@@ -88,18 +105,54 @@ class InterceptionProxy:
                 body=b"connection reset by peer",
                 timestamp=request.timestamp,
             )
-        except RoutingError:
-            # Dead endpoint: the TV sees a gateway timeout; the flow is
-            # still recorded (the study sees such failures too).
+        except DeadlineExpired as error:
+            # Congestion, not a dead host: the client abandoned the
+            # request after retries kept blowing the deadline.  The
+            # synthesized 504 carries the expiry's simulated time and
+            # the expired marker so the dataset keeps the distinction.
             self.gateway_timeout_count += 1
+            self.deadline_expired_count += 1
+            self.routing_failures.append((error.host, error.at))
+            if self.obs is not None:
+                self.obs.metrics.inc("proxy.gateway_timeouts")
+                self.obs.metrics.inc("proxy.deadline_expired")
+            response = HttpResponse(
+                status=504,
+                headers=Headers(
+                    [("Content-Type", "text/plain"), (EXPIRED_HEADER, "1")]
+                ),
+                body=b"upstream deadline expired",
+                timestamp=error.at,
+            )
+        except RoutingError as error:
+            # Dead endpoint: the TV sees a gateway timeout; the flow is
+            # still recorded (the study sees such failures too).  When
+            # netsim deferred delivery the error carries the simulated
+            # time it actually surfaced; without netsim the failure is
+            # instantaneous and issue time is the truth.
+            failed_at = getattr(error, "at", None)
+            if failed_at is None:
+                failed_at = request.timestamp
+            self.gateway_timeout_count += 1
+            if not isinstance(error, CircuitOpenError):
+                # Breaker fast-fails are client-side policy, already
+                # accounted in breaker_fast_fails; the ledger records
+                # *upstream* unreachability (NXDOMAIN, flaps).
+                self.routing_failures.append(
+                    (URL.parse(request.url).host, failed_at)
+                )
             if self.obs is not None:
                 self.obs.metrics.inc("proxy.gateway_timeouts")
             response = HttpResponse(
                 status=504,
                 headers=Headers([("Content-Type", "text/plain")]),
                 body=b"upstream unreachable",
-                timestamp=request.timestamp,
+                timestamp=failed_at,
             )
+        if SHED_HEADER in response.headers:
+            self.shed_count += 1
+            if self.obs is not None:
+                self.obs.metrics.inc("proxy.shed_responses")
         etld1 = URL.parse(request.url).etld1
         if self.obs is not None:
             self._record_telemetry(request, response, etld1)
@@ -138,6 +191,21 @@ class InterceptionProxy:
             # Mirrors the browser's jar semantics: 5xx responses (incl.
             # synthesized gateway failures) never mutate the cookie jar.
             metrics.inc("proxy.cookie_mutations", set_cookies)
+        extra = {}
+        # Netsim congestion attributes ride on the span only when the
+        # transport stamped them — the off path's points are unchanged.
+        delay = response.headers.get(QUEUE_DELAY_HEADER)
+        if delay is not None:
+            extra["queue_delay"] = float(delay)
+        depth = response.headers.get(QUEUE_DEPTH_HEADER)
+        if depth is not None:
+            extra["queue_depth"] = int(depth)
+        if SHED_HEADER in response.headers:
+            extra["shed"] = True
+        if DEGRADED_HEADER in response.headers:
+            extra["degraded"] = True
+        if EXPIRED_HEADER in response.headers:
+            extra["expired"] = True
         self.obs.tracer.point(
             "request",
             at=request.timestamp,
@@ -145,6 +213,7 @@ class InterceptionProxy:
             etld1=etld1,
             status=response.status,
             https=request.is_https,
+            **extra,
         )
 
     # -- notifications from the remote-control script ----------------------------

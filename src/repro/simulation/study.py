@@ -22,6 +22,7 @@ from repro.core.resilience import ResiliencePolicy, StudyResilience
 from repro.core.runs import RunSpec
 from repro.dvb.receiver import Antenna
 from repro.net.faults import FaultInjector, FaultPlan, third_party_exclusions
+from repro.net.netsim import NetSimConfig, NetSimTransport, coerce_netsim
 from repro.obs import MetricsRegistry, Observability, TraceEvent
 from repro.proxy.attribution import ChannelAttributor
 from repro.proxy.mitm import InterceptionProxy
@@ -77,6 +78,10 @@ class StudyContext:
     injector: FaultInjector | None = None
     resilience: StudyResilience | None = None
     monitor: HealthMonitor | None = None
+    #: Network co-simulation (``None`` when the study ran on the
+    #: original infinitely fast wire — the default).
+    netsim: NetSimConfig | None = None
+    netsim_transport: NetSimTransport | None = None
     #: Set by the sharded executor (``None`` on the classic path).
     n_shards: int | None = None
     workers: int | None = None
@@ -129,15 +134,25 @@ def make_context(
     config: MeasurementConfig = DEFAULT_CONFIG,
     faults: FaultPlan | None = None,
     resilience: ResiliencePolicy | None = None,
+    netsim: NetSimConfig | str | None = None,
 ) -> StudyContext:
     """Assemble (but do not run) the measurement stack for a world.
 
     With ``faults`` (a non-empty plan), the network is wrapped in a
     :class:`FaultInjector` and the stack runs resilient: transport
     retries with backoff, per-host circuit breakers, per-channel
-    watchdogs, and a :class:`HealthMonitor` recording it all.  Without
-    faults (and no explicit ``resilience``), the stack is exactly the
-    original happy path — no wrapper, no retries, no extra RNG draws.
+    watchdogs, and a :class:`HealthMonitor` recording it all.  With
+    ``netsim`` (a preset name or active :class:`NetSimConfig`), the
+    network additionally runs behind a :class:`NetSimTransport` —
+    bounded per-host queues, congestion delay, load shedding — layered
+    *outside* any fault injector (resilience → netsim → faults →
+    network), so origin faults fire after the queueing delay is paid
+    and shed requests never reach the origin.  A co-simulated study
+    always runs resilient: shed 503s and deadline expiries only mean
+    something to a client that retries and breaks circuits.  Without
+    either knob (and no explicit ``resilience``), the stack is exactly
+    the original happy path — no wrapper, no retries, no extra RNG
+    draws.
     """
     clock = SimClock()
     obs = Observability.for_clock(clock)
@@ -152,6 +167,15 @@ def make_context(
     if faults is not None and not faults.is_empty:
         injector = FaultInjector(world.network, faults, clock)
         network = injector
+        if resilience is None:
+            resilience = ResiliencePolicy()
+    netsim_config = coerce_netsim(netsim)
+    netsim_transport = None
+    if netsim_config is not None:
+        netsim_transport = NetSimTransport(
+            network, netsim_config, clock, seed=world.seed, obs=obs
+        )
+        network = netsim_transport
         if resilience is None:
             resilience = ResiliencePolicy()
     study_resilience = (
@@ -177,6 +201,7 @@ def make_context(
                 if study_resilience is not None
                 else None
             ),
+            netsim=netsim_transport,
         )
     tv = SmartTV(
         proxy, clock, app_registry=world.app_registry, seed=world.seed
@@ -207,6 +232,8 @@ def make_context(
         injector=injector,
         resilience=study_resilience,
         monitor=monitor,
+        netsim=netsim_config,
+        netsim_transport=netsim_transport,
         obs=obs,
     )
 
@@ -265,6 +292,7 @@ def run_study(
     faults: FaultPlan | None = None,
     resilience: ResiliencePolicy | None = None,
     *,
+    netsim: NetSimConfig | str | None = None,
     workers: int | None = None,
     shards: int | None = None,
 ) -> StudyContext:
@@ -283,7 +311,7 @@ def run_study(
     """
     if workers is None and shards is None:
         context = make_context(
-            world, config, faults=faults, resilience=resilience
+            world, config, faults=faults, resilience=resilience, netsim=netsim
         )
         if with_filtering:
             run_filtering(context)
@@ -302,6 +330,7 @@ def run_study(
         with_filtering=with_filtering,
         faults=faults,
         resilience=resilience,
+        netsim=netsim,
         workers=workers if workers is not None else 1,
         n_shards=shards if shards is not None else DEFAULT_SHARDS,
     )

@@ -1,0 +1,320 @@
+"""Tests for the discrete-event network co-simulation (repro.net.netsim).
+
+Three layers:
+
+* unit tests over the config/presets/event heap/shed math;
+* hypothesis property tests pinning the transport's invariants —
+  per-host FIFO, the conservation law
+  (``offered == delivered + shed + expired + errored``), and replay
+  determinism;
+* the graceful-degradation surface (503 + ``Retry-After``, degraded
+  marking, deadline expiry, operator hooks).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.clock import DEFAULT_START, SimClock
+from repro.net.http import HttpRequest, html_response
+from repro.net.netsim import (
+    DEGRADED_HEADER,
+    QUEUE_DELAY_HEADER,
+    QUEUE_DEPTH_HEADER,
+    SHED_HEADER,
+    DeadlineExpired,
+    EventHeap,
+    EventKind,
+    HostQueue,
+    NetSimConfig,
+    NetSimTransport,
+    coerce_netsim,
+)
+from repro.net.network import Network, RoutingError
+from repro.net.server import FunctionServer
+
+HOSTS = ("origin-a.example", "origin-b.example", "tracker.example")
+
+
+def build_network() -> Network:
+    network = Network()
+    for host in HOSTS:
+        server = FunctionServer(host)
+        server.route("/", lambda r: html_response("<html>ok</html>"))
+        network.register(server)
+    return network
+
+
+def quiet_config(**overrides) -> NetSimConfig:
+    """An enabled config whose ambient load never sheds by itself."""
+    fields = dict(
+        enabled=True,
+        preset_name="test",
+        uplink_bytes_per_second=1_000_000.0,
+        downlink_bytes_per_second=10_000_000.0,
+        base_rtt_seconds=0.01,
+        mean_job_seconds=0.2,
+        queue_capacity=64,
+        high_water=56,
+        deadline_seconds=60.0,
+        peak_utilization=0.2,
+        overnight_utilization=0.15,
+        offpeak_utilization=0.1,
+    )
+    fields.update(overrides)
+    return NetSimConfig(**fields)
+
+
+def make_transport(config=None, seed=7, **kwargs) -> NetSimTransport:
+    clock = SimClock()
+    return NetSimTransport(
+        build_network(), config or quiet_config(), clock, seed=seed, **kwargs
+    )
+
+
+def get(url: str, at: float = DEFAULT_START, body: bytes = b"") -> HttpRequest:
+    return HttpRequest("GET", url, timestamp=at, body=body)
+
+
+class TestConfig:
+    def test_presets_resolve(self):
+        for name in ("dsl", "fiber", "congested"):
+            config = NetSimConfig.preset(name)
+            assert config.is_active
+            assert config.preset_name == name
+        assert not NetSimConfig.preset("off").is_active
+
+    def test_unknown_preset_raises(self):
+        with pytest.raises(ValueError, match="unknown netsim preset"):
+            NetSimConfig.preset("broadband")
+
+    def test_coercion(self):
+        assert coerce_netsim(None) is None
+        assert coerce_netsim("off") is None
+        assert coerce_netsim(NetSimConfig()) is None
+        assert coerce_netsim("dsl").preset_name == "dsl"
+        config = NetSimConfig.preset("fiber")
+        assert coerce_netsim(config) is config
+
+    def test_three_tier_utilization(self):
+        """5 PM > 3 AM > 9 AM: evening crest, overnight shoulder,
+        daytime floor — while the whole 17:00–06:00 window stays
+        hotter than the hours outside it."""
+        config = NetSimConfig.preset("congested")
+        day = DEFAULT_START  # 09:00 UTC
+        evening = DEFAULT_START + 9 * 3600.0  # 18:00
+        night = DEFAULT_START + 18 * 3600.0  # 03:00 next day
+        assert config.utilization_at(evening) > config.utilization_at(night)
+        assert config.utilization_at(night) > config.utilization_at(day)
+        assert config.in_peak(evening) and config.in_peak(night)
+        assert not config.in_peak(day)
+
+    def test_for_shard_is_deterministic_and_distinct(self):
+        config = NetSimConfig.preset("congested")
+        salts = [config.for_shard(i, 3).seed_salt for i in range(3)]
+        assert salts == [config.for_shard(i, 3).seed_salt for i in range(3)]
+        assert len(set(salts)) == 3
+        with pytest.raises(ValueError):
+            config.for_shard(3, 3)
+
+    def test_for_shard_off_is_identity(self):
+        config = NetSimConfig()
+        assert config.for_shard(0, 2) is config
+
+    def test_transport_rejects_disabled_config(self):
+        with pytest.raises(ValueError, match="enabled NetSimConfig"):
+            NetSimTransport(build_network(), NetSimConfig(), SimClock())
+
+
+class TestEventHeap:
+    def test_orders_by_time_then_seq(self):
+        heap = EventHeap()
+        heap.push(2.0, EventKind.COMPLETE, "a")
+        heap.push(1.0, EventKind.ARRIVAL, "a")
+        heap.push(1.0, EventKind.ARRIVAL, "b")
+        drained = heap.drain_until(5.0)
+        assert [(e.time, e.host) for e in drained] == [
+            (1.0, "a"),
+            (1.0, "b"),
+            (2.0, "a"),
+        ]
+        assert heap.processed == heap.pushed == 3
+
+    def test_drain_until_respects_boundary(self):
+        heap = EventHeap()
+        heap.push(1.0, EventKind.ARRIVAL, "a")
+        heap.push(3.0, EventKind.COMPLETE, "a")
+        assert len(heap.drain_until(2.0)) == 1
+        assert len(heap) == 1
+
+
+class TestShedMath:
+    def test_shed_probability_bands(self):
+        transport = make_transport(
+            quiet_config(queue_capacity=16, high_water=10)
+        )
+        assert transport._shed_probability(9) == 0.0
+        assert transport._shed_probability(16) == 1.0
+        assert transport._shed_probability(40) == 1.0
+        inner = [transport._shed_probability(d) for d in range(10, 16)]
+        assert all(0.0 < p < 1.0 for p in inner)
+        assert inner == sorted(inner)
+
+
+# -- property tests ----------------------------------------------------------------
+
+host_indices = st.lists(
+    st.integers(min_value=0, max_value=len(HOSTS) - 1),
+    min_size=1,
+    max_size=40,
+)
+body_sizes = st.lists(
+    st.integers(min_value=0, max_value=20_000), min_size=1, max_size=40
+)
+
+
+def _offer(transport, picks, sizes, dead_every=0):
+    """Push a request sequence through the transport; returns the
+    delivered responses as ``(host, completion_timestamp)`` pairs."""
+    delivered = []
+    for i, (pick, size) in enumerate(zip(picks, sizes)):
+        if dead_every and i % dead_every == dead_every - 1:
+            host = "dead.example"
+        else:
+            host = HOSTS[pick]
+        request = get(
+            f"http://{host}/", at=transport.clock.now, body=b"x" * size
+        )
+        try:
+            response = transport.deliver(request)
+        except (DeadlineExpired, RoutingError):
+            continue
+        if SHED_HEADER not in response.headers:
+            delivered.append((host, response.timestamp))
+    return delivered
+
+
+class TestTransportProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(picks=host_indices, sizes=body_sizes, seed=st.integers(0, 2**16))
+    def test_conservation(self, picks, sizes, seed):
+        """Every offered request is accounted for exactly once."""
+        n = min(len(picks), len(sizes))
+        transport = make_transport(seed=seed)
+        _offer(transport, picks[:n], sizes[:n], dead_every=5)
+        stats = transport.stats
+        assert stats.offered == n
+        assert stats.conserved()
+        assert transport.heap.processed == transport.heap.pushed
+
+    @settings(max_examples=50, deadline=None)
+    @given(picks=host_indices, sizes=body_sizes)
+    def test_per_host_fifo(self, picks, sizes):
+        """Completions per host come back in arrival order, and the
+        link's ``busy_until`` chains monotonically through them."""
+        n = min(len(picks), len(sizes))
+        transport = make_transport()
+        delivered = _offer(transport, picks[:n], sizes[:n])
+        last: dict[str, float] = {}
+        for host, completion in delivered:
+            assert completion >= last.get(host, 0.0)
+            last[host] = completion
+        for host, completion in last.items():
+            assert transport.queue_for(host).busy_until == completion
+
+    @settings(max_examples=25, deadline=None)
+    @given(picks=host_indices, sizes=body_sizes, seed=st.integers(0, 2**16))
+    def test_replay_determinism(self, picks, sizes, seed):
+        """The same offered load yields the identical event history."""
+        n = min(len(picks), len(sizes))
+
+        def run():
+            transport = make_transport(
+                NetSimConfig.preset("congested"), seed=seed
+            )
+            delivered = _offer(transport, picks[:n], sizes[:n], dead_every=7)
+            return delivered, transport.stats.snapshot()
+
+        assert run() == run()
+
+
+# -- graceful degradation ----------------------------------------------------------
+
+
+def saturated_config(**overrides) -> NetSimConfig:
+    """Ambient load alone saturates every link at any hour."""
+    fields = dict(
+        queue_capacity=8,
+        high_water=2,
+        peak_utilization=5.0,
+        overnight_utilization=5.0,
+        offpeak_utilization=5.0,
+    )
+    fields.update(overrides)
+    return quiet_config(**fields)
+
+
+class TestGracefulDegradation:
+    def test_saturated_queue_sheds_with_retry_after(self):
+        shed_hosts = []
+        transport = make_transport(
+            saturated_config(),
+            on_shed=lambda host, depth: shed_hosts.append((host, depth)),
+        )
+        response = transport.deliver(get(f"http://{HOSTS[0]}/"))
+        assert response.status == 503
+        assert response.headers.get("Retry-After") is not None
+        assert SHED_HEADER in response.headers
+        assert QUEUE_DEPTH_HEADER in response.headers
+        assert shed_hosts and shed_hosts[0][0] == HOSTS[0]
+        assert transport.stats.shed == 1
+        assert transport.open_queues() == [HOSTS[0]]
+
+    def test_degraded_band_marks_response(self):
+        degraded = []
+        transport = make_transport(
+            # Ambient load keeps the queue above the (low) high-water
+            # mark without blowing the deadline: admissions are served
+            # degraded, with only mild shedding pressure.
+            quiet_config(
+                queue_capacity=16, high_water=1, peak_utilization=0.5,
+                overnight_utilization=0.5, offpeak_utilization=0.5,
+            ),
+            on_degrade=lambda host, depth: degraded.append(host),
+        )
+        response = None
+        for _ in range(10):
+            response = transport.deliver(get(f"http://{HOSTS[0]}/"))
+            if DEGRADED_HEADER in response.headers:
+                break
+        assert response is not None and DEGRADED_HEADER in response.headers
+        assert QUEUE_DELAY_HEADER in response.headers
+        assert degraded and degraded[0] == HOSTS[0]
+        assert transport.stats.degraded >= 1
+
+    def test_deadline_expiry_raises_with_simulated_time(self):
+        # Few-but-huge ambient jobs: the depth stays below high water
+        # (no shedding) while the predicted sojourn blows the deadline.
+        transport = make_transport(
+            quiet_config(mean_job_seconds=10.0, deadline_seconds=0.001)
+        )
+        before = transport.clock.now
+        with pytest.raises(DeadlineExpired) as caught:
+            transport.deliver(get(f"http://{HOSTS[0]}/"))
+        assert caught.value.host == HOSTS[0]
+        assert caught.value.at >= before
+        assert transport.stats.expired == 1
+        assert transport.stats.conserved()
+
+    def test_routing_error_is_stamped_with_simulated_time(self):
+        transport = make_transport()
+        with pytest.raises(RoutingError) as caught:
+            transport.deliver(get("http://dead.example/"))
+        assert caught.value.at == transport.clock.now
+        assert transport.stats.errored == 1
+        assert transport.stats.conserved()
+
+    def test_host_queue_ambient_is_clamped_to_capacity(self):
+        config = saturated_config()
+        queue = HostQueue.for_host(HOSTS[0], 7, 0)
+        backlog = queue.ambient_backlog_at(DEFAULT_START, config)
+        assert 0.0 <= backlog <= config.capacity_seconds

@@ -1,0 +1,123 @@
+"""Study-level netsim integration: determinism, byte-stability, report.
+
+Pins the PR's acceptance criteria:
+
+* the congested study digest is bit-identical across worker counts
+  (for each shard count) — the co-simulation preserves the parallel
+  equivalence contract;
+* ``netsim="off"`` (the default) stays byte-identical to the golden
+  master — enabling the subsystem costs the off path nothing;
+* congestion telemetry lands in run health, the serialized dataset,
+  and the rendered report's hour-of-day section.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.dataset import (
+    netsim_flow_fields,
+    serialize_study_dataset,
+    study_digest,
+)
+from repro.simulation.study import run_study
+from repro.simulation.world import build_world
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "study_digests.json"
+SEED = 7
+SCALE = 0.02  # fixed like the golden master: independent of REPRO_SCALE
+
+
+def _run(netsim, workers=None, shards=None):
+    world = build_world(seed=SEED, scale=SCALE)
+    return run_study(world, netsim=netsim, workers=workers, shards=shards)
+
+
+@pytest.fixture(scope="module")
+def congested():
+    """One congested 3-shard study (the canonical timeline)."""
+    return _run("congested", workers=1, shards=3)
+
+
+class TestParallelEquivalence:
+    def test_digest_identical_across_worker_counts_sharded(self, congested):
+        base = study_digest(congested.dataset)
+        for workers in (2, 4):
+            context = _run("congested", workers=workers, shards=3)
+            assert study_digest(context.dataset) == base, (
+                f"congested digest diverged at workers={workers}"
+            )
+
+    def test_digest_identical_across_worker_counts_single_shard(self):
+        one = _run("congested", workers=1, shards=1)
+        two = _run("congested", workers=2, shards=1)
+        assert study_digest(one.dataset) == study_digest(two.dataset)
+
+
+class TestOffByteStability:
+    def test_netsim_off_matches_golden_master(self):
+        """The off preset must not perturb a single recorded byte."""
+        if not GOLDEN_PATH.exists():
+            pytest.skip("golden master not generated")
+        golden = json.loads(GOLDEN_PATH.read_text())
+        context = _run("off")
+        assert study_digest(context.dataset) == golden["legacy"], (
+            "netsim='off' changed the study digest — the default path "
+            "must stay byte-identical with the subsystem merged"
+        )
+        assert context.dataset.total_requests() == golden["flows_legacy"]
+        serialized = serialize_study_dataset(context.dataset)
+        assert '"netsim"' not in json.dumps(serialized), (
+            "off-path flow records must not grow a netsim key"
+        )
+
+
+class TestCongestionTelemetry:
+    def test_flows_carry_netsim_fields(self, congested):
+        stamped = [
+            fields
+            for flow in congested.dataset.all_flows()
+            if (fields := netsim_flow_fields(flow)) is not None
+        ]
+        assert stamped, "no flow carried netsim congestion fields"
+        assert any("queue_delay" in fields for fields in stamped)
+        assert any(fields.get("shed") for fields in stamped)
+
+    def test_serialized_flows_round_trip_netsim_fields(self, congested):
+        serialized = serialize_study_dataset(congested.dataset)
+        records = [
+            record
+            for run in serialized["runs"]
+            for record in run["flows"]
+            if "netsim" in record
+        ]
+        assert records
+        assert all("queue_delay" in r["netsim"] or r["netsim"].get("shed")
+                   or r["netsim"].get("expired") for r in records)
+
+    def test_health_records_congestion(self, congested):
+        totals = congested.health.totals()
+        assert totals["shed"] > 0
+        assert totals["deadline_expired"] > 0
+        start = congested.period_start
+        failures = [
+            failure
+            for run in congested.health.runs
+            for failure in run.routing_failures
+        ]
+        assert failures, "no routing failures recorded with timestamps"
+        assert all(at >= start for _host, at in failures)
+
+    def test_report_renders_hour_of_day_congestion(self, congested):
+        from repro.analysis.netsim import netsim_congestion_report
+        from repro.analysis.report import generate_report
+
+        report = generate_report(congested, cache=None)
+        assert "Co-simulated network — congestion from 5 PM to 6 AM" in report
+        hourly = netsim_congestion_report(congested.dataset)
+        peak, off = hourly.peak_summary(), hourly.offpeak_summary()
+        # The acceptance criterion: the 17:00–06:00 window is visibly
+        # worse than the daytime hours outside it.
+        assert peak["shed"] > off["shed"]
+        assert peak["p99"] > off["p99"]

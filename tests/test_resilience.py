@@ -79,6 +79,50 @@ class TestRetryPolicy:
         assert first == second
 
 
+class TestSeededJitterAudit:
+    """Backoff jitter is run-scoped: a pure function of the transport's
+    seed, isolated from the process-global RNG (the determinism-audit
+    contract — retries must not read ambient entropy)."""
+
+    @staticmethod
+    def _backoff_timeline(seed: int) -> tuple[float, float]:
+        layer = transport(seed=seed)
+        network = ScriptedNetwork(
+            ConnectionReset("a"), ConnectionReset("b"), html_response("ok")
+        )
+        layer.deliver(network, HttpRequest("GET", URL))
+        return layer.clock.now, layer.backoff_seconds_total
+
+    def test_same_seed_pins_the_jittered_timeline(self):
+        assert self._backoff_timeline(7) == self._backoff_timeline(7)
+
+    def test_different_seed_changes_the_jitter(self):
+        assert self._backoff_timeline(7) != self._backoff_timeline(8)
+
+    def test_jitter_ignores_global_random_state(self):
+        random.seed(12345)
+        first = self._backoff_timeline(7)
+        random.seed(98765)
+        assert self._backoff_timeline(7) == first
+
+    def test_jittered_delays_stay_in_policy_bounds(self):
+        layer = transport(seed=7)
+        policy = layer.policy.retry
+        network = ScriptedNetwork(ConnectionReset("boom"))
+        with pytest.raises(ConnectionReset):
+            layer.deliver(network, HttpRequest("GET", URL))
+        retries = layer.retries_total
+        assert retries == policy.max_attempts - 1
+        low = sum(
+            min(
+                policy.base_delay_seconds * policy.multiplier**attempt,
+                policy.max_delay_seconds,
+            )
+            for attempt in range(retries)
+        )
+        assert low <= layer.backoff_seconds_total <= low * (1.0 + policy.jitter)
+
+
 class TestCircuitBreaker:
     def make(self, clock=None):
         return CircuitBreaker(
