@@ -1,0 +1,166 @@
+"""Columnar backend: ingest rate, pass-scan throughput, and memory.
+
+Converts the shared bench study to the columnar backend and compares
+the vectorized analysis scans against the object path on the *same*
+data (digest-checked identical first).  Three numbers persist to
+``BENCH_columnar.json``:
+
+* ``ingest_rows_per_second`` — ``to_columnar`` conversion rate;
+* ``scan_speedup`` — object-path wall time over columnar wall time for
+  the seven vectorized passes, resolved cold on both backends;
+* ``memory_ratio`` — deep-size of the object dataset over the columnar
+  dataset (the struct-of-arrays + interning win).
+
+The acceptance floor from DESIGN.md §14 — the columnar backend must
+deliver ≥2x scan throughput *or* ≥2x lower memory — is asserted here,
+as is a >2x regression gate against the persisted baseline (CI restores
+the previous file as an artifact).
+"""
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+from benchmarks.conftest import SEED, emit
+from repro.analysis.passes import PassContext, resolve_passes
+from repro.core.columnar import columnar_sizeof, to_columnar
+
+#: Where the numbers persist (and where the regression baseline lives).
+RESULT_PATH = Path(
+    os.environ.get("REPRO_COLUMNAR_BENCH_PATH", "BENCH_columnar.json")
+)
+#: Fail when columnar scan throughput drops below baseline / factor.
+REGRESSION_FACTOR = 2.0
+
+#: The passes with vectorized columnar implementations.
+PASSES = [
+    "parties",
+    "tracking",
+    "cookies",
+    "cookiesync",
+    "leakage",
+    "channels",
+    "overview",
+]
+
+#: The acceptance floor: ≥2x faster scans or ≥2x smaller memory.
+ADVANTAGE_FLOOR = 2.0
+
+
+def _row_count(dataset) -> int:
+    return sum(
+        len(run.flows)
+        + len(run.cookie_records)
+        + len(run.jar_dump)
+        + len(run.storage_entries)
+        + len(run.screenshots)
+        for run in dataset.runs.values()
+    )
+
+
+def _deep_sizeof(obj, seen: set) -> int:
+    """Approximate deep size of an object graph (shared nodes once)."""
+    oid = id(obj)
+    if oid in seen:
+        return 0
+    seen.add(oid)
+    size = sys.getsizeof(obj)
+    if isinstance(obj, dict):
+        for key, value in obj.items():
+            size += _deep_sizeof(key, seen) + _deep_sizeof(value, seen)
+    elif isinstance(obj, (list, tuple, set, frozenset)):
+        for item in obj:
+            size += _deep_sizeof(item, seen)
+    elif hasattr(obj, "__dict__"):
+        size += _deep_sizeof(obj.__dict__, seen)
+    return size
+
+
+def test_columnar_backend_throughput(benchmark, study, dataset):
+    ctx = PassContext.for_study(study)
+    rows = _row_count(dataset)
+
+    # Ingest: object rows → columns (timed as the benchmark body).
+    started = time.perf_counter()
+    columnar = benchmark.pedantic(
+        to_columnar, args=(dataset,), rounds=1, iterations=1
+    )
+    ingest_wall = time.perf_counter() - started
+    assert columnar.digest() == dataset.digest()
+
+    # Warm shared module state (filter lists, eTLD tables) so neither
+    # timed scan pays one-time setup.
+    resolve_passes(PASSES, dataset, ctx, cache=None)
+
+    started = time.perf_counter()
+    object_results = resolve_passes(PASSES, dataset, ctx, cache=None)
+    object_wall = time.perf_counter() - started
+
+    started = time.perf_counter()
+    columnar_results = resolve_passes(PASSES, columnar, ctx, cache=None)
+    columnar_wall = time.perf_counter() - started
+
+    assert set(object_results) == set(columnar_results)
+
+    object_bytes = _deep_sizeof(dataset, set())
+    columnar_bytes = columnar_sizeof(columnar)
+
+    ingest_rate = rows / ingest_wall if ingest_wall else 0.0
+    scan_rate = rows / columnar_wall if columnar_wall else 0.0
+    speedup = object_wall / columnar_wall if columnar_wall else 0.0
+    memory_ratio = object_bytes / columnar_bytes if columnar_bytes else 0.0
+
+    result = {
+        "seed": SEED,
+        "rows": rows,
+        "ingest_rows_per_second": round(ingest_rate, 1),
+        "object_scan_seconds": round(object_wall, 3),
+        "columnar_scan_seconds": round(columnar_wall, 3),
+        "columnar_scan_rows_per_second": round(scan_rate, 1),
+        "scan_speedup": round(speedup, 2),
+        "object_bytes": object_bytes,
+        "columnar_bytes": columnar_bytes,
+        "memory_ratio": round(memory_ratio, 2),
+    }
+
+    baseline = None
+    if RESULT_PATH.exists():
+        try:
+            baseline = json.loads(RESULT_PATH.read_text())
+        except (OSError, ValueError):
+            baseline = None
+    RESULT_PATH.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+
+    lines = [
+        f"{rows:,} rows ingested in {ingest_wall:.2f}s "
+        f"= {ingest_rate:,.0f} rows/sec",
+        f"{len(PASSES)} passes: objects {object_wall:.2f}s, "
+        f"columnar {columnar_wall:.2f}s = {speedup:.1f}x speedup",
+        f"memory: objects {object_bytes / 1e6:,.1f} MB, "
+        f"columnar {columnar_bytes / 1e6:,.1f} MB "
+        f"= {memory_ratio:.1f}x smaller",
+        f"persisted to {RESULT_PATH}",
+    ]
+    if baseline is not None:
+        lines.append(
+            "baseline: "
+            f"{baseline.get('columnar_scan_rows_per_second', 0):,.0f} rows/sec"
+        )
+    emit("Columnar — backend throughput and memory", "\n".join(lines))
+
+    assert rows > 0
+    assert speedup >= ADVANTAGE_FLOOR or memory_ratio >= ADVANTAGE_FLOOR, (
+        f"columnar advantage below {ADVANTAGE_FLOOR}x: "
+        f"speedup {speedup:.2f}x, memory {memory_ratio:.2f}x"
+    )
+    if baseline is not None and baseline.get("columnar_scan_rows_per_second"):
+        floor = (
+            baseline["columnar_scan_rows_per_second"] / REGRESSION_FACTOR
+        )
+        assert scan_rate >= floor, (
+            f"columnar scan throughput regressed >{REGRESSION_FACTOR}x: "
+            f"{scan_rate:,.0f} rows/sec vs baseline "
+            f"{baseline['columnar_scan_rows_per_second']:,.0f}"
+        )

@@ -90,6 +90,16 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--backend",
+        choices=("objects", "columnar"),
+        default="objects",
+        help=(
+            "dataset storage layout: classic heap objects or the "
+            "append-only columnar store (identical digests and "
+            "analysis results; columnar uses far less memory at scale)"
+        ),
+    )
+    parser.add_argument(
         "--trace",
         metavar="PATH",
         default=None,
@@ -249,10 +259,17 @@ def _audit_command(arguments) -> int:
     else:
         from repro.audit import FuzzConfig, run_fuzz
 
+        backends = ("objects",)
+        if arguments.backend != "objects":
+            # `--backend columnar` widens the sampled axis rather than
+            # replacing it: backend divergences are only detectable
+            # against the objects twin.
+            backends = ("objects", arguments.backend)
         config = FuzzConfig(
             budget=arguments.budget,
             base_seed=arguments.seed,
             netsim=arguments.netsim,
+            backends=backends,
         )
         report = run_fuzz(
             config, log=None if arguments.as_json else print
@@ -307,11 +324,17 @@ def _fault_plan(arguments, world):
 
 
 def _load_context(arguments):
-    """The study context: memoized when clean and unsharded, else fresh."""
+    """The study context: memoized when clean and unsharded, else fresh.
+
+    The memo holds object-backed studies only; a columnar request
+    always builds fresh so the cached default study stays byte-for-
+    byte what every other consumer expects.
+    """
     sharded = arguments.workers is not None or arguments.shards is not None
     if (
         arguments.faults == "off"
         and arguments.netsim == "off"
+        and arguments.backend == "objects"
         and arguments.command != "health"
         and not sharded
     ):
@@ -328,6 +351,7 @@ def _load_context(arguments):
         netsim=arguments.netsim,
         workers=arguments.workers,
         shards=arguments.shards,
+        backend=arguments.backend,
     )
 
 

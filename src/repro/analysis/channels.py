@@ -195,14 +195,63 @@ def _channels_params(ctx) -> dict:
 
 from repro.analysis.filterlists import default_suite  # noqa: E402
 from repro.analysis.passes import analysis_pass  # noqa: E402
+from repro.analysis.vectorized import FlowScanner  # noqa: E402
+from repro.core.columnar import ColumnView  # noqa: E402
+
+
+def _columnar_channel_report(view: ColumnView) -> ChannelLevelReport:
+    """§V-D3 per-channel profiles as a column scan.
+
+    Profile insertion order is first-tracking-flow order and
+    ``tracking_by_run`` keys follow flow order, exactly like the
+    object path — channel/run ids map 1:1 to their strings, so the
+    id-keyed scan preserves both.
+    """
+    scanner = FlowScanner(view, default_suite())
+    strings = view.strings.values
+    empty = view.empty_id
+    profiles: dict[str, ChannelTrackingProfile] = {}
+    for _, table in view.flow_runs():
+        channel_col = table.channel_id
+        etld1_col = table.etld1
+        run_col = table.run_name
+        for row in range(len(table)):
+            channel_id = channel_col[row]
+            if channel_id == empty:
+                continue
+            if not scanner.is_tracking(table, row):
+                continue
+            channel = strings[channel_id]
+            profile = profiles.setdefault(
+                channel, ChannelTrackingProfile(channel)
+            )
+            profile.tracking_requests += 1
+            profile.trackers.add(strings[etld1_col[row]])
+            run_name = strings[run_col[row]]
+            profile.tracking_by_run[run_name] = (
+                profile.tracking_by_run.get(run_name, 0) + 1
+            )
+    return ChannelLevelReport(
+        profiles=profiles,
+        requests_stats=DescriptiveStats.of(
+            [p.tracking_requests for p in profiles.values()]
+        ),
+        trackers_stats=DescriptiveStats.of(
+            [p.tracker_count for p in profiles.values()]
+        ),
+    )
 
 
 @analysis_pass("channels", version=1, params=_channels_params)
 def run(dataset, ctx) -> ChannelsResult:
     """Pass entry point: §V-D3/4 channel and category tracking."""
-    profiles = channel_level_report(
-        dataset.all_flows(), TrackingClassifier(default_suite())
-    )
+    view = ColumnView.of(dataset)
+    if view is not None:
+        profiles = _columnar_channel_report(view)
+    else:
+        profiles = channel_level_report(
+            dataset.all_flows(), TrackingClassifier(default_suite())
+        )
     by_category = category_report(profiles, dict(ctx.categories))
     return ChannelsResult(
         profiles=profiles,

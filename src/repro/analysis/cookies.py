@@ -208,12 +208,136 @@ class CookiesResult:
 
 
 from repro.analysis.passes import analysis_pass  # noqa: E402
+from repro.analysis.vectorized import HeaderProbe  # noqa: E402
+from repro.core.columnar import ColumnView  # noqa: E402
+
+
+def _columnar_general_report(view: ColumnView) -> GeneralCookieReport:
+    """§V-C1 over cookie-record columns: cookie identity is the
+    interned (name, domain, path) id triple, purposes classify per
+    distinct name string."""
+    strings = view.strings.values
+    empty = view.empty_id
+    cookiepedia = Cookiepedia()
+    distinct: set[tuple[int, int, int]] = set()
+    per_channel: dict[int, set] = {}
+    parties: set[int] = set()
+    for _, record_table in view.record_runs():
+        cookies = record_table.cookies
+        channel_col = record_table.channel_id
+        for row in range(len(record_table)):
+            key = cookies.key(row)
+            distinct.add(key)
+            channel_id = channel_col[row]
+            if channel_id != empty:
+                per_channel.setdefault(channel_id, set()).add(key)
+            parties.add(cookies.etld1[row])
+    # Sorted for the same process-independent purposes-dict order as
+    # the object path; names keep their per-cookie multiplicity.
+    names = sorted(strings[key[0]] for key in distinct)
+    purposes: dict[str, int] = {}
+    purpose_memo: dict[str, CookiePurpose] = {}
+    for name in names:
+        purpose = purpose_memo.get(name)
+        if purpose is None:
+            purpose = purpose_memo[name] = cookiepedia.classify(name)
+        purposes[purpose.value] = purposes.get(purpose.value, 0) + 1
+    classified = sum(
+        count
+        for purpose, count in purposes.items()
+        if purpose != CookiePurpose.UNKNOWN.value
+    )
+    return GeneralCookieReport(
+        distinct_cookies=len(distinct),
+        cookies_per_channel=DescriptiveStats.of(
+            [len(keys) for keys in per_channel.values()]
+        ),
+        distinct_setting_parties=len(parties),
+        channels_with_cookies=len(per_channel),
+        classified_share=classified / len(distinct) if distinct else 0.0,
+        purpose_counts=purposes,
+    )
+
+
+def _columnar_third_party_rows(
+    view: ColumnView,
+) -> tuple[ThirdPartyCookieRow, ...]:
+    """Table II over per-run record columns."""
+    empty = view.empty_id
+    rows = []
+    for run_name, record_table in view.record_runs():
+        cookies = record_table.cookies
+        cookies_by_party: dict[int, set] = {}
+        cookie_keys: set[tuple[int, int, int]] = set()
+        for row in range(len(record_table)):
+            if not record_table.is_third_party(row, empty):
+                continue
+            key = cookies.key(row)
+            cookies_by_party.setdefault(cookies.etld1[row], set()).add(key)
+            cookie_keys.add(key)
+        rows.append(
+            ThirdPartyCookieRow(
+                run_name=run_name,
+                third_party_count=len(cookies_by_party),
+                third_party_cookie_count=len(cookie_keys),
+                cookies_per_party=DescriptiveStats.of(
+                    [len(keys) for keys in cookies_by_party.values()]
+                ),
+            )
+        )
+    return tuple(rows)
+
+
+def _columnar_cross_channel(view: ColumnView) -> CrossChannelReport:
+    """§V-C2 cross-channel reach: set-events from record columns,
+    access-events from flows carrying a non-empty Cookie header."""
+    strings = view.strings.values
+    empty = view.empty_id
+    channels_by_party: dict[int, set[int]] = {}
+    cookie_parties: set[int] = set()
+    for _, record_table in view.record_runs():
+        cookies = record_table.cookies
+        channel_col = record_table.channel_id
+        for row in range(len(record_table)):
+            if not record_table.is_third_party(row, empty):
+                continue
+            party = cookies.etld1[row]
+            cookie_parties.add(party)
+            channel_id = channel_col[row]
+            if channel_id != empty:
+                channels_by_party.setdefault(party, set()).add(channel_id)
+    probe = HeaderProbe(view, "Cookie")
+    for _, table in view.flow_runs():
+        channel_col = table.channel_id
+        etld1_col = table.etld1
+        for row in range(len(table)):
+            channel_id = channel_col[row]
+            if channel_id == empty:
+                continue
+            party = etld1_col[row]
+            if party not in cookie_parties:
+                continue
+            if probe.request_has(table, row):
+                channels_by_party.setdefault(party, set()).add(channel_id)
+    return CrossChannelReport(
+        channels_per_party={
+            strings[party]: len(channels)
+            for party, channels in channels_by_party.items()
+        }
+    )
 
 
 @analysis_pass("cookies", version=1)
 def run(dataset, ctx) -> CookiesResult:
     """Pass entry point: general report, Table II, and cross-channel
     reach over every run's cookie records."""
+    view = ColumnView.of(dataset)
+    if view is not None:
+        return CookiesResult(
+            general=_columnar_general_report(view),
+            third_party_rows=_columnar_third_party_rows(view),
+            cross_channel=_columnar_cross_channel(view),
+        )
     records = list(dataset.all_cookie_records())
     by_run = {
         name: run_dataset.cookie_records

@@ -137,11 +137,84 @@ def _sync_params(ctx) -> dict:
 
 
 from repro.analysis.passes import analysis_pass  # noqa: E402
+from repro.analysis.vectorized import UrlMemo  # noqa: E402
+from repro.core.columnar import ColumnView  # noqa: E402
+
+#: Sentinel for the per-value memo in the columnar scan.
+_MISS = object()
+
+
+def _columnar_sync(
+    view: ColumnView, period_start: float, period_end: float
+) -> SyncReport:
+    """§V-C3 as a column scan.
+
+    The ID heuristic memoizes per distinct cookie value and the URL
+    tokenization — the dominant cost of the object path — runs once
+    per distinct URL instead of once per flow.
+    """
+    strings = view.strings.values
+    report = SyncReport()
+    owners: dict[str, set[str]] = {}
+    potential_memo: dict[int, bool] = {}
+    for _, record_table in view.record_runs():
+        cookies = record_table.cookies
+        value_col = cookies.value
+        etld1_col = cookies.etld1
+        for row in range(len(record_table)):
+            value_id = value_col[row]
+            potential = potential_memo.get(value_id, _MISS)
+            if potential is _MISS:
+                potential = potential_memo[value_id] = is_potential_identifier(
+                    strings[value_id], period_start, period_end
+                )
+            if potential:
+                report.potential_ids += 1
+                owners.setdefault(strings[value_id], set()).add(
+                    strings[etld1_col[row]]
+                )
+    if not owners:
+        return report
+
+    tokens_memo = UrlMemo(
+        view, lambda url: tuple(sorted(set(_TOKEN_PATTERN.findall(url))))
+    )
+    for _, table in view.flow_runs():
+        url_col = table.url
+        etld1_col = table.etld1
+        channel_col = table.channel_id
+        run_col = table.run_name
+        for row in range(len(table)):
+            url_id = url_col[row]
+            receiver = strings[etld1_col[row]]
+            for value in tokens_memo(url_id):
+                owner_set = owners.get(value)
+                if owner_set is None:
+                    continue
+                foreign_owners = owner_set - {receiver}
+                if not foreign_owners:
+                    continue
+                report.synced_values.add(value)
+                for owner in sorted(foreign_owners):
+                    report.events.append(
+                        SyncEvent(
+                            identifier=value,
+                            owner_etld1=owner,
+                            receiver_etld1=receiver,
+                            channel_id=strings[channel_col[row]],
+                            run_name=strings[run_col[row]],
+                            url=strings[url_id],
+                        )
+                    )
+    return report
 
 
 @analysis_pass("cookiesync", version=1, params=_sync_params)
 def run(dataset, ctx) -> SyncReport:
     """Pass entry point: §V-C3 cookie syncing over the study period."""
+    view = ColumnView.of(dataset)
+    if view is not None:
+        return _columnar_sync(view, ctx.period_start, ctx.period_end)
     return detect_cookie_syncing(
         dataset.all_cookie_records(),
         dataset.all_flows(),

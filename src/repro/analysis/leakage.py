@@ -15,6 +15,7 @@ from typing import Iterable
 from urllib.parse import unquote
 
 from repro.dvb.epg import GENRES
+from repro.net.url import URL
 from repro.proxy.flow import Flow
 
 #: The device attributes the paper searched for (its own TV's identity).
@@ -50,25 +51,40 @@ class LeakageReport:
     brands_seen: set[str] = field(default_factory=set)
 
 
-def flow_leaks_technical_data(flow: Flow) -> bool:
-    url = unquote(flow.url)
-    if any(keyword in url for keyword in TECHNICAL_KEYWORDS):
+def url_leaks_technical_data(url: str) -> bool:
+    """The technical-data predicate as a pure function of the URL."""
+    decoded = unquote(url)
+    if any(keyword in decoded for keyword in TECHNICAL_KEYWORDS):
         return True
-    params = flow.request.query_params()
+    params = URL.parse(url).query_params()
     return any(name in params for name in TECHNICAL_PARAMS)
 
 
-def flow_leaks_behavioural_data(flow: Flow) -> bool:
-    params = flow.request.query_params()
+def url_leaks_behavioural_data(url: str) -> bool:
+    """The behavioural-data predicate as a pure function of the URL."""
+    params = URL.parse(url).query_params()
     if any(name in params and params[name] for name in BEHAVIOURAL_PARAMS):
         return True
-    url = unquote(flow.url).lower()
-    return any(f"genre={genre}" in url for genre in GENRES)
+    decoded = unquote(url).lower()
+    return any(f"genre={genre}" in decoded for genre in GENRES)
+
+
+def url_brand_evidence(url: str) -> set[str]:
+    """Brand keywords appearing in the (decoded, lowercased) URL."""
+    decoded = unquote(url).lower()
+    return {brand for brand in BRAND_KEYWORDS if brand in decoded}
+
+
+def flow_leaks_technical_data(flow: Flow) -> bool:
+    return url_leaks_technical_data(flow.url)
+
+
+def flow_leaks_behavioural_data(flow: Flow) -> bool:
+    return url_leaks_behavioural_data(flow.url)
 
 
 def flow_has_brand_evidence(flow: Flow) -> set[str]:
-    url = unquote(flow.url).lower()
-    return {brand for brand in BRAND_KEYWORDS if brand in url}
+    return url_brand_evidence(flow.url)
 
 
 def analyze_leakage(
@@ -111,11 +127,59 @@ def analyze_leakage(
 # -- pass registration -------------------------------------------------------------
 
 from repro.analysis.passes import analysis_pass  # noqa: E402
+from repro.analysis.vectorized import UrlMemo  # noqa: E402
+from repro.core.columnar import ColumnView  # noqa: E402
+
+
+def _columnar_leakage(
+    view: ColumnView, first_parties: dict[str, str]
+) -> LeakageReport:
+    """§V-B as a column scan: every predicate is a pure function of
+    the URL, so each evaluates once per distinct URL via UrlMemo."""
+    strings = view.strings.values
+    technical_memo = UrlMemo(view, url_leaks_technical_data)
+    behavioural_memo = UrlMemo(view, url_leaks_behavioural_data)
+    brands_memo = UrlMemo(view, lambda url: frozenset(url_brand_evidence(url)))
+    report = LeakageReport()
+    for _, table in view.flow_runs():
+        url_col = table.url
+        channel_col = table.channel_id
+        etld1_col = table.etld1
+        for row in range(len(table)):
+            url_id = url_col[row]
+            channel_id = strings[channel_col[row]]
+            etld1 = strings[etld1_col[row]]
+            is_third_party = (
+                channel_id in first_parties
+                and etld1 != first_parties[channel_id]
+            )
+            technical = technical_memo(url_id)
+            behavioural = behavioural_memo(url_id)
+            if technical:
+                report.channels_leaking_technical.add(channel_id)
+                if is_third_party or not first_parties:
+                    report.technical_receivers.add(etld1)
+            if behavioural:
+                report.channels_leaking_behavioural.add(channel_id)
+                if is_third_party or not first_parties:
+                    report.behavioural_receivers.add(etld1)
+            if technical or behavioural:
+                report.requests_with_personal_data += 1
+            brands = brands_memo(url_id)
+            if brands:
+                report.requests_with_brand_evidence += 1
+                report.brands_seen.update(brands)
+    report.channels_leaking_technical.discard("")
+    report.channels_leaking_behavioural.discard("")
+    return report
 
 
 @analysis_pass("leakage", version=1, deps=("parties",))
 def run(dataset, ctx) -> LeakageReport:
     """Pass entry point: §V-B personal-data leakage."""
+    view = ColumnView.of(dataset)
+    if view is not None:
+        return _columnar_leakage(view, ctx.upstream("parties").first_parties)
     return analyze_leakage(
         dataset.all_flows(), ctx.upstream("parties").first_parties
     )

@@ -20,6 +20,15 @@ Modules register themselves with the :func:`analysis_pass` decorator;
 :func:`ensure_registered` imports the built-in pass modules exactly
 once.  Registration is import-order independent — dependencies are
 validated at resolve time, not declaration time.
+
+Passes are backend-agnostic: ``dataset`` may be the object-backed
+:class:`~repro.core.dataset.StudyDataset` or the columnar
+:class:`~repro.core.columnar.ColumnarStudyDataset` (duck-type
+compatible, identical ``study_digest`` — so cache keys, and therefore
+cached artifacts, are shared across backends).  Ported passes dispatch
+internally via :meth:`~repro.core.columnar.ColumnView.of`, which
+returns ``None`` on object datasets and column access on columnar
+ones; the differential backend tests hold both branches byte-equal.
 """
 
 from __future__ import annotations

@@ -71,11 +71,29 @@ class TrackingSummary:
 
 from repro.analysis.filterlists import default_suite  # noqa: E402
 from repro.analysis.passes import analysis_pass  # noqa: E402
+from repro.analysis.vectorized import FlowScanner  # noqa: E402
+from repro.core.columnar import ColumnView  # noqa: E402
 
 
 @analysis_pass("tracking", version=1)
 def run(dataset, ctx) -> TrackingSummary:
     """Pass entry point: tracking-request totals (union of detectors)."""
+    view = ColumnView.of(dataset)
+    if view is not None:
+        scanner = FlowScanner(view, default_suite())
+        strings = view.strings.values
+        requests = 0
+        columnar_parties: set[str] = set()
+        for _, table in view.flow_runs():
+            etld1_col = table.etld1
+            for row in range(len(table)):
+                if scanner.is_tracking(table, row):
+                    requests += 1
+                    columnar_parties.add(strings[etld1_col[row]])
+        return TrackingSummary(
+            tracking_requests=requests,
+            tracker_parties=tuple(sorted(columnar_parties)),
+        )
     classifier = TrackingClassifier(default_suite())
     requests = 0
     parties: set[str] = set()

@@ -1,0 +1,186 @@
+"""Shared memoized column-scan machinery for vectorized passes.
+
+The columnar backend interns every string and body once
+(:mod:`repro.core.columnar`), so a detector that is a pure function of
+a URL, content type, or response body needs evaluating once per
+*distinct interned value*, not once per flow.  The helpers here wrap a
+:class:`~repro.core.columnar.ColumnView` with exactly that memoization;
+the ported passes (parties, tracking, cookies, cookiesync, leakage,
+channels) compose them into whole-column scans that replicate the
+object-path semantics verdict-for-verdict.
+
+All memos live on instances created per pass invocation — never at
+module level — so scans stay safe under the audit linter's
+module-memo rule and under process pools.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.fingerprinting import FINGERPRINT_API_MARKERS
+from repro.analysis.pixels import PIXEL_SIZE_THRESHOLD
+from repro.core.columnar import ColumnView, FlowTable
+
+#: Sentinel distinguishing "not computed" from a computed falsy value.
+_MISS = object()
+
+#: Mirror of :attr:`repro.net.http.HttpResponse.is_javascript`'s types.
+_JAVASCRIPT_TYPES = (
+    "application/javascript",
+    "text/javascript",
+    "application/x-javascript",
+)
+
+
+class UrlMemo:
+    """Evaluate a pure function of the URL string once per distinct URL.
+
+    Callable with an interned url id; returns ``fn(url_string)``.
+    """
+
+    __slots__ = ("_strings", "_fn", "_memo")
+
+    def __init__(self, view: ColumnView, fn) -> None:
+        self._strings = view.strings.values
+        self._fn = fn
+        self._memo: dict = {}
+
+    def __call__(self, url_id: int):
+        result = self._memo.get(url_id, _MISS)
+        if result is _MISS:
+            result = self._memo[url_id] = self._fn(self._strings[url_id])
+        return result
+
+
+class FlowScanner:
+    """The union-of-detectors tracking predicate over flow columns.
+
+    Replicates :class:`repro.analysis.tracking.TrackingClassifier`
+    (filter-list hit ∨ tracking pixel ∨ fingerprint-related) with each
+    expensive leg memoized by interned id: filter-list verdicts per
+    URL, image/JS verdicts per content type, fingerprint body scans
+    per distinct response blob.
+    """
+
+    __slots__ = (
+        "suite",
+        "_strings",
+        "_blobs",
+        "_flagged",
+        "_image_ct",
+        "_js_ct",
+        "_fp_blob",
+        "_fp_url",
+    )
+
+    def __init__(self, view: ColumnView, suite) -> None:
+        self.suite = suite
+        self._strings = view.strings.values
+        self._blobs = view.blobs.blobs
+        self._flagged: dict[int, bool] = {}
+        self._image_ct: dict[int, bool] = {}
+        self._js_ct: dict[int, bool] = {}
+        self._fp_blob: dict[int, bool] = {}
+        self._fp_url: dict[int, bool] = {}
+
+    def flagged(self, table: FlowTable, row: int) -> bool:
+        """Filter-list verdict; host is a pure function of the URL, so
+        the memo keys on the url id alone."""
+        url_id = table.url[row]
+        verdict = self._flagged.get(url_id, _MISS)
+        if verdict is _MISS:
+            verdict = self._flagged[url_id] = self.suite.flags_url(
+                self._strings[url_id], self._strings[table.host[row]]
+            )
+        return verdict
+
+    def is_image_type(self, ct_id: int) -> bool:
+        verdict = self._image_ct.get(ct_id, _MISS)
+        if verdict is _MISS:
+            verdict = self._image_ct[ct_id] = self._strings[ct_id].startswith(
+                "image/"
+            )
+        return verdict
+
+    def is_javascript_type(self, ct_id: int) -> bool:
+        verdict = self._js_ct.get(ct_id, _MISS)
+        if verdict is _MISS:
+            verdict = self._js_ct[ct_id] = (
+                self._strings[ct_id] in _JAVASCRIPT_TYPES
+            )
+        return verdict
+
+    def is_pixel(self, table: FlowTable, row: int) -> bool:
+        """The §V-D1 three-condition pixel heuristic."""
+        return (
+            self.is_image_type(table.content_type[row])
+            and table.size[row] < PIXEL_SIZE_THRESHOLD
+            and table.status[row] == 200
+        )
+
+    def is_fingerprinting_script(self, table: FlowTable, row: int) -> bool:
+        if not self.is_javascript_type(table.content_type[row]):
+            return False
+        blob_id = table.resp_body[row]
+        verdict = self._fp_blob.get(blob_id, _MISS)
+        if verdict is _MISS:
+            body = self._blobs[blob_id].decode("utf-8", errors="replace")
+            verdict = self._fp_blob[blob_id] = any(
+                marker in body for marker in FINGERPRINT_API_MARKERS
+            )
+        return verdict
+
+    def is_fingerprint_related(self, table: FlowTable, row: int) -> bool:
+        if self.is_fingerprinting_script(table, row):
+            return True
+        url_id = table.url[row]
+        verdict = self._fp_url.get(url_id, _MISS)
+        if verdict is _MISS:
+            url = self._strings[url_id]
+            verdict = self._fp_url[url_id] = (
+                "fp=" in url and "/collect" in url
+            )
+        return verdict
+
+    def is_tracking(self, table: FlowTable, row: int) -> bool:
+        return (
+            self.flagged(table, row)
+            or self.is_pixel(table, row)
+            or self.is_fingerprint_related(table, row)
+        )
+
+
+class HeaderProbe:
+    """Truthiness of the *first* header with a given name on a row.
+
+    Mirrors ``flow.request.headers.get(name)`` being truthy: find the
+    first case-insensitive name match and test that value only.  Name
+    comparisons and value truthiness memoize per interned id.
+    """
+
+    __slots__ = ("_lowered", "_strings", "_name_memo", "_value_memo")
+
+    def __init__(self, view: ColumnView, name: str) -> None:
+        self._lowered = name.lower()
+        self._strings = view.strings.values
+        self._name_memo: dict[int, bool] = {}
+        self._value_memo: dict[int, bool] = {}
+
+    def request_has(self, table: FlowTable, row: int) -> bool:
+        names = table.req_hdr_name
+        values = table.req_hdr_value
+        for pos in range(table.req_hdr_off[row], table.req_hdr_off[row + 1]):
+            name_id = names[pos]
+            matches = self._name_memo.get(name_id, _MISS)
+            if matches is _MISS:
+                matches = self._name_memo[name_id] = (
+                    self._strings[name_id].lower() == self._lowered
+                )
+            if matches:
+                value_id = values[pos]
+                truthy = self._value_memo.get(value_id, _MISS)
+                if truthy is _MISS:
+                    truthy = self._value_memo[value_id] = bool(
+                        self._strings[value_id]
+                    )
+                return truthy
+        return False

@@ -146,6 +146,7 @@ class Study:
         with_filtering: bool = False,
         runs: list[RunSpec] | None = None,
         cache: Any = True,
+        backend: str = "objects",
     ) -> StudyResult:
         """Execute the study and bundle everything it produced.
 
@@ -157,7 +158,9 @@ class Study:
         ``workers``/``shards`` select the sharded executor exactly like
         :func:`repro.simulation.study.run_study`.  ``cache`` follows
         :func:`_coerce_run_cache`; the resolved cache rides on the
-        result so every later analysis reuses it.
+        result so every later analysis reuses it.  ``backend`` picks
+        the dataset storage layout (``"objects"`` or ``"columnar"``) —
+        digests and every analysis result are identical either way.
         """
         world = self.build_world()
         if isinstance(faults, FaultPlan):
@@ -174,6 +177,7 @@ class Study:
             netsim=netsim,
             workers=workers,
             shards=shards,
+            backend=backend,
         )
         dataset = context.dataset
         return StudyResult(

@@ -37,6 +37,7 @@ DEFAULT_WORKERS = (1, 2, 4)
 DEFAULT_SHARDS = (1, 3)
 DEFAULT_SCALES = (0.02, 0.03)
 DEFAULT_FAULTS = ("off", "light", "chaos")
+DEFAULT_BACKENDS = ("objects",)
 
 #: The digest fields every variant comparison checks.
 DIGEST_FIELDS = ("study_digest", "trace_digest", "metrics_digest")
@@ -54,11 +55,18 @@ class FuzzPoint:
     #: draws in :func:`sample_points`, or enabling it would silently
     #: reshuffle every (seed, scale, faults) sample after it.
     netsim: str = "off"
+    #: Dataset storage backend (``"objects"`` or ``"columnar"``).
+    #: Sampled from its *own* RNG stream in :func:`sample_points` for
+    #: the same reason netsim stays out of the main stream: enabling
+    #: the axis must not reshuffle the (seed, scale, faults) samples.
+    backend: str = "objects"
 
     def label(self) -> str:
         label = f"seed={self.seed} scale={self.scale} faults={self.faults}"
         if self.netsim != "off":
             label += f" netsim={self.netsim}"
+        if self.backend != "objects":
+            label += f" backend={self.backend}"
         return label
 
     def as_dict(self) -> dict:
@@ -67,6 +75,7 @@ class FuzzPoint:
             "scale": self.scale,
             "faults": self.faults,
             "netsim": self.netsim,
+            "backend": self.backend,
         }
 
 
@@ -76,20 +85,25 @@ def sample_points(
     scales: Sequence[float] = DEFAULT_SCALES,
     faults: Sequence[str] = DEFAULT_FAULTS,
     netsim: str = "off",
+    backends: Sequence[str] = DEFAULT_BACKENDS,
 ) -> list[FuzzPoint]:
     """Sample ``budget`` points deterministically from ``base_seed``.
 
     ``netsim`` is applied verbatim to every point (no RNG draws), so
     fuzzing with the co-simulation on visits the *same* (seed, scale,
-    faults) samples as fuzzing with it off.
+    faults) samples as fuzzing with it off.  ``backends`` is sampled
+    from a second RNG stream keyed off ``base_seed`` so that widening
+    the backend axis likewise leaves the primary samples untouched.
     """
     rng = random.Random(base_seed)
+    backend_rng = random.Random(f"backend:{base_seed}")
     return [
         FuzzPoint(
             seed=rng.randrange(1, 100_000),
             scale=rng.choice(list(scales)),
             faults=rng.choice(list(faults)),
             netsim=netsim,
+            backend=backend_rng.choice(list(backends)),
         )
         for _ in range(budget)
     ]
@@ -114,7 +128,9 @@ class Divergence:
     """One detected contract violation."""
 
     point: FuzzPoint
-    axis: str  # "workers" (parallel equivalence) or "cache" (byte identity)
+    #: "workers" (parallel equivalence), "cache" (byte identity), or
+    #: "backend" (columnar/object storage equivalence).
+    axis: str
     baseline: str
     variant: str
     fields: tuple[str, ...]
@@ -187,6 +203,11 @@ class FuzzConfig:
     cache_passes: tuple[str, ...] = ("overview",)
     #: Netsim preset every sampled point runs under (``--netsim``).
     netsim: str = "off"
+    #: Dataset backends the sampler may assign to a point.  When a
+    #: point draws a non-default backend, the fuzzer additionally runs
+    #: its ``objects`` twin and demands byte-identical digests
+    #: (``axis="backend"`` divergences).
+    backends: tuple[str, ...] = DEFAULT_BACKENDS
 
 
 # -- execution ---------------------------------------------------------------------
@@ -207,6 +228,7 @@ def _study_runner(point: FuzzPoint, workers: int, shards: int):
         netsim=point.netsim,
         workers=workers,
         shards=shards,
+        backend=point.backend,
     )
     outcome = VariantOutcome(
         label=f"workers={workers} shards={shards}",
@@ -286,6 +308,7 @@ def run_fuzz(
             config.scales,
             config.faults,
             netsim=config.netsim,
+            backends=config.backends,
         )
     )
 
@@ -304,6 +327,7 @@ def run_fuzz(
     for point in report.points:
         emit(f"point {point.label()}")
         cache_checked = False
+        backend_checked = False
         for shards in config.shards:
             baseline_workers, *rest = sorted(set(config.workers))
             baseline, context = execute(point, baseline_workers, shards)
@@ -311,6 +335,31 @@ def run_fuzz(
                 f"  baseline workers={baseline_workers} shards={shards}: "
                 f"study={baseline.study_digest[:12]}"
             )
+            if point.backend != "objects" and not backend_checked:
+                # Backend differential: the objects twin of the same
+                # point must produce byte-identical digests.
+                twin_point = replace(point, backend="objects")
+                twin, _ = execute(twin_point, baseline_workers, shards)
+                differing = tuple(
+                    name
+                    for name in DIGEST_FIELDS
+                    if getattr(baseline, name) != getattr(twin, name)
+                )
+                report.comparisons += 1
+                backend_checked = True
+                if differing:
+                    divergence = Divergence(
+                        point=point,
+                        axis="backend",
+                        baseline=f"backend=objects {twin.label}",
+                        variant=f"backend={point.backend} {baseline.label}",
+                        fields=differing,
+                        location=localize_divergence(
+                            twin.events, baseline.events
+                        ),
+                    )
+                    report.divergences.append(divergence)
+                    emit("  " + divergence.describe())
             if config.check_cache and not cache_checked and context is not None:
                 compared, found = _cache_divergences(
                     point, context, config.cache_passes

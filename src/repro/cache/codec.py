@@ -29,6 +29,7 @@ import enum
 import hashlib
 import importlib
 import json
+from array import array
 from typing import Any
 
 #: Bumped whenever the encoding itself changes shape; part of every
@@ -63,6 +64,12 @@ def encode(value: Any) -> Any:
         return value
     if isinstance(value, bytes):
         return {"$": "bytes", "v": base64.b64encode(value).decode("ascii")}
+    if isinstance(value, array):
+        # Typed numeric columns (the columnar dataset backend).  The
+        # item values — not the machine representation — are the
+        # content, so the encoding stays canonical across platforms
+        # with different typecode widths.
+        return {"$": "arr", "t": value.typecode, "v": value.tolist()}
     if isinstance(value, enum.Enum):
         return {"$": "enum", "t": _type_tag(value), "v": value.name}
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
@@ -104,6 +111,8 @@ def decode(encoded: Any) -> Any:
     tag = encoded.get("$")
     if tag == "bytes":
         return base64.b64decode(encoded["v"])
+    if tag == "arr":
+        return array(encoded["t"], encoded["v"])
     if tag == "enum":
         cls = _resolve_type(encoded["t"])
         return cls[encoded["v"]]

@@ -5,6 +5,14 @@ the remote-control script, and the five measurement runs, producing a
 :class:`~repro.core.dataset.StudyDataset` that every analysis consumes.
 """
 
+from repro.core.columnar import (
+    BACKENDS,
+    ColumnarRunDataset,
+    ColumnarStudyDataset,
+    to_columnar,
+    to_objects,
+    validate_backend,
+)
 from repro.core.config import MeasurementConfig
 from repro.core.dataset import (
     CookieRecord,
@@ -75,4 +83,10 @@ __all__ = [
     "execute_shard",
     "merge_shard_results",
     "run_sharded_study",
+    "BACKENDS",
+    "ColumnarRunDataset",
+    "ColumnarStudyDataset",
+    "to_columnar",
+    "to_objects",
+    "validate_backend",
 ]

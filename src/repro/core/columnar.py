@@ -1,0 +1,1317 @@
+"""Columnar dataset backend: append-only struct-of-arrays storage.
+
+The object backend (:mod:`repro.core.dataset`) holds every recorded
+flow, cookie, storage entry, and screenshot as a Python heap object —
+faithful, but at fleet scale the per-object overhead (attribute dicts,
+header pair lists, duplicated strings) is the memory wall, and every
+analysis pass re-walks the same objects.  This module stores the same
+information as columns:
+
+* one :class:`StringTable` per study interns every string exactly once
+  (URLs, header names/values, channel ids, cookie values — measured
+  datasets repeat them thousands of times over);
+* one :class:`BlobStore` interns response/request bodies (a handful of
+  distinct payloads serve the whole corpus);
+* fixed-width facts live in stdlib :mod:`array` columns (timestamps,
+  statuses, flags), variable-length ones (header lists, button labels)
+  in CSR-style ``offsets`` + ``values`` column pairs.
+
+Rows materialize lazily: :class:`ColumnarRunDataset` exposes the exact
+:class:`~repro.core.dataset.RunDataset` surface (``flows``,
+``cookie_records``, ``jar_dump``, …) as sequences that rebuild the
+original objects on demand, so every existing consumer keeps working
+unchanged.  Vectorized analysis passes skip materialization entirely
+and scan columns through :class:`ColumnView`, memoizing expensive
+per-URL detectors by interned id.
+
+**Determinism contract.**  ``serialize_canonical`` produces byte-for-
+byte the structure :func:`repro.core.dataset.serialize_run_dataset`
+produces for the equivalent object dataset, so ``study_digest`` is
+identical across backends — every golden, every cache key, and every
+differential oracle carries over.  Shard merge is a column
+concatenation (:func:`concat_run_parts`) under the same permutation-
+invariant monoid laws as ``merge_parallel_run_datasets``: interning
+order may differ between merge orders, but ids never appear in any
+serialized output, only the strings they resolve to.
+"""
+
+from __future__ import annotations
+
+from array import array
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Sequence
+
+from repro.core.dataset import (
+    CookieRecord,
+    RunDataset,
+    StudyDataset,
+    netsim_flow_fields,
+    study_digest,
+)
+from repro.core.resilience import ChannelFailure
+from repro.net.cookies import Cookie
+from repro.net.http import Headers, HttpRequest, HttpResponse
+from repro.net.storage import StorageEntry
+from repro.net.url import URL, URLError
+from repro.proxy.flow import Flow
+from repro.tv.screenshot import Screenshot
+
+#: The dataset backends a study can run against.
+BACKENDS = ("objects", "columnar")
+
+
+def validate_backend(backend: str) -> str:
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown dataset backend {backend!r} (expected one of {BACKENDS})"
+        )
+    return backend
+
+
+# -- interning ---------------------------------------------------------------------
+
+
+@dataclass
+class StringTable:
+    """Append-only string interning: each distinct string stored once.
+
+    Ids are dense indices into ``values``; the reverse ``index`` makes
+    interning O(1).  Ids are *local* to one table — they never leak
+    into serialized output, which is what makes column concatenation
+    (with id remapping) permutation-invariant at the byte level.
+    """
+
+    values: list[str] = field(default_factory=list)
+    index: dict[str, int] = field(default_factory=dict)
+
+    def intern(self, value: str) -> int:
+        idx = self.index.get(value)
+        if idx is None:
+            idx = len(self.values)
+            self.values.append(value)
+            self.index[value] = idx
+        return idx
+
+    def value(self, idx: int) -> str:
+        return self.values[idx]
+
+    def id_of(self, value: str) -> int | None:
+        """The id of an already-interned string (``None`` if absent)."""
+        return self.index.get(value)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+
+@dataclass
+class BlobStore:
+    """Append-only bytes interning (request/response bodies)."""
+
+    blobs: list[bytes] = field(default_factory=list)
+    index: dict[bytes, int] = field(default_factory=dict)
+
+    def intern(self, blob: bytes) -> int:
+        idx = self.index.get(blob)
+        if idx is None:
+            idx = len(self.blobs)
+            self.blobs.append(blob)
+            self.index[blob] = idx
+        return idx
+
+    def value(self, idx: int) -> bytes:
+        return self.blobs[idx]
+
+    def __len__(self) -> int:
+        return len(self.blobs)
+
+
+@dataclass
+class ColumnStore:
+    """The shared interning tables of one columnar study."""
+
+    strings: StringTable = field(default_factory=StringTable)
+    blobs: BlobStore = field(default_factory=BlobStore)
+
+
+def _ids() -> array:
+    return array("I")
+
+
+def _floats() -> array:
+    return array("d")
+
+
+def _flags() -> array:
+    return array("B")
+
+
+def _ints() -> array:
+    return array("q")
+
+
+def _span(offsets: array, values: array, row: int) -> memoryview | array:
+    return values[offsets[row] : offsets[row + 1]]
+
+
+# -- flows -------------------------------------------------------------------------
+
+
+@dataclass
+class FlowTable:
+    """Struct-of-arrays layout of :class:`~repro.proxy.flow.Flow` rows.
+
+    Besides the faithful wire facts, a few *derived* accelerator
+    columns are computed once at append time (host/eTLD+1, normalized
+    content type, body size, HTTPS flag, netsim congestion facts) so
+    vectorized scans and canonical serialization never re-parse a URL
+    or re-read a header.
+    """
+
+    method: array = field(default_factory=_ids)
+    url: array = field(default_factory=_ids)
+    req_ts: array = field(default_factory=_floats)
+    req_body: array = field(default_factory=_ids)
+    req_hdr_off: array = field(default_factory=lambda: array("I", [0]))
+    req_hdr_name: array = field(default_factory=_ids)
+    req_hdr_value: array = field(default_factory=_ids)
+    status: array = field(default_factory=lambda: array("i"))
+    resp_ts: array = field(default_factory=_floats)
+    resp_body: array = field(default_factory=_ids)
+    resp_hdr_off: array = field(default_factory=lambda: array("I", [0]))
+    resp_hdr_name: array = field(default_factory=_ids)
+    resp_hdr_value: array = field(default_factory=_ids)
+    channel_id: array = field(default_factory=_ids)
+    channel_name: array = field(default_factory=_ids)
+    run_name: array = field(default_factory=_ids)
+    intercepted_tls: array = field(default_factory=_flags)
+    # -- derived accelerator columns -----------------------------------------
+    host: array = field(default_factory=_ids)
+    etld1: array = field(default_factory=_ids)
+    content_type: array = field(default_factory=_ids)
+    size: array = field(default_factory=_ints)
+    is_https: array = field(default_factory=_flags)
+    ns_delay: array = field(default_factory=_floats)
+    ns_has_delay: array = field(default_factory=_flags)
+    ns_depth: array = field(default_factory=_ints)
+    ns_has_depth: array = field(default_factory=_flags)
+    ns_shed: array = field(default_factory=_flags)
+    ns_degraded: array = field(default_factory=_flags)
+    ns_expired: array = field(default_factory=_flags)
+
+    def __len__(self) -> int:
+        return len(self.url)
+
+    def append(self, flow: Flow, store: ColumnStore) -> None:
+        s = store.strings
+        self.method.append(s.intern(flow.request.method))
+        self.url.append(s.intern(flow.request.url))
+        self.req_ts.append(flow.request.timestamp)
+        self.req_body.append(store.blobs.intern(flow.request.body))
+        for name, value in flow.request.headers:
+            self.req_hdr_name.append(s.intern(name))
+            self.req_hdr_value.append(s.intern(value))
+        self.req_hdr_off.append(len(self.req_hdr_name))
+        self.status.append(flow.response.status)
+        self.resp_ts.append(flow.response.timestamp)
+        self.resp_body.append(store.blobs.intern(flow.response.body))
+        for name, value in flow.response.headers:
+            self.resp_hdr_name.append(s.intern(name))
+            self.resp_hdr_value.append(s.intern(value))
+        self.resp_hdr_off.append(len(self.resp_hdr_name))
+        self.channel_id.append(s.intern(flow.channel_id))
+        self.channel_name.append(s.intern(flow.channel_name))
+        self.run_name.append(s.intern(flow.run_name))
+        self.intercepted_tls.append(1 if flow.intercepted_tls else 0)
+        try:
+            parsed = URL.parse(flow.request.url)
+            host, etld1 = parsed.host, parsed.etld1
+        except URLError:
+            host, etld1 = "", ""
+        self.host.append(s.intern(host))
+        self.etld1.append(s.intern(etld1))
+        self.content_type.append(s.intern(flow.response.content_type))
+        self.size.append(len(flow.response.body))
+        self.is_https.append(1 if flow.request.url.startswith("https://") else 0)
+        netsim = netsim_flow_fields(flow) or {}
+        delay = netsim.get("queue_delay")
+        self.ns_delay.append(delay if delay is not None else 0.0)
+        self.ns_has_delay.append(0 if delay is None else 1)
+        depth = netsim.get("queue_depth")
+        self.ns_depth.append(depth if depth is not None else 0)
+        self.ns_has_depth.append(0 if depth is None else 1)
+        self.ns_shed.append(1 if netsim.get("shed") else 0)
+        self.ns_degraded.append(1 if netsim.get("degraded") else 0)
+        self.ns_expired.append(1 if netsim.get("expired") else 0)
+
+    def materialize(self, row: int, store: ColumnStore) -> Flow:
+        s = store.strings
+        request = HttpRequest(
+            method=s.value(self.method[row]),
+            url=s.value(self.url[row]),
+            headers=Headers(
+                (s.value(n), s.value(v))
+                for n, v in zip(
+                    _span(self.req_hdr_off, self.req_hdr_name, row),
+                    _span(self.req_hdr_off, self.req_hdr_value, row),
+                )
+            ),
+            body=store.blobs.value(self.req_body[row]),
+            timestamp=self.req_ts[row],
+        )
+        response = HttpResponse(
+            status=self.status[row],
+            headers=Headers(
+                (s.value(n), s.value(v))
+                for n, v in zip(
+                    _span(self.resp_hdr_off, self.resp_hdr_name, row),
+                    _span(self.resp_hdr_off, self.resp_hdr_value, row),
+                )
+            ),
+            body=store.blobs.value(self.resp_body[row]),
+            timestamp=self.resp_ts[row],
+        )
+        flow = Flow(
+            request=request,
+            response=response,
+            channel_id=s.value(self.channel_id[row]),
+            channel_name=s.value(self.channel_name[row]),
+            run_name=s.value(self.run_name[row]),
+            intercepted_tls=bool(self.intercepted_tls[row]),
+        )
+        # Pre-seed the cached host/eTLD+1 properties from the derived
+        # columns (skipped when the URL never parsed, preserving the
+        # original lazy-raise behaviour).
+        host = s.value(self.host[row])
+        etld1 = s.value(self.etld1[row])
+        if host:
+            flow.__dict__["host"] = host
+        if etld1:
+            flow.__dict__["etld1"] = etld1
+        return flow
+
+    def header_values(
+        self, row: int, lowered_name: str, store: ColumnStore, side: str = "resp"
+    ) -> list[str]:
+        """All values of one (case-insensitive) header on a row."""
+        s = store.strings
+        if side == "resp":
+            offsets, names, values = (
+                self.resp_hdr_off,
+                self.resp_hdr_name,
+                self.resp_hdr_value,
+            )
+        else:
+            offsets, names, values = (
+                self.req_hdr_off,
+                self.req_hdr_name,
+                self.req_hdr_value,
+            )
+        return [
+            s.value(v)
+            for n, v in zip(
+                _span(offsets, names, row), _span(offsets, values, row)
+            )
+            if s.value(n).lower() == lowered_name
+        ]
+
+    def serialize(self, row: int, store: ColumnStore) -> dict:
+        """Mirror of :func:`repro.core.dataset._serialize_flow`."""
+        s = store.strings
+        referer_values = self.header_values(row, "referer", store, side="req")
+        record = {
+            "method": s.value(self.method[row]),
+            "url": s.value(self.url[row]),
+            "ts": self.req_ts[row],
+            "status": self.status[row],
+            "content_type": s.value(self.content_type[row]),
+            "size": self.size[row],
+            "set_cookies": self.header_values(row, "set-cookie", store),
+            "referer": referer_values[0] if referer_values else None,
+            "channel_id": s.value(self.channel_id[row]),
+            "channel_name": s.value(self.channel_name[row]),
+            "run": s.value(self.run_name[row]),
+            "https": bool(self.is_https[row]),
+            "response_ts": self.resp_ts[row],
+        }
+        netsim: dict = {}
+        if self.ns_has_delay[row]:
+            netsim["queue_delay"] = self.ns_delay[row]
+        if self.ns_has_depth[row]:
+            netsim["queue_depth"] = self.ns_depth[row]
+        if self.ns_shed[row]:
+            netsim["shed"] = True
+        if self.ns_degraded[row]:
+            netsim["degraded"] = True
+        if self.ns_expired[row]:
+            netsim["expired"] = True
+        if netsim:
+            record["netsim"] = netsim
+        return record
+
+
+# -- cookies -----------------------------------------------------------------------
+
+
+@dataclass
+class CookieTable:
+    """Columns of :class:`~repro.net.cookies.Cookie` rows (jar dumps)."""
+
+    name: array = field(default_factory=_ids)
+    value: array = field(default_factory=_ids)
+    domain: array = field(default_factory=_ids)
+    path: array = field(default_factory=_ids)
+    expires: array = field(default_factory=_floats)
+    has_expires: array = field(default_factory=_flags)
+    secure: array = field(default_factory=_flags)
+    http_only: array = field(default_factory=_flags)
+    host_only: array = field(default_factory=_flags)
+    created_at: array = field(default_factory=_floats)
+    set_by_url: array = field(default_factory=_ids)
+    #: Derived: the cookie domain's registrable eTLD+1.
+    etld1: array = field(default_factory=_ids)
+
+    def __len__(self) -> int:
+        return len(self.name)
+
+    def append(self, cookie: Cookie, store: ColumnStore) -> None:
+        s = store.strings
+        self.name.append(s.intern(cookie.name))
+        self.value.append(s.intern(cookie.value))
+        self.domain.append(s.intern(cookie.domain))
+        self.path.append(s.intern(cookie.path))
+        self.expires.append(
+            cookie.expires if cookie.expires is not None else 0.0
+        )
+        self.has_expires.append(0 if cookie.expires is None else 1)
+        self.secure.append(1 if cookie.secure else 0)
+        self.http_only.append(1 if cookie.http_only else 0)
+        self.host_only.append(1 if cookie.host_only else 0)
+        self.created_at.append(cookie.created_at)
+        self.set_by_url.append(s.intern(cookie.set_by_url))
+        self.etld1.append(s.intern(cookie.etld1))
+
+    def materialize(self, row: int, store: ColumnStore) -> Cookie:
+        s = store.strings
+        return Cookie(
+            name=s.value(self.name[row]),
+            value=s.value(self.value[row]),
+            domain=s.value(self.domain[row]),
+            path=s.value(self.path[row]),
+            expires=self.expires[row] if self.has_expires[row] else None,
+            secure=bool(self.secure[row]),
+            http_only=bool(self.http_only[row]),
+            host_only=bool(self.host_only[row]),
+            created_at=self.created_at[row],
+            set_by_url=s.value(self.set_by_url[row]),
+        )
+
+    def key(self, row: int) -> tuple[int, int, int]:
+        """The (name, domain, path) identity triple, as interned ids."""
+        return (self.name[row], self.domain[row], self.path[row])
+
+    def serialize(self, row: int, store: ColumnStore) -> dict:
+        """Mirror of :func:`repro.core.dataset._serialize_cookie`."""
+        s = store.strings
+        return {
+            "name": s.value(self.name[row]),
+            "value": s.value(self.value[row]),
+            "domain": s.value(self.domain[row]),
+            "path": s.value(self.path[row]),
+            "expires": self.expires[row] if self.has_expires[row] else None,
+            "secure": bool(self.secure[row]),
+            "http_only": bool(self.http_only[row]),
+            "host_only": bool(self.host_only[row]),
+            "created_at": self.created_at[row],
+            "set_by_url": s.value(self.set_by_url[row]),
+        }
+
+
+@dataclass
+class CookieRecordTable:
+    """Cookie rows plus their per-channel/run attribution."""
+
+    cookies: CookieTable = field(default_factory=CookieTable)
+    channel_id: array = field(default_factory=_ids)
+    run_name: array = field(default_factory=_ids)
+    first_party: array = field(default_factory=_ids)
+
+    def __len__(self) -> int:
+        return len(self.channel_id)
+
+    def append(self, record: CookieRecord, store: ColumnStore) -> None:
+        self.cookies.append(record.cookie, store)
+        s = store.strings
+        self.channel_id.append(s.intern(record.channel_id))
+        self.run_name.append(s.intern(record.run_name))
+        self.first_party.append(s.intern(record.first_party_etld1))
+
+    def materialize(self, row: int, store: ColumnStore) -> CookieRecord:
+        s = store.strings
+        return CookieRecord(
+            cookie=self.cookies.materialize(row, store),
+            channel_id=s.value(self.channel_id[row]),
+            run_name=s.value(self.run_name[row]),
+            first_party_etld1=s.value(self.first_party[row]),
+        )
+
+    def is_third_party(self, row: int, empty_id: int) -> bool:
+        fp = self.first_party[row]
+        return fp != empty_id and self.cookies.etld1[row] != fp
+
+    def serialize(self, row: int, store: ColumnStore) -> dict:
+        s = store.strings
+        return {
+            "cookie": self.cookies.serialize(row, store),
+            "channel_id": s.value(self.channel_id[row]),
+            "run": s.value(self.run_name[row]),
+            "first_party": s.value(self.first_party[row]),
+        }
+
+
+# -- local storage -----------------------------------------------------------------
+
+
+@dataclass
+class StorageTable:
+    """Columns of :class:`~repro.net.storage.StorageEntry` rows."""
+
+    origin: array = field(default_factory=_ids)
+    key: array = field(default_factory=_ids)
+    value: array = field(default_factory=_ids)
+    written_at: array = field(default_factory=_floats)
+    written_by_url: array = field(default_factory=_ids)
+
+    def __len__(self) -> int:
+        return len(self.origin)
+
+    def append(self, entry: StorageEntry, store: ColumnStore) -> None:
+        s = store.strings
+        self.origin.append(s.intern(entry.origin))
+        self.key.append(s.intern(entry.key))
+        self.value.append(s.intern(entry.value))
+        self.written_at.append(entry.written_at)
+        self.written_by_url.append(s.intern(entry.written_by_url))
+
+    def materialize(self, row: int, store: ColumnStore) -> StorageEntry:
+        s = store.strings
+        return StorageEntry(
+            origin=s.value(self.origin[row]),
+            key=s.value(self.key[row]),
+            value=s.value(self.value[row]),
+            written_at=self.written_at[row],
+            written_by_url=s.value(self.written_by_url[row]),
+        )
+
+    def serialize(self, row: int, store: ColumnStore) -> dict:
+        s = store.strings
+        return {
+            "origin": s.value(self.origin[row]),
+            "key": s.value(self.key[row]),
+            "value": s.value(self.value[row]),
+            "written_at": self.written_at[row],
+            "written_by_url": s.value(self.written_by_url[row]),
+        }
+
+
+# -- screenshots -------------------------------------------------------------------
+
+
+@dataclass
+class ScreenshotTable:
+    """Columns of :class:`~repro.tv.screenshot.Screenshot` rows.
+
+    Enum members are interned by their ``.value`` string and rebuilt
+    through the enum constructor on materialization.
+    """
+
+    channel_id: array = field(default_factory=_ids)
+    channel_name: array = field(default_factory=_ids)
+    timestamp: array = field(default_factory=_floats)
+    run_name: array = field(default_factory=_ids)
+    sequence_number: array = field(default_factory=_ints)
+    kind: array = field(default_factory=_ids)
+    privacy_kind: array = field(default_factory=_ids)
+    has_privacy_kind: array = field(default_factory=_flags)
+    notice_type_id: array = field(default_factory=_ints)
+    has_notice_type: array = field(default_factory=_flags)
+    notice_layer: array = field(default_factory=_ints)
+    focused_button: array = field(default_factory=_ids)
+    buttons_off: array = field(default_factory=lambda: array("I", [0]))
+    buttons_val: array = field(default_factory=_ids)
+    preticked_off: array = field(default_factory=lambda: array("I", [0]))
+    preticked_val: array = field(default_factory=_ids)
+    accept_highlighted: array = field(default_factory=_flags)
+    is_modal: array = field(default_factory=_flags)
+    covers_full_screen: array = field(default_factory=_flags)
+    policy_excerpt: array = field(default_factory=_ids)
+    has_privacy_pointer: array = field(default_factory=_flags)
+    pointer_label: array = field(default_factory=_ids)
+    pointer_prominent: array = field(default_factory=_flags)
+    caption: array = field(default_factory=_ids)
+
+    def __len__(self) -> int:
+        return len(self.channel_id)
+
+    def append(self, shot: Screenshot, store: ColumnStore) -> None:
+        s = store.strings
+        screen = shot.screen
+        self.channel_id.append(s.intern(shot.channel_id))
+        self.channel_name.append(s.intern(shot.channel_name))
+        self.timestamp.append(shot.timestamp)
+        self.run_name.append(s.intern(shot.run_name))
+        self.sequence_number.append(shot.sequence_number)
+        self.kind.append(s.intern(screen.kind.value))
+        self.privacy_kind.append(
+            s.intern(
+                screen.privacy_kind.value
+                if screen.privacy_kind is not None
+                else ""
+            )
+        )
+        self.has_privacy_kind.append(0 if screen.privacy_kind is None else 1)
+        self.notice_type_id.append(
+            screen.notice_type_id if screen.notice_type_id is not None else 0
+        )
+        self.has_notice_type.append(0 if screen.notice_type_id is None else 1)
+        self.notice_layer.append(screen.notice_layer)
+        self.focused_button.append(s.intern(screen.focused_button))
+        for label in screen.visible_buttons:
+            self.buttons_val.append(s.intern(label))
+        self.buttons_off.append(len(self.buttons_val))
+        for label in screen.preticked_boxes:
+            self.preticked_val.append(s.intern(label))
+        self.preticked_off.append(len(self.preticked_val))
+        self.accept_highlighted.append(1 if screen.accept_highlighted else 0)
+        self.is_modal.append(1 if screen.is_modal else 0)
+        self.covers_full_screen.append(1 if screen.covers_full_screen else 0)
+        self.policy_excerpt.append(s.intern(screen.policy_excerpt))
+        self.has_privacy_pointer.append(1 if screen.has_privacy_pointer else 0)
+        self.pointer_label.append(s.intern(screen.pointer_label))
+        self.pointer_prominent.append(1 if screen.pointer_prominent else 0)
+        self.caption.append(s.intern(screen.caption))
+
+    def materialize(self, row: int, store: ColumnStore) -> Screenshot:
+        from repro.hbbtv.overlay import OverlayKind, PrivacyContentKind, ScreenState
+
+        s = store.strings
+        screen = ScreenState(
+            kind=OverlayKind(s.value(self.kind[row])),
+            privacy_kind=(
+                PrivacyContentKind(s.value(self.privacy_kind[row]))
+                if self.has_privacy_kind[row]
+                else None
+            ),
+            notice_type_id=(
+                self.notice_type_id[row] if self.has_notice_type[row] else None
+            ),
+            notice_layer=self.notice_layer[row],
+            focused_button=s.value(self.focused_button[row]),
+            visible_buttons=tuple(
+                s.value(v)
+                for v in _span(self.buttons_off, self.buttons_val, row)
+            ),
+            preticked_boxes=tuple(
+                s.value(v)
+                for v in _span(self.preticked_off, self.preticked_val, row)
+            ),
+            accept_highlighted=bool(self.accept_highlighted[row]),
+            is_modal=bool(self.is_modal[row]),
+            covers_full_screen=bool(self.covers_full_screen[row]),
+            policy_excerpt=s.value(self.policy_excerpt[row]),
+            has_privacy_pointer=bool(self.has_privacy_pointer[row]),
+            pointer_label=s.value(self.pointer_label[row]),
+            pointer_prominent=bool(self.pointer_prominent[row]),
+            caption=s.value(self.caption[row]),
+        )
+        return Screenshot(
+            channel_id=s.value(self.channel_id[row]),
+            channel_name=s.value(self.channel_name[row]),
+            timestamp=self.timestamp[row],
+            screen=screen,
+            run_name=s.value(self.run_name[row]),
+            sequence_number=self.sequence_number[row],
+        )
+
+    def serialize(self, row: int, store: ColumnStore) -> dict:
+        """Mirror of :func:`repro.core.dataset._serialize_screenshot`."""
+        s = store.strings
+        return {
+            "channel_id": s.value(self.channel_id[row]),
+            "channel_name": s.value(self.channel_name[row]),
+            "ts": self.timestamp[row],
+            "run": s.value(self.run_name[row]),
+            "seq": self.sequence_number[row],
+            "kind": s.value(self.kind[row]),
+            "privacy_kind": (
+                s.value(self.privacy_kind[row])
+                if self.has_privacy_kind[row]
+                else None
+            ),
+            "notice_type_id": (
+                self.notice_type_id[row] if self.has_notice_type[row] else None
+            ),
+            "notice_layer": self.notice_layer[row],
+            "focused_button": s.value(self.focused_button[row]),
+            "visible_buttons": [
+                s.value(v)
+                for v in _span(self.buttons_off, self.buttons_val, row)
+            ],
+            "preticked_boxes": [
+                s.value(v)
+                for v in _span(self.preticked_off, self.preticked_val, row)
+            ],
+            "accept_highlighted": bool(self.accept_highlighted[row]),
+            "is_modal": bool(self.is_modal[row]),
+            "covers_full_screen": bool(self.covers_full_screen[row]),
+            "policy_excerpt": s.value(self.policy_excerpt[row]),
+            "has_privacy_pointer": bool(self.has_privacy_pointer[row]),
+            "pointer_label": s.value(self.pointer_label[row]),
+            "pointer_prominent": bool(self.pointer_prominent[row]),
+            "caption": s.value(self.caption[row]),
+        }
+
+
+# -- lazy row views ----------------------------------------------------------------
+
+
+class LazyRows(Sequence):
+    """A read-only sequence materializing table rows on access.
+
+    Rows are rebuilt fresh per access and never cached — keeping the
+    columnar dataset's memory footprint flat no matter how many passes
+    iterate it.
+    """
+
+    __slots__ = ("_table", "_store")
+
+    def __init__(self, table, store: ColumnStore) -> None:
+        self._table = table
+        self._store = store
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def __getitem__(self, item):
+        if isinstance(item, slice):
+            return [
+                self._table.materialize(row, self._store)
+                for row in range(*item.indices(len(self._table)))
+            ]
+        if item < 0:
+            item += len(self._table)
+        return self._table.materialize(item, self._store)
+
+    def __iter__(self) -> Iterator:
+        for row in range(len(self._table)):
+            yield self._table.materialize(row, self._store)
+
+
+# -- datasets ----------------------------------------------------------------------
+
+
+@dataclass
+class ColumnarRunDataset:
+    """Everything one measurement run collected, stored as columns.
+
+    Duck-type compatible with :class:`~repro.core.dataset.RunDataset`:
+    the ordered-collection attributes come back as :class:`LazyRows`
+    sequences of the original object types.
+    """
+
+    run_name: str
+    store: ColumnStore
+    date_label: str = ""
+    flow_table: FlowTable = field(default_factory=FlowTable)
+    record_table: CookieRecordTable = field(default_factory=CookieRecordTable)
+    jar_table: CookieTable = field(default_factory=CookieTable)
+    storage_table: StorageTable = field(default_factory=StorageTable)
+    screenshot_table: ScreenshotTable = field(default_factory=ScreenshotTable)
+    channels_measured: list[str] = field(default_factory=list)
+    interaction_count: int = 0
+    channel_failures: list[ChannelFailure] = field(default_factory=list)
+    completed: bool = True
+
+    # -- the RunDataset surface ----------------------------------------------
+
+    @property
+    def flows(self) -> LazyRows:
+        return LazyRows(self.flow_table, self.store)
+
+    @property
+    def cookie_records(self) -> LazyRows:
+        return LazyRows(self.record_table, self.store)
+
+    @property
+    def jar_dump(self) -> LazyRows:
+        return LazyRows(self.jar_table, self.store)
+
+    @property
+    def storage_entries(self) -> LazyRows:
+        return LazyRows(self.storage_table, self.store)
+
+    @property
+    def screenshots(self) -> LazyRows:
+        return LazyRows(self.screenshot_table, self.store)
+
+    @property
+    def http_request_count(self) -> int:
+        return len(self.flow_table)
+
+    @property
+    def https_request_count(self) -> int:
+        return sum(self.flow_table.is_https)
+
+    @property
+    def https_share(self) -> float:
+        if not len(self.flow_table):
+            return 0.0
+        return self.https_request_count / len(self.flow_table)
+
+    def distinct_cookie_count(self) -> int:
+        table = self.record_table.cookies
+        return len({table.key(row) for row in range(len(table))})
+
+    def first_party_cookie_count(self) -> int:
+        empty = _empty_id(self.store)
+        table = self.record_table
+        return len(
+            {
+                table.cookies.key(row)
+                for row in range(len(table))
+                if table.first_party[row] != empty
+                and not table.is_third_party(row, empty)
+            }
+        )
+
+    def third_party_cookie_count(self) -> int:
+        empty = _empty_id(self.store)
+        table = self.record_table
+        return len(
+            {
+                table.cookies.key(row)
+                for row in range(len(table))
+                if table.is_third_party(row, empty)
+            }
+        )
+
+    def flows_by_channel(self) -> dict[str, list[Flow]]:
+        grouped: dict[str, list[Flow]] = {}
+        strings = self.store.strings
+        for row in range(len(self.flow_table)):
+            channel = strings.value(self.flow_table.channel_id[row])
+            grouped.setdefault(channel, []).append(
+                self.flow_table.materialize(row, self.store)
+            )
+        return grouped
+
+    def screenshots_by_channel(self) -> dict[str, list[Screenshot]]:
+        grouped: dict[str, list[Screenshot]] = {}
+        strings = self.store.strings
+        for row in range(len(self.screenshot_table)):
+            channel = strings.value(self.screenshot_table.channel_id[row])
+            grouped.setdefault(channel, []).append(
+                self.screenshot_table.materialize(row, self.store)
+            )
+        return grouped
+
+    # -- ingest --------------------------------------------------------------
+
+    def append_run(self, run: RunDataset) -> None:
+        """Append every row of an object run (the ingest path)."""
+        for flow in run.flows:
+            self.flow_table.append(flow, self.store)
+        for record in run.cookie_records:
+            self.record_table.append(record, self.store)
+        for cookie in run.jar_dump:
+            self.jar_table.append(cookie, self.store)
+        for entry in run.storage_entries:
+            self.storage_table.append(entry, self.store)
+        for shot in run.screenshots:
+            self.screenshot_table.append(shot, self.store)
+        self.channels_measured.extend(run.channels_measured)
+        self.interaction_count += run.interaction_count
+        self.channel_failures.extend(run.channel_failures)
+
+    # -- canonical serialization ---------------------------------------------
+
+    def serialize_canonical(self) -> dict:
+        """Byte-identical mirror of ``serialize_run_dataset``."""
+        store = self.store
+        return {
+            "run": self.run_name,
+            "date": self.date_label,
+            "completed": self.completed,
+            "interactions": self.interaction_count,
+            "channels_measured": list(self.channels_measured),
+            "flows": [
+                self.flow_table.serialize(row, store)
+                for row in range(len(self.flow_table))
+            ],
+            "cookie_records": [
+                self.record_table.serialize(row, store)
+                for row in range(len(self.record_table))
+            ],
+            "jar": [
+                self.jar_table.serialize(row, store)
+                for row in range(len(self.jar_table))
+            ],
+            "storage": [
+                self.storage_table.serialize(row, store)
+                for row in range(len(self.storage_table))
+            ],
+            "screenshots": [
+                self.screenshot_table.serialize(row, store)
+                for row in range(len(self.screenshot_table))
+            ],
+            "failures": [
+                {
+                    "channel_id": failure.channel_id,
+                    "channel_name": failure.channel_name,
+                    "reason": failure.reason,
+                    "attempts": failure.attempts,
+                    "elapsed_seconds": failure.elapsed_seconds,
+                    "at": failure.at,
+                }
+                for failure in self.channel_failures
+            ],
+        }
+
+
+def _empty_id(store: ColumnStore) -> int:
+    """The id of the empty string (-1 when it was never interned)."""
+    idx = store.strings.id_of("")
+    return idx if idx is not None else -1
+
+
+@dataclass
+class ColumnarStudyDataset:
+    """All measurement runs of a study, on the columnar backend.
+
+    Duck-type compatible with :class:`~repro.core.dataset.StudyDataset`
+    — analyses, serialization, and digesting all work unchanged.
+    """
+
+    store: ColumnStore = field(default_factory=ColumnStore)
+    runs: dict[str, ColumnarRunDataset] = field(default_factory=dict)
+    _digest_cache: str | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    backend = "columnar"
+
+    def add_run(self, run: RunDataset | ColumnarRunDataset) -> None:
+        if run.run_name in self.runs:
+            raise ValueError(f"run already recorded: {run.run_name}")
+        if isinstance(run, ColumnarRunDataset):
+            if run.store is not self.store:
+                raise ValueError(
+                    "columnar run belongs to a different store; "
+                    "use concat_run_parts to rebase it"
+                )
+            self.runs[run.run_name] = run
+        else:
+            converted = ColumnarRunDataset(
+                run_name=run.run_name,
+                store=self.store,
+                date_label=run.date_label,
+                completed=run.completed,
+            )
+            converted.append_run(run)
+            self.runs[run.run_name] = converted
+        self._digest_cache = None
+
+    def digest(self) -> str:
+        if self._digest_cache is None:
+            self._digest_cache = study_digest(self)
+        return self._digest_cache
+
+    def invalidate_digest(self) -> None:
+        self._digest_cache = None
+
+    def run_names(self) -> list[str]:
+        return list(self.runs)
+
+    def all_flows(self) -> Iterator[Flow]:
+        for run in self.runs.values():
+            yield from run.flows
+
+    def all_cookie_records(self) -> Iterator[CookieRecord]:
+        for run in self.runs.values():
+            yield from run.cookie_records
+
+    def all_screenshots(self) -> Iterator[Screenshot]:
+        for run in self.runs.values():
+            yield from run.screenshots
+
+    def total_requests(self) -> int:
+        return sum(r.http_request_count for r in self.runs.values())
+
+    def channels_measured(self) -> set[str]:
+        measured: set[str] = set()
+        for run in self.runs.values():
+            measured.update(run.channels_measured)
+        return measured
+
+    def serialize_canonical(self) -> dict:
+        return {
+            "runs": [run.serialize_canonical() for run in self.runs.values()],
+            "run_names": self.run_names(),
+        }
+
+
+# -- conversion --------------------------------------------------------------------
+
+
+def to_columnar(
+    dataset: StudyDataset | ColumnarStudyDataset,
+) -> ColumnarStudyDataset:
+    """Convert an object-backed study dataset to the columnar backend.
+
+    Already-columnar datasets pass through unchanged.  The converted
+    dataset serializes (and therefore digests) byte-identically to its
+    source — the contract the differential backend tests enforce.
+    """
+    if isinstance(dataset, ColumnarStudyDataset):
+        return dataset
+    columnar = ColumnarStudyDataset()
+    for run in dataset.runs.values():
+        columnar.add_run(run)
+    return columnar
+
+
+def to_objects(dataset: StudyDataset | ColumnarStudyDataset) -> StudyDataset:
+    """Materialize a columnar study back into heap objects."""
+    if not isinstance(dataset, ColumnarStudyDataset):
+        return dataset
+    objects = StudyDataset()
+    for run in dataset.runs.values():
+        objects.add_run(
+            RunDataset(
+                run_name=run.run_name,
+                date_label=run.date_label,
+                flows=list(run.flows),
+                cookie_records=list(run.cookie_records),
+                jar_dump=list(run.jar_dump),
+                storage_entries=list(run.storage_entries),
+                screenshots=list(run.screenshots),
+                channels_measured=list(run.channels_measured),
+                interaction_count=run.interaction_count,
+                channel_failures=list(run.channel_failures),
+                completed=run.completed,
+            )
+        )
+    return objects
+
+
+# -- shard merge as column concatenation -------------------------------------------
+
+
+def _remap_table(
+    part_store: ColumnStore, store: ColumnStore
+) -> tuple[list[int], list[int]]:
+    """Id translation maps from a part's interning to the target's."""
+    strings = [store.strings.intern(v) for v in part_store.strings.values]
+    blobs = [store.blobs.intern(b) for b in part_store.blobs.blobs]
+    return strings, blobs
+
+
+_ID_COLUMNS: dict[type, tuple[str, ...]] = {
+    FlowTable: (
+        "method",
+        "url",
+        "req_hdr_name",
+        "req_hdr_value",
+        "resp_hdr_name",
+        "resp_hdr_value",
+        "channel_id",
+        "channel_name",
+        "run_name",
+        "host",
+        "etld1",
+        "content_type",
+    ),
+    CookieTable: ("name", "value", "domain", "path", "set_by_url", "etld1"),
+    CookieRecordTable: ("channel_id", "run_name", "first_party"),
+    StorageTable: ("origin", "key", "value", "written_by_url"),
+    ScreenshotTable: (
+        "channel_id",
+        "channel_name",
+        "run_name",
+        "kind",
+        "privacy_kind",
+        "focused_button",
+        "buttons_val",
+        "preticked_val",
+        "policy_excerpt",
+        "pointer_label",
+        "caption",
+    ),
+}
+
+_BLOB_COLUMNS: dict[type, tuple[str, ...]] = {
+    FlowTable: ("req_body", "resp_body"),
+}
+
+_OFFSET_COLUMNS: dict[type, tuple[str, ...]] = {
+    FlowTable: ("req_hdr_off", "resp_hdr_off"),
+    ScreenshotTable: ("buttons_off", "preticked_off"),
+}
+
+
+def _concat_table(target, part, string_map: list[int], blob_map: list[int]) -> None:
+    """Append every row of ``part`` onto ``target``, translating ids."""
+    kind = type(target)
+    if kind is CookieRecordTable:
+        _concat_table(target.cookies, part.cookies, string_map, blob_map)
+    id_columns = _ID_COLUMNS.get(kind, ())
+    blob_columns = _BLOB_COLUMNS.get(kind, ())
+    offset_columns = _OFFSET_COLUMNS.get(kind, ())
+    skip = set(id_columns) | set(blob_columns) | set(offset_columns)
+    if kind is CookieRecordTable:
+        skip.add("cookies")
+    for name in id_columns:
+        getattr(target, name).extend(
+            string_map[idx] for idx in getattr(part, name)
+        )
+    for name in blob_columns:
+        getattr(target, name).extend(
+            blob_map[idx] for idx in getattr(part, name)
+        )
+    for name in offset_columns:
+        column = getattr(target, name)
+        base = column[-1]
+        column.extend(base + offset for offset in getattr(part, name)[1:])
+    for f in kind.__dataclass_fields__:
+        if f in skip:
+            continue
+        getattr(target, f).extend(getattr(part, f))
+
+
+def concat_run_parts(
+    parts: Sequence[ColumnarRunDataset], store: ColumnStore
+) -> ColumnarRunDataset:
+    """Fold shard-level slices of the same run by column concatenation.
+
+    The columnar equivalent of
+    :func:`~repro.core.dataset.merge_parallel_run_datasets`: every
+    column concatenates in the order given (callers pass shard-index
+    order), part-local interned ids are translated into ``store``'s
+    tables, and the merged run is completed only if every slice
+    completed.  Serialized output is identical to merging the
+    materialized parts — ids never reach the bytes.
+    """
+    if not parts:
+        raise ValueError("cannot merge zero run datasets")
+    names = {p.run_name for p in parts}
+    if len(names) > 1:
+        raise ValueError(f"cannot merge different runs: {sorted(names)}")
+    merged = ColumnarRunDataset(
+        run_name=parts[0].run_name,
+        store=store,
+        date_label=next((p.date_label for p in parts if p.date_label), ""),
+        completed=all(p.completed for p in parts),
+    )
+    for part in parts:
+        string_map, blob_map = _remap_table(part.store, store)
+        _concat_table(merged.flow_table, part.flow_table, string_map, blob_map)
+        _concat_table(
+            merged.record_table, part.record_table, string_map, blob_map
+        )
+        _concat_table(merged.jar_table, part.jar_table, string_map, blob_map)
+        _concat_table(
+            merged.storage_table, part.storage_table, string_map, blob_map
+        )
+        _concat_table(
+            merged.screenshot_table, part.screenshot_table, string_map, blob_map
+        )
+        merged.channels_measured.extend(part.channels_measured)
+        merged.interaction_count += part.interaction_count
+        merged.channel_failures.extend(part.channel_failures)
+    return merged
+
+
+def concat_study_parts(
+    parts: Sequence[ColumnarStudyDataset],
+) -> ColumnarStudyDataset:
+    """Fold per-shard columnar studies into one, run by run.
+
+    Run order follows first appearance across the parts in the order
+    given (shard-index order from the merge layer), exactly like the
+    object-path shard merge.
+    """
+    merged = ColumnarStudyDataset()
+    run_names: list[str] = []
+    for part in parts:
+        for name in part.run_names():
+            if name not in run_names:
+                run_names.append(name)
+    for name in run_names:
+        slices = [p.runs[name] for p in parts if name in p.runs]
+        merged.runs[name] = concat_run_parts(slices, merged.store)
+    merged.invalidate_digest()
+    return merged
+
+
+# -- the vectorized-pass accessor --------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ColumnView:
+    """Uniform column access for vectorized analysis passes.
+
+    ``ColumnView.of(dataset)`` returns ``None`` for object-backed
+    datasets — passes fall back to their original row-at-a-time
+    implementation, keeping the object path byte-for-byte untouched.
+    For columnar datasets it exposes the shared string/blob tables and
+    the per-run column tables in run order, which is all a vectorized
+    scan needs.
+    """
+
+    dataset: ColumnarStudyDataset
+
+    @classmethod
+    def of(cls, dataset) -> "ColumnView | None":
+        if isinstance(dataset, ColumnarStudyDataset):
+            return cls(dataset)
+        return None
+
+    @property
+    def strings(self) -> StringTable:
+        return self.dataset.store.strings
+
+    @property
+    def blobs(self) -> BlobStore:
+        return self.dataset.store.blobs
+
+    @property
+    def store(self) -> ColumnStore:
+        return self.dataset.store
+
+    @property
+    def empty_id(self) -> int:
+        return _empty_id(self.dataset.store)
+
+    def flow_runs(self) -> list[tuple[str, FlowTable]]:
+        return [
+            (name, run.flow_table) for name, run in self.dataset.runs.items()
+        ]
+
+    def record_runs(self) -> list[tuple[str, CookieRecordTable]]:
+        return [
+            (name, run.record_table) for name, run in self.dataset.runs.items()
+        ]
+
+    def value(self, idx: int) -> str:
+        return self.dataset.store.strings.value(idx)
+
+    def blob(self, idx: int) -> bytes:
+        return self.dataset.store.blobs.value(idx)
+
+
+def columnar_sizeof(dataset: ColumnarStudyDataset) -> int:
+    """Approximate resident bytes of a columnar study's storage."""
+    import sys
+
+    total = 0
+    seen: set[int] = set()
+
+    def add(obj) -> None:
+        if id(obj) in seen:
+            return
+        seen.add(id(obj))
+        total_ref[0] += sys.getsizeof(obj)
+
+    total_ref = [0]
+    store = dataset.store
+    add(store.strings.values)
+    for value in store.strings.values:
+        add(value)
+    add(store.strings.index)
+    add(store.blobs.blobs)
+    for blob in store.blobs.blobs:
+        add(blob)
+    add(store.blobs.index)
+    for run in dataset.runs.values():
+        for table in (
+            run.flow_table,
+            run.record_table.cookies,
+            run.record_table,
+            run.jar_table,
+            run.storage_table,
+            run.screenshot_table,
+        ):
+            for name in type(table).__dataclass_fields__:
+                column = getattr(table, name)
+                if isinstance(column, array):
+                    add(column)
+        add(run.channels_measured)
+        for channel in run.channels_measured:
+            add(channel)
+    total = total_ref[0]
+    return total
+
+
+# -- optional pyarrow export (feature-gated) ---------------------------------------
+
+
+def pyarrow_available() -> bool:
+    """True when the *optional* :mod:`pyarrow` dependency is importable.
+
+    The columnar backend is pure stdlib; pyarrow is only an export
+    target.  Nothing in the package imports it at module load, so the
+    backend works identically on installs without it.
+    """
+    try:
+        import pyarrow  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def to_arrow_flows(dataset: ColumnarStudyDataset):
+    """Export every flow row of a study as a ``pyarrow.Table``.
+
+    The store is already struct-of-arrays, so the export is a direct
+    column handoff: numeric columns pass through, interned id columns
+    decode through the string table.  Raises :class:`RuntimeError`
+    when pyarrow is not installed (it is an optional dependency; see
+    :func:`pyarrow_available`).
+    """
+    if not pyarrow_available():
+        raise RuntimeError(
+            "pyarrow is not installed; the columnar backend works "
+            "without it — install pyarrow only for Arrow exports"
+        )
+    import pyarrow as pa
+
+    strings = dataset.store.strings
+    columns: dict[str, list] = {
+        "run": [],
+        "url": [],
+        "ts": [],
+        "status": [],
+        "content_type": [],
+        "size": [],
+        "https": [],
+        "channel_id": [],
+        "host": [],
+        "etld1": [],
+    }
+    for run in dataset.runs.values():
+        table = run.flow_table
+        for row in range(len(table)):
+            columns["run"].append(strings.value(table.run_name[row]))
+            columns["url"].append(strings.value(table.url[row]))
+            columns["ts"].append(table.req_ts[row])
+            columns["status"].append(table.status[row])
+            columns["content_type"].append(
+                strings.value(table.content_type[row])
+            )
+            columns["size"].append(table.size[row])
+            columns["https"].append(bool(table.is_https[row]))
+            columns["channel_id"].append(
+                strings.value(table.channel_id[row])
+            )
+            columns["host"].append(strings.value(table.host[row]))
+            columns["etld1"].append(strings.value(table.etld1[row]))
+    return pa.table(columns)

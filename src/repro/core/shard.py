@@ -38,6 +38,12 @@ from dataclasses import dataclass, field
 from multiprocessing import get_context
 from typing import Iterable, Mapping, Sequence
 
+from repro.core.columnar import (
+    ColumnarStudyDataset,
+    concat_study_parts,
+    to_columnar,
+    validate_backend,
+)
 from repro.core.config import DEFAULT_CONFIG, MeasurementConfig
 from repro.core.dataset import (
     RunDataset,
@@ -96,6 +102,10 @@ class ShardTask:
     #: Shard-salted network co-simulation (``None`` = infinitely fast
     #: wire); already passed through :meth:`NetSimConfig.for_shard`.
     netsim: NetSimConfig | None = None
+    #: Dataset backend the shard converts its result to before the
+    #: digest is computed ("objects" keeps the classic heap layout;
+    #: "columnar" ships struct-of-arrays columns back to the merge).
+    backend: str = "objects"
 
 
 @dataclass
@@ -205,13 +215,19 @@ def execute_shard(task: ShardTask) -> ShardResult:
         world.seed,
         task.config.interaction_presses,
     )
-    dataset = StudyDataset()
+    dataset: StudyDataset | ColumnarStudyDataset = StudyDataset()
     for run in runs:
         dataset.add_run(
             context.framework.execute_run(
                 run, skip_channels=skip.get(run.name, ())
             )
         )
+    if validate_backend(task.backend) == "columnar":
+        # Convert while the shard is hot: the worker ships columns (one
+        # interned copy of every string/body) across the spawn boundary
+        # instead of the object graph, and the digest below is computed
+        # from the columnar fast path.
+        dataset = to_columnar(dataset)
     if shard_span is not None:
         obs.tracer.end_span(
             shard_span,
@@ -263,17 +279,24 @@ def merge_shard_results(results: Sequence[ShardResult]) -> ShardResult:
             f"shard results from different partitions: n_shards={sorted(counts)}"
         )
 
-    run_names: list[str] = []
-    for result in ordered:
-        for name in result.dataset.run_names():
-            if name not in run_names:
-                run_names.append(name)
-    dataset = StudyDataset()
-    for name in run_names:
-        parts = [
-            r.dataset.runs[name] for r in ordered if name in r.dataset.runs
-        ]
-        dataset.add_run(merge_parallel_run_datasets(parts))
+    if all(isinstance(r.dataset, ColumnarStudyDataset) for r in ordered):
+        # Columnar shards merge by column concatenation in shard-index
+        # order — same monoid laws, no row materialization.
+        dataset: StudyDataset | ColumnarStudyDataset = concat_study_parts(
+            [r.dataset for r in ordered]
+        )
+    else:
+        run_names: list[str] = []
+        for result in ordered:
+            for name in result.dataset.run_names():
+                if name not in run_names:
+                    run_names.append(name)
+        dataset = StudyDataset()
+        for name in run_names:
+            parts = [
+                r.dataset.runs[name] for r in ordered if name in r.dataset.runs
+            ]
+            dataset.add_run(merge_parallel_run_datasets(parts))
 
     reports = [
         r.filtering_report for r in ordered if r.filtering_report is not None
@@ -330,6 +353,7 @@ def build_shard_tasks(
     netsim: NetSimConfig | str | None = None,
     n_shards: int = DEFAULT_SHARDS,
     skip_channels: Mapping[str, Iterable[str]] | None = None,
+    backend: str = "objects",
 ) -> list[ShardTask]:
     """Plan the shard tasks for one study over ``world``.
 
@@ -388,6 +412,7 @@ def build_shard_tasks(
                     if netsim_config is not None
                     else None
                 ),
+                backend=validate_backend(backend),
             )
         )
     return tasks
@@ -422,6 +447,7 @@ def run_sharded_study(
     netsim: NetSimConfig | str | None = None,
     workers: int = 1,
     n_shards: int = DEFAULT_SHARDS,
+    backend: str = "objects",
 ):
     """Execute a study shard-by-shard and merge the results.
 
@@ -443,6 +469,7 @@ def run_sharded_study(
         resilience=resilience,
         netsim=netsim,
         n_shards=n_shards,
+        backend=backend,
     )
     results = execute_shard_tasks(tasks, workers=workers)
     merged = merge_shard_results(results)

@@ -13,6 +13,7 @@ import warnings
 from dataclasses import dataclass
 
 from repro.clock import SimClock
+from repro.core.columnar import to_columnar, validate_backend
 from repro.core.config import DEFAULT_CONFIG, MeasurementConfig
 from repro.core.dataset import StudyDataset
 from repro.core.filtering import ChannelFilterPipeline, FilteringReport
@@ -295,6 +296,7 @@ def run_study(
     netsim: NetSimConfig | str | None = None,
     workers: int | None = None,
     shards: int | None = None,
+    backend: str = "objects",
 ) -> StudyContext:
     """Execute the measurement study against a world.
 
@@ -308,7 +310,15 @@ def run_study(
     ``(seed, scale, plan, shards)`` — the same for every worker count —
     but is a *different* (equally valid) timeline than the unsharded
     path, because each shard starts its own clock and RNG streams.
+
+    ``backend="columnar"`` stores the resulting dataset as an
+    append-only struct-of-arrays study (:mod:`repro.core.columnar`).
+    Measurement execution is untouched — rows are converted after
+    recording (per shard, on the sharded path) — and the dataset
+    serializes byte-identically, so ``study_digest`` and every
+    analysis result match the object backend exactly.
     """
+    validate_backend(backend)
     if workers is None and shards is None:
         context = make_context(
             world, config, faults=faults, resilience=resilience, netsim=netsim
@@ -317,6 +327,8 @@ def run_study(
             run_filtering(context)
         context.dataset = context.framework.run_study(runs)
         context.period_end = context.clock.now
+        if backend == "columnar":
+            context.dataset = to_columnar(context.dataset)
         return context
 
     # Imported lazily: repro.core.shard re-enters this module in its
@@ -333,6 +345,7 @@ def run_study(
         netsim=netsim,
         workers=workers if workers is not None else 1,
         n_shards=shards if shards is not None else DEFAULT_SHARDS,
+        backend=backend,
     )
 
 

@@ -1,0 +1,282 @@
+"""Differential equivalence: object-backed vs columnar dataset backends.
+
+The backend contract (DESIGN.md §14): ``backend="columnar"`` changes
+*storage layout only*.  The study digest, the fully serialized dataset,
+the filtering funnel, run health, the metrics snapshot, the canonical
+trace JSONL, and every analysis-pass result are byte-for-byte identical
+to the object path — for every worker count and shard count.  These
+tests run the same study on both backends across the worker × shard
+matrix and compare everything.
+
+The vectorized pass implementations (parties, tracking, cookies,
+cookiesync, leakage, channels) only ever run against columnar datasets
+(``ColumnView.of`` returns ``None`` otherwise), so comparing resolved
+pass results across backends is the differential harness for the
+vectorized code paths, not just for storage.
+
+Scale comes from ``REPRO_SCALE`` when set (CI runs larger); the local
+default keeps the matrix interactive.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis.passes import PassContext, resolve_passes
+from repro.cache.codec import canonical_json, encode
+from repro.core.columnar import (
+    ColumnarStudyDataset,
+    to_columnar,
+    to_objects,
+    validate_backend,
+)
+from repro.core.config import MeasurementConfig
+from repro.core.dataset import serialize_study_dataset, study_digest
+from repro.core.report import format_overview_table, overview_table
+from repro.obs import metrics_digest, trace_digest, trace_to_jsonl
+from repro.simulation.study import fault_plan_for_world, run_study
+from repro.simulation.world import build_world
+
+SCALE = float(os.environ.get("REPRO_SCALE") or 0.02)
+
+#: The analysis passes with vectorized columnar implementations.
+VECTORIZED_PASSES = (
+    "parties",
+    "tracking",
+    "cookies",
+    "cookiesync",
+    "leakage",
+    "channels",
+    "overview",
+)
+
+
+def _run(seed, preset, backend, workers=None, shards=None, **kwargs):
+    world = build_world(seed=seed, scale=SCALE)
+    plan = fault_plan_for_world(world, preset)
+    return run_study(
+        world,
+        faults=plan,
+        workers=workers,
+        shards=shards,
+        backend=backend,
+        **kwargs,
+    )
+
+
+_CONTEXTS: dict = {}
+
+
+def _study(seed, preset, backend, workers=None, shards=None):
+    """Memoized study execution, shared across the comparison matrix."""
+    key = (seed, preset, backend, workers, shards)
+    if key not in _CONTEXTS:
+        _CONTEXTS[key] = _run(seed, preset, backend, workers, shards)
+    return _CONTEXTS[key]
+
+
+def _passes_digest(results: dict) -> str:
+    import hashlib
+
+    return hashlib.sha256(
+        canonical_json(encode(results)).encode("utf-8")
+    ).hexdigest()
+
+
+@pytest.mark.parametrize(
+    "seed,preset,workers,shards",
+    [
+        (7, "off", None, None),  # classic in-process path
+        (7, "off", 1, 1),
+        (7, "off", 1, 3),
+        (7, "off", 2, 3),
+        (7, "off", 4, 3),
+        (11, "chaos", 1, 3),
+        (11, "chaos", 2, 3),
+    ],
+)
+def test_columnar_study_is_bit_identical_to_objects(
+    seed, preset, workers, shards
+):
+    objects = _study(seed, preset, "objects", workers, shards)
+    columnar = _study(seed, preset, "columnar", workers, shards)
+
+    assert isinstance(columnar.dataset, ColumnarStudyDataset)
+    assert not isinstance(objects.dataset, ColumnarStudyDataset)
+
+    obj_view = serialize_study_dataset(objects.dataset)
+    col_view = serialize_study_dataset(columnar.dataset)
+    assert col_view == obj_view
+    assert json.dumps(col_view, sort_keys=True) == json.dumps(
+        obj_view, sort_keys=True
+    )
+    assert study_digest(columnar.dataset) == study_digest(objects.dataset)
+    assert columnar.dataset.digest() == objects.dataset.digest()
+
+    # Table I renders identically off the duck-typed run surface.
+    assert format_overview_table(
+        overview_table(columnar.dataset)
+    ) == format_overview_table(overview_table(objects.dataset))
+
+    # Health totals (faulty studies) must not see the backend.
+    if objects.health is None:
+        assert columnar.health is None
+    else:
+        assert columnar.health.totals() == objects.health.totals()
+
+    # Telemetry: execution is identical, conversion happens after.
+    assert trace_to_jsonl(columnar.trace_events) == trace_to_jsonl(
+        objects.trace_events
+    )
+    assert trace_digest(columnar.trace_events) == trace_digest(
+        objects.trace_events
+    )
+    assert columnar.metrics.snapshot() == objects.metrics.snapshot()
+    assert metrics_digest(columnar.metrics) == metrics_digest(
+        objects.metrics
+    )
+
+
+@pytest.mark.parametrize("seed,preset", [(7, "off"), (11, "chaos")])
+def test_vectorized_passes_match_object_passes(seed, preset):
+    """The vectorized columnar scans return byte-identical results.
+
+    ``resolve_passes`` runs the vectorized branch on the columnar
+    dataset and the original row-at-a-time branch on the object one;
+    the encoded results must not differ in a single byte.
+    """
+    objects = _study(seed, preset, "objects", None, None)
+    columnar = _study(seed, preset, "columnar", None, None)
+    names = list(VECTORIZED_PASSES)
+
+    obj_results = resolve_passes(
+        names, objects.dataset, PassContext.for_study(objects), cache=None
+    )
+    col_results = resolve_passes(
+        names, columnar.dataset, PassContext.for_study(columnar), cache=None
+    )
+    assert set(obj_results) == set(col_results)
+    assert _passes_digest(col_results) == _passes_digest(obj_results)
+
+
+def test_report_bytes_identical_across_backends():
+    """The full rendered replication report is the same text."""
+    from repro.analysis.report import generate_report
+
+    objects = _study(7, "off", "objects", None, None)
+    columnar = _study(7, "off", "columnar", None, None)
+    assert generate_report(columnar, cache=False) == generate_report(
+        objects, cache=False
+    )
+
+
+def test_filtering_funnel_is_equivalent_across_backends():
+    config = MeasurementConfig(exploratory_watch_seconds=60.0)
+    objects = _run(
+        7, "off", "objects", workers=None, config=config, with_filtering=True
+    )
+    columnar = _run(
+        7, "off", "columnar", workers=None, config=config, with_filtering=True
+    )
+    assert columnar.filtering_report == objects.filtering_report
+    assert columnar.filtering_report is not None
+    assert columnar.filtering_report.final > 0
+    assert study_digest(columnar.dataset) == study_digest(objects.dataset)
+
+
+def test_backend_round_trip_is_lossless():
+    """columnar → objects → columnar preserves the serialized bytes."""
+    columnar = _study(7, "off", "columnar", None, None)
+    materialized = to_objects(columnar.dataset)
+    recolumnized = to_columnar(materialized)
+    reference = serialize_study_dataset(columnar.dataset)
+    assert serialize_study_dataset(materialized) == reference
+    assert serialize_study_dataset(recolumnized) == reference
+    assert recolumnized.digest() == columnar.dataset.digest()
+
+
+def test_validate_backend_rejects_unknown_names():
+    assert validate_backend("objects") == "objects"
+    assert validate_backend("columnar") == "columnar"
+    with pytest.raises(ValueError):
+        validate_backend("parquet")
+    with pytest.raises(ValueError):
+        run_study(build_world(seed=7, scale=0.01), backend="arrow")
+
+
+def test_pyarrow_export_is_feature_gated():
+    """The Arrow export works when pyarrow exists, errors cleanly when
+    it does not — the backend itself never depends on it."""
+    from repro.core.columnar import pyarrow_available, to_arrow_flows
+
+    columnar = _study(7, "off", "columnar", None, None)
+    if not pyarrow_available():
+        with pytest.raises(RuntimeError, match="pyarrow"):
+            to_arrow_flows(columnar.dataset)
+        return
+    table = to_arrow_flows(columnar.dataset)
+    assert table.num_rows == columnar.dataset.total_requests()
+    assert set(table.column_names) >= {"url", "status", "etld1"}
+
+
+def test_fuzzer_backend_axis_compares_against_objects_twin():
+    """``FuzzConfig(backends=...)`` samples and checks the backend axis."""
+    from repro.audit.fuzz import FuzzConfig, FuzzPoint, run_fuzz, sample_points
+
+    with_axis = sample_points(
+        6, base_seed=0, backends=("objects", "columnar")
+    )
+    without_axis = sample_points(6, base_seed=0)
+    # Widening the backend axis must not reshuffle the primary samples.
+    assert [
+        (p.seed, p.scale, p.faults) for p in with_axis
+    ] == [(p.seed, p.scale, p.faults) for p in without_axis]
+    assert {p.backend for p in with_axis} == {"objects", "columnar"}
+
+    # A synthetic runner whose digest leaks the backend must be caught.
+    def leaky_runner(point: FuzzPoint, workers, shards):
+        from repro.audit.fuzz import VariantOutcome
+
+        return (
+            VariantOutcome(
+                label=f"workers={workers} shards={shards}",
+                study_digest=f"digest-{point.backend}",
+                trace_digest="t",
+                metrics_digest="m",
+            ),
+            None,
+        )
+
+    config = FuzzConfig(
+        budget=6,
+        workers=(1,),
+        shards=(1,),
+        check_cache=False,
+        backends=("objects", "columnar"),
+    )
+    report = run_fuzz(config, runner=leaky_runner)
+    backend_divergences = [
+        d for d in report.divergences if d.axis == "backend"
+    ]
+    assert backend_divergences, "leaky backend digest must be flagged"
+    assert all(
+        d.fields == ("study_digest",) for d in backend_divergences
+    )
+
+    # An honest runner (backend-blind digests) fuzzes clean.
+    def honest_runner(point: FuzzPoint, workers, shards):
+        from repro.audit.fuzz import VariantOutcome
+
+        return (
+            VariantOutcome(
+                label=f"workers={workers} shards={shards}",
+                study_digest=f"digest-{point.seed}",
+                trace_digest="t",
+                metrics_digest="m",
+            ),
+            None,
+        )
+
+    clean = run_fuzz(config, runner=honest_runner)
+    assert clean.ok

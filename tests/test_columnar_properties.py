@@ -1,0 +1,356 @@
+"""Property-based invariants of the columnar dataset backend.
+
+Three laws from DESIGN.md §14, checked over hypothesis-generated data
+rather than simulated studies:
+
+* **Round-trip**: appending a row to a column table and materializing
+  it back is lossless — the rebuilt object equals the original, and
+  the column-native ``serialize`` matches the object serializer byte
+  for byte.
+* **Concat = merge**: folding shard parts by column concatenation
+  (``concat_run_parts``) serializes identically to materializing the
+  parts and merging them with ``merge_parallel_run_datasets``.
+* **Interning order-independence**: interned string/blob ids are
+  table-local and never reach the serialized bytes, so ingesting the
+  same parts in any order — which permutes every id assignment —
+  still serializes to the same bytes.
+"""
+
+import json
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.columnar import (
+    ColumnStore,
+    ColumnarRunDataset,
+    ColumnarStudyDataset,
+    CookieRecordTable,
+    CookieTable,
+    FlowTable,
+    StorageTable,
+    concat_run_parts,
+    concat_study_parts,
+    to_columnar,
+)
+from repro.core.dataset import (
+    CookieRecord,
+    RunDataset,
+    StudyDataset,
+    _serialize_cookie,
+    _serialize_flow,
+    merge_parallel_run_datasets,
+    serialize_run_dataset,
+    serialize_study_dataset,
+)
+from repro.net.cookies import Cookie
+from repro.net.http import Headers, HttpRequest, HttpResponse
+from repro.net.storage import StorageEntry
+from repro.proxy.flow import Flow
+
+# -- strategies --------------------------------------------------------------------
+
+HOSTS = (
+    "hbbtv.beispiel.de",
+    "track.tvping.com",
+    "stats.xiti.com",
+    "static.tvcdn.net",
+    "sync.adsync.net",
+)
+PATHS = ("", "collect", "img/pixel.gif", "sync", "app/index.html")
+QUERIES = ("", "uid=abc123", "fp=1&device=tv", "t=42")
+SAFE_TEXT = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789-_. ", max_size=16
+)
+TIMES = st.floats(min_value=0.0, max_value=1.0e9, allow_nan=False)
+
+#: Header names that are safe to fuzz — none of them collide with the
+#: netsim response headers, whose values must parse as numbers.
+REQUEST_HEADER_NAMES = ("Referer", "Accept", "X-Request-Id")
+RESPONSE_HEADER_NAMES = (
+    "Content-Type",
+    "Set-Cookie",
+    "Cache-Control",
+    "X-Frame-Options",
+)
+
+
+def _headers(names):
+    return st.lists(
+        st.tuples(st.sampled_from(names), SAFE_TEXT), max_size=4
+    ).map(Headers)
+
+
+URLS = st.builds(
+    lambda scheme, host, path, query: (
+        f"{scheme}://{host}/{path}" + (f"?{query}" if query else "")
+    ),
+    st.sampled_from(("http", "https")),
+    st.sampled_from(HOSTS),
+    st.sampled_from(PATHS),
+    st.sampled_from(QUERIES),
+)
+
+FLOWS = st.builds(
+    Flow,
+    request=st.builds(
+        HttpRequest,
+        method=st.sampled_from(("GET", "POST")),
+        url=URLS,
+        headers=_headers(REQUEST_HEADER_NAMES),
+        body=st.binary(max_size=20),
+        timestamp=TIMES,
+    ),
+    response=st.builds(
+        HttpResponse,
+        status=st.integers(min_value=100, max_value=599),
+        headers=_headers(RESPONSE_HEADER_NAMES),
+        body=st.binary(max_size=40),
+        timestamp=TIMES,
+    ),
+    channel_id=st.sampled_from(("ard", "zdf", "rtl", "")),
+    channel_name=st.sampled_from(("ARD", "ZDF", "RTL", "")),
+    run_name=st.just("run-1"),
+    intercepted_tls=st.booleans(),
+)
+
+COOKIES = st.builds(
+    Cookie,
+    name=st.text(alphabet="abcdefghij_", min_size=1, max_size=8),
+    value=SAFE_TEXT,
+    domain=st.sampled_from(HOSTS),
+    path=st.sampled_from(("/", "/app", "/x")),
+    expires=st.none() | TIMES,
+    secure=st.booleans(),
+    http_only=st.booleans(),
+    host_only=st.booleans(),
+    created_at=TIMES,
+    set_by_url=URLS,
+)
+
+RECORDS = st.builds(
+    CookieRecord,
+    cookie=COOKIES,
+    channel_id=st.sampled_from(("ard", "zdf", "rtl")),
+    run_name=st.just("run-1"),
+    first_party_etld1=st.sampled_from(("", "beispiel.de", "tvping.com")),
+)
+
+STORAGE = st.builds(
+    StorageEntry,
+    origin=st.sampled_from(tuple(f"http://{h}" for h in HOSTS)),
+    key=st.text(alphabet="abcdef", min_size=1, max_size=6),
+    value=SAFE_TEXT,
+    written_at=TIMES,
+    written_by_url=URLS,
+)
+
+RUNS = st.builds(
+    RunDataset,
+    run_name=st.just("run-1"),
+    date_label=st.sampled_from(("", "2023-05-17")),
+    flows=st.lists(FLOWS, max_size=6),
+    cookie_records=st.lists(RECORDS, max_size=4),
+    jar_dump=st.lists(COOKIES, max_size=4),
+    storage_entries=st.lists(STORAGE, max_size=3),
+    channels_measured=st.lists(
+        st.sampled_from(("ard", "zdf", "rtl")), max_size=3
+    ),
+    interaction_count=st.integers(min_value=0, max_value=50),
+    completed=st.booleans(),
+)
+
+
+def _bytes(view: dict) -> str:
+    return json.dumps(view, sort_keys=True, separators=(",", ":"))
+
+
+# -- round-trip: append → materialize is lossless ----------------------------------
+
+
+class TestRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(flows=st.lists(FLOWS, max_size=8))
+    def test_flow_rows_round_trip_losslessly(self, flows):
+        store = ColumnStore()
+        table = FlowTable()
+        for flow in flows:
+            table.append(flow, store)
+        assert len(table) == len(flows)
+        for row, flow in enumerate(flows):
+            assert table.materialize(row, store) == flow
+            assert table.serialize(row, store) == _serialize_flow(flow)
+
+    @settings(max_examples=60, deadline=None)
+    @given(cookies=st.lists(COOKIES, max_size=8))
+    def test_cookie_rows_round_trip_losslessly(self, cookies):
+        store = ColumnStore()
+        table = CookieTable()
+        for cookie in cookies:
+            table.append(cookie, store)
+        for row, cookie in enumerate(cookies):
+            assert table.materialize(row, store) == cookie
+            assert table.serialize(row, store) == _serialize_cookie(cookie)
+
+    @settings(max_examples=60, deadline=None)
+    @given(records=st.lists(RECORDS, max_size=6))
+    def test_record_rows_round_trip_losslessly(self, records):
+        store = ColumnStore()
+        table = CookieRecordTable()
+        for record in records:
+            table.append(record, store)
+        for row, record in enumerate(records):
+            assert table.materialize(row, store) == record
+
+    @settings(max_examples=60, deadline=None)
+    @given(entries=st.lists(STORAGE, max_size=6))
+    def test_storage_rows_round_trip_losslessly(self, entries):
+        store = ColumnStore()
+        table = StorageTable()
+        for entry in entries:
+            table.append(entry, store)
+        for row, entry in enumerate(entries):
+            assert table.materialize(row, store) == entry
+
+    @settings(max_examples=40, deadline=None)
+    @given(run=RUNS)
+    def test_run_ingest_serializes_byte_identically(self, run):
+        columnar = ColumnarRunDataset(
+            run_name=run.run_name,
+            store=ColumnStore(),
+            date_label=run.date_label,
+            completed=run.completed,
+        )
+        columnar.append_run(run)
+        assert _bytes(columnar.serialize_canonical()) == _bytes(
+            serialize_run_dataset(run)
+        )
+        # The duck-typed stats surface agrees too.
+        assert columnar.http_request_count == run.http_request_count
+        assert columnar.https_request_count == run.https_request_count
+        assert columnar.distinct_cookie_count() == run.distinct_cookie_count()
+        assert (
+            columnar.first_party_cookie_count()
+            == run.first_party_cookie_count()
+        )
+        assert (
+            columnar.third_party_cookie_count()
+            == run.third_party_cookie_count()
+        )
+
+
+# -- concat = merge ----------------------------------------------------------------
+
+
+PARTS = st.lists(RUNS, min_size=1, max_size=4)
+
+
+def _columnar_parts(parts, stores=None):
+    """Convert object parts to per-shard columnar parts (own stores)."""
+    converted = []
+    for index, part in enumerate(parts):
+        store = ColumnStore() if stores is None else stores[index]
+        columnar = ColumnarRunDataset(
+            run_name=part.run_name,
+            store=store,
+            date_label=part.date_label,
+            completed=part.completed,
+        )
+        columnar.append_run(part)
+        converted.append(columnar)
+    return converted
+
+
+class TestConcatIsMerge:
+    @settings(max_examples=40, deadline=None)
+    @given(parts=PARTS)
+    def test_column_concat_equals_object_merge(self, parts):
+        merged_objects = merge_parallel_run_datasets(parts)
+        merged_columns = concat_run_parts(
+            _columnar_parts(parts), ColumnStore()
+        )
+        assert _bytes(merged_columns.serialize_canonical()) == _bytes(
+            serialize_run_dataset(merged_objects)
+        )
+        assert merged_columns.completed == merged_objects.completed
+        assert (
+            merged_columns.interaction_count
+            == merged_objects.interaction_count
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(parts=PARTS)
+    def test_study_concat_equals_object_merge(self, parts):
+        object_study = StudyDataset()
+        object_study.add_run(merge_parallel_run_datasets(parts))
+        shard_studies = []
+        for part in parts:
+            shard = ColumnarStudyDataset()
+            shard.add_run(part)
+            shard_studies.append(shard)
+        merged = concat_study_parts(shard_studies)
+        assert _bytes(serialize_study_dataset(merged)) == _bytes(
+            serialize_study_dataset(object_study)
+        )
+        assert merged.digest() == object_study.digest()
+
+
+# -- interning order-independence --------------------------------------------------
+
+
+class TestInterningOrderIndependence:
+    @settings(max_examples=30, deadline=None)
+    @given(parts=PARTS, data=st.data())
+    def test_permuted_ingest_order_serializes_identically(self, parts, data):
+        """Permuting shard ingest order permutes every interned id
+        assignment, yet the concatenated result serializes to the same
+        bytes — ids are table-local and never reach the output."""
+        order = data.draw(st.permutations(range(len(parts))))
+
+        # Canonical: each part interns into a fresh store, in order.
+        canonical = concat_run_parts(_columnar_parts(parts), ColumnStore())
+
+        # Permuted: one shared store, parts ingested in permuted order,
+        # so every string/blob id lands on a different dense index.
+        shared = ColumnStore()
+        permuted_parts: dict[int, ColumnarRunDataset] = {}
+        for index in order:
+            permuted_parts[index] = _columnar_parts(
+                [parts[index]], stores=[shared]
+            )[0]
+        merged = concat_run_parts(
+            [permuted_parts[i] for i in range(len(parts))], ColumnStore()
+        )
+        assert _bytes(merged.serialize_canonical()) == _bytes(
+            canonical.serialize_canonical()
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(runs=st.lists(RUNS, min_size=1, max_size=3))
+    def test_conversion_does_not_depend_on_sibling_runs(self, runs):
+        """A run's serialized bytes are independent of which other runs
+        share its study store (interning state differs per study)."""
+        study = StudyDataset()
+        for index, run in enumerate(runs):
+            # Same generated content, distinct run identities.
+            study.add_run(
+                RunDataset(
+                    run_name=f"run-{index}",
+                    date_label=run.date_label,
+                    flows=list(run.flows),
+                    cookie_records=list(run.cookie_records),
+                    jar_dump=list(run.jar_dump),
+                    storage_entries=list(run.storage_entries),
+                    screenshots=list(run.screenshots),
+                    channels_measured=list(run.channels_measured),
+                    interaction_count=run.interaction_count,
+                    completed=run.completed,
+                )
+            )
+        whole = to_columnar(study)
+        for name, run in study.runs.items():
+            solo_study = StudyDataset()
+            solo_study.add_run(run)
+            solo = to_columnar(solo_study)
+            assert _bytes(solo.runs[name].serialize_canonical()) == _bytes(
+                whole.runs[name].serialize_canonical()
+            )
