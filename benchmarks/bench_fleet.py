@@ -1,0 +1,108 @@
+"""Fleet throughput: households measured per second, columnar backend.
+
+Runs one fleet study — default N=50 households on the columnar backend
+with a trimmed two-run protocol — through the sharded executor and
+persists households-per-second to ``BENCH_fleet.json`` (CI restores the
+previous file as the regression baseline; a >2x drop fails the bench).
+Worker-count independence of the digest is pinned separately by the
+fleet equivalence matrix (``tests/test_fleet.py``), so this bench only
+measures, never re-proves.
+
+Knobs (environment):
+
+* ``REPRO_FLEET_BENCH_N`` — fleet size (default 50);
+* ``REPRO_FLEET_BENCH_SCALE`` — world scale (default 0.02; independent
+  of ``REPRO_SCALE`` so the bench stays interactive);
+* ``REPRO_FLEET_BENCH_WORKERS`` — worker processes (default 4);
+* ``REPRO_FLEET_BENCH_PATH`` — where the JSON persists.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from benchmarks.conftest import SEED, emit
+from repro.core.runs import standard_runs
+from repro.fleet import run_fleet_study
+
+RESULT_PATH = Path(os.environ.get("REPRO_FLEET_BENCH_PATH", "BENCH_fleet.json"))
+#: Fail when households/sec drops below baseline / factor.
+REGRESSION_FACTOR = 2.0
+
+N_HOUSEHOLDS = int(os.environ.get("REPRO_FLEET_BENCH_N", "50"))
+FLEET_SCALE = float(os.environ.get("REPRO_FLEET_BENCH_SCALE", "0.02"))
+WORKERS = int(os.environ.get("REPRO_FLEET_BENCH_WORKERS", "4"))
+
+
+def test_fleet_throughput(benchmark):
+    runs = standard_runs(0)[:2]
+
+    def execute():
+        return run_fleet_study(
+            fleet_seed=SEED,
+            n_households=N_HOUSEHOLDS,
+            scale=FLEET_SCALE,
+            runs=runs,
+            workers=WORKERS,
+            shards=1,
+            backend="columnar",
+        )
+
+    started = time.perf_counter()
+    fleet = benchmark.pedantic(execute, rounds=1, iterations=1)
+    wall = time.perf_counter() - started
+
+    households_per_second = N_HOUSEHOLDS / wall if wall else 0.0
+    total_requests = fleet.dataset.total_requests()
+
+    result = {
+        "seed": SEED,
+        "n_households": N_HOUSEHOLDS,
+        "scale": FLEET_SCALE,
+        "workers": WORKERS,
+        "backend": "columnar",
+        "wall_seconds": round(wall, 2),
+        "total_requests": total_requests,
+        "households_per_second": round(households_per_second, 3),
+        "fleet_digest": fleet.digest(),
+    }
+
+    baseline = None
+    if RESULT_PATH.exists():
+        try:
+            baseline = json.loads(RESULT_PATH.read_text())
+        except (OSError, ValueError):
+            baseline = None
+    RESULT_PATH.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+
+    lines = [
+        f"{N_HOUSEHOLDS} households (scale {FLEET_SCALE}, {WORKERS} "
+        f"workers, columnar) in {wall:.1f}s "
+        f"= {households_per_second:.2f} households/sec",
+        f"{total_requests:,} HTTP(S) requests across the fleet",
+        f"fleet digest {fleet.digest()[:16]}…",
+        f"persisted to {RESULT_PATH}",
+    ]
+    if baseline is not None:
+        lines.append(
+            f"baseline: {baseline.get('households_per_second', 0):.2f} "
+            "households/sec"
+        )
+    emit("Fleet — household throughput", "\n".join(lines))
+
+    assert total_requests > 0
+    comparable = (
+        baseline is not None
+        and baseline.get("households_per_second")
+        and baseline.get("n_households") == N_HOUSEHOLDS
+        and baseline.get("scale") == FLEET_SCALE
+        and baseline.get("workers") == WORKERS
+    )
+    if comparable:
+        floor = baseline["households_per_second"] / REGRESSION_FACTOR
+        assert households_per_second >= floor, (
+            f"fleet throughput regressed >{REGRESSION_FACTOR}x: "
+            f"{households_per_second:.2f} households/sec vs baseline "
+            f"{baseline['households_per_second']:.2f}"
+        )

@@ -90,6 +90,17 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--households",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "simulate a fleet of N concurrent households (study/report "
+            "commands; --seed doubles as the fleet seed).  audit fuzz "
+            "widens its sampled axis to {1, N}"
+        ),
+    )
+    parser.add_argument(
         "--backend",
         choices=("objects", "columnar"),
         default="objects",
@@ -189,12 +200,17 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     arguments = _build_parser().parse_args(argv)
+    if arguments.households < 1:
+        print(f"--households must be >= 1, got {arguments.households}")
+        return 2
     if arguments.command == "cache":
         return _cache_command(arguments)
     if arguments.command == "audit":
         return _audit_command(arguments)
     if arguments.command == "funnel":
         return _funnel(arguments)
+    if arguments.households > 1:
+        return _fleet_command(arguments)
     return _with_study(arguments)
 
 
@@ -265,11 +281,18 @@ def _audit_command(arguments) -> int:
             # replacing it: backend divergences are only detectable
             # against the objects twin.
             backends = ("objects", arguments.backend)
+        households = (1,)
+        if arguments.households > 1:
+            # Like --backend, --households N widens the sampled axis
+            # ({1, N}) instead of replacing it: fleet points are only
+            # meaningful next to single-TV ones.
+            households = (1, arguments.households)
         config = FuzzConfig(
             budget=arguments.budget,
             base_seed=arguments.seed,
             netsim=arguments.netsim,
             backends=backends,
+            households=households,
         )
         report = run_fuzz(
             config, log=None if arguments.as_json else print
@@ -353,6 +376,54 @@ def _load_context(arguments):
         shards=arguments.shards,
         backend=arguments.backend,
     )
+
+
+def _fleet_command(arguments) -> int:
+    """``--households N`` routing: the study/report commands at fleet
+    scale.  The other study-based artifacts are single-TV by nature."""
+    if arguments.command not in ("study", "report"):
+        print(
+            f"--households applies to the study/report commands, "
+            f"not {arguments.command!r}"
+        )
+        return 2
+    from repro.fleet import run_fleet_study
+
+    fleet = run_fleet_study(
+        fleet_seed=arguments.seed,
+        n_households=arguments.households,
+        scale=arguments.scale,
+        faults=arguments.faults,
+        netsim=arguments.netsim,
+        workers=arguments.workers,
+        shards=arguments.shards,
+        backend=arguments.backend,
+    )
+
+    if arguments.command == "report":
+        from repro.analysis.report import generate_fleet_report
+
+        cache = _analysis_cache(arguments)
+        print(generate_fleet_report(fleet, cache=cache if cache else False))
+        return 0
+
+    print(
+        f"fleet: {fleet.n_households} households, seed "
+        f"{fleet.fleet_seed}, scale {fleet.world.scale}, "
+        f"{fleet.n_shards} shard(s)"
+    )
+    print(f"{'household':<18} {'device':<22} {'habit':<28} "
+          f"{'consent':<10} {'requests':>9}")
+    for result in fleet.households:
+        spec = result.spec
+        device = f"{spec.device_info.manufacturer} {spec.device_info.model}"
+        print(
+            f"{spec.household_id:<18} {device:<22} "
+            f"{spec.habit.name:<28} {spec.consent:<10} "
+            f"{result.dataset.total_requests():>9,}"
+        )
+    print(f"\nfleet digest: {fleet.digest()}")
+    return 0
 
 
 def _resolve(arguments, context, *names):

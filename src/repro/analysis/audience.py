@@ -1,0 +1,337 @@
+"""Audience-level analyses over a fleet of households.
+
+Three registry passes that only exist at population scale — the paper
+measures one TV, but "Watching TV with the Second-Party" (arXiv
+2409.06203) and WhoTracks.Me (arXiv 1804.08959) show what tracking
+looks like once many households are observable at once:
+
+* ``audience_sync`` — cookie-sync *rings*: connected components of the
+  owner→receiver domain graph across every household's §V-C3 sync
+  events, with the fraction of households each ring can join.
+* ``crossdevice`` — the household↔tracker bipartite reach graph: per
+  third-party eTLD+1, how many distinct households it was contacted
+  from (WhoTracks.Me-style reach statistics).
+* ``secondparty`` — ACR-style second-party exposure per household:
+  which households reached an ACR backend at all, and whether that
+  backend also tracks across devices (hence the ``crossdevice`` dep).
+
+All three run on a :class:`~repro.fleet.dataset.FleetStudyDataset`
+(duck-typed: anything with household-ID-ordered ``households``) and
+branch per household onto the vectorized columnar scans when the
+household dataset is columnar — fleet scale stays memory-lean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.cookiesync import _columnar_sync, detect_cookie_syncing
+from repro.analysis.parties import (
+    _columnar_first_parties,
+    identify_first_parties,
+)
+from repro.analysis.passes import PassContext, PassError, analysis_pass
+from repro.core.columnar import ColumnView
+
+#: eTLD+1s of ACR (automatic content recognition) second parties in the
+#: simulated tracker population — ads.samba.tv registers under samba.tv.
+ACR_ETLD1S = ("samba.tv",)
+
+
+def _fleet_households(dataset):
+    """The (household_id, dataset) pairs, or a typed registry error."""
+    households = getattr(dataset, "households", None)
+    if households is None:
+        raise PassError(
+            "audience passes need a fleet dataset "
+            "(FleetStudyDataset; run them via Study.fleet / run_fleet_study)"
+        )
+    return households
+
+
+# -- audience cookie-sync reach ----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SyncRing:
+    """One connected component of syncing domains and its audience."""
+
+    domains: tuple[str, ...]
+    household_ids: tuple[str, ...]
+    #: Fraction of the fleet this ring joined (households / N).
+    reach: float
+
+
+@dataclass(frozen=True)
+class AudienceSyncResult:
+    """Pass result: sync rings and their audience-level reach."""
+
+    n_households: int
+    potential_ids: int
+    synced_values: int
+    rings: tuple[SyncRing, ...]
+
+    @property
+    def max_reach(self) -> float:
+        return max((ring.reach for ring in self.rings), default=0.0)
+
+    def households_in_any_ring(self) -> int:
+        members = set()
+        for ring in self.rings:
+            members.update(ring.household_ids)
+        return len(members)
+
+
+def _sync_params(ctx: PassContext) -> dict:
+    return {"period": (ctx.period_start, ctx.period_end)}
+
+
+@analysis_pass("audience_sync", version=1, params=_sync_params)
+def run_audience_sync(dataset, ctx: PassContext) -> AudienceSyncResult:
+    """Cookie-sync rings across the fleet and their household reach."""
+    households = _fleet_households(dataset)
+    n_households = len(households)
+
+    parent: dict[str, str] = {}
+
+    def find(domain: str) -> str:
+        root = domain
+        while parent[root] != root:
+            root = parent[root]
+        while parent[domain] != root:
+            parent[domain], domain = root, parent[domain]
+        return root
+
+    def union(left: str, right: str) -> None:
+        for domain in (left, right):
+            parent.setdefault(domain, domain)
+        left_root, right_root = find(left), find(right)
+        if left_root != right_root:
+            # Deterministic root choice: the lexicographically smaller
+            # domain wins, independent of union order.
+            low, high = sorted((left_root, right_root))
+            parent[high] = low
+
+    potential_ids = 0
+    synced_values = 0
+    household_domains: list[tuple[str, frozenset[str]]] = []
+    for household_id, household_dataset in households:
+        view = ColumnView.of(household_dataset)
+        if view is not None:
+            report = _columnar_sync(view, ctx.period_start, ctx.period_end)
+        else:
+            report = detect_cookie_syncing(
+                household_dataset.all_cookie_records(),
+                household_dataset.all_flows(),
+                ctx.period_start,
+                ctx.period_end,
+            )
+        potential_ids += report.potential_ids
+        synced_values += report.synced_value_count
+        seen: set[str] = set()
+        for event in report.events:
+            union(event.owner_etld1, event.receiver_etld1)
+            seen.add(event.owner_etld1)
+            seen.add(event.receiver_etld1)
+        household_domains.append((household_id, frozenset(seen)))
+
+    components: dict[str, list[str]] = {}
+    for domain in sorted(parent):
+        components.setdefault(find(domain), []).append(domain)
+
+    rings = []
+    for root in sorted(components):
+        ring_domains = frozenset(components[root])
+        members = tuple(
+            household_id
+            for household_id, domains in household_domains
+            if domains & ring_domains
+        )
+        rings.append(
+            SyncRing(
+                domains=tuple(sorted(ring_domains)),
+                household_ids=members,
+                reach=len(members) / n_households,
+            )
+        )
+    rings.sort(key=lambda ring: (-ring.reach, ring.domains))
+    return AudienceSyncResult(
+        n_households=n_households,
+        potential_ids=potential_ids,
+        synced_values=synced_values,
+        rings=tuple(rings),
+    )
+
+
+# -- cross-device tracker graph ----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TrackerReach:
+    """One third-party eTLD+1 and how much of the fleet it reaches."""
+
+    etld1: str
+    households: int
+    reach: float
+
+
+@dataclass(frozen=True)
+class CrossDeviceResult:
+    """Pass result: the household↔tracker bipartite reach graph."""
+
+    n_households: int
+    node_count: int
+    edge_count: int
+    #: Every third-party eTLD+1 by descending household reach.
+    trackers: tuple[TrackerReach, ...]
+    #: Domains observed from at least two distinct households.
+    cross_device: tuple[str, ...]
+
+    def reach_of(self, etld1: str) -> float:
+        for tracker in self.trackers:
+            if tracker.etld1 == etld1:
+                return tracker.reach
+        return 0.0
+
+
+def _third_party_etld1s(household_dataset, ctx: PassContext) -> set[str]:
+    """The third-party eTLD+1s one household's traffic contacted."""
+    overrides = dict(ctx.first_party_overrides)
+    view = ColumnView.of(household_dataset)
+    if view is not None:
+        first_parties = _columnar_first_parties(view, overrides)
+        strings = view.strings.values
+        third: set[str] = set()
+        for _, table in view.flow_runs():
+            etld1_col = table.etld1
+            channel_col = table.channel_id
+            for row in range(len(table)):
+                etld1 = strings[etld1_col[row]]
+                if not etld1:
+                    continue
+                channel = strings[channel_col[row]]
+                if etld1 != first_parties.get(channel, ""):
+                    third.add(etld1)
+        return third
+    flows = list(household_dataset.all_flows())
+    first_parties = identify_first_parties(flows, manual_overrides=overrides)
+    return {
+        flow.etld1
+        for flow in flows
+        if flow.etld1
+        and flow.etld1 != first_parties.get(flow.channel_id, "")
+    }
+
+
+def _crossdevice_params(ctx: PassContext) -> dict:
+    return {"overrides": dict(ctx.first_party_overrides)}
+
+
+@analysis_pass("crossdevice", version=1, params=_crossdevice_params)
+def run_crossdevice(dataset, ctx: PassContext) -> CrossDeviceResult:
+    """Per-tracker household reach across the fleet."""
+    households = _fleet_households(dataset)
+    n_households = len(households)
+    domain_counts: dict[str, int] = {}
+    edge_count = 0
+    for _, household_dataset in households:
+        third = _third_party_etld1s(household_dataset, ctx)
+        edge_count += len(third)
+        for domain in sorted(third):
+            domain_counts[domain] = domain_counts.get(domain, 0) + 1
+    trackers = tuple(
+        TrackerReach(
+            etld1=domain, households=count, reach=count / n_households
+        )
+        for domain, count in sorted(
+            domain_counts.items(), key=lambda item: (-item[1], item[0])
+        )
+    )
+    return CrossDeviceResult(
+        n_households=n_households,
+        node_count=n_households + len(domain_counts),
+        edge_count=edge_count,
+        trackers=trackers,
+        cross_device=tuple(
+            tracker.etld1 for tracker in trackers if tracker.households >= 2
+        ),
+    )
+
+
+# -- ACR second-party exposure -----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class HouseholdExposure:
+    """One household's contact surface with the ACR second party."""
+
+    household_id: str
+    requests: int
+    channels: int
+
+
+@dataclass(frozen=True)
+class SecondPartyResult:
+    """Pass result: ACR-style second-party exposure per household."""
+
+    n_households: int
+    acr_etld1s: tuple[str, ...]
+    #: Only households with at least one ACR request, by descending
+    #: request count.
+    exposures: tuple[HouseholdExposure, ...]
+    exposed_households: int
+    #: Fraction of the fleet the second party can observe at all.
+    exposure_share: float
+    #: Whether the ACR backend is also a cross-device tracker (reaches
+    #: two or more households) per the upstream ``crossdevice`` pass.
+    cross_device: bool
+
+
+def _household_acr_exposure(
+    household_id: str, household_dataset
+) -> HouseholdExposure:
+    acr = frozenset(ACR_ETLD1S)
+    requests = 0
+    channels: set[str] = set()
+    view = ColumnView.of(household_dataset)
+    if view is not None:
+        strings = view.strings.values
+        for _, table in view.flow_runs():
+            etld1_col = table.etld1
+            channel_col = table.channel_id
+            for row in range(len(table)):
+                if strings[etld1_col[row]] in acr:
+                    requests += 1
+                    channels.add(strings[channel_col[row]])
+    else:
+        for flow in household_dataset.all_flows():
+            if flow.etld1 in acr:
+                requests += 1
+                channels.add(flow.channel_id)
+    return HouseholdExposure(
+        household_id=household_id, requests=requests, channels=len(channels)
+    )
+
+
+@analysis_pass("secondparty", version=1, deps=("crossdevice",))
+def run_secondparty(dataset, ctx: PassContext) -> SecondPartyResult:
+    """Which households the ACR second party can watch watching."""
+    households = _fleet_households(dataset)
+    n_households = len(households)
+    crossdevice = ctx.upstream("crossdevice")
+    exposures = [
+        _household_acr_exposure(household_id, household_dataset)
+        for household_id, household_dataset in households
+    ]
+    exposed = [e for e in exposures if e.requests > 0]
+    exposed.sort(key=lambda e: (-e.requests, e.household_id))
+    return SecondPartyResult(
+        n_households=n_households,
+        acr_etld1s=tuple(ACR_ETLD1S),
+        exposures=tuple(exposed),
+        exposed_households=len(exposed),
+        exposure_share=len(exposed) / n_households,
+        cross_device=any(
+            etld1 in crossdevice.cross_device for etld1 in ACR_ETLD1S
+        ),
+    )

@@ -57,6 +57,7 @@ _BUILTIN_PASS_MODULES = (
     "repro.analysis.children",
     "repro.analysis.runeffects",
     "repro.analysis.netsim",
+    "repro.analysis.audience",
     "repro.consent.annotate",
     "repro.policy.discrepancy",
 )

@@ -158,6 +158,98 @@ def generate_report(context, cache="default") -> str:
     return header + "\n" + "\n".join(s.as_markdown() for s in sections)
 
 
+#: The audience-level passes the fleet report resolves on top of the
+#: per-study document (``secondparty`` pulls in ``crossdevice``).
+FLEET_PASSES = ("audience_sync", "crossdevice", "secondparty")
+
+
+def generate_fleet_report(fleet, cache="default") -> str:
+    """The replication report for a fleet of households.
+
+    For a one-household fleet this *is* ``generate_report`` on the
+    wrapped single-TV study — byte for byte, pinning the N=1 reduction.
+    For N > 1 it renders a fleet header, the household roster, and the
+    audience-level analyses resolved through the same cached pass
+    registry the study report uses.
+    """
+    if fleet.study is not None:
+        return generate_report(fleet.study, cache=cache)
+    ctx = PassContext.for_study(fleet)
+    results = resolve_passes(
+        FLEET_PASSES, fleet.dataset, ctx, cache=coerce_cache(cache)
+    )
+    sections = [
+        _section_households(fleet),
+        _section_audience(results),
+    ]
+    header = (
+        "# Fleet replication report — "
+        '"Privacy from 5 PM to 6 AM" (DSN 2025)\n\n'
+        f"Fleet seed {fleet.fleet_seed}, {fleet.n_households} households, "
+        f"scale {fleet.world.scale}; "
+        f"{fleet.dataset.total_requests():,} HTTP(S) requests; "
+        f"fleet digest `{fleet.digest()[:16]}…`.\n"
+    )
+    return header + "\n" + "\n".join(s.as_markdown() for s in sections)
+
+
+def _section_households(fleet) -> ReportSection:
+    """The roster: who is watching what, when, under which consent."""
+    lines = [
+        "| household | device | habit | window | channels | consent "
+        "| requests |",
+        "|---|---|---|---|---|---|---|",
+    ]
+    for result in fleet.households:
+        spec = result.spec
+        habit = spec.habit
+        window = (
+            f"{habit.start_hour:02d}:00+{habit.span_hours}h"
+            if not habit.watches_everything
+            else "all day"
+        )
+        lines.append(
+            f"| `{spec.household_id}` | {spec.device_info.manufacturer} "
+            f"{spec.device_info.model} | {habit.name} | {window} | "
+            f"{len(spec.channel_ids)} | {spec.consent} | "
+            f"{result.dataset.total_requests():,} |"
+        )
+    return ReportSection("Fleet — households", "\n".join(lines))
+
+
+def _section_audience(results) -> ReportSection:
+    """Audience-level reach: sync rings, cross-device trackers, ACR."""
+    sync = results["audience_sync"]
+    cross = results["crossdevice"]
+    second = results["secondparty"]
+    top = ", ".join(
+        f"{t.etld1} ({t.households}/{cross.n_households})"
+        for t in cross.trackers[:5]
+    )
+    lines = [
+        f"- cookie-sync rings: {len(sync.rings)} across "
+        f"{sync.n_households} households "
+        f"({sync.potential_ids:,} potential ids, "
+        f"{sync.synced_values:,} synced values); widest ring reaches "
+        f"{sync.max_reach:.0%} of the fleet",
+        f"- tracker graph: {cross.node_count} nodes, "
+        f"{cross.edge_count} household↔tracker edges; "
+        f"{len(cross.cross_device)} third parties observed from two or "
+        f"more households",
+        f"- top trackers by household reach: {top or 'none'}",
+        f"- ACR second party ({', '.join(second.acr_etld1s)}): "
+        f"{second.exposed_households}/{second.n_households} households "
+        f"exposed ({second.exposure_share:.0%})"
+        + (", and it tracks cross-device" if second.cross_device else ""),
+    ]
+    for exposure in second.exposures[:3]:
+        lines.append(
+            f"  - `{exposure.household_id}`: {exposure.requests:,} "
+            f"request(s) across {exposure.channels} channel(s)"
+        )
+    return ReportSection("Fleet — audience reach", "\n".join(lines))
+
+
 def _section_metrics(context, stage_metrics) -> ReportSection | None:
     """The study's metrics snapshot plus the report's own stage costs."""
     obs = getattr(context, "obs", None)

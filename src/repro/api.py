@@ -44,7 +44,7 @@ from repro.simulation.study import (
 )
 from repro.simulation.world import World, build_world
 
-__all__ = ["Study", "StudyResult"]
+__all__ = ["FleetStudyResult", "Study", "StudyResult"]
 
 
 def _coerce_run_cache(cache) -> AnalysisCache | None:
@@ -111,6 +111,44 @@ class StudyResult:
 
         return format_overview_table(
             list(self.analyze("overview")["overview"].rows)
+        )
+
+
+@dataclass(frozen=True)
+class FleetStudyResult:
+    """Everything one finished fleet study produced.
+
+    The per-household datasets merge under the fleet monoid into
+    ``dataset``; ``digest`` is the fleet digest — a pure function of
+    ``(fleet_seed, n_households, scale, plan, n_shards)``.  On the N=1
+    reduction path ``study`` carries the equivalent single-TV
+    :class:`StudyResult` (otherwise ``None``).
+    """
+
+    dataset: Any  # FleetStudyDataset
+    households: tuple
+    digest: str
+    fleet_seed: int
+    n_households: int
+    scale: float
+    context: Any = field(repr=False)  # FleetContext
+    cache: AnalysisCache | None = field(default=None, repr=False)
+    study: StudyResult | None = field(default=None, repr=False)
+
+    def report(self) -> str:
+        """The fleet replication report (audience passes, cached)."""
+        from repro.analysis.report import generate_fleet_report
+
+        cache = self.cache if self.cache is not None else False
+        return generate_fleet_report(self.context, cache=cache)
+
+    def analyze(self, *names: str) -> dict[str, Any]:
+        """Resolve audience-level passes against the fleet dataset."""
+        from repro.analysis.passes import PassContext, resolve_passes
+
+        ctx = PassContext.for_study(self.context)
+        return resolve_passes(
+            list(names), self.dataset, ctx, cache=self.cache
         )
 
 
@@ -191,4 +229,69 @@ class Study:
             scale=self.effective_scale,
             context=context,
             cache=_coerce_run_cache(cache),
+        )
+
+    def fleet(
+        self,
+        households: int = 1,
+        *,
+        workers: int | None = None,
+        shards: int | None = None,
+        faults: str | FaultPlan | None = "off",
+        resilience: ResiliencePolicy | None = None,
+        netsim: Any = "off",
+        runs: list[RunSpec] | None = None,
+        cache: Any = True,
+        backend: str = "objects",
+    ) -> FleetStudyResult:
+        """Execute this study as a fleet of ``households`` households.
+
+        Each household watches concurrently with its own seeded device
+        identity, EPG-derived viewing habit, and consent disposition;
+        ``self.seed`` doubles as the fleet seed.  With ``households=1``
+        the fleet reduces byte-for-byte to :meth:`run` and the returned
+        result carries the equivalent :class:`StudyResult` as
+        ``.study``.  All execution knobs match :meth:`run`.
+        """
+        from repro.fleet import run_fleet_study
+
+        context = run_fleet_study(
+            fleet_seed=self.seed,
+            n_households=households,
+            scale=self.effective_scale,
+            config=self.config,
+            runs=runs,
+            faults=faults if faults is not None else "off",
+            resilience=resilience,
+            netsim=netsim,
+            workers=workers,
+            shards=shards,
+            backend=backend,
+        )
+        resolved_cache = _coerce_run_cache(cache)
+        study = None
+        if context.study is not None:
+            single = context.study
+            study = StudyResult(
+                dataset=single.dataset,
+                funnel=single.filtering_report,
+                health=single.health,
+                trace=single.trace_events,
+                metrics=single.metrics,
+                digest=single.dataset.digest(),
+                seed=self.seed,
+                scale=self.effective_scale,
+                context=single,
+                cache=resolved_cache,
+            )
+        return FleetStudyResult(
+            dataset=context.dataset,
+            households=context.households,
+            digest=context.digest(),
+            fleet_seed=self.seed,
+            n_households=households,
+            scale=self.effective_scale,
+            context=context,
+            cache=resolved_cache,
+            study=study,
         )

@@ -38,6 +38,7 @@ DEFAULT_SHARDS = (1, 3)
 DEFAULT_SCALES = (0.02, 0.03)
 DEFAULT_FAULTS = ("off", "light", "chaos")
 DEFAULT_BACKENDS = ("objects",)
+DEFAULT_HOUSEHOLDS = (1,)
 
 #: The digest fields every variant comparison checks.
 DIGEST_FIELDS = ("study_digest", "trace_digest", "metrics_digest")
@@ -60,6 +61,10 @@ class FuzzPoint:
     #: the same reason netsim stays out of the main stream: enabling
     #: the axis must not reshuffle the (seed, scale, faults) samples.
     backend: str = "objects"
+    #: Fleet size — ``1`` is the classic single-TV study; larger values
+    #: fuzz :func:`repro.fleet.run_fleet_study` across the same worker ×
+    #: shard matrix.  Sampled from its own RNG stream, like ``backend``.
+    households: int = 1
 
     def label(self) -> str:
         label = f"seed={self.seed} scale={self.scale} faults={self.faults}"
@@ -67,6 +72,8 @@ class FuzzPoint:
             label += f" netsim={self.netsim}"
         if self.backend != "objects":
             label += f" backend={self.backend}"
+        if self.households != 1:
+            label += f" households={self.households}"
         return label
 
     def as_dict(self) -> dict:
@@ -76,6 +83,7 @@ class FuzzPoint:
             "faults": self.faults,
             "netsim": self.netsim,
             "backend": self.backend,
+            "households": self.households,
         }
 
 
@@ -86,17 +94,20 @@ def sample_points(
     faults: Sequence[str] = DEFAULT_FAULTS,
     netsim: str = "off",
     backends: Sequence[str] = DEFAULT_BACKENDS,
+    households: Sequence[int] = DEFAULT_HOUSEHOLDS,
 ) -> list[FuzzPoint]:
     """Sample ``budget`` points deterministically from ``base_seed``.
 
     ``netsim`` is applied verbatim to every point (no RNG draws), so
     fuzzing with the co-simulation on visits the *same* (seed, scale,
-    faults) samples as fuzzing with it off.  ``backends`` is sampled
-    from a second RNG stream keyed off ``base_seed`` so that widening
-    the backend axis likewise leaves the primary samples untouched.
+    faults) samples as fuzzing with it off.  ``backends`` and
+    ``households`` are each sampled from their *own* RNG stream keyed
+    off ``base_seed`` so that widening either axis likewise leaves the
+    primary samples (and each other) untouched.
     """
     rng = random.Random(base_seed)
     backend_rng = random.Random(f"backend:{base_seed}")
+    household_rng = random.Random(f"households:{base_seed}")
     return [
         FuzzPoint(
             seed=rng.randrange(1, 100_000),
@@ -104,6 +115,7 @@ def sample_points(
             faults=rng.choice(list(faults)),
             netsim=netsim,
             backend=backend_rng.choice(list(backends)),
+            households=household_rng.choice(list(households)),
         )
         for _ in range(budget)
     ]
@@ -208,6 +220,10 @@ class FuzzConfig:
     #: its ``objects`` twin and demands byte-identical digests
     #: (``axis="backend"`` divergences).
     backends: tuple[str, ...] = DEFAULT_BACKENDS
+    #: Fleet sizes the sampler may assign to a point.  Fleet points run
+    #: :func:`repro.fleet.run_fleet_study` across the same matrix; the
+    #: fleet digest must be identical for every worker count.
+    households: tuple[int, ...] = DEFAULT_HOUSEHOLDS
 
 
 # -- execution ---------------------------------------------------------------------
@@ -217,6 +233,31 @@ def _study_runner(point: FuzzPoint, workers: int, shards: int):
     """Execute one real study variant; returns (outcome, context)."""
     # Imported lazily so the audit tooling stays importable (and fast)
     # without pulling the whole simulation stack in.
+    if point.households > 1:
+        # Fleet point: the contract is the same, over the fleet digest.
+        # No context is returned — the cache check resolves study-level
+        # passes, which a fleet dataset deliberately rejects.
+        from repro.fleet import run_fleet_study
+
+        fleet = run_fleet_study(
+            fleet_seed=point.seed,
+            n_households=point.households,
+            scale=point.scale,
+            faults=point.faults,
+            netsim=point.netsim,
+            workers=workers,
+            shards=shards,
+            backend=point.backend,
+        )
+        outcome = VariantOutcome(
+            label=f"workers={workers} shards={shards}",
+            study_digest=fleet.digest(),
+            trace_digest=trace_digest(fleet.trace_events),
+            metrics_digest=metrics_digest(fleet.metrics),
+            events=tuple(fleet.trace_events),
+        )
+        return outcome, None
+
     from repro.simulation.study import fault_plan_for_world, run_study
     from repro.simulation.world import build_world
 
@@ -309,6 +350,7 @@ def run_fuzz(
             config.faults,
             netsim=config.netsim,
             backends=config.backends,
+            households=config.households,
         )
     )
 

@@ -36,7 +36,10 @@ import zlib
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from multiprocessing import get_context
-from typing import Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
+
+if TYPE_CHECKING:
+    from repro.fleet.household import HouseholdSpec
 
 from repro.core.columnar import (
     ColumnarStudyDataset,
@@ -106,6 +109,11 @@ class ShardTask:
     #: digest is computed ("objects" keeps the classic heap layout;
     #: "columnar" ships struct-of-arrays columns back to the merge).
     backend: str = "objects"
+    #: Fleet execution: the household whose stack identity (device,
+    #: user agent, browser RNG, clock start) this shard runs under.
+    #: ``None`` — the default, and the single-study path — keeps the
+    #: stack byte-for-byte the paper's original rig.
+    household: "HouseholdSpec | None" = None
 
 
 @dataclass
@@ -185,15 +193,21 @@ def execute_shard(task: ShardTask) -> ShardResult:
         faults=task.plan,
         resilience=task.resilience,
         netsim=task.netsim,
+        household=task.household,
     )
     obs = context.obs
+    span_attrs = {
+        "index": task.shard.index,
+        "n_shards": task.shard.n_shards,
+        "channels": len(task.shard.channel_ids),
+    }
+    if task.household is not None:
+        # Per-household span attribution: every shard span of a fleet
+        # study names its household, so a merged fleet trace remains
+        # attributable after concatenation.
+        span_attrs["household"] = task.household.household_id
     shard_span = (
-        obs.tracer.begin_span(
-            "shard",
-            index=task.shard.index,
-            n_shards=task.shard.n_shards,
-            channels=len(task.shard.channel_ids),
-        )
+        obs.tracer.begin_span("shard", **span_attrs)
         if obs is not None
         else None
     )

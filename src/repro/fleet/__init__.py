@@ -1,0 +1,38 @@
+"""Population-scale fleet simulation: N households watching concurrently.
+
+The paper measures one rooted TV; this package scales the same
+deterministic measurement stack to an *audience*.  A fleet study gives
+each simulated household a distinct seeded device identity (device ID,
+user-agent variation, its own cookie jar), a viewing habit drawn
+deterministically from the EPG (genre preferences and a daypart
+schedule spanning the paper's 5 PM–6 AM window), and a consent
+disposition — then executes every household on the existing
+channel-sharded executor and merges the per-household datasets under
+the established permutation-invariant monoid laws.  The fleet study
+digest is a pure function of ``(fleet_seed, n_households, scale, plan,
+n_shards)``; a fleet of one household reduces byte-for-byte to the
+single-TV :func:`~repro.simulation.study.run_study` path.
+"""
+
+from __future__ import annotations
+
+from repro.fleet.dataset import FleetStudyDataset, merge_fleet_datasets
+from repro.fleet.household import (
+    DEFAULT_HABIT,
+    HouseholdSpec,
+    ViewingHabit,
+    plan_fleet,
+)
+from repro.fleet.study import FleetContext, HouseholdResult, run_fleet_study
+
+__all__ = [
+    "DEFAULT_HABIT",
+    "FleetContext",
+    "FleetStudyDataset",
+    "HouseholdResult",
+    "HouseholdSpec",
+    "ViewingHabit",
+    "merge_fleet_datasets",
+    "plan_fleet",
+    "run_fleet_study",
+]

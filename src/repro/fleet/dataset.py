@@ -1,0 +1,99 @@
+"""The fleet-level dataset: per-household studies under monoid laws.
+
+A :class:`FleetStudyDataset` maps household IDs to their (object or
+columnar) study datasets.  Households are kept *separate* — audience
+analyses need to know which household saw what — and normalized into
+household-ID order on construction, which makes
+:func:`merge_fleet_datasets` a permutation-invariant, associative
+monoid exactly like the shard merges below it: worker completion order
+can never leak into the fleet digest.
+
+``digest()`` folds the per-household content digests (already
+backend-invariant: columnar datasets serialize byte-identically to the
+object layout) into one fleet digest, so the fleet digest is a pure
+function of ``(fleet_seed, n_households, scale, plan, n_shards)``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Iterable, Tuple
+
+#: (household_id, per-household study dataset) — object or columnar.
+HouseholdEntry = Tuple[str, object]
+
+
+class FleetStudyDataset:
+    """An immutable household-ID-ordered collection of study datasets."""
+
+    def __init__(self, households: Iterable[HouseholdEntry]) -> None:
+        pairs = sorted(households, key=lambda pair: pair[0])
+        ids = [household_id for household_id, _ in pairs]
+        if len(set(ids)) != len(ids):
+            duplicates = sorted({i for i in ids if ids.count(i) > 1})
+            raise ValueError(f"duplicate household ids in fleet: {duplicates}")
+        self._households: tuple[HouseholdEntry, ...] = tuple(pairs)
+        self._digest: str | None = None
+
+    @property
+    def households(self) -> tuple[HouseholdEntry, ...]:
+        """(household_id, dataset) pairs in household-ID order."""
+        return self._households
+
+    @property
+    def n_households(self) -> int:
+        return len(self._households)
+
+    def household_ids(self) -> tuple[str, ...]:
+        return tuple(household_id for household_id, _ in self._households)
+
+    def dataset_for(self, household_id: str):
+        for candidate, dataset in self._households:
+            if candidate == household_id:
+                return dataset
+        raise KeyError(household_id)
+
+    def total_requests(self) -> int:
+        return sum(
+            dataset.total_requests() for _, dataset in self._households
+        )
+
+    def digest(self) -> str:
+        """Content digest over the ordered per-household digests.
+
+        Memoized; the per-household digests are themselves memoized on
+        their datasets (and prewarmed by the shard workers), so a fleet
+        digest after a sharded run costs one small hash.
+        """
+        if self._digest is None:
+            payload = json.dumps(
+                [
+                    [household_id, dataset.digest()]
+                    for household_id, dataset in self._households
+                ],
+                separators=(",", ":"),
+            )
+            self._digest = hashlib.sha256(
+                ("fleet\x00" + payload).encode("utf-8")
+            ).hexdigest()
+        return self._digest
+
+
+def merge_fleet_datasets(
+    parts: Iterable[FleetStudyDataset],
+) -> FleetStudyDataset:
+    """Fold fleet datasets into one — the fleet-level monoid operation.
+
+    Household IDs must be disjoint across parts (each household's study
+    is complete within its part).  The result re-sorts by household ID,
+    so the merge is invariant under any permutation and any grouping of
+    its inputs; the hypothesis suite pins both laws.
+    """
+    parts = list(parts)
+    if not parts:
+        raise ValueError("cannot merge zero fleet datasets")
+    pairs: list[HouseholdEntry] = []
+    for part in parts:
+        pairs.extend(part.households)
+    return FleetStudyDataset(pairs)

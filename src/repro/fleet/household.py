@@ -1,0 +1,245 @@
+"""Household and viewing-habit models for fleet studies.
+
+A household is one simulated living room: a TV with its own device
+identity (manufacturer/model, user agent, IP/MAC, browser RNG stream),
+a viewing habit derived deterministically from the EPG (which genres
+the household follows and during which daypart it watches), and a
+consent disposition (how eagerly it interacts with notices).  Every
+field is a pure function of ``(fleet_seed, index)`` — two processes
+planning the same fleet agree bit-for-bit, which is what lets the
+sharded executor run households anywhere.
+
+A fleet of **one** household is, by construction, the paper's original
+rig: :func:`plan_fleet` returns the baseline identity (the rooted LG
+43UK6300LLB, the stock user agent, the full channel corpus, the default
+clock), so the fleet layer is unobservable at N=1.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+import zlib
+from dataclasses import dataclass
+
+from repro.clock import DEFAULT_START
+from repro.dvb.epg import GENRES
+from repro.tv.device import LG_43UK6300LLB, DeviceInfo
+
+#: Daypart windows a household's habit may draw: (name, start hour,
+#: span in hours).  Together the evening windows span the paper's
+#: 5 PM–6 AM case-study window; "allday" is the baseline 09:00 start.
+DAYPARTS = (
+    ("allday", 9, 21),
+    ("prime", 17, 6),
+    ("late", 20, 8),
+    ("night", 22, 8),
+)
+
+#: Consent dispositions and the interaction-press budget each implies:
+#: an "engaged" household works through notices and app menus, a
+#: "reluctant" one backs out early.  "baseline" is the paper's fixed
+#: ten-press sequence.
+CONSENT_DISPOSITIONS = ("baseline", "engaged", "reluctant")
+CONSENT_PRESSES = {"baseline": 10, "engaged": 14, "reluctant": 6}
+
+#: HbbTV device population a non-baseline household may own:
+#: (manufacturer, model, OS version).
+_DEVICE_MODELS = (
+    ("LGE", "43UK6300LLB", "WEBOS4.0 05.40.26"),
+    ("LGE", "55UN74006LB", "WEBOS5.0 04.30.55"),
+    ("Samsung", "GQ55Q60T", "Tizen 5.5"),
+    ("Philips", "50PUS8505", "SAPHI 4.7"),
+    ("Sony", "KD-49XG9005", "Android 9.0"),
+    ("Panasonic", "TX-55HXW904", "HomeScreen 5.0"),
+)
+
+_LANGUAGES = ("German", "German", "German", "English", "Turkish")
+
+_UA_TEMPLATE = (
+    "Mozilla/5.0 (Web0S; Linux/SmartTV) AppleWebKit/537.36 (KHTML, like "
+    "Gecko) Chrome/79.0 Safari/537.36 HbbTV/1.5.1 (+DRM; {mf}; {model};)"
+)
+
+
+@dataclass(frozen=True)
+class ViewingHabit:
+    """What and when one household watches.
+
+    ``genres`` restricts the channel corpus to channels whose EPG airs
+    at least one matching show inside the household's daypart window;
+    an empty tuple means the household watches everything.
+    ``channel_cap`` bounds how many channels the household actually
+    follows (0 = uncapped).
+    """
+
+    name: str
+    genres: tuple[str, ...] = ()
+    start_hour: int = 9
+    span_hours: int = 24
+    channel_cap: int = 0
+
+    @property
+    def watches_everything(self) -> bool:
+        return not self.genres and self.span_hours >= 24 and not self.channel_cap
+
+    def window_hours(self) -> tuple[int, ...]:
+        """The local hours (0–23) inside the viewing window."""
+        span = min(self.span_hours, 24)
+        return tuple((self.start_hour + h) % 24 for h in range(span))
+
+
+#: The paper's protocol: every channel, all day.
+DEFAULT_HABIT = ViewingHabit(name="default", genres=(), start_hour=9, span_hours=24)
+
+
+@dataclass(frozen=True)
+class HouseholdSpec:
+    """One planned household — picklable, pure data.
+
+    ``household_id`` doubles as the household's device ID: the first
+    eight bytes of ``sha256("fleet:{fleet_seed}:household:{index}")``,
+    which the property tests hold collision-free across sampled
+    ``(fleet_seed, N)``.  ``device_seed`` (the next eight bytes) seeds
+    the browser's identifier-minting RNG, so two households never share
+    minted tokens.
+    """
+
+    index: int
+    fleet_seed: int
+    household_id: str
+    device_seed: int
+    device_info: DeviceInfo
+    habit: ViewingHabit
+    consent: str
+    clock_start: float
+    channel_ids: tuple[str, ...]
+    #: True only for the single household of an N=1 fleet: the paper's
+    #: original rig, executed with the identity knobs all at their
+    #: defaults so the fleet layer is byte-for-byte unobservable.
+    is_baseline: bool = False
+
+
+def household_identity(fleet_seed: int, index: int) -> tuple[str, int]:
+    """``(household_id, device_seed)`` for one household slot."""
+    digest = hashlib.sha256(
+        f"fleet:{fleet_seed}:household:{index}".encode("utf-8")
+    ).digest()
+    return digest[:8].hex(), int.from_bytes(digest[8:16], "big")
+
+
+def _mac_address(household_id: str) -> str:
+    """A locally administered MAC derived from the household id."""
+    octets = [household_id[i : i + 2] for i in range(0, 12, 2)]
+    octets[0] = "02"  # locally administered, unicast
+    return ":".join(octets)
+
+
+def habit_channel_ids(world, habit: ViewingHabit, salt: str = "") -> tuple[str, ...]:
+    """The channels a habit selects from the world's HbbTV corpus.
+
+    A channel qualifies when its programme guide airs at least one show
+    of a followed genre inside the habit's daypart window.  The
+    optional ``channel_cap`` keeps only the cap-sized subset ranked by
+    a stable salted hash (crc32 — deterministic across processes and
+    Python versions), re-ordered back to corpus order.  A habit that
+    matches nothing falls back to the full corpus: every household
+    watches *something*.
+    """
+    corpus = [channel.channel_id for channel in world.hbbtv_channels]
+    if habit.watches_everything:
+        return tuple(corpus)
+    hours = habit.window_hours()
+    selected = []
+    for channel in world.hbbtv_channels:
+        guide = getattr(channel, "guide", None)
+        if guide is None:
+            if not habit.genres:
+                selected.append(channel.channel_id)
+            continue
+        for show in guide.shows:
+            if habit.genres and show.genre not in habit.genres:
+                continue
+            if any(show.airs_at(hour) for hour in hours):
+                selected.append(channel.channel_id)
+                break
+    if not selected:
+        selected = list(corpus)
+    if habit.channel_cap and len(selected) > habit.channel_cap:
+        ranked = sorted(
+            selected,
+            key=lambda cid: (zlib.crc32(f"habit:{salt}:{cid}".encode()), cid),
+        )[: habit.channel_cap]
+        keep = frozenset(ranked)
+        selected = [cid for cid in selected if cid in keep]
+    return tuple(selected)
+
+
+def baseline_household(world, fleet_seed: int) -> HouseholdSpec:
+    """The single household of an N=1 fleet: the paper's original rig."""
+    household_id, _ = household_identity(fleet_seed, 0)
+    return HouseholdSpec(
+        index=0,
+        fleet_seed=fleet_seed,
+        household_id=household_id,
+        device_seed=world.seed,
+        device_info=LG_43UK6300LLB,
+        habit=DEFAULT_HABIT,
+        consent="baseline",
+        clock_start=DEFAULT_START,
+        channel_ids=tuple(c.channel_id for c in world.hbbtv_channels),
+        is_baseline=True,
+    )
+
+
+def plan_fleet(world, fleet_seed: int, n_households: int) -> list[HouseholdSpec]:
+    """Plan ``n_households`` deterministic households over one world.
+
+    Every household draws its identity and habit from its *own* RNG
+    stream (``fleet:{fleet_seed}:household:{index}``), so growing the
+    fleet never reshuffles existing households — household 3 of a
+    20-household fleet is household 3 of a 5-household fleet.
+    """
+    if n_households < 1:
+        raise ValueError(f"a fleet needs at least one household, got {n_households}")
+    if n_households == 1:
+        return [baseline_household(world, fleet_seed)]
+    specs = []
+    for index in range(n_households):
+        household_id, device_seed = household_identity(fleet_seed, index)
+        rng = random.Random(f"fleet:{fleet_seed}:household:{index}")
+        manufacturer, model, os_version = rng.choice(_DEVICE_MODELS)
+        language = rng.choice(_LANGUAGES)
+        device_info = DeviceInfo(
+            manufacturer=manufacturer,
+            model=model,
+            os_version=os_version,
+            language=language,
+            ip_address=f"192.168.{1 + index // 250}.{2 + index % 250}",
+            mac_address=_mac_address(household_id),
+            user_agent=_UA_TEMPLATE.format(mf=manufacturer, model=model),
+        )
+        daypart, start_hour, span_hours = rng.choice(DAYPARTS)
+        genres = tuple(sorted(rng.sample(GENRES, k=rng.randint(1, 3))))
+        habit = ViewingHabit(
+            name=f"{daypart}:{'+'.join(genres)}",
+            genres=genres,
+            start_hour=start_hour,
+            span_hours=span_hours,
+            channel_cap=rng.randint(6, 18),
+        )
+        consent = rng.choice(CONSENT_DISPOSITIONS)
+        specs.append(
+            HouseholdSpec(
+                index=index,
+                fleet_seed=fleet_seed,
+                household_id=household_id,
+                device_seed=device_seed,
+                device_info=device_info,
+                habit=habit,
+                consent=consent,
+                clock_start=DEFAULT_START + ((start_hour - 9) % 24) * 3600.0,
+                channel_ids=habit_channel_ids(world, habit, salt=household_id),
+            )
+        )
+    return specs

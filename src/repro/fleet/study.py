@@ -1,0 +1,310 @@
+"""Fleet study execution on the channel-sharded executor.
+
+``run_fleet_study`` plans N households (:mod:`repro.fleet.household`),
+shards each household's habit-selected channel corpus, and executes the
+resulting household×shard task list on the *existing* sharded executor
+(:mod:`repro.core.shard`) — one ``spawn`` pool runs every household's
+shards concurrently.  Per-household shards merge with
+:func:`~repro.core.shard.merge_shard_results` (the established
+permutation-invariant monoid), and households merge into a
+:class:`~repro.fleet.dataset.FleetStudyDataset` (the fleet-level
+monoid), so the fleet digest is a pure function of
+``(fleet_seed, n_households, scale, plan, n_shards)`` — identical for
+every worker count and both dataset backends.
+
+**N=1 reduction.**  A fleet of one household delegates directly to
+:func:`~repro.simulation.study.run_study` on the same world and knobs:
+study digest, report, funnel, health, metrics, and trace are
+byte-for-byte the single-TV path's.  The differential tests pin this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.core.columnar import validate_backend
+from repro.core.config import DEFAULT_CONFIG, MeasurementConfig
+from repro.core.filtering import FilteringReport
+from repro.core.health import StudyHealth
+from repro.core.resilience import ResiliencePolicy
+from repro.core.runs import RunSpec
+from repro.core.shard import (
+    DEFAULT_SHARDS,
+    ShardTask,
+    execute_shard_tasks,
+    merge_shard_results,
+    shard_channel_ids,
+)
+from repro.fleet.dataset import FleetStudyDataset
+from repro.fleet.household import CONSENT_PRESSES, HouseholdSpec, plan_fleet
+from repro.net.faults import FaultPlan
+from repro.net.netsim import NetSimConfig, coerce_netsim
+from repro.obs import MetricsRegistry, TraceEvent, merge_metrics
+from repro.simulation.study import (
+    StudyContext,
+    configured_scale,
+    fault_plan_for_world,
+    run_study,
+)
+from repro.simulation.world import World, build_world
+
+
+@dataclass
+class HouseholdResult:
+    """One household's finished study inside a fleet."""
+
+    spec: HouseholdSpec
+    dataset: object  # StudyDataset or ColumnarStudyDataset
+    digest: str
+    filtering_report: FilteringReport | None = None
+    health: StudyHealth | None = None
+    trace: tuple[TraceEvent, ...] = ()
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+    period_start: float = 0.0
+    period_end: float = 0.0
+
+
+@dataclass
+class FleetContext:
+    """Everything a finished fleet study exposes to audience analyses.
+
+    Shaped like a :class:`~repro.simulation.study.StudyContext` where
+    it matters (``world``, ``period_start``/``period_end``,
+    ``dataset``), so :meth:`~repro.analysis.passes.PassContext.for_study`
+    and the analysis cache work unchanged on the fleet level.
+    """
+
+    world: World
+    fleet_seed: int
+    scale: float
+    n_households: int
+    n_shards: int
+    workers: int
+    backend: str
+    households: tuple[HouseholdResult, ...]
+    dataset: FleetStudyDataset
+    period_start: float = 0.0
+    period_end: float = 0.0
+    #: The wrapped single-TV context on the N=1 reduction path (``None``
+    #: for real fleets): the fleet layer added nothing on top of it.
+    study: StudyContext | None = None
+
+    def digest(self) -> str:
+        return self.dataset.digest()
+
+    @property
+    def trace_events(self) -> tuple[TraceEvent, ...]:
+        """Household traces concatenated in household-index order."""
+        events: list[TraceEvent] = []
+        for household in self.households:
+            events.extend(household.trace)
+        return tuple(events)
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The commutative merge of every household's registry."""
+        parts = [h.metrics for h in self.households if h.metrics is not None]
+        return merge_metrics(parts) if parts else MetricsRegistry()
+
+
+def _coerce_fault_plan(world: World, faults) -> FaultPlan | None:
+    if faults is None or isinstance(faults, FaultPlan):
+        return faults
+    return fault_plan_for_world(world, faults)
+
+
+def _household_config(
+    spec: HouseholdSpec, config: MeasurementConfig
+) -> MeasurementConfig:
+    """Apply the household's consent disposition to the protocol."""
+    presses = CONSENT_PRESSES.get(spec.consent, config.interaction_presses)
+    if presses == config.interaction_presses:
+        return config
+    return replace(config, interaction_presses=presses)
+
+
+def build_fleet_tasks(
+    world: World,
+    specs: list[HouseholdSpec],
+    config: MeasurementConfig = DEFAULT_CONFIG,
+    runs: list[RunSpec] | None = None,
+    faults: FaultPlan | None = None,
+    resilience: ResiliencePolicy | None = None,
+    netsim: NetSimConfig | str | None = None,
+    n_shards: int = 1,
+    backend: str = "objects",
+) -> list[ShardTask]:
+    """Plan the household×shard task list for one fleet study.
+
+    Each household's habit-selected channel corpus is partitioned into
+    ``n_shards`` shards with the same stable hash the single-study
+    executor uses; tasks are emitted household-major, ``n_shards`` per
+    household, so callers can regroup results by slicing.
+    """
+    netsim_config = coerce_netsim(netsim)
+    if resilience is None and (
+        (faults is not None and not faults.is_empty)
+        or netsim_config is not None
+    ):
+        # Mirror make_context: a faulty or co-simulated study always
+        # runs resilient.
+        resilience = ResiliencePolicy()
+    tasks: list[ShardTask] = []
+    for spec in specs:
+        household_config = _household_config(spec, config)
+        for shard in shard_channel_ids(spec.channel_ids, world.seed, n_shards):
+            tasks.append(
+                ShardTask(
+                    seed=world.seed,
+                    scale=world.scale,
+                    shard=shard,
+                    config=household_config,
+                    runs=tuple(runs) if runs is not None else None,
+                    plan=(
+                        faults.for_shard(shard.index, n_shards)
+                        if faults is not None
+                        else None
+                    ),
+                    resilience=resilience,
+                    netsim=(
+                        netsim_config.for_shard(shard.index, n_shards)
+                        if netsim_config is not None
+                        else None
+                    ),
+                    backend=validate_backend(backend),
+                    household=spec,
+                )
+            )
+    return tasks
+
+
+def run_fleet_study(
+    fleet_seed: int = 7,
+    n_households: int = 1,
+    scale: float | None = None,
+    config: MeasurementConfig = DEFAULT_CONFIG,
+    runs: list[RunSpec] | None = None,
+    faults: FaultPlan | str | None = None,
+    resilience: ResiliencePolicy | None = None,
+    *,
+    netsim: NetSimConfig | str | None = None,
+    workers: int | None = None,
+    shards: int | None = None,
+    backend: str = "objects",
+) -> FleetContext:
+    """Execute a fleet study of ``n_households`` concurrent households.
+
+    ``faults`` accepts a preset name or a prebuilt plan, like the CLI.
+    ``workers``/``shards`` follow :func:`run_study`: the shard count
+    (default 1; :data:`~repro.core.shard.DEFAULT_SHARDS` when only
+    ``workers`` is given) is part of the determinism contract, the
+    worker count never is.
+    """
+    validate_backend(backend)
+    if n_households < 1:
+        raise ValueError(
+            f"a fleet needs at least one household, got {n_households}"
+        )
+    if scale is None:
+        scale = configured_scale()
+    world = build_world(seed=fleet_seed, scale=scale)
+    plan = _coerce_fault_plan(world, faults)
+    specs = plan_fleet(world, fleet_seed, n_households)
+
+    if n_households == 1:
+        # The reduction path: one household with the default habit IS
+        # the single-TV study — delegate so every byte matches.
+        context = run_study(
+            world,
+            config,
+            runs=runs,
+            faults=plan,
+            resilience=resilience,
+            netsim=netsim,
+            workers=workers,
+            shards=shards,
+            backend=backend,
+        )
+        household = HouseholdResult(
+            spec=specs[0],
+            dataset=context.dataset,
+            digest=context.dataset.digest(),
+            filtering_report=context.filtering_report,
+            health=context.health,
+            trace=context.trace_events,
+            metrics=context.metrics,
+            period_start=context.period_start,
+            period_end=context.period_end,
+        )
+        return FleetContext(
+            world=world,
+            fleet_seed=fleet_seed,
+            scale=scale,
+            n_households=1,
+            n_shards=context.n_shards if context.n_shards is not None else 1,
+            workers=context.workers if context.workers is not None else 1,
+            backend=backend,
+            households=(household,),
+            dataset=FleetStudyDataset(
+                [(household.spec.household_id, context.dataset)]
+            ),
+            period_start=context.period_start,
+            period_end=context.period_end,
+            study=context,
+        )
+
+    n_shards = shards if shards is not None else (
+        DEFAULT_SHARDS if workers is not None else 1
+    )
+    worker_count = workers if workers is not None else 1
+    tasks = build_fleet_tasks(
+        world,
+        specs,
+        config=config,
+        runs=runs,
+        faults=plan,
+        resilience=resilience,
+        netsim=netsim,
+        n_shards=n_shards,
+        backend=backend,
+    )
+    results = execute_shard_tasks(tasks, workers=worker_count)
+
+    households: list[HouseholdResult] = []
+    for position, spec in enumerate(specs):
+        merged = merge_shard_results(
+            results[position * n_shards : (position + 1) * n_shards]
+        )
+        households.append(
+            HouseholdResult(
+                spec=spec,
+                dataset=merged.dataset,
+                digest=merged.dataset.digest(),
+                filtering_report=merged.filtering_report,
+                health=merged.health,
+                trace=merged.trace,
+                metrics=(
+                    merged.metrics
+                    if merged.metrics is not None
+                    else MetricsRegistry()
+                ),
+                period_start=merged.period_start,
+                period_end=merged.period_end,
+            )
+        )
+    dataset = FleetStudyDataset(
+        [(h.spec.household_id, h.dataset) for h in households]
+    )
+    return FleetContext(
+        world=world,
+        fleet_seed=fleet_seed,
+        scale=scale,
+        n_households=n_households,
+        n_shards=n_shards,
+        workers=worker_count,
+        backend=backend,
+        households=tuple(households),
+        dataset=dataset,
+        period_start=min(h.period_start for h in households),
+        period_end=max(h.period_end for h in households),
+    )

@@ -136,6 +136,7 @@ def make_context(
     faults: FaultPlan | None = None,
     resilience: ResiliencePolicy | None = None,
     netsim: NetSimConfig | str | None = None,
+    household=None,
 ) -> StudyContext:
     """Assemble (but do not run) the measurement stack for a world.
 
@@ -154,8 +155,20 @@ def make_context(
     either knob (and no explicit ``resilience``), the stack is exactly
     the original happy path — no wrapper, no retries, no extra RNG
     draws.
+
+    ``household`` (a :class:`~repro.fleet.household.HouseholdSpec`, or
+    anything with ``clock_start``/``device_info``/``device_seed``)
+    re-identifies the stack for fleet execution: the clock starts at
+    the household's daypart, the TV carries the household's device
+    identity and user agent, and the browser mints identifiers from
+    the household's own RNG stream.  ``None`` — every non-fleet call —
+    leaves the stack byte-for-byte the paper's rig.
     """
-    clock = SimClock()
+    clock = (
+        SimClock(start=household.clock_start)
+        if household is not None
+        else SimClock()
+    )
     obs = Observability.for_clock(clock)
     attributor = ChannelAttributor()
     for channel_id, host in world.single_channel_hosts.items():
@@ -204,9 +217,18 @@ def make_context(
             ),
             netsim=netsim_transport,
         )
-    tv = SmartTV(
-        proxy, clock, app_registry=world.app_registry, seed=world.seed
-    )
+    if household is not None:
+        tv = SmartTV(
+            proxy,
+            clock,
+            device_info=household.device_info,
+            app_registry=world.app_registry,
+            seed=household.device_seed,
+        )
+    else:
+        tv = SmartTV(
+            proxy, clock, app_registry=world.app_registry, seed=world.seed
+        )
     antenna = Antenna()
     received = antenna.scan(world.satellites)
     tv.install_channel_list(received)

@@ -45,6 +45,11 @@ class TvBrowser:
         self.transport = transport
         self.clock = clock
         self.device_info = device_info
+        #: The UA every request carries: the device's own (fleet
+        #: households vary it) or the stock LG string.
+        self.user_agent = (
+            getattr(device_info, "user_agent", "") or USER_AGENT
+        )
         self.cookie_jar = CookieJar()
         self.local_storage = LocalStorage()
         self._rng = random.Random(f"browser:{seed}")
@@ -85,7 +90,7 @@ class TvBrowser:
 
     def _issue(self, url: str, referer: str | None) -> HttpResponse:
         parsed = URL.parse(url)
-        headers = Headers([("User-Agent", USER_AGENT)])
+        headers = Headers([("User-Agent", self.user_agent)])
         if referer:
             headers.add("Referer", referer)
         cookie_header = self.cookie_jar.cookie_header_for(parsed, self.clock.now)

@@ -35,6 +35,9 @@ class DeviceInfo:
     language: str
     ip_address: str = "192.168.178.42"
     mac_address: str = "cc:2d:8c:aa:bb:42"
+    #: Per-device User-Agent override for fleet households; the empty
+    #: string means the stock :data:`repro.tv.browser.USER_AGENT`.
+    user_agent: str = ""
 
     def as_params(self) -> dict[str, str]:
         """The query parameters leaking apps attach to tracker URLs."""

@@ -1,0 +1,342 @@
+"""Differential and cache tests for the fleet subsystem.
+
+Three contracts are pinned here:
+
+* **N=1 reduction** — a fleet of one household with the default habit
+  is byte-for-byte the single-TV ``run_study`` path: study digest,
+  report text, funnel, health, metrics snapshot, and canonical trace.
+* **Fleet equivalence matrix** — per shard count, the fleet digest is
+  identical for every worker count and both dataset backends (the
+  digest is a pure function of ``(fleet_seed, n_households, scale,
+  plan, n_shards)``; like the single-study contract, the shard count
+  is *part of* the function, the worker count never is).  Set
+  ``REPRO_FLEET_FULL=1`` to widen the matrix to N ∈ {5, 20} and
+  workers {1, 2, 4}.
+* **Audience passes through the cache registry** — warm hits are
+  byte-equal to cold computes, and bumping a dependency pass's version
+  re-keys its dependents.
+"""
+
+import os
+
+import pytest
+
+from repro.analysis.passes import (
+    PassContext,
+    PassError,
+    get_pass,
+    pass_keys,
+    register_pass,
+    resolve_passes,
+)
+from repro.analysis.report import (
+    FLEET_PASSES,
+    generate_fleet_report,
+    generate_report,
+)
+from repro.cache import AnalysisCache
+from repro.cache.codec import canonical_json, encode
+from repro.core.runs import standard_runs
+from repro.fleet import run_fleet_study
+from repro.obs import metrics_digest, trace_digest, trace_to_jsonl
+from repro.simulation.study import fault_plan_for_world, run_study
+from repro.simulation.world import build_world
+
+SCALE = float(os.environ.get("REPRO_SCALE") or 0.02)
+FULL_MATRIX = bool(os.environ.get("REPRO_FLEET_FULL"))
+
+#: Two of the five paper runs — enough surface for every analysis,
+#: small enough to keep the multi-variant matrix interactive.
+SHORT_RUNS = standard_runs(0)[:2]
+
+_FLEETS: dict = {}
+
+
+def _fleet(seed, n, *, workers=None, shards=None, backend="objects"):
+    """Memoized fleet execution so tests share identical variants."""
+    key = (seed, n, workers, shards, backend)
+    if key not in _FLEETS:
+        _FLEETS[key] = run_fleet_study(
+            fleet_seed=seed,
+            n_households=n,
+            scale=SCALE,
+            runs=SHORT_RUNS,
+            workers=workers,
+            shards=shards,
+            backend=backend,
+        )
+    return _FLEETS[key]
+
+
+class TestReduction:
+    """The fleet layer must be unobservable at N=1."""
+
+    @pytest.fixture(scope="class")
+    def pair(self):
+        world = build_world(seed=7, scale=SCALE)
+        plan = fault_plan_for_world(world, "light")
+        single = run_study(world, runs=SHORT_RUNS, faults=plan)
+        fleet = run_fleet_study(
+            fleet_seed=7,
+            n_households=1,
+            scale=SCALE,
+            runs=SHORT_RUNS,
+            faults="light",
+        )
+        return single, fleet
+
+    def test_digest_identical(self, pair):
+        single, fleet = pair
+        assert fleet.households[0].digest == single.dataset.digest()
+
+    def test_report_identical(self, pair):
+        single, fleet = pair
+        assert generate_fleet_report(fleet, cache=None) == generate_report(
+            single, cache=None
+        )
+
+    def test_funnel_identical(self, pair):
+        single, fleet = pair
+        assert fleet.households[0].filtering_report == single.filtering_report
+
+    def test_health_identical(self, pair):
+        single, fleet = pair
+        assert single.health is not None and single.health.has_activity
+        assert fleet.households[0].health is not None
+        assert (
+            fleet.households[0].health.totals() == single.health.totals()
+        )
+        assert fleet.households[0].health == single.health
+
+    def test_metrics_identical(self, pair):
+        single, fleet = pair
+        assert metrics_digest(fleet.metrics) == metrics_digest(
+            single.metrics
+        )
+
+    def test_trace_identical(self, pair):
+        single, fleet = pair
+        assert trace_to_jsonl(fleet.trace_events) == trace_to_jsonl(
+            single.trace_events
+        )
+        assert trace_digest(fleet.trace_events) == trace_digest(
+            single.trace_events
+        )
+
+    def test_baseline_household_is_stock_identity(self, pair):
+        _, fleet = pair
+        spec = fleet.households[0].spec
+        assert spec.is_baseline
+        assert spec.device_info.user_agent == ""
+        assert spec.habit.watches_everything
+
+
+def _matrix_sizes():
+    return (5, 20) if FULL_MATRIX else (3,)
+
+
+def _matrix_workers():
+    return (1, 2, 4) if FULL_MATRIX else (1, 2)
+
+
+class TestEquivalenceMatrix:
+    """Per shard count, the digest never depends on workers/backend."""
+
+    @pytest.mark.parametrize("shards", (1, 3))
+    @pytest.mark.parametrize("n", _matrix_sizes())
+    def test_fleet_digest_invariant(self, n, shards):
+        baseline = _fleet(11, n, workers=1, shards=shards)
+        digests = {baseline.digest()}
+        household_digests = {
+            tuple(h.digest for h in baseline.households)
+        }
+        for workers in _matrix_workers()[1:]:
+            variant = _fleet(11, n, workers=workers, shards=shards)
+            digests.add(variant.digest())
+            household_digests.add(
+                tuple(h.digest for h in variant.households)
+            )
+        columnar = _fleet(
+            11, n, workers=1, shards=shards, backend="columnar"
+        )
+        digests.add(columnar.digest())
+        household_digests.add(
+            tuple(h.digest for h in columnar.households)
+        )
+        assert len(digests) == 1
+        assert len(household_digests) == 1
+
+    def test_shard_count_is_part_of_the_contract(self):
+        # Like the single-study executor, a different shard count is a
+        # different (equally valid) deterministic timeline.
+        assert (
+            _fleet(11, 3, workers=1, shards=1).digest()
+            != _fleet(11, 3, workers=1, shards=3).digest()
+        )
+
+    def test_growing_the_fleet_keeps_existing_households(self):
+        small = _fleet(11, 3, workers=1, shards=1)
+        # Household identity (and measured bytes) for the first
+        # households never reshuffle when the fleet grows.
+        specs = [h.spec.household_id for h in small.households]
+        digests = [h.digest for h in small.households]
+        if FULL_MATRIX:
+            large = _fleet(11, 5, workers=1, shards=1)
+            assert [
+                h.spec.household_id for h in large.households[:3]
+            ] == specs
+            assert [h.digest for h in large.households[:3]] == digests
+        else:
+            assert len(set(specs)) == 3
+            assert len(set(digests)) == 3
+
+    def test_household_span_attribution(self):
+        fleet = _fleet(11, 3, workers=1, shards=1)
+        for household in fleet.households:
+            shard_spans = [
+                e
+                for e in household.trace
+                if e.name == "shard" and e.kind == "begin"
+            ]
+            assert shard_spans
+            assert all(
+                dict(e.attrs).get("household")
+                == household.spec.household_id
+                for e in shard_spans
+            )
+
+
+def _passes_blob(results) -> str:
+    return canonical_json(encode(results))
+
+
+class TestAudiencePassCache:
+    """The three audience passes resolve through the cache registry."""
+
+    @pytest.fixture(scope="class")
+    def fleet(self):
+        return _fleet(11, 3, workers=1, shards=1)
+
+    def test_declared_registry_shape(self):
+        sync = get_pass("audience_sync")
+        cross = get_pass("crossdevice")
+        second = get_pass("secondparty")
+        assert sync.version == 1 and sync.deps == ()
+        assert cross.version == 1 and cross.deps == ()
+        assert second.version == 1 and second.deps == ("crossdevice",)
+
+    def test_rejects_non_fleet_dataset(self):
+        world = build_world(seed=7, scale=SCALE)
+        study = run_study(world, runs=SHORT_RUNS)
+        with pytest.raises(PassError, match="fleet dataset"):
+            resolve_passes(
+                ["audience_sync"], study.dataset, PassContext()
+            )
+
+    def test_warm_hit_byte_equal_to_cold(self, fleet):
+        ctx = PassContext.for_study(fleet)
+        uncached = _passes_blob(
+            resolve_passes(FLEET_PASSES, fleet.dataset, ctx, cache=None)
+        )
+        cache = AnalysisCache()
+        cold = _passes_blob(
+            resolve_passes(FLEET_PASSES, fleet.dataset, ctx, cache=cache)
+        )
+        before = cache.stats().hits
+        warm = _passes_blob(
+            resolve_passes(FLEET_PASSES, fleet.dataset, ctx, cache=cache)
+        )
+        assert cache.stats().hits >= before + len(FLEET_PASSES)
+        assert cold == uncached
+        assert warm == uncached
+
+    def test_columnar_branch_results_identical(self, fleet):
+        columnar = _fleet(11, 3, workers=1, shards=1, backend="columnar")
+        obj = _passes_blob(
+            resolve_passes(
+                FLEET_PASSES,
+                fleet.dataset,
+                PassContext.for_study(fleet),
+                cache=None,
+            )
+        )
+        col = _passes_blob(
+            resolve_passes(
+                FLEET_PASSES,
+                columnar.dataset,
+                PassContext.for_study(columnar),
+                cache=None,
+            )
+        )
+        assert obj == col
+
+    def test_dependency_version_bump_rekeys_dependents(self, fleet):
+        ctx = PassContext.for_study(fleet)
+        names = ["audience_sync", "secondparty"]
+        before = pass_keys(names, fleet.dataset, ctx)
+        original = get_pass("crossdevice")
+        try:
+            register_pass(
+                type(original)(
+                    name=original.name,
+                    version=original.version + 1,
+                    fn=original.fn,
+                    deps=original.deps,
+                    params=original.params,
+                ),
+                replace=True,
+            )
+            after = pass_keys(names, fleet.dataset, ctx)
+        finally:
+            register_pass(original, replace=True)
+        # The bumped dep re-keys itself and its dependent …
+        assert after["crossdevice"] != before["crossdevice"]
+        assert after["secondparty"] != before["secondparty"]
+        # … and nothing else.
+        assert after["audience_sync"] == before["audience_sync"]
+
+
+class TestFleetReport:
+    def test_audience_reach_section_present(self):
+        fleet = _fleet(11, 3, workers=1, shards=1)
+        report = generate_fleet_report(fleet, cache=None)
+        assert "## Fleet — audience reach" in report
+        assert "## Fleet — households" in report
+        assert f"{fleet.n_households} households" in report
+        for household in fleet.households:
+            assert household.spec.household_id in report
+
+
+class TestFleetCli:
+    def test_study_command(self, capsys):
+        from repro.__main__ import main
+
+        assert (
+            main(
+                [
+                    "--seed",
+                    "11",
+                    "--scale",
+                    str(SCALE),
+                    "--households",
+                    "2",
+                    "study",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "fleet: 2 households" in out
+        assert "fleet digest:" in out
+
+    def test_non_fleet_command_rejected(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["--households", "2", "pixels"]) == 2
+        assert "study/report" in capsys.readouterr().out
+
+    def test_bad_household_count_rejected(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["--households", "0", "study"]) == 2
+        assert ">= 1" in capsys.readouterr().out

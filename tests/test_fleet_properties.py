@@ -1,0 +1,204 @@
+"""Property tests for the fleet monoid and household identity.
+
+The fleet-level merge (:func:`repro.fleet.merge_fleet_datasets`) must
+obey the same laws the shard merge already satisfies: permutation
+invariance and associativity, with the fleet digest as the observable.
+Household identity derivation must be collision-free and prefix-stable
+(growing a fleet never reshuffles existing households), and the audit
+fuzzer's households axis must not disturb the primary sample stream.
+
+These run against lightweight stub datasets (anything with a
+``digest()`` is a valid fleet member), so hypothesis can afford real
+example counts without executing studies.
+"""
+
+import hashlib
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.audit.fuzz import sample_points
+from repro.fleet import FleetStudyDataset, merge_fleet_datasets
+from repro.fleet.household import (
+    CONSENT_DISPOSITIONS,
+    DAYPARTS,
+    household_identity,
+    plan_fleet,
+)
+from repro.simulation.world import build_world
+
+
+class StubDataset:
+    """The minimal fleet-member contract: a stable content digest."""
+
+    def __init__(self, payload: str) -> None:
+        self.payload = payload
+
+    def digest(self) -> str:
+        return hashlib.sha256(self.payload.encode("utf-8")).hexdigest()
+
+    def total_requests(self) -> int:
+        return len(self.payload)
+
+
+def _households(ids):
+    return [(hid, StubDataset(f"payload:{hid}")) for hid in ids]
+
+
+HOUSEHOLD_IDS = st.lists(
+    st.text(
+        alphabet="0123456789abcdef", min_size=4, max_size=16
+    ),
+    min_size=1,
+    max_size=8,
+    unique=True,
+)
+
+
+class TestMergeLaws:
+    @settings(max_examples=80, deadline=None)
+    @given(ids=HOUSEHOLD_IDS, data=st.data())
+    def test_permutation_invariant(self, ids, data):
+        pairs = _households(ids)
+        shuffled = data.draw(st.permutations(pairs))
+        left = FleetStudyDataset(pairs)
+        right = FleetStudyDataset(shuffled)
+        assert left.digest() == right.digest()
+        assert left.household_ids() == right.household_ids()
+
+    @settings(max_examples=80, deadline=None)
+    @given(ids=HOUSEHOLD_IDS, split=st.data())
+    def test_associative(self, ids, split):
+        pairs = _households(ids)
+        cut_a = split.draw(
+            st.integers(min_value=0, max_value=len(pairs))
+        )
+        cut_b = split.draw(
+            st.integers(min_value=cut_a, max_value=len(pairs))
+        )
+        parts = [
+            FleetStudyDataset(chunk)
+            for chunk in (
+                pairs[:cut_a],
+                pairs[cut_a:cut_b],
+                pairs[cut_b:],
+            )
+            if chunk
+        ]
+        if len(parts) < 2:
+            return
+        left_first = merge_fleet_datasets(
+            [merge_fleet_datasets(parts[:2])] + parts[2:]
+        )
+        right_first = merge_fleet_datasets(
+            parts[:1] + [merge_fleet_datasets(parts[1:])]
+        )
+        flat = merge_fleet_datasets(parts)
+        assert left_first.digest() == right_first.digest() == flat.digest()
+
+    def test_duplicate_household_rejected(self):
+        pairs = _households(["aa", "aa"])
+        with pytest.raises(ValueError, match="duplicate"):
+            FleetStudyDataset(pairs)
+
+    def test_empty_merge_rejected(self):
+        with pytest.raises(ValueError):
+            merge_fleet_datasets([])
+
+
+class TestHouseholdIdentity:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        fleet_seed=st.integers(min_value=0, max_value=2**31),
+        n=st.integers(min_value=1, max_value=64),
+    )
+    def test_device_ids_collision_free(self, fleet_seed, n):
+        identities = [
+            household_identity(fleet_seed, index) for index in range(n)
+        ]
+        household_ids = [hid for hid, _ in identities]
+        device_seeds = [seed for _, seed in identities]
+        assert len(set(household_ids)) == n
+        assert len(set(device_seeds)) == n
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        fleet_seed=st.integers(min_value=0, max_value=2**31),
+        index=st.integers(min_value=0, max_value=1000),
+    )
+    def test_identity_is_pure(self, fleet_seed, index):
+        assert household_identity(fleet_seed, index) == household_identity(
+            fleet_seed, index
+        )
+
+
+#: One tiny world shared by every plan_fleet example — building worlds
+#: inside hypothesis examples would dominate the runtime.
+_WORLD = None
+
+
+def _world():
+    global _WORLD
+    if _WORLD is None:
+        _WORLD = build_world(seed=7, scale=0.02)
+    return _WORLD
+
+
+class TestPlanFleet:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        fleet_seed=st.integers(min_value=0, max_value=10_000),
+        # n ≥ 3 so both plans are real fleets: N=1 is the baseline
+        # reduction (the paper's stock rig), deliberately *not* the
+        # prefix of larger fleets.
+        n=st.integers(min_value=3, max_value=12),
+    )
+    def test_plans_are_prefix_stable_and_valid(self, fleet_seed, n):
+        world = _world()
+        smaller = plan_fleet(world, fleet_seed, n - 1)
+        larger = plan_fleet(world, fleet_seed, n)
+        # Growing the fleet appends — existing households untouched.
+        assert larger[: n - 1] == smaller
+        corpus = {channel.channel_id for channel in world.hbbtv_channels}
+        daypart_names = {name for name, _, _ in DAYPARTS}
+        seen_ids = set()
+        for spec in larger:
+            assert spec.household_id not in seen_ids
+            seen_ids.add(spec.household_id)
+            assert spec.consent in CONSENT_DISPOSITIONS
+            assert spec.channel_ids
+            assert set(spec.channel_ids) <= corpus
+            assert spec.habit.name.split(":")[0] in daypart_names
+
+    def test_single_household_is_baseline(self):
+        specs = plan_fleet(_world(), 7, 1)
+        assert len(specs) == 1
+        assert specs[0].is_baseline
+        assert specs[0].habit.watches_everything
+        assert tuple(specs[0].channel_ids) == tuple(
+            channel.channel_id for channel in _world().hbbtv_channels
+        )
+
+    def test_rejects_empty_fleet(self):
+        with pytest.raises(ValueError):
+            plan_fleet(_world(), 7, 0)
+
+
+class TestFuzzHouseholdAxis:
+    def test_primary_stream_unchanged_by_axis(self):
+        base = sample_points(6, 13)
+        widened = sample_points(6, 13, households=(1, 4, 16))
+        assert [
+            (p.seed, p.scale, p.faults, p.netsim, p.backend) for p in base
+        ] == [
+            (p.seed, p.scale, p.faults, p.netsim, p.backend)
+            for p in widened
+        ]
+        assert all(p.households == 1 for p in base)
+        assert {p.households for p in widened} <= {1, 4, 16}
+
+    def test_fleet_point_label_and_dict(self):
+        point = sample_points(8, 3, households=(9,))[0]
+        assert point.households == 9
+        assert "households=9" in point.label()
+        assert point.as_dict()["households"] == 9

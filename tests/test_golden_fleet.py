@@ -1,0 +1,87 @@
+"""Golden-master regression for the fleet digest.
+
+Pins the fleet digest — and every per-household digest beneath it — of
+a small fixed fleet, for both the unsharded and the 2-shard timeline.
+Anything that changes what a household measures (habit derivation,
+device identity, consent presses, clock offsets, merge order) moves
+these digests; regenerate only when the change is intentional::
+
+    REPRO_UPDATE_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_golden_fleet.py
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core.runs import standard_runs
+from repro.fleet import run_fleet_study
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "fleet_digests.json"
+GOLDEN_SEED = 7
+GOLDEN_SCALE = 0.02  # fixed on purpose: independent of REPRO_SCALE
+GOLDEN_HOUSEHOLDS = 3
+
+
+def _fleet_fingerprint(fleet) -> dict:
+    return {
+        "digest": fleet.digest(),
+        "households": [
+            {
+                "id": h.spec.household_id,
+                "device": h.spec.device_info.model,
+                "habit": h.spec.habit.name,
+                "consent": h.spec.consent,
+                "digest": h.digest,
+                "requests": h.dataset.total_requests(),
+            }
+            for h in fleet.households
+        ],
+    }
+
+
+def _compute() -> dict:
+    runs = standard_runs(0)[:2]
+    unsharded = run_fleet_study(
+        fleet_seed=GOLDEN_SEED,
+        n_households=GOLDEN_HOUSEHOLDS,
+        scale=GOLDEN_SCALE,
+        runs=runs,
+    )
+    sharded = run_fleet_study(
+        fleet_seed=GOLDEN_SEED,
+        n_households=GOLDEN_HOUSEHOLDS,
+        scale=GOLDEN_SCALE,
+        runs=runs,
+        workers=1,
+        shards=2,
+    )
+    return {
+        "seed": GOLDEN_SEED,
+        "scale": GOLDEN_SCALE,
+        "n_households": GOLDEN_HOUSEHOLDS,
+        "unsharded": _fleet_fingerprint(unsharded),
+        "sharded_2": _fleet_fingerprint(sharded),
+    }
+
+
+def test_fleet_digests_match_golden_master():
+    actual = _compute()
+    if os.environ.get("REPRO_UPDATE_GOLDEN"):
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_text(json.dumps(actual, indent=2) + "\n")
+        pytest.skip(f"golden file regenerated at {GOLDEN_PATH}")
+    assert GOLDEN_PATH.exists(), (
+        f"golden file missing: {GOLDEN_PATH}\n"
+        "Generate it with REPRO_UPDATE_GOLDEN=1 pytest tests/test_golden_fleet.py"
+    )
+    expected = json.loads(GOLDEN_PATH.read_text())
+    assert actual == expected, (
+        "Fleet digest drifted from the golden master.\n"
+        f"  expected: {json.dumps(expected, indent=2)}\n"
+        f"  actual:   {json.dumps(actual, indent=2)}\n"
+        "If the change intentionally alters household planning or "
+        "measurement, regenerate with REPRO_UPDATE_GOLDEN=1 and review "
+        "the diff; otherwise you broke fleet determinism."
+    )
