@@ -1,0 +1,162 @@
+"""Service front-door throughput: cache-hot duplicate submissions.
+
+Measures the whole service path a duplicate submission takes — TCP
+connect, HTTP parse, schema validation, canonical-key hashing, dedup
+lookup, response encode — with execution stubbed out, so the number is
+pure service overhead, not study wall time.  That is the path a
+dashboard or a fleet of probes hammers: the first submission executes,
+every identical one after it must be answered from the dedup table at
+interactive latency.
+
+Two numbers persist to ``BENCH_service.json``:
+
+* ``hot_submissions_per_second`` — duplicate POSTs answered per second
+  against a live job table (the acceptance path: ``created: false``,
+  no execution spawned);
+* ``status_reads_per_second`` — ``GET /studies/{id}`` polls per
+  second, the other high-frequency client pattern.
+
+A >2x throughput regression against the persisted baseline (restored
+by CI as a build artifact) fails the bench.
+"""
+
+import http.client
+import json
+import os
+import time
+from pathlib import Path
+
+from benchmarks.conftest import emit
+from repro.cache import AnalysisCache
+from repro.service import ServiceThread
+
+#: Where the numbers persist (and where the regression baseline lives).
+RESULT_PATH = Path(
+    os.environ.get("REPRO_SERVICE_BENCH_PATH", "BENCH_service.json")
+)
+#: Fail when hot-submission throughput drops below baseline / factor.
+REGRESSION_FACTOR = 2.0
+
+#: Duplicate submissions timed per round.
+HOT_SUBMISSIONS = 200
+STATUS_READS = 200
+
+BODY = json.dumps({"seed": 7, "scale": 0.1}).encode("utf-8")
+
+
+class _StubResult:
+    digest = "bench"
+    metrics = None
+
+    def to_json_summary(self):
+        return {"kind": "study", "digest": self.digest}
+
+    def report(self):
+        return "# bench report\n"
+
+
+def _stub_executor(submission, publish):
+    return _StubResult()
+
+
+def _post_study(port: int) -> dict:
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    connection.request("POST", "/studies", body=BODY)
+    response = connection.getresponse()
+    payload = json.loads(response.read())
+    connection.close()
+    assert response.status in (200, 202), response.status
+    return payload
+
+
+def _get(port: int, path: str) -> dict:
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    connection.request("GET", path)
+    response = connection.getresponse()
+    payload = json.loads(response.read())
+    connection.close()
+    assert response.status == 200, response.status
+    return payload
+
+
+def test_service_hot_submission_throughput(benchmark, tmp_path):
+    service = ServiceThread(
+        cache=AnalysisCache(directory=tmp_path / "cache"),
+        executor=_stub_executor,
+    )
+    service.start()
+    try:
+        # Warm: the one real admission; wait until it completes so every
+        # timed POST dedups against a finished job.
+        first = _post_study(service.port)
+        assert first["created"] is True
+        job_id = first["job"]["id"]
+        deadline = time.perf_counter() + 30
+        while _get(service.port, f"/studies/{job_id}")["state"] != "done":
+            assert time.perf_counter() < deadline, "warm job never finished"
+
+        def hot_round() -> None:
+            for _ in range(HOT_SUBMISSIONS):
+                payload = _post_study(service.port)
+                assert payload["created"] is False
+                assert payload["job"]["id"] == job_id
+
+        started = time.perf_counter()
+        benchmark.pedantic(hot_round, rounds=1, iterations=1)
+        hot_wall = time.perf_counter() - started
+        hot_rate = HOT_SUBMISSIONS / hot_wall if hot_wall else 0.0
+
+        started = time.perf_counter()
+        for _ in range(STATUS_READS):
+            _get(service.port, f"/studies/{job_id}")
+        status_wall = time.perf_counter() - started
+        status_rate = STATUS_READS / status_wall if status_wall else 0.0
+
+        health = _get(service.port, "/healthz")
+        counters = health["counters"]
+    finally:
+        service.stop()
+
+    # The dedup contract held for every timed request.
+    assert counters["executions"] == 1
+    assert counters["cache_hits"] == HOT_SUBMISSIONS
+    assert counters["submissions"] == HOT_SUBMISSIONS + 1
+
+    result = {
+        "hot_submissions": HOT_SUBMISSIONS,
+        "hot_wall_seconds": round(hot_wall, 3),
+        "hot_submissions_per_second": round(hot_rate, 1),
+        "status_reads": STATUS_READS,
+        "status_reads_per_second": round(status_rate, 1),
+    }
+
+    baseline = None
+    if RESULT_PATH.exists():
+        try:
+            baseline = json.loads(RESULT_PATH.read_text())
+        except (OSError, ValueError):
+            baseline = None
+    RESULT_PATH.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+
+    lines = [
+        f"{HOT_SUBMISSIONS} cache-hot duplicate POSTs in {hot_wall:.2f}s "
+        f"= {hot_rate:,.0f} submissions/sec",
+        f"{STATUS_READS} status polls = {status_rate:,.0f} reads/sec",
+        f"persisted to {RESULT_PATH}",
+    ]
+    if baseline is not None:
+        lines.append(
+            "baseline: "
+            f"{baseline.get('hot_submissions_per_second', 0):,.0f} "
+            "submissions/sec"
+        )
+    emit("Service — cache-hot submission throughput", "\n".join(lines))
+
+    assert hot_rate > 0
+    if baseline is not None and baseline.get("hot_submissions_per_second"):
+        floor = baseline["hot_submissions_per_second"] / REGRESSION_FACTOR
+        assert hot_rate >= floor, (
+            f"hot submission throughput regressed >"
+            f"{REGRESSION_FACTOR}x: {hot_rate:,.0f}/sec vs baseline "
+            f"{baseline['hot_submissions_per_second']:,.0f}/sec"
+        )

@@ -12,6 +12,8 @@ Subcommands:
 * ``metrics`` — the study's deterministic metrics snapshot (JSON)
 * ``cache``   — inspect the analysis cache (``stats``/``clear``/``verify``)
 * ``audit``   — determinism audit (``lint``/``fuzz``, see DESIGN.md §12)
+* ``serve``   — the HTTP study service (``repro.service``): submit
+  studies as JSON jobs, stream progress as SSE (see DESIGN.md §16)
 
 All subcommands accept ``--seed`` (default 7), ``--scale`` (default
 0.15), and ``--faults`` (default ``off``) — a fault-injection preset
@@ -31,6 +33,11 @@ registry (``repro.analysis.passes``).  ``--cache-dir PATH`` persists
 pass artifacts on disk so a second invocation skips the recompute;
 ``--no-cache`` disables caching entirely.  Either way the printed
 output is byte-identical.
+
+All execution knobs coerce through one path —
+:meth:`repro.core.options.ExecutionOptions.from_cli_args` — so the
+CLI, the :class:`~repro.api.Study` facade, and the service JSON body
+accept exactly the same spellings.
 """
 
 from __future__ import annotations
@@ -170,6 +177,25 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="serve: interface to bind (default 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8799,
+        metavar="N",
+        help="serve: TCP port to bind (0 = ephemeral; default 8799)",
+    )
+    parser.add_argument(
+        "--service-workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="serve: concurrent study executions (default 2)",
+    )
+    parser.add_argument(
         "command",
         choices=(
             "study",
@@ -182,6 +208,7 @@ def _build_parser() -> argparse.ArgumentParser:
             "metrics",
             "cache",
             "audit",
+            "serve",
         ),
         help="which artifact to produce",
     )
@@ -207,6 +234,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cache_command(arguments)
     if arguments.command == "audit":
         return _audit_command(arguments)
+    if arguments.command == "serve":
+        return _serve_command(arguments)
     if arguments.command == "funnel":
         return _funnel(arguments)
     if arguments.households > 1:
@@ -214,15 +243,17 @@ def main(argv: list[str] | None = None) -> int:
     return _with_study(arguments)
 
 
+def _options(arguments):
+    """The parsed namespace as :class:`ExecutionOptions` — the single
+    coercion path shared with the facade and the service schema."""
+    from repro.core.options import ExecutionOptions
+
+    return ExecutionOptions.from_cli_args(arguments)
+
+
 def _analysis_cache(arguments):
     """The cache analysis subcommands resolve against (or ``None``)."""
-    if arguments.no_cache:
-        return None
-    from repro.cache import AnalysisCache, default_cache
-
-    if arguments.cache_dir is not None:
-        return AnalysisCache(directory=arguments.cache_dir)
-    return default_cache()
+    return _options(arguments).resolve_cache()
 
 
 def _cache_command(arguments) -> int:
@@ -311,6 +342,40 @@ def _audit_command(arguments) -> int:
     return 1 if failed else 0
 
 
+def _serve_command(arguments) -> int:
+    """``python -m repro serve``: the HTTP study service."""
+    import asyncio
+
+    from repro.service import serve
+
+    if arguments.service_workers < 1:
+        print(
+            f"--service-workers must be >= 1, got {arguments.service_workers}"
+        )
+        return 2
+
+    def ready(service) -> None:
+        print(f"repro service listening on {service.base_url}")
+        print(
+            "submit: curl -X POST -d '{\"seed\": 7, \"scale\": 0.05}' "
+            f"{service.base_url}/studies"
+        )
+
+    try:
+        asyncio.run(
+            serve(
+                host=arguments.host,
+                port=arguments.port,
+                max_workers=arguments.service_workers,
+                cache=_analysis_cache(arguments),
+                ready=ready,
+            )
+        )
+    except KeyboardInterrupt:
+        print("service stopped")
+    return 0
+
+
 def _funnel(arguments) -> int:
     from repro.core.config import MeasurementConfig
     from repro.simulation.study import make_context, run_filtering
@@ -320,7 +385,7 @@ def _funnel(arguments) -> int:
     context = make_context(
         world,
         MeasurementConfig(exploratory_watch_seconds=60.0),
-        faults=_fault_plan(arguments, world),
+        faults=_options(arguments).fault_plan(world),
         netsim=arguments.netsim,
     )
     report = run_filtering(context)
@@ -340,12 +405,6 @@ def _maybe_write_trace(arguments, context) -> None:
     print(f"wrote {count} trace event(s) to {arguments.trace}")
 
 
-def _fault_plan(arguments, world):
-    from repro.simulation.study import fault_plan_for_world
-
-    return fault_plan_for_world(world, arguments.faults)
-
-
 def _load_context(arguments):
     """The study context: memoized when clean and unsharded, else fresh.
 
@@ -353,11 +412,12 @@ def _load_context(arguments):
     always builds fresh so the cached default study stays byte-for-
     byte what every other consumer expects.
     """
-    sharded = arguments.workers is not None or arguments.shards is not None
+    opts = _options(arguments)
+    sharded = opts.workers is not None or opts.shards is not None
     if (
-        arguments.faults == "off"
-        and arguments.netsim == "off"
-        and arguments.backend == "objects"
+        opts.faults == "off"
+        and opts.netsim == "off"
+        and opts.backend == "objects"
         and arguments.command != "health"
         and not sharded
     ):
@@ -368,14 +428,7 @@ def _load_context(arguments):
     from repro.simulation.world import build_world
 
     world = build_world(seed=arguments.seed, scale=arguments.scale)
-    return run_study(
-        world,
-        faults=_fault_plan(arguments, world),
-        netsim=arguments.netsim,
-        workers=arguments.workers,
-        shards=arguments.shards,
-        backend=arguments.backend,
-    )
+    return run_study(world, faults=opts.fault_plan(world), **opts.run_kwargs())
 
 
 def _fleet_command(arguments) -> int:
@@ -393,11 +446,7 @@ def _fleet_command(arguments) -> int:
         fleet_seed=arguments.seed,
         n_households=arguments.households,
         scale=arguments.scale,
-        faults=arguments.faults,
-        netsim=arguments.netsim,
-        workers=arguments.workers,
-        shards=arguments.shards,
-        backend=arguments.backend,
+        options=_options(arguments),
     )
 
     if arguments.command == "report":

@@ -1,6 +1,7 @@
 """The one-import programmatic facade over the replication pipeline.
 
-Everything the CLI, examples, and benchmarks do is two lines away::
+Everything the CLI, examples, benchmarks, and the study service do is
+two lines away::
 
     from repro.api import Study
 
@@ -8,13 +9,24 @@ Everything the CLI, examples, and benchmarks do is two lines away::
     print(result.report())
 
 :class:`Study` describes *what* to measure (seed, scale, measurement
-config); :meth:`Study.run` decides *how* (worker count, shard count,
-fault preset, caching) and returns a :class:`StudyResult` — an
-immutable bundle of the dataset, the §IV-B funnel, run health, the
-trace stream, the metrics snapshot, and the study's content digest.
-Analyses then resolve through the pass registry against the result's
+config); :meth:`Study.run` decides *how* and returns a
+:class:`StudyResult` — an immutable bundle of the dataset, the §IV-B
+funnel, run health, the trace stream, the metrics snapshot, and the
+study's content digest.  Execution knobs travel as one
+:class:`~repro.core.options.ExecutionOptions` value shared with the
+fleet runner, the CLI, and the HTTP service's JSON schema; the classic
+keyword arguments still work and merge through the same coercion path::
+
+    options = ExecutionOptions(workers=4, faults="chaos")
+    result = Study(seed=7, scale=0.1).run(options=options)
+
+Analyses resolve through the pass registry against the result's
 :class:`~repro.cache.AnalysisCache`, so ``result.report()`` followed by
 ``result.analyze("graph")`` computes each pass at most once.
+:class:`StudyResult` and :class:`FleetStudyResult` share the
+:class:`ResultBase` surface (``digest``, ``report()``, ``analyze()``,
+``to_json_summary()``), so anything serving results — the service
+routes, the examples — handles either uniformly.
 
 The old entry points (``repro.simulation.run_study`` /
 ``default_study``) still work but emit :class:`DeprecationWarning`;
@@ -23,48 +35,80 @@ internal code imports :mod:`repro.simulation.study` directly.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.cache import AnalysisCache, default_cache
+from repro.cache import AnalysisCache
 from repro.core.config import DEFAULT_CONFIG, MeasurementConfig
 from repro.core.dataset import StudyDataset
 from repro.core.filtering import FilteringReport
 from repro.core.health import StudyHealth
-from repro.core.resilience import ResiliencePolicy
+from repro.core.options import UNSET, ExecutionOptions, resolve_options
 from repro.core.runs import RunSpec
-from repro.net.faults import FaultPlan
 from repro.obs import MetricsRegistry, TraceEvent
 from repro.simulation.study import (
     StudyContext,
     configured_scale,
-    fault_plan_for_world,
     run_study,
 )
 from repro.simulation.world import World, build_world
 
-__all__ = ["FleetStudyResult", "Study", "StudyResult"]
+__all__ = [
+    "ExecutionOptions",
+    "FleetStudyResult",
+    "ResultBase",
+    "Study",
+    "StudyResult",
+]
 
 
-def _coerce_run_cache(cache) -> AnalysisCache | None:
-    """Resolve :meth:`Study.run`'s ``cache=`` knob.
+class ResultBase:
+    """The surface every finished result exposes, study or fleet.
 
-    ``True`` → the process-wide default cache; ``False``/``None`` → no
-    caching; a path → a disk-backed :class:`AnalysisCache` rooted
-    there; an existing cache object is used as-is.
+    Subclasses carry ``dataset``, ``context``, ``cache``, ``digest``,
+    and ``scale`` fields plus a ``kind`` class attribute; everything
+    here is implemented against those, so service routes and examples
+    can hold either result type without isinstance checks.
     """
-    if cache is True:
-        return default_cache()
-    if cache is False or cache is None:
-        return None
-    if isinstance(cache, (str, os.PathLike)):
-        return AnalysisCache(directory=cache)
-    return cache
+
+    kind = "result"
+
+    def report(self) -> str:
+        """The full markdown replication report (cached passes)."""
+        raise NotImplementedError
+
+    def analyze(self, *names: str) -> dict[str, Any]:
+        """Resolve named analysis passes (plus deps) against the cache.
+
+        Returns ``{pass_name: result}`` for the requested passes and
+        every transitive dependency.
+        """
+        from repro.analysis.passes import PassContext, resolve_passes
+
+        ctx = PassContext.for_study(self.context)
+        return resolve_passes(
+            list(names), self.dataset, ctx, cache=self.cache
+        )
+
+    def to_json_summary(self) -> dict:
+        """A JSON-scalar summary of this result — the service's status
+        payload and a stable machine-readable digest record."""
+        summary = {
+            "kind": self.kind,
+            "digest": self.digest,
+            "seed": self.seed,
+            "scale": self.scale,
+            "requests": int(self.dataset.total_requests()),
+        }
+        summary.update(self._summary_extra())
+        return summary
+
+    def _summary_extra(self) -> dict:
+        return {}
 
 
 @dataclass(frozen=True)
-class StudyResult:
+class StudyResult(ResultBase):
     """Everything one finished measurement study produced.
 
     The heavyweight machinery (proxy, TV, framework) stays reachable
@@ -82,6 +126,9 @@ class StudyResult:
     scale: float
     context: StudyContext = field(repr=False)
     cache: AnalysisCache | None = field(default=None, repr=False)
+    options: ExecutionOptions | None = field(default=None, repr=False)
+
+    kind = "study"
 
     # -- analysis --------------------------------------------------------------
 
@@ -92,19 +139,6 @@ class StudyResult:
         cache = self.cache if self.cache is not None else False
         return generate_report(self.context, cache=cache)
 
-    def analyze(self, *names: str) -> dict[str, Any]:
-        """Resolve named analysis passes (plus deps) against the cache.
-
-        Returns ``{pass_name: result}`` for the requested passes and
-        every transitive dependency.
-        """
-        from repro.analysis.passes import PassContext, resolve_passes
-
-        ctx = PassContext.for_study(self.context)
-        return resolve_passes(
-            list(names), self.dataset, ctx, cache=self.cache
-        )
-
     def table1(self) -> str:
         """Table I — the formatted per-run dataset overview."""
         from repro.core.report import format_overview_table
@@ -113,9 +147,18 @@ class StudyResult:
             list(self.analyze("overview")["overview"].rows)
         )
 
+    def _summary_extra(self) -> dict:
+        return {
+            "runs": len(self.dataset.runs),
+            "funnel": self.funnel is not None,
+            "health": (
+                self.health.has_activity if self.health is not None else False
+            ),
+        }
+
 
 @dataclass(frozen=True)
-class FleetStudyResult:
+class FleetStudyResult(ResultBase):
     """Everything one finished fleet study produced.
 
     The per-household datasets merge under the fleet monoid into
@@ -134,6 +177,24 @@ class FleetStudyResult:
     context: Any = field(repr=False)  # FleetContext
     cache: AnalysisCache | None = field(default=None, repr=False)
     study: StudyResult | None = field(default=None, repr=False)
+    options: ExecutionOptions | None = field(default=None, repr=False)
+
+    kind = "fleet"
+
+    @property
+    def seed(self) -> int:
+        """The fleet seed — :class:`ResultBase`'s uniform spelling."""
+        return self.fleet_seed
+
+    @property
+    def trace(self) -> tuple[TraceEvent, ...]:
+        """Household traces concatenated in household-index order."""
+        return self.context.trace_events
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The commutative merge of every household's registry."""
+        return self.context.metrics
 
     def report(self) -> str:
         """The fleet replication report (audience passes, cached)."""
@@ -142,14 +203,8 @@ class FleetStudyResult:
         cache = self.cache if self.cache is not None else False
         return generate_fleet_report(self.context, cache=cache)
 
-    def analyze(self, *names: str) -> dict[str, Any]:
-        """Resolve audience-level passes against the fleet dataset."""
-        from repro.analysis.passes import PassContext, resolve_passes
-
-        ctx = PassContext.for_study(self.context)
-        return resolve_passes(
-            list(names), self.dataset, ctx, cache=self.cache
-        )
+    def _summary_extra(self) -> dict:
+        return {"households": self.n_households}
 
 
 @dataclass(frozen=True)
@@ -176,46 +231,50 @@ class Study:
     def run(
         self,
         *,
-        workers: int | None = None,
-        shards: int | None = None,
-        faults: str | FaultPlan | None = "off",
-        resilience: ResiliencePolicy | None = None,
-        netsim: Any = "off",
-        with_filtering: bool = False,
+        options: ExecutionOptions | dict | None = None,
+        workers: int | None = UNSET,
+        shards: int | None = UNSET,
+        faults: Any = UNSET,
+        resilience: Any = UNSET,
+        netsim: Any = UNSET,
+        with_filtering: bool = UNSET,
         runs: list[RunSpec] | None = None,
-        cache: Any = True,
-        backend: str = "objects",
+        cache: Any = UNSET,
+        backend: str = UNSET,
     ) -> StudyResult:
         """Execute the study and bundle everything it produced.
 
-        ``faults`` accepts a preset name (``"off"``, ``"mild"``, …) or
-        a prebuilt :class:`FaultPlan`.  ``netsim`` accepts a preset
-        name (``"off"``, ``"dsl"``, ``"fiber"``, ``"congested"``) or a
-        prebuilt :class:`~repro.net.netsim.NetSimConfig` and runs the
-        study over the co-simulated bounded-capacity network.
-        ``workers``/``shards`` select the sharded executor exactly like
-        :func:`repro.simulation.study.run_study`.  ``cache`` follows
-        :func:`_coerce_run_cache`; the resolved cache rides on the
-        result so every later analysis reuses it.  ``backend`` picks
-        the dataset storage layout (``"objects"`` or ``"columnar"``) —
-        digests and every analysis result are identical either way.
+        Execution knobs travel as one :class:`ExecutionOptions` value —
+        pass ``options=`` (an options object or a JSON-style dict) or
+        the classic keywords, which merge through
+        :func:`~repro.core.options.resolve_options` (both at once is
+        ambiguous and raises).  ``faults``/``netsim`` accept preset
+        names or prebuilt :class:`~repro.net.faults.FaultPlan` /
+        :class:`~repro.net.netsim.NetSimConfig` objects; ``cache``
+        follows :meth:`ExecutionOptions.resolve_cache`; ``backend``
+        picks the dataset layout (``"objects"`` or ``"columnar"``) —
+        digests and analysis results are identical either way.  ``runs``
+        (which measurement runs execute) describes *what* is measured,
+        so it stays outside the options value.
         """
+        opts = resolve_options(
+            options,
+            workers=workers,
+            shards=shards,
+            faults=faults,
+            resilience=resilience,
+            netsim=netsim,
+            with_filtering=with_filtering,
+            cache=cache,
+            backend=backend,
+        )
         world = self.build_world()
-        if isinstance(faults, FaultPlan):
-            plan = faults
-        else:
-            plan = fault_plan_for_world(world, faults or "off")
         context = run_study(
             world,
             self.config,
             runs=runs,
-            with_filtering=with_filtering,
-            faults=plan,
-            resilience=resilience,
-            netsim=netsim,
-            workers=workers,
-            shards=shards,
-            backend=backend,
+            faults=opts.fault_plan(world),
+            **opts.run_kwargs(),
         )
         dataset = context.dataset
         return StudyResult(
@@ -228,21 +287,24 @@ class Study:
             seed=self.seed,
             scale=self.effective_scale,
             context=context,
-            cache=_coerce_run_cache(cache),
+            cache=opts.resolve_cache(),
+            options=opts,
         )
 
     def fleet(
         self,
         households: int = 1,
         *,
-        workers: int | None = None,
-        shards: int | None = None,
-        faults: str | FaultPlan | None = "off",
-        resilience: ResiliencePolicy | None = None,
-        netsim: Any = "off",
+        options: ExecutionOptions | dict | None = None,
+        workers: int | None = UNSET,
+        shards: int | None = UNSET,
+        faults: Any = UNSET,
+        resilience: Any = UNSET,
+        netsim: Any = UNSET,
+        with_filtering: bool = UNSET,
         runs: list[RunSpec] | None = None,
-        cache: Any = True,
-        backend: str = "objects",
+        cache: Any = UNSET,
+        backend: str = UNSET,
     ) -> FleetStudyResult:
         """Execute this study as a fleet of ``households`` households.
 
@@ -251,24 +313,32 @@ class Study:
         ``self.seed`` doubles as the fleet seed.  With ``households=1``
         the fleet reduces byte-for-byte to :meth:`run` and the returned
         result carries the equivalent :class:`StudyResult` as
-        ``.study``.  All execution knobs match :meth:`run`.
+        ``.study``.  All execution knobs match :meth:`run` — including
+        ``with_filtering``, which runs each household's §IV-B funnel
+        before its measurement runs.
         """
         from repro.fleet import run_fleet_study
 
+        opts = resolve_options(
+            options,
+            workers=workers,
+            shards=shards,
+            faults=faults,
+            resilience=resilience,
+            netsim=netsim,
+            with_filtering=with_filtering,
+            cache=cache,
+            backend=backend,
+        )
         context = run_fleet_study(
             fleet_seed=self.seed,
             n_households=households,
             scale=self.effective_scale,
             config=self.config,
             runs=runs,
-            faults=faults if faults is not None else "off",
-            resilience=resilience,
-            netsim=netsim,
-            workers=workers,
-            shards=shards,
-            backend=backend,
+            options=opts,
         )
-        resolved_cache = _coerce_run_cache(cache)
+        resolved_cache = opts.resolve_cache()
         study = None
         if context.study is not None:
             single = context.study
@@ -283,6 +353,7 @@ class Study:
                 scale=self.effective_scale,
                 context=single,
                 cache=resolved_cache,
+                options=opts,
             )
         return FleetStudyResult(
             dataset=context.dataset,
@@ -294,4 +365,5 @@ class Study:
             context=context,
             cache=resolved_cache,
             study=study,
+            options=opts,
         )

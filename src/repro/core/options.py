@@ -1,0 +1,383 @@
+"""One execution-options surface for the whole pipeline.
+
+Before this module existed, three divergent keyword-argument lists
+described *how* a study executes: :meth:`repro.api.Study.run`,
+:func:`repro.fleet.run_fleet_study`, and the CLI each coerced preset
+names into :class:`~repro.net.faults.FaultPlan` /
+:class:`~repro.net.netsim.NetSimConfig` objects on their own, and the
+fleet path silently lacked knobs the study path had.
+:class:`ExecutionOptions` is the single frozen description they now
+share — and, because every field is expressible as a JSON scalar, it
+is also the job-submission schema of the study service
+(:mod:`repro.service`) and the canonical serialization its dedup keys
+hash.
+
+The split of responsibilities mirrors :class:`~repro.api.Study`
+itself: a ``Study`` pins *what* is measured (seed, scale, measurement
+config), ``ExecutionOptions`` pins *how* (worker/shard counts, fault
+and netsim presets, resilience, caching, dataset backend, whether the
+§IV-B funnel runs first).  :meth:`canonical` additionally distinguishes
+the knobs that can change output bytes from the ones that cannot
+(``workers`` and ``cache`` never do — that is the determinism
+contract), which is what lets the service dedupe submissions that
+differ only in execution mechanics.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, fields, replace
+from typing import Any
+
+from repro.core.columnar import validate_backend
+from repro.core.resilience import ResiliencePolicy
+from repro.net.faults import FAULT_PRESET_NAMES, FaultPlan
+from repro.net.netsim import NETSIM_PRESET_NAMES, NetSimConfig
+
+__all__ = [
+    "UNSET",
+    "ExecutionOptions",
+    "OptionsError",
+    "resolve_options",
+]
+
+#: Sentinel for "the caller did not pass this keyword" — lets the
+#: facade keep its classic keyword signature while detecting clashes
+#: with an explicit ``options=``.
+UNSET: Any = object()
+
+
+class OptionsError(ValueError):
+    """A keyword set or JSON payload that cannot become options.
+
+    Subclasses :class:`ValueError` so call sites that predate the
+    unified surface (``FaultPlan.preset`` raising on a bad name, the
+    CLI's argparse failures) keep their exception contract.
+    """
+
+
+def _check_count(name: str, value) -> int | None:
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise OptionsError(
+            f"{name} must be a positive integer or null, "
+            f"got {value!r} ({type(value).__name__})"
+        )
+    if value < 1:
+        raise OptionsError(f"{name} must be >= 1, got {value}")
+    return value
+
+
+@dataclass(frozen=True)
+class ExecutionOptions:
+    """How one study (or fleet) executes — everything but what it measures.
+
+    ``faults`` and ``netsim`` accept a preset name (the JSON-expressible
+    spelling) or a prebuilt plan/config object; ``"none"`` normalizes
+    to ``"off"`` so equal semantics hash equally.  ``resilience`` is a
+    :class:`ResiliencePolicy` (JSON spells the default policy ``true``).
+    ``cache`` follows the facade's convention — ``True`` = process-wide
+    default cache, ``False``/``None`` = no caching, a path = disk-backed
+    cache, an existing :class:`~repro.cache.AnalysisCache` = used as-is.
+    """
+
+    workers: int | None = None
+    shards: int | None = None
+    faults: str | FaultPlan = "off"
+    resilience: ResiliencePolicy | None = None
+    netsim: str | NetSimConfig = "off"
+    cache: Any = True
+    backend: str = "objects"
+    with_filtering: bool = False
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "workers", _check_count("workers", self.workers)
+        )
+        object.__setattr__(self, "shards", _check_count("shards", self.shards))
+
+        faults = self.faults
+        if faults is None:
+            faults = "off"
+        if isinstance(faults, str):
+            if faults == "none":
+                faults = "off"
+            if faults not in FAULT_PRESET_NAMES:
+                raise OptionsError(
+                    f"unknown fault preset: {faults!r} "
+                    f"(choose from {sorted(set(FAULT_PRESET_NAMES))})"
+                )
+        elif not isinstance(faults, FaultPlan):
+            raise OptionsError(
+                f"faults must be a preset name or FaultPlan, "
+                f"got {type(faults).__name__}"
+            )
+        object.__setattr__(self, "faults", faults)
+
+        netsim = self.netsim
+        if netsim is None:
+            netsim = "off"
+        if isinstance(netsim, str):
+            if netsim == "none":
+                netsim = "off"
+            if netsim not in NETSIM_PRESET_NAMES:
+                raise OptionsError(
+                    f"unknown netsim preset: {netsim!r} "
+                    f"(choose from {sorted(set(NETSIM_PRESET_NAMES))})"
+                )
+        elif isinstance(netsim, NetSimConfig):
+            if not netsim.is_active:
+                netsim = "off"
+        else:
+            raise OptionsError(
+                f"netsim must be a preset name or NetSimConfig, "
+                f"got {type(netsim).__name__}"
+            )
+        object.__setattr__(self, "netsim", netsim)
+
+        resilience = self.resilience
+        if resilience is True:
+            resilience = ResiliencePolicy()
+        elif resilience is False:
+            resilience = None
+        elif resilience is not None and not isinstance(
+            resilience, ResiliencePolicy
+        ):
+            raise OptionsError(
+                f"resilience must be a ResiliencePolicy, a boolean, or "
+                f"null, got {type(resilience).__name__}"
+            )
+        object.__setattr__(self, "resilience", resilience)
+
+        if not isinstance(self.with_filtering, bool):
+            raise OptionsError(
+                f"with_filtering must be a boolean, "
+                f"got {self.with_filtering!r}"
+            )
+        object.__setattr__(self, "backend", validate_backend(self.backend))
+
+        cache = self.cache
+        if isinstance(cache, os.PathLike):
+            cache = os.fspath(cache)
+        object.__setattr__(self, "cache", cache)
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def from_json(cls, payload) -> "ExecutionOptions":
+        """Validate and coerce one JSON object into options.
+
+        The inverse of :meth:`to_json`: for any options value ``o``
+        built from JSON, ``from_json(o.to_json()) == o`` (the service
+        test suite pins this as a hypothesis property).  Unknown keys
+        are rejected, never ignored — a typoed knob must not silently
+        run with defaults.
+        """
+        if not isinstance(payload, dict):
+            raise OptionsError(
+                f"options must be a JSON object, "
+                f"got {type(payload).__name__}"
+            )
+        known = {field.name for field in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise OptionsError(
+                f"unknown option key(s): {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(known))})"
+            )
+        for key in ("faults", "netsim", "backend"):
+            if key in payload and not isinstance(payload[key], (str, type(None))):
+                raise OptionsError(
+                    f"{key} must be a preset name string, "
+                    f"got {type(payload[key]).__name__}"
+                )
+        if "resilience" in payload and not isinstance(
+            payload["resilience"], (bool, type(None))
+        ):
+            raise OptionsError(
+                "resilience must be true, false, or null in JSON, "
+                f"got {type(payload['resilience']).__name__}"
+            )
+        if "cache" in payload and not isinstance(
+            payload["cache"], (bool, str, type(None))
+        ):
+            raise OptionsError(
+                "cache must be a boolean or a directory path in JSON, "
+                f"got {type(payload['cache']).__name__}"
+            )
+        return cls(**payload)
+
+    @classmethod
+    def from_cli_args(cls, arguments) -> "ExecutionOptions":
+        """Build options from the parsed ``python -m repro`` namespace.
+
+        The one coercion path the CLI shares with the facade and the
+        service: ``--faults``/``--netsim`` stay preset names,
+        ``--no-cache`` beats ``--cache-dir``, and fault/netsim plans
+        resolve later against the world via :meth:`fault_plan`.
+        """
+        if arguments.no_cache:
+            cache: Any = False
+        elif arguments.cache_dir is not None:
+            cache = arguments.cache_dir
+        else:
+            cache = True
+        return cls(
+            workers=arguments.workers,
+            shards=arguments.shards,
+            faults=arguments.faults,
+            netsim=arguments.netsim,
+            backend=arguments.backend,
+            cache=cache,
+        )
+
+    # -- serialization ---------------------------------------------------------
+
+    def to_json(self) -> dict:
+        """The canonical JSON-scalar encoding of these options.
+
+        Only preset-name spellings serialize: a custom
+        :class:`FaultPlan`, a hand-tuned :class:`NetSimConfig`, a
+        non-default :class:`ResiliencePolicy`, or a live cache object
+        has no canonical JSON form, and pretending otherwise would make
+        service dedup keys lie.  Those raise :class:`OptionsError`.
+        """
+        faults = self.faults
+        if isinstance(faults, FaultPlan):
+            if faults.is_empty:
+                faults = "off"
+            else:
+                raise OptionsError(
+                    "a custom FaultPlan is not JSON-expressible; "
+                    "pass a preset name instead"
+                )
+        netsim = self.netsim
+        if isinstance(netsim, NetSimConfig):
+            name = netsim.preset_name
+            if (
+                name in NETSIM_PRESET_NAMES
+                and NetSimConfig.preset(name) == netsim
+            ):
+                netsim = name
+            else:
+                raise OptionsError(
+                    "a hand-built NetSimConfig is not JSON-expressible; "
+                    "pass a preset name instead"
+                )
+        if self.resilience is None:
+            resilience = False
+        elif self.resilience == ResiliencePolicy():
+            resilience = True
+        else:
+            raise OptionsError(
+                "a custom ResiliencePolicy is not JSON-expressible; "
+                "pass resilience=True for the default policy"
+            )
+        if isinstance(self.cache, (bool, type(None))):
+            cache: Any = bool(self.cache)
+        elif isinstance(self.cache, str):
+            cache = self.cache
+        else:
+            raise OptionsError(
+                "a live cache object is not JSON-expressible; "
+                "pass True, False, or a directory path"
+            )
+        return {
+            "workers": self.workers,
+            "shards": self.shards,
+            "faults": faults,
+            "resilience": resilience,
+            "netsim": netsim,
+            "cache": cache,
+            "backend": self.backend,
+            "with_filtering": self.with_filtering,
+        }
+
+    def canonical(self) -> dict:
+        """The execution-identity encoding service dedup keys hash.
+
+        Drops ``workers`` and ``cache``: the determinism contract makes
+        output bytes a pure function of ``(seed, scale, plan, shards)``
+        — never of how many processes ran them or whether analyses were
+        cached — so submissions differing only there share one result.
+        Because both are dropped, a live cache object (which
+        :meth:`to_json` rejects) is fine here.
+        """
+        payload = replace(self, cache=True).to_json()
+        del payload["workers"]
+        del payload["cache"]
+        return payload
+
+    def canonical_json(self) -> str:
+        return json.dumps(
+            self.canonical(), sort_keys=True, separators=(",", ":")
+        )
+
+    # -- resolution ------------------------------------------------------------
+
+    def fault_plan(self, world) -> FaultPlan | None:
+        """Resolve ``faults`` against a built world.
+
+        Preset names scope to the world's third-party hosts exactly
+        like the CLI always did; a prebuilt plan passes through.
+        """
+        if isinstance(self.faults, FaultPlan):
+            return self.faults
+        # Imported lazily: the simulation layer builds on repro.core.
+        from repro.simulation.study import fault_plan_for_world
+
+        return fault_plan_for_world(world, self.faults)
+
+    def resolve_cache(self):
+        """The :class:`~repro.cache.AnalysisCache` (or ``None``) to use."""
+        from repro.cache import AnalysisCache, default_cache
+
+        if self.cache is True:
+            return default_cache()
+        if self.cache is False or self.cache is None:
+            return None
+        if isinstance(self.cache, (str, os.PathLike)):
+            return AnalysisCache(directory=self.cache)
+        return self.cache
+
+    def run_kwargs(self) -> dict:
+        """Keywords for :func:`~repro.simulation.study.run_study` —
+        everything but ``faults`` (which needs the world first)."""
+        return {
+            "resilience": self.resilience,
+            "netsim": self.netsim,
+            "workers": self.workers,
+            "shards": self.shards,
+            "backend": self.backend,
+            "with_filtering": self.with_filtering,
+        }
+
+
+def resolve_options(options=None, **overrides) -> ExecutionOptions:
+    """The single keyword-coercion helper behind every entry point.
+
+    ``overrides`` are the classic keyword arguments with :data:`UNSET`
+    defaults; passing both an ``options=`` value and an explicit knob
+    is ambiguous and raises.  ``options`` accepts a prebuilt
+    :class:`ExecutionOptions` or a JSON-style dict.
+    """
+    given = {
+        key: value for key, value in overrides.items() if value is not UNSET
+    }
+    if options is not None:
+        if given:
+            raise TypeError(
+                "pass execution knobs either via options= or as keywords, "
+                f"not both (got options= plus {sorted(given)})"
+            )
+        if isinstance(options, ExecutionOptions):
+            return options
+        if isinstance(options, dict):
+            return ExecutionOptions.from_json(options)
+        raise TypeError(
+            f"options must be ExecutionOptions or a dict, "
+            f"got {type(options).__name__}"
+        )
+    return ExecutionOptions(**given)

@@ -26,6 +26,7 @@ from repro.core.columnar import validate_backend
 from repro.core.config import DEFAULT_CONFIG, MeasurementConfig
 from repro.core.filtering import FilteringReport
 from repro.core.health import StudyHealth
+from repro.core.options import UNSET, resolve_options
 from repro.core.resilience import ResiliencePolicy
 from repro.core.runs import RunSpec
 from repro.core.shard import (
@@ -43,7 +44,6 @@ from repro.obs import MetricsRegistry, TraceEvent, merge_metrics
 from repro.simulation.study import (
     StudyContext,
     configured_scale,
-    fault_plan_for_world,
     run_study,
 )
 from repro.simulation.world import World, build_world
@@ -107,12 +107,6 @@ class FleetContext:
         return merge_metrics(parts) if parts else MetricsRegistry()
 
 
-def _coerce_fault_plan(world: World, faults) -> FaultPlan | None:
-    if faults is None or isinstance(faults, FaultPlan):
-        return faults
-    return fault_plan_for_world(world, faults)
-
-
 def _household_config(
     spec: HouseholdSpec, config: MeasurementConfig
 ) -> MeasurementConfig:
@@ -133,13 +127,17 @@ def build_fleet_tasks(
     netsim: NetSimConfig | str | None = None,
     n_shards: int = 1,
     backend: str = "objects",
+    with_filtering: bool = False,
 ) -> list[ShardTask]:
     """Plan the household×shard task list for one fleet study.
 
     Each household's habit-selected channel corpus is partitioned into
     ``n_shards`` shards with the same stable hash the single-study
     executor uses; tasks are emitted household-major, ``n_shards`` per
-    household, so callers can regroup results by slicing.
+    household, so callers can regroup results by slicing.  With
+    ``with_filtering`` every task runs the §IV-B funnel over its slice
+    of the household's corpus before measuring (the per-household
+    funnels merge shard-wise, exactly like the single-study path).
     """
     netsim_config = coerce_netsim(netsim)
     if resilience is None and (
@@ -166,6 +164,7 @@ def build_fleet_tasks(
                         else None
                     ),
                     resilience=resilience,
+                    with_filtering=with_filtering,
                     netsim=(
                         netsim_config.for_shard(shard.index, n_shards)
                         if netsim_config is not None
@@ -184,23 +183,41 @@ def run_fleet_study(
     scale: float | None = None,
     config: MeasurementConfig = DEFAULT_CONFIG,
     runs: list[RunSpec] | None = None,
-    faults: FaultPlan | str | None = None,
-    resilience: ResiliencePolicy | None = None,
+    faults=UNSET,
+    resilience=UNSET,
     *,
-    netsim: NetSimConfig | str | None = None,
-    workers: int | None = None,
-    shards: int | None = None,
-    backend: str = "objects",
+    netsim=UNSET,
+    workers: int | None = UNSET,
+    shards: int | None = UNSET,
+    backend: str = UNSET,
+    with_filtering: bool = UNSET,
+    options=None,
 ) -> FleetContext:
     """Execute a fleet study of ``n_households`` concurrent households.
 
-    ``faults`` accepts a preset name or a prebuilt plan, like the CLI.
+    Execution knobs travel as one
+    :class:`~repro.core.options.ExecutionOptions` value — pass
+    ``options=`` or the classic keywords, which merge through the same
+    :func:`~repro.core.options.resolve_options` helper the facade and
+    CLI use.  ``faults`` accepts a preset name or a prebuilt plan.
     ``workers``/``shards`` follow :func:`run_study`: the shard count
     (default 1; :data:`~repro.core.shard.DEFAULT_SHARDS` when only
     ``workers`` is given) is part of the determinism contract, the
-    worker count never is.
+    worker count never is.  ``with_filtering`` runs each household's
+    §IV-B funnel before its measurement runs (the study path's knob,
+    which the fleet used to silently lack).
     """
-    validate_backend(backend)
+    opts = resolve_options(
+        options,
+        faults=faults,
+        resilience=resilience,
+        netsim=netsim,
+        workers=workers,
+        shards=shards,
+        backend=backend,
+        with_filtering=with_filtering,
+    )
+    backend = validate_backend(opts.backend)
     if n_households < 1:
         raise ValueError(
             f"a fleet needs at least one household, got {n_households}"
@@ -208,7 +225,7 @@ def run_fleet_study(
     if scale is None:
         scale = configured_scale()
     world = build_world(seed=fleet_seed, scale=scale)
-    plan = _coerce_fault_plan(world, faults)
+    plan = opts.fault_plan(world)
     specs = plan_fleet(world, fleet_seed, n_households)
 
     if n_households == 1:
@@ -219,11 +236,7 @@ def run_fleet_study(
             config,
             runs=runs,
             faults=plan,
-            resilience=resilience,
-            netsim=netsim,
-            workers=workers,
-            shards=shards,
-            backend=backend,
+            **opts.run_kwargs(),
         )
         household = HouseholdResult(
             spec=specs[0],
@@ -253,20 +266,21 @@ def run_fleet_study(
             study=context,
         )
 
-    n_shards = shards if shards is not None else (
-        DEFAULT_SHARDS if workers is not None else 1
+    n_shards = opts.shards if opts.shards is not None else (
+        DEFAULT_SHARDS if opts.workers is not None else 1
     )
-    worker_count = workers if workers is not None else 1
+    worker_count = opts.workers if opts.workers is not None else 1
     tasks = build_fleet_tasks(
         world,
         specs,
         config=config,
         runs=runs,
         faults=plan,
-        resilience=resilience,
-        netsim=netsim,
+        resilience=opts.resilience,
+        netsim=opts.netsim,
         n_shards=n_shards,
         backend=backend,
+        with_filtering=opts.with_filtering,
     )
     results = execute_shard_tasks(tasks, workers=worker_count)
 

@@ -33,6 +33,7 @@ from repro.obs.trace import (
     merge_shard_traces,
     serialize_trace,
     trace_digest,
+    trace_listener,
     trace_to_jsonl,
     write_trace_jsonl,
 )
@@ -79,6 +80,7 @@ __all__ = [
     "metrics_digest",
     "serialize_trace",
     "trace_digest",
+    "trace_listener",
     "trace_to_jsonl",
     "write_trace_jsonl",
 ]

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, replace
 from typing import Iterable, Sequence
@@ -36,6 +37,34 @@ def _canonical_attrs(attrs: dict) -> tuple[tuple[str, object], ...]:
                 f"got {type(value).__name__}"
             )
     return tuple(sorted(attrs.items()))
+
+
+#: Per-thread live tap on trace recording (see :func:`trace_listener`).
+#: Thread-local by design: each study-service job runs its study in its
+#: own thread, so one job's tap can never observe another job's events,
+#: and the default (no listener) costs one attribute probe per event.
+_LISTENER = threading.local()
+
+
+@contextmanager
+def trace_listener(callback):
+    """Install a live tap on every trace event this thread records.
+
+    While the context is active, each :class:`TraceEvent` appended by
+    any :class:`Tracer` *in the current thread* is also passed to
+    ``callback(event)`` — recording itself is unaffected, so the
+    stream, its digest, and every determinism contract stay
+    byte-identical with or without a listener.  The study service uses
+    this to stream per-run/per-channel progress over SSE while a study
+    executes in a worker thread.  Nesting restores the previous
+    listener on exit.
+    """
+    previous = getattr(_LISTENER, "callback", None)
+    _LISTENER.callback = callback
+    try:
+        yield
+    finally:
+        _LISTENER.callback = previous
 
 
 @dataclass(frozen=True)
@@ -76,7 +105,7 @@ class Tracer:
     def begin_span(self, name: str, at: float | None = None, **attrs) -> int:
         span_id = self._next_id
         self._next_id += 1
-        self.events.append(
+        self._emit(
             TraceEvent(
                 kind="begin",
                 name=name,
@@ -96,7 +125,7 @@ class Tracer:
                 f"(stack: {self._stack})"
             )
         self._stack.pop()
-        self.events.append(
+        self._emit(
             TraceEvent(
                 kind="end",
                 name=self._name_of(span_id),
@@ -119,7 +148,7 @@ class Tracer:
         """Record an instantaneous event inside the current span."""
         span_id = self._next_id
         self._next_id += 1
-        self.events.append(
+        self._emit(
             TraceEvent(
                 kind="point",
                 name=name,
@@ -135,6 +164,13 @@ class Tracer:
         return tuple(self._stack)
 
     # -- internals -------------------------------------------------------------
+
+    def _emit(self, event: TraceEvent) -> None:
+        """Record one event and feed this thread's live tap, if any."""
+        self.events.append(event)
+        listener = getattr(_LISTENER, "callback", None)
+        if listener is not None:
+            listener(event)
 
     def _stamp(self, at: float | None) -> float:
         if at is not None:

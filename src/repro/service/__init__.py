@@ -1,0 +1,45 @@
+"""The study service: an async HTTP front door over the executor.
+
+The paper's rig is a batch instrument; this package turns it into a
+shared one.  ``POST /studies`` (or ``/fleets``) enqueues a canonical
+JSON submission, a bounded worker pool executes it on the existing
+sharded executor, ``GET /studies/{id}/events`` streams per-channel and
+per-shard progress as server-sent events, and the report, dataset, and
+metrics endpoints serve the finished artifacts.  Identical submissions
+dedup to one execution through the content-addressed analysis cache —
+the determinism contract (results are a pure function of the
+submission's canonical key) is what makes that exact.
+
+Layers, bottom-up:
+
+* :mod:`repro.service.schema` — submission parsing + dedup identity
+* :mod:`repro.service.sse` — SSE wire encoding (pure bytes)
+* :mod:`repro.service.jobs` — queue, workers, dedup, progress fan-out
+* :mod:`repro.service.routes` — URL space over the job manager
+* :mod:`repro.service.app` — the asyncio HTTP/1.1 listener
+"""
+
+from __future__ import annotations
+
+from repro.service.app import ServiceThread, StudyService, serve
+from repro.service.jobs import Job, JobManager, execute_submission
+from repro.service.routes import Request, Response, build_router
+from repro.service.schema import SchemaError, Submission, parse_submission
+from repro.service.sse import format_event, format_json_event
+
+__all__ = [
+    "Job",
+    "JobManager",
+    "Request",
+    "Response",
+    "SchemaError",
+    "ServiceThread",
+    "StudyService",
+    "Submission",
+    "build_router",
+    "execute_submission",
+    "format_event",
+    "format_json_event",
+    "parse_submission",
+    "serve",
+]

@@ -1,0 +1,318 @@
+"""The asyncio front door: HTTP/1.1 on ``asyncio.start_server``.
+
+Stdlib only — the container bakes no web framework, and the service
+needs none: requests are small JSON bodies, responses are either
+buffered JSON/markdown or an SSE stream.  The server parses exactly
+the HTTP/1.1 subset those clients produce (request line, headers, an
+optional ``Content-Length`` body) and always answers
+``Connection: close`` — job submission is rare and results are
+one-shot reads, so keep-alive would buy complexity, not throughput.
+
+:class:`StudyService` runs inside a live event loop (the ``serve``
+CLI, or any asyncio test).  :class:`ServiceThread` wraps it for
+synchronous callers — integration tests and the benchmark spin the
+whole service up on an ephemeral port in a daemon thread and talk to
+it over real sockets.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from http import HTTPStatus
+
+from repro.cache import AnalysisCache
+from repro.service.jobs import JobManager
+from repro.service.routes import (
+    MAX_BODY_BYTES,
+    Request,
+    Response,
+    SSEStream,
+    build_router,
+)
+from repro.service.sse import format_json_event
+
+__all__ = ["ServiceThread", "StudyService", "serve"]
+
+_SERVER_NAME = "repro-service"
+
+
+def _status_line(status: int) -> str:
+    try:
+        phrase = HTTPStatus(status).phrase
+    except ValueError:
+        phrase = "Unknown"
+    return f"HTTP/1.1 {status} {phrase}"
+
+
+def _head(status: int, content_type: str, extra: dict | None = None) -> bytes:
+    lines = [
+        _status_line(status),
+        f"Server: {_SERVER_NAME}",
+        f"Content-Type: {content_type}",
+        "Connection: close",
+    ]
+    for name, value in (extra or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("ascii")
+
+
+class StudyService:
+    """One HTTP listener bound to one :class:`JobManager`.
+
+    ``port=0`` binds an ephemeral port; the resolved port is published
+    on :attr:`port` after :meth:`start` so tests never race over a
+    fixed number.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_workers: int = 2,
+        cache: AnalysisCache | None = None,
+        executor=None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.manager = JobManager(
+            cache=cache, max_workers=max_workers, executor=executor
+        )
+        self.router = build_router()
+        self._server: asyncio.base_events.Server | None = None
+
+    @property
+    def base_url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def start(self) -> None:
+        await self.manager.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.host, port=self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.manager.stop()
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    # -- connection handling ---------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request = await self._read_request(reader)
+            if request is None:
+                writer.write(_head(400, "application/json"))
+                writer.write(b'{"error": "malformed HTTP request"}\n')
+            else:
+                await self._dispatch(request, writer)
+            await writer.drain()
+        except (
+            ConnectionResetError,
+            BrokenPipeError,
+            asyncio.IncompleteReadError,
+        ):
+            pass
+        finally:
+            # close() flushes buffered bytes asynchronously; awaiting
+            # wait_closed() here would surface CancelledError noise
+            # when the server shuts down mid-connection.
+            try:
+                writer.close()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Request | None:
+        try:
+            raw = await reader.readuntil(b"\r\n\r\n")
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+            return None
+        head = raw.decode("latin-1").split("\r\n")
+        parts = head[0].split(" ")
+        if len(parts) != 3:
+            return None
+        method, target, _version = parts
+        headers: dict[str, str] = {}
+        for line in head[1:]:
+            if not line or ":" not in line:
+                continue
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        body = b""
+        length = headers.get("content-length")
+        if length is not None:
+            try:
+                n = int(length)
+            except ValueError:
+                return None
+            if n < 0 or n > MAX_BODY_BYTES:
+                return None
+            body = await reader.readexactly(n)
+        path = target.split("?", 1)[0]
+        return Request(
+            method=method.upper(), path=path, headers=headers, body=body
+        )
+
+    async def _dispatch(
+        self, request: Request, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            handler, params = self.router.resolve(request.method, request.path)
+        except LookupError as err:
+            status = 405 if str(err).startswith("405") else 404
+            response = Response.error(status, str(err))
+            self._write_response(writer, response)
+            return
+        try:
+            outcome = await handler(self.manager, request, **params)
+        except Exception as exc:  # pragma: no cover - defensive 500
+            outcome = Response.error(
+                500, f"internal error: {type(exc).__name__}: {exc}"
+            )
+        if isinstance(outcome, SSEStream):
+            await self._stream_events(outcome, writer)
+        else:
+            self._write_response(writer, outcome)
+
+    def _write_response(
+        self, writer: asyncio.StreamWriter, response: Response
+    ) -> None:
+        writer.write(
+            _head(
+                response.status,
+                response.content_type,
+                {"Content-Length": str(len(response.body))},
+            )
+        )
+        writer.write(response.body)
+
+    async def _stream_events(
+        self, stream: SSEStream, writer: asyncio.StreamWriter
+    ) -> None:
+        writer.write(
+            _head(200, "text/event-stream", {"Cache-Control": "no-cache"})
+        )
+        await writer.drain()
+        try:
+            async for record in stream.manager.subscribe(stream.job):
+                writer.write(
+                    format_json_event(
+                        record["data"],
+                        event=record["event"],
+                        event_id=record["seq"],
+                    )
+                )
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            return
+
+
+async def serve(
+    host: str = "127.0.0.1",
+    port: int = 8799,
+    max_workers: int = 2,
+    cache: AnalysisCache | None = None,
+    ready=None,
+) -> None:
+    """Run the service until cancelled (the ``repro serve`` entry).
+
+    ``ready(service)`` — when given — is called once the socket is
+    bound, with the resolved port filled in.
+    """
+    service = StudyService(
+        host=host, port=port, max_workers=max_workers, cache=cache
+    )
+    await service.start()
+    if ready is not None:
+        ready(service)
+    try:
+        await service.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await service.stop()
+
+
+class ServiceThread:
+    """A whole service on a daemon thread, for synchronous callers.
+
+    The constructor arguments mirror :class:`StudyService`.  ``start``
+    blocks until the socket is bound and returns the base URL, so a
+    test can immediately open connections against :attr:`port`.
+    """
+
+    def __init__(self, **kwargs) -> None:
+        self._kwargs = kwargs
+        self.service: StudyService | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._failure: BaseException | None = None
+
+    @property
+    def port(self) -> int:
+        assert self.service is not None, "call start() first"
+        return self.service.port
+
+    @property
+    def base_url(self) -> str:
+        assert self.service is not None, "call start() first"
+        return self.service.base_url
+
+    def start(self, timeout: float = 30.0) -> str:
+        self._thread = threading.Thread(
+            target=self._run, name="repro-service", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise TimeoutError("service failed to bind within timeout")
+        if self._failure is not None:
+            raise RuntimeError("service failed to start") from self._failure
+        return self.base_url
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        service = StudyService(**self._kwargs)
+        try:
+            loop.run_until_complete(service.start())
+        except BaseException as exc:
+            self._failure = exc
+            self._ready.set()
+            loop.close()
+            return
+        self.service = service
+        self._ready.set()
+        try:
+            loop.run_until_complete(service.serve_forever())
+        except (asyncio.CancelledError, RuntimeError):
+            pass
+        finally:
+            loop.run_until_complete(service.stop())
+            loop.close()
+
+    def stop(self, timeout: float = 30.0) -> None:
+        loop, thread = self._loop, self._thread
+        if loop is None or thread is None:
+            return
+
+        def _cancel_all() -> None:
+            for task in asyncio.all_tasks(loop):
+                task.cancel()
+
+        loop.call_soon_threadsafe(_cancel_all)
+        thread.join(timeout)

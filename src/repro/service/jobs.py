@@ -1,0 +1,378 @@
+"""The job queue behind the study service.
+
+``JobManager`` owns everything between an accepted submission and a
+served result: a FIFO queue drained by a bounded pool of asyncio
+workers, each executing one study at a time in a thread (the event
+loop stays responsive while studies crunch), live progress fan-out to
+SSE subscribers, and two layers of dedup —
+
+* **live attach**: a submission whose canonical key matches an
+  existing job returns that job, whatever its state;
+* **cache hit**: a fresh key whose result envelope already sits in the
+  :class:`~repro.cache.AnalysisCache` (memory or the disk store a
+  previous process wrote) completes instantly without executing.
+
+Both are possible only because the determinism contract makes the
+result a pure function of the submission's canonical key — any
+replica that executed the same key produced the same bytes, so
+serving from the shared disk store is exact, not approximate.
+
+Progress streams off the existing :mod:`repro.obs` tracer via
+:func:`~repro.obs.trace_listener`: the study thread taps its own span
+stream (``study``/``run``/``channel``/``shard`` boundaries) and
+forwards records onto the event loop.  Recording is untouched, so
+digests and golden traces stay byte-identical under the service.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from dataclasses import dataclass, field
+
+from repro.api import Study
+from repro.cache import MISS, AnalysisCache, artifact_key, default_cache
+from repro.obs import trace_listener
+from repro.service.schema import Submission
+
+__all__ = [
+    "DONE",
+    "FAILED",
+    "QUEUED",
+    "RUNNING",
+    "Job",
+    "JobManager",
+    "execute_submission",
+]
+
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+#: Span names forwarded as SSE progress (request-level points are
+#: recorded too, but streaming tens of thousands of them per study
+#: would drown the channel-level signal the paper's rig reports).
+PROGRESS_SPANS = frozenset({"study", "run", "channel", "shard"})
+
+#: The result envelope's identity in the analysis cache: keyed like a
+#: pass artifact so the same store (and the same invalidation story)
+#: serves both.  Bump the version if the envelope shape changes.
+SERVICE_PASS = "service.job"
+SERVICE_VERSION = 1
+
+
+def envelope_key(submission_key: str) -> str:
+    """The cache address of one submission's result envelope."""
+    return artifact_key(submission_key, SERVICE_PASS, SERVICE_VERSION)
+
+
+def execute_submission(submission: Submission, publish) -> object:
+    """Run one submission to completion (called in a worker thread).
+
+    ``publish(event, payload)`` must be thread-safe; it receives
+    ``progress`` records for every study/run/channel/shard span
+    boundary the tracer emits.  Returns the finished
+    :class:`~repro.api.ResultBase`.
+    """
+
+    def forward(event) -> None:
+        if event.kind not in ("begin", "end"):
+            return
+        if event.name not in PROGRESS_SPANS:
+            return
+        payload = {"span": event.name, "phase": event.kind, "at": event.at}
+        payload.update(dict(event.attrs))
+        publish("progress", payload)
+
+    study = Study(seed=submission.seed, scale=submission.scale)
+    with trace_listener(forward):
+        if submission.kind == "fleet":
+            return study.fleet(
+                submission.households, options=submission.options
+            )
+        return study.run(options=submission.options)
+
+
+def summarize_result(result) -> tuple[dict, str, dict]:
+    """(summary, report, metrics snapshot) for one finished result.
+
+    Generating the report here — in the worker thread, against the
+    service cache — means every analysis pass is computed and cached
+    before the first ``GET /studies/{id}/report`` arrives.
+    """
+    summary = result.to_json_summary()
+    report = result.report()
+    metrics = getattr(result, "metrics", None)
+    snapshot = metrics.snapshot() if metrics is not None else {}
+    return summary, report, snapshot
+
+
+@dataclass
+class Job:
+    """One submission's lifecycle inside the service."""
+
+    id: str
+    submission: Submission
+    key: str
+    state: str = QUEUED
+    #: Completed from a cache envelope without executing.
+    cached: bool = False
+    digest: str | None = None
+    error: str | None = None
+    summary: dict | None = None
+    report_text: str | None = None
+    metrics_snapshot: dict | None = None
+    #: The live result while this process holds it (cache-completed
+    #: jobs have none — their dataset was never materialized here).
+    result: object = field(default=None, repr=False)
+    #: Replayable SSE records: {"seq", "event", "data"}.
+    events: list = field(default_factory=list)
+    #: Live subscriber queues (event-loop only).
+    waiters: list = field(default_factory=list, repr=False)
+    done: asyncio.Event = field(default_factory=asyncio.Event, repr=False)
+
+    @property
+    def finished(self) -> bool:
+        return self.state in (DONE, FAILED)
+
+    def as_dict(self) -> dict:
+        payload = {
+            "id": self.id,
+            "kind": self.submission.kind,
+            "state": self.state,
+            "cached": self.cached,
+            "key": self.key,
+            "digest": self.digest,
+            "error": self.error,
+            "events": len(self.events),
+            "submission": self.submission.canonical(),
+        }
+        if self.summary is not None:
+            payload["summary"] = self.summary
+        return payload
+
+
+class JobManager:
+    """Bounded concurrent execution with content-addressed dedup.
+
+    Every public method runs on the event loop; worker threads reach
+    the loop only through ``call_soon_threadsafe``.  ``executor`` is
+    the seam the unit tests stub — production uses
+    :func:`execute_submission`.
+    """
+
+    def __init__(
+        self,
+        cache: AnalysisCache | None = None,
+        max_workers: int = 2,
+        executor=None,
+    ) -> None:
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self.cache = cache if cache is not None else default_cache()
+        self.max_workers = max_workers
+        self.executor = executor if executor is not None else execute_submission
+        self.jobs: dict[str, Job] = {}
+        self._by_key: dict[str, str] = {}
+        self._ids = itertools.count(1)
+        self._queue: asyncio.Queue | None = None
+        self._workers: list[asyncio.Task] = []
+        #: ``cache_hits`` counts every submission answered without
+        #: spawning an execution; ``dedup_hits`` is the subset that
+        #: attached to a job alive in this process.
+        self.counters = {
+            "submissions": 0,
+            "executions": 0,
+            "dedup_hits": 0,
+            "cache_hits": 0,
+            "failures": 0,
+        }
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def start(self) -> None:
+        self._queue = asyncio.Queue()
+        self._workers = [
+            asyncio.create_task(self._worker_loop(), name=f"job-worker-{i}")
+            for i in range(self.max_workers)
+        ]
+
+    async def stop(self) -> None:
+        for task in self._workers:
+            task.cancel()
+        for task in self._workers:
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        self._workers = []
+
+    # -- submission ------------------------------------------------------------
+
+    def submit(self, submission: Submission) -> tuple[Job, bool]:
+        """Admit one submission; returns ``(job, created)``.
+
+        ``created`` is ``False`` when the submission deduped to an
+        existing job or completed straight from the cache — the
+        acceptance contract: an identical second POST never spawns a
+        second execution.
+        """
+        if self._queue is None:
+            raise RuntimeError("JobManager.start() has not run")
+        self.counters["submissions"] += 1
+        key = submission.key()
+        existing_id = self._by_key.get(key)
+        if existing_id is not None:
+            self.counters["dedup_hits"] += 1
+            self.counters["cache_hits"] += 1
+            return self.jobs[existing_id], False
+        envelope = self.cache.get(envelope_key(key), pass_name=SERVICE_PASS)
+        if envelope is not MISS:
+            self.counters["cache_hits"] += 1
+            job = self._admit(submission, key)
+            self._complete_from_envelope(job, envelope)
+            return job, False
+        job = self._admit(submission, key)
+        self._publish(job, "state", {"id": job.id, "state": QUEUED})
+        self._queue.put_nowait(job.id)
+        return job, True
+
+    def _admit(self, submission: Submission, key: str) -> Job:
+        job = Job(
+            id=f"job-{next(self._ids):04d}", submission=submission, key=key
+        )
+        self.jobs[job.id] = job
+        self._by_key[key] = job.id
+        return job
+
+    def _complete_from_envelope(self, job: Job, envelope: dict) -> None:
+        job.cached = True
+        job.digest = envelope.get("digest")
+        job.summary = envelope.get("summary")
+        job.report_text = envelope.get("report")
+        job.metrics_snapshot = envelope.get("metrics")
+        self._publish(
+            job, "state", {"id": job.id, "state": DONE, "cached": True}
+        )
+        job.state = DONE
+        self._publish(job, "done", job.summary or {"digest": job.digest})
+        job.done.set()
+
+    # -- execution -------------------------------------------------------------
+
+    async def _worker_loop(self) -> None:
+        assert self._queue is not None
+        while True:
+            job_id = await self._queue.get()
+            try:
+                await self._run_job(self.jobs[job_id])
+            finally:
+                self._queue.task_done()
+
+    async def _run_job(self, job: Job) -> None:
+        loop = asyncio.get_running_loop()
+
+        def publish_threadsafe(event: str, payload: dict) -> None:
+            loop.call_soon_threadsafe(self._publish, job, event, payload)
+
+        job.state = RUNNING
+        self.counters["executions"] += 1
+        self._publish(job, "state", {"id": job.id, "state": RUNNING})
+        try:
+            result, summary, report, snapshot = await asyncio.to_thread(
+                self._execute, job.submission, publish_threadsafe
+            )
+        except Exception as exc:  # one bad job must not kill the pool
+            self.counters["failures"] += 1
+            job.error = f"{type(exc).__name__}: {exc}"
+            job.state = FAILED
+            self._publish(
+                job,
+                "state",
+                {"id": job.id, "state": FAILED, "error": job.error},
+            )
+            self._publish(job, "failed", {"error": job.error})
+            job.done.set()
+            return
+        job.result = result
+        job.digest = summary.get("digest", getattr(result, "digest", None))
+        job.summary = summary
+        job.report_text = report
+        job.metrics_snapshot = snapshot
+        self.cache.put(
+            envelope_key(job.key),
+            {
+                "digest": job.digest,
+                "summary": summary,
+                "report": report,
+                "metrics": snapshot,
+            },
+            meta={"pass": SERVICE_PASS, "submission": job.submission.canonical()},
+        )
+        job.state = DONE
+        self._publish(
+            job,
+            "state",
+            {"id": job.id, "state": DONE, "digest": job.digest},
+        )
+        self._publish(job, "done", summary)
+        job.done.set()
+
+    def _execute(self, submission: Submission, publish):
+        """Thread-side: run the study against the service's cache."""
+        from dataclasses import replace
+
+        options = replace(submission.options, cache=self.cache)
+        result = self.executor(submission.with_options(options), publish)
+        summary, report, snapshot = summarize_result(result)
+        return result, summary, report, snapshot
+
+    # -- progress fan-out ------------------------------------------------------
+
+    def _publish(self, job: Job, event: str, payload: dict) -> None:
+        record = {"seq": len(job.events) + 1, "event": event, "data": payload}
+        job.events.append(record)
+        for queue in list(job.waiters):
+            queue.put_nowait(record)
+
+    async def subscribe(self, job: Job):
+        """Yield this job's records: full replay, then live to the end.
+
+        Registering the waiter *before* snapshotting (both without an
+        intervening await) guarantees no record is missed; sequence
+        numbers filter the overlap.
+        """
+        queue: asyncio.Queue = asyncio.Queue()
+        job.waiters.append(queue)
+        try:
+            replay = list(job.events)
+            last = 0
+            for record in replay:
+                yield record
+                last = record["seq"]
+            if replay and replay[-1]["event"] in ("done", "failed"):
+                return
+            while True:
+                record = await queue.get()
+                if record["seq"] <= last:
+                    continue
+                yield record
+                if record["event"] in ("done", "failed"):
+                    return
+        finally:
+            job.waiters.remove(queue)
+
+    # -- introspection ---------------------------------------------------------
+
+    def stats(self) -> dict:
+        by_state: dict[str, int] = {}
+        for job in self.jobs.values():
+            by_state[job.state] = by_state.get(job.state, 0) + 1
+        return {
+            "counters": dict(self.counters),
+            "jobs": len(self.jobs),
+            "by_state": by_state,
+            "workers": self.max_workers,
+            "cache": self.cache.stats().as_dict(),
+        }

@@ -1,0 +1,277 @@
+"""URL space of the study service.
+
+A small method+pattern router mapping onto handlers that take the
+:class:`~repro.service.jobs.JobManager` and a parsed
+:class:`Request`, returning either a buffered :class:`Response` or an
+:class:`SSEStream` the app layer drains incrementally.  Fleets and
+studies share one job namespace: ``POST /fleets`` submits a fleet, but
+its job is read back through the same ``/studies/{id}/...`` routes —
+the :class:`~repro.api.ResultBase` surface makes the handlers
+indifferent to which kind produced the result.
+
+    POST /studies                submit a study        202 / 200 (dedup)
+    POST /fleets                 submit a fleet        202 / 200 (dedup)
+    GET  /studies                list jobs
+    GET  /studies/{id}           job status + summary
+    GET  /studies/{id}/events    SSE progress (replay + live)
+    GET  /studies/{id}/report    markdown replication report
+    GET  /studies/{id}/dataset   canonical dataset JSON
+    GET  /studies/{id}/metrics   deterministic metrics snapshot
+    GET  /healthz                liveness + counters
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+
+from repro.service.jobs import DONE, FAILED, Job, JobManager
+from repro.service.schema import SchemaError, parse_submission
+
+__all__ = ["Request", "Response", "Router", "SSEStream", "build_router"]
+
+JSON_TYPE = "application/json"
+MARKDOWN_TYPE = "text/markdown; charset=utf-8"
+
+#: Submission bodies larger than this are rejected outright (413).
+MAX_BODY_BYTES = 1 << 20
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request, already body-buffered."""
+
+    method: str
+    path: str
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self):
+        if not self.body:
+            raise SchemaError("request body is empty (expected JSON)")
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as err:
+            raise SchemaError(f"request body is not valid JSON: {err}")
+
+
+@dataclass
+class Response:
+    """One buffered response the app layer serializes."""
+
+    status: int
+    body: bytes
+    content_type: str = JSON_TYPE
+
+    @classmethod
+    def json(cls, payload, status: int = 200) -> "Response":
+        encoded = json.dumps(payload, sort_keys=True, indent=2) + "\n"
+        return cls(status=status, body=encoded.encode("utf-8"))
+
+    @classmethod
+    def error(cls, status: int, message: str, errors=None) -> "Response":
+        payload = {"error": message}
+        if errors:
+            payload["errors"] = list(errors)
+        return cls.json(payload, status=status)
+
+    @classmethod
+    def text(
+        cls, content: str, status: int = 200, content_type: str = MARKDOWN_TYPE
+    ) -> "Response":
+        return cls(
+            status=status,
+            body=content.encode("utf-8"),
+            content_type=content_type,
+        )
+
+
+@dataclass
+class SSEStream:
+    """A live event stream the app layer writes frame by frame."""
+
+    job: Job
+    manager: JobManager
+
+
+class Router:
+    """Ordered (method, pattern) dispatch with 405 discrimination."""
+
+    def __init__(self) -> None:
+        self._routes: list[tuple[str, re.Pattern, object]] = []
+
+    def add(self, method: str, pattern: str, handler) -> None:
+        self._routes.append((method, re.compile(f"^{pattern}$"), handler))
+
+    def resolve(self, method: str, path: str):
+        """(handler, params) — or raises :class:`LookupError` with the
+        status the app should answer (404 unknown path, 405 known path
+        wrong method)."""
+        allowed: list[str] = []
+        for route_method, pattern, handler in self._routes:
+            match = pattern.match(path)
+            if match is None:
+                continue
+            if route_method == method:
+                return handler, match.groupdict()
+            allowed.append(route_method)
+        if allowed:
+            raise LookupError(f"405 method not allowed (try {sorted(set(allowed))})")
+        raise LookupError("404 not found")
+
+
+def _job_or_404(manager: JobManager, job_id: str):
+    job = manager.jobs.get(job_id)
+    if job is None:
+        return None, Response.error(404, f"no such job: {job_id}")
+    return job, None
+
+
+async def submit_study(manager: JobManager, request: Request) -> Response:
+    return _submit(manager, request, "study")
+
+
+async def submit_fleet(manager: JobManager, request: Request) -> Response:
+    return _submit(manager, request, "fleet")
+
+
+def _submit(manager: JobManager, request: Request, kind: str) -> Response:
+    if len(request.body) > MAX_BODY_BYTES:
+        return Response.error(413, "request body too large")
+    try:
+        payload = request.json()
+        submission = parse_submission(payload, kind)
+    except SchemaError as err:
+        return Response.error(400, "invalid submission", errors=err.errors)
+    job, created = manager.submit(submission)
+    body = {
+        "job": job.as_dict(),
+        "created": created,
+        "links": {
+            "self": f"/studies/{job.id}",
+            "events": f"/studies/{job.id}/events",
+            "report": f"/studies/{job.id}/report",
+            "dataset": f"/studies/{job.id}/dataset",
+            "metrics": f"/studies/{job.id}/metrics",
+        },
+    }
+    return Response.json(body, status=202 if created else 200)
+
+
+async def list_jobs(manager: JobManager, request: Request) -> Response:
+    jobs = [manager.jobs[job_id].as_dict() for job_id in sorted(manager.jobs)]
+    return Response.json({"jobs": jobs, "stats": manager.stats()})
+
+
+async def job_status(
+    manager: JobManager, request: Request, job_id: str
+) -> Response:
+    job, missing = _job_or_404(manager, job_id)
+    if missing is not None:
+        return missing
+    return Response.json(job.as_dict())
+
+
+async def job_events(manager: JobManager, request: Request, job_id: str):
+    job, missing = _job_or_404(manager, job_id)
+    if missing is not None:
+        return missing
+    return SSEStream(job=job, manager=manager)
+
+
+async def job_report(
+    manager: JobManager, request: Request, job_id: str
+) -> Response:
+    job, missing = _job_or_404(manager, job_id)
+    if missing is not None:
+        return missing
+    if job.state == FAILED:
+        return Response.error(410, f"job failed: {job.error}")
+    if job.state != DONE or job.report_text is None:
+        return Response.error(
+            409, f"job {job_id} is {job.state}; report not ready"
+        )
+    return Response.text(job.report_text)
+
+
+async def job_metrics(
+    manager: JobManager, request: Request, job_id: str
+) -> Response:
+    job, missing = _job_or_404(manager, job_id)
+    if missing is not None:
+        return missing
+    if not job.finished:
+        return Response.error(
+            409, f"job {job_id} is {job.state}; metrics not ready"
+        )
+    if job.state == FAILED:
+        return Response.error(410, f"job failed: {job.error}")
+    return Response.json(job.metrics_snapshot or {})
+
+
+async def job_dataset(
+    manager: JobManager, request: Request, job_id: str
+) -> Response:
+    job, missing = _job_or_404(manager, job_id)
+    if missing is not None:
+        return missing
+    if job.state == FAILED:
+        return Response.error(410, f"job failed: {job.error}")
+    if job.state != DONE:
+        return Response.error(
+            409, f"job {job_id} is {job.state}; dataset not ready"
+        )
+    if job.result is None:
+        # Completed from a cache envelope: the summary/report/metrics
+        # were persisted, the full dataset deliberately was not.
+        return Response.error(
+            410,
+            "dataset not materialized in this process (job served from "
+            "cache); resubmit with a fresh key to re-execute",
+        )
+    payload = _serialize_dataset(job.result.dataset)
+    return Response.json({"digest": job.digest, "dataset": payload})
+
+
+def _serialize_dataset(dataset) -> dict:
+    serialize = getattr(dataset, "serialize_canonical", None)
+    if serialize is not None:
+        return serialize()
+    households = getattr(dataset, "households", None)
+    if households is not None:
+        return {
+            "households": {
+                household_id: _serialize_dataset(member)
+                for household_id, member in households
+            }
+        }
+    from repro.core.dataset import serialize_study_dataset
+
+    return serialize_study_dataset(dataset)
+
+
+async def healthz(manager: JobManager, request: Request) -> Response:
+    return Response.json({"status": "ok", **manager.stats()})
+
+
+def build_router() -> Router:
+    router = Router()
+    router.add("POST", "/studies", submit_study)
+    router.add("POST", "/fleets", submit_fleet)
+    router.add("GET", "/studies", list_jobs)
+    router.add("GET", "/studies/(?P<job_id>[A-Za-z0-9_-]+)", job_status)
+    router.add(
+        "GET", "/studies/(?P<job_id>[A-Za-z0-9_-]+)/events", job_events
+    )
+    router.add(
+        "GET", "/studies/(?P<job_id>[A-Za-z0-9_-]+)/report", job_report
+    )
+    router.add(
+        "GET", "/studies/(?P<job_id>[A-Za-z0-9_-]+)/dataset", job_dataset
+    )
+    router.add(
+        "GET", "/studies/(?P<job_id>[A-Za-z0-9_-]+)/metrics", job_metrics
+    )
+    router.add("GET", "/healthz", healthz)
+    return router

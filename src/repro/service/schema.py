@@ -1,0 +1,143 @@
+"""The canonical JSON schema of service submissions.
+
+One submission describes one study or fleet: *what* to measure
+(``seed``, ``scale``, ``households``) plus *how* to execute it (an
+``options`` object — the JSON spelling of
+:class:`~repro.core.options.ExecutionOptions`).  Parsing is strict:
+unknown keys, wrong types, and invalid preset names all raise
+:class:`SchemaError` with every problem listed, which the routes layer
+turns into a 400 body the client can actually act on.
+
+``Submission.key()`` is the dedup identity: the sha256 of the
+canonical submission JSON, where options contribute only their
+:meth:`~repro.core.options.ExecutionOptions.canonical` projection
+(``workers`` and ``cache`` can never change output bytes).  Two
+submissions with equal keys are byte-for-byte the same study, which is
+what lets the job manager attach the second to the first — or serve it
+straight from the analysis cache's disk store.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, replace
+
+from repro.core.options import ExecutionOptions, OptionsError
+
+__all__ = ["SchemaError", "Submission", "parse_submission"]
+
+#: Accepted top-level keys, per endpoint kind.
+STUDY_KEYS = frozenset({"seed", "scale", "options"})
+FLEET_KEYS = STUDY_KEYS | {"households"}
+
+KINDS = ("study", "fleet")
+
+
+class SchemaError(ValueError):
+    """A submission body the schema rejects, with per-field messages."""
+
+    def __init__(self, errors) -> None:
+        if isinstance(errors, str):
+            errors = [errors]
+        self.errors = list(errors)
+        super().__init__("; ".join(self.errors))
+
+
+@dataclass(frozen=True)
+class Submission:
+    """One validated study/fleet request, ready to execute or dedup."""
+
+    kind: str
+    seed: int
+    scale: float
+    households: int
+    options: ExecutionOptions
+
+    def canonical(self) -> dict:
+        """The JSON object the dedup key hashes (execution identity)."""
+        return {
+            "kind": self.kind,
+            "seed": self.seed,
+            "scale": self.scale,
+            "households": self.households,
+            "options": self.options.canonical(),
+        }
+
+    def key(self) -> str:
+        """sha256 of the canonical JSON — the service's dedup identity."""
+        encoded = json.dumps(
+            self.canonical(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
+    def with_options(self, options: ExecutionOptions) -> "Submission":
+        return replace(self, options=options)
+
+
+def parse_submission(payload, kind: str = "study") -> Submission:
+    """Validate one request body into a :class:`Submission`.
+
+    ``scale`` is resolved to its effective value here (the configured
+    default when omitted), so the dedup key names the scale that will
+    actually run, not the spelling the client used.
+    """
+    if kind not in KINDS:
+        raise ValueError(f"kind must be one of {KINDS}, got {kind!r}")
+    if not isinstance(payload, dict):
+        raise SchemaError(
+            f"body must be a JSON object, got {type(payload).__name__}"
+        )
+    allowed = FLEET_KEYS if kind == "fleet" else STUDY_KEYS
+    errors: list[str] = []
+    unknown = sorted(set(payload) - allowed)
+    if unknown:
+        errors.append(
+            f"unknown key(s): {', '.join(unknown)} "
+            f"(allowed: {', '.join(sorted(allowed))})"
+        )
+
+    seed = payload.get("seed", 7)
+    if isinstance(seed, bool) or not isinstance(seed, int):
+        errors.append(f"seed must be an integer, got {seed!r}")
+        seed = 7
+
+    scale = payload.get("scale")
+    if scale is not None and (
+        isinstance(scale, bool) or not isinstance(scale, (int, float))
+    ):
+        errors.append(f"scale must be a positive number or null, got {scale!r}")
+        scale = None
+    elif scale is not None and scale <= 0:
+        errors.append(f"scale must be positive, got {scale!r}")
+        scale = None
+    if scale is None:
+        from repro.simulation.study import configured_scale
+
+        scale = configured_scale()
+
+    households = payload.get("households", 1)
+    if isinstance(households, bool) or not isinstance(households, int):
+        errors.append(f"households must be an integer, got {households!r}")
+        households = 1
+    elif households < 1:
+        errors.append(f"households must be >= 1, got {households}")
+        households = 1
+
+    options_payload = payload.get("options")
+    options = ExecutionOptions()
+    if options_payload is not None:
+        try:
+            options = ExecutionOptions.from_json(options_payload)
+        except OptionsError as err:
+            errors.append(f"options: {err}")
+
+    if errors:
+        raise SchemaError(errors)
+    return Submission(
+        kind=kind,
+        seed=seed,
+        scale=float(scale),
+        households=households,
+        options=options,
+    )

@@ -1,0 +1,44 @@
+"""Server-sent event wire encoding (RFC-less but interoperable).
+
+Pure functions over bytes — no I/O, no clocks — so the encoding is
+unit-testable and the app layer owns all streaming concerns.  Events
+carry a monotonically increasing ``id`` (the job's record sequence
+number), which is what makes replay after a dropped connection exact:
+a client reconnecting sees every record again from the start, in
+order, and can skip past its ``Last-Event-ID`` if it kept one.
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = ["HEARTBEAT", "format_event", "format_json_event"]
+
+#: Comment-only frame; keeps idle connections alive through proxies.
+HEARTBEAT = b": keep-alive\n\n"
+
+
+def format_event(
+    data: str, event: str | None = None, event_id: int | None = None
+) -> bytes:
+    """One SSE frame: optional ``id``/``event`` lines plus ``data``.
+
+    Multi-line data is split across ``data:`` lines per the SSE spec,
+    so embedded newlines survive the round trip.
+    """
+    lines: list[str] = []
+    if event_id is not None:
+        lines.append(f"id: {event_id}")
+    if event:
+        lines.append(f"event: {event}")
+    for chunk in data.splitlines() or [""]:
+        lines.append(f"data: {chunk}")
+    return ("\n".join(lines) + "\n\n").encode("utf-8")
+
+
+def format_json_event(
+    payload, event: str | None = None, event_id: int | None = None
+) -> bytes:
+    """An SSE frame whose data is canonical JSON (sorted, compact)."""
+    data = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return format_event(data, event=event, event_id=event_id)

@@ -1,0 +1,297 @@
+"""The unified :class:`~repro.core.options.ExecutionOptions` surface.
+
+One coercion path now serves four callers — ``Study.run``,
+``Study.fleet``/``run_fleet_study``, the CLI, and the service JSON
+schema — so these tests pin the normalization rules, the strict JSON
+codec (with a hypothesis round-trip law), and the canonical projection
+the service dedup key hashes.
+"""
+
+import argparse
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.options import (
+    UNSET,
+    ExecutionOptions,
+    OptionsError,
+    resolve_options,
+)
+from repro.core.resilience import ResiliencePolicy
+from repro.net.faults import FaultPlan
+from repro.net.netsim import NetSimConfig
+
+
+class TestNormalization:
+    def test_defaults(self):
+        opts = ExecutionOptions()
+        assert opts.workers is None
+        assert opts.shards is None
+        assert opts.faults == "off"
+        assert opts.resilience is None
+        assert opts.netsim == "off"
+        assert opts.cache is True
+        assert opts.backend == "objects"
+        assert opts.with_filtering is False
+
+    def test_none_spellings_normalize_to_off(self):
+        opts = ExecutionOptions(faults=None, netsim=None)
+        assert opts.faults == "off" and opts.netsim == "off"
+        opts = ExecutionOptions(faults="none", netsim="none")
+        assert opts.faults == "off" and opts.netsim == "off"
+
+    def test_equal_semantics_compare_equal(self):
+        assert ExecutionOptions(faults="none") == ExecutionOptions(
+            faults="off"
+        )
+        assert ExecutionOptions(resilience=True) == ExecutionOptions(
+            resilience=ResiliencePolicy()
+        )
+
+    def test_resilience_booleans(self):
+        assert ExecutionOptions(resilience=True).resilience == (
+            ResiliencePolicy()
+        )
+        assert ExecutionOptions(resilience=False).resilience is None
+
+    def test_inactive_netsim_config_normalizes_to_off(self):
+        assert ExecutionOptions(netsim=NetSimConfig()).netsim == "off"
+
+    def test_active_netsim_config_passes_through(self):
+        config = NetSimConfig.preset("dsl")
+        assert ExecutionOptions(netsim=config).netsim is config
+
+    @pytest.mark.parametrize("value", [0, -1, True, 1.5, "four"])
+    def test_bad_counts_rejected(self, value):
+        with pytest.raises(OptionsError):
+            ExecutionOptions(workers=value)
+        with pytest.raises(OptionsError):
+            ExecutionOptions(shards=value)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"faults": "earthquake"},
+            {"faults": 3},
+            {"netsim": "5g"},
+            {"netsim": 3},
+            {"resilience": "yes"},
+            {"backend": "parquet"},
+            {"with_filtering": 1},
+        ],
+    )
+    def test_bad_values_rejected(self, kwargs):
+        with pytest.raises((OptionsError, ValueError)):
+            ExecutionOptions(**kwargs)
+
+
+class TestJsonCodec:
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(OptionsError, match="unknown option key"):
+            ExecutionOptions.from_json({"worker": 2})
+
+    def test_non_object_rejected(self):
+        with pytest.raises(OptionsError, match="JSON object"):
+            ExecutionOptions.from_json([1, 2])
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {"faults": {"hosts": []}},
+            {"netsim": {"capacity": 5}},
+            {"resilience": {"retries": 1}},
+            {"cache": 7},
+        ],
+    )
+    def test_structured_values_rejected_in_json(self, payload):
+        with pytest.raises(OptionsError):
+            ExecutionOptions.from_json(payload)
+
+    def test_canonical_drops_workers_and_cache(self):
+        canonical = ExecutionOptions(workers=8, cache=False).canonical()
+        assert "workers" not in canonical
+        assert "cache" not in canonical
+        assert ExecutionOptions(workers=8).canonical_json() == (
+            ExecutionOptions(workers=2, cache=False).canonical_json()
+        )
+
+    def test_canonical_keeps_output_shaping_knobs(self):
+        base = ExecutionOptions().canonical_json()
+        assert ExecutionOptions(shards=3).canonical_json() != base
+        assert ExecutionOptions(faults="light").canonical_json() != base
+        assert ExecutionOptions(backend="columnar").canonical_json() != base
+        assert ExecutionOptions(with_filtering=True).canonical_json() != base
+
+    def test_custom_fault_plan_not_serializable(self):
+        opts = ExecutionOptions(faults=FaultPlan.light(seed=3))
+        with pytest.raises(OptionsError, match="FaultPlan"):
+            opts.to_json()
+
+    def test_empty_fault_plan_serializes_as_off(self):
+        assert ExecutionOptions(faults=FaultPlan()).to_json()["faults"] == (
+            "off"
+        )
+
+    def test_preset_netsim_config_serializes_as_name(self):
+        opts = ExecutionOptions(netsim=NetSimConfig.preset("fiber"))
+        assert opts.to_json()["netsim"] == "fiber"
+
+    def test_custom_resilience_not_serializable(self):
+        opts = ExecutionOptions(
+            resilience=ResiliencePolicy(breaker_failure_threshold=9)
+        )
+        with pytest.raises(OptionsError, match="ResiliencePolicy"):
+            opts.to_json()
+
+    def test_live_cache_not_serializable(self):
+        from repro.cache import AnalysisCache
+
+        opts = ExecutionOptions(cache=AnalysisCache())
+        with pytest.raises(OptionsError, match="cache"):
+            opts.to_json()
+
+
+#: Every JSON-expressible options payload the schema accepts.
+json_options = st.fixed_dictionaries(
+    {},
+    optional={
+        "workers": st.none() | st.integers(min_value=1, max_value=64),
+        "shards": st.none() | st.integers(min_value=1, max_value=64),
+        "faults": st.sampled_from(
+            ["off", "none", "light", "heavy", "chaos"]
+        ),
+        "resilience": st.none() | st.booleans(),
+        "netsim": st.sampled_from(
+            ["off", "none", "dsl", "fiber", "congested"]
+        ),
+        "cache": st.booleans() | st.just("/tmp/some-cache-dir"),
+        "backend": st.sampled_from(["objects", "columnar"]),
+        "with_filtering": st.booleans(),
+    },
+)
+
+
+class TestRoundTrip:
+    @given(payload=json_options)
+    def test_from_json_to_json_round_trips(self, payload):
+        options = ExecutionOptions.from_json(payload)
+        assert ExecutionOptions.from_json(options.to_json()) == options
+
+    @given(payload=json_options)
+    def test_to_json_is_a_fixpoint(self, payload):
+        encoded = ExecutionOptions.from_json(payload).to_json()
+        assert ExecutionOptions.from_json(encoded).to_json() == encoded
+
+    @given(payload=json_options)
+    def test_canonical_is_deterministic(self, payload):
+        options = ExecutionOptions.from_json(payload)
+        assert options.canonical_json() == (
+            ExecutionOptions.from_json(payload).canonical_json()
+        )
+
+
+class TestCliArgs:
+    def _namespace(self, **overrides):
+        defaults = dict(
+            workers=None,
+            shards=None,
+            faults="off",
+            netsim="off",
+            backend="objects",
+            cache_dir=None,
+            no_cache=False,
+        )
+        defaults.update(overrides)
+        return argparse.Namespace(**defaults)
+
+    def test_defaults(self):
+        assert ExecutionOptions.from_cli_args(self._namespace()) == (
+            ExecutionOptions()
+        )
+
+    def test_knobs_carry_over(self):
+        namespace = self._namespace(
+            workers=3, shards=6, faults="heavy", netsim="dsl",
+            backend="columnar",
+        )
+        opts = ExecutionOptions.from_cli_args(namespace)
+        assert opts.workers == 3 and opts.shards == 6
+        assert opts.faults == "heavy" and opts.netsim == "dsl"
+        assert opts.backend == "columnar"
+
+    def test_no_cache_beats_cache_dir(self):
+        namespace = self._namespace(no_cache=True, cache_dir="/tmp/x")
+        assert ExecutionOptions.from_cli_args(namespace).cache is False
+
+    def test_cache_dir_becomes_path(self):
+        namespace = self._namespace(cache_dir="/tmp/x")
+        assert ExecutionOptions.from_cli_args(namespace).cache == "/tmp/x"
+
+
+class TestResolveOptions:
+    def test_keywords_build_options(self):
+        opts = resolve_options(faults="light", workers=2)
+        assert opts.faults == "light" and opts.workers == 2
+
+    def test_unset_keywords_ignored(self):
+        assert resolve_options(faults=UNSET) == ExecutionOptions()
+
+    def test_prebuilt_options_pass_through(self):
+        opts = ExecutionOptions(shards=2)
+        assert resolve_options(options=opts) is opts
+
+    def test_dict_options_parse_as_json(self):
+        assert resolve_options(options={"shards": 2}) == ExecutionOptions(
+            shards=2
+        )
+
+    def test_options_plus_keywords_ambiguous(self):
+        with pytest.raises(TypeError, match="not both"):
+            resolve_options(options=ExecutionOptions(), workers=2)
+
+    def test_bad_options_type(self):
+        with pytest.raises(TypeError, match="ExecutionOptions"):
+            resolve_options(options="heavy")
+
+
+class TestFacadeIntegration:
+    def test_study_run_rejects_options_plus_keywords(self):
+        from repro.api import Study
+
+        with pytest.raises(TypeError, match="not both"):
+            Study(seed=1).run(options=ExecutionOptions(), workers=2)
+
+    def test_fleet_tasks_carry_with_filtering(self):
+        """Regression: ``Study.fleet`` silently dropped the funnel flag."""
+        from repro.fleet.household import plan_fleet
+        from repro.fleet.study import build_fleet_tasks
+        from repro.simulation.world import build_world
+
+        world = build_world(seed=3, scale=0.02)
+        specs = plan_fleet(world, 3, 2)
+        tasks = build_fleet_tasks(world, specs, with_filtering=True)
+        assert tasks and all(task.with_filtering for task in tasks)
+        tasks = build_fleet_tasks(world, specs)
+        assert tasks and not any(task.with_filtering for task in tasks)
+
+    def test_run_fleet_study_threads_with_filtering(self, monkeypatch):
+        """The fleet facade forwards the flag into every shard task."""
+        import repro.fleet.study as fleet_study
+
+        captured = {}
+
+        class _Stop(Exception):
+            pass
+
+        def spy(world, specs, **kwargs):
+            captured.update(kwargs)
+            raise _Stop()
+
+        monkeypatch.setattr(fleet_study, "build_fleet_tasks", spy)
+        with pytest.raises(_Stop):
+            fleet_study.run_fleet_study(
+                fleet_seed=3, n_households=2, scale=0.02,
+                with_filtering=True,
+            )
+        assert captured["with_filtering"] is True

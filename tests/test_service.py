@@ -1,0 +1,553 @@
+"""The study service: schema, job queue, SSE, and the HTTP surface.
+
+Most tests run against a stub executor — the service's concurrency,
+dedup, and streaming logic is independent of what executes — so the
+suite stays fast.  One end-to-end test runs a real (tiny) study
+through the full stack and pins the acceptance contract: the digest
+served over HTTP is byte-identical to a direct ``Study(...).run()``,
+and an identical second submission never re-executes.
+"""
+
+import asyncio
+import http.client
+import json
+import threading
+
+import pytest
+
+from repro.cache import AnalysisCache
+from repro.core.options import ExecutionOptions
+from repro.service import (
+    SchemaError,
+    ServiceThread,
+    Submission,
+    parse_submission,
+)
+from repro.service.jobs import DONE, FAILED, JobManager
+from repro.service.sse import HEARTBEAT, format_event, format_json_event
+
+# -- helpers -----------------------------------------------------------------------
+
+
+class FakeDataset:
+    def serialize_canonical(self):
+        return {"rows": 1}
+
+
+class FakeResult:
+    """Just enough ResultBase surface for the service layer."""
+
+    def __init__(self, digest: str, seed: int):
+        self.digest = digest
+        self.seed = seed
+        self.dataset = FakeDataset()
+        self.metrics = None
+
+    def to_json_summary(self):
+        return {"kind": "study", "digest": self.digest, "seed": self.seed}
+
+    def report(self):
+        return f"# stub report {self.digest}\n"
+
+
+def stub_executor(submission, publish):
+    publish("progress", {"span": "study", "phase": "begin", "at": 0.0})
+    publish("progress", {"span": "study", "phase": "end", "at": 1.0})
+    return FakeResult(digest=submission.key()[:16], seed=submission.seed)
+
+
+def request(
+    port: int, method: str, path: str, body=None, timeout: float = 30.0
+):
+    """One buffered HTTP exchange; returns (status, parsed-or-raw body)."""
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    payload = None if body is None else json.dumps(body)
+    connection.request(method, path, body=payload)
+    response = connection.getresponse()
+    raw = response.read()
+    connection.close()
+    if (response.getheader("Content-Type") or "").startswith(
+        "application/json"
+    ):
+        return response.status, json.loads(raw)
+    return response.status, raw
+
+
+def read_sse(port: int, job_id: str, timeout: float = 120.0) -> str:
+    """Stream one job's SSE channel to the end; returns the raw frames."""
+    connection = http.client.HTTPConnection(
+        "127.0.0.1", port, timeout=timeout
+    )
+    connection.request("GET", f"/studies/{job_id}/events")
+    response = connection.getresponse()
+    assert response.status == 200
+    assert response.getheader("Content-Type") == "text/event-stream"
+    frames = response.read().decode("utf-8")
+    connection.close()
+    return frames
+
+
+@pytest.fixture
+def service(tmp_path):
+    thread = ServiceThread(
+        cache=AnalysisCache(directory=tmp_path / "cache"),
+        executor=stub_executor,
+        max_workers=2,
+    )
+    thread.start()
+    yield thread
+    thread.stop()
+
+
+# -- schema ------------------------------------------------------------------------
+
+
+class TestSchema:
+    def test_minimal_body_defaults(self):
+        submission = parse_submission({"seed": 3, "scale": 0.1})
+        assert submission.kind == "study"
+        assert submission.seed == 3 and submission.scale == 0.1
+        assert submission.households == 1
+        assert submission.options == ExecutionOptions()
+
+    def test_omitted_scale_resolves_to_configured_default(self):
+        from repro.simulation.study import configured_scale
+
+        submission = parse_submission({})
+        assert submission.scale == configured_scale()
+
+    def test_unknown_keys_rejected_with_listing(self):
+        with pytest.raises(SchemaError) as excinfo:
+            parse_submission({"sed": 3, "households": 2})
+        message = str(excinfo.value)
+        assert "unknown key(s)" in message
+        assert "sed" in message and "households" in message
+
+    def test_households_allowed_for_fleet_kind(self):
+        submission = parse_submission({"households": 2}, kind="fleet")
+        assert submission.kind == "fleet" and submission.households == 2
+
+    def test_all_errors_accumulate(self):
+        with pytest.raises(SchemaError) as excinfo:
+            parse_submission(
+                {"seed": "x", "scale": -1, "options": {"workers": 0}}
+            )
+        assert len(excinfo.value.errors) == 3
+
+    def test_non_object_body_rejected(self):
+        with pytest.raises(SchemaError, match="JSON object"):
+            parse_submission([1, 2, 3])
+
+    def test_key_ignores_workers_and_cache(self):
+        base = parse_submission({"seed": 1, "scale": 0.1})
+        tuned = parse_submission(
+            {
+                "seed": 1,
+                "scale": 0.1,
+                "options": {"workers": 8, "cache": False},
+            }
+        )
+        assert base.key() == tuned.key()
+
+    def test_key_separates_output_shaping_knobs(self):
+        base = parse_submission({"seed": 1, "scale": 0.1})
+        assert base.key() != parse_submission({"seed": 2, "scale": 0.1}).key()
+        assert base.key() != (
+            parse_submission(
+                {"seed": 1, "scale": 0.1, "options": {"shards": 3}}
+            ).key()
+        )
+        assert base.key() != (
+            parse_submission({"seed": 1, "scale": 0.1}, kind="fleet").key()
+        )
+
+
+# -- SSE encoding ------------------------------------------------------------------
+
+
+class TestSseEncoding:
+    def test_frame_layout(self):
+        frame = format_event("hello", event="greet", event_id=4)
+        assert frame == b"id: 4\nevent: greet\ndata: hello\n\n"
+
+    def test_multiline_data_splits(self):
+        frame = format_event("a\nb", event_id=1)
+        assert frame == b"id: 1\ndata: a\ndata: b\n\n"
+
+    def test_json_frame_is_canonical(self):
+        frame = format_json_event({"b": 1, "a": 2}, event="x", event_id=9)
+        assert frame == b'id: 9\nevent: x\ndata: {"a":2,"b":1}\n\n'
+
+    def test_heartbeat_is_a_comment(self):
+        assert HEARTBEAT.startswith(b":")
+
+
+# -- job manager (event-loop level) ------------------------------------------------
+
+
+def _submission(seed: int = 1, **options) -> Submission:
+    return parse_submission(
+        {"seed": seed, "scale": 0.1, "options": options or None}
+    )
+
+
+async def _wait(job, timeout: float = 60.0):
+    await asyncio.wait_for(job.done.wait(), timeout)
+    return job
+
+
+class TestJobManager:
+    def test_execute_publish_and_complete(self, tmp_path):
+        async def scenario():
+            manager = JobManager(
+                cache=AnalysisCache(directory=tmp_path),
+                executor=stub_executor,
+            )
+            await manager.start()
+            job, created = manager.submit(_submission())
+            assert created
+            await _wait(job)
+            await manager.stop()
+            return manager, job
+
+        manager, job = asyncio.run(scenario())
+        assert job.state == DONE
+        assert job.digest == job.key[:16]
+        assert job.report_text.startswith("# stub report")
+        kinds = [record["event"] for record in job.events]
+        assert kinds == ["state", "state", "progress", "progress", "state",
+                         "done"]
+        assert manager.counters["executions"] == 1
+
+    def test_failure_isolates_job(self, tmp_path):
+        def broken(submission, publish):
+            raise ValueError("study exploded")
+
+        async def scenario():
+            manager = JobManager(
+                cache=AnalysisCache(directory=tmp_path), executor=broken
+            )
+            await manager.start()
+            bad = await _wait(manager.submit(_submission(seed=1))[0])
+            # the pool survives: a later job still executes
+            manager.executor = stub_executor
+            good = await _wait(manager.submit(_submission(seed=2))[0])
+            await manager.stop()
+            return manager, bad, good
+
+        manager, bad, good = asyncio.run(scenario())
+        assert bad.state == FAILED
+        assert "study exploded" in bad.error
+        assert bad.events[-1]["event"] == "failed"
+        assert good.state == DONE
+        assert manager.counters["failures"] == 1
+
+    def test_live_dedup_attaches_to_running_job(self, tmp_path):
+        release = threading.Event()
+
+        def slow(submission, publish):
+            release.wait(30)
+            return FakeResult("aa", submission.seed)
+
+        async def scenario():
+            manager = JobManager(
+                cache=AnalysisCache(directory=tmp_path), executor=slow
+            )
+            await manager.start()
+            first, created_first = manager.submit(_submission())
+            await asyncio.sleep(0.05)
+            second, created_second = manager.submit(_submission())
+            release.set()
+            await _wait(first)
+            await manager.stop()
+            return manager, first, second, created_first, created_second
+
+        manager, first, second, created_first, created_second = asyncio.run(
+            scenario()
+        )
+        assert created_first and not created_second
+        assert second is first
+        assert manager.counters["executions"] == 1
+        assert manager.counters["dedup_hits"] == 1
+
+    def test_envelope_survives_process_restart(self, tmp_path):
+        async def run_one(executor):
+            manager = JobManager(
+                cache=AnalysisCache(directory=tmp_path), executor=executor
+            )
+            await manager.start()
+            job = await _wait(manager.submit(_submission())[0])
+            await manager.stop()
+            return manager, job
+
+        def must_not_run(submission, publish):  # pragma: no cover
+            raise AssertionError("cache-hit submission re-executed")
+
+        _, warm = asyncio.run(run_one(stub_executor))
+        manager, cold = asyncio.run(run_one(must_not_run))
+        assert cold.state == DONE and cold.cached
+        assert cold.digest == warm.digest
+        assert cold.report_text == warm.report_text
+        assert manager.counters["executions"] == 0
+        assert manager.counters["cache_hits"] == 1
+
+    def test_subscribe_replays_finished_job(self, tmp_path):
+        async def scenario():
+            manager = JobManager(
+                cache=AnalysisCache(directory=tmp_path),
+                executor=stub_executor,
+            )
+            await manager.start()
+            job = await _wait(manager.submit(_submission())[0])
+            records = [record async for record in manager.subscribe(job)]
+            await manager.stop()
+            return job, records
+
+        job, records = asyncio.run(scenario())
+        assert records == job.events
+        assert [r["seq"] for r in records] == list(
+            range(1, len(records) + 1)
+        )
+        assert records[-1]["event"] == "done"
+
+
+# -- HTTP surface ------------------------------------------------------------------
+
+
+class TestHttpSurface:
+    def test_submit_poll_stream_and_read(self, service):
+        status, body = request(
+            service.port, "POST", "/studies", {"seed": 5, "scale": 0.1}
+        )
+        assert status == 202 and body["created"] is True
+        job_id = body["job"]["id"]
+
+        frames = read_sse(service.port, job_id)
+        assert "event: progress" in frames
+        assert "event: done" in frames
+
+        status, body = request(service.port, "GET", f"/studies/{job_id}")
+        assert status == 200 and body["state"] == "done"
+        assert body["summary"]["seed"] == 5
+
+        status, report = request(
+            service.port, "GET", f"/studies/{job_id}/report"
+        )
+        assert status == 200 and report.startswith(b"# stub report")
+
+        status, dataset = request(
+            service.port, "GET", f"/studies/{job_id}/dataset"
+        )
+        assert status == 200 and dataset["dataset"] == {"rows": 1}
+
+        status, metrics = request(
+            service.port, "GET", f"/studies/{job_id}/metrics"
+        )
+        assert status == 200 and metrics == {}
+
+        status, listing = request(service.port, "GET", "/studies")
+        assert status == 200 and len(listing["jobs"]) == 1
+
+    def test_duplicate_submission_deduplicates(self, service):
+        body = {"seed": 6, "scale": 0.1, "options": {"shards": 2}}
+        status, first = request(service.port, "POST", "/studies", body)
+        assert status == 202
+        read_sse(service.port, first["job"]["id"])
+
+        # Same execution identity, different workers/cache spelling.
+        body["options"] = {"shards": 2, "workers": 8, "cache": False}
+        status, second = request(service.port, "POST", "/studies", body)
+        assert status == 200 and second["created"] is False
+        assert second["job"]["id"] == first["job"]["id"]
+
+        status, health = request(service.port, "GET", "/healthz")
+        assert status == 200
+        assert health["counters"]["executions"] == 1
+        assert health["counters"]["cache_hits"] == 1
+
+    def test_concurrent_multi_tenant_submissions(self, service):
+        seeds = [11, 12, 13, 14]
+        results = {}
+
+        def submit(seed: int) -> None:
+            status, body = request(
+                service.port, "POST", "/studies",
+                {"seed": seed, "scale": 0.1},
+            )
+            results[seed] = (status, body["job"]["id"])
+
+        threads = [
+            threading.Thread(target=submit, args=(seed,)) for seed in seeds
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert {status for status, _ in results.values()} == {202}
+        job_ids = {job_id for _, job_id in results.values()}
+        assert len(job_ids) == len(seeds)
+        for job_id in job_ids:
+            frames = read_sse(service.port, job_id)
+            assert "event: done" in frames
+        _, health = request(service.port, "GET", "/healthz")
+        assert health["counters"]["executions"] == len(seeds)
+        assert health["counters"]["failures"] == 0
+
+    def test_fleet_submissions_share_the_job_namespace(self, service):
+        status, body = request(
+            service.port, "POST", "/fleets",
+            {"seed": 5, "scale": 0.1, "households": 3},
+        )
+        assert status == 202
+        job_id = body["job"]["id"]
+        assert body["job"]["kind"] == "fleet"
+        frames = read_sse(service.port, job_id)
+        assert "event: done" in frames
+        status, body = request(service.port, "GET", f"/studies/{job_id}")
+        assert status == 200 and body["submission"]["households"] == 3
+
+    def test_malformed_bodies_rejected(self, service):
+        connection = http.client.HTTPConnection(
+            "127.0.0.1", service.port, timeout=10
+        )
+        connection.request("POST", "/studies", body="{not json")
+        response = connection.getresponse()
+        body = json.loads(response.read())
+        connection.close()
+        assert response.status == 400
+        assert "not valid JSON" in body["errors"][0]
+
+        status, body = request(
+            service.port, "POST", "/studies",
+            {"seed": "x", "bogus": 1, "options": {"faults": "earthquake"}},
+        )
+        assert status == 400
+        assert len(body["errors"]) == 3
+
+        status, body = request(
+            service.port, "POST", "/fleets", {"households": 0}
+        )
+        assert status == 400
+
+    def test_http_error_statuses(self, service):
+        status, _ = request(service.port, "GET", "/studies/job-9999")
+        assert status == 404
+        status, _ = request(service.port, "GET", "/nonsense")
+        assert status == 404
+        status, _ = request(service.port, "DELETE", "/healthz")
+        assert status == 405
+
+    def test_report_before_done_is_409(self, tmp_path):
+        release = threading.Event()
+
+        def slow(submission, publish):
+            release.wait(30)
+            return FakeResult("aa", submission.seed)
+
+        thread = ServiceThread(
+            cache=AnalysisCache(directory=tmp_path / "cache"), executor=slow
+        )
+        thread.start()
+        try:
+            status, body = request(
+                thread.port, "POST", "/studies", {"seed": 1, "scale": 0.1}
+            )
+            job_id = body["job"]["id"]
+            status, _ = request(
+                thread.port, "GET", f"/studies/{job_id}/report"
+            )
+            assert status == 409
+            release.set()
+            read_sse(thread.port, job_id)
+            status, _ = request(
+                thread.port, "GET", f"/studies/{job_id}/report"
+            )
+            assert status == 200
+        finally:
+            release.set()
+            thread.stop()
+
+    def test_cache_completed_job_serves_report_but_not_dataset(
+        self, tmp_path
+    ):
+        cache_dir = tmp_path / "shared"
+        warm = ServiceThread(
+            cache=AnalysisCache(directory=cache_dir), executor=stub_executor
+        )
+        warm.start()
+        _, body = request(
+            warm.port, "POST", "/studies", {"seed": 8, "scale": 0.1}
+        )
+        read_sse(warm.port, body["job"]["id"])
+        warm.stop()
+
+        cold = ServiceThread(
+            cache=AnalysisCache(directory=cache_dir), executor=stub_executor
+        )
+        cold.start()
+        try:
+            status, body = request(
+                cold.port, "POST", "/studies", {"seed": 8, "scale": 0.1}
+            )
+            assert status == 200 and body["created"] is False
+            job = body["job"]
+            assert job["state"] == "done" and job["cached"] is True
+            status, report = request(
+                cold.port, "GET", f"/studies/{job['id']}/report"
+            )
+            assert status == 200 and report.startswith(b"# stub report")
+            status, _ = request(
+                cold.port, "GET", f"/studies/{job['id']}/dataset"
+            )
+            assert status == 410
+        finally:
+            cold.stop()
+
+
+# -- end to end with a real study --------------------------------------------------
+
+
+class TestEndToEnd:
+    def test_service_digest_matches_direct_run(self, tmp_path):
+        from repro.api import Study
+
+        thread = ServiceThread(
+            cache=AnalysisCache(directory=tmp_path / "cache")
+        )
+        thread.start()
+        try:
+            status, body = request(
+                thread.port, "POST", "/studies", {"seed": 7, "scale": 0.02}
+            )
+            assert status == 202
+            job_id = body["job"]["id"]
+            frames = read_sse(thread.port, job_id, timeout=600)
+            assert "event: progress" in frames
+            assert '"span":"channel"' in frames
+            assert "event: done" in frames
+
+            status, body = request(thread.port, "GET", f"/studies/{job_id}")
+            assert status == 200 and body["state"] == "done"
+            served_digest = body["digest"]
+
+            direct = Study(seed=7, scale=0.02).run()
+            assert served_digest == direct.digest
+
+            status, report = request(
+                thread.port, "GET", f"/studies/{job_id}/report"
+            )
+            assert status == 200
+            assert b"Replication report" in report
+
+            # The acceptance contract: an identical second POST is
+            # served without re-executing.
+            status, body = request(
+                thread.port, "POST", "/studies", {"seed": 7, "scale": 0.02}
+            )
+            assert status == 200 and body["created"] is False
+            _, health = request(thread.port, "GET", "/healthz")
+            assert health["counters"]["executions"] == 1
+            assert health["counters"]["cache_hits"] == 1
+        finally:
+            thread.stop()
