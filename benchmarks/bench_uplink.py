@@ -1,0 +1,130 @@
+"""Shared-uplink throughput: requests/sec + shed rate at fleet scale.
+
+Runs one fleet study — default N=50 households on the columnar backend
+with the congested netsim and the contended ``neighbourhood`` uplink —
+and persists requests-per-second and the uplink shed rate to
+``BENCH_uplink.json`` (CI restores the previous file as the regression
+baseline; a >2x throughput drop fails the bench).  Digest equivalence
+across workers/shards/backends with the uplink on is pinned separately
+by ``tests/test_uplink.py``, so this bench only measures.
+
+Knobs (environment):
+
+* ``REPRO_UPLINK_BENCH_N`` — fleet size (default 50);
+* ``REPRO_UPLINK_BENCH_SCALE`` — world scale (default 0.02);
+* ``REPRO_UPLINK_BENCH_WORKERS`` — worker processes (default 4);
+* ``REPRO_UPLINK_BENCH_PATH`` — where the JSON persists.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from benchmarks.conftest import SEED, emit
+from repro.core.runs import standard_runs
+from repro.fleet import run_fleet_study
+
+RESULT_PATH = Path(
+    os.environ.get("REPRO_UPLINK_BENCH_PATH", "BENCH_uplink.json")
+)
+#: Fail when requests/sec drops below baseline / factor.
+REGRESSION_FACTOR = 2.0
+
+N_HOUSEHOLDS = int(os.environ.get("REPRO_UPLINK_BENCH_N", "50"))
+UPLINK_SCALE = float(os.environ.get("REPRO_UPLINK_BENCH_SCALE", "0.02"))
+WORKERS = int(os.environ.get("REPRO_UPLINK_BENCH_WORKERS", "4"))
+
+
+def test_uplink_throughput(benchmark):
+    runs = standard_runs(0)[:2]
+
+    def execute():
+        return run_fleet_study(
+            fleet_seed=SEED,
+            n_households=N_HOUSEHOLDS,
+            scale=UPLINK_SCALE,
+            runs=runs,
+            netsim="congested",
+            uplink="neighbourhood",
+            workers=WORKERS,
+            shards=1,
+            backend="columnar",
+        )
+
+    started = time.perf_counter()
+    fleet = benchmark.pedantic(execute, rounds=1, iterations=1)
+    wall = time.perf_counter() - started
+
+    total_requests = fleet.dataset.total_requests()
+    requests_per_second = total_requests / wall if wall else 0.0
+    metrics = fleet.metrics
+    uplink_offered = metrics.counter_total("netsim.uplink.offered")
+    uplink_shed = metrics.counter_total("netsim.uplink.shed")
+    shed_rate = (
+        uplink_shed / (uplink_offered + uplink_shed)
+        if (uplink_offered + uplink_shed)
+        else 0.0
+    )
+    honoured = metrics.counter_total("resilience.retry_after_honoured")
+
+    result = {
+        "seed": SEED,
+        "n_households": N_HOUSEHOLDS,
+        "scale": UPLINK_SCALE,
+        "workers": WORKERS,
+        "backend": "columnar",
+        "netsim": "congested",
+        "uplink": "neighbourhood",
+        "wall_seconds": round(wall, 2),
+        "total_requests": total_requests,
+        "requests_per_second": round(requests_per_second, 3),
+        "uplink_offered": uplink_offered,
+        "uplink_shed": uplink_shed,
+        "uplink_shed_rate": round(shed_rate, 4),
+        "retry_after_honoured": honoured,
+        "fleet_digest": fleet.digest(),
+    }
+
+    baseline = None
+    if RESULT_PATH.exists():
+        try:
+            baseline = json.loads(RESULT_PATH.read_text())
+        except (OSError, ValueError):
+            baseline = None
+    RESULT_PATH.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+
+    lines = [
+        f"{N_HOUSEHOLDS} households (scale {UPLINK_SCALE}, {WORKERS} "
+        f"workers, columnar, congested + neighbourhood uplink) in "
+        f"{wall:.1f}s = {requests_per_second:.1f} requests/sec",
+        f"{total_requests:,} requests; uplink shed rate "
+        f"{shed_rate:.2%} ({uplink_shed:,} of "
+        f"{uplink_offered + uplink_shed:,} offered at the link)",
+        f"{honoured:,} Retry-After back-offs honoured by clients",
+        f"fleet digest {fleet.digest()[:16]}…",
+        f"persisted to {RESULT_PATH}",
+    ]
+    if baseline is not None:
+        lines.append(
+            f"baseline: {baseline.get('requests_per_second', 0):.1f} "
+            "requests/sec"
+        )
+    emit("Shared uplink — fleet throughput under contention", "\n".join(lines))
+
+    assert total_requests > 0
+    assert uplink_offered > 0
+    comparable = (
+        baseline is not None
+        and baseline.get("requests_per_second")
+        and baseline.get("n_households") == N_HOUSEHOLDS
+        and baseline.get("scale") == UPLINK_SCALE
+        and baseline.get("workers") == WORKERS
+    )
+    if comparable:
+        floor = baseline["requests_per_second"] / REGRESSION_FACTOR
+        assert requests_per_second >= floor, (
+            f"uplink throughput regressed >{REGRESSION_FACTOR}x: "
+            f"{requests_per_second:.1f} requests/sec vs baseline "
+            f"{baseline['requests_per_second']:.1f}"
+        )

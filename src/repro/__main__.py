@@ -46,6 +46,7 @@ import argparse
 
 FAULT_CHOICES = ("off", "light", "heavy", "chaos")
 NETSIM_CHOICES = ("off", "dsl", "fiber", "congested")
+UPLINK_CHOICES = ("off", "street", "neighbourhood")
 CACHE_ACTIONS = ("stats", "clear", "verify")
 AUDIT_ACTIONS = ("lint", "fuzz")
 
@@ -74,6 +75,17 @@ def _build_parser() -> argparse.ArgumentParser:
             "network co-simulation preset: bounded per-host capacity, "
             "hour-of-day congestion, load shedding (default off = the "
             "original infinitely fast wire)"
+        ),
+    )
+    parser.add_argument(
+        "--uplink",
+        choices=UPLINK_CHOICES,
+        default="off",
+        help=(
+            "shared neighbourhood aggregation link on top of --netsim: "
+            "all host queues (and, with --households, all households) "
+            "compete for one bounded uplink that sheds with a "
+            "depth-derived Retry-After (requires an active --netsim)"
         ),
     )
     parser.add_argument(
@@ -226,10 +238,20 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    from repro.core.options import OptionsError
+
     arguments = _build_parser().parse_args(argv)
     if arguments.households < 1:
         print(f"--households must be >= 1, got {arguments.households}")
         return 2
+    try:
+        return _dispatch(arguments)
+    except OptionsError as exc:
+        print(exc)
+        return 2
+
+
+def _dispatch(arguments) -> int:
     if arguments.command == "cache":
         return _cache_command(arguments)
     if arguments.command == "audit":
@@ -318,12 +340,21 @@ def _audit_command(arguments) -> int:
             # ({1, N}) instead of replacing it: fleet points are only
             # meaningful next to single-TV ones.
             households = (1, arguments.households)
+        uplinks = ("off",)
+        if arguments.uplink != "off":
+            if arguments.netsim == "off":
+                print("--uplink requires an active --netsim preset")
+                return 2
+            # Same widening convention: uplink points are only
+            # meaningful next to uplink-off ones.
+            uplinks = ("off", arguments.uplink)
         config = FuzzConfig(
             budget=arguments.budget,
             base_seed=arguments.seed,
             netsim=arguments.netsim,
             backends=backends,
             households=households,
+            uplinks=uplinks,
         )
         report = run_fuzz(
             config, log=None if arguments.as_json else print
@@ -382,11 +413,12 @@ def _funnel(arguments) -> int:
     from repro.simulation.world import build_world
 
     world = build_world(seed=arguments.seed, scale=arguments.scale)
+    opts = _options(arguments)
     context = make_context(
         world,
         MeasurementConfig(exploratory_watch_seconds=60.0),
-        faults=_options(arguments).fault_plan(world),
-        netsim=arguments.netsim,
+        faults=opts.fault_plan(world),
+        netsim=opts.resolved_netsim(),
     )
     report = run_filtering(context)
     _maybe_write_trace(arguments, context)

@@ -48,12 +48,28 @@ class HourCongestion:
     p50_queue_delay: float
     p99_queue_delay: float
     max_queue_depth: int
+    #: Shared-uplink facts (all zero without an uplink — the fields
+    #: default so uplink-off construction sites stay unchanged).
+    uplink_requests: int = 0
+    uplink_shed: int = 0
+    p50_uplink_delay: float = 0.0
+    p99_uplink_delay: float = 0.0
+    max_uplink_depth: int = 0
 
     @property
     def shed_share(self) -> float:
         if self.requests == 0:
             return 0.0
         return self.shed / self.requests
+
+    @property
+    def uplink_shed_share(self) -> float:
+        """Uplink sheds over everything the uplink saw that hour (its
+        admitted requests plus its sheds)."""
+        offered = self.uplink_requests + self.uplink_shed
+        if offered == 0:
+            return 0.0
+        return self.uplink_shed / offered
 
 
 @dataclass(frozen=True)
@@ -82,6 +98,21 @@ class NetSimCongestionReport:
     @property
     def degraded_total(self) -> int:
         return sum(bucket.degraded for bucket in self.hours)
+
+    @property
+    def uplink_sample_count(self) -> int:
+        return sum(
+            bucket.uplink_requests + bucket.uplink_shed
+            for bucket in self.hours
+        )
+
+    @property
+    def has_uplink_samples(self) -> bool:
+        return self.uplink_sample_count > 0
+
+    @property
+    def uplink_shed_total(self) -> int:
+        return sum(bucket.uplink_shed for bucket in self.hours)
 
     def _hours_inside(self) -> list[int]:
         start, end = self.window
@@ -116,9 +147,37 @@ class NetSimCongestionReport:
     def offpeak_summary(self) -> dict:
         return self._aggregate(self.outside())
 
+    @staticmethod
+    def _aggregate_uplink(buckets: tuple[HourCongestion, ...]) -> dict:
+        """Uplink shed rate + worst-hour p99 over a bucket subset."""
+        requests = sum(b.uplink_requests for b in buckets)
+        shed = sum(b.uplink_shed for b in buckets)
+        offered = requests + shed
+        return {
+            "requests": requests,
+            "shed": shed,
+            "shed_rate": (shed / offered) if offered else 0.0,
+            "p99": max((b.p99_uplink_delay for b in buckets), default=0.0),
+        }
+
+    def peak_uplink_summary(self) -> dict:
+        return self._aggregate_uplink(self.inside())
+
+    def offpeak_uplink_summary(self) -> dict:
+        return self._aggregate_uplink(self.outside())
+
     def shed_sparkline(self) -> str:
         """One glyph per hour of shed volume (midnight first)."""
         counts = [b.shed for b in self.hours]
+        peak = max(counts) or 1
+        glyphs = " ▁▂▃▄▅▆▇█"
+        return "".join(
+            glyphs[min(8, round(8 * count / peak))] for count in counts
+        )
+
+    def uplink_shed_sparkline(self) -> str:
+        """One glyph per hour of uplink shed volume (midnight first)."""
+        counts = [b.uplink_shed for b in self.hours]
         peak = max(counts) or 1
         glyphs = " ▁▂▃▄▅▆▇█"
         return "".join(
@@ -134,6 +193,10 @@ def netsim_congestion_report(dataset: StudyDataset) -> NetSimCongestionReport:
     degraded = [0] * 24
     depth = [0] * 24
     delays: list[list[float]] = [[] for _ in range(24)]
+    uplink_requests = [0] * 24
+    uplink_shed = [0] * 24
+    uplink_depth = [0] * 24
+    uplink_delays: list[list[float]] = [[] for _ in range(24)]
     for flow in dataset.all_flows():
         fields = netsim_flow_fields(flow)
         if fields is None:
@@ -152,9 +215,20 @@ def netsim_congestion_report(dataset: StudyDataset) -> NetSimCongestionReport:
         delay = fields.get("queue_delay")
         if delay is not None:
             delays[hour].append(float(delay))
+        # Shared-uplink facts: a delivered flow carries uplink_delay,
+        # an uplink-shed flow the uplink_shed marker; both carry depth.
+        if fields.get("uplink_shed"):
+            uplink_shed[hour] += 1
+        elif fields.get("uplink_delay") is not None:
+            uplink_requests[hour] += 1
+            uplink_delays[hour].append(float(fields["uplink_delay"]))
+        up_depth = fields.get("uplink_depth")
+        if up_depth is not None:
+            uplink_depth[hour] = max(uplink_depth[hour], int(up_depth))
     buckets = []
     for hour in range(24):
         samples = sorted(delays[hour])
+        uplink_samples = sorted(uplink_delays[hour])
         buckets.append(
             HourCongestion(
                 hour=hour,
@@ -165,6 +239,11 @@ def netsim_congestion_report(dataset: StudyDataset) -> NetSimCongestionReport:
                 p50_queue_delay=_percentile(samples, 0.50),
                 p99_queue_delay=_percentile(samples, 0.99),
                 max_queue_depth=depth[hour],
+                uplink_requests=uplink_requests[hour],
+                uplink_shed=uplink_shed[hour],
+                p50_uplink_delay=_percentile(uplink_samples, 0.50),
+                p99_uplink_delay=_percentile(uplink_samples, 0.99),
+                max_uplink_depth=uplink_depth[hour],
             )
         )
     return NetSimCongestionReport(hours=tuple(buckets))
@@ -175,7 +254,13 @@ def netsim_congestion_report(dataset: StudyDataset) -> NetSimCongestionReport:
 from repro.analysis.passes import analysis_pass  # noqa: E402
 
 
-@analysis_pass("netsim", version=1)
+@analysis_pass("netsim", version=2)
 def run(dataset, ctx) -> NetSimCongestionReport:
-    """Pass entry point: congestion by hour over the co-simulated net."""
+    """Pass entry point: congestion by hour over the co-simulated net.
+
+    Version 2: the buckets additionally carry the shared-uplink facts
+    (queueing delay, depth, shed counts) when the study ran with an
+    uplink configured — cached v1 artifacts are invalidated by the
+    version bump, never silently reinterpreted.
+    """
     return netsim_congestion_report(dataset)

@@ -289,11 +289,38 @@ def _section_netsim(report) -> ReportSection | None:
         f"{off['shed']:,} shed, worst-hour p99 queueing delay "
         f"{off['p99']:.2f}s",
         f"- shed volume by hour (00–23): `{report.shed_sparkline()}`",
-        "",
-        "| hour | requests | shed | expired | p50 delay | p99 delay "
-        "| max depth |",
-        "|---|---|---|---|---|---|---|",
     ]
+    if report.has_uplink_samples:
+        # The shared-uplink block renders only when uplink-stamped
+        # flows exist, so netsim-on/uplink-off reports keep their bytes.
+        up_peak = report.peak_uplink_summary()
+        up_off = report.offpeak_uplink_summary()
+        lines.extend(
+            [
+                f"- shared uplink: {report.uplink_sample_count:,} requests "
+                f"reached the neighbourhood aggregation link; "
+                f"{report.uplink_shed_total:,} shed there (503 with "
+                "depth-derived Retry-After)",
+                f"- uplink inside the peak window ({window_label}): "
+                f"{up_peak['requests']:,} carried, {up_peak['shed']:,} shed "
+                f"(rate {up_peak['shed_rate']:.1%}), worst-hour p99 uplink "
+                f"delay {up_peak['p99']:.2f}s",
+                f"- uplink outside the window: {up_off['requests']:,} "
+                f"carried, {up_off['shed']:,} shed "
+                f"(rate {up_off['shed_rate']:.1%}), worst-hour p99 uplink "
+                f"delay {up_off['p99']:.2f}s",
+                "- uplink shed volume by hour (00–23): "
+                f"`{report.uplink_shed_sparkline()}`",
+            ]
+        )
+    lines.extend(
+        [
+            "",
+            "| hour | requests | shed | expired | p50 delay | p99 delay "
+            "| max depth |",
+            "|---|---|---|---|---|---|---|",
+        ]
+    )
     for bucket in report.hours:
         if bucket.requests == 0:
             continue

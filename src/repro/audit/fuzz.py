@@ -39,6 +39,7 @@ DEFAULT_SCALES = (0.02, 0.03)
 DEFAULT_FAULTS = ("off", "light", "chaos")
 DEFAULT_BACKENDS = ("objects",)
 DEFAULT_HOUSEHOLDS = (1,)
+DEFAULT_UPLINKS = ("off",)
 
 #: The digest fields every variant comparison checks.
 DIGEST_FIELDS = ("study_digest", "trace_digest", "metrics_digest")
@@ -65,11 +66,18 @@ class FuzzPoint:
     #: fuzz :func:`repro.fleet.run_fleet_study` across the same worker ×
     #: shard matrix.  Sampled from its own RNG stream, like ``backend``.
     households: int = 1
+    #: Shared-uplink preset riding on the netsim (``"off"``,
+    #: ``"street"``, ``"neighbourhood"``).  Sampled from its own RNG
+    #: stream so widening the axis never reshuffles existing samples;
+    #: only meaningful when ``netsim`` is active.
+    uplink: str = "off"
 
     def label(self) -> str:
         label = f"seed={self.seed} scale={self.scale} faults={self.faults}"
         if self.netsim != "off":
             label += f" netsim={self.netsim}"
+        if self.uplink != "off":
+            label += f" uplink={self.uplink}"
         if self.backend != "objects":
             label += f" backend={self.backend}"
         if self.households != 1:
@@ -82,6 +90,7 @@ class FuzzPoint:
             "scale": self.scale,
             "faults": self.faults,
             "netsim": self.netsim,
+            "uplink": self.uplink,
             "backend": self.backend,
             "households": self.households,
         }
@@ -95,19 +104,21 @@ def sample_points(
     netsim: str = "off",
     backends: Sequence[str] = DEFAULT_BACKENDS,
     households: Sequence[int] = DEFAULT_HOUSEHOLDS,
+    uplinks: Sequence[str] = DEFAULT_UPLINKS,
 ) -> list[FuzzPoint]:
     """Sample ``budget`` points deterministically from ``base_seed``.
 
     ``netsim`` is applied verbatim to every point (no RNG draws), so
     fuzzing with the co-simulation on visits the *same* (seed, scale,
-    faults) samples as fuzzing with it off.  ``backends`` and
-    ``households`` are each sampled from their *own* RNG stream keyed
-    off ``base_seed`` so that widening either axis likewise leaves the
-    primary samples (and each other) untouched.
+    faults) samples as fuzzing with it off.  ``backends``,
+    ``households``, and ``uplinks`` are each sampled from their *own*
+    RNG stream keyed off ``base_seed`` so that widening any axis
+    likewise leaves the primary samples (and each other) untouched.
     """
     rng = random.Random(base_seed)
     backend_rng = random.Random(f"backend:{base_seed}")
     household_rng = random.Random(f"households:{base_seed}")
+    uplink_rng = random.Random(f"uplink:{base_seed}")
     return [
         FuzzPoint(
             seed=rng.randrange(1, 100_000),
@@ -116,6 +127,7 @@ def sample_points(
             netsim=netsim,
             backend=backend_rng.choice(list(backends)),
             households=household_rng.choice(list(households)),
+            uplink=uplink_rng.choice(list(uplinks)),
         )
         for _ in range(budget)
     ]
@@ -224,9 +236,23 @@ class FuzzConfig:
     #: :func:`repro.fleet.run_fleet_study` across the same matrix; the
     #: fleet digest must be identical for every worker count.
     households: tuple[int, ...] = DEFAULT_HOUSEHOLDS
+    #: Shared-uplink presets the sampler may assign to a point
+    #: (``--uplink``); requires an active ``netsim`` to matter.
+    uplinks: tuple[str, ...] = DEFAULT_UPLINKS
 
 
 # -- execution ---------------------------------------------------------------------
+
+
+def _point_netsim(point: FuzzPoint):
+    """The point's netsim knob with its uplink preset attached."""
+    if point.uplink == "off" or point.netsim == "off":
+        return point.netsim
+    from repro.net.netsim import NetSimConfig, UplinkConfig
+
+    return NetSimConfig.preset(point.netsim).with_uplink(
+        UplinkConfig.preset(point.uplink)
+    )
 
 
 def _study_runner(point: FuzzPoint, workers: int, shards: int):
@@ -244,7 +270,7 @@ def _study_runner(point: FuzzPoint, workers: int, shards: int):
             n_households=point.households,
             scale=point.scale,
             faults=point.faults,
-            netsim=point.netsim,
+            netsim=_point_netsim(point),
             workers=workers,
             shards=shards,
             backend=point.backend,
@@ -266,7 +292,7 @@ def _study_runner(point: FuzzPoint, workers: int, shards: int):
     context = run_study(
         world,
         faults=plan,
-        netsim=point.netsim,
+        netsim=_point_netsim(point),
         workers=workers,
         shards=shards,
         backend=point.backend,
@@ -351,6 +377,7 @@ def run_fuzz(
             netsim=config.netsim,
             backends=config.backends,
             households=config.households,
+            uplinks=config.uplinks,
         )
     )
 

@@ -197,6 +197,11 @@ class FlowTable:
     ns_shed: array = field(default_factory=_flags)
     ns_degraded: array = field(default_factory=_flags)
     ns_expired: array = field(default_factory=_flags)
+    ns_uplink_delay: array = field(default_factory=_floats)
+    ns_has_uplink_delay: array = field(default_factory=_flags)
+    ns_uplink_depth: array = field(default_factory=_ints)
+    ns_has_uplink_depth: array = field(default_factory=_flags)
+    ns_uplink_shed: array = field(default_factory=_flags)
 
     def __len__(self) -> int:
         return len(self.url)
@@ -242,6 +247,17 @@ class FlowTable:
         self.ns_shed.append(1 if netsim.get("shed") else 0)
         self.ns_degraded.append(1 if netsim.get("degraded") else 0)
         self.ns_expired.append(1 if netsim.get("expired") else 0)
+        uplink_delay = netsim.get("uplink_delay")
+        self.ns_uplink_delay.append(
+            uplink_delay if uplink_delay is not None else 0.0
+        )
+        self.ns_has_uplink_delay.append(0 if uplink_delay is None else 1)
+        uplink_depth = netsim.get("uplink_depth")
+        self.ns_uplink_depth.append(
+            uplink_depth if uplink_depth is not None else 0
+        )
+        self.ns_has_uplink_depth.append(0 if uplink_depth is None else 1)
+        self.ns_uplink_shed.append(1 if netsim.get("uplink_shed") else 0)
 
     def materialize(self, row: int, store: ColumnStore) -> Flow:
         s = store.strings
@@ -344,6 +360,12 @@ class FlowTable:
             netsim["degraded"] = True
         if self.ns_expired[row]:
             netsim["expired"] = True
+        if self.ns_has_uplink_delay[row]:
+            netsim["uplink_delay"] = self.ns_uplink_delay[row]
+        if self.ns_has_uplink_depth[row]:
+            netsim["uplink_depth"] = self.ns_uplink_depth[row]
+        if self.ns_uplink_shed[row]:
+            netsim["uplink_shed"] = True
         if netsim:
             record["netsim"] = netsim
         return record

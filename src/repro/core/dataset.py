@@ -21,6 +21,9 @@ from repro.net.netsim import (
     QUEUE_DELAY_HEADER,
     QUEUE_DEPTH_HEADER,
     SHED_HEADER,
+    UPLINK_DELAY_HEADER,
+    UPLINK_DEPTH_HEADER,
+    UPLINK_SHED_HEADER,
 )
 from repro.net.storage import StorageEntry
 from repro.net.url import URL, URLError
@@ -52,6 +55,16 @@ def netsim_flow_fields(flow: Flow) -> dict | None:
         fields["degraded"] = True
     if EXPIRED_HEADER in headers:
         fields["expired"] = True
+    # Shared-uplink facts (stamped only when an uplink is configured,
+    # so uplink-off datasets keep their exact bytes).
+    uplink_delay = headers.get(UPLINK_DELAY_HEADER)
+    if uplink_delay is not None:
+        fields["uplink_delay"] = float(uplink_delay)
+    uplink_depth = headers.get(UPLINK_DEPTH_HEADER)
+    if uplink_depth is not None:
+        fields["uplink_depth"] = int(uplink_depth)
+    if UPLINK_SHED_HEADER in headers:
+        fields["uplink_shed"] = True
     return fields or None
 
 

@@ -33,7 +33,12 @@ from typing import Any
 from repro.core.columnar import validate_backend
 from repro.core.resilience import ResiliencePolicy
 from repro.net.faults import FAULT_PRESET_NAMES, FaultPlan
-from repro.net.netsim import NETSIM_PRESET_NAMES, NetSimConfig
+from repro.net.netsim import (
+    NETSIM_PRESET_NAMES,
+    UPLINK_PRESET_NAMES,
+    NetSimConfig,
+    UplinkConfig,
+)
 
 __all__ = [
     "UNSET",
@@ -88,6 +93,10 @@ class ExecutionOptions:
     faults: str | FaultPlan = "off"
     resilience: ResiliencePolicy | None = None
     netsim: str | NetSimConfig = "off"
+    #: The shared neighbourhood aggregation link; rides on top of an
+    #: active ``netsim`` (enforced below) and attaches to its config
+    #: via :meth:`resolved_netsim`.
+    uplink: str | UplinkConfig = "off"
     cache: Any = True
     backend: str = "objects"
     with_filtering: bool = False
@@ -136,6 +145,33 @@ class ExecutionOptions:
                 f"got {type(netsim).__name__}"
             )
         object.__setattr__(self, "netsim", netsim)
+
+        uplink = self.uplink
+        if uplink is None:
+            uplink = "off"
+        if isinstance(uplink, str):
+            if uplink == "none":
+                uplink = "off"
+            if uplink not in UPLINK_PRESET_NAMES:
+                raise OptionsError(
+                    f"unknown uplink preset: {uplink!r} "
+                    f"(choose from {sorted(set(UPLINK_PRESET_NAMES))})"
+                )
+        elif isinstance(uplink, UplinkConfig):
+            if not uplink.is_active:
+                uplink = "off"
+        else:
+            raise OptionsError(
+                f"uplink must be a preset name or UplinkConfig, "
+                f"got {type(uplink).__name__}"
+            )
+        if uplink != "off" and netsim == "off":
+            raise OptionsError(
+                "uplink requires an active netsim preset (the shared "
+                "link only exists inside the co-simulated transport; "
+                "pass e.g. netsim='dsl' alongside uplink)"
+            )
+        object.__setattr__(self, "uplink", uplink)
 
         resilience = self.resilience
         if resilience is True:
@@ -187,7 +223,7 @@ class ExecutionOptions:
                 f"unknown option key(s): {', '.join(unknown)} "
                 f"(known: {', '.join(sorted(known))})"
             )
-        for key in ("faults", "netsim", "backend"):
+        for key in ("faults", "netsim", "uplink", "backend"):
             if key in payload and not isinstance(payload[key], (str, type(None))):
                 raise OptionsError(
                     f"{key} must be a preset name string, "
@@ -229,6 +265,7 @@ class ExecutionOptions:
             shards=arguments.shards,
             faults=arguments.faults,
             netsim=arguments.netsim,
+            uplink=getattr(arguments, "uplink", "off"),
             backend=arguments.backend,
             cache=cache,
         )
@@ -266,6 +303,19 @@ class ExecutionOptions:
                     "a hand-built NetSimConfig is not JSON-expressible; "
                     "pass a preset name instead"
                 )
+        uplink = self.uplink
+        if isinstance(uplink, UplinkConfig):
+            name = uplink.preset_name
+            if (
+                name in UPLINK_PRESET_NAMES
+                and UplinkConfig.preset(name) == uplink
+            ):
+                uplink = name
+            else:
+                raise OptionsError(
+                    "a hand-built UplinkConfig is not JSON-expressible; "
+                    "pass a preset name instead"
+                )
         if self.resilience is None:
             resilience = False
         elif self.resilience == ResiliencePolicy():
@@ -290,6 +340,7 @@ class ExecutionOptions:
             "faults": faults,
             "resilience": resilience,
             "netsim": netsim,
+            "uplink": uplink,
             "cache": cache,
             "backend": self.backend,
             "with_filtering": self.with_filtering,
@@ -342,12 +393,30 @@ class ExecutionOptions:
             return AnalysisCache(directory=self.cache)
         return self.cache
 
+    def resolved_netsim(self) -> str | NetSimConfig:
+        """``netsim`` with the uplink preset attached, ready to run.
+
+        With the uplink off this returns ``self.netsim`` untouched —
+        string or config, the exact object the off path always got, so
+        every uplink-off byte stays identical.  With an uplink, the
+        netsim preset resolves to its config and carries the uplink.
+        """
+        uplink = self.uplink
+        if isinstance(uplink, str):
+            if uplink == "off":
+                return self.netsim
+            uplink = UplinkConfig.preset(uplink)
+        netsim = self.netsim
+        if isinstance(netsim, str):
+            netsim = NetSimConfig.preset(netsim)
+        return netsim.with_uplink(uplink)
+
     def run_kwargs(self) -> dict:
         """Keywords for :func:`~repro.simulation.study.run_study` —
         everything but ``faults`` (which needs the world first)."""
         return {
             "resilience": self.resilience,
-            "netsim": self.netsim,
+            "netsim": self.resolved_netsim(),
             "workers": self.workers,
             "shards": self.shards,
             "backend": self.backend,

@@ -62,8 +62,12 @@ class RetryPolicy:
     multiplier: float = 2.0
     max_delay_seconds: float = 30.0
     jitter: float = 0.25
-    #: Response statuses worth retrying (transient upstream errors).
-    retry_statuses: frozenset[int] = frozenset({500, 502, 503})
+    #: Response statuses worth retrying (transient upstream errors,
+    #: plus explicit rate limiting).
+    retry_statuses: frozenset[int] = frozenset({429, 500, 502, 503})
+    #: Statuses whose ``Retry-After`` header the client honours: the
+    #: two where the RFC gives it back-off semantics.
+    honour_retry_after_statuses: frozenset[int] = frozenset({429, 503})
 
     def backoff_delay(self, attempt: int, rng: random.Random) -> float:
         """Delay before retry number ``attempt`` (0-based), jittered."""
@@ -192,6 +196,26 @@ class ResiliencePolicy:
     max_channel_failures_per_run: int | None = None
 
 
+def _retry_after_seconds(response: HttpResponse) -> float | None:
+    """The response's ``Retry-After`` in seconds, if usable.
+
+    Only the delta-seconds spelling exists in the simulation (the
+    HTTP-date form would need a wall calendar the SimClock does not
+    model); malformed or negative values fall back to ``None`` — the
+    classic backoff schedule — rather than failing the delivery.
+    """
+    raw = response.headers.get("Retry-After")
+    if raw is None:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        return None
+    if value < 0:
+        return None
+    return value
+
+
 class TransportResilience:
     """Retry + circuit-breaker wrapper around network delivery.
 
@@ -216,6 +240,7 @@ class TransportResilience:
         self.retries_total = 0
         self.backoff_seconds_total = 0.0
         self.fast_fails = 0
+        self.retry_after_honoured = 0
 
     def breaker_for(self, host: str) -> CircuitBreaker:
         breaker = self._breakers.get(host)
@@ -302,23 +327,44 @@ class TransportResilience:
                 breaker.record_failure()
                 if attempt + 1 >= retry.max_attempts:
                     return response
-                self._backoff(attempt, request)
+                retry_after = None
+                if response.status in retry.honour_retry_after_statuses:
+                    retry_after = _retry_after_seconds(response)
+                self._backoff(attempt, request, retry_after=retry_after)
                 attempt += 1
                 continue
             breaker.record_success()
             return response
 
-    def _backoff(self, attempt: int, request: HttpRequest) -> None:
-        delay = self.policy.retry.backoff_delay(attempt, self._rng)
+    def _backoff(
+        self,
+        attempt: int,
+        request: HttpRequest,
+        retry_after: float | None = None,
+    ) -> None:
+        if retry_after is not None:
+            # The origin told us exactly how long to stay away: sleep
+            # that long (capped by the policy), with no jitter draw —
+            # the server's word is already load-derived, and skipping
+            # the draw keeps the honoured path free of RNG state, so a
+            # response without the header replays the classic schedule
+            # byte-for-byte.
+            delay = min(retry_after, self.policy.retry.max_delay_seconds)
+        else:
+            delay = self.policy.retry.backoff_delay(attempt, self._rng)
         self.clock.advance(delay)
         # The retried request goes out "now"; restamp so the recorded
         # flow carries the time of the attempt that produced its response.
         request.timestamp = self.clock.now
         self.retries_total += 1
         self.backoff_seconds_total += delay
+        if retry_after is not None:
+            self.retry_after_honoured += 1
         if self.obs is not None:
             self.obs.metrics.inc("resilience.retries")
             self.obs.metrics.observe("resilience.backoff_seconds", delay)
+            if retry_after is not None:
+                self.obs.metrics.inc("resilience.retry_after_honoured")
 
 
 class StudyResilience:

@@ -138,6 +138,13 @@ def build_fleet_tasks(
     ``with_filtering`` every task runs the §IV-B funnel over its slice
     of the household's corpus before measuring (the per-household
     funnels merge shard-wise, exactly like the single-study path).
+
+    When the netsim config carries a shared uplink, every household is
+    given its seat on the neighbourhood link first
+    (``for_household(position, len(specs))``), *then* the shard salt is
+    derived — so all shards of one household contend on the same
+    member-keyed ambient curve, and the fleet's contention level is a
+    pure function of the fleet shape, never of worker count.
     """
     netsim_config = coerce_netsim(netsim)
     if resilience is None and (
@@ -148,8 +155,13 @@ def build_fleet_tasks(
         # runs resilient.
         resilience = ResiliencePolicy()
     tasks: list[ShardTask] = []
-    for spec in specs:
+    for position, spec in enumerate(specs):
         household_config = _household_config(spec, config)
+        household_netsim = (
+            netsim_config.for_household(position, len(specs))
+            if netsim_config is not None
+            else None
+        )
         for shard in shard_channel_ids(spec.channel_ids, world.seed, n_shards):
             tasks.append(
                 ShardTask(
@@ -166,8 +178,8 @@ def build_fleet_tasks(
                     resilience=resilience,
                     with_filtering=with_filtering,
                     netsim=(
-                        netsim_config.for_shard(shard.index, n_shards)
-                        if netsim_config is not None
+                        household_netsim.for_shard(shard.index, n_shards)
+                        if household_netsim is not None
                         else None
                     ),
                     backend=validate_backend(backend),
@@ -187,6 +199,7 @@ def run_fleet_study(
     resilience=UNSET,
     *,
     netsim=UNSET,
+    uplink=UNSET,
     workers: int | None = UNSET,
     shards: int | None = UNSET,
     backend: str = UNSET,
@@ -212,6 +225,7 @@ def run_fleet_study(
         faults=faults,
         resilience=resilience,
         netsim=netsim,
+        uplink=uplink,
         workers=workers,
         shards=shards,
         backend=backend,
@@ -277,7 +291,7 @@ def run_fleet_study(
         runs=runs,
         faults=plan,
         resilience=opts.resilience,
-        netsim=opts.netsim,
+        netsim=opts.resolved_netsim(),
         n_shards=n_shards,
         backend=backend,
         with_filtering=opts.with_filtering,

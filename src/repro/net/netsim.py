@@ -53,6 +53,12 @@ QUEUE_DEPTH_HEADER = "X-NetSim-Queue-Depth"
 SHED_HEADER = "X-NetSim-Shed"
 DEGRADED_HEADER = "X-NetSim-Degraded"
 EXPIRED_HEADER = "X-NetSim-Expired"
+#: Stamped only when a shared uplink is configured — with the uplink
+#: off no request ever carries them, which is what keeps the recorded
+#: dataset (and every digest derived from it) byte-identical.
+UPLINK_DELAY_HEADER = "X-NetSim-Uplink-Delay"
+UPLINK_DEPTH_HEADER = "X-NetSim-Uplink-Depth"
+UPLINK_SHED_HEADER = "X-NetSim-Uplink-Shed"
 
 #: Protocol overhead added to every request/response transfer (headers,
 #: TLS records) so even empty-body exchanges cost wire time.
@@ -127,6 +133,10 @@ class NetSimConfig:
     #: Shard-specific entropy mixed into shedding decisions; derived by
     #: :meth:`for_shard` exactly like ``FaultPlan.for_shard``.
     seed_salt: int = 0
+    #: The shared neighbourhood aggregation link every host queue of
+    #: this stack drains into; ``None`` (the default) keeps the
+    #: per-host-only model and every existing byte.
+    uplink: "UplinkConfig | None" = None
 
     @property
     def is_active(self) -> bool:
@@ -140,7 +150,12 @@ class NetSimConfig:
     @staticmethod
     def _in_window(hour: float, window: tuple[float, float]) -> bool:
         start, end = window
-        if start <= end:
+        if start == end:
+            # Repo-wide convention (policy/discrepancy.py,
+            # analysis/timewindow.py): a zero-width window means
+            # "at all times", not "never".
+            return True
+        if start < end:
             return start <= hour < end
         return hour >= start or hour < end  # wraps midnight
 
@@ -176,7 +191,30 @@ class NetSimConfig:
         derived = zlib.crc32(
             f"netsimshard:{self.seed_salt}:{index}:{n_shards}".encode()
         )
+        # ``replace`` carries :attr:`uplink` along untouched: the
+        # uplink's identity is the *household*, not the shard, so every
+        # shard of one household contends on the same ambient curve.
         return replace(self, seed_salt=derived)
+
+    def with_uplink(self, uplink: "UplinkConfig | None") -> "NetSimConfig":
+        """This config with the shared uplink attached (or detached)."""
+        if uplink is not None and not uplink.is_active:
+            uplink = None
+        return replace(self, uplink=uplink)
+
+    def for_household(self, index: int, n_households: int) -> "NetSimConfig":
+        """The member-identified variant one household's stacks run.
+
+        A pure function of ``(config, index, n_households)``: the
+        uplink keeps its preset shape but learns which seat on the
+        shared link it occupies, which keys its ambient-contention
+        curve.  Without an active uplink this is the identity.
+        """
+        if self.uplink is None or not self.uplink.is_active:
+            return self
+        return replace(
+            self, uplink=self.uplink.for_member(index, n_households)
+        )
 
     @classmethod
     def preset(cls, name: str) -> "NetSimConfig":
@@ -278,6 +316,282 @@ def coerce_netsim(netsim) -> NetSimConfig | None:
     return netsim
 
 
+# -- the shared uplink -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class UplinkConfig:
+    """The neighbourhood aggregation link in front of every host queue.
+
+    Models the ISP's shared uplink (DSLAM/CMTS fan-in): all per-host
+    queues of one household — and all N households of a simulated
+    neighbourhood — compete for a single bounded-capacity link whose
+    ambient load follows the same 17:00–06:00 curve the per-host
+    queues use.  Disabled by default; an inactive uplink builds
+    nothing and changes no bytes.
+    """
+
+    enabled: bool = False
+    preset_name: str = "off"
+    #: Aggregation-link bandwidth in bytes per second of simulated
+    #: time — the shared pipe every admitted request crosses.
+    bytes_per_second: float = 1_500_000.0
+    #: Converts the fluid uplink backlog (seconds) into a depth (jobs)
+    #: and prices the depth-derived ``Retry-After``.
+    mean_job_seconds: float = 0.2
+    #: Bounded FIFO at the aggregation point.
+    queue_capacity: int = 48
+    high_water: int = 32
+    #: Subscribers whose combined ambient load alone saturates the
+    #: link — the denominator of :meth:`contention_share`.
+    saturating_households: int = 16
+    #: Subscribers on the link beyond the simulated fleet (the rest of
+    #: the street is watching TV too).
+    background_households: int = 6
+    #: Hour-of-day utilization tiers, applied at the uplink with the
+    #: owning :class:`NetSimConfig`'s peak/evening windows.
+    peak_utilization: float = 0.9
+    overnight_utilization: float = 0.65
+    offpeak_utilization: float = 0.3
+    #: Bounds on the depth-derived ``Retry-After`` of uplink sheds.
+    retry_after_floor_seconds: float = 1.0
+    retry_after_cap_seconds: float = 30.0
+    #: This stack's seat on the shared link: which household it is out
+    #: of how many.  Set by :meth:`for_member` (via
+    #: ``NetSimConfig.for_household``); keys the contention curve.
+    neighbourhood_size: int = 1
+    member_index: int = 0
+
+    @property
+    def is_active(self) -> bool:
+        return self.enabled
+
+    @property
+    def capacity_seconds(self) -> float:
+        """The bounded uplink queue as seconds of queued work."""
+        return self.queue_capacity * self.mean_job_seconds
+
+    def contention_share(self) -> float:
+        """How much of the saturating population is competing.
+
+        Background subscribers plus every *other* household of the
+        simulated neighbourhood; a closed-form function of the fleet
+        shape, so cross-process stacks agree on the contention level
+        without sharing any live state (see DESIGN.md §17).
+        """
+        crowd = self.background_households + max(
+            0, self.neighbourhood_size - 1
+        )
+        return min(1.0, crowd / float(self.saturating_households))
+
+    def retry_after_at(self, depth: int) -> float:
+        """Advertised back-off derived from the current uplink depth —
+        a deep queue tells clients to stay away longer."""
+        advertised = depth * self.mean_job_seconds
+        return min(
+            self.retry_after_cap_seconds,
+            max(self.retry_after_floor_seconds, advertised),
+        )
+
+    def for_member(self, index: int, n_households: int) -> "UplinkConfig":
+        """The seat-identified variant household ``index`` of
+        ``n_households`` runs (pure, deterministic)."""
+        if not 0 <= index < n_households:
+            raise ValueError(
+                f"household index {index} out of range for {n_households}"
+            )
+        if not self.enabled:
+            return self
+        return replace(
+            self, member_index=index, neighbourhood_size=n_households
+        )
+
+    @classmethod
+    def preset(cls, name: str) -> "UplinkConfig":
+        """Resolve a preset (``off``/``street``/``neighbourhood``)."""
+        try:
+            builder = _UPLINK_PRESETS[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown uplink preset: {name!r} "
+                f"(choose from {sorted(_UPLINK_PRESETS)})"
+            ) from None
+        return builder()
+
+
+def _uplink_preset_off() -> UplinkConfig:
+    return UplinkConfig()
+
+
+def _uplink_preset_street() -> UplinkConfig:
+    """A lightly shared street cabinet: evening queueing, rare sheds."""
+    return UplinkConfig(
+        enabled=True,
+        preset_name="street",
+        bytes_per_second=1_500_000.0,
+        mean_job_seconds=0.2,
+        queue_capacity=48,
+        high_water=32,
+        saturating_households=16,
+        background_households=6,
+        peak_utilization=0.9,
+        overnight_utilization=0.65,
+        offpeak_utilization=0.3,
+    )
+
+
+def _uplink_preset_neighbourhood() -> UplinkConfig:
+    """The contended preset: a crowded aggregation link whose evening
+    crest pushes the shared queue past high water."""
+    return UplinkConfig(
+        enabled=True,
+        preset_name="neighbourhood",
+        bytes_per_second=750_000.0,
+        mean_job_seconds=0.25,
+        queue_capacity=40,
+        high_water=26,
+        saturating_households=16,
+        background_households=14,
+        peak_utilization=0.95,
+        overnight_utilization=0.7,
+        offpeak_utilization=0.3,
+    )
+
+
+_UPLINK_PRESETS = {
+    "off": _uplink_preset_off,
+    "none": _uplink_preset_off,
+    "street": _uplink_preset_street,
+    "neighbourhood": _uplink_preset_neighbourhood,
+}
+
+UPLINK_PRESET_NAMES = tuple(_UPLINK_PRESETS)
+
+
+def coerce_uplink(uplink) -> UplinkConfig | None:
+    """Resolve the ``uplink=`` convention (mirrors :func:`coerce_netsim`)."""
+    if uplink is None:
+        return None
+    if isinstance(uplink, str):
+        uplink = UplinkConfig.preset(uplink)
+    if not uplink.is_active:
+        return None
+    return uplink
+
+
+@dataclass
+class SharedUplink:
+    """The single bounded aggregation link every host queue feeds.
+
+    Within one stack the fan-in is *real*: every admitted request from
+    every host crosses this object, and chaining departures off
+    ``busy_until`` is what guarantees FIFO arbitration across
+    competing hosts on the shared clock.  Across households (and
+    across shard processes) contention is modelled analytically — the
+    ambient curve is scaled by :meth:`UplinkConfig.contention_share`,
+    a closed form over ``(member_index, neighbourhood_size)`` — the
+    same device :class:`HostQueue` already uses for "everyone else's
+    traffic", which is what keeps fleet digests independent of worker
+    count (DESIGN.md §17).
+    """
+
+    config: UplinkConfig
+    utilization_factor: float = 1.0
+    wave_period: float = 600.0
+    wave_phase: float = 0.0
+    busy_until: float = 0.0
+    #: Exit times of this stack's own requests still on the link.
+    own_pending: list[float] = field(default_factory=list)
+    #: Keys the uplink shed RNG; a separate stream from the per-host
+    #: counters so enabling the uplink never re-keys host decisions.
+    sequence: int = 0
+
+    @classmethod
+    def for_stack(
+        cls, config: UplinkConfig, seed: int, salt: int, start: float
+    ) -> "SharedUplink":
+        """Member-seeded ambient characteristics (pure crc32 arithmetic)."""
+        bucket = zlib.crc32(
+            f"netsimuplink:{seed}:{salt}:{config.member_index}:"
+            f"{config.neighbourhood_size}".encode()
+        )
+        factor = 0.85 + 0.3 * ((bucket % 1000) / 999.0)
+        period = 240.0 + 660.0 * (((bucket >> 10) % 1000) / 999.0)
+        phase = ((bucket >> 20) % 1000) / 1000.0
+        return cls(
+            config=config,
+            utilization_factor=factor,
+            wave_period=period,
+            wave_phase=phase,
+            busy_until=start,
+        )
+
+    def _wave(self, timestamp: float) -> float:
+        """Triangle wave in [0, 1] — deterministic across platforms."""
+        x = (timestamp / self.wave_period + self.wave_phase) % 1.0
+        return 2.0 * x if x < 0.5 else 2.0 * (1.0 - x)
+
+    def utilization_at(self, timestamp: float, netsim: NetSimConfig) -> float:
+        """Three-tier hour-of-day utilization at the aggregation point,
+        sharing the owning netsim's evening/peak windows."""
+        hour = hour_of_day(timestamp)
+        if netsim._in_window(hour, netsim.evening_hours):
+            return self.config.peak_utilization
+        if netsim._in_window(hour, netsim.peak_hours):
+            return self.config.overnight_utilization
+        return self.config.offpeak_utilization
+
+    def ambient_backlog_at(
+        self, timestamp: float, netsim: NetSimConfig
+    ) -> float:
+        """Seconds of other subscribers' work queued ahead at the link."""
+        utilization = (
+            self.utilization_at(timestamp, netsim)
+            * self.utilization_factor
+            * self.config.contention_share()
+        )
+        effective = utilization * (0.4 + 1.2 * self._wave(timestamp))
+        effective = min(1.0, max(0.0, effective))
+        return effective * self.config.capacity_seconds
+
+    def own_outstanding(self, now: float) -> int:
+        """This stack's requests still crossing the link at ``now``."""
+        self.own_pending = [t for t in self.own_pending if t > now]
+        return len(self.own_pending)
+
+    def depth_at(self, now: float, netsim: NetSimConfig) -> int:
+        """Total uplink depth (jobs) an arrival at ``now`` sees."""
+        ambient = self.ambient_backlog_at(now, netsim)
+        ambient_jobs = int(ambient / self.config.mean_job_seconds)
+        return ambient_jobs + self.own_outstanding(now)
+
+    def queueing_delay_at(self, now: float, netsim: NetSimConfig) -> float:
+        """Seconds an arrival at ``now`` waits at the aggregation point."""
+        own_residual = max(0.0, self.busy_until - now)
+        return own_residual + self.ambient_backlog_at(now, netsim)
+
+    def transit(
+        self, now: float, ready: float, nbytes: int, netsim: NetSimConfig
+    ) -> float:
+        """Carry one admitted request across the shared link.
+
+        ``ready`` is when the request reaches the aggregation point
+        (after its host queue and last-mile transfer); the departure
+        chains off ``busy_until``, so concurrent arrivals from
+        different hosts exit in strict arrival order — the FIFO
+        property the hypothesis suite pins.  Returns the exit time.
+        """
+        departure = max(ready, self.busy_until) + self.ambient_backlog_at(
+            now, netsim
+        )
+        exit_time = departure + (
+            (nbytes + WIRE_OVERHEAD_BYTES) / self.config.bytes_per_second
+        )
+        self.busy_until = exit_time
+        self.own_pending.append(exit_time)
+        return exit_time
+
+
 # -- the event heap ----------------------------------------------------------------
 
 
@@ -289,6 +603,8 @@ class EventKind(str, Enum):
     COMPLETE = "complete"
     SHED = "shed"
     EXPIRE = "expire"
+    #: Exit from the shared aggregation link (uplink mode only).
+    UPLINK = "uplink-transit"
 
 
 @dataclass(frozen=True)
@@ -464,10 +780,29 @@ class NetSimStats:
     degraded: int = 0
     queueing_delay_seconds: float = 0.0
     max_depth: int = 0
+    #: Shared-uplink accounting (all zero when no uplink is configured).
+    #: ``uplink_offered`` counts requests that survived host admission;
+    #: uplink sheds count in *both* ``uplink_shed`` and ``shed`` (and
+    #: uplink-window deadline expiries in both ``uplink_expired`` and
+    #: ``expired``), so the global conservation law holds unchanged.
+    #: The uplink's own law, pinned by the property tests:
+    #: ``uplink_offered == uplink_accepted + uplink_shed + uplink_expired``.
+    uplink_offered: int = 0
+    uplink_accepted: int = 0
+    uplink_shed: int = 0
+    uplink_expired: int = 0
+    uplink_degraded: int = 0
+    uplink_delay_seconds: float = 0.0
+    uplink_max_depth: int = 0
 
     def conserved(self) -> bool:
         return self.offered == (
             self.delivered + self.shed + self.expired + self.errored
+        )
+
+    def uplink_conserved(self) -> bool:
+        return self.uplink_offered == (
+            self.uplink_accepted + self.uplink_shed + self.uplink_expired
         )
 
     def snapshot(self) -> dict[str, int]:
@@ -478,6 +813,11 @@ class NetSimStats:
             "expired": self.expired,
             "errored": self.errored,
             "degraded": self.degraded,
+            "uplink_offered": self.uplink_offered,
+            "uplink_accepted": self.uplink_accepted,
+            "uplink_shed": self.uplink_shed,
+            "uplink_expired": self.uplink_expired,
+            "uplink_degraded": self.uplink_degraded,
         }
 
 
@@ -527,6 +867,13 @@ class NetSimTransport:
         self._queues: dict[str, HostQueue] = {}
         #: host → deliveries seen (keys the shedding decision RNG).
         self._sequence: dict[str, int] = {}
+        #: The shared aggregation link, when configured: one object per
+        #: stack, so every host queue genuinely fans into it.
+        self.uplink: SharedUplink | None = None
+        if config.uplink is not None and config.uplink.is_active:
+            self.uplink = SharedUplink.for_stack(
+                config.uplink, seed, config.seed_salt, clock.now
+            )
 
     # -- network surface (delegated) ----------------------------------------
 
@@ -559,19 +906,26 @@ class NetSimTransport:
             / config.downlink_bytes_per_second
         )
 
-    def _shed_probability(self, depth: int) -> float:
+    @staticmethod
+    def _shed_pressure(depth: int, high_water: int, capacity: int) -> float:
         """Deterministic shed pressure in the degraded band.
 
         Zero below the high-water mark, certain at capacity, linear in
-        between — the "graceful" part of graceful degradation.
+        between — the "graceful" part of graceful degradation.  Shared
+        by the per-host queues and the aggregation link.
         """
-        config = self.config
-        if depth < config.high_water:
+        if depth < high_water:
             return 0.0
-        if depth >= config.queue_capacity:
+        if depth >= capacity:
             return 1.0
-        span = max(1, config.queue_capacity - config.high_water)
-        return (depth - config.high_water + 1) / (span + 1)
+        span = max(1, capacity - high_water)
+        return (depth - high_water + 1) / (span + 1)
+
+    def _shed_probability(self, depth: int) -> float:
+        config = self.config
+        return self._shed_pressure(
+            depth, config.high_water, config.queue_capacity
+        )
 
     def _note(self, kind: str, host: str, depth: int, at: float) -> None:
         if self.obs is None:
@@ -611,9 +965,59 @@ class NetSimTransport:
         ):
             return self._shed(request, host, queue, depth)
 
-        # 2. Client deadline on the predicted sojourn.
-        if delay > config.deadline_seconds:
-            return self._expire(host, queue, delay, depth)
+        # 1b. The shared aggregation link admits (or sheds) next.  Its
+        #     RNG rides a separate stream with its own sequence counter,
+        #     so per-host decisions above are never re-keyed by the
+        #     uplink existing; with no uplink this block costs nothing.
+        uplink_depth = 0
+        uplink_delay = 0.0
+        if self.uplink is not None:
+            up = self.uplink.config
+            uplink_depth = self.uplink.depth_at(now, config)
+            uplink_delay = self.uplink.queueing_delay_at(now, config)
+            useq = self.uplink.sequence
+            self.uplink.sequence = useq + 1
+            self.stats.uplink_offered += 1
+            if uplink_depth > self.stats.uplink_max_depth:
+                self.stats.uplink_max_depth = uplink_depth
+            if self.obs is not None:
+                self.obs.metrics.inc("netsim.uplink.offered")
+                self.obs.metrics.gauge_max(
+                    "netsim.uplink.queue_depth", float(uplink_depth)
+                )
+                self.obs.metrics.observe(
+                    "netsim.uplink.queueing_delay", uplink_delay
+                )
+            uplink_p = self._shed_pressure(
+                uplink_depth, up.high_water, up.queue_capacity
+            )
+            if uplink_p >= 1.0 or (
+                uplink_p > 0.0
+                and random.Random(
+                    f"netsimuplink:{self.seed}:{config.seed_salt}:"
+                    f"{up.member_index}:{useq}"
+                ).random()
+                < uplink_p
+            ):
+                return self._shed_uplink(request, host, uplink_depth, depth)
+            if uplink_depth >= up.high_water:
+                self.stats.uplink_degraded += 1
+                if self.obs is not None:
+                    self.obs.metrics.inc("netsim.uplink.degraded")
+                    self.obs.tracer.point(
+                        "netsim-uplink-degraded",
+                        at=now,
+                        host=host,
+                        depth=uplink_depth,
+                        member=up.member_index,
+                    )
+
+        # 2. Client deadline on the predicted sojourn (host queue plus
+        #    the aggregation link's residual, when one is configured).
+        if delay + uplink_delay > config.deadline_seconds:
+            if self.uplink is not None:
+                self.stats.uplink_expired += 1
+            return self._expire(host, queue, delay + uplink_delay, depth)
 
         degraded = depth >= config.high_water
         if degraded:
@@ -622,7 +1026,9 @@ class NetSimTransport:
             if self.on_degrade is not None:
                 self.on_degrade(host, depth)
 
-        # 3. Wait out the queue, push the request bytes upstream.
+        # 3. Wait out the queue, push the request bytes upstream; with
+        #    a shared uplink the request then crosses the aggregation
+        #    link, FIFO behind everything already on it.
         start = queue.begin_service(now, config)
         self.heap.push(start, EventKind.START, host)
         uplink = (
@@ -630,7 +1036,17 @@ class NetSimTransport:
             + (len(request.body) + WIRE_OVERHEAD_BYTES)
             / config.uplink_bytes_per_second
         )
-        self.clock.advance((start - now) + uplink)
+        uplink_wait = 0.0
+        if self.uplink is not None:
+            self.stats.uplink_accepted += 1
+            self.stats.uplink_delay_seconds += uplink_delay
+            ready = start + uplink
+            exit_time = self.uplink.transit(
+                now, ready, len(request.body), config
+            )
+            self.heap.push(exit_time, EventKind.UPLINK, host)
+            uplink_wait = exit_time - ready
+        self.clock.advance((start - now) + uplink + uplink_wait)
         self.heap.drain_until(self.clock.now)
         # The request reaches the origin *now*: hour-windowed fault
         # rules (and the recorded flow) see the post-queue time, the
@@ -686,6 +1102,9 @@ class NetSimTransport:
         response.headers.set(QUEUE_DEPTH_HEADER, str(depth))
         if degraded:
             response.headers.set(DEGRADED_HEADER, "1")
+        if self.uplink is not None:
+            response.headers.set(UPLINK_DELAY_HEADER, f"{uplink_delay:.6f}")
+            response.headers.set(UPLINK_DEPTH_HEADER, str(uplink_depth))
         return response
 
     def _shed(
@@ -713,6 +1132,53 @@ class NetSimTransport:
                 ]
             ),
             body=b"service unavailable (load shed)",
+            timestamp=at,
+        )
+
+    def _shed_uplink(
+        self, request: HttpRequest, host: str, uplink_depth: int, depth: int
+    ) -> HttpResponse:
+        """Synthesize the aggregation link's 503.
+
+        Unlike a host shed, the advertised ``Retry-After`` is *derived
+        from the current uplink depth* — the adaptive-client half of
+        the loop: a deeper shared queue pushes retries further out,
+        which is exactly how the pressure drains.
+        """
+        config = self.config
+        up = self.uplink.config
+        self.stats.shed += 1
+        self.stats.uplink_shed += 1
+        # The rejection still crosses the wire once.
+        self.clock.advance(config.base_rtt_seconds)
+        at = self.clock.now
+        self.heap.push(at, EventKind.SHED, host)
+        self.heap.drain_until(at)
+        if self.obs is not None:
+            self.obs.metrics.inc("netsim.uplink.shed")
+            self.obs.tracer.point(
+                "netsim-uplink-shed",
+                at=at,
+                host=host,
+                depth=uplink_depth,
+                member=up.member_index,
+            )
+        if self.on_shed is not None:
+            self.on_shed(host, uplink_depth)
+        retry_after = up.retry_after_at(uplink_depth)
+        return HttpResponse(
+            status=503,
+            headers=Headers(
+                [
+                    ("Content-Type", "text/plain"),
+                    ("Retry-After", f"{retry_after:g}"),
+                    (SHED_HEADER, "1"),
+                    (UPLINK_SHED_HEADER, "1"),
+                    (QUEUE_DEPTH_HEADER, str(depth)),
+                    (UPLINK_DEPTH_HEADER, str(uplink_depth)),
+                ]
+            ),
+            body=b"service unavailable (uplink saturated)",
             timestamp=at,
         )
 

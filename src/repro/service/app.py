@@ -30,11 +30,14 @@ from repro.service.routes import (
     SSEStream,
     build_router,
 )
-from repro.service.sse import format_json_event
+from repro.service.sse import HEARTBEAT, format_json_event
 
 __all__ = ["ServiceThread", "StudyService", "serve"]
 
 _SERVER_NAME = "repro-service"
+
+#: How often an idle SSE stream emits a keep-alive comment frame.
+DEFAULT_HEARTBEAT_SECONDS = 15.0
 
 
 def _status_line(status: int) -> str:
@@ -72,9 +75,11 @@ class StudyService:
         max_workers: int = 2,
         cache: AnalysisCache | None = None,
         executor=None,
+        heartbeat_seconds: float = DEFAULT_HEARTBEAT_SECONDS,
     ) -> None:
         self.host = host
         self.port = port
+        self.heartbeat_seconds = heartbeat_seconds
         self.manager = JobManager(
             cache=cache, max_workers=max_workers, executor=executor
         )
@@ -207,7 +212,17 @@ class StudyService:
         )
         await writer.drain()
         try:
-            async for record in stream.manager.subscribe(stream.job):
+            async for record in stream.manager.subscribe(
+                stream.job,
+                after_seq=stream.last_event_id,
+                heartbeat_seconds=self.heartbeat_seconds,
+            ):
+                if record is None:
+                    # Idle tick — keep the connection alive through
+                    # proxies with a comment-only frame.
+                    writer.write(HEARTBEAT)
+                    await writer.drain()
+                    continue
                 writer.write(
                     format_json_event(
                         record["data"],

@@ -336,28 +336,51 @@ class JobManager:
         for queue in list(job.waiters):
             queue.put_nowait(record)
 
-    async def subscribe(self, job: Job):
-        """Yield this job's records: full replay, then live to the end.
+    async def subscribe(
+        self,
+        job: Job,
+        after_seq: int = 0,
+        heartbeat_seconds: float | None = None,
+    ):
+        """Yield this job's records: replay, then live to the end.
 
         Registering the waiter *before* snapshotting (both without an
         intervening await) guarantees no record is missed; sequence
-        numbers filter the overlap.
+        numbers filter the overlap.  ``after_seq`` is the client's
+        ``Last-Event-ID``: replay resumes *after* that sequence number,
+        so a reconnecting client sees each record exactly once.  When
+        ``heartbeat_seconds`` is set, an idle live stream yields
+        ``None`` at that cadence — the app layer turns the sentinel
+        into an SSE comment frame to keep proxies from reaping the
+        connection.
         """
         queue: asyncio.Queue = asyncio.Queue()
         job.waiters.append(queue)
         try:
             replay = list(job.events)
-            last = 0
+            last = max(0, after_seq)
             for record in replay:
+                if record["seq"] <= last:
+                    continue
                 yield record
                 last = record["seq"]
             if replay and replay[-1]["event"] in ("done", "failed"):
                 return
             while True:
-                record = await queue.get()
+                if heartbeat_seconds is None:
+                    record = await queue.get()
+                else:
+                    try:
+                        record = await asyncio.wait_for(
+                            queue.get(), timeout=heartbeat_seconds
+                        )
+                    except asyncio.TimeoutError:
+                        yield None
+                        continue
                 if record["seq"] <= last:
                     continue
                 yield record
+                last = record["seq"]
                 if record["event"] in ("done", "failed"):
                     return
         finally:

@@ -93,6 +93,9 @@ class SSEStream:
 
     job: Job
     manager: JobManager
+    #: The client's ``Last-Event-ID`` — replay resumes after this
+    #: sequence number on reconnect (0 means full replay).
+    last_event_id: int = 0
 
 
 class Router:
@@ -177,7 +180,24 @@ async def job_events(manager: JobManager, request: Request, job_id: str):
     job, missing = _job_or_404(manager, job_id)
     if missing is not None:
         return missing
-    return SSEStream(job=job, manager=manager)
+    return SSEStream(
+        job=job,
+        manager=manager,
+        last_event_id=_parse_last_event_id(request),
+    )
+
+
+def _parse_last_event_id(request: Request) -> int:
+    """The ``Last-Event-ID`` header as a sequence number (0 if absent
+    or malformed — a bad value degrades to a full replay, never a 400)."""
+    raw = request.headers.get("last-event-id")
+    if raw is None:
+        return 0
+    try:
+        value = int(raw)
+    except ValueError:
+        return 0
+    return max(0, value)
 
 
 async def job_report(

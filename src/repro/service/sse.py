@@ -4,8 +4,10 @@ Pure functions over bytes — no I/O, no clocks — so the encoding is
 unit-testable and the app layer owns all streaming concerns.  Events
 carry a monotonically increasing ``id`` (the job's record sequence
 number), which is what makes replay after a dropped connection exact:
-a client reconnecting sees every record again from the start, in
-order, and can skip past its ``Last-Event-ID`` if it kept one.
+a client that reconnects with a ``Last-Event-ID`` header resumes
+*after* that sequence number — the server skips the already-seen
+prefix, so each record is delivered exactly once.  Idle streams carry
+:data:`HEARTBEAT` comment frames so proxies keep the connection open.
 """
 
 from __future__ import annotations

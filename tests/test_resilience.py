@@ -20,7 +20,7 @@ from repro.core.resilience import (
     WatchdogExpired,
 )
 from repro.net.faults import ConnectionReset, NxdomainFlap
-from repro.net.http import HttpRequest, HttpResponse, html_response
+from repro.net.http import Headers, HttpRequest, HttpResponse, html_response
 from repro.net.network import RoutingError
 from repro.obs import Observability
 
@@ -442,6 +442,110 @@ class TestBreakerTransitionTelemetry:
             if event.name == "breaker-transition"
         ]
         assert opened_at == [layer.clock.now]
+
+
+class TestRetryAfter:
+    """The adaptive-client half of the shared-uplink PR: a 503/429
+    carrying ``Retry-After`` makes the client sleep exactly that long
+    (clamped by the policy) instead of the jittered backoff schedule —
+    and responses *without* the header replay the classic timeline
+    byte-for-byte, because the honoured path draws no RNG.
+    """
+
+    @staticmethod
+    def _response(status: int, retry_after: str | None = None) -> HttpResponse:
+        headers = Headers([("Content-Type", "text/plain")])
+        if retry_after is not None:
+            headers.set("Retry-After", retry_after)
+        return HttpResponse(status=status, headers=headers)
+
+    def test_shed_503_with_retry_after_advances_clock_exactly(self):
+        """The regression this PR fixes: a shed 503 with
+        ``Retry-After: 1`` advances the SimClock by exactly 1 second,
+        not by the fixed backoff schedule's jittered delay."""
+        layer = transport(seed=3)
+        network = ScriptedNetwork(
+            self._response(503, "1"), html_response("ok")
+        )
+        request = HttpRequest("GET", URL, timestamp=DEFAULT_START)
+        response = layer.deliver(network, request)
+        assert response.status == 200
+        assert layer.clock.now == DEFAULT_START + 1.0
+        assert layer.backoff_seconds_total == 1.0
+        assert layer.retry_after_honoured == 1
+        assert request.timestamp == layer.clock.now
+
+    def test_429_retry_after_honoured(self):
+        layer = transport()
+        network = ScriptedNetwork(
+            self._response(429, "2.5"), html_response("ok")
+        )
+        response = layer.deliver(network, HttpRequest("GET", URL))
+        assert response.status == 200
+        assert layer.backoff_seconds_total == 2.5
+        assert layer.retry_after_honoured == 1
+
+    def test_retry_after_clamped_by_policy_max_delay(self):
+        policy = ResiliencePolicy(
+            retry=RetryPolicy(max_delay_seconds=5.0)
+        )
+        layer = transport(policy)
+        network = ScriptedNetwork(
+            self._response(503, "600"), html_response("ok")
+        )
+        layer.deliver(network, HttpRequest("GET", URL))
+        assert layer.backoff_seconds_total == 5.0
+        assert layer.retry_after_honoured == 1
+
+    def test_malformed_or_negative_header_falls_back_to_schedule(self):
+        for bad in ("soon", "-3", ""):
+            layer = transport(seed=11)
+            network = ScriptedNetwork(
+                self._response(503, bad), html_response("ok")
+            )
+            layer.deliver(network, HttpRequest("GET", URL))
+            assert layer.retry_after_honoured == 0
+            # The jittered schedule ran instead.
+            policy = layer.policy.retry
+            low = policy.base_delay_seconds
+            assert low <= layer.backoff_seconds_total <= low * (
+                1.0 + policy.jitter
+            )
+
+    def test_500_ignores_retry_after(self):
+        """Only 429/503 carry back-off semantics; a 500 with the
+        header stays on the classic schedule."""
+        layer = transport(seed=11)
+        network = ScriptedNetwork(
+            self._response(500, "9"), html_response("ok")
+        )
+        layer.deliver(network, HttpRequest("GET", URL))
+        assert layer.retry_after_honoured == 0
+        assert layer.backoff_seconds_total != 9.0
+
+    def test_honoured_backoff_draws_no_rng(self):
+        """Byte-determinism guard: honouring the header must not
+        consume jitter RNG, so every non-honoured delay after it is
+        unchanged from a run without the header."""
+        layer = transport(seed=5)
+        state_before = layer._rng.getstate()
+        network = ScriptedNetwork(
+            self._response(503, "1"), html_response("ok")
+        )
+        layer.deliver(network, HttpRequest("GET", URL))
+        assert layer._rng.getstate() == state_before
+
+    def test_retry_after_metric_emitted(self):
+        clock = SimClock()
+        obs = Observability.for_clock(clock)
+        layer = TransportResilience(ResiliencePolicy(), clock, seed=0, obs=obs)
+        network = ScriptedNetwork(
+            self._response(503, "1"), html_response("ok")
+        )
+        layer.deliver(network, HttpRequest("GET", URL))
+        assert obs.metrics.counter_value(
+            "resilience.retry_after_honoured"
+        ) == 1
 
 
 class TestStudyResilience:

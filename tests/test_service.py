@@ -310,6 +310,74 @@ class TestJobManager:
         )
         assert records[-1]["event"] == "done"
 
+    def test_subscribe_resumes_after_seq(self, tmp_path):
+        """``after_seq`` (the client's Last-Event-ID) skips the
+        already-seen prefix — each record is delivered exactly once
+        across the two connections."""
+        async def scenario():
+            manager = JobManager(
+                cache=AnalysisCache(directory=tmp_path),
+                executor=stub_executor,
+            )
+            await manager.start()
+            job = await _wait(manager.submit(_submission())[0])
+            full = [r async for r in manager.subscribe(job)]
+            resumed = [
+                r
+                async for r in manager.subscribe(
+                    job, after_seq=full[2]["seq"]
+                )
+            ]
+            beyond = [
+                r
+                async for r in manager.subscribe(
+                    job, after_seq=full[-1]["seq"]
+                )
+            ]
+            await manager.stop()
+            return full, resumed, beyond
+
+        full, resumed, beyond = asyncio.run(scenario())
+        assert resumed == full[3:]
+        assert resumed[-1]["event"] == "done"
+        # A client that saw everything gets an empty (clean) replay.
+        assert beyond == []
+
+    def test_subscribe_heartbeats_while_idle(self, tmp_path):
+        """An idle live stream yields ``None`` sentinels at the
+        heartbeat cadence; real records still arrive and terminate it."""
+        release = threading.Event()
+
+        def slow(submission, publish):
+            release.wait(30)
+            return FakeResult("aa", submission.seed)
+
+        async def scenario():
+            manager = JobManager(
+                cache=AnalysisCache(directory=tmp_path), executor=slow
+            )
+            await manager.start()
+            job, _ = manager.submit(_submission())
+            sentinels = 0
+            records = []
+            async for record in manager.subscribe(
+                job, heartbeat_seconds=0.05
+            ):
+                if record is None:
+                    sentinels += 1
+                    if sentinels == 2:
+                        release.set()
+                    continue
+                records.append(record)
+            await manager.stop()
+            return sentinels, records
+
+        sentinels, records = asyncio.run(scenario())
+        assert sentinels >= 2
+        assert records[-1]["event"] == "done"
+        # Sentinels are stream keep-alives, never job records.
+        assert all(r is not None for r in records)
+
 
 # -- HTTP surface ------------------------------------------------------------------
 
@@ -437,6 +505,97 @@ class TestHttpSurface:
         assert status == 404
         status, _ = request(service.port, "DELETE", "/healthz")
         assert status == 405
+
+    def test_last_event_id_resumes_stream(self, service):
+        status, body = request(
+            service.port, "POST", "/studies", {"seed": 21, "scale": 0.1}
+        )
+        job_id = body["job"]["id"]
+        full = read_sse(service.port, job_id)
+        ids = [
+            int(line.split(":", 1)[1])
+            for line in full.splitlines()
+            if line.startswith("id:")
+        ]
+        assert ids == sorted(ids) and len(ids) >= 4
+
+        connection = http.client.HTTPConnection(
+            "127.0.0.1", service.port, timeout=30
+        )
+        connection.request(
+            "GET",
+            f"/studies/{job_id}/events",
+            headers={"Last-Event-ID": "3"},
+        )
+        response = connection.getresponse()
+        frames = response.read().decode("utf-8")
+        connection.close()
+        resumed_ids = [
+            int(line.split(":", 1)[1])
+            for line in frames.splitlines()
+            if line.startswith("id:")
+        ]
+        assert resumed_ids == [i for i in ids if i > 3]
+        assert "event: done" in frames
+
+    def test_malformed_last_event_id_degrades_to_full_replay(self, service):
+        status, body = request(
+            service.port, "POST", "/studies", {"seed": 22, "scale": 0.1}
+        )
+        job_id = body["job"]["id"]
+        full = read_sse(service.port, job_id)
+        connection = http.client.HTTPConnection(
+            "127.0.0.1", service.port, timeout=30
+        )
+        connection.request(
+            "GET",
+            f"/studies/{job_id}/events",
+            headers={"Last-Event-ID": "bogus"},
+        )
+        response = connection.getresponse()
+        assert response.status == 200
+        frames = response.read().decode("utf-8")
+        connection.close()
+        assert frames == full
+
+    def test_idle_stream_carries_heartbeat_comments(self, tmp_path):
+        release = threading.Event()
+
+        def slow(submission, publish):
+            release.wait(30)
+            return FakeResult("aa", submission.seed)
+
+        thread = ServiceThread(
+            cache=AnalysisCache(directory=tmp_path / "cache"),
+            executor=slow,
+            heartbeat_seconds=0.1,
+        )
+        thread.start()
+        try:
+            status, body = request(
+                thread.port, "POST", "/studies", {"seed": 1, "scale": 0.1}
+            )
+            job_id = body["job"]["id"]
+            connection = http.client.HTTPConnection(
+                "127.0.0.1", thread.port, timeout=30
+            )
+            connection.request("GET", f"/studies/{job_id}/events")
+            response = connection.getresponse()
+            assert response.status == 200
+            saw_heartbeat = False
+            for _ in range(200):
+                line = response.fp.readline()
+                if line.startswith(HEARTBEAT.splitlines()[0]):
+                    saw_heartbeat = True
+                    break
+            assert saw_heartbeat, "idle SSE stream never sent a heartbeat"
+            release.set()
+            frames = response.read().decode("utf-8")
+            connection.close()
+            assert "event: done" in frames
+        finally:
+            release.set()
+            thread.stop()
 
     def test_report_before_done_is_409(self, tmp_path):
         release = threading.Event()

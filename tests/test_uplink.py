@@ -1,0 +1,675 @@
+"""The shared neighbourhood uplink (repro.net.netsim.SharedUplink).
+
+Five layers:
+
+* window-boundary semantics (``start == end`` means "at all times" —
+  the repo-wide convention the old code violated);
+* ``UplinkConfig`` unit tests: presets, seat assignment, the
+  depth-derived ``Retry-After``;
+* transport wiring + hypothesis properties — uplink conservation
+  (``offered == accepted + shed + expired``) and FIFO arbitration
+  across competing hosts on the shared link;
+* the study-level differential matrix (workers × shards × backends)
+  pinning byte-equal digest/trace/metrics with the uplink on;
+* the hour-of-day uplink report: the 17:00–06:00 evening window sheds
+  visibly more at the aggregation link than the daytime hours, and
+  adaptive clients demonstrably honour the advertised back-off.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.clock import DEFAULT_START, SimClock
+from repro.core.options import ExecutionOptions, OptionsError
+from repro.net.http import HttpRequest, html_response
+from repro.net.netsim import (
+    NetSimConfig,
+    NetSimTransport,
+    SHED_HEADER,
+    SharedUplink,
+    UPLINK_DELAY_HEADER,
+    UPLINK_DEPTH_HEADER,
+    UPLINK_PRESET_NAMES,
+    UPLINK_SHED_HEADER,
+    UplinkConfig,
+    coerce_uplink,
+    DeadlineExpired,
+)
+from repro.net.network import Network, RoutingError
+from repro.net.server import FunctionServer
+from repro.obs import metrics_digest, trace_digest
+from repro.simulation.study import run_study
+from repro.simulation.world import build_world
+
+SEED = 7
+SCALE = 0.02  # fixed like the golden master: independent of REPRO_SCALE
+
+HOSTS = ("origin-a.example", "origin-b.example", "tracker.example")
+
+
+# -- helpers (mirror test_netsim) --------------------------------------------------
+
+
+def build_network() -> Network:
+    network = Network()
+    for host in HOSTS:
+        server = FunctionServer(host)
+        server.route("/", lambda r: html_response("<html>ok</html>"))
+        network.register(server)
+    return network
+
+
+def quiet_config(**overrides) -> NetSimConfig:
+    """An enabled host-queue config whose ambient load never sheds."""
+    fields = dict(
+        enabled=True,
+        preset_name="test",
+        uplink_bytes_per_second=1_000_000.0,
+        downlink_bytes_per_second=10_000_000.0,
+        base_rtt_seconds=0.01,
+        mean_job_seconds=0.2,
+        queue_capacity=64,
+        high_water=56,
+        deadline_seconds=60.0,
+        peak_utilization=0.2,
+        overnight_utilization=0.15,
+        offpeak_utilization=0.1,
+    )
+    fields.update(overrides)
+    return NetSimConfig(**fields)
+
+
+def quiet_uplink(**overrides) -> UplinkConfig:
+    """An enabled uplink that queues mildly but never sheds."""
+    fields = dict(
+        enabled=True,
+        preset_name="test-uplink",
+        bytes_per_second=1_500_000.0,
+        mean_job_seconds=0.2,
+        queue_capacity=64,
+        high_water=60,
+        saturating_households=16,
+        background_households=4,
+        peak_utilization=0.3,
+        overnight_utilization=0.2,
+        offpeak_utilization=0.1,
+    )
+    fields.update(overrides)
+    return UplinkConfig(**fields)
+
+
+def saturated_uplink(**overrides) -> UplinkConfig:
+    """Ambient load alone pins the aggregation link at capacity."""
+    fields = dict(
+        queue_capacity=4,
+        high_water=0,
+        mean_job_seconds=0.5,
+        saturating_households=1,
+        background_households=50,
+        peak_utilization=5.0,
+        overnight_utilization=5.0,
+        offpeak_utilization=5.0,
+    )
+    fields.update(overrides)
+    return quiet_uplink(**fields)
+
+
+def make_transport(config=None, seed=7, **kwargs) -> NetSimTransport:
+    clock = SimClock()
+    return NetSimTransport(
+        build_network(), config or quiet_config(), clock, seed=seed, **kwargs
+    )
+
+
+def get(url: str, at: float = DEFAULT_START, body: bytes = b"") -> HttpRequest:
+    return HttpRequest("GET", url, timestamp=at, body=body)
+
+
+# -- window boundaries -------------------------------------------------------------
+
+
+class TestInWindow:
+    """The ``_in_window`` bugfix: half-open [start, end) semantics and
+    the repo-wide "zero-width window means always" convention."""
+
+    WINDOW = (17, 6)  # the paper's 5 PM – 6 AM personalization window
+
+    def test_start_boundary_is_inside(self):
+        assert NetSimConfig._in_window(17.0, self.WINDOW)
+
+    def test_just_before_end_is_inside(self):
+        assert NetSimConfig._in_window(5.999, self.WINDOW)
+
+    def test_end_boundary_is_outside(self):
+        assert not NetSimConfig._in_window(6.0, self.WINDOW)
+
+    def test_just_before_start_is_outside(self):
+        assert not NetSimConfig._in_window(16.999, self.WINDOW)
+
+    def test_non_wrapping_window_half_open(self):
+        assert NetSimConfig._in_window(9.0, (9, 17))
+        assert NetSimConfig._in_window(16.999, (9, 17))
+        assert not NetSimConfig._in_window(17.0, (9, 17))
+        assert not NetSimConfig._in_window(8.999, (9, 17))
+
+    def test_zero_width_window_means_at_all_times(self):
+        """policy/discrepancy.py and analysis/timewindow.py treat
+        ``start == end`` as "always"; netsim must agree, not "never"."""
+        for hour in (0.0, 5.999, 9.0, 17.0, 23.999):
+            assert NetSimConfig._in_window(hour, (9, 9))
+            assert NetSimConfig._in_window(hour, (0, 0))
+
+
+# -- uplink config -----------------------------------------------------------------
+
+
+class TestUplinkConfig:
+    def test_presets_resolve(self):
+        assert not UplinkConfig.preset("off").is_active
+        assert not UplinkConfig.preset("none").is_active
+        for name in ("street", "neighbourhood"):
+            config = UplinkConfig.preset(name)
+            assert config.is_active and config.preset_name == name
+        assert set(UPLINK_PRESET_NAMES) == {
+            "off", "none", "street", "neighbourhood",
+        }
+
+    def test_unknown_preset_raises(self):
+        with pytest.raises(ValueError, match="unknown uplink preset"):
+            UplinkConfig.preset("backbone")
+
+    def test_coercion(self):
+        assert coerce_uplink(None) is None
+        assert coerce_uplink("off") is None
+        assert coerce_uplink(UplinkConfig()) is None
+        assert coerce_uplink("street").preset_name == "street"
+        config = UplinkConfig.preset("neighbourhood")
+        assert coerce_uplink(config) is config
+
+    def test_retry_after_is_depth_derived_and_bounded(self):
+        config = quiet_uplink(
+            mean_job_seconds=0.25,
+            retry_after_floor_seconds=1.0,
+            retry_after_cap_seconds=30.0,
+        )
+        assert config.retry_after_at(0) == 1.0  # floor
+        assert config.retry_after_at(8) == 2.0  # 8 × 0.25 — load-derived
+        assert config.retry_after_at(16) == 4.0  # deeper queue, longer wait
+        assert config.retry_after_at(10_000) == 30.0  # cap
+
+    def test_for_member_assigns_seat(self):
+        config = UplinkConfig.preset("street")
+        seat = config.for_member(2, 5)
+        assert seat.member_index == 2 and seat.neighbourhood_size == 5
+        assert seat.preset_name == config.preset_name
+        with pytest.raises(ValueError, match="out of range"):
+            config.for_member(5, 5)
+
+    def test_for_member_disabled_is_identity(self):
+        config = UplinkConfig()
+        assert config.for_member(0, 3) is config
+
+    def test_contention_share_grows_with_the_neighbourhood(self):
+        config = UplinkConfig.preset("street")
+        shares = [
+            config.for_member(0, n).contention_share() for n in (1, 4, 16)
+        ]
+        assert shares == sorted(shares)
+        assert shares[0] > 0.0
+        crowded = config.for_member(0, 1000)
+        assert crowded.contention_share() == 1.0  # clamped
+
+    def test_with_uplink_detaches_inactive(self):
+        netsim = NetSimConfig.preset("congested")
+        assert netsim.with_uplink(UplinkConfig.preset("off")) == netsim
+        assert netsim.with_uplink(None) == netsim
+        attached = netsim.with_uplink(UplinkConfig.preset("street"))
+        assert attached.uplink is not None
+        assert attached.with_uplink(None).uplink is None
+
+    def test_for_household_without_uplink_is_identity(self):
+        netsim = NetSimConfig.preset("congested")
+        assert netsim.for_household(1, 4) is netsim
+
+    def test_for_shard_keeps_the_household_seat(self):
+        """The uplink's identity is the household, not the shard: every
+        shard of one household must contend on the same curve."""
+        netsim = NetSimConfig.preset("congested").with_uplink(
+            UplinkConfig.preset("street")
+        )
+        seated = netsim.for_household(1, 3)
+        sharded = seated.for_shard(2, 3)
+        assert sharded.uplink == seated.uplink
+        assert sharded.seed_salt != seated.seed_salt
+
+    def test_shared_uplink_seeding_is_pure(self):
+        config = UplinkConfig.preset("street").for_member(1, 3)
+        a = SharedUplink.for_stack(config, 7, 0, DEFAULT_START)
+        b = SharedUplink.for_stack(config, 7, 0, DEFAULT_START)
+        assert (a.utilization_factor, a.wave_period, a.wave_phase) == (
+            b.utilization_factor, b.wave_period, b.wave_phase,
+        )
+        other_seat = SharedUplink.for_stack(
+            config.for_member(2, 3), 7, 0, DEFAULT_START
+        )
+        assert (a.utilization_factor, a.wave_period) != (
+            other_seat.utilization_factor, other_seat.wave_period,
+        )
+
+
+# -- transport wiring --------------------------------------------------------------
+
+
+class TestTransportWiring:
+    def test_no_uplink_stamps_no_uplink_bytes(self):
+        """Off-path identity at the transport level: without an uplink
+        no header, counter, or event may change."""
+        transport = make_transport()
+        assert transport.uplink is None
+        response = transport.deliver(get(f"http://{HOSTS[0]}/"))
+        assert UPLINK_DELAY_HEADER not in response.headers
+        assert UPLINK_DEPTH_HEADER not in response.headers
+        snapshot = transport.stats.snapshot()
+        assert snapshot["uplink_offered"] == 0
+        assert snapshot["uplink_accepted"] == 0
+        assert snapshot["uplink_shed"] == 0
+
+    def test_delivered_response_carries_uplink_facts(self):
+        transport = make_transport(
+            quiet_config().with_uplink(quiet_uplink())
+        )
+        assert transport.uplink is not None
+        response = transport.deliver(get(f"http://{HOSTS[0]}/"))
+        assert response.status == 200
+        assert UPLINK_DELAY_HEADER in response.headers
+        assert UPLINK_DEPTH_HEADER in response.headers
+        assert float(response.headers.get(UPLINK_DELAY_HEADER)) >= 0.0
+        stats = transport.stats
+        assert stats.uplink_offered == stats.uplink_accepted == 1
+        assert stats.uplink_conserved()
+
+    def test_saturated_uplink_sheds_with_depth_derived_retry_after(self):
+        config = quiet_config().with_uplink(saturated_uplink())
+        transport = make_transport(config)
+        response = transport.deliver(get(f"http://{HOSTS[0]}/"))
+        assert response.status == 503
+        assert SHED_HEADER in response.headers
+        assert UPLINK_SHED_HEADER in response.headers
+        depth = int(response.headers.get(UPLINK_DEPTH_HEADER))
+        advertised = float(response.headers.get("Retry-After"))
+        assert advertised == config.uplink.retry_after_at(depth)
+        stats = transport.stats
+        assert stats.uplink_shed == 1
+        assert stats.shed == 1  # uplink sheds count in the global law
+        assert stats.conserved() and stats.uplink_conserved()
+
+    def test_uplink_shed_calls_operator_hook(self):
+        shed = []
+        transport = make_transport(
+            quiet_config().with_uplink(saturated_uplink()),
+            on_shed=lambda host, depth: shed.append((host, depth)),
+        )
+        transport.deliver(get(f"http://{HOSTS[0]}/"))
+        assert shed and shed[0][0] == HOSTS[0]
+
+    def test_uplink_delay_can_expire_the_deadline(self):
+        # Host queue is quiet; the uplink's ambient backlog alone blows
+        # the (tiny) deadline — counted as uplink_expired AND expired.
+        # Few-but-huge ambient jobs at the link: depth stays below the
+        # high-water mark (no shedding) while the backlog in *seconds*
+        # dwarfs the deadline.
+        config = quiet_config(deadline_seconds=0.001).with_uplink(
+            quiet_uplink(
+                queue_capacity=4,
+                high_water=4,
+                mean_job_seconds=100.0,
+                peak_utilization=0.5,
+                overnight_utilization=0.5,
+                offpeak_utilization=0.5,
+                background_households=50,
+                saturating_households=1,
+            )
+        )
+        transport = make_transport(config)
+        with pytest.raises(DeadlineExpired):
+            transport.deliver(get(f"http://{HOSTS[0]}/"))
+        stats = transport.stats
+        assert stats.uplink_expired == 1 and stats.expired == 1
+        assert stats.conserved() and stats.uplink_conserved()
+
+
+# -- property tests ----------------------------------------------------------------
+
+
+host_indices = st.lists(
+    st.integers(min_value=0, max_value=len(HOSTS) - 1),
+    min_size=1,
+    max_size=40,
+)
+body_sizes = st.lists(
+    st.integers(min_value=0, max_value=20_000), min_size=1, max_size=40
+)
+
+
+def _offer(transport, picks, sizes, dead_every=0):
+    """Push a request sequence through; returns delivered
+    ``(host, completion_timestamp)`` pairs (sheds excluded)."""
+    delivered = []
+    for i, (pick, size) in enumerate(zip(picks, sizes)):
+        if dead_every and i % dead_every == dead_every - 1:
+            host = "dead.example"
+        else:
+            host = HOSTS[pick]
+        request = get(
+            f"http://{host}/", at=transport.clock.now, body=b"x" * size
+        )
+        try:
+            response = transport.deliver(request)
+        except (DeadlineExpired, RoutingError):
+            continue
+        if SHED_HEADER not in response.headers:
+            delivered.append((host, response.timestamp))
+    return delivered
+
+
+def contended_uplink() -> UplinkConfig:
+    """Enough pressure that some requests shed, most are carried."""
+    return quiet_uplink(
+        queue_capacity=12,
+        high_water=4,
+        background_households=12,
+        peak_utilization=0.8,
+        overnight_utilization=0.6,
+        offpeak_utilization=0.5,
+    )
+
+
+class TestUplinkProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(picks=host_indices, sizes=body_sizes, seed=st.integers(0, 2**16))
+    def test_uplink_conservation(self, picks, sizes, seed):
+        """accepted + shed + expired == offered, alongside the global
+        law — nothing is double-counted or dropped."""
+        n = min(len(picks), len(sizes))
+        transport = make_transport(
+            quiet_config().with_uplink(contended_uplink()), seed=seed
+        )
+        _offer(transport, picks[:n], sizes[:n], dead_every=5)
+        stats = transport.stats
+        assert stats.uplink_conserved()
+        assert stats.conserved()
+        # Every request that passed the host-queue gate was offered to
+        # the uplink — only host-level sheds never reach it (routing
+        # errors cross the link; the origin just doesn't answer).
+        assert stats.uplink_offered == stats.offered - (
+            stats.shed - stats.uplink_shed
+        )
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        steps=st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=5.0),  # inter-arrival
+                st.floats(min_value=0.0, max_value=2.0),  # host-queue lag
+                st.integers(min_value=0, max_value=20_000),  # body bytes
+            ),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    def test_fifo_across_competing_hosts(self, steps):
+        """The aggregation link is one FIFO: no matter which host queue
+        a request arrives from (the per-request ``ready`` lag), exit
+        times are strictly increasing in arrival order, and
+        ``busy_until`` chains through to the last exit."""
+        netsim = quiet_config()
+        link = SharedUplink.for_stack(
+            UplinkConfig.preset("street"), 7, 0, DEFAULT_START
+        )
+        now = DEFAULT_START
+        exits = []
+        for gap, lag, nbytes in steps:
+            now += gap
+            ready = now + lag
+            exit_time = link.transit(now, ready, nbytes, netsim)
+            assert exit_time > ready  # the wire transfer takes time
+            exits.append(exit_time)
+        assert exits == sorted(exits)
+        assert len(set(exits)) == len(exits)  # strictly increasing
+        assert link.busy_until == exits[-1]
+
+    @settings(max_examples=25, deadline=None)
+    @given(picks=host_indices, sizes=body_sizes, seed=st.integers(0, 2**16))
+    def test_replay_determinism_with_uplink(self, picks, sizes, seed):
+        n = min(len(picks), len(sizes))
+
+        def run():
+            transport = make_transport(
+                NetSimConfig.preset("congested").with_uplink(
+                    UplinkConfig.preset("neighbourhood")
+                ),
+                seed=seed,
+            )
+            delivered = _offer(transport, picks[:n], sizes[:n], dead_every=7)
+            return delivered, transport.stats.snapshot()
+
+        assert run() == run()
+
+
+# -- study-level differential matrix -----------------------------------------------
+
+
+UPLINK_NETSIM = NetSimConfig.preset("congested").with_uplink(
+    UplinkConfig.preset("neighbourhood")
+)
+
+
+def _fingerprint(context):
+    return (
+        context.dataset.digest(),
+        trace_digest(context.trace_events),
+        metrics_digest(context.metrics),
+    )
+
+
+def _run_uplink_study(workers, shards, backend):
+    world = build_world(seed=SEED, scale=SCALE)
+    return run_study(
+        world,
+        netsim=UPLINK_NETSIM,
+        workers=workers,
+        shards=shards,
+        backend=backend,
+    )
+
+
+@pytest.fixture(scope="module")
+def uplink_context():
+    """The canonical uplink study (workers=1, shards=3, objects)."""
+    return _run_uplink_study(workers=1, shards=3, backend="objects")
+
+
+@pytest.fixture(scope="module")
+def matrix(uplink_context):
+    """Digest/trace/metrics fingerprints over the full matrix."""
+    results = {}
+    for backend in ("objects", "columnar"):
+        for shards in (1, 3):
+            for workers in (1, 2, 4):
+                if (backend, shards, workers) == ("objects", 3, 1):
+                    context = uplink_context  # reuse the canonical run
+                else:
+                    context = _run_uplink_study(workers, shards, backend)
+                results[(backend, shards, workers)] = _fingerprint(context)
+    return results
+
+
+class TestUplinkDifferentialMatrix:
+    def test_worker_equivalence_per_backend_and_shards(self, matrix):
+        for backend in ("objects", "columnar"):
+            for shards in (1, 3):
+                base = matrix[(backend, shards, 1)]
+                for workers in (2, 4):
+                    assert matrix[(backend, shards, workers)] == base, (
+                        f"uplink digests diverged at backend={backend} "
+                        f"shards={shards} workers={workers}"
+                    )
+
+    def test_backend_equivalence(self, matrix):
+        for shards in (1, 3):
+            assert matrix[("columnar", shards, 1)] == (
+                matrix[("objects", shards, 1)]
+            ), f"columnar diverged from objects at shards={shards}"
+
+
+# -- telemetry, report, and the adaptive client ------------------------------------
+
+
+class TestUplinkStudyTelemetry:
+    def test_flows_carry_uplink_fields(self, uplink_context):
+        from repro.core.dataset import netsim_flow_fields
+
+        stamped = [
+            fields
+            for flow in uplink_context.dataset.all_flows()
+            if (fields := netsim_flow_fields(flow)) is not None
+        ]
+        assert any("uplink_delay" in fields for fields in stamped)
+        assert any(fields.get("uplink_shed") for fields in stamped)
+
+    def test_serialized_flows_round_trip_uplink_fields(self, uplink_context):
+        from repro.core.dataset import serialize_study_dataset
+
+        serialized = serialize_study_dataset(uplink_context.dataset)
+        records = [
+            record["netsim"]
+            for run in serialized["runs"]
+            for record in run["flows"]
+            if "netsim" in record
+        ]
+        assert any("uplink_delay" in r for r in records)
+        assert any(r.get("uplink_shed") for r in records)
+
+    def test_uplink_metrics_emitted(self, uplink_context):
+        metrics = uplink_context.metrics
+        offered = metrics.counter_total("netsim.uplink.offered")
+        shed = metrics.counter_total("netsim.uplink.shed")
+        assert offered > 0 and shed > 0
+        assert shed < offered
+
+    def test_adaptive_clients_honour_the_advertised_backoff(
+        self, uplink_context
+    ):
+        """End to end: uplink sheds advertise a depth-derived
+        Retry-After, and the resilience layer demonstrably honours it."""
+        honoured = uplink_context.metrics.counter_total(
+            "resilience.retry_after_honoured"
+        )
+        assert honoured > 0
+
+    def test_uplink_trace_events_recorded(self, uplink_context):
+        names = {event.name for event in uplink_context.trace_events}
+        assert "netsim-uplink-shed" in names
+
+
+class TestUplinkReport:
+    def test_evening_sheds_more_than_daytime(self, uplink_context):
+        """The acceptance criterion: with the uplink on, the
+        17:00–06:00 evening window's uplink shed rate exceeds the
+        daytime rate."""
+        from repro.analysis.netsim import netsim_congestion_report
+
+        hourly = netsim_congestion_report(uplink_context.dataset)
+        assert hourly.has_uplink_samples
+        peak = hourly.peak_uplink_summary()
+        off = hourly.offpeak_uplink_summary()
+        assert peak["shed_rate"] > off["shed_rate"]
+        assert peak["shed"] > off["shed"]
+
+    def test_report_renders_uplink_section(self, uplink_context):
+        from repro.analysis.report import generate_report
+
+        report = generate_report(uplink_context, cache=None)
+        assert "shared uplink:" in report
+        assert "depth-derived Retry-After" in report
+        assert "uplink inside the peak window" in report
+        assert "uplink shed volume by hour" in report
+
+    def test_uplink_off_report_has_no_uplink_lines(self):
+        """netsim-on/uplink-off keeps its bytes: no uplink section."""
+        from repro.analysis.netsim import netsim_congestion_report
+
+        world = build_world(seed=SEED, scale=SCALE)
+        context = run_study(world, netsim="congested", workers=1, shards=1)
+        hourly = netsim_congestion_report(context.dataset)
+        assert not hourly.has_uplink_samples
+        from repro.analysis.report import generate_report
+
+        report = generate_report(context, cache=None)
+        assert "shared uplink" not in report
+
+
+# -- options + fuzz axis -----------------------------------------------------------
+
+
+class TestUplinkOptions:
+    def test_uplink_requires_active_netsim(self):
+        with pytest.raises(OptionsError, match="uplink requires"):
+            ExecutionOptions(uplink="street")
+        ExecutionOptions(netsim="congested", uplink="street")  # fine
+        ExecutionOptions(uplink="off")  # fine
+
+    def test_resolved_netsim_off_path_is_identity(self):
+        opts = ExecutionOptions(netsim="congested")
+        assert opts.resolved_netsim() == "congested"
+        assert ExecutionOptions().resolved_netsim() == "off"
+
+    def test_resolved_netsim_attaches_preset(self):
+        opts = ExecutionOptions(netsim="congested", uplink="neighbourhood")
+        resolved = opts.resolved_netsim()
+        assert isinstance(resolved, NetSimConfig)
+        assert resolved.uplink == UplinkConfig.preset("neighbourhood")
+
+    def test_json_round_trip(self):
+        opts = ExecutionOptions(netsim="congested", uplink="street")
+        payload = opts.to_json()
+        assert payload["uplink"] == "street"
+        assert ExecutionOptions.from_json(payload) == opts
+        assert ExecutionOptions().to_json()["uplink"] == "off"
+
+    def test_uplink_changes_the_canonical_key(self):
+        base = ExecutionOptions(netsim="congested")
+        tuned = ExecutionOptions(netsim="congested", uplink="street")
+        assert base.canonical() != tuned.canonical()
+
+
+class TestFuzzUplinkAxis:
+    def test_axis_has_its_own_rng_stream(self):
+        """Widening the uplink axis must never reshuffle the existing
+        (seed, scale, faults, backend, households) samples."""
+        from repro.audit.fuzz import sample_points
+
+        narrow = sample_points(8, base_seed=3)
+        wide = sample_points(
+            8, base_seed=3, uplinks=("off", "neighbourhood")
+        )
+        for a, b in zip(narrow, wide):
+            assert (a.seed, a.scale, a.faults, a.backend, a.households) == (
+                b.seed, b.scale, b.faults, b.backend, b.households,
+            )
+            assert b.uplink in ("off", "neighbourhood")
+        assert all(p.uplink == "off" for p in narrow)
+
+    def test_config_defaults_off(self):
+        from repro.audit.fuzz import FuzzConfig, FuzzPoint
+
+        assert FuzzConfig().uplinks == ("off",)
+        point = FuzzPoint(
+            seed=1, scale=0.02, faults="off", netsim="congested",
+            uplink="street",
+        )
+        assert "uplink=street" in point.label()
+        assert point.as_dict()["uplink"] == "street"
+        assert "uplink=" not in FuzzPoint(
+            seed=1, scale=0.02, faults="off"
+        ).label()
